@@ -1,0 +1,43 @@
+//! Criterion benchmarks of FedAvg aggregation — the per-round server-side
+//! cost that grows with the number of groups/clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsfl_nn::params::{fed_avg, ParamVec};
+use std::hint::black_box;
+
+fn bench_fed_avg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fed_avg");
+    let dim = 50_000usize; // ≈ the harness CNN's parameter count
+    for replicas in [2usize, 6, 30] {
+        let models: Vec<ParamVec> = (0..replicas)
+            .map(|r| {
+                ParamVec::from_values((0..dim).map(|i| ((i + r) as f32).sin()).collect())
+            })
+            .collect();
+        let weights = vec![1.0f64; replicas];
+        group.bench_with_input(
+            BenchmarkId::new("replicas", replicas),
+            &replicas,
+            |b, _| {
+                b.iter(|| fed_avg(black_box(&models), black_box(&weights)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_load(c: &mut Criterion) {
+    use gsfl_nn::model::Mlp;
+    let net = Mlp::new(768, &[128, 64], 43, 0).into_sequential();
+    c.bench_function("paramvec_snapshot", |b| {
+        b.iter(|| ParamVec::from_network(black_box(&net)));
+    });
+    let snap = ParamVec::from_network(&net);
+    let mut target = Mlp::new(768, &[128, 64], 43, 1).into_sequential();
+    c.bench_function("paramvec_load", |b| {
+        b.iter(|| snap.load_into(black_box(&mut target)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_fed_avg, bench_snapshot_load);
+criterion_main!(benches);

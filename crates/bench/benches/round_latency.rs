@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the latency calculators themselves — the
+//! closed forms and the discrete-event simulation that price every round
+//! of Fig. 2(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsfl_core::latency::{fl_round, gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_nn::model::Mlp;
+use gsfl_wireless::allocation::BandwidthPolicy;
+use gsfl_wireless::latency::LatencyModel;
+use std::hint::black_box;
+
+fn fixture(clients: usize) -> (LatencyModel, SplitCosts, Vec<usize>) {
+    let latency = LatencyModel::builder()
+        .clients(clients)
+        .seed(7)
+        .build()
+        .unwrap();
+    let net = Mlp::new(768, &[128, 64], 43, 0).into_sequential();
+    let costs = SplitCosts::compute(&net, 2, &[768], 16).unwrap();
+    let steps = vec![5usize; clients];
+    (latency, costs, steps)
+}
+
+fn bench_sl_closed_form(c: &mut Criterion) {
+    let (latency, costs, steps) = fixture(30);
+    let order: Vec<usize> = (0..30).collect();
+    c.bench_function("sl_round_closed_form_30c", |b| {
+        b.iter(|| sl_round(black_box(&latency), &costs, &steps, &order, ChannelMode::Dedicated, 3).unwrap());
+    });
+}
+
+fn bench_fl_closed_form(c: &mut Criterion) {
+    let (latency, costs, steps) = fixture(30);
+    c.bench_function("fl_round_closed_form_30c", |b| {
+        b.iter(|| fl_round(black_box(&latency), &costs, &steps, 1, 3).unwrap());
+    });
+}
+
+fn bench_gsfl_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gsfl_round_des");
+    for m in [1usize, 6, 30] {
+        let (latency, costs, steps) = fixture(30);
+        let groups: Vec<Vec<usize>> = (0..m)
+            .map(|g| (0..30).filter(|c| c % m == g).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("groups", m), &m, |b, _| {
+            b.iter(|| {
+                gsfl_round(
+                    black_box(&latency),
+                    &costs,
+                    &steps,
+                    &groups,
+                    BandwidthPolicy::Equal,
+                    ChannelMode::Dedicated,
+                    3,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sl_closed_form,
+    bench_fl_closed_form,
+    bench_gsfl_des
+);
+criterion_main!(benches);

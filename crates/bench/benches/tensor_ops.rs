@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the tensor substrate: the kernels whose
+//! throughput bounds the whole training harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsfl_tensor::conv::conv2d_forward;
+use gsfl_tensor::matmul::{matmul, matmul_at_b};
+use gsfl_tensor::pool::maxpool2d_forward;
+use gsfl_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for size in [32usize, 64, 128] {
+        let a = Tensor::from_fn(&[size, size], |i| (i as f32).sin());
+        let b = Tensor::from_fn(&[size, size], |i| (i as f32).cos());
+        group.bench_with_input(BenchmarkId::new("square", size), &size, |bench, _| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    // The dense-layer backward shape: dW = dYᵀ · X.
+    let x = Tensor::from_fn(&[16, 256], |i| (i as f32).sin());
+    let dy = Tensor::from_fn(&[16, 64], |i| (i as f32).cos());
+    group.bench_function("at_b_dense_backward", |bench| {
+        bench.iter(|| matmul_at_b(black_box(&dy), black_box(&x)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    for (label, ch_in, ch_out, hw) in [("3to8@16", 3usize, 8usize, 16usize), ("8to16@8", 8, 16, 8)] {
+        let input = Tensor::from_fn(&[16, ch_in, hw, hw], |i| (i as f32 % 7.0) * 0.1);
+        let weight = Tensor::from_fn(&[ch_out, ch_in, 3, 3], |i| (i as f32 % 5.0) * 0.01);
+        let bias = Tensor::zeros(&[ch_out]);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                conv2d_forward(black_box(&input), black_box(&weight), &bias, 1, 1).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let input = Tensor::from_fn(&[16, 8, 16, 16], |i| (i as f32).sin());
+    c.bench_function("maxpool2d_16x8x16x16", |bench| {
+        bench.iter(|| maxpool2d_forward(black_box(&input), 2, 2).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **A1 — cut-layer selection** (paper §IV future work).
+//!
+//! Sweeps the DeepThin cut point and reports, per cut: smashed-data bytes
+//! per batch, client/server FLOPs share, simulated round latency, and
+//! accuracy after a short training budget.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin ablation_cut_layer [--rounds N]`
+
+use gsfl_bench::{paper_config, print_table, rounds_override, save_result};
+use gsfl_core::runner::Runner;
+use gsfl_core::scheme::SchemeKind;
+use gsfl_nn::model::CutPoint;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = rounds_override().unwrap_or(20);
+    eprintln!("ablation_cut_layer: {rounds} rounds per cut");
+    let mut rows = Vec::new();
+    for cut in CutPoint::all() {
+        let config = paper_config(false)
+            .rounds(rounds)
+            .eval_every(rounds.max(1))
+            .cut_point(cut)
+            .build()?;
+        let runner = Runner::new(config)?;
+        let costs = runner.context().costs;
+        let result = runner.run(SchemeKind::Gsfl)?;
+        save_result(&format!("ablation_cut_{cut}"), &result);
+        let round_latency = result
+            .records
+            .first()
+            .map(|r| r.round_latency_s)
+            .unwrap_or(0.0);
+        let client_share = (costs.client_fwd_flops + costs.client_bwd_flops) as f64
+            / costs.full_flops as f64
+            * 100.0;
+        rows.push(vec![
+            cut.to_string(),
+            costs.smashed_bytes.as_u64().to_string(),
+            format!("{client_share:.1}%"),
+            costs.client_model_bytes.as_u64().to_string(),
+            format!("{round_latency:.1}"),
+            format!("{:.1}", result.final_accuracy_pct()),
+        ]);
+        eprintln!("  cut {cut}: done");
+    }
+    println!("\nA1 — GSFL cut-layer ablation (30 clients, 6 groups)");
+    print_table(
+        &[
+            "cut",
+            "smashed_B/batch",
+            "client_flops",
+            "client_model_B",
+            "round_s",
+            "acc_%",
+        ],
+        &rows,
+    );
+    println!("\nShallow cuts ship big activations but keep clients light;");
+    println!("deep cuts shrink traffic at the price of client compute.");
+    Ok(())
+}

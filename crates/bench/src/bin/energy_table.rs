@@ -1,0 +1,49 @@
+//! **A7 — client energy** (extension; "resource-limited" includes
+//! batteries).
+//!
+//! Per-scheme client-side energy per round and per unit of accuracy:
+//! split schemes trade model-upload energy for smashed-data energy, and
+//! GSFL's totals match SL's (same work, reordered) while finishing sooner.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin energy_table [--rounds N]`
+
+use gsfl_bench::{paper_config, print_table, rounds_override};
+use gsfl_core::runner::Runner;
+use gsfl_core::scheme::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = rounds_override().unwrap_or(20);
+    eprintln!("energy_table: {rounds} rounds per scheme");
+    let config = paper_config(false)
+        .rounds(rounds)
+        .eval_every(rounds.max(1))
+        .build()?;
+    let runner = Runner::new(config)?;
+
+    let mut rows = Vec::new();
+    for kind in SchemeKind::all() {
+        let r = runner.run(kind)?;
+        let per_round = r.total_client_energy_j() / r.records.len().max(1) as f64;
+        rows.push(vec![
+            kind.to_string(),
+            format!("{:.1}", per_round),
+            format!("{:.1}", r.total_client_energy_j()),
+            format!("{:.1}", r.final_accuracy_pct()),
+            format!(
+                "{:.2}",
+                r.total_client_energy_j() / r.final_accuracy_pct().max(1.0)
+            ),
+        ]);
+        eprintln!("  {kind}: done");
+    }
+    println!("\nA7 — client-side energy (30 clients total, {rounds} rounds):");
+    print_table(
+        &["scheme", "J/round", "total_J", "acc_%", "J_per_acc_pt"],
+        &rows,
+    );
+    println!("\nCL spends no client energy (data already at the server); FL");
+    println!("pays full-model uploads; the split schemes pay smashed-data");
+    println!("streams instead. GSFL and SL do identical client work per");
+    println!("round — grouping buys time, not energy.");
+    Ok(())
+}

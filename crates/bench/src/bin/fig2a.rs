@@ -1,0 +1,102 @@
+//! **E1 — Fig. 2(a)**: accuracy vs training rounds for CL, SL, GSFL, FL.
+//!
+//! Reproduces the paper's Fig. 2(a) series (GTSRB → synthetic GTSRB, 30
+//! clients, 6 groups) and prints the E3 summary: the paper claims GSFL
+//! converges ≈5× faster than FL in rounds and tracks SL/CL closely.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin fig2a [--rounds N] [--full]`
+
+use gsfl_bench::{accuracy_series, paper_config, print_table, rounds_override, save_result};
+use gsfl_core::runner::Runner;
+use gsfl_core::scheme::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = gsfl_bench::full_scale();
+    let rounds = rounds_override().unwrap_or(if full { 300 } else { 120 });
+    let config = paper_config(full)
+        .rounds(rounds)
+        .eval_every(2)
+        .build()?;
+    eprintln!("fig2a: {} rounds, 30 clients, 6 groups (full={full})", rounds);
+
+    let runner = Runner::new(config)?;
+    let schemes = [
+        SchemeKind::Centralized,
+        SchemeKind::VanillaSplit,
+        SchemeKind::Gsfl,
+        SchemeKind::Federated,
+    ];
+    let mut results = Vec::new();
+    for kind in schemes {
+        eprintln!("running {kind}…");
+        let r = runner.run(kind)?;
+        eprintln!(
+            "  {kind}: final {:.1}% (best {:.1}%), host time {:.1}s",
+            r.final_accuracy_pct(),
+            r.best_accuracy_pct(),
+            r.wall_clock_s
+        );
+        save_result(&format!("fig2a_{kind}"), &r);
+        results.push((kind, r));
+    }
+
+    // The figure series: accuracy (%) per evaluation round.
+    println!("\nFig. 2(a) — accuracy (%) vs training rounds");
+    type Series = Vec<(usize, f64, f64)>;
+    let series: Vec<(SchemeKind, Series)> = results
+        .iter()
+        .map(|(k, r)| (*k, accuracy_series(r)))
+        .collect();
+    let eval_rounds: Vec<usize> = series[0].1.iter().map(|(r, _, _)| *r).collect();
+    let rows: Vec<Vec<String>> = eval_rounds
+        .iter()
+        .enumerate()
+        .map(|(i, round)| {
+            let mut row = vec![round.to_string()];
+            for (_, s) in &series {
+                row.push(
+                    s.get(i)
+                        .map(|(_, _, a)| format!("{a:.1}"))
+                        .unwrap_or_default(),
+                );
+            }
+            row
+        })
+        .collect();
+    print_table(&["round", "CL", "SL", "GSFL", "FL"], &rows);
+
+    // E3 summary: rounds-to-target ratios.
+    let target = 0.80;
+    println!("\nE3 — rounds to {:.0}% accuracy:", target * 100.0);
+    let mut summary = Vec::new();
+    for (kind, r) in &results {
+        summary.push(vec![
+            kind.to_string(),
+            r.rounds_to_accuracy(target)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "not reached".into()),
+            format!("{:.1}", r.best_accuracy_pct()),
+        ]);
+    }
+    print_table(&["scheme", "rounds_to_80%", "best_acc_%"], &summary);
+    let gsfl_rounds = results
+        .iter()
+        .find(|(k, _)| *k == SchemeKind::Gsfl)
+        .and_then(|(_, r)| r.rounds_to_accuracy(target));
+    let fl_rounds = results
+        .iter()
+        .find(|(k, _)| *k == SchemeKind::Federated)
+        .and_then(|(_, r)| r.rounds_to_accuracy(target));
+    match (gsfl_rounds, fl_rounds) {
+        (Some(g), Some(f)) => println!(
+            "\nFL/GSFL convergence-round ratio: {:.1}× (paper: ≈5×)",
+            f as f64 / g as f64
+        ),
+        (Some(g), None) => println!(
+            "\nFL never reached {:.0}% within {rounds} rounds; GSFL did at round {g} (paper: GSFL ≈5× faster)",
+            target * 100.0
+        ),
+        _ => println!("\nGSFL did not reach the target within {rounds} rounds — increase --rounds"),
+    }
+    Ok(())
+}

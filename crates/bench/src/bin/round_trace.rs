@@ -1,0 +1,69 @@
+//! Trace of one GSFL round: the discrete-event schedule rendered as an
+//! ASCII Gantt chart, plus edge-server utilization — shows exactly where
+//! a round's time goes (client compute, transmissions, server slots,
+//! relays, FedAvg).
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin round_trace [-- clients groups]`
+
+use gsfl_core::config::{DatasetConfig, ExperimentConfig};
+use gsfl_core::context::TrainContext;
+use gsfl_core::latency::gsfl_round_with_schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let groups: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let config = ExperimentConfig::builder()
+        .clients(clients)
+        .groups(groups)
+        .rounds(1)
+        .batch_size(16)
+        .dataset(DatasetConfig {
+            classes: 8,
+            samples_per_class: 8,
+            test_per_class: 2,
+            image_size: 16,
+        })
+        .seed(7)
+        .build()?;
+    let ctx = TrainContext::from_config(config)?;
+    let steps = ctx.steps_per_client();
+
+    let (latency, schedule) = gsfl_round_with_schedule(
+        &ctx.latency,
+        &ctx.costs,
+        &steps,
+        &ctx.groups,
+        ctx.config.bandwidth_policy,
+        ctx.config.channel,
+        0,
+    )?;
+
+    println!(
+        "one GSFL round: {clients} clients in {groups} groups, makespan {:.3}s, \
+         {} tasks, client energy {:.1} J\n",
+        latency.duration.as_secs_f64(),
+        schedule.spans().len(),
+        latency.client_energy_j,
+    );
+    print!("{}", schedule.gantt(72));
+    println!(
+        "\nedge-server utilization: {:.1}% of {} slots over the makespan",
+        schedule.utilization(
+            // The server is always the first declared resource.
+            resource_zero(),
+            ctx.latency.server().slots()
+        ) * 100.0,
+        ctx.latency.server().slots()
+    );
+    Ok(())
+}
+
+/// The edge-server resource handle (first resource declared by the round
+/// builder).
+fn resource_zero() -> gsfl_simnet::ResourceId {
+    // TaskGraph hands out sequential ids; the round builder declares the
+    // server first. A tiny graph reproduces the same first handle.
+    let mut g = gsfl_simnet::TaskGraph::new();
+    g.add_resource("probe", 1)
+}

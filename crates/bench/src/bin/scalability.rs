@@ -1,0 +1,46 @@
+//! **A6 — scalability in the client count** (extension).
+//!
+//! Holds the per-client data volume constant and sweeps N (with M = N/5),
+//! reporting per-round latency of SL vs GSFL: SL grows linearly with N,
+//! GSFL with N/M-ish until server slots saturate.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin scalability [--rounds N]`
+
+use gsfl_bench::{paper_config, print_table, rounds_override};
+use gsfl_core::runner::Runner;
+use gsfl_core::scheme::SchemeKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rounds = rounds_override().unwrap_or(3);
+    eprintln!("scalability: {rounds} rounds per setting");
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 30, 60] {
+        let m = n / 5;
+        let config = paper_config(false)
+            .clients(n)
+            .groups(m)
+            .rounds(rounds)
+            .eval_every(rounds.max(1))
+            .build()?;
+        let runner = Runner::new(config)?;
+        let sl = runner.run(SchemeKind::VanillaSplit)?;
+        let gsfl = runner.run(SchemeKind::Gsfl)?;
+        let rl = |r: &gsfl_core::results::RunResult| {
+            r.records
+                .first()
+                .map(|x| x.round_latency_s)
+                .unwrap_or(0.0)
+        };
+        rows.push(vec![
+            n.to_string(),
+            m.to_string(),
+            format!("{:.1}", rl(&sl)),
+            format!("{:.1}", rl(&gsfl)),
+            format!("{:.2}×", rl(&sl) / rl(&gsfl)),
+        ]);
+        eprintln!("  N={n}: done");
+    }
+    println!("\nA6 — per-round latency vs fleet size (M = N/5):");
+    print_table(&["clients", "groups", "SL_round_s", "GSFL_round_s", "speedup"], &rows);
+    Ok(())
+}

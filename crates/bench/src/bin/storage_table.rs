@@ -1,0 +1,49 @@
+//! **A5 — server-side storage** (paper §I motivation).
+//!
+//! Quantifies the storage argument for grouping: SFL keeps one server-side
+//! model per client; GSFL keeps one per group.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin storage_table`
+
+use gsfl_bench::{paper_config, print_table};
+use gsfl_core::context::TrainContext;
+use gsfl_core::scheme::SchemeKind;
+use gsfl_core::storage::server_storage_bytes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for n in [10usize, 30, 60, 120] {
+        let m = (n / 5).max(1);
+        let config = paper_config(false)
+            .clients(n)
+            .groups(m)
+            .rounds(1)
+            .build()?;
+        let ctx = TrainContext::from_config(config)?;
+        let server_bytes = ctx
+            .costs
+            .full_model_bytes
+            .as_u64()
+            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
+        let full = ctx.costs.full_model_bytes.as_u64();
+        let sl = server_storage_bytes(SchemeKind::VanillaSplit, n, m, server_bytes, full);
+        let sfl = server_storage_bytes(SchemeKind::SplitFed, n, m, server_bytes, full);
+        let gsfl = server_storage_bytes(SchemeKind::Gsfl, n, m, server_bytes, full);
+        rows.push(vec![
+            n.to_string(),
+            m.to_string(),
+            format!("{:.1}", sl as f64 / 1024.0),
+            format!("{:.1}", sfl as f64 / 1024.0),
+            format!("{:.1}", gsfl as f64 / 1024.0),
+            format!("{:.1}×", sfl as f64 / gsfl as f64),
+        ]);
+    }
+    println!("A5 — edge-server model storage (KiB) vs fleet size:");
+    print_table(
+        &["clients", "groups", "SL", "SFL", "GSFL", "SFL/GSFL"],
+        &rows,
+    );
+    println!("\nGSFL needs M server-side replicas instead of SFL's N — the");
+    println!("storage saving that motivates grouping (paper §I).");
+    Ok(())
+}

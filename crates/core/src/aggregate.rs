@@ -1,0 +1,90 @@
+//! FedAvg aggregation of model halves.
+//!
+//! Step 3 of the paper's scheme: after every group finishes its pass, the
+//! AP aggregates the M client-side models and the M server-side models
+//! into one of each, weighted by the number of samples each group trained
+//! on (the classic FedAvg rule).
+
+use crate::Result;
+use gsfl_nn::params::{fed_avg, ParamVec};
+use gsfl_nn::Sequential;
+
+/// Snapshots and aggregates a set of same-architecture networks in place.
+///
+/// `weights` are arbitrary non-negative scales (e.g. sample counts); the
+/// aggregated parameters are written back into every network in
+/// `networks`, so all replicas start the next round identical.
+///
+/// Returns the aggregated parameter vector (e.g. to measure wire size).
+///
+/// # Errors
+///
+/// Propagates FedAvg algebra errors (length/weight validation).
+pub fn aggregate_in_place(networks: &mut [&mut Sequential], weights: &[f64]) -> Result<ParamVec> {
+    let snapshots: Vec<ParamVec> = networks.iter().map(|n| ParamVec::from_network(n)).collect();
+    let avg = fed_avg(&snapshots, weights)?;
+    for net in networks.iter_mut() {
+        avg.load_into(net)?;
+    }
+    Ok(avg)
+}
+
+/// Aggregates parameter vectors without touching networks (used when the
+/// replicas live on worker threads and only their snapshots came back).
+///
+/// # Errors
+///
+/// Propagates FedAvg algebra errors.
+pub fn aggregate_snapshots(snapshots: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
+    Ok(fed_avg(snapshots, weights)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_nn::layers::Dense;
+
+    fn net(seed: u64) -> Sequential {
+        let mut n = Sequential::new();
+        n.push(Dense::new(3, 2, seed));
+        n
+    }
+
+    #[test]
+    fn replicas_become_identical() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let mut c = net(3);
+        assert_ne!(ParamVec::from_network(&a), ParamVec::from_network(&b));
+        let avg =
+            aggregate_in_place(&mut [&mut a, &mut b, &mut c], &[1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(ParamVec::from_network(&a), avg);
+        assert_eq!(ParamVec::from_network(&b), avg);
+        assert_eq!(ParamVec::from_network(&c), avg);
+    }
+
+    #[test]
+    fn weighted_mean_is_respected() {
+        let mut a = net(1);
+        let mut b = net(1); // identical start
+        for p in a.params_mut() {
+            p.value_mut().fill(0.0);
+        }
+        for p in b.params_mut() {
+            p.value_mut().fill(4.0);
+        }
+        let avg = aggregate_in_place(&mut [&mut a, &mut b], &[3.0, 1.0]).unwrap();
+        assert!(avg.values().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn snapshot_aggregation_matches() {
+        let a = ParamVec::from_network(&net(5));
+        let b = ParamVec::from_network(&net(6));
+        let direct = aggregate_snapshots(&[a.clone(), b.clone()], &[1.0, 1.0]).unwrap();
+        let mut na = net(5);
+        let mut nb = net(6);
+        let in_place = aggregate_in_place(&mut [&mut na, &mut nb], &[1.0, 1.0]).unwrap();
+        assert_eq!(direct, in_place);
+    }
+}

@@ -1,0 +1,549 @@
+//! Experiment configuration.
+
+use crate::latency::ChannelMode;
+use crate::{CoreError, Result};
+use gsfl_data::synth::Augment;
+use gsfl_nn::model::{CutPoint, DeepThin, Mlp};
+use gsfl_nn::Sequential;
+use gsfl_wireless::allocation::BandwidthPolicy;
+use gsfl_wireless::device::DeviceHeterogeneity;
+use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::server::EdgeServer;
+use gsfl_wireless::units::{FlopsRate, Hertz};
+use serde::{Deserialize, Serialize};
+
+/// Which network architecture an experiment trains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The DeepThin-style lightweight CNN (NCHW inputs).
+    DeepThin {
+        /// First conv stage width.
+        conv1: usize,
+        /// Second conv stage width.
+        conv2: usize,
+        /// Dense hidden width.
+        fc: usize,
+    },
+    /// An MLP over flattened inputs (fast; used by tests).
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+    },
+}
+
+impl ModelKind {
+    /// Paper-scale CNN defaults.
+    pub fn deepthin_default() -> Self {
+        ModelKind::DeepThin {
+            conv1: 8,
+            conv2: 16,
+            fc: 64,
+        }
+    }
+
+    /// Whether inputs must be flattened to `[n, d]`.
+    pub fn wants_flat_inputs(&self) -> bool {
+        matches!(self, ModelKind::Mlp { .. })
+    }
+
+    /// Builds the network for the given sample dims and class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when the model cannot be built for the
+    /// dims (e.g. non-multiple-of-4 image for the CNN).
+    pub fn build(&self, sample_dims: &[usize], classes: usize, seed: u64) -> Result<Sequential> {
+        match self {
+            ModelKind::DeepThin { conv1, conv2, fc } => {
+                if sample_dims.len() != 3 || sample_dims[0] != 3 {
+                    return Err(CoreError::Config(format!(
+                        "DeepThin needs [3,h,w] samples, got {sample_dims:?}"
+                    )));
+                }
+                if sample_dims[1] != sample_dims[2] {
+                    return Err(CoreError::Config(
+                        "DeepThin needs square images".into(),
+                    ));
+                }
+                Ok(DeepThin::builder(sample_dims[1], classes)
+                    .conv1_channels(*conv1)
+                    .conv2_channels(*conv2)
+                    .fc_width(*fc)
+                    .seed(seed)
+                    .build()?)
+            }
+            ModelKind::Mlp { hidden } => {
+                let input: usize = sample_dims.iter().product();
+                Ok(Mlp::new(input, hidden, classes, seed).into_sequential())
+            }
+        }
+    }
+
+    /// The default cut index (client-side depth) for split schemes.
+    pub fn default_cut(&self) -> usize {
+        match self {
+            // After the first pooling stage — shallow client, as in the paper.
+            ModelKind::DeepThin { .. } => CutPoint::AfterPool1.layer_index(),
+            // After the first dense+relu block.
+            ModelKind::Mlp { .. } => 2,
+        }
+    }
+}
+
+/// How the training data is spread across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Shuffle-and-deal.
+    Iid,
+    /// Per-class Dirichlet(α) allocation; small α ⇒ more skew.
+    Dirichlet(f64),
+    /// Sort-by-label shards, `k` shards per client.
+    Shards(usize),
+}
+
+/// Dataset generation parameters (the synthetic GTSRB substitution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of classes (≤ 43).
+    pub classes: usize,
+    /// Training samples generated per class.
+    pub samples_per_class: usize,
+    /// Test samples generated per class (independent draw).
+    pub test_per_class: usize,
+    /// Square image size (multiple of 4 for the CNN).
+    pub image_size: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            classes: 43,
+            samples_per_class: 50,
+            test_per_class: 10,
+            image_size: 16,
+        }
+    }
+}
+
+/// Wireless-network parameters (thin wrapper over the wireless crate's
+/// builder so experiments serialize cleanly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WirelessConfig {
+    /// Total system bandwidth in MHz.
+    pub bandwidth_mhz: f64,
+    /// Edge-server slots (parallel server-side executions).
+    pub server_slots: usize,
+    /// Edge-server per-slot rate in GFLOP/s.
+    pub server_gflops: f64,
+    /// Client device rate range in GFLOP/s.
+    pub device_min_gflops: f64,
+    /// Client device rate range in GFLOP/s.
+    pub device_max_gflops: f64,
+    /// Enable Rayleigh block fading.
+    pub fading: bool,
+}
+
+impl Default for WirelessConfig {
+    fn default() -> Self {
+        WirelessConfig {
+            bandwidth_mhz: 10.0,
+            server_slots: 4,
+            server_gflops: 50.0,
+            // Effective on-device *training* throughput of IoT/mobile-class
+            // CPUs — the paper's "resource-limited" regime.
+            device_min_gflops: 0.2,
+            device_max_gflops: 0.6,
+            fading: true,
+        }
+    }
+}
+
+/// How clients are assigned to GSFL groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupingKind {
+    /// Client `i` goes to group `i mod M`.
+    RoundRobin,
+    /// Random permutation, dealt round-robin.
+    Random,
+    /// Longest-processing-time balancing on estimated client round time.
+    ComputeBalanced,
+    /// Balancing on channel quality (distance as proxy).
+    ChannelAware,
+}
+
+/// Full experiment description.
+///
+/// Construct with [`ExperimentConfig::builder`]; every scheme reads the
+/// same config so comparisons share data, model init and channel
+/// realizations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of clients N.
+    pub clients: usize,
+    /// Number of GSFL groups M (must divide ≤ N).
+    pub groups: usize,
+    /// Training rounds to run.
+    pub rounds: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum (0 disables).
+    pub momentum: f32,
+    /// FL local epochs per round.
+    pub local_epochs: usize,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Cut index override for split schemes (client-side layer count);
+    /// `None` uses the model's default cut.
+    pub cut_index: Option<usize>,
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Data partition strategy.
+    pub partition: PartitionStrategy,
+    /// Data augmentation.
+    pub augment: Augment,
+    /// Wireless parameters.
+    pub wireless: WirelessConfig,
+    /// Bandwidth split among concurrent transmitters (SharedPool mode).
+    pub bandwidth_policy: BandwidthPolicy,
+    /// Spectrum assignment model (dedicated OFDMA subchannels vs dynamic
+    /// shared pool).
+    pub channel: ChannelMode,
+    /// Grouping strategy for GSFL.
+    pub grouping: GroupingKind,
+    /// Evaluate on the test set every this many rounds (≥ 1).
+    pub eval_every: usize,
+    /// Stop early once test accuracy reaches this fraction, if set.
+    pub target_accuracy: Option<f64>,
+    /// Per-round probability that a client is reachable and participates
+    /// (1.0 = always available; lower values inject churn/failures).
+    pub availability: f64,
+    /// Master experiment seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Starts a builder with paper-scale defaults (30 clients, 6 groups).
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            config: ExperimentConfig {
+                clients: 30,
+                groups: 6,
+                rounds: 100,
+                batch_size: 16,
+                learning_rate: 0.05,
+                momentum: 0.0,
+                local_epochs: 1,
+                model: ModelKind::deepthin_default(),
+                cut_index: None,
+                dataset: DatasetConfig::default(),
+                partition: PartitionStrategy::Dirichlet(1.0),
+                augment: Augment::default(),
+                wireless: WirelessConfig::default(),
+                bandwidth_policy: BandwidthPolicy::Equal,
+                channel: ChannelMode::Dedicated,
+                grouping: GroupingKind::RoundRobin,
+                eval_every: 2,
+                target_accuracy: None,
+                availability: 1.0,
+                seed: 0,
+            },
+        }
+    }
+
+    /// The resolved cut index for split schemes.
+    pub fn cut(&self) -> usize {
+        self.cut_index.unwrap_or_else(|| self.model.default_cut())
+    }
+
+    /// Builds the wireless latency model for this experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wireless configuration errors.
+    pub fn latency_model(&self) -> Result<LatencyModel> {
+        Ok(LatencyModel::builder()
+            .clients(self.clients)
+            .seed(self.seed)
+            .bandwidth(Hertz::from_mhz(self.wireless.bandwidth_mhz))
+            .server(EdgeServer::new(
+                FlopsRate::from_gflops(self.wireless.server_gflops),
+                self.wireless.server_slots,
+            )?)
+            .heterogeneity(DeviceHeterogeneity {
+                min_gflops: self.wireless.device_min_gflops,
+                max_gflops: self.wireless.device_max_gflops,
+            })
+            .fading(self.wireless.fading)
+            .build()?)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.clients == 0 {
+            return Err(CoreError::Config("clients must be ≥ 1".into()));
+        }
+        if self.groups == 0 || self.groups > self.clients {
+            return Err(CoreError::Config(format!(
+                "groups must be in 1..={}, got {}",
+                self.clients, self.groups
+            )));
+        }
+        if self.rounds == 0 {
+            return Err(CoreError::Config("rounds must be ≥ 1".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(CoreError::Config("batch_size must be ≥ 1".into()));
+        }
+        if self.eval_every == 0 {
+            return Err(CoreError::Config("eval_every must be ≥ 1".into()));
+        }
+        if self.local_epochs == 0 {
+            return Err(CoreError::Config("local_epochs must be ≥ 1".into()));
+        }
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
+            return Err(CoreError::Config("learning_rate must be > 0".into()));
+        }
+        if let Some(t) = self.target_accuracy {
+            if !(0.0..=1.0).contains(&t) {
+                return Err(CoreError::Config(format!(
+                    "target_accuracy must be in [0,1], got {t}"
+                )));
+            }
+        }
+        if self.availability.is_nan() || self.availability <= 0.0 || self.availability > 1.0 {
+            return Err(CoreError::Config(format!(
+                "availability must be in (0,1], got {}",
+                self.availability
+            )));
+        }
+        if let PartitionStrategy::Dirichlet(a) = self.partition {
+            if a.is_nan() || a <= 0.0 {
+                return Err(CoreError::Config("dirichlet alpha must be > 0".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ExperimentConfig`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the number of clients.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.config.clients = n;
+        self
+    }
+
+    /// Sets the number of GSFL groups.
+    pub fn groups(mut self, m: usize) -> Self {
+        self.config.groups = m;
+        self
+    }
+
+    /// Sets the number of training rounds.
+    pub fn rounds(mut self, r: usize) -> Self {
+        self.config.rounds = r;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.config.batch_size = b;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.config.learning_rate = lr;
+        self
+    }
+
+    /// Sets SGD momentum.
+    pub fn momentum(mut self, m: f32) -> Self {
+        self.config.momentum = m;
+        self
+    }
+
+    /// Sets FL local epochs.
+    pub fn local_epochs(mut self, e: usize) -> Self {
+        self.config.local_epochs = e;
+        self
+    }
+
+    /// Sets the model architecture.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Overrides the cut index.
+    pub fn cut_index(mut self, cut: usize) -> Self {
+        self.config.cut_index = Some(cut);
+        self
+    }
+
+    /// Sets the cut via a named DeepThin cut point.
+    pub fn cut_point(mut self, cp: CutPoint) -> Self {
+        self.config.cut_index = Some(cp.layer_index());
+        self
+    }
+
+    /// Sets dataset generation parameters.
+    pub fn dataset(mut self, d: DatasetConfig) -> Self {
+        self.config.dataset = d;
+        self
+    }
+
+    /// Sets the partition strategy.
+    pub fn partition(mut self, p: PartitionStrategy) -> Self {
+        self.config.partition = p;
+        self
+    }
+
+    /// Sets augmentation ranges.
+    pub fn augment(mut self, a: Augment) -> Self {
+        self.config.augment = a;
+        self
+    }
+
+    /// Sets wireless parameters.
+    pub fn wireless(mut self, w: WirelessConfig) -> Self {
+        self.config.wireless = w;
+        self
+    }
+
+    /// Sets the bandwidth allocation policy.
+    pub fn bandwidth_policy(mut self, p: BandwidthPolicy) -> Self {
+        self.config.bandwidth_policy = p;
+        self
+    }
+
+    /// Sets the spectrum assignment model.
+    pub fn channel(mut self, c: ChannelMode) -> Self {
+        self.config.channel = c;
+        self
+    }
+
+    /// Sets the grouping strategy.
+    pub fn grouping(mut self, g: GroupingKind) -> Self {
+        self.config.grouping = g;
+        self
+    }
+
+    /// Sets evaluation cadence.
+    pub fn eval_every(mut self, e: usize) -> Self {
+        self.config.eval_every = e;
+        self
+    }
+
+    /// Sets an early-stop accuracy target (fraction in `[0,1]`).
+    pub fn target_accuracy(mut self, t: f64) -> Self {
+        self.config.target_accuracy = Some(t);
+        self
+    }
+
+    /// Sets the per-round client availability probability.
+    pub fn availability(mut self, p: f64) -> Self {
+        self.config.availability = p;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.config.seed = s;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] describing the first invalid field.
+    pub fn build(self) -> Result<ExperimentConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let c = ExperimentConfig::builder().build().unwrap();
+        assert_eq!(c.clients, 30);
+        assert_eq!(c.groups, 6);
+        assert_eq!(c.cut(), CutPoint::AfterPool1.layer_index());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(ExperimentConfig::builder().clients(0).build().is_err());
+        assert!(ExperimentConfig::builder().groups(0).build().is_err());
+        assert!(ExperimentConfig::builder()
+            .clients(4)
+            .groups(5)
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder().rounds(0).build().is_err());
+        assert!(ExperimentConfig::builder().batch_size(0).build().is_err());
+        assert!(ExperimentConfig::builder()
+            .target_accuracy(1.5)
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder()
+            .partition(PartitionStrategy::Dirichlet(0.0))
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder().learning_rate(0.0).build().is_err());
+    }
+
+    #[test]
+    fn cut_override() {
+        let c = ExperimentConfig::builder().cut_index(5).build().unwrap();
+        assert_eq!(c.cut(), 5);
+        let c = ExperimentConfig::builder()
+            .cut_point(CutPoint::AfterConv2)
+            .build()
+            .unwrap();
+        assert_eq!(c.cut(), CutPoint::AfterConv2.layer_index());
+    }
+
+    #[test]
+    fn model_kind_builds_both_architectures() {
+        let cnn = ModelKind::deepthin_default()
+            .build(&[3, 16, 16], 10, 0)
+            .unwrap();
+        assert_eq!(cnn.output_shape(&[1, 3, 16, 16]).unwrap(), vec![1, 10]);
+        let mlp = ModelKind::Mlp {
+            hidden: vec![32],
+        }
+        .build(&[3, 8, 8], 5, 0)
+        .unwrap();
+        assert_eq!(mlp.output_shape(&[1, 192]).unwrap(), vec![1, 5]);
+        assert!(ModelKind::deepthin_default()
+            .build(&[1, 16, 16], 10, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn latency_model_builds() {
+        let c = ExperimentConfig::builder().clients(4).groups(2).build().unwrap();
+        let m = c.latency_model().unwrap();
+        assert_eq!(m.client_count(), 4);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ExperimentConfig::builder().build().unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,250 @@
+//! Shared experiment context: data shards, test set, wireless model,
+//! grouping.
+
+use crate::config::{ExperimentConfig, GroupingKind, PartitionStrategy};
+use crate::grouping::{assign_groups, ClientCost};
+use crate::latency::SplitCosts;
+use crate::Result;
+use gsfl_data::dataset::ImageDataset;
+use gsfl_data::partition::Partition;
+use gsfl_data::synth::SynthGtsrb;
+use gsfl_tensor::rng::SeedDerive;
+use gsfl_wireless::latency::LatencyModel;
+
+/// Everything a scheme needs to train: per-client shards, the test set,
+/// the wireless latency model and the group assignment. Built once per
+/// experiment so every scheme sees identical data, channel and grouping.
+#[derive(Debug, Clone)]
+pub struct TrainContext {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// Per-client training shards (index = client id).
+    pub train_shards: Vec<ImageDataset>,
+    /// The held-out test set.
+    pub test_set: ImageDataset,
+    /// Wireless + compute latency model.
+    pub latency: LatencyModel,
+    /// GSFL group assignment (group → member client ids, in training
+    /// order).
+    pub groups: Vec<Vec<usize>>,
+    /// Sample dims as fed to the model (`[3,h,w]` or `[d]`).
+    pub sample_dims: Vec<usize>,
+    /// Per-batch cost profile of the configured model at the configured
+    /// cut.
+    pub costs: SplitCosts,
+}
+
+impl TrainContext {
+    /// Builds the context from a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset, model and wireless construction errors.
+    pub fn from_config(config: ExperimentConfig) -> Result<Self> {
+        let seeds = SeedDerive::new(config.seed);
+        // Train and test sets from independent generator streams.
+        let train = SynthGtsrb::builder()
+            .classes(config.dataset.classes)
+            .samples_per_class(config.dataset.samples_per_class)
+            .image_size(config.dataset.image_size)
+            .augment(config.augment)
+            .seed(seeds.child("train-data").seed())
+            .generate()?;
+        let test = SynthGtsrb::builder()
+            .classes(config.dataset.classes)
+            .samples_per_class(config.dataset.test_per_class)
+            .image_size(config.dataset.image_size)
+            .augment(config.augment)
+            .seed(seeds.child("test-data").seed())
+            .generate()?;
+
+        // Flatten for MLP models.
+        let (train, test) = if config.model.wants_flat_inputs() {
+            (flatten(&train)?, flatten(&test)?)
+        } else {
+            (train, test)
+        };
+        let sample_dims = train.sample_dims();
+
+        // Partition across clients.
+        let part_seed = seeds.child("partition").seed();
+        let partition = match config.partition {
+            PartitionStrategy::Iid => Partition::iid(&train, config.clients, part_seed)?,
+            PartitionStrategy::Dirichlet(alpha) => {
+                Partition::dirichlet(&train, config.clients, alpha, part_seed)?
+            }
+            PartitionStrategy::Shards(k) => {
+                Partition::shards(&train, config.clients, k, part_seed)?
+            }
+        };
+        let train_shards = partition.materialize(&train)?;
+
+        let latency = config.latency_model()?;
+
+        // Cost profile of the split model (drives latency and load-aware
+        // grouping).
+        let model = config
+            .model
+            .build(&sample_dims, config.dataset.classes, config.seed)?;
+        let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?;
+
+        // Group assignment; load-aware strategies estimate per-client round
+        // time from shard size, device rate and distance.
+        let needs_costs = matches!(
+            config.grouping,
+            GroupingKind::ComputeBalanced | GroupingKind::ChannelAware
+        );
+        let client_costs: Option<Vec<ClientCost>> = if needs_costs {
+            let mut v = Vec::with_capacity(config.clients);
+            for (c, shard) in train_shards.iter().enumerate() {
+                let steps = shard.len().div_ceil(config.batch_size) as f64;
+                let per_batch_flops = (costs.client_fwd_flops + costs.client_bwd_flops) as f64;
+                let rate = latency.device(c)?.rate().as_flops_per_sec();
+                v.push(ClientCost {
+                    round_time_s: steps * per_batch_flops / rate,
+                    distance_m: latency.distance(c)?.as_meters(),
+                });
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let groups = assign_groups(
+            config.grouping,
+            config.clients,
+            config.groups,
+            client_costs.as_deref(),
+            seeds.child("grouping").seed(),
+        )?;
+
+        Ok(TrainContext {
+            config,
+            train_shards,
+            test_set: test,
+            latency,
+            groups,
+            sample_dims,
+            costs,
+        })
+    }
+
+    /// Number of mini-batch steps client `c` runs per epoch over its shard.
+    pub fn steps_for(&self, client: usize) -> usize {
+        self.train_shards[client]
+            .len()
+            .div_ceil(self.config.batch_size)
+    }
+
+    /// Per-client step counts.
+    pub fn steps_per_client(&self) -> Vec<usize> {
+        (0..self.config.clients).map(|c| self.steps_for(c)).collect()
+    }
+
+    /// Total training samples across all shards.
+    pub fn total_samples(&self) -> usize {
+        self.train_shards.iter().map(ImageDataset::len).sum()
+    }
+
+    /// Whether `client` participates in `round` under the configured
+    /// availability probability (deterministic per seed).
+    pub fn is_available(&self, round: u64, client: usize) -> bool {
+        if self.config.availability >= 1.0 {
+            return true;
+        }
+        use rand::Rng;
+        let mut rng = SeedDerive::new(self.config.seed)
+            .child("availability")
+            .index(round)
+            .index(client as u64)
+            .rng();
+        rng.gen::<f64>() < self.config.availability
+    }
+
+    /// The clients participating in `round`. Never empty: if the draw
+    /// leaves nobody reachable, the AP waits for the first client to come
+    /// back — modeled as that round running with the deterministic
+    /// first-choice client.
+    pub fn available_clients(&self, round: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.config.clients)
+            .filter(|&c| self.is_available(round, c))
+            .collect();
+        if v.is_empty() {
+            v.push((round as usize) % self.config.clients);
+        }
+        v
+    }
+}
+
+fn flatten(ds: &ImageDataset) -> Result<ImageDataset> {
+    let n = ds.len();
+    let d: usize = ds.sample_dims().iter().product();
+    let images = ds.images().reshape(&[n, d])?;
+    Ok(ImageDataset::new(
+        images,
+        ds.labels().to_vec(),
+        ds.num_classes(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetConfig, ExperimentConfig, ModelKind};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig::builder()
+            .clients(6)
+            .groups(2)
+            .rounds(2)
+            .batch_size(4)
+            .dataset(DatasetConfig {
+                classes: 4,
+                samples_per_class: 6,
+                test_per_class: 2,
+                image_size: 8,
+            })
+            .model(ModelKind::Mlp {
+                hidden: vec![16],
+            })
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn context_builds_consistently() {
+        let ctx = TrainContext::from_config(tiny_config()).unwrap();
+        assert_eq!(ctx.train_shards.len(), 6);
+        assert_eq!(ctx.total_samples(), 24);
+        assert_eq!(ctx.test_set.len(), 8);
+        assert_eq!(ctx.groups.len(), 2);
+        // MLP ⇒ flattened samples.
+        assert_eq!(ctx.sample_dims, vec![3 * 8 * 8]);
+        assert!(ctx.costs.client_model_bytes.as_u64() > 0);
+    }
+
+    #[test]
+    fn deterministic_context() {
+        let a = TrainContext::from_config(tiny_config()).unwrap();
+        let b = TrainContext::from_config(tiny_config()).unwrap();
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.train_shards[0], b.train_shards[0]);
+    }
+
+    #[test]
+    fn steps_round_up() {
+        let ctx = TrainContext::from_config(tiny_config()).unwrap();
+        for c in 0..6 {
+            let expect = ctx.train_shards[c].len().div_ceil(4);
+            assert_eq!(ctx.steps_for(c), expect);
+        }
+    }
+
+    #[test]
+    fn load_aware_grouping_builds() {
+        let mut cfg = tiny_config();
+        cfg.grouping = crate::config::GroupingKind::ComputeBalanced;
+        let ctx = TrainContext::from_config(cfg).unwrap();
+        assert_eq!(ctx.groups.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+}

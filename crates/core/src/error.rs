@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Error type for experiment configuration and execution.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Neural-network stack error.
+    Nn(gsfl_nn::NnError),
+    /// Dataset error.
+    Data(gsfl_data::DataError),
+    /// Wireless model error.
+    Wireless(gsfl_wireless::WirelessError),
+    /// Discrete-event simulation error.
+    Sim(gsfl_simnet::SimError),
+    /// Experiment configuration error.
+    Config(String),
+    /// I/O error writing results.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "nn error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Wireless(e) => write!(f, "wireless error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Wireless(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<gsfl_nn::NnError> for CoreError {
+    fn from(e: gsfl_nn::NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<gsfl_data::DataError> for CoreError {
+    fn from(e: gsfl_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<gsfl_wireless::WirelessError> for CoreError {
+    fn from(e: gsfl_wireless::WirelessError) -> Self {
+        CoreError::Wireless(e)
+    }
+}
+
+impl From<gsfl_simnet::SimError> for CoreError {
+    fn from(e: gsfl_simnet::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<gsfl_tensor::TensorError> for CoreError {
+    fn from(e: gsfl_tensor::TensorError) -> Self {
+        CoreError::Nn(gsfl_nn::NnError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        use std::error::Error;
+        let e = CoreError::from(gsfl_nn::NnError::Config("x".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("nn error"));
+        assert!(CoreError::Config("y".into()).source().is_none());
+    }
+}

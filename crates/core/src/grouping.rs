@@ -1,0 +1,206 @@
+//! Client-to-group assignment strategies.
+//!
+//! GSFL partitions the N clients into M groups; §IV of the paper lists
+//! grouping as a future-work axis, so several strategies are provided and
+//! swept by the `ablation_groups` bench.
+
+use crate::config::GroupingKind;
+use crate::{CoreError, Result};
+use gsfl_tensor::rng::SeedDerive;
+use rand::seq::SliceRandom;
+
+/// A client's cost features used by load-aware strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientCost {
+    /// Estimated per-round training time (seconds) of this client alone.
+    pub round_time_s: f64,
+    /// Distance from the AP in meters (channel-quality proxy).
+    pub distance_m: f64,
+}
+
+/// Assigns `clients` into `groups` groups under the given strategy.
+///
+/// All strategies return every client exactly once and never produce an
+/// empty group (for `groups ≤ clients`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] for zero groups, more groups than
+/// clients, or missing cost features for the load-aware strategies.
+pub fn assign_groups(
+    kind: GroupingKind,
+    clients: usize,
+    groups: usize,
+    costs: Option<&[ClientCost]>,
+    seed: u64,
+) -> Result<Vec<Vec<usize>>> {
+    if groups == 0 || groups > clients {
+        return Err(CoreError::Config(format!(
+            "groups must be in 1..={clients}, got {groups}"
+        )));
+    }
+    match kind {
+        GroupingKind::RoundRobin => {
+            let mut out = vec![Vec::new(); groups];
+            for c in 0..clients {
+                out[c % groups].push(c);
+            }
+            Ok(out)
+        }
+        GroupingKind::Random => {
+            let mut ids: Vec<usize> = (0..clients).collect();
+            let mut rng = SeedDerive::new(seed).child("grouping").rng();
+            ids.shuffle(&mut rng);
+            let mut out = vec![Vec::new(); groups];
+            for (pos, c) in ids.into_iter().enumerate() {
+                out[pos % groups].push(c);
+            }
+            Ok(out)
+        }
+        GroupingKind::ComputeBalanced => {
+            let costs = require_costs(costs, clients)?;
+            Ok(lpt_balance(clients, groups, |c| costs[c].round_time_s))
+        }
+        GroupingKind::ChannelAware => {
+            let costs = require_costs(costs, clients)?;
+            Ok(lpt_balance(clients, groups, |c| costs[c].distance_m))
+        }
+    }
+}
+
+fn require_costs(costs: Option<&[ClientCost]>, clients: usize) -> Result<&[ClientCost]> {
+    let costs = costs.ok_or_else(|| {
+        CoreError::Config("load-aware grouping needs client cost features".into())
+    })?;
+    if costs.len() != clients {
+        return Err(CoreError::Config(format!(
+            "{} cost entries for {clients} clients",
+            costs.len()
+        )));
+    }
+    Ok(costs)
+}
+
+/// Longest-processing-time-first greedy balancing: sort clients by
+/// descending cost, repeatedly give the next client to the group with the
+/// smallest current total. Since GSFL's round time is the *max over groups*
+/// of the *sum within a group*, this directly minimizes the makespan
+/// heuristic.
+fn lpt_balance(clients: usize, groups: usize, cost: impl Fn(usize) -> f64) -> Vec<Vec<usize>> {
+    let mut ids: Vec<usize> = (0..clients).collect();
+    ids.sort_by(|&a, &b| cost(b).total_cmp(&cost(a)).then(a.cmp(&b)));
+    let mut out = vec![Vec::new(); groups];
+    let mut totals = vec![0.0f64; groups];
+    for c in ids {
+        // Prefer an empty group first so none stays empty, then least load.
+        let g = (0..groups)
+            .min_by(|&x, &y| {
+                let ex = (!out[x].is_empty()) as u8;
+                let ey = (!out[y].is_empty()) as u8;
+                ex.cmp(&ey)
+                    .then(totals[x].total_cmp(&totals[y]))
+                    .then(x.cmp(&y))
+            })
+            .expect("groups ≥ 1");
+        out[g].push(c);
+        totals[g] += cost(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_valid(groups: &[Vec<usize>], clients: usize) {
+        let mut seen = vec![false; clients];
+        for g in groups {
+            assert!(!g.is_empty(), "empty group");
+            for &c in g {
+                assert!(!seen[c], "client {c} in two groups");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn round_robin_shape() {
+        let g = assign_groups(GroupingKind::RoundRobin, 30, 6, None, 0).unwrap();
+        is_valid(&g, 30);
+        assert!(g.iter().all(|grp| grp.len() == 5));
+        assert_eq!(g[0], vec![0, 6, 12, 18, 24]);
+    }
+
+    #[test]
+    fn random_covers_everyone_deterministically() {
+        let a = assign_groups(GroupingKind::Random, 13, 4, None, 7).unwrap();
+        let b = assign_groups(GroupingKind::Random, 13, 4, None, 7).unwrap();
+        let c = assign_groups(GroupingKind::Random, 13, 4, None, 8).unwrap();
+        is_valid(&a, 13);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn compute_balanced_beats_round_robin_on_skewed_costs() {
+        // Client 0 is very slow; LPT must isolate it.
+        let mut costs = vec![
+            ClientCost {
+                round_time_s: 1.0,
+                distance_m: 10.0
+            };
+            8
+        ];
+        costs[0].round_time_s = 10.0;
+        let g = assign_groups(GroupingKind::ComputeBalanced, 8, 4, Some(&costs), 0).unwrap();
+        is_valid(&g, 8);
+        let group_of_0 = g.iter().find(|grp| grp.contains(&0)).unwrap();
+        assert_eq!(group_of_0.len(), 1, "slow client should be alone: {g:?}");
+        // Makespan comparison.
+        let makespan = |groups: &[Vec<usize>]| -> f64 {
+            groups
+                .iter()
+                .map(|grp| grp.iter().map(|&c| costs[c].round_time_s).sum::<f64>())
+                .fold(0.0, f64::max)
+        };
+        let rr = assign_groups(GroupingKind::RoundRobin, 8, 4, None, 0).unwrap();
+        assert!(makespan(&g) <= makespan(&rr));
+    }
+
+    #[test]
+    fn channel_aware_uses_distance() {
+        let costs: Vec<ClientCost> = (0..6)
+            .map(|i| ClientCost {
+                round_time_s: 1.0,
+                distance_m: (i as f64 + 1.0) * 30.0,
+            })
+            .collect();
+        let g = assign_groups(GroupingKind::ChannelAware, 6, 3, Some(&costs), 0).unwrap();
+        is_valid(&g, 6);
+        // The two farthest clients (4,5) must not share a group.
+        let far_group: Vec<_> = g.iter().filter(|grp| grp.contains(&5)).collect();
+        assert!(!far_group[0].contains(&4));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(assign_groups(GroupingKind::RoundRobin, 4, 0, None, 0).is_err());
+        assert!(assign_groups(GroupingKind::RoundRobin, 4, 5, None, 0).is_err());
+        assert!(assign_groups(GroupingKind::ComputeBalanced, 4, 2, None, 0).is_err());
+        let costs = vec![
+            ClientCost {
+                round_time_s: 1.0,
+                distance_m: 1.0
+            };
+            3
+        ];
+        assert!(assign_groups(GroupingKind::ComputeBalanced, 4, 2, Some(&costs), 0).is_err());
+    }
+
+    #[test]
+    fn groups_equal_clients_gives_singletons() {
+        let g = assign_groups(GroupingKind::RoundRobin, 5, 5, None, 0).unwrap();
+        assert!(g.iter().all(|grp| grp.len() == 1));
+    }
+}

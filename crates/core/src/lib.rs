@@ -1,0 +1,64 @@
+//! Group-based split federated learning (GSFL) and its baselines.
+//!
+//! This crate is the reproduction of the paper's contribution: the
+//! **GSFL** training scheme ([`scheme::Gsfl`]) operating in a
+//! *split-then-federated* manner over a simulated resource-limited
+//! wireless network, together with the evaluation baselines:
+//!
+//! * [`scheme::Centralized`] — all data pooled at the server (CL),
+//! * [`scheme::Federated`] — FedAvg over full models (FL),
+//! * [`scheme::VanillaSplit`] — sequential split learning with client-model
+//!   relay through the AP (SL),
+//! * [`scheme::SplitFed`] — the "simple combination" with one server-side
+//!   model per client (SFL), included to demonstrate the storage blow-up
+//!   GSFL's grouping avoids,
+//! * [`scheme::Gsfl`] — the paper's scheme: M groups, per-group server-side
+//!   model replicas, sequential split training inside each group, parallel
+//!   training across groups, FedAvg of both model halves per round.
+//!
+//! Latency is charged through [`gsfl_wireless::latency::LatencyModel`] and,
+//! for the parallel schemes, a discrete-event simulation
+//! ([`gsfl_simnet`]) in which the edge server is a k-slot FIFO resource —
+//! inter-group parallelism is throttled by server contention exactly as on
+//! a shared edge server.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gsfl_core::config::ExperimentConfig;
+//! use gsfl_core::runner::Runner;
+//! use gsfl_core::scheme::SchemeKind;
+//!
+//! # fn main() -> Result<(), gsfl_core::CoreError> {
+//! let config = ExperimentConfig::builder()
+//!     .clients(30)
+//!     .groups(6)
+//!     .rounds(100)
+//!     .seed(42)
+//!     .build()?;
+//! let runner = Runner::new(config)?;
+//! let result = runner.run(SchemeKind::Gsfl)?;
+//! println!("final accuracy: {:.1}%", result.final_accuracy_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod aggregate;
+pub mod config;
+pub mod context;
+pub mod grouping;
+pub mod latency;
+pub mod results;
+pub mod runner;
+pub mod scheme;
+pub mod storage;
+
+pub use error::CoreError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

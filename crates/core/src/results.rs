@@ -1,0 +1,243 @@
+//! Round records and run results.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Metrics recorded for one training round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// Simulated wall-clock duration of this round (seconds).
+    pub round_latency_s: f64,
+    /// Cumulative simulated time after this round (seconds).
+    pub cumulative_latency_s: f64,
+    /// Mean training loss over the round's steps.
+    pub train_loss: f64,
+    /// Test accuracy in `[0,1]`, present on evaluation rounds.
+    pub test_accuracy: Option<f64>,
+    /// Client→AP bytes this round.
+    pub bytes_up: u64,
+    /// AP→client bytes this round.
+    pub bytes_down: u64,
+    /// Total client-side energy this round, joules.
+    #[serde(default)]
+    pub client_energy_j: f64,
+}
+
+/// The complete outcome of running one scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Scheme name (`"cl"`, `"fl"`, `"sl"`, `"sfl"`, `"gsfl"`).
+    pub scheme: String,
+    /// Per-round records, in order.
+    pub records: Vec<RoundRecord>,
+    /// Server-side storage the scheme requires (bytes of resident models).
+    pub server_storage_bytes: u64,
+    /// Total model parameters (client + server sides).
+    pub param_count: usize,
+    /// Real (host) time the run took, for harness reporting.
+    pub wall_clock_s: f64,
+}
+
+impl RunResult {
+    /// The last recorded test accuracy as a percentage (0 if never
+    /// evaluated).
+    pub fn final_accuracy_pct(&self) -> f64 {
+        self.records
+            .iter()
+            .rev()
+            .find_map(|r| r.test_accuracy)
+            .unwrap_or(0.0)
+            * 100.0
+    }
+
+    /// The best recorded test accuracy as a percentage.
+    pub fn best_accuracy_pct(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+            * 100.0
+    }
+
+    /// First round at which test accuracy reached `target` (fraction).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.round)
+    }
+
+    /// Simulated seconds until test accuracy first reached `target`.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_latency_s)
+    }
+
+    /// Total bytes moved over the run (up + down).
+    pub fn total_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.bytes_up + r.bytes_down)
+            .sum()
+    }
+
+    /// Total client-side energy over the run, joules.
+    pub fn total_client_energy_j(&self) -> f64 {
+        self.records.iter().map(|r| r.client_energy_j).sum()
+    }
+
+    /// Total simulated duration of the run.
+    pub fn total_latency_s(&self) -> f64 {
+        self.records
+            .last()
+            .map(|r| r.cumulative_latency_s)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the records as CSV (header + one row per round; empty
+    /// accuracy cells on non-evaluation rounds).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scheme,round,round_latency_s,cumulative_latency_s,train_loss,test_accuracy,bytes_up,bytes_down,client_energy_j\n",
+        );
+        for r in &self.records {
+            let acc = r
+                .test_accuracy
+                .map(|a| format!("{a:.6}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{},{},{},{:.6}\n",
+                self.scheme,
+                r.round,
+                r.round_latency_s,
+                r.cumulative_latency_s,
+                r.train_loss,
+                acc,
+                r.bytes_up,
+                r.bytes_down,
+                r.client_energy_j
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV next to a JSON twin (`<stem>.csv` / `<stem>.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, stem: &Path) -> std::io::Result<()> {
+        if let Some(dir) = stem.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut csv = std::fs::File::create(stem.with_extension("csv"))?;
+        csv.write_all(self.to_csv().as_bytes())?;
+        let json = serde_json::to_string_pretty(self)
+            .expect("RunResult serialization cannot fail");
+        std::fs::write(stem.with_extension("json"), json)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RunResult {
+        RunResult {
+            scheme: "test".into(),
+            records: vec![
+                RoundRecord {
+                    round: 1,
+                    round_latency_s: 2.0,
+                    cumulative_latency_s: 2.0,
+                    train_loss: 1.5,
+                    test_accuracy: Some(0.3),
+                    bytes_up: 100,
+                    bytes_down: 50,
+                    client_energy_j: 3.0,
+                },
+                RoundRecord {
+                    round: 2,
+                    round_latency_s: 2.0,
+                    cumulative_latency_s: 4.0,
+                    train_loss: 1.0,
+                    test_accuracy: None,
+                    bytes_up: 100,
+                    bytes_down: 50,
+                    client_energy_j: 3.0,
+                },
+                RoundRecord {
+                    round: 3,
+                    round_latency_s: 2.0,
+                    cumulative_latency_s: 6.0,
+                    train_loss: 0.5,
+                    test_accuracy: Some(0.8),
+                    bytes_up: 100,
+                    bytes_down: 50,
+                    client_energy_j: 3.0,
+                },
+            ],
+            server_storage_bytes: 1234,
+            param_count: 99,
+            wall_clock_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn accuracy_summaries() {
+        let r = result();
+        assert!((r.final_accuracy_pct() - 80.0).abs() < 1e-9);
+        assert!((r.best_accuracy_pct() - 80.0).abs() < 1e-9);
+        assert_eq!(r.rounds_to_accuracy(0.25), Some(1));
+        assert_eq!(r.rounds_to_accuracy(0.5), Some(3));
+        assert_eq!(r.rounds_to_accuracy(0.9), None);
+        assert_eq!(r.time_to_accuracy(0.5), Some(6.0));
+    }
+
+    #[test]
+    fn byte_and_time_totals() {
+        let r = result();
+        assert_eq!(r.total_bytes(), 450);
+        assert_eq!(r.total_latency_s(), 6.0);
+        assert!((r.total_client_energy_j() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = result().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scheme,round"));
+        // Missing accuracy leaves an empty cell.
+        assert!(lines[2].contains(",,"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = result();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), r.records.len());
+        assert_eq!(back.scheme, r.scheme);
+    }
+
+    #[test]
+    fn empty_result_defaults() {
+        let r = RunResult {
+            scheme: "x".into(),
+            records: vec![],
+            server_storage_bytes: 0,
+            param_count: 0,
+            wall_clock_s: 0.0,
+        };
+        assert_eq!(r.final_accuracy_pct(), 0.0);
+        assert_eq!(r.total_latency_s(), 0.0);
+        assert_eq!(r.rounds_to_accuracy(0.1), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment runner: build a context once, run any scheme against it.
+
+use crate::config::ExperimentConfig;
+use crate::context::TrainContext;
+use crate::results::RunResult;
+use crate::scheme::SchemeKind;
+use crate::Result;
+
+/// Builds the shared context for an experiment and runs schemes against
+/// it, guaranteeing every scheme sees identical data, model init, channel
+/// realizations and grouping.
+///
+/// # Example
+///
+/// ```no_run
+/// use gsfl_core::config::ExperimentConfig;
+/// use gsfl_core::runner::Runner;
+/// use gsfl_core::scheme::SchemeKind;
+///
+/// # fn main() -> Result<(), gsfl_core::CoreError> {
+/// let config = ExperimentConfig::builder().clients(8).groups(2).rounds(5).build()?;
+/// let runner = Runner::new(config)?;
+/// let gsfl = runner.run(SchemeKind::Gsfl)?;
+/// let sl = runner.run(SchemeKind::VanillaSplit)?;
+/// assert!(gsfl.total_latency_s() < sl.total_latency_s());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    ctx: TrainContext,
+}
+
+impl Runner {
+    /// Builds the experiment context (datasets, shards, wireless model,
+    /// groups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and construction errors.
+    pub fn new(config: ExperimentConfig) -> Result<Self> {
+        Ok(Runner {
+            ctx: TrainContext::from_config(config)?,
+        })
+    }
+
+    /// The shared context.
+    pub fn context(&self) -> &TrainContext {
+        &self.ctx
+    }
+
+    /// Runs one scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme execution errors.
+    pub fn run(&self, kind: SchemeKind) -> Result<RunResult> {
+        kind.run(&self.ctx)
+    }
+
+    /// Runs several schemes in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scheme failure.
+    pub fn run_many(&self, kinds: &[SchemeKind]) -> Result<Vec<RunResult>> {
+        kinds.iter().map(|k| self.run(*k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetConfig, ModelKind};
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig::builder()
+            .clients(4)
+            .groups(2)
+            .rounds(3)
+            .batch_size(4)
+            .eval_every(1)
+            .learning_rate(0.1)
+            .dataset(DatasetConfig {
+                classes: 3,
+                samples_per_class: 8,
+                test_per_class: 4,
+                image_size: 8,
+            })
+            .model(ModelKind::Mlp { hidden: vec![16] })
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runner_executes_every_scheme() {
+        let runner = Runner::new(tiny()).unwrap();
+        for kind in SchemeKind::all() {
+            let result = runner.run(kind).unwrap();
+            assert_eq!(result.records.len(), 3, "{kind}");
+            assert!(result.total_latency_s() > 0.0, "{kind}");
+            assert!(
+                result.records.last().unwrap().test_accuracy.is_some(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let runner = Runner::new(tiny()).unwrap();
+        let a = runner.run(SchemeKind::Gsfl).unwrap();
+        let b = runner.run(SchemeKind::Gsfl).unwrap();
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.train_loss, rb.train_loss);
+            assert_eq!(ra.test_accuracy, rb.test_accuracy);
+            assert_eq!(ra.round_latency_s, rb.round_latency_s);
+        }
+    }
+
+    #[test]
+    fn early_stop_truncates() {
+        let mut cfg = tiny();
+        cfg.target_accuracy = Some(0.0); // reached at the first eval
+        let runner = Runner::new(cfg).unwrap();
+        let result = runner.run(SchemeKind::Centralized).unwrap();
+        assert_eq!(result.records.len(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Shared training-loop machinery.
+
+use crate::config::ExperimentConfig;
+use crate::context::TrainContext;
+use crate::latency::RoundLatency;
+use crate::results::{RoundRecord, RunResult};
+use crate::Result;
+use gsfl_data::batcher::Batcher;
+use gsfl_data::dataset::ImageDataset;
+use gsfl_nn::loss::SoftmaxCrossEntropy;
+use gsfl_nn::metrics::evaluate;
+use gsfl_nn::optim::Sgd;
+use gsfl_nn::params::ParamVec;
+use gsfl_nn::split::SplitNetwork;
+use gsfl_nn::Sequential;
+use gsfl_tensor::rng::SeedDerive;
+use std::time::Instant;
+
+/// Builds the per-scheme SGD optimizer from the config.
+pub(crate) fn make_opt(cfg: &ExperimentConfig) -> Sgd {
+    Sgd::new(cfg.learning_rate).with_momentum(cfg.momentum)
+}
+
+/// Builds the per-client batcher (deterministic, client-unique stream).
+pub(crate) fn make_batcher(cfg: &ExperimentConfig, client: usize) -> Result<Batcher> {
+    Ok(Batcher::new(
+        cfg.batch_size,
+        SeedDerive::new(cfg.seed)
+            .child("batches")
+            .index(client as u64)
+            .seed(),
+    )?)
+}
+
+/// One epoch of split training over a shard: client forward → server
+/// forward → loss → server backward → smashed gradient → client backward,
+/// stepping both optimizers each mini-batch. Returns `(loss_sum, steps)`.
+pub(crate) fn split_train_epoch(
+    split: &mut SplitNetwork,
+    client_opt: &mut Sgd,
+    server_opt: &mut Sgd,
+    shard: &ImageDataset,
+    batcher: &Batcher,
+    epoch: u64,
+) -> Result<(f64, usize)> {
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut loss_sum = 0.0f64;
+    let mut steps = 0usize;
+    for batch in batcher.epoch(shard, epoch)? {
+        split.client.zero_grad();
+        split.server.zero_grad();
+        let smashed = split.client.forward(&batch.images)?;
+        let logits = split.server.forward(&smashed)?;
+        let out = loss_fn.compute(&logits, &batch.labels)?;
+        let grad_smashed = split.server.backward(&out.grad_logits)?;
+        split.client.backward(&grad_smashed)?;
+        server_opt.step(&mut split.server.params_mut())?;
+        client_opt.step(&mut split.client.params_mut())?;
+        loss_sum += out.loss as f64;
+        steps += 1;
+    }
+    Ok((loss_sum, steps))
+}
+
+/// One epoch of ordinary full-model training over a shard.
+pub(crate) fn full_train_epoch(
+    net: &mut Sequential,
+    opt: &mut Sgd,
+    shard: &ImageDataset,
+    batcher: &Batcher,
+    epoch: u64,
+) -> Result<(f64, usize)> {
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut loss_sum = 0.0f64;
+    let mut steps = 0usize;
+    for batch in batcher.epoch(shard, epoch)? {
+        net.zero_grad();
+        let logits = net.forward(&batch.images)?;
+        let out = loss_fn.compute(&logits, &batch.labels)?;
+        net.backward(&out.grad_logits)?;
+        opt.step(&mut net.params_mut())?;
+        loss_sum += out.loss as f64;
+        steps += 1;
+    }
+    Ok((loss_sum, steps))
+}
+
+/// Concatenates client-side and server-side parameter vectors into a
+/// full-model vector (valid because `split_at` preserves parameter order).
+pub(crate) fn join_params(client: &ParamVec, server: &ParamVec) -> ParamVec {
+    let mut v = Vec::with_capacity(client.len() + server.len());
+    v.extend_from_slice(client.values());
+    v.extend_from_slice(server.values());
+    ParamVec::from_values(v)
+}
+
+/// Whether `round` (1-based) is an evaluation round.
+pub(crate) fn should_eval(cfg: &ExperimentConfig, round: usize) -> bool {
+    round == 1 || round == cfg.rounds || round % cfg.eval_every == 0
+}
+
+/// Accumulates round records and produces the final [`RunResult`].
+pub(crate) struct Recorder {
+    scheme: &'static str,
+    records: Vec<RoundRecord>,
+    cumulative_s: f64,
+    started: Instant,
+}
+
+impl Recorder {
+    pub(crate) fn new(scheme: &'static str) -> Self {
+        Recorder {
+            scheme,
+            records: Vec::new(),
+            cumulative_s: 0.0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one round; returns the accuracy if this was an eval round.
+    pub(crate) fn push(
+        &mut self,
+        round: usize,
+        latency: RoundLatency,
+        train_loss: f64,
+        test_accuracy: Option<f64>,
+    ) {
+        self.cumulative_s += latency.duration.as_secs_f64();
+        self.records.push(RoundRecord {
+            round,
+            round_latency_s: latency.duration.as_secs_f64(),
+            cumulative_latency_s: self.cumulative_s,
+            train_loss,
+            test_accuracy,
+            bytes_up: latency.bytes.up,
+            bytes_down: latency.bytes.down,
+            client_energy_j: latency.client_energy_j,
+        });
+    }
+
+    pub(crate) fn finish(self, server_storage_bytes: u64, param_count: usize) -> RunResult {
+        RunResult {
+            scheme: self.scheme.to_string(),
+            records: self.records,
+            server_storage_bytes,
+            param_count,
+            wall_clock_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Evaluates a full-model parameter vector on the test set.
+pub(crate) fn eval_params(
+    ctx: &TrainContext,
+    template: &mut Sequential,
+    params: &ParamVec,
+) -> Result<f64> {
+    params.load_into(template)?;
+    let r = evaluate(
+        template,
+        ctx.test_set.images(),
+        ctx.test_set.labels(),
+        ctx.config.batch_size.max(32),
+    )?;
+    Ok(r.accuracy)
+}
+
+/// Whether an early-stop target has been hit.
+pub(crate) fn target_reached(cfg: &ExperimentConfig, acc: Option<f64>) -> bool {
+    match (cfg.target_accuracy, acc) {
+        (Some(t), Some(a)) => a >= t,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_params_concatenates() {
+        let a = ParamVec::from_values(vec![1.0, 2.0]);
+        let b = ParamVec::from_values(vec![3.0]);
+        assert_eq!(join_params(&a, &b).values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn eval_cadence() {
+        let cfg = ExperimentConfig::builder()
+            .clients(2)
+            .groups(1)
+            .rounds(10)
+            .eval_every(3)
+            .build()
+            .unwrap();
+        assert!(should_eval(&cfg, 1));
+        assert!(!should_eval(&cfg, 2));
+        assert!(should_eval(&cfg, 3));
+        assert!(should_eval(&cfg, 9));
+        assert!(should_eval(&cfg, 10)); // final round always
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        use crate::latency::{RoundBytes, RoundLatency};
+        use gsfl_wireless::units::Seconds;
+        let mut rec = Recorder::new("x");
+        rec.push(
+            1,
+            RoundLatency {
+                duration: Seconds::new(2.0),
+                bytes: RoundBytes { up: 5, down: 7 },
+                client_energy_j: 1.5,
+            },
+            1.0,
+            None,
+        );
+        rec.push(
+            2,
+            RoundLatency {
+                duration: Seconds::new(3.0),
+                bytes: RoundBytes::default(),
+                client_energy_j: 0.5,
+            },
+            0.5,
+            Some(0.9),
+        );
+        let result = rec.finish(42, 7);
+        assert_eq!(result.records.len(), 2);
+        assert_eq!(result.records[1].cumulative_latency_s, 5.0);
+        assert_eq!(result.server_storage_bytes, 42);
+    }
+
+    #[test]
+    fn target_reached_logic() {
+        let cfg = ExperimentConfig::builder()
+            .clients(2)
+            .groups(1)
+            .target_accuracy(0.8)
+            .build()
+            .unwrap();
+        assert!(!target_reached(&cfg, None));
+        assert!(!target_reached(&cfg, Some(0.5)));
+        assert!(target_reached(&cfg, Some(0.85)));
+        let no_target = ExperimentConfig::builder().clients(2).groups(1).build().unwrap();
+        assert!(!target_reached(&no_target, Some(1.0)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Training schemes: the GSFL contribution and its baselines.
+
+mod centralized;
+mod common;
+mod federated;
+mod gsfl;
+mod split;
+mod splitfed;
+
+pub use centralized::Centralized;
+pub use federated::Federated;
+pub use gsfl::Gsfl;
+pub use split::VanillaSplit;
+pub use splitfed::SplitFed;
+
+use crate::context::TrainContext;
+use crate::results::RunResult;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The schemes the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Centralized learning: all data pooled at the server.
+    Centralized,
+    /// Federated learning (FedAvg over full models).
+    Federated,
+    /// Vanilla split learning: strictly sequential clients, one
+    /// client-side and one server-side model, relay through the AP.
+    VanillaSplit,
+    /// SplitFed v1: all clients parallel, one server-side model per
+    /// client, FedAvg of both halves.
+    SplitFed,
+    /// Group-based split federated learning — the paper's contribution.
+    Gsfl,
+}
+
+impl SchemeKind {
+    /// Short lowercase name used in CSV output and file stems.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Centralized => "cl",
+            SchemeKind::Federated => "fl",
+            SchemeKind::VanillaSplit => "sl",
+            SchemeKind::SplitFed => "sfl",
+            SchemeKind::Gsfl => "gsfl",
+        }
+    }
+
+    /// All schemes, in the order the paper's Fig. 2(a) presents them.
+    pub fn all() -> [SchemeKind; 5] {
+        [
+            SchemeKind::Centralized,
+            SchemeKind::VanillaSplit,
+            SchemeKind::Gsfl,
+            SchemeKind::Federated,
+            SchemeKind::SplitFed,
+        ]
+    }
+
+    /// Runs the scheme against a context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, wireless or simulation errors.
+    pub fn run(&self, ctx: &TrainContext) -> Result<RunResult> {
+        match self {
+            SchemeKind::Centralized => Centralized::run(ctx),
+            SchemeKind::Federated => Federated::run(ctx),
+            SchemeKind::VanillaSplit => VanillaSplit::run(ctx),
+            SchemeKind::SplitFed => SplitFed::run(ctx),
+            SchemeKind::Gsfl => Gsfl::run(ctx),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            SchemeKind::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(SchemeKind::Gsfl.to_string(), "gsfl");
+    }
+}

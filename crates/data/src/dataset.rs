@@ -1,0 +1,208 @@
+//! Owned image-classification datasets.
+
+use crate::{DataError, Result};
+use gsfl_tensor::Tensor;
+
+/// An in-memory labelled image dataset.
+///
+/// Images are a single `[n, c, h, w]` tensor; labels are class indices.
+/// Datasets are immutable after construction — shards and subsets copy the
+/// selected samples, which keeps ownership simple across simulated clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageDataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Builds a dataset, validating label count and range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] when the leading image dimension does
+    /// not match `labels.len()`, or any label is ≥ `num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        let n = images.dims().first().copied().unwrap_or(0);
+        if n != labels.len() {
+            return Err(DataError::Config(format!(
+                "images have {n} samples but {} labels given",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::Config(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(ImageDataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor `[n, c, h, w]` (or `[n, d]` for flat features).
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Dims of a single sample (without the batch axis).
+    pub fn sample_dims(&self) -> Vec<usize> {
+        self.images.dims()[1..].to_vec()
+    }
+
+    /// Copies the samples at `indices` into a new dataset (order kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Partition`] when an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Result<ImageDataset> {
+        let images = self
+            .images
+            .gather_axis0(indices)
+            .map_err(|e| DataError::Partition(e.to_string()))?;
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            labels.push(self.labels[i]);
+        }
+        Ok(ImageDataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Splits into `(train, test)` with the first `train_fraction` of an
+    /// interleaved (round-robin by class) ordering going to train, so both
+    /// splits cover all classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] for fractions outside `(0, 1)`.
+    pub fn split_train_test(&self, train_fraction: f64) -> Result<(ImageDataset, ImageDataset)> {
+        if !(0.0 < train_fraction && train_fraction < 1.0) {
+            return Err(DataError::Config(format!(
+                "train_fraction must be in (0,1), got {train_fraction}"
+            )));
+        }
+        // Group indices per class, then take a per-class prefix for train.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class_indices in &per_class {
+            let cut = ((class_indices.len() as f64) * train_fraction).round() as usize;
+            let cut = cut.min(class_indices.len());
+            train_idx.extend_from_slice(&class_indices[..cut]);
+            test_idx.extend_from_slice(&class_indices[cut..]);
+        }
+        Ok((self.subset(&train_idx)?, self.subset(&test_idx)?))
+    }
+
+    /// Concatenates datasets with identical sample dims and class counts —
+    /// used by the centralized-learning baseline, which pools all client
+    /// shards at the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] for empty input or mismatched schemas.
+    pub fn concat(parts: &[&ImageDataset]) -> Result<ImageDataset> {
+        let first = parts
+            .first()
+            .ok_or_else(|| DataError::Config("concat needs at least one dataset".into()))?;
+        for p in parts {
+            if p.num_classes != first.num_classes || p.sample_dims() != first.sample_dims() {
+                return Err(DataError::Config(
+                    "concat: datasets have mismatched schema".into(),
+                ));
+            }
+        }
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| &p.images).collect();
+        let images = Tensor::concat_axis0(&tensors)?;
+        let labels = parts.iter().flat_map(|p| p.labels.iter().copied()).collect();
+        Ok(ImageDataset {
+            images,
+            labels,
+            num_classes: first.num_classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ImageDataset {
+        let images = Tensor::from_fn(&[6, 1, 2, 2], |i| i as f32);
+        ImageDataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(ImageDataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(ImageDataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(ImageDataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn subset_copies_selected() {
+        let ds = tiny();
+        let sub = ds.subset(&[4, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[1, 0]);
+        assert_eq!(sub.images().get(&[0, 0, 0, 0]).unwrap(), 16.0);
+        assert!(ds.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn split_covers_all_classes() {
+        let ds = tiny();
+        let (train, test) = ds.split_train_test(0.5).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        for c in 0..3 {
+            assert!(train.labels().contains(&c));
+            assert!(test.labels().contains(&c));
+        }
+        assert!(ds.split_train_test(0.0).is_err());
+        assert!(ds.split_train_test(1.0).is_err());
+    }
+
+    #[test]
+    fn concat_round_trip() {
+        let ds = tiny();
+        let a = ds.subset(&[0, 1, 2]).unwrap();
+        let b = ds.subset(&[3, 4, 5]).unwrap();
+        let joined = ImageDataset::concat(&[&a, &b]).unwrap();
+        assert_eq!(joined, ds);
+        assert!(ImageDataset::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn sample_dims() {
+        assert_eq!(tiny().sample_dims(), vec![1, 2, 2]);
+    }
+}

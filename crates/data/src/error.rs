@@ -1,0 +1,51 @@
+use gsfl_tensor::TensorError;
+use std::fmt;
+
+/// Error type for dataset generation and partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Generator or partitioner misconfiguration.
+    Config(String),
+    /// A partition request was inconsistent with the dataset.
+    Partition(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DataError::Partition(msg) => write!(f, "partition error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DataError::from(TensorError::InvalidArgument("bad".into()));
+        assert!(e.source().is_some());
+        assert!(DataError::Config("x".into()).to_string().contains("x"));
+    }
+}

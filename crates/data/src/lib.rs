@@ -1,0 +1,50 @@
+//! Synthetic GTSRB-like dataset and client partitioning.
+//!
+//! The paper evaluates on GTSRB (43-class traffic-sign photos). Real GTSRB
+//! is not available offline, so this crate implements the substitution
+//! documented in `DESIGN.md`: a **procedural traffic-sign generator**
+//! ([`synth`]) whose 43 classes are defined by sign shape, rim/field
+//! colours and an inner glyph, rendered with rotation / translation /
+//! scale / brightness / noise augmentation. The task keeps the properties
+//! that matter to the experiments — 43 classes, 3-channel images, enough
+//! intra-class variation that models need many SGD steps to converge — while
+//! exercising exactly the code paths a real dataset would.
+//!
+//! The crate also provides:
+//!
+//! * [`dataset::ImageDataset`] — an owned `(images, labels)` pair,
+//! * [`partition`] — IID, Dirichlet non-IID and shard partitioners that
+//!   split a dataset across clients,
+//! * [`batcher::Batcher`] — seeded, shuffling mini-batch iteration,
+//! * [`stats`] — class-distribution summaries.
+//!
+//! # Example
+//!
+//! ```
+//! use gsfl_data::synth::SynthGtsrb;
+//! use gsfl_data::partition::Partition;
+//!
+//! # fn main() -> Result<(), gsfl_data::DataError> {
+//! let ds = SynthGtsrb::builder().classes(5).samples_per_class(4).image_size(8).seed(1).generate()?;
+//! assert_eq!(ds.len(), 20);
+//! let parts = Partition::iid(&ds, 4, 7)?;
+//! assert_eq!(parts.client_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod batcher;
+pub mod dataset;
+pub mod partition;
+pub mod stats;
+pub mod synth;
+
+pub use error::DataError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,356 @@
+//! Client data partitioners.
+//!
+//! A [`Partition`] assigns every sample index of a dataset to exactly one
+//! client. Three strategies are provided:
+//!
+//! * [`Partition::iid`] — shuffle and deal round-robin (near-equal shard
+//!   sizes, matching class mix),
+//! * [`Partition::dirichlet`] — per-class Dirichlet(α) allocation, the
+//!   standard non-IID benchmark knob (small α ⇒ highly skewed clients),
+//! * [`Partition::shards`] — sort-by-label shard assignment (the original
+//!   FedAvg pathological non-IID construction).
+
+use crate::dataset::ImageDataset;
+use crate::{DataError, Result};
+use gsfl_tensor::rng::SeedDerive;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An assignment of dataset indices to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignments: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// IID partition: global shuffle, then round-robin deal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Partition`] when `clients` is zero or exceeds
+    /// the sample count.
+    pub fn iid(dataset: &ImageDataset, clients: usize, seed: u64) -> Result<Self> {
+        validate(dataset, clients)?;
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        let mut rng = SeedDerive::new(seed).child("iid").rng();
+        indices.shuffle(&mut rng);
+        let mut assignments = vec![Vec::new(); clients];
+        for (pos, idx) in indices.into_iter().enumerate() {
+            assignments[pos % clients].push(idx);
+        }
+        Ok(Partition { assignments })
+    }
+
+    /// Dirichlet non-IID partition: for every class, sample client
+    /// proportions from Dirichlet(α) and allocate that class's samples
+    /// accordingly. Small `alpha` (e.g. 0.1) concentrates each class on few
+    /// clients; large `alpha` (e.g. 100) approaches IID.
+    ///
+    /// Clients left empty by the draw are topped up with one sample stolen
+    /// from the largest shard, so every client can train.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Partition`] for zero clients / non-positive
+    /// alpha / more clients than samples.
+    pub fn dirichlet(
+        dataset: &ImageDataset,
+        clients: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        validate(dataset, clients)?;
+        if alpha.is_nan() || alpha <= 0.0 {
+            return Err(DataError::Partition(format!(
+                "dirichlet alpha must be > 0, got {alpha}"
+            )));
+        }
+        let mut rng = SeedDerive::new(seed).child("dirichlet").rng();
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+        for (i, &l) in dataset.labels().iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut assignments = vec![Vec::new(); clients];
+        for class_indices in per_class.iter_mut() {
+            if class_indices.is_empty() {
+                continue;
+            }
+            class_indices.shuffle(&mut rng);
+            let props = dirichlet_sample(alpha, clients, &mut rng);
+            // Convert proportions to cumulative boundaries over this class.
+            let n = class_indices.len();
+            let mut start = 0usize;
+            let mut acc = 0.0f64;
+            for (c, &p) in props.iter().enumerate() {
+                acc += p;
+                let end = if c + 1 == clients {
+                    n
+                } else {
+                    ((acc * n as f64).round() as usize).clamp(start, n)
+                };
+                assignments[c].extend_from_slice(&class_indices[start..end]);
+                start = end;
+            }
+        }
+        rebalance_empty(&mut assignments);
+        Ok(Partition { assignments })
+    }
+
+    /// Shard partition: sort by label, cut into `clients × shards_per_client`
+    /// shards, deal each client `shards_per_client` shards at random. With
+    /// `shards_per_client = 2` most clients see only ~2 classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Partition`] for zero clients/shards or more
+    /// total shards than samples.
+    pub fn shards(
+        dataset: &ImageDataset,
+        clients: usize,
+        shards_per_client: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        validate(dataset, clients)?;
+        if shards_per_client == 0 {
+            return Err(DataError::Partition("shards_per_client must be ≥ 1".into()));
+        }
+        let total_shards = clients * shards_per_client;
+        if total_shards > dataset.len() {
+            return Err(DataError::Partition(format!(
+                "{total_shards} shards exceed {} samples",
+                dataset.len()
+            )));
+        }
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        indices.sort_by_key(|&i| dataset.labels()[i]);
+        let mut shard_ids: Vec<usize> = (0..total_shards).collect();
+        let mut rng = SeedDerive::new(seed).child("shards").rng();
+        shard_ids.shuffle(&mut rng);
+        let shard_len = dataset.len() / total_shards;
+        let mut assignments = vec![Vec::new(); clients];
+        for (k, &shard) in shard_ids.iter().enumerate() {
+            let client = k / shards_per_client;
+            let from = shard * shard_len;
+            let to = if shard + 1 == total_shards {
+                dataset.len()
+            } else {
+                (shard + 1) * shard_len
+            };
+            assignments[client].extend_from_slice(&indices[from..to]);
+        }
+        rebalance_empty(&mut assignments);
+        Ok(Partition { assignments })
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Sample indices assigned to `client`.
+    pub fn client_indices(&self, client: usize) -> &[usize] {
+        &self.assignments[client]
+    }
+
+    /// Materializes each client's shard as an owned dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates subset errors (cannot occur for a partition built from
+    /// the same dataset).
+    pub fn materialize(&self, dataset: &ImageDataset) -> Result<Vec<ImageDataset>> {
+        self.assignments
+            .iter()
+            .map(|idx| dataset.subset(idx))
+            .collect()
+    }
+
+    /// Shard sizes per client.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.assignments.iter().map(Vec::len).collect()
+    }
+}
+
+fn validate(dataset: &ImageDataset, clients: usize) -> Result<()> {
+    if clients == 0 {
+        return Err(DataError::Partition("need at least one client".into()));
+    }
+    if clients > dataset.len() {
+        return Err(DataError::Partition(format!(
+            "{clients} clients exceed {} samples",
+            dataset.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Steals one sample from the largest shard for every empty shard.
+fn rebalance_empty(assignments: &mut [Vec<usize>]) {
+    loop {
+        let Some(empty) = assignments.iter().position(Vec::is_empty) else {
+            return;
+        };
+        let largest = assignments
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| a.len())
+            .map(|(i, _)| i)
+            .expect("non-empty slice");
+        if assignments[largest].len() <= 1 {
+            return; // cannot rebalance further
+        }
+        let moved = assignments[largest].pop().expect("largest is non-empty");
+        assignments[empty].push(moved);
+    }
+}
+
+/// Samples a Dirichlet(α, …, α) vector via normalized Gamma draws
+/// (Marsaglia–Tsang for α ≥ 1, boosted for α < 1).
+fn dirichlet_sample(alpha: f64, k: usize, rng: &mut rand_chacha::ChaCha8Rng) -> Vec<f64> {
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate fallback: uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+fn gamma_sample(alpha: f64, rng: &mut rand_chacha::ChaCha8Rng) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^(1/α).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal_sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+fn normal_sample(rng: &mut rand_chacha::ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_tensor::Tensor;
+
+    fn dataset(n: usize, classes: usize) -> ImageDataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| i as f32);
+        let labels = (0..n).map(|i| i % classes).collect();
+        ImageDataset::new(images, labels, classes).unwrap()
+    }
+
+    fn assert_is_partition(p: &Partition, n: usize) {
+        let mut seen = vec![false; n];
+        for c in 0..p.client_count() {
+            for &i in p.client_indices(c) {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index unassigned");
+    }
+
+    #[test]
+    fn iid_covers_all_evenly() {
+        let ds = dataset(100, 5);
+        let p = Partition::iid(&ds, 10, 1).unwrap();
+        assert_is_partition(&p, 100);
+        assert!(p.sizes().iter().all(|&s| s == 10));
+    }
+
+    #[test]
+    fn dirichlet_covers_all_and_skews() {
+        let ds = dataset(500, 5);
+        let p = Partition::dirichlet(&ds, 10, 0.2, 3).unwrap();
+        assert_is_partition(&p, 500);
+        // Low alpha should produce visibly unequal shard sizes.
+        let sizes = p.sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min, "alpha=0.2 should skew shard sizes: {sizes:?}");
+        // And every client must be non-empty after rebalancing.
+        assert!(min >= 1);
+    }
+
+    #[test]
+    fn dirichlet_large_alpha_is_near_uniform() {
+        let ds = dataset(1000, 4);
+        let p = Partition::dirichlet(&ds, 10, 1000.0, 3).unwrap();
+        let sizes = p.sizes();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "alpha=1000 should be near-uniform: {sizes:?}");
+    }
+
+    #[test]
+    fn shards_concentrate_labels() {
+        let ds = dataset(200, 10);
+        let p = Partition::shards(&ds, 10, 2, 5).unwrap();
+        assert_is_partition(&p, 200);
+        // Each client should see at most ~4 distinct labels (2 shards that
+        // may straddle a class boundary).
+        for c in 0..10 {
+            let mut labels: Vec<usize> = p
+                .client_indices(c)
+                .iter()
+                .map(|&i| ds.labels()[i])
+                .collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert!(labels.len() <= 4, "client {c} sees {} classes", labels.len());
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ds = dataset(10, 2);
+        assert!(Partition::iid(&ds, 0, 0).is_err());
+        assert!(Partition::iid(&ds, 11, 0).is_err());
+        assert!(Partition::dirichlet(&ds, 2, 0.0, 0).is_err());
+        assert!(Partition::shards(&ds, 2, 0, 0).is_err());
+        assert!(Partition::shards(&ds, 5, 3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset(60, 3);
+        let a = Partition::dirichlet(&ds, 6, 0.5, 9).unwrap();
+        let b = Partition::dirichlet(&ds, 6, 0.5, 9).unwrap();
+        let c = Partition::dirichlet(&ds, 6, 0.5, 10).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn materialize_builds_shard_datasets() {
+        let ds = dataset(30, 3);
+        let p = Partition::iid(&ds, 3, 0).unwrap();
+        let shards = p.materialize(&ds).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 30);
+    }
+}

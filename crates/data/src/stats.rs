@@ -1,0 +1,76 @@
+//! Dataset and partition statistics.
+
+use crate::dataset::ImageDataset;
+
+/// Per-class sample counts.
+pub fn class_histogram(dataset: &ImageDataset) -> Vec<usize> {
+    let mut hist = vec![0usize; dataset.num_classes()];
+    for &l in dataset.labels() {
+        hist[l] += 1;
+    }
+    hist
+}
+
+/// Number of distinct classes present.
+pub fn classes_present(dataset: &ImageDataset) -> usize {
+    class_histogram(dataset).iter().filter(|&&c| c > 0).count()
+}
+
+/// A label-skew measure in `[0, 1]`: normalized total-variation distance of
+/// the class distribution from uniform. 0 ⇒ perfectly balanced, →1 ⇒ all
+/// mass on one class.
+pub fn label_skew(dataset: &ImageDataset) -> f64 {
+    let hist = class_histogram(dataset);
+    let total: usize = hist.iter().sum();
+    if total == 0 || hist.len() <= 1 {
+        return 0.0;
+    }
+    let uniform = 1.0 / hist.len() as f64;
+    let tv: f64 = hist
+        .iter()
+        .map(|&c| (c as f64 / total as f64 - uniform).abs())
+        .sum::<f64>()
+        / 2.0;
+    // Max possible TV distance from uniform is 1 − 1/k.
+    tv / (1.0 - uniform)
+}
+
+/// Mean pixel value over the entire dataset.
+pub fn mean_pixel(dataset: &ImageDataset) -> f32 {
+    dataset.images().mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_tensor::Tensor;
+
+    fn dataset(labels: Vec<usize>, classes: usize) -> ImageDataset {
+        let n = labels.len();
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        ImageDataset::new(images, labels, classes).unwrap()
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let ds = dataset(vec![0, 0, 1, 2, 2, 2], 4);
+        assert_eq!(class_histogram(&ds), vec![2, 1, 3, 0]);
+        assert_eq!(classes_present(&ds), 3);
+    }
+
+    #[test]
+    fn skew_bounds() {
+        let balanced = dataset(vec![0, 1, 2, 0, 1, 2], 3);
+        assert!(label_skew(&balanced) < 1e-9);
+        let degenerate = dataset(vec![1, 1, 1, 1], 3);
+        assert!((label_skew(&degenerate) - 1.0).abs() < 1e-9);
+        let partial = dataset(vec![0, 0, 1], 2);
+        let s = label_skew(&partial);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn mean_pixel_of_zeros_is_zero() {
+        assert_eq!(mean_pixel(&dataset(vec![0], 1)), 0.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Procedural traffic-sign generator (the GTSRB substitution).
+//!
+//! Each of the up-to-43 classes is a unique combination of sign shape,
+//! rim colour, field colour and inner glyph, mirroring the visual taxonomy
+//! of real traffic signs (red-rimmed white triangles, blue circles, the
+//! red octagon, …). Samples are rendered analytically — every pixel is
+//! evaluated through an inverse affine transform (rotation, translation,
+//! scale) of the class's signed-shape functions — then perturbed with
+//! brightness jitter and additive noise, so no two samples are identical.
+
+mod palette;
+mod shapes;
+mod spec;
+
+pub use palette::Rgb;
+pub use shapes::{Glyph, SignShape};
+pub use spec::ClassSpec;
+
+use crate::dataset::ImageDataset;
+use crate::{DataError, Result};
+use gsfl_tensor::rng::SeedDerive;
+use gsfl_tensor::Tensor;
+use rand::Rng;
+
+/// Maximum number of distinct classes the spec table provides (matches
+/// GTSRB).
+pub const MAX_CLASSES: usize = 43;
+
+/// Builder for the synthetic GTSRB-like dataset.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_data::synth::SynthGtsrb;
+///
+/// # fn main() -> Result<(), gsfl_data::DataError> {
+/// let ds = SynthGtsrb::builder()
+///     .classes(43)
+///     .samples_per_class(10)
+///     .image_size(32)
+///     .seed(7)
+///     .generate()?;
+/// assert_eq!(ds.len(), 430);
+/// assert_eq!(ds.sample_dims(), vec![3, 32, 32]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthGtsrb {
+    classes: usize,
+    samples_per_class: usize,
+    image_size: usize,
+    seed: u64,
+    augment: Augment,
+}
+
+/// Augmentation ranges applied per sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Augment {
+    /// Max |rotation| in radians.
+    pub rotation: f32,
+    /// Max |translation| as a fraction of the half-image.
+    pub translation: f32,
+    /// Scale is drawn from `[1−scale_jitter, 1+scale_jitter]`.
+    pub scale_jitter: f32,
+    /// Brightness multiplier drawn from `[1−b, 1+b]`.
+    pub brightness: f32,
+    /// Std-dev of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Max deviation of the background grey level around its 0.42 centre.
+    pub background_jitter: f32,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment {
+            rotation: 0.18,      // ≈ ±10°
+            translation: 0.12,
+            scale_jitter: 0.12,
+            brightness: 0.25,
+            noise_std: 0.06,
+            background_jitter: 0.17,
+        }
+    }
+}
+
+impl Augment {
+    /// No augmentation at all — every sample of a class is identical.
+    pub fn none() -> Self {
+        Augment {
+            rotation: 0.0,
+            translation: 0.0,
+            scale_jitter: 0.0,
+            brightness: 0.0,
+            noise_std: 0.0,
+            background_jitter: 0.0,
+        }
+    }
+}
+
+impl SynthGtsrb {
+    /// Starts a builder with GTSRB-like defaults (43 classes, 32×32).
+    pub fn builder() -> Self {
+        SynthGtsrb {
+            classes: MAX_CLASSES,
+            samples_per_class: 100,
+            image_size: 32,
+            seed: 0,
+            augment: Augment::default(),
+        }
+    }
+
+    /// Sets the number of classes (≤ [`MAX_CLASSES`]).
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Sets samples per class.
+    pub fn samples_per_class(mut self, n: usize) -> Self {
+        self.samples_per_class = n;
+        self
+    }
+
+    /// Sets the square image size in pixels.
+    pub fn image_size(mut self, s: usize) -> Self {
+        self.image_size = s;
+        self
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the augmentation ranges.
+    pub fn augment(mut self, augment: Augment) -> Self {
+        self.augment = augment;
+        self
+    }
+
+    /// Generates the dataset: `classes × samples_per_class` images,
+    /// class-interleaved ordering (0,1,2,…,0,1,2,…).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] for zero sizes or too many classes.
+    pub fn generate(&self) -> Result<ImageDataset> {
+        if self.classes == 0 || self.classes > MAX_CLASSES {
+            return Err(DataError::Config(format!(
+                "classes must be 1..={MAX_CLASSES}, got {}",
+                self.classes
+            )));
+        }
+        if self.samples_per_class == 0 || self.image_size < 8 {
+            return Err(DataError::Config(
+                "samples_per_class ≥ 1 and image_size ≥ 8 required".into(),
+            ));
+        }
+        let specs = ClassSpec::table(self.classes);
+        let s = self.image_size;
+        let n = self.classes * self.samples_per_class;
+        let mut data = vec![0.0f32; n * 3 * s * s];
+        let mut labels = Vec::with_capacity(n);
+        let root = SeedDerive::new(self.seed).child("synth-gtsrb");
+
+        let mut sample_idx = 0usize;
+        for rep in 0..self.samples_per_class {
+            for (class, spec) in specs.iter().enumerate() {
+                let mut rng = root.index(class as u64).index(rep as u64).rng();
+                let jitter = SampleJitter::draw(&self.augment, &mut rng);
+                let offset = sample_idx * 3 * s * s;
+                render_sample(
+                    spec,
+                    &jitter,
+                    s,
+                    &mut data[offset..offset + 3 * s * s],
+                    &mut rng,
+                    self.augment.noise_std,
+                );
+                labels.push(class);
+                sample_idx += 1;
+            }
+        }
+        let images = Tensor::from_vec(data, &[n, 3, s, s])?;
+        ImageDataset::new(images, labels, self.classes)
+    }
+}
+
+/// Per-sample random transform parameters.
+#[derive(Debug, Clone, Copy)]
+struct SampleJitter {
+    cos_t: f32,
+    sin_t: f32,
+    dx: f32,
+    dy: f32,
+    inv_scale: f32,
+    brightness: f32,
+    background: Rgb,
+}
+
+impl SampleJitter {
+    fn draw(a: &Augment, rng: &mut rand_chacha::ChaCha8Rng) -> Self {
+        let theta: f32 = if a.rotation > 0.0 {
+            rng.gen_range(-a.rotation..=a.rotation)
+        } else {
+            0.0
+        };
+        let range = |r: f32, rng: &mut rand_chacha::ChaCha8Rng| -> f32 {
+            if r > 0.0 {
+                rng.gen_range(-r..=r)
+            } else {
+                0.0
+            }
+        };
+        let dx = range(a.translation, rng);
+        let dy = range(a.translation, rng);
+        let scale = 1.0 + range(a.scale_jitter, rng);
+        let brightness = 1.0 + range(a.brightness, rng);
+        // Muted random background (road/sky-ish grey tones).
+        let g: f32 = 0.42 + range(a.background_jitter, rng);
+        let tint: f32 = range(if a.background_jitter > 0.0 { 0.05 } else { 0.0 }, rng);
+        SampleJitter {
+            cos_t: theta.cos(),
+            sin_t: theta.sin(),
+            dx,
+            dy,
+            inv_scale: 1.0 / scale,
+            brightness,
+            background: Rgb::new(
+                (g + tint).clamp(0.0, 1.0),
+                g,
+                (g - tint).clamp(0.0, 1.0),
+            ),
+        }
+    }
+}
+
+/// Renders one sample into a `[3·s·s]` slice (channel-planar layout).
+fn render_sample(
+    spec: &ClassSpec,
+    j: &SampleJitter,
+    s: usize,
+    out: &mut [f32],
+    rng: &mut rand_chacha::ChaCha8Rng,
+    noise_std: f32,
+) {
+    let plane = s * s;
+    let half = (s as f32) / 2.0;
+    for py in 0..s {
+        for px in 0..s {
+            // Pixel centre in [-1, 1] image coordinates.
+            let x0 = (px as f32 + 0.5 - half) / half;
+            let y0 = (py as f32 + 0.5 - half) / half;
+            // Inverse transform into sign coordinates.
+            let xt = (x0 - j.dx) * j.inv_scale;
+            let yt = (y0 - j.dy) * j.inv_scale;
+            let u = j.cos_t * xt + j.sin_t * yt;
+            let v = -j.sin_t * xt + j.cos_t * yt;
+            let rgb = spec.color_at(u, v, j.background);
+            let idx = py * s + px;
+            let noise = |rng: &mut rand_chacha::ChaCha8Rng| -> f32 {
+                if noise_std > 0.0 {
+                    noise_std * gsfl_tensor::init::standard_normal(rng)
+                } else {
+                    0.0
+                }
+            };
+            out[idx] = (rgb.r * j.brightness + noise(rng)).clamp(0.0, 1.0);
+            out[plane + idx] = (rgb.g * j.brightness + noise(rng)).clamp(0.0, 1.0);
+            out[2 * plane + idx] = (rgb.b * j.brightness + noise(rng)).clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let ds = SynthGtsrb::builder()
+            .classes(5)
+            .samples_per_class(3)
+            .image_size(16)
+            .generate()
+            .unwrap();
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.num_classes(), 5);
+        // Class-interleaved ordering.
+        assert_eq!(&ds.labels()[..5], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let ds = SynthGtsrb::builder()
+            .classes(8)
+            .samples_per_class(2)
+            .image_size(16)
+            .generate()
+            .unwrap();
+        assert!(ds
+            .images()
+            .data()
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let make = |seed| {
+            SynthGtsrb::builder()
+                .classes(4)
+                .samples_per_class(2)
+                .image_size(12)
+                .seed(seed)
+                .generate()
+                .unwrap()
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    fn augmentation_makes_samples_differ_within_class() {
+        let ds = SynthGtsrb::builder()
+            .classes(1)
+            .samples_per_class(2)
+            .image_size(16)
+            .generate()
+            .unwrap();
+        let a = ds.images().slice_axis0(0..1).unwrap();
+        let b = ds.images().slice_axis0(1..2).unwrap();
+        assert!(!a.approx_eq(&b, 1e-3));
+    }
+
+    #[test]
+    fn no_augment_makes_identical_samples() {
+        let ds = SynthGtsrb::builder()
+            .classes(1)
+            .samples_per_class(2)
+            .image_size(16)
+            .augment(Augment::none())
+            .generate()
+            .unwrap();
+        let a = ds.images().slice_axis0(0..1).unwrap();
+        let b = ds.images().slice_axis0(1..2).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // 4×4-pooled spatial signatures of different classes must differ —
+        // a cheap proxy for "classifiable by a small CNN".
+        let ds = SynthGtsrb::builder()
+            .classes(43)
+            .samples_per_class(1)
+            .image_size(16)
+            .augment(Augment::none())
+            .generate()
+            .unwrap();
+        let mut sigs = Vec::new();
+        for i in 0..43 {
+            let img = ds.images().slice_axis0(i..i + 1).unwrap();
+            let d = img.data();
+            let mut sig = Vec::with_capacity(3 * 64);
+            for c in 0..3 {
+                for by in 0..8 {
+                    for bx in 0..8 {
+                        let mut acc = 0.0f32;
+                        for y in 0..2 {
+                            for x in 0..2 {
+                                acc += d[c * 256 + (by * 2 + y) * 16 + bx * 2 + x];
+                            }
+                        }
+                        sig.push(acc / 4.0);
+                    }
+                }
+            }
+            sigs.push(sig);
+        }
+        for i in 0..43 {
+            for k in (i + 1)..43 {
+                let dist: f32 = sigs[i]
+                    .iter()
+                    .zip(&sigs[k])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                assert!(
+                    dist > 1e-3,
+                    "classes {i} and {k} have near-identical colour signatures"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(SynthGtsrb::builder().classes(0).generate().is_err());
+        assert!(SynthGtsrb::builder().classes(44).generate().is_err());
+        assert!(SynthGtsrb::builder().samples_per_class(0).generate().is_err());
+        assert!(SynthGtsrb::builder().image_size(4).generate().is_err());
+    }
+}

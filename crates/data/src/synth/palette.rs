@@ -1,0 +1,78 @@
+//! Colour primitives for the sign renderer.
+
+/// An RGB colour with components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb {
+    /// Red component.
+    pub r: f32,
+    /// Green component.
+    pub g: f32,
+    /// Blue component.
+    pub b: f32,
+}
+
+impl Rgb {
+    /// Creates a colour (components are expected in `[0, 1]`).
+    pub const fn new(r: f32, g: f32, b: f32) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Traffic-sign red.
+    pub const RED: Rgb = Rgb::new(0.85, 0.08, 0.10);
+    /// Traffic-sign blue.
+    pub const BLUE: Rgb = Rgb::new(0.05, 0.25, 0.75);
+    /// Sign-face white.
+    pub const WHITE: Rgb = Rgb::new(0.95, 0.95, 0.95);
+    /// Warning yellow.
+    pub const YELLOW: Rgb = Rgb::new(0.95, 0.80, 0.10);
+    /// Glyph black.
+    pub const BLACK: Rgb = Rgb::new(0.05, 0.05, 0.05);
+    /// End-of-restriction grey.
+    pub const GREY: Rgb = Rgb::new(0.55, 0.55, 0.55);
+    /// Mandatory-sign green (rare but distinct).
+    pub const GREEN: Rgb = Rgb::new(0.05, 0.55, 0.20);
+    /// Orange (construction).
+    pub const ORANGE: Rgb = Rgb::new(0.95, 0.50, 0.05);
+
+    /// Linear interpolation toward `other` by `t ∈ [0, 1]`.
+    pub fn lerp(&self, other: Rgb, t: f32) -> Rgb {
+        Rgb::new(
+            self.r + (other.r - self.r) * t,
+            self.g + (other.g - self.g) * t,
+            self.b + (other.b - self.b) * t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgb::new(0.0, 0.0, 0.0);
+        let b = Rgb::new(1.0, 0.5, 0.25);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn palette_constants_in_range() {
+        for c in [
+            Rgb::RED,
+            Rgb::BLUE,
+            Rgb::WHITE,
+            Rgb::YELLOW,
+            Rgb::BLACK,
+            Rgb::GREY,
+            Rgb::GREEN,
+            Rgb::ORANGE,
+        ] {
+            for v in [c.r, c.g, c.b] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Analytic sign shapes and inner glyphs.
+//!
+//! Shapes are defined by membership functions over sign coordinates
+//! `(u, v) ∈ [-1, 1]²` (v grows downward, like pixel rows). Evaluating a
+//! shape at two scales yields the rim band: inside at scale 1 but outside
+//! at the inset scale ⇒ rim pixel.
+
+/// The outline of a traffic sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignShape {
+    /// Circular sign (prohibitions, mandatory).
+    Circle,
+    /// Upward triangle (warnings).
+    TriangleUp,
+    /// Downward triangle (yield).
+    TriangleDown,
+    /// Octagon (stop).
+    Octagon,
+    /// Diamond (priority road).
+    Diamond,
+    /// Square (information).
+    Square,
+}
+
+impl SignShape {
+    /// Whether `(u, v)` lies inside the shape scaled by `scale`.
+    pub fn contains(&self, u: f32, v: f32, scale: f32) -> bool {
+        if scale <= 0.0 {
+            return false;
+        }
+        let u = u / scale;
+        let v = v / scale;
+        const R: f32 = 0.92;
+        match self {
+            SignShape::Circle => u * u + v * v <= R * R,
+            SignShape::Square => u.abs().max(v.abs()) <= R * 0.88,
+            SignShape::Diamond => u.abs() + v.abs() <= R * 1.15,
+            SignShape::Octagon => {
+                let axis = u.abs().max(v.abs());
+                let diag = (u.abs() + v.abs()) / std::f32::consts::SQRT_2;
+                axis.max(diag) <= R * 0.88
+            }
+            SignShape::TriangleUp => {
+                // Apex at (0, −R), base at v = +R·0.8.
+                let base = R * 0.8;
+                if v > base || v < -R {
+                    return false;
+                }
+                let t = (v + R) / (base + R); // 0 at apex → 1 at base
+                u.abs() <= t * R * 0.95
+            }
+            SignShape::TriangleDown => SignShape::TriangleUp.contains(u, -v, 1.0),
+        }
+    }
+
+    /// All shapes, for building the class table.
+    pub fn all() -> [SignShape; 6] {
+        [
+            SignShape::Circle,
+            SignShape::TriangleUp,
+            SignShape::TriangleDown,
+            SignShape::Octagon,
+            SignShape::Diamond,
+            SignShape::Square,
+        ]
+    }
+}
+
+/// The inner pictogram of a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Glyph {
+    /// Empty face.
+    None,
+    /// Horizontal bar (no entry).
+    HBar,
+    /// Vertical bar.
+    VBar,
+    /// Filled central dot.
+    Dot,
+    /// Plus/cross.
+    Cross,
+    /// Diagonal slash (end of restriction).
+    Slash,
+    /// Two stacked dots.
+    TwoDots,
+    /// Hollow ring.
+    Ring,
+    /// Downward chevron.
+    Chevron,
+    /// Small centred square.
+    SquareDot,
+}
+
+impl Glyph {
+    /// Whether `(u, v)` lies on the glyph (drawn in glyph colour above the
+    /// sign field).
+    pub fn contains(&self, u: f32, v: f32) -> bool {
+        match self {
+            Glyph::None => false,
+            Glyph::HBar => u.abs() <= 0.55 && v.abs() <= 0.14,
+            Glyph::VBar => u.abs() <= 0.14 && v.abs() <= 0.55,
+            Glyph::Dot => u * u + v * v <= 0.24 * 0.24,
+            Glyph::Cross => {
+                (u.abs() <= 0.13 && v.abs() <= 0.5) || (v.abs() <= 0.13 && u.abs() <= 0.5)
+            }
+            Glyph::Slash => (u + v).abs() <= 0.16 && u.abs() <= 0.6 && v.abs() <= 0.6,
+            Glyph::TwoDots => {
+                let d1 = u * u + (v + 0.3) * (v + 0.3);
+                let d2 = u * u + (v - 0.3) * (v - 0.3);
+                d1 <= 0.16 * 0.16 || d2 <= 0.16 * 0.16
+            }
+            Glyph::Ring => {
+                let d = (u * u + v * v).sqrt();
+                (0.22..=0.38).contains(&d)
+            }
+            Glyph::Chevron => {
+                let w = (v - u.abs() * 0.8).abs();
+                w <= 0.14 && (-0.4..=0.55).contains(&v) && u.abs() <= 0.55
+            }
+            Glyph::SquareDot => u.abs().max(v.abs()) <= 0.33,
+        }
+    }
+
+    /// All glyphs, for building the class table.
+    pub fn all() -> [Glyph; 10] {
+        [
+            Glyph::None,
+            Glyph::HBar,
+            Glyph::VBar,
+            Glyph::Dot,
+            Glyph::Cross,
+            Glyph::Slash,
+            Glyph::TwoDots,
+            Glyph::Ring,
+            Glyph::Chevron,
+            Glyph::SquareDot,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_contain_origin() {
+        for s in SignShape::all() {
+            assert!(s.contains(0.0, 0.0, 1.0), "{s:?} must contain origin");
+        }
+    }
+
+    #[test]
+    fn all_shapes_exclude_far_corner() {
+        for s in SignShape::all() {
+            assert!(!s.contains(1.0, 1.0, 1.0), "{s:?} must exclude (1,1)");
+        }
+    }
+
+    #[test]
+    fn smaller_scale_is_subset() {
+        // A point inside at scale 0.7 must be inside at scale 1.0.
+        let pts = [(0.0, 0.5), (0.3, -0.2), (-0.4, 0.1), (0.2, 0.2)];
+        for s in SignShape::all() {
+            for &(u, v) in &pts {
+                if s.contains(u, v, 0.7) {
+                    assert!(s.contains(u, v, 1.0), "{s:?} scale monotonicity at ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangles_are_mirrored() {
+        assert_eq!(
+            SignShape::TriangleUp.contains(0.2, -0.5, 1.0),
+            SignShape::TriangleDown.contains(0.2, 0.5, 1.0)
+        );
+    }
+
+    #[test]
+    fn zero_scale_contains_nothing() {
+        for s in SignShape::all() {
+            assert!(!s.contains(0.0, 0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinguishable_by_coverage() {
+        // Each glyph pair must differ at some probe grid point.
+        let glyphs = Glyph::all();
+        let probes: Vec<(f32, f32)> = (0..=24)
+            .flat_map(|i| (0..=24).map(move |j| (i as f32 / 12.0 - 1.0, j as f32 / 12.0 - 1.0)))
+            .collect();
+        for i in 0..glyphs.len() {
+            for k in (i + 1)..glyphs.len() {
+                let differ = probes
+                    .iter()
+                    .any(|&(u, v)| glyphs[i].contains(u, v) != glyphs[k].contains(u, v));
+                assert!(differ, "{:?} and {:?} identical on probe grid", glyphs[i], glyphs[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn none_glyph_is_empty() {
+        for u in [-0.5f32, 0.0, 0.5] {
+            for v in [-0.5f32, 0.0, 0.5] {
+                assert!(!Glyph::None.contains(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Class specifications: the 43-entry sign taxonomy.
+
+use super::palette::Rgb;
+use super::shapes::{Glyph, SignShape};
+
+/// Visual definition of one sign class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSpec {
+    /// Outline shape.
+    pub shape: SignShape,
+    /// Rim (border band) colour.
+    pub rim: Rgb,
+    /// Inner field colour.
+    pub field: Rgb,
+    /// Inner pictogram.
+    pub glyph: Glyph,
+    /// Pictogram colour.
+    pub glyph_color: Rgb,
+}
+
+/// Fraction of the shape occupied by the inner field; the band between
+/// `FIELD_SCALE` and 1.0 is the rim.
+const FIELD_SCALE: f32 = 0.72;
+
+impl ClassSpec {
+    /// Colour of the sign at sign coordinates `(u, v)`; `background` is
+    /// returned outside the outline.
+    pub fn color_at(&self, u: f32, v: f32, background: Rgb) -> Rgb {
+        if !self.shape.contains(u, v, 1.0) {
+            return background;
+        }
+        if !self.shape.contains(u, v, FIELD_SCALE) {
+            return self.rim;
+        }
+        if self.glyph.contains(u, v) {
+            return self.glyph_color;
+        }
+        self.field
+    }
+
+    /// The deterministic class table: the first `classes` entries of the
+    /// 43-class taxonomy. Entries are constructed so that every pair of
+    /// classes differs in shape, colours or glyph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes > 43` — callers validate against
+    /// [`super::MAX_CLASSES`] first.
+    pub fn table(classes: usize) -> Vec<ClassSpec> {
+        assert!(classes <= super::MAX_CLASSES, "at most 43 classes");
+        // Sign "families", echoing real GTSRB structure: prohibitory
+        // (red-rim white circles), warning (red-rim white triangles),
+        // mandatory (blue circles), and a tail of distinctive specials.
+        let mut table = Vec::with_capacity(super::MAX_CLASSES);
+
+        // Family 1: prohibitory — red-rimmed white circles, 10 glyph variants.
+        for glyph in Glyph::all() {
+            table.push(ClassSpec {
+                shape: SignShape::Circle,
+                rim: Rgb::RED,
+                field: Rgb::WHITE,
+                glyph,
+                glyph_color: Rgb::BLACK,
+            });
+        }
+        // Family 2: warning — red-rimmed white triangles, 10 glyph variants.
+        for glyph in Glyph::all() {
+            table.push(ClassSpec {
+                shape: SignShape::TriangleUp,
+                rim: Rgb::RED,
+                field: Rgb::WHITE,
+                glyph,
+                glyph_color: Rgb::BLACK,
+            });
+        }
+        // Family 3: mandatory — blue circles with white glyphs, 10 variants.
+        for glyph in Glyph::all() {
+            table.push(ClassSpec {
+                shape: SignShape::Circle,
+                rim: Rgb::BLUE,
+                field: Rgb::BLUE,
+                glyph,
+                glyph_color: Rgb::WHITE,
+            });
+        }
+        // Family 4: end-of-restriction — grey-slashed white circles with
+        // grey glyphs, 5 variants.
+        for glyph in [Glyph::HBar, Glyph::VBar, Glyph::Dot, Glyph::Cross, Glyph::Ring] {
+            table.push(ClassSpec {
+                shape: SignShape::Circle,
+                rim: Rgb::GREY,
+                field: Rgb::WHITE,
+                glyph,
+                glyph_color: Rgb::GREY,
+            });
+        }
+        // Family 5: specials — unique shape/colour signatures.
+        table.push(ClassSpec {
+            shape: SignShape::Octagon,
+            rim: Rgb::WHITE,
+            field: Rgb::RED,
+            glyph: Glyph::HBar,
+            glyph_color: Rgb::WHITE,
+        }); // stop
+        table.push(ClassSpec {
+            shape: SignShape::TriangleDown,
+            rim: Rgb::RED,
+            field: Rgb::WHITE,
+            glyph: Glyph::None,
+            glyph_color: Rgb::BLACK,
+        }); // yield
+        table.push(ClassSpec {
+            shape: SignShape::Diamond,
+            rim: Rgb::WHITE,
+            field: Rgb::YELLOW,
+            glyph: Glyph::None,
+            glyph_color: Rgb::BLACK,
+        }); // priority road
+        table.push(ClassSpec {
+            shape: SignShape::Square,
+            rim: Rgb::WHITE,
+            field: Rgb::BLUE,
+            glyph: Glyph::SquareDot,
+            glyph_color: Rgb::WHITE,
+        }); // parking-ish info
+        table.push(ClassSpec {
+            shape: SignShape::TriangleUp,
+            rim: Rgb::ORANGE,
+            field: Rgb::YELLOW,
+            glyph: Glyph::Chevron,
+            glyph_color: Rgb::BLACK,
+        }); // construction
+        table.push(ClassSpec {
+            shape: SignShape::Circle,
+            rim: Rgb::GREEN,
+            field: Rgb::WHITE,
+            glyph: Glyph::Dot,
+            glyph_color: Rgb::GREEN,
+        });
+        table.push(ClassSpec {
+            shape: SignShape::Square,
+            rim: Rgb::YELLOW,
+            field: Rgb::GREY,
+            glyph: Glyph::Cross,
+            glyph_color: Rgb::YELLOW,
+        });
+        table.push(ClassSpec {
+            shape: SignShape::Diamond,
+            rim: Rgb::ORANGE,
+            field: Rgb::WHITE,
+            glyph: Glyph::VBar,
+            glyph_color: Rgb::ORANGE,
+        });
+
+        debug_assert_eq!(table.len(), super::MAX_CLASSES);
+        table.truncate(classes);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_43_distinct_entries() {
+        let table = ClassSpec::table(43);
+        assert_eq!(table.len(), 43);
+        for i in 0..table.len() {
+            for k in (i + 1)..table.len() {
+                assert_ne!(table[i], table[k], "classes {i} and {k} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn table_truncates() {
+        assert_eq!(ClassSpec::table(7).len(), 7);
+        assert_eq!(ClassSpec::table(0).len(), 0);
+    }
+
+    #[test]
+    fn color_regions_layered_correctly() {
+        let spec = ClassSpec::table(1)[0]; // red-rim white circle, no glyph
+        let bg = Rgb::new(0.3, 0.3, 0.3);
+        // Outside → background.
+        assert_eq!(spec.color_at(1.0, 1.0, bg), bg);
+        // Centre → field.
+        assert_eq!(spec.color_at(0.0, 0.0, bg), Rgb::WHITE);
+        // Rim band: just inside the outline but outside the field.
+        assert_eq!(spec.color_at(0.85, 0.0, bg), Rgb::RED);
+    }
+
+    #[test]
+    fn glyph_drawn_over_field() {
+        // Class 3 is the red-rim circle with a black dot.
+        let table = ClassSpec::table(43);
+        let spec = table[3];
+        assert_eq!(spec.glyph, Glyph::Dot);
+        let bg = Rgb::GREY;
+        assert_eq!(spec.color_at(0.0, 0.0, bg), Rgb::BLACK);
+        assert_eq!(spec.color_at(0.0, 0.5, bg), Rgb::WHITE);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use gsfl_data::batcher::Batcher;
+use gsfl_data::dataset::ImageDataset;
+use gsfl_data::partition::Partition;
+use gsfl_data::synth::SynthGtsrb;
+use gsfl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn dataset(n: usize, classes: usize) -> ImageDataset {
+    let images = Tensor::from_fn(&[n, 2], |i| i as f32);
+    let labels = (0..n).map(|i| i % classes).collect();
+    ImageDataset::new(images, labels, classes).unwrap()
+}
+
+fn assert_partition_valid(p: &Partition, n: usize) -> Result<(), TestCaseError> {
+    let mut seen = vec![false; n];
+    for c in 0..p.client_count() {
+        for &i in p.client_indices(c) {
+            prop_assert!(!seen[i], "index {} assigned twice", i);
+            seen[i] = true;
+        }
+    }
+    prop_assert!(seen.iter().all(|&s| s), "unassigned sample");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iid_partition_is_exact_cover(
+        n in 10usize..200,
+        clients in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(clients <= n);
+        let ds = dataset(n, 5);
+        let p = Partition::iid(&ds, clients, seed).unwrap();
+        assert_partition_valid(&p, n)?;
+        // Near-equal shard sizes.
+        let sizes = p.sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn dirichlet_partition_is_exact_cover(
+        n in 20usize..200,
+        clients in 2usize..8,
+        alpha in 0.05f64..50.0,
+        seed in 0u64..1000,
+    ) {
+        let ds = dataset(n, 4);
+        let p = Partition::dirichlet(&ds, clients, alpha, seed).unwrap();
+        assert_partition_valid(&p, n)?;
+        prop_assert!(p.sizes().iter().all(|&s| s >= 1), "empty shard after rebalance");
+    }
+
+    #[test]
+    fn shards_partition_is_exact_cover(
+        clients in 2usize..8,
+        per in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let n = 120;
+        let ds = dataset(n, 6);
+        prop_assume!(clients * per <= n);
+        let p = Partition::shards(&ds, clients, per, seed).unwrap();
+        assert_partition_valid(&p, n)?;
+    }
+
+    #[test]
+    fn batcher_epoch_is_exact_cover(
+        n in 1usize..100,
+        batch in 1usize..20,
+        epoch in 0u64..10,
+    ) {
+        let ds = dataset(n, 2);
+        let b = Batcher::new(batch, 3).unwrap();
+        let mut seen = vec![0usize; n];
+        for batch in b.epoch(&ds, epoch).unwrap() {
+            for r in 0..batch.labels.len() {
+                // Features are [2i, 2i+1], so the sample id is value/2.
+                let id = batch.images.get(&[r, 0]).unwrap() as usize / 2;
+                seen[id] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn generator_deterministic_and_bounded(
+        classes in 1usize..10,
+        per in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let make = || SynthGtsrb::builder()
+            .classes(classes)
+            .samples_per_class(per)
+            .image_size(8)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        let a = make();
+        prop_assert_eq!(&a, &make());
+        prop_assert!(a.images().data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert_eq!(a.len(), classes * per);
+    }
+
+    #[test]
+    fn subset_concat_identity(n in 2usize..60, cut_frac in 0.1f64..0.9) {
+        let ds = dataset(n, 3);
+        let cut = ((n as f64) * cut_frac) as usize;
+        let head: Vec<usize> = (0..cut).collect();
+        let tail: Vec<usize> = (cut..n).collect();
+        let a = ds.subset(&head).unwrap();
+        let b = ds.subset(&tail).unwrap();
+        let joined = ImageDataset::concat(&[&a, &b]).unwrap();
+        prop_assert_eq!(joined, ds);
+    }
+}

@@ -1,0 +1,106 @@
+use gsfl_tensor::TensorError;
+use std::fmt;
+
+/// Error type for the neural-network stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// Layer that was misused.
+        layer: String,
+    },
+    /// A network or layer was configured inconsistently.
+    Config(String),
+    /// A cut index was out of range for the network depth.
+    InvalidCut {
+        /// Requested cut index.
+        cut: usize,
+        /// Number of layers in the network.
+        depth: usize,
+    },
+    /// Labels passed to a loss were inconsistent with the logits.
+    LabelMismatch {
+        /// Number of logit rows.
+        logits_rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label value exceeded the class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Parameter vector length mismatch during load/aggregate.
+    ParamLenMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::Config(msg) => write!(f, "configuration error: {msg}"),
+            NnError::InvalidCut { cut, depth } => {
+                write!(f, "cut index {cut} invalid for network of depth {depth}")
+            }
+            NnError::LabelMismatch {
+                logits_rows,
+                labels,
+            } => write!(
+                f,
+                "label count {labels} does not match logit rows {logits_rows}"
+            ),
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::ParamLenMismatch { expected, actual } => {
+                write!(f, "parameter vector length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error;
+        let err = NnError::from(TensorError::InvalidArgument("x".into()));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

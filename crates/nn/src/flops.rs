@@ -1,0 +1,99 @@
+//! Floating-point operation accounting.
+//!
+//! The wireless latency model charges `flops / device_rate` seconds for
+//! each computation, so every layer reports an estimate of its forward and
+//! backward cost per sample. The estimates use the standard conventions:
+//! a multiply-accumulate counts as 2 FLOPs, and a backward pass through a
+//! GEMM-shaped layer costs roughly twice its forward pass (one GEMM for the
+//! input gradient, one for the weight gradient).
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Forward/backward FLOPs per sample for one layer (or a sum of layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerFlops {
+    /// Forward-pass FLOPs per sample.
+    pub forward: u64,
+    /// Backward-pass FLOPs per sample.
+    pub backward: u64,
+}
+
+impl LayerFlops {
+    /// A cost of zero (identity-ish layers).
+    pub fn zero() -> Self {
+        LayerFlops::default()
+    }
+
+    /// A layer whose backward pass costs twice its forward pass — the GEMM
+    /// convention.
+    pub fn gemm(forward: u64) -> Self {
+        LayerFlops {
+            forward,
+            backward: forward * 2,
+        }
+    }
+
+    /// An elementwise layer: backward costs the same as forward.
+    pub fn elementwise(forward: u64) -> Self {
+        LayerFlops {
+            forward,
+            backward: forward,
+        }
+    }
+
+    /// Total of forward and backward.
+    pub fn total(&self) -> u64 {
+        self.forward + self.backward
+    }
+
+    /// Scales both directions by a sample count.
+    pub fn for_batch(&self, batch: usize) -> LayerFlops {
+        LayerFlops {
+            forward: self.forward * batch as u64,
+            backward: self.backward * batch as u64,
+        }
+    }
+}
+
+impl Add for LayerFlops {
+    type Output = LayerFlops;
+
+    fn add(self, rhs: LayerFlops) -> LayerFlops {
+        LayerFlops {
+            forward: self.forward + rhs.forward,
+            backward: self.backward + rhs.backward,
+        }
+    }
+}
+
+impl Sum for LayerFlops {
+    fn sum<I: Iterator<Item = LayerFlops>>(iter: I) -> Self {
+        iter.fold(LayerFlops::zero(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_backward_is_double() {
+        let f = LayerFlops::gemm(100);
+        assert_eq!(f.backward, 200);
+        assert_eq!(f.total(), 300);
+    }
+
+    #[test]
+    fn sum_and_batch_scale() {
+        let total: LayerFlops = [LayerFlops::gemm(10), LayerFlops::elementwise(5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.forward, 15);
+        assert_eq!(total.backward, 25);
+        let batched = total.for_batch(4);
+        assert_eq!(batched.forward, 60);
+        assert_eq!(batched.backward, 100);
+    }
+}

@@ -1,0 +1,17 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};

@@ -1,0 +1,205 @@
+//! Evaluation metrics.
+
+use crate::layer::Mode;
+use crate::loss::SoftmaxCrossEntropy;
+use crate::{NnError, Result, Sequential};
+use gsfl_tensor::Tensor;
+
+/// Result of evaluating a classifier on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Fraction of correct top-1 predictions in `[0, 1]`.
+    pub accuracy: f64,
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+impl EvalResult {
+    /// Accuracy as a percentage in `[0, 100]`.
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy * 100.0
+    }
+}
+
+/// Evaluates `net` on `(images, labels)` in mini-batches, in eval mode.
+/// The network's previous mode is restored afterwards.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelMismatch`] when `labels.len()` differs from the
+/// leading dimension of `images`, or propagates shape errors.
+pub fn evaluate(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<EvalResult> {
+    let n = images.dims().first().copied().unwrap_or(0);
+    if n != labels.len() {
+        return Err(NnError::LabelMismatch {
+            logits_rows: n,
+            labels: labels.len(),
+        });
+    }
+    if batch_size == 0 {
+        return Err(NnError::Config("batch_size must be ≥ 1".into()));
+    }
+    let prev_mode = net.mode();
+    net.set_mode(Mode::Eval);
+    let loss_fn = SoftmaxCrossEntropy::new();
+    let mut correct = 0usize;
+    let mut loss_sum = 0.0f64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let xb = images.slice_axis0(start..end)?;
+        let yb = &labels[start..end];
+        let logits = net.forward(&xb)?;
+        let out = loss_fn.compute(&logits, yb)?;
+        loss_sum += out.loss as f64 * (end - start) as f64;
+        let preds = logits.argmax_rows()?;
+        correct += preds.iter().zip(yb).filter(|(p, y)| p == y).count();
+        start = end;
+    }
+    net.set_mode(prev_mode);
+    Ok(EvalResult {
+        accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+        loss: if n == 0 { 0.0 } else { loss_sum / n as f64 },
+        samples: n,
+    })
+}
+
+/// A square confusion matrix: `m[true][pred]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelOutOfRange`] for labels ≥ `classes`.
+    pub fn record(&mut self, truth: usize, pred: usize) -> Result<()> {
+        if truth >= self.classes {
+            return Err(NnError::LabelOutOfRange {
+                label: truth,
+                classes: self.classes,
+            });
+        }
+        if pred >= self.classes {
+            return Err(NnError::LabelOutOfRange {
+                label: pred,
+                classes: self.classes,
+            });
+        }
+        self.counts[truth * self.classes + pred] += 1;
+        Ok(())
+    }
+
+    /// Count for a `(true, predicted)` cell.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal over row sum), `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+
+    #[test]
+    fn evaluate_random_net_on_trivial_task() {
+        // A zero-weight net predicts class 0 for everything (ties broken
+        // toward index 0), so accuracy = fraction of label-0 samples.
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 3, 0));
+        for p in net.params_mut() {
+            p.value_mut().fill(0.0);
+        }
+        let images = Tensor::zeros(&[4, 2]);
+        let labels = [0usize, 0, 1, 2];
+        let r = evaluate(&mut net, &images, &labels, 2).unwrap();
+        assert_eq!(r.samples, 4);
+        assert!((r.accuracy - 0.5).abs() < 1e-9);
+        assert!((r.loss - (3.0f64.ln())).abs() < 1e-4);
+    }
+
+    #[test]
+    fn evaluate_validates_inputs() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 3, 0));
+        let images = Tensor::zeros(&[4, 2]);
+        assert!(evaluate(&mut net, &images, &[0, 1], 2).is_err());
+        assert!(evaluate(&mut net, &images, &[0, 1, 2, 0], 0).is_err());
+    }
+
+    #[test]
+    fn evaluate_restores_mode() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, 0));
+        net.set_mode(Mode::Train);
+        let images = Tensor::zeros(&[2, 2]);
+        evaluate(&mut net, &images, &[0, 1], 2).unwrap();
+        assert_eq!(net.mode(), Mode::Train);
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_and_recall() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(0, 1).unwrap();
+        m.record(1, 1).unwrap();
+        assert_eq!(m.total(), 4);
+        assert!((m.accuracy() - 0.75).abs() < 1e-9);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.recall(1).unwrap(), 1.0);
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record(0, 5).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert!(m.recall(1).is_none());
+    }
+}

@@ -1,0 +1,253 @@
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::{NnError, Result, Sequential};
+use gsfl_tensor::rng::SeedDerive;
+
+/// Named cut points of the [`DeepThin`] network, exposing the cut-layer
+/// selection axis the paper lists as future work (§IV).
+///
+/// The value of each variant is where the client/server boundary falls;
+/// deeper cuts put more computation on the client but shrink the smashed
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutPoint {
+    /// After the first convolution + ReLU (client does one conv).
+    AfterConv1,
+    /// After the first pooling stage — the paper-style shallow client cut
+    /// (default).
+    AfterPool1,
+    /// After the second convolution + ReLU.
+    AfterConv2,
+    /// After the second pooling stage.
+    AfterPool2,
+    /// After the first dense layer + ReLU (client holds almost everything).
+    AfterFc1,
+}
+
+impl CutPoint {
+    /// The layer index in the [`DeepThin`] sequential pipeline.
+    pub fn layer_index(&self) -> usize {
+        match self {
+            CutPoint::AfterConv1 => 2,
+            CutPoint::AfterPool1 => 3,
+            CutPoint::AfterConv2 => 5,
+            CutPoint::AfterPool2 => 7,
+            CutPoint::AfterFc1 => 9,
+        }
+    }
+
+    /// All cut points in depth order, for ablation sweeps.
+    pub fn all() -> [CutPoint; 5] {
+        [
+            CutPoint::AfterConv1,
+            CutPoint::AfterPool1,
+            CutPoint::AfterConv2,
+            CutPoint::AfterPool2,
+            CutPoint::AfterFc1,
+        ]
+    }
+
+    /// Short name used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CutPoint::AfterConv1 => "conv1",
+            CutPoint::AfterPool1 => "pool1",
+            CutPoint::AfterConv2 => "conv2",
+            CutPoint::AfterPool2 => "pool2",
+            CutPoint::AfterFc1 => "fc1",
+        }
+    }
+}
+
+impl std::fmt::Display for CutPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builder for the DeepThin-style lightweight traffic-sign CNN.
+///
+/// The architecture follows the paper's reference \[4\] in spirit — a small
+/// two-stage Conv/ReLU/Pool trunk and a two-layer dense head, sized for
+/// CPU-only training:
+///
+/// ```text
+/// conv(3→c1, 3×3, same) → relu → maxpool(2)
+/// conv(c1→c2, 3×3, same) → relu → maxpool(2)
+/// flatten → dense(c2·(s/4)² → fc) → relu → dense(fc → classes)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use gsfl_nn::model::{CutPoint, DeepThin};
+///
+/// # fn main() -> Result<(), gsfl_nn::NnError> {
+/// let net = DeepThin::builder(32, 43).seed(7).build()?;
+/// assert_eq!(net.output_shape(&[1, 3, 32, 32])?, vec![1, 43]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeepThin {
+    image_size: usize,
+    classes: usize,
+    conv1_channels: usize,
+    conv2_channels: usize,
+    fc_width: usize,
+    seed: u64,
+}
+
+impl DeepThin {
+    /// Starts a builder for `image_size`×`image_size` RGB inputs and
+    /// `classes` output classes, with GTSRB-appropriate default widths.
+    pub fn builder(image_size: usize, classes: usize) -> Self {
+        DeepThin {
+            image_size,
+            classes,
+            conv1_channels: 16,
+            conv2_channels: 32,
+            fc_width: 128,
+            seed: 0,
+        }
+    }
+
+    /// Sets the first conv stage width.
+    pub fn conv1_channels(mut self, c: usize) -> Self {
+        self.conv1_channels = c;
+        self
+    }
+
+    /// Sets the second conv stage width.
+    pub fn conv2_channels(mut self, c: usize) -> Self {
+        self.conv2_channels = c;
+        self
+    }
+
+    /// Sets the dense hidden width.
+    pub fn fc_width(mut self, w: usize) -> Self {
+        self.fc_width = w;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the sequential network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] when `image_size` is not divisible by 4
+    /// (two pooling stages) or any width is zero.
+    pub fn build(&self) -> Result<Sequential> {
+        if self.image_size % 4 != 0 || self.image_size == 0 {
+            return Err(NnError::Config(format!(
+                "image_size must be a positive multiple of 4, got {}",
+                self.image_size
+            )));
+        }
+        if self.classes == 0
+            || self.conv1_channels == 0
+            || self.conv2_channels == 0
+            || self.fc_width == 0
+        {
+            return Err(NnError::Config("all widths must be ≥ 1".into()));
+        }
+        let seeds = SeedDerive::new(self.seed).child("deepthin");
+        let spatial = self.image_size / 4;
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, self.conv1_channels, 3, 1, 1, seeds.index(0).seed()));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Conv2d::new(
+            self.conv1_channels,
+            self.conv2_channels,
+            3,
+            1,
+            1,
+            seeds.index(1).seed(),
+        ));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Flatten::new());
+        net.push(Dense::new(
+            self.conv2_channels * spatial * spatial,
+            self.fc_width,
+            seeds.index(2).seed(),
+        ));
+        net.push(Relu::new());
+        net.push(Dense::new(
+            self.fc_width,
+            self.classes,
+            seeds.index(3).seed(),
+        ));
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_tensor::Tensor;
+
+    #[test]
+    fn builds_and_runs_forward() {
+        let mut net = DeepThin::builder(16, 10).seed(1).build().unwrap();
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn depth_matches_cut_points() {
+        let net = DeepThin::builder(32, 43).build().unwrap();
+        assert_eq!(net.depth(), 10);
+        for cp in CutPoint::all() {
+            assert!(cp.layer_index() < net.depth());
+            assert!(cp.layer_index() > 0);
+        }
+    }
+
+    #[test]
+    fn cut_points_are_strictly_increasing() {
+        let idx: Vec<usize> = CutPoint::all().iter().map(|c| c.layer_index()).collect();
+        for pair in idx.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn deeper_cuts_shrink_smashed_data() {
+        // For a 32×32 input the activation sizes shrink monotonically at
+        // pool boundaries; check pool1 vs pool2 vs fc1.
+        let net = DeepThin::builder(32, 43).build().unwrap();
+        let dims_at = |cut: CutPoint| -> usize {
+            let (client, _) = net.clone().split_at(cut.layer_index()).unwrap();
+            client.output_shape(&[1, 3, 32, 32]).unwrap().iter().product()
+        };
+        let pool1 = dims_at(CutPoint::AfterPool1);
+        let pool2 = dims_at(CutPoint::AfterPool2);
+        let fc1 = dims_at(CutPoint::AfterFc1);
+        assert!(pool1 > pool2, "{pool1} vs {pool2}");
+        assert!(pool2 > fc1, "{pool2} vs {fc1}");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(DeepThin::builder(30, 43).build().is_err());
+        assert!(DeepThin::builder(32, 0).build().is_err());
+        assert!(DeepThin::builder(32, 10).fc_width(0).build().is_err());
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = DeepThin::builder(16, 5).seed(3).build().unwrap();
+        let b = DeepThin::builder(16, 5).seed(3).build().unwrap();
+        let c = DeepThin::builder(16, 5).seed(4).build().unwrap();
+        use crate::params::ParamVec;
+        assert_eq!(ParamVec::from_network(&a), ParamVec::from_network(&b));
+        assert_ne!(ParamVec::from_network(&a), ParamVec::from_network(&c));
+    }
+}

@@ -1,0 +1,76 @@
+use crate::layers::{Dense, Relu};
+use crate::Sequential;
+use gsfl_tensor::rng::SeedDerive;
+
+/// A plain multi-layer perceptron — the fast model for unit and
+/// integration tests, and for flat-feature workloads.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_nn::model::Mlp;
+///
+/// let net = Mlp::new(8, &[16, 16], 4, 0).into_sequential();
+/// assert_eq!(net.depth(), 5); // dense+relu, dense+relu, dense
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    net: Sequential,
+}
+
+impl Mlp {
+    /// Builds an MLP `input → hidden… → classes` with ReLU between layers.
+    pub fn new(input: usize, hidden: &[usize], classes: usize, seed: u64) -> Self {
+        let seeds = SeedDerive::new(seed).child("mlp");
+        let mut net = Sequential::new();
+        let mut prev = input;
+        for (i, &h) in hidden.iter().enumerate() {
+            net.push(Dense::new(prev, h, seeds.index(i as u64).seed()));
+            net.push(Relu::new());
+            prev = h;
+        }
+        net.push(Dense::new(
+            prev,
+            classes,
+            seeds.index(hidden.len() as u64).seed(),
+        ));
+        Mlp { net }
+    }
+
+    /// Unwraps into the underlying [`Sequential`].
+    pub fn into_sequential(self) -> Sequential {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_tensor::Tensor;
+
+    #[test]
+    fn no_hidden_layers_is_logistic_regression() {
+        let mut net = Mlp::new(4, &[], 3, 0).into_sequential();
+        assert_eq!(net.depth(), 1);
+        let y = net.forward(&Tensor::zeros(&[2, 4])).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn hidden_layers_alternate_dense_relu() {
+        let net = Mlp::new(4, &[8, 6], 2, 0).into_sequential();
+        let names = net.layer_names();
+        assert_eq!(
+            names,
+            vec!["dense(4→8)", "relu", "dense(8→6)", "relu", "dense(6→2)"]
+        );
+    }
+
+    #[test]
+    fn deterministic_init() {
+        use crate::params::ParamVec;
+        let a = Mlp::new(4, &[8], 2, 7).into_sequential();
+        let b = Mlp::new(4, &[8], 2, 7).into_sequential();
+        assert_eq!(ParamVec::from_network(&a), ParamVec::from_network(&b));
+    }
+}

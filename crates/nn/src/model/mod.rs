@@ -1,0 +1,7 @@
+//! Model zoo: the lightweight traffic-sign CNN and an MLP for fast tests.
+
+mod deepthin;
+mod mlp;
+
+pub use deepthin::{CutPoint, DeepThin};
+pub use mlp::Mlp;

@@ -1,0 +1,82 @@
+use gsfl_tensor::Tensor;
+
+/// A trainable parameter: its value and the gradient accumulated by the
+/// most recent backward pass.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_nn::Parameter;
+/// use gsfl_tensor::Tensor;
+///
+/// let mut p = Parameter::new(Tensor::ones(&[2, 2]));
+/// assert_eq!(p.grad().sum(), 0.0);
+/// p.grad_mut().fill(1.0);
+/// p.zero_grad();
+/// assert_eq!(p.grad().sum(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Parameter {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Parameter { value, grad }
+    }
+
+    /// The parameter value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the parameter value (used by optimizers and
+    /// aggregation).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable access to the gradient (used by layer backward passes).
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero();
+    }
+
+    /// Number of scalar elements in this parameter.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_starts_zeroed_with_matching_shape() {
+        let p = Parameter::new(Tensor::ones(&[3, 4]));
+        assert_eq!(p.grad().dims(), &[3, 4]);
+        assert_eq!(p.grad().sum(), 0.0);
+        assert_eq!(p.numel(), 12);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Parameter::new(Tensor::ones(&[2]));
+        p.grad_mut().fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad().sum(), 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Flattened parameter vectors: the unit of model exchange.
+//!
+//! When a model (or model half) crosses a wireless link or is aggregated by
+//! FedAvg, it travels as a [`ParamVec`] — a flat `Vec<f32>` snapshot of all
+//! parameters in network order. This gives a single place for wire-size
+//! accounting and makes aggregation simple dense algebra.
+
+use crate::{NnError, Result, Sequential};
+use serde::{Deserialize, Serialize};
+
+/// A flat snapshot of a network's parameters.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_nn::{Sequential, layers::Dense, params::ParamVec};
+///
+/// # fn main() -> Result<(), gsfl_nn::NnError> {
+/// let mut a = Sequential::new();
+/// a.push(Dense::new(2, 2, 1));
+/// let snapshot = ParamVec::from_network(&a);
+/// let mut b = Sequential::new();
+/// b.push(Dense::new(2, 2, 99)); // different init
+/// snapshot.load_into(&mut b)?;  // now identical to a
+/// assert_eq!(ParamVec::from_network(&b), snapshot);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamVec {
+    values: Vec<f32>,
+}
+
+impl ParamVec {
+    /// Snapshots all parameters of a network.
+    pub fn from_network(net: &Sequential) -> Self {
+        let mut values = Vec::with_capacity(net.param_count());
+        for p in net.params() {
+            values.extend_from_slice(p.value().data());
+        }
+        ParamVec { values }
+    }
+
+    /// Builds a vector from raw values.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        ParamVec { values }
+    }
+
+    /// The flat values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Wire size in bytes (4 per scalar).
+    pub fn wire_bytes(&self) -> u64 {
+        4 * self.values.len() as u64
+    }
+
+    /// Writes this snapshot back into a network with the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLenMismatch`] when the network's parameter
+    /// count differs.
+    pub fn load_into(&self, net: &mut Sequential) -> Result<()> {
+        if net.param_count() != self.values.len() {
+            return Err(NnError::ParamLenMismatch {
+                expected: net.param_count(),
+                actual: self.values.len(),
+            });
+        }
+        let mut off = 0;
+        for p in net.params_mut() {
+            let n = p.numel();
+            p.value_mut()
+                .data_mut()
+                .copy_from_slice(&self.values[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Euclidean distance to another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLenMismatch`] when lengths differ.
+    pub fn l2_distance(&self, other: &ParamVec) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(NnError::ParamLenMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt())
+    }
+}
+
+/// Weighted average of parameter vectors — the FedAvg aggregation rule.
+///
+/// `models` and `weights` must be equal-length and non-empty; weights are
+/// normalized internally, so absolute scales (e.g. sample counts) can be
+/// passed directly.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] for empty inputs or non-positive total
+/// weight, [`NnError::ParamLenMismatch`] when vector lengths disagree.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_nn::params::{fed_avg, ParamVec};
+///
+/// # fn main() -> Result<(), gsfl_nn::NnError> {
+/// let a = ParamVec::from_values(vec![0.0, 0.0]);
+/// let b = ParamVec::from_values(vec![2.0, 4.0]);
+/// let avg = fed_avg(&[a, b], &[1.0, 1.0])?;
+/// assert_eq!(avg.values(), &[1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fed_avg(models: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
+    if models.is_empty() || models.len() != weights.len() {
+        return Err(NnError::Config(format!(
+            "fed_avg needs matching non-empty models/weights, got {}/{}",
+            models.len(),
+            weights.len()
+        )));
+    }
+    let total: f64 = weights.iter().sum();
+    if total.is_nan() || total <= 0.0 {
+        return Err(NnError::Config("fed_avg total weight must be > 0".into()));
+    }
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(NnError::Config("fed_avg weights must be ≥ 0".into()));
+    }
+    let len = models[0].len();
+    let mut acc = vec![0.0f64; len];
+    for (m, &w) in models.iter().zip(weights) {
+        if m.len() != len {
+            return Err(NnError::ParamLenMismatch {
+                expected: len,
+                actual: m.len(),
+            });
+        }
+        let frac = w / total;
+        for (a, &v) in acc.iter_mut().zip(m.values()) {
+            *a += frac * v as f64;
+        }
+    }
+    Ok(ParamVec::from_values(
+        acc.into_iter().map(|v| v as f32).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+
+    fn net(seed: u64) -> Sequential {
+        let mut n = Sequential::new();
+        n.push(Dense::new(3, 4, seed));
+        n.push(Relu::new());
+        n.push(Dense::new(4, 2, seed + 1));
+        n
+    }
+
+    #[test]
+    fn snapshot_load_round_trip() {
+        let a = net(1);
+        let snap = ParamVec::from_network(&a);
+        assert_eq!(snap.len(), a.param_count());
+        let mut b = net(99);
+        assert_ne!(ParamVec::from_network(&b), snap);
+        snap.load_into(&mut b).unwrap();
+        assert_eq!(ParamVec::from_network(&b), snap);
+    }
+
+    #[test]
+    fn load_rejects_wrong_layout() {
+        let a = net(1);
+        let snap = ParamVec::from_network(&a);
+        let mut tiny = Sequential::new();
+        tiny.push(Dense::new(2, 2, 0));
+        assert!(matches!(
+            snap.load_into(&mut tiny),
+            Err(NnError::ParamLenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fed_avg_of_identical_models_is_identity() {
+        let snap = ParamVec::from_network(&net(5));
+        let avg = fed_avg(&[snap.clone(), snap.clone(), snap.clone()], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(avg.l2_distance(&snap).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn fed_avg_weighted_mean() {
+        let a = ParamVec::from_values(vec![0.0]);
+        let b = ParamVec::from_values(vec![4.0]);
+        let avg = fed_avg(&[a, b], &[3.0, 1.0]).unwrap();
+        assert!((avg.values()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fed_avg_validates() {
+        assert!(fed_avg(&[], &[]).is_err());
+        let a = ParamVec::from_values(vec![0.0]);
+        let b = ParamVec::from_values(vec![0.0, 1.0]);
+        assert!(fed_avg(&[a.clone(), b], &[1.0, 1.0]).is_err());
+        assert!(fed_avg(std::slice::from_ref(&a), &[0.0]).is_err());
+        assert!(fed_avg(&[a.clone(), a], &[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_is_4x() {
+        assert_eq!(ParamVec::from_values(vec![0.0; 10]).wire_bytes(), 40);
+    }
+
+    #[test]
+    fn l2_distance_basic() {
+        let a = ParamVec::from_values(vec![0.0, 3.0]);
+        let b = ParamVec::from_values(vec![4.0, 0.0]);
+        assert!((a.l2_distance(&b).unwrap() - 5.0).abs() < 1e-6);
+        let c = ParamVec::from_values(vec![0.0]);
+        assert!(a.l2_distance(&c).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the neural-network stack.
+
+use gsfl_nn::layers::{Dense, Relu};
+use gsfl_nn::loss::SoftmaxCrossEntropy;
+use gsfl_nn::params::{fed_avg, ParamVec};
+use gsfl_nn::split::SplitNetwork;
+use gsfl_nn::Sequential;
+use gsfl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn mlp(input: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Dense::new(input, hidden, seed));
+    net.push(Relu::new());
+    net.push(Dense::new(hidden, classes, seed + 1));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_preserves_function_at_any_cut(
+        seed in 0u64..500,
+        cut in 1usize..3,
+        batch in 1usize..5,
+    ) {
+        let mut whole = mlp(6, 8, 3, seed);
+        let x = Tensor::from_fn(&[batch, 6], |i| ((i * 31 + seed as usize) % 17) as f32 * 0.1 - 0.8);
+        let expect = whole.forward(&x).unwrap();
+        let mut split = SplitNetwork::split(mlp(6, 8, 3, seed), cut).unwrap();
+        let smashed = split.client.forward(&x).unwrap();
+        let got = split.server.forward(&smashed).unwrap();
+        prop_assert!(got.approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn fed_avg_is_convex_combination(
+        a_fill in -5.0f32..5.0,
+        b_fill in -5.0f32..5.0,
+        w1 in 0.01f64..10.0,
+        w2 in 0.01f64..10.0,
+    ) {
+        let a = ParamVec::from_values(vec![a_fill; 20]);
+        let b = ParamVec::from_values(vec![b_fill; 20]);
+        let avg = fed_avg(&[a, b], &[w1, w2]).unwrap();
+        let lo = a_fill.min(b_fill) - 1e-4;
+        let hi = a_fill.max(b_fill) + 1e-4;
+        prop_assert!(avg.values().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn fed_avg_idempotent_on_identical_models(seed in 0u64..500, k in 1usize..6) {
+        let snap = ParamVec::from_network(&mlp(4, 6, 2, seed));
+        let copies: Vec<ParamVec> = (0..k).map(|_| snap.clone()).collect();
+        let weights: Vec<f64> = (1..=k).map(|w| w as f64).collect();
+        let avg = fed_avg(&copies, &weights).unwrap();
+        prop_assert!(avg.l2_distance(&snap).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn fed_avg_permutation_invariant(sa in 0u64..100, sb in 0u64..100, sc in 0u64..100) {
+        let a = ParamVec::from_network(&mlp(4, 5, 2, sa));
+        let b = ParamVec::from_network(&mlp(4, 5, 2, sb + 1000));
+        let c = ParamVec::from_network(&mlp(4, 5, 2, sc + 2000));
+        let x = fed_avg(&[a.clone(), b.clone(), c.clone()], &[1.0, 2.0, 3.0]).unwrap();
+        let y = fed_avg(&[c, a, b], &[3.0, 1.0, 2.0]).unwrap();
+        prop_assert!(x.l2_distance(&y).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn snapshot_load_round_trip(seed in 0u64..500) {
+        let src = mlp(5, 7, 3, seed);
+        let snap = ParamVec::from_network(&src);
+        let mut dst = mlp(5, 7, 3, seed + 777);
+        snap.load_into(&mut dst).unwrap();
+        prop_assert_eq!(ParamVec::from_network(&dst), snap);
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero_per_row(
+        seed in 0u64..500,
+        rows in 1usize..6,
+        cols in 2usize..8,
+    ) {
+        let logits = Tensor::from_fn(&[rows, cols], |i| (((i as u64 + seed) * 2654435761 % 1000) as f32) / 100.0 - 5.0);
+        let labels: Vec<usize> = (0..rows).map(|r| (r + seed as usize) % cols).collect();
+        let out = SoftmaxCrossEntropy::new().compute(&logits, &labels).unwrap();
+        prop_assert!(out.loss.is_finite());
+        for r in 0..rows {
+            let s: f32 = out.grad_logits.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_sgd_step_on_correct_label_reduces_loss(seed in 0u64..300) {
+        use gsfl_nn::optim::Sgd;
+        let mut net = mlp(4, 6, 3, seed);
+        let x = Tensor::from_fn(&[4, 4], |i| ((i * 13 + seed as usize) % 11) as f32 * 0.1);
+        let labels = [0usize, 1, 2, 0];
+        let loss_fn = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(0.05);
+        let logits = net.forward(&x).unwrap();
+        let before = loss_fn.compute(&logits, &labels).unwrap();
+        net.zero_grad();
+        net.forward(&x).unwrap();
+        net.backward(&before.grad_logits).unwrap();
+        opt.step(&mut net.params_mut()).unwrap();
+        let logits = net.forward(&x).unwrap();
+        let after = loss_fn.compute(&logits, &labels).unwrap();
+        prop_assert!(after.loss <= before.loss + 1e-6,
+            "loss rose: {} -> {}", before.loss, after.loss);
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Error type for task-graph construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A task referenced an unknown task id as a dependency.
+    UnknownTask {
+        /// The offending id value.
+        id: usize,
+    },
+    /// A task referenced an unknown resource id.
+    UnknownResource {
+        /// The offending id value.
+        id: usize,
+    },
+    /// A duration was negative or non-finite.
+    InvalidDuration(String),
+    /// The graph contains a dependency cycle (some tasks never became
+    /// ready).
+    Cycle {
+        /// Number of tasks that could not be scheduled.
+        stuck: usize,
+    },
+    /// Miscellaneous construction error.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTask { id } => write!(f, "unknown task id {id}"),
+            SimError::UnknownResource { id } => write!(f, "unknown resource id {id}"),
+            SimError::InvalidDuration(msg) => write!(f, "invalid duration: {msg}"),
+            SimError::Cycle { stuck } => {
+                write!(f, "dependency cycle: {stuck} tasks never became ready")
+            }
+            SimError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(SimError::Cycle { stuck: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,193 @@
+//! Task-graph construction.
+
+use crate::{Result, SimError, SimTime};
+
+/// Opaque task handle returned by [`TaskGraph::add_task`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+/// Opaque resource handle returned by [`TaskGraph::add_resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct TaskNode {
+    pub label: String,
+    pub duration: SimTime,
+    pub resource: Option<ResourceId>,
+    pub deps: Vec<TaskId>,
+    pub dependents: Vec<TaskId>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ResourceNode {
+    pub label: String,
+    pub slots: usize,
+}
+
+/// A directed acyclic graph of timed tasks, some of which demand a slot on
+/// a k-server FIFO resource for their whole duration.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_simnet::{SimTime, TaskGraph};
+///
+/// # fn main() -> Result<(), gsfl_simnet::SimError> {
+/// let mut g = TaskGraph::new();
+/// let cpu = g.add_resource("cpu", 2);
+/// let a = g.add_task("load", SimTime::new(0.5), None, &[])?;
+/// let _b = g.add_task("process", SimTime::new(2.0), Some(cpu), &[a])?;
+/// assert_eq!(g.task_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<TaskNode>,
+    pub(crate) resources: Vec<ResourceNode>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Declares a resource with `slots` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is zero — a zero-capacity resource can never
+    /// run anything, so this is a construction-time programming error.
+    pub fn add_resource(&mut self, label: impl Into<String>, slots: usize) -> ResourceId {
+        assert!(slots > 0, "resource must have at least one slot");
+        self.resources.push(ResourceNode {
+            label: label.into(),
+            slots,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a task with a fixed `duration`, an optional resource demand,
+    /// and precedence dependencies `deps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDuration`] for negative or non-finite
+    /// durations, [`SimError::UnknownTask`] / [`SimError::UnknownResource`]
+    /// for dangling references. (Forward references are impossible since
+    /// ids are only handed out by this graph.)
+    pub fn add_task(
+        &mut self,
+        label: impl Into<String>,
+        duration: SimTime,
+        resource: Option<ResourceId>,
+        deps: &[TaskId],
+    ) -> Result<TaskId> {
+        let secs = duration.as_secs_f64();
+        if secs < 0.0 || !secs.is_finite() {
+            return Err(SimError::InvalidDuration(format!("{secs}")));
+        }
+        if let Some(ResourceId(r)) = resource {
+            if r >= self.resources.len() {
+                return Err(SimError::UnknownResource { id: r });
+            }
+        }
+        for &TaskId(d) in deps {
+            if d >= self.tasks.len() {
+                return Err(SimError::UnknownTask { id: d });
+            }
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(TaskNode {
+            label: label.into(),
+            duration,
+            resource,
+            deps: deps.to_vec(),
+            dependents: Vec::new(),
+        });
+        for &dep in deps {
+            self.tasks[dep.0].dependents.push(id);
+        }
+        Ok(id)
+    }
+
+    /// Convenience: a task that depends on everything in `deps` and takes
+    /// zero time — a join/barrier node.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TaskGraph::add_task`].
+    pub fn add_barrier(&mut self, label: impl Into<String>, deps: &[TaskId]) -> Result<TaskId> {
+        self.add_task(label, SimTime::ZERO, None, deps)
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The label of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign [`TaskId`] (ids are only valid for the graph
+    /// that produced them).
+    pub fn task_label(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_sequential() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", SimTime::ZERO, None, &[]).unwrap();
+        let b = g.add_task("b", SimTime::ZERO, None, &[a]).unwrap();
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.task_label(b), "b");
+    }
+
+    #[test]
+    fn validation() {
+        let mut g = TaskGraph::new();
+        assert!(matches!(
+            g.add_task("x", SimTime::new(-1.0), None, &[]),
+            Err(SimError::InvalidDuration(_))
+        ));
+        assert!(matches!(
+            g.add_task("x", SimTime::ZERO, None, &[TaskId(5)]),
+            Err(SimError::UnknownTask { id: 5 })
+        ));
+        assert!(matches!(
+            g.add_task("x", SimTime::ZERO, Some(ResourceId(0)), &[]),
+            Err(SimError::UnknownResource { id: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_resource_panics() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_resource("bad", 0);
+    }
+
+    #[test]
+    fn barrier_is_zero_duration() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", SimTime::new(1.0), None, &[]).unwrap();
+        let j = g.add_barrier("join", &[a]).unwrap();
+        assert_eq!(g.tasks[j.0].duration, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,373 @@
+//! The event-driven executor.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::trace::Span;
+use crate::{Result, SimError, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// The deterministic discrete-event executor (see [`Simulator::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    _priv: (),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Event {
+    Ready(TaskId),
+    Complete(TaskId),
+}
+
+impl Simulator {
+    /// Executes the graph and returns the full schedule.
+    ///
+    /// Scheduling rules:
+    /// * a task becomes *ready* when all dependencies have completed;
+    /// * a task without a resource starts the moment it is ready;
+    /// * a task with a resource starts when a slot is free, in FIFO order
+    ///   of readiness (ties broken by task insertion order);
+    /// * durations are fixed; no preemption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Cycle`] when some tasks never become ready
+    /// (dependency cycle).
+    pub fn run(graph: &TaskGraph) -> Result<Schedule> {
+        let n = graph.tasks.len();
+        let mut indegree: Vec<usize> = graph.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut start = vec![SimTime::ZERO; n];
+        let mut finish = vec![SimTime::ZERO; n];
+        let mut done = vec![false; n];
+        let mut free_slots: Vec<usize> = graph.resources.iter().map(|r| r.slots).collect();
+        let mut waiting: Vec<VecDeque<TaskId>> =
+            graph.resources.iter().map(|_| VecDeque::new()).collect();
+        let mut busy_time: Vec<f64> = vec![0.0; graph.resources.len()];
+
+        // Priority queue of (time, seq, event); seq gives deterministic
+        // FIFO tie-breaking.
+        let mut queue: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Event> = Vec::new();
+        let push = |queue: &mut BinaryHeap<Reverse<(SimTime, usize, usize)>>,
+                        events: &mut Vec<Event>,
+                        t: SimTime,
+                        ev: Event| {
+            let seq = events.len();
+            events.push(ev);
+            queue.push(Reverse((t, seq, seq)));
+        };
+
+        for (i, t) in graph.tasks.iter().enumerate() {
+            if t.deps.is_empty() {
+                push(&mut queue, &mut events, SimTime::ZERO, Event::Ready(TaskId(i)));
+            }
+        }
+
+        let mut completed = 0usize;
+        while let Some(Reverse((now, _, ev_idx))) = queue.pop() {
+            match events[ev_idx] {
+                Event::Ready(task) => {
+                    let node = &graph.tasks[task.0];
+                    match node.resource {
+                        None => {
+                            start[task.0] = now;
+                            push(
+                                &mut queue,
+                                &mut events,
+                                now + node.duration,
+                                Event::Complete(task),
+                            );
+                        }
+                        Some(r) => {
+                            if free_slots[r.0] > 0 {
+                                free_slots[r.0] -= 1;
+                                start[task.0] = now;
+                                busy_time[r.0] += node.duration.as_secs_f64();
+                                push(
+                                    &mut queue,
+                                    &mut events,
+                                    now + node.duration,
+                                    Event::Complete(task),
+                                );
+                            } else {
+                                waiting[r.0].push_back(task);
+                            }
+                        }
+                    }
+                }
+                Event::Complete(task) => {
+                    let node = &graph.tasks[task.0];
+                    finish[task.0] = now;
+                    done[task.0] = true;
+                    completed += 1;
+                    // Release the resource slot and admit the next waiter.
+                    if let Some(r) = node.resource {
+                        if let Some(next) = waiting[r.0].pop_front() {
+                            let next_node = &graph.tasks[next.0];
+                            start[next.0] = now;
+                            busy_time[r.0] += next_node.duration.as_secs_f64();
+                            push(
+                                &mut queue,
+                                &mut events,
+                                now + next_node.duration,
+                                Event::Complete(next),
+                            );
+                        } else {
+                            free_slots[r.0] += 1;
+                        }
+                    }
+                    // Wake dependents.
+                    for &dep in &node.dependents {
+                        indegree[dep.0] -= 1;
+                        if indegree[dep.0] == 0 {
+                            push(&mut queue, &mut events, now, Event::Ready(dep));
+                        }
+                    }
+                }
+            }
+        }
+
+        if completed != n {
+            return Err(SimError::Cycle { stuck: n - completed });
+        }
+
+        let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let spans = (0..n)
+            .map(|i| Span {
+                task: TaskId(i),
+                label: graph.tasks[i].label.clone(),
+                resource: graph.tasks[i].resource,
+                start: start[i],
+                end: finish[i],
+            })
+            .collect();
+        Ok(Schedule {
+            start,
+            finish,
+            makespan,
+            spans,
+            busy_time,
+            resource_labels: graph.resources.iter().map(|r| r.label.clone()).collect(),
+        })
+    }
+}
+
+/// The result of executing a [`TaskGraph`].
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    start: Vec<SimTime>,
+    finish: Vec<SimTime>,
+    makespan: SimTime,
+    spans: Vec<Span>,
+    busy_time: Vec<f64>,
+    resource_labels: Vec<String>,
+}
+
+impl Schedule {
+    /// When the whole graph finished.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Start time of a task.
+    pub fn start(&self, task: TaskId) -> SimTime {
+        self.start[task.0]
+    }
+
+    /// Finish time of a task.
+    pub fn finish(&self, task: TaskId) -> SimTime {
+        self.finish[task.0]
+    }
+
+    /// All task spans in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Utilization of a resource over the makespan, in `[0, 1]` (per
+    /// slot-second of capacity).
+    pub fn utilization(&self, resource: crate::ResourceId, slots: usize) -> f64 {
+        let horizon = self.makespan.as_secs_f64();
+        if horizon <= 0.0 || slots == 0 {
+            return 0.0;
+        }
+        self.busy_time[resource.0] / (horizon * slots as f64)
+    }
+
+    /// Renders an ASCII Gantt chart of the schedule (one row per task),
+    /// for debugging and trace logs.
+    pub fn gantt(&self, width: usize) -> String {
+        let horizon = self.makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        for span in &self.spans {
+            let a = ((span.start.as_secs_f64() / horizon) * width as f64).round() as usize;
+            let b = ((span.end.as_secs_f64() / horizon) * width as f64).round() as usize;
+            let b = b.max(a);
+            let mut row = String::with_capacity(width + 24);
+            for _ in 0..a {
+                row.push(' ');
+            }
+            for _ in a..b {
+                row.push('█');
+            }
+            for _ in b..width {
+                row.push(' ');
+            }
+            let res = span
+                .resource
+                .map(|r| format!(" [{}]", self.resource_labels[r.0]))
+                .unwrap_or_default();
+            out.push_str(&format!("{row}| {}{}\n", span.label, res));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskGraph;
+
+    #[test]
+    fn chain_sums_durations() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", SimTime::new(1.0), None, &[]).unwrap();
+        let b = g.add_task("b", SimTime::new(2.0), None, &[a]).unwrap();
+        let c = g.add_task("c", SimTime::new(3.0), None, &[b]).unwrap();
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.makespan(), SimTime::new(6.0));
+        assert_eq!(s.start(b), SimTime::new(1.0));
+        assert_eq!(s.finish(c), SimTime::new(6.0));
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.add_task(format!("t{i}"), SimTime::new(2.0), None, &[])
+                .unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.makespan(), SimTime::new(2.0));
+    }
+
+    #[test]
+    fn single_slot_resource_serializes() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("srv", 1);
+        for i in 0..4 {
+            g.add_task(format!("t{i}"), SimTime::new(1.0), Some(r), &[])
+                .unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.makespan(), SimTime::new(4.0));
+        // FIFO in insertion order.
+        assert_eq!(s.start(TaskId(0)), SimTime::ZERO);
+        assert_eq!(s.start(TaskId(3)), SimTime::new(3.0));
+        assert!((s.utilization(r, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_slots_give_k_way_parallelism() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("srv", 3);
+        for i in 0..9 {
+            g.add_task(format!("t{i}"), SimTime::new(1.0), Some(r), &[])
+                .unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.makespan(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn diamond_join_waits_for_slowest() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", SimTime::new(1.0), None, &[]).unwrap();
+        let fast = g.add_task("fast", SimTime::new(0.5), None, &[a]).unwrap();
+        let slow = g.add_task("slow", SimTime::new(5.0), None, &[a]).unwrap();
+        let join = g.add_barrier("join", &[fast, slow]).unwrap();
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.finish(join), SimTime::new(6.0));
+    }
+
+    #[test]
+    fn mixed_chain_with_contention() {
+        // Two chains: compute(1s) → server(2s) with a 1-slot server.
+        // Chain starts are simultaneous; server serializes the middle.
+        let mut g = TaskGraph::new();
+        let srv = g.add_resource("srv", 1);
+        let mut finals = Vec::new();
+        for i in 0..2 {
+            let c = g
+                .add_task(format!("c{i}"), SimTime::new(1.0), None, &[])
+                .unwrap();
+            let sv = g
+                .add_task(format!("s{i}"), SimTime::new(2.0), Some(srv), &[c])
+                .unwrap();
+            let d = g
+                .add_task(format!("d{i}"), SimTime::new(1.0), None, &[sv])
+                .unwrap();
+            finals.push(d);
+        }
+        let s = Simulator::run(&g).unwrap();
+        // First chain: 1+2+1 = 4. Second: server waits until 3, so 3+2+1 = 6.
+        assert_eq!(s.makespan(), SimTime::new(6.0));
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("srv", 2);
+        let mut prev = None;
+        for i in 0..20 {
+            let dep = prev.map(|p| vec![p]).unwrap_or_default();
+            let t = g
+                .add_task(
+                    format!("t{i}"),
+                    SimTime::new(0.1 * ((i % 7) as f64 + 1.0)),
+                    if i % 3 == 0 { Some(r) } else { None },
+                    &dep,
+                )
+                .unwrap();
+            if i % 4 == 0 {
+                prev = Some(t);
+            }
+        }
+        let s1 = Simulator::run(&g).unwrap();
+        let s2 = Simulator::run(&g).unwrap();
+        assert_eq!(s1.makespan(), s2.makespan());
+        for (a, b) in s1.spans().iter().zip(s2.spans()) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+        }
+    }
+
+    #[test]
+    fn zero_duration_graph() {
+        let mut g = TaskGraph::new();
+        let a = g.add_barrier("a", &[]).unwrap();
+        let _ = g.add_barrier("b", &[a]).unwrap();
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("srv", 1);
+        let a = g.add_task("first", SimTime::new(1.0), Some(r), &[]).unwrap();
+        let _ = g.add_task("second", SimTime::new(1.0), Some(r), &[a]).unwrap();
+        let s = Simulator::run(&g).unwrap();
+        let chart = s.gantt(20);
+        assert!(chart.contains("first"));
+        assert!(chart.contains("[srv]"));
+        assert_eq!(chart.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let s = Simulator::run(&TaskGraph::new()).unwrap();
+        assert_eq!(s.makespan(), SimTime::ZERO);
+        assert!(s.spans().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Execution spans.
+
+use crate::graph::{ResourceId, TaskId};
+use crate::SimTime;
+
+/// One task's execution interval in a [`crate::Schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// The task this span belongs to.
+    pub task: TaskId,
+    /// Task label (copied from the graph for self-contained traces).
+    pub label: String,
+    /// Resource the task occupied, if any.
+    pub resource: Option<ResourceId>,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Duration of the span.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+
+    /// Whether two spans overlap in time (open intervals — touching
+    /// endpoints do not overlap).
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(a: f64, b: f64) -> Span {
+        Span {
+            task: TaskId(0),
+            label: "x".into(),
+            resource: None,
+            start: SimTime::new(a),
+            end: SimTime::new(b),
+        }
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(span(1.0, 3.5).duration(), SimTime::new(2.5));
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        assert!(span(0.0, 2.0).overlaps(&span(1.0, 3.0)));
+        assert!(!span(0.0, 1.0).overlaps(&span(1.0, 2.0))); // touching
+        assert!(!span(0.0, 1.0).overlaps(&span(2.0, 3.0)));
+        assert!(span(0.0, 10.0).overlaps(&span(4.0, 5.0))); // containment
+    }
+}

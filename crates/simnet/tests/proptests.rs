@@ -1,0 +1,136 @@
+//! Property-based tests for the discrete-event simulator.
+
+use gsfl_simnet::{SimTime, Simulator, TaskGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_makespan_is_sum(durations in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for (i, &d) in durations.iter().enumerate() {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add_task(format!("t{i}"), SimTime::new(d), None, &deps).unwrap());
+        }
+        let s = Simulator::run(&g).unwrap();
+        let total: f64 = durations.iter().sum();
+        prop_assert!((s.makespan().as_secs_f64() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_makespan_is_max(durations in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        let mut g = TaskGraph::new();
+        for (i, &d) in durations.iter().enumerate() {
+            g.add_task(format!("t{i}"), SimTime::new(d), None, &[]).unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        prop_assert!((s.makespan().as_secs_f64() - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_slot_resource_makespan_is_sum(
+        durations in prop::collection::vec(0.01f64..5.0, 1..15),
+    ) {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("res", 1);
+        for (i, &d) in durations.iter().enumerate() {
+            g.add_task(format!("t{i}"), SimTime::new(d), Some(r), &[]).unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        let total: f64 = durations.iter().sum();
+        prop_assert!((s.makespan().as_secs_f64() - total).abs() < 1e-6);
+        // Fully utilized resource.
+        prop_assert!((s.utilization(r, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_slots_bound_makespan(
+        durations in prop::collection::vec(0.01f64..5.0, 1..20),
+        slots in 1usize..6,
+    ) {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("res", slots);
+        for (i, &d) in durations.iter().enumerate() {
+            g.add_task(format!("t{i}"), SimTime::new(d), Some(r), &[]).unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        let total: f64 = durations.iter().sum();
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        let makespan = s.makespan().as_secs_f64();
+        // Classic machine-scheduling bounds.
+        prop_assert!(makespan >= max - 1e-9, "below max-duration bound");
+        prop_assert!(makespan >= total / slots as f64 - 1e-6, "below work bound");
+        prop_assert!(makespan <= total + 1e-6, "above serial bound");
+    }
+
+    #[test]
+    fn resource_never_oversubscribed(
+        durations in prop::collection::vec(0.01f64..3.0, 2..15),
+        slots in 1usize..4,
+    ) {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("res", slots);
+        for (i, &d) in durations.iter().enumerate() {
+            g.add_task(format!("t{i}"), SimTime::new(d), Some(r), &[]).unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        // Instantaneous concurrency on the resource, sampled at every span
+        // start (concurrency can only change at task starts), must be ≤
+        // slots.
+        let spans = s.spans();
+        for a in spans {
+            let t = a.start.as_secs_f64();
+            let running = spans
+                .iter()
+                .filter(|b| b.start.as_secs_f64() <= t && t < b.end.as_secs_f64())
+                .count();
+            prop_assert!(running <= slots, "{running} > {slots} slots at t={t}");
+        }
+    }
+
+    #[test]
+    fn adding_a_dependency_never_reduces_makespan(
+        durations in prop::collection::vec(0.01f64..5.0, 3..10),
+    ) {
+        let build = |with_extra_dep: bool| {
+            let mut g = TaskGraph::new();
+            let mut ids = Vec::new();
+            for (i, &d) in durations.iter().enumerate() {
+                // Baseline: even tasks depend on the previous even task.
+                let deps: Vec<_> = if i >= 2 && i % 2 == 0 {
+                    vec![ids[i - 2]]
+                } else if with_extra_dep && i == 1 {
+                    vec![ids[0]]
+                } else {
+                    vec![]
+                };
+                ids.push(
+                    g.add_task(format!("t{i}"), SimTime::new(d), None, &deps)
+                        .unwrap(),
+                );
+            }
+            Simulator::run(&g).unwrap().makespan().as_secs_f64()
+        };
+        prop_assert!(build(true) >= build(false) - 1e-9);
+    }
+
+    #[test]
+    fn span_durations_match_task_durations(
+        durations in prop::collection::vec(0.0f64..4.0, 1..12),
+        slots in 1usize..3,
+    ) {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("res", slots);
+        for (i, &d) in durations.iter().enumerate() {
+            let res = if i % 2 == 0 { Some(r) } else { None };
+            g.add_task(format!("t{i}"), SimTime::new(d), res, &[]).unwrap();
+        }
+        let s = Simulator::run(&g).unwrap();
+        for (span, &d) in s.spans().iter().zip(&durations) {
+            prop_assert!((span.duration().as_secs_f64() - d).abs() < 1e-9);
+        }
+    }
+}

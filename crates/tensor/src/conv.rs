@@ -1,0 +1,414 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! The forward pass lowers each input sample to a column matrix
+//! (`im2col`) and reduces convolution to one GEMM per sample; the backward
+//! pass reuses the same lowering, which keeps the code small and easy to
+//! verify against a direct (naive) reference implementation in the tests.
+
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::{Result, Tensor, TensorError};
+
+/// Validated convolution geometry.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::conv::ConvGeom;
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let g = ConvGeom::new(32, 32, 3, 3, 1, 1)?;
+/// assert_eq!((g.out_h, g.out_w), (32, 32)); // "same" padding
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl ConvGeom {
+    /// Computes and validates output geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the kernel (with
+    /// padding) does not fit in the input or stride is zero.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be ≥ 1".into()));
+        }
+        if k_h == 0 || k_w == 0 {
+            return Err(TensorError::InvalidGeometry("kernel must be ≥ 1×1".into()));
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if k_h > padded_h || k_w > padded_w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {k_h}×{k_w} larger than padded input {padded_h}×{padded_w}"
+            )));
+        }
+        Ok(ConvGeom {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+            out_h: (padded_h - k_h) / stride + 1,
+            out_w: (padded_w - k_w) / stride + 1,
+        })
+    }
+}
+
+/// Lowers one `[c, in_h, in_w]` sample (given as a flat slice) to a
+/// `[c*k_h*k_w, out_h*out_w]` column matrix.
+fn im2col(sample: &[f32], c: usize, g: &ConvGeom) -> Tensor {
+    let rows = c * g.k_h * g.k_w;
+    let cols = g.out_h * g.out_w;
+    let mut out = vec![0.0f32; rows * cols];
+    for ch in 0..c {
+        let plane = &sample[ch * g.in_h * g.in_w..(ch + 1) * g.in_h * g.in_w];
+        for kh in 0..g.k_h {
+            for kw in 0..g.k_w {
+                let row = (ch * g.k_h + kh) * g.k_w + kw;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        out_row[oy * g.out_w + ox] =
+                            plane[iy as usize * g.in_w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("im2col buffer sized by construction")
+}
+
+/// Scatters a `[c*k_h*k_w, out_h*out_w]` column-gradient matrix back into a
+/// flat `[c, in_h, in_w]` input-gradient slice (accumulating overlaps).
+fn col2im(cols_t: &Tensor, c: usize, g: &ConvGeom, out: &mut [f32]) {
+    let cols = g.out_h * g.out_w;
+    let data = cols_t.data();
+    for ch in 0..c {
+        let plane = &mut out[ch * g.in_h * g.in_w..(ch + 1) * g.in_h * g.in_w];
+        for kh in 0..g.k_h {
+            for kw in 0..g.k_w {
+                let row = (ch * g.k_h + kh) * g.k_w + kw;
+                let col_row = &data[row * cols..(row + 1) * cols];
+                for oy in 0..g.out_h {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..g.out_w {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        plane[iy as usize * g.in_w + ix as usize] +=
+                            col_row[oy * g.out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`  — `[n, c_in, h, w]`
+/// * `weight` — `[c_out, c_in, k_h, k_w]`
+/// * `bias`   — `[c_out]`
+///
+/// Returns `[n, c_out, out_h, out_w]`.
+///
+/// # Errors
+///
+/// Returns a geometry or shape error when the operand shapes are
+/// inconsistent.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, wc_in, k_h, k_w) = weight.shape().as_nchw()?;
+    if wc_in != c_in {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: weight.dims().to_vec(),
+            op: "conv2d_forward",
+        });
+    }
+    if bias.numel() != c_out {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![c_out],
+            right: bias.dims().to_vec(),
+            op: "conv2d_forward(bias)",
+        });
+    }
+    let g = ConvGeom::new(h, w, k_h, k_w, stride, pad)?;
+    let w_mat = weight.reshape(&[c_out, c_in * k_h * k_w])?;
+    let sample_len = c_in * h * w;
+    let out_plane = g.out_h * g.out_w;
+    let mut out = vec![0.0f32; n * c_out * out_plane];
+    for s in 0..n {
+        let cols = im2col(&input.data()[s * sample_len..(s + 1) * sample_len], c_in, &g);
+        let y = matmul(&w_mat, &cols)?; // [c_out, out_plane]
+        let dst = &mut out[s * c_out * out_plane..(s + 1) * c_out * out_plane];
+        for co in 0..c_out {
+            let b = bias.data()[co];
+            let src = &y.data()[co * out_plane..(co + 1) * out_plane];
+            let d = &mut dst[co * out_plane..(co + 1) * out_plane];
+            for (o, &v) in d.iter_mut().zip(src) {
+                *o = v + b;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, g.out_h, g.out_w])
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Given the forward operands and the output gradient
+/// `grad_out: [n, c_out, out_h, out_w]`, returns
+/// `(grad_input, grad_weight, grad_bias)` with the operand shapes.
+///
+/// # Errors
+///
+/// Returns a geometry or shape error when the operand shapes are
+/// inconsistent with the forward pass.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c_in, h, w) = input.shape().as_nchw()?;
+    let (c_out, _, k_h, k_w) = weight.shape().as_nchw()?;
+    let (gn, gc, gh, gw) = grad_out.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, k_h, k_w, stride, pad)?;
+    if gn != n || gc != c_out || gh != g.out_h || gw != g.out_w {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c_out, g.out_h, g.out_w],
+            right: grad_out.dims().to_vec(),
+            op: "conv2d_backward",
+        });
+    }
+    let w_mat = weight.reshape(&[c_out, c_in * k_h * k_w])?;
+    let sample_len = c_in * h * w;
+    let out_plane = g.out_h * g.out_w;
+
+    let mut grad_in = vec![0.0f32; input.numel()];
+    let mut grad_w = Tensor::zeros(&[c_out, c_in * k_h * k_w]);
+    let mut grad_b = vec![0.0f32; c_out];
+
+    for s in 0..n {
+        let cols = im2col(&input.data()[s * sample_len..(s + 1) * sample_len], c_in, &g);
+        let dy = Tensor::from_vec(
+            grad_out.data()[s * c_out * out_plane..(s + 1) * c_out * out_plane].to_vec(),
+            &[c_out, out_plane],
+        )?;
+        // dW += dY · colsᵀ
+        grad_w.add_assign_t(&matmul_a_bt(&dy, &cols)?)?;
+        // dB += Σ_spatial dY
+        for (co, gb) in grad_b.iter_mut().enumerate() {
+            *gb += dy.data()[co * out_plane..(co + 1) * out_plane]
+                .iter()
+                .sum::<f32>();
+        }
+        // dX_cols = Wᵀ · dY, scattered back with col2im.
+        let dcols = matmul_at_b(&w_mat, &dy)?;
+        col2im(
+            &dcols,
+            c_in,
+            &g,
+            &mut grad_in[s * sample_len..(s + 1) * sample_len],
+        );
+    }
+    Ok((
+        Tensor::from_vec(grad_in, input.dims())?,
+        grad_w.reshape(&[c_out, c_in, k_h, k_w])?,
+        Tensor::from_vec(grad_b, &[c_out])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct convolution, the slow-but-obviously-correct reference.
+    fn conv_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (n, c_in, h, w) = input.shape().as_nchw().unwrap();
+        let (c_out, _, k_h, k_w) = weight.shape().as_nchw().unwrap();
+        let g = ConvGeom::new(h, w, k_h, k_w, stride, pad).unwrap();
+        let mut out = Tensor::zeros(&[n, c_out, g.out_h, g.out_w]);
+        for s in 0..n {
+            for co in 0..c_out {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        let mut acc = bias.data()[co];
+                        for ci in 0..c_in {
+                            for kh in 0..k_h {
+                                for kw in 0..k_w {
+                                    let iy = (oy * stride + kh) as isize - pad as isize;
+                                    let ix = (ox * stride + kw) as isize - pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.get(&[s, ci, iy as usize, ix as usize]).unwrap()
+                                        * weight.get(&[co, ci, kh, kw]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[s, co, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_tensors(
+        n: usize,
+        c_in: usize,
+        h: usize,
+        w: usize,
+        c_out: usize,
+        k: usize,
+    ) -> (Tensor, Tensor, Tensor) {
+        let input = Tensor::from_fn(&[n, c_in, h, w], |i| ((i * 37 % 17) as f32 - 8.0) * 0.1);
+        let weight = Tensor::from_fn(&[c_out, c_in, k, k], |i| ((i * 53 % 13) as f32 - 6.0) * 0.05);
+        let bias = Tensor::from_fn(&[c_out], |i| i as f32 * 0.01);
+        (input, weight, bias)
+    }
+
+    #[test]
+    fn forward_matches_naive_same_padding() {
+        let (input, weight, bias) = sample_tensors(2, 3, 6, 6, 4, 3);
+        let fast = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        let slow = conv_naive(&input, &weight, &bias, 1, 1);
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn forward_matches_naive_stride2_nopad() {
+        let (input, weight, bias) = sample_tensors(1, 2, 7, 5, 3, 3);
+        let fast = conv2d_forward(&input, &weight, &bias, 2, 0).unwrap();
+        let slow = conv_naive(&input, &weight, &bias, 2, 0);
+        assert_eq!(fast.dims(), slow.dims());
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ConvGeom::new(4, 4, 5, 5, 1, 0).is_err());
+        assert!(ConvGeom::new(4, 4, 5, 5, 1, 1).is_ok());
+        assert!(ConvGeom::new(4, 4, 3, 3, 0, 0).is_err());
+        assert!(ConvGeom::new(4, 4, 0, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_difference() {
+        let (input, weight, bias) = sample_tensors(1, 2, 5, 5, 2, 3);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        // Loss = sum of outputs ⇒ grad_out = ones.
+        let grad_out = Tensor::ones(out.dims());
+        let (_, gw, gb) = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        let eps = 1e-2f32;
+        // Check a scattering of weight coordinates.
+        for &flat in &[0usize, 5, 11, 17, 23, 35] {
+            let mut wp = weight.clone();
+            wp.data_mut()[flat] += eps;
+            let fp = conv2d_forward(&input, &wp, &bias, 1, 1).unwrap().sum();
+            let mut wm = weight.clone();
+            wm.data_mut()[flat] -= eps;
+            let fm = conv2d_forward(&input, &wm, &bias, 1, 1).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[flat]).abs() < 2e-2,
+                "weight grad mismatch at {flat}: fd={fd}, analytic={}",
+                gw.data()[flat]
+            );
+        }
+        // Bias gradient under sum-loss is just the number of output pixels.
+        let plane = (out.numel() / out.dims()[1]) as f32 / out.dims()[0] as f32
+            * out.dims()[0] as f32;
+        for &g in gb.data() {
+            assert!((g - plane).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let (input, weight, bias) = sample_tensors(1, 2, 4, 4, 2, 3);
+        let out = conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let (gx, _, _) = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 7, 15, 21, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[flat] += eps;
+            let fp = conv2d_forward(&ip, &weight, &bias, 1, 1).unwrap().sum();
+            let mut im = input.clone();
+            im.data_mut()[flat] -= eps;
+            let fm = conv2d_forward(&im, &weight, &bias, 1, 1).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[flat]).abs() < 2e-2,
+                "input grad mismatch at {flat}: fd={fd}, analytic={}",
+                gx.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_grad() {
+        let (input, weight, _) = sample_tensors(1, 2, 5, 5, 2, 3);
+        let bad = Tensor::zeros(&[1, 2, 9, 9]);
+        assert!(conv2d_backward(&input, &weight, &bad, 1, 1).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // With a 1×1 kernel, im2col is the identity reshape.
+        let g = ConvGeom::new(3, 3, 1, 1, 1, 0).unwrap();
+        let sample: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let cols = im2col(&sample, 1, &g);
+        assert_eq!(cols.dims(), &[1, 9]);
+        assert_eq!(cols.data(), &sample[..]);
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public function in this crate that can fail returns
+/// [`TensorError`]; the variants carry enough context to diagnose shape
+/// mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the buffer.
+    ElementCountMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually present.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// A tensor had the wrong rank (number of dimensions) for an operation.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor passed in.
+        actual: usize,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger than
+    /// padded input).
+    InvalidGeometry(String),
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// Byte buffer could not be decoded into a tensor.
+    Decode(String),
+    /// An argument failed validation (e.g. zero-sized dimension where
+    /// positive is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCountMismatch { expected, actual } => write!(
+                f,
+                "element count mismatch: shape implies {expected} elements, buffer has {actual}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} cols, right has {right_rows} rows"
+            ),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::Decode(msg) => write!(f, "decode error: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

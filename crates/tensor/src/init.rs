@@ -1,0 +1,138 @@
+//! Weight initializers.
+//!
+//! The initializers draw from a caller-supplied RNG so the whole experiment
+//! stays deterministic under [`crate::rng::SeedDerive`].
+
+use crate::Tensor;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Initialization schemes for layer parameters.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::{init::Init, rng::seeded_rng};
+///
+/// let mut rng = seeded_rng(0);
+/// let w = Init::HeNormal { fan_in: 64 }.tensor(&[64, 32], &mut rng);
+/// assert_eq!(w.dims(), &[64, 32]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Constant value.
+    Constant(f32),
+    /// Uniform on `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the support.
+        bound: f32,
+    },
+    /// He (Kaiming) normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU nets.
+    HeNormal {
+        /// Number of input connections per output unit.
+        fan_in: usize,
+    },
+    /// Xavier (Glorot) uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform {
+        /// Number of input connections.
+        fan_in: usize,
+        /// Number of output connections.
+        fan_out: usize,
+    },
+}
+
+impl Init {
+    /// Samples a tensor of the given dims under this scheme.
+    pub fn tensor(&self, dims: &[usize], rng: &mut ChaCha8Rng) -> Tensor {
+        match *self {
+            Init::Zeros => Tensor::zeros(dims),
+            Init::Constant(c) => Tensor::full(dims, c),
+            Init::Uniform { bound } => {
+                Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound))
+            }
+            Init::HeNormal { fan_in } => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::from_fn(dims, |_| std * standard_normal(rng))
+            }
+            Init::XavierUniform { fan_in, fan_out } => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound))
+            }
+        }
+    }
+}
+
+/// A standard-normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`).
+pub fn standard_normal(rng: &mut ChaCha8Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = seeded_rng(0);
+        assert!(Init::Zeros.tensor(&[4], &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(3.5)
+            .tensor(&[4], &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = seeded_rng(1);
+        let t = Init::Uniform { bound: 0.25 }.tensor(&[1000], &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.25..=0.25).contains(&x)));
+        // Not degenerate.
+        assert!(t.max() > 0.1 && t.min() < -0.1);
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = seeded_rng(2);
+        let fan_in = 128;
+        let t = Init::HeNormal { fan_in }.tensor(&[20_000], &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        let want = 2.0 / fan_in as f32;
+        assert!((var - want).abs() < want * 0.15, "var {var} vs want {want}");
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = seeded_rng(3);
+        let t = Init::XavierUniform {
+            fan_in: 10,
+            fan_out: 20,
+        }
+        .tensor(&[1000], &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_seed() {
+        let mut a = seeded_rng(9);
+        let mut b = seeded_rng(9);
+        let ta = Init::HeNormal { fan_in: 8 }.tensor(&[32], &mut a);
+        let tb = Init::HeNormal { fan_in: 8 }.tensor(&[32], &mut b);
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,147 @@
+//! Flat byte serialization of tensors.
+//!
+//! The wireless simulator charges communication latency per byte, so the
+//! byte footprint of everything that crosses a link — model parameters,
+//! smashed activations, gradients — is defined here, in one place:
+//! little-endian `f32`s preceded by a small header.
+
+use crate::{Result, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic prefix guarding against decoding garbage.
+const MAGIC: u32 = 0x4753_464C; // "GSFL"
+
+/// Serialized size in bytes of a tensor with `numel` elements and `rank`
+/// dimensions: header (magic + rank) + dims + payload.
+pub fn encoded_len(numel: usize, rank: usize) -> usize {
+    4 + 4 + 8 * rank + 4 * numel
+}
+
+/// Wire size of just the payload (what a real system would send after
+/// shape negotiation): 4 bytes per element.
+pub fn payload_bytes(numel: usize) -> u64 {
+    4 * numel as u64
+}
+
+/// Encodes a tensor to a self-describing byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::{Tensor, io};
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let t = Tensor::arange(6).reshape(&[2, 3])?;
+/// let bytes = io::encode(&t);
+/// let back = io::decode(&bytes)?;
+/// assert_eq!(back, t);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(t.numel(), t.shape().rank()));
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::Decode`] on truncation, bad magic, or an
+/// element-count overflow.
+pub fn decode(bytes: &[u8]) -> Result<Tensor> {
+    let mut buf = bytes;
+    if buf.remaining() < 8 {
+        return Err(TensorError::Decode("buffer shorter than header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TensorError::Decode(format!(
+            "bad magic 0x{magic:08X}, expected 0x{MAGIC:08X}"
+        )));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if buf.remaining() < 8 * rank {
+        return Err(TensorError::Decode("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut numel: usize = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le() as usize;
+        numel = numel.checked_mul(d).ok_or_else(|| {
+            TensorError::Decode("element count overflows usize".into())
+        })?;
+        dims.push(d);
+    }
+    if buf.remaining() != 4 * numel {
+        return Err(TensorError::Decode(format!(
+            "payload length {} does not match shape {:?} (expected {})",
+            buf.remaining(),
+            dims,
+            4 * numel
+        )));
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(data, &dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| (i as f32) * -0.37 + 1.0);
+        let back = decode(&encode(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn round_trip_scalarish_shapes() {
+        for dims in [vec![], vec![1], vec![0], vec![3, 0, 2]] {
+            let t = Tensor::zeros(&dims);
+            let back = decode(&encode(&t)).unwrap();
+            assert_eq!(back.dims(), t.dims());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let t = Tensor::arange(3);
+        let mut bytes = encode(&t).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(TensorError::Decode(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Tensor::arange(3);
+        let bytes = encode(&t);
+        for cut in [0, 4, 7, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        let t = Tensor::zeros(&[5, 7]);
+        assert_eq!(encode(&t).len(), encoded_len(35, 2));
+    }
+
+    #[test]
+    fn payload_bytes_is_4_per_element() {
+        assert_eq!(payload_bytes(100), 400);
+        assert_eq!(payload_bytes(0), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Dense `f32` tensor substrate for the GSFL reproduction.
+//!
+//! This crate provides everything the neural-network stack
+//! ([`gsfl-nn`](https://docs.rs/gsfl-nn)) needs to train lightweight CNNs on
+//! CPU without any external BLAS or deep-learning dependency:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Tensor`] — an owned, contiguous `f32` buffer plus its shape,
+//! * [`matmul`] — cache-friendly blocked matrix multiplication,
+//! * [`conv`] — im2col/col2im based 2-D convolution forward and backward,
+//! * [`pool`] — max/average pooling forward and backward,
+//! * [`init`] — He / Xavier / uniform initializers,
+//! * [`rng`] — deterministic hierarchical seed derivation so that every
+//!   client, group and round of a distributed experiment draws from an
+//!   independent, reproducible stream,
+//! * [`io`] — flat byte serialization used to measure "transmission" sizes
+//!   of model parameters and smashed data over the simulated wireless links.
+//!
+//! # Example
+//!
+//! ```
+//! use gsfl_tensor::{Tensor, matmul};
+//!
+//! # fn main() -> Result<(), gsfl_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = matmul::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod io;
+pub mod matmul;
+pub mod pool;
+pub mod rng;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,248 @@
+//! Cache-friendly matrix multiplication kernels.
+//!
+//! All kernels operate on 2-D [`Tensor`]s. The main entry point is
+//! [`matmul`]; the transposed variants avoid materializing explicit
+//! transposes in backward passes:
+//!
+//! * [`matmul`]        — `C = A · B`
+//! * [`matmul_at_b`]   — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_a_bt`]   — `C = A · Bᵀ` (input gradients)
+//!
+//! The inner loops use the `i-k-j` ordering so the innermost traversal is
+//! unit-stride over both `B` and `C`, which is the single most important
+//! optimization for a naive CPU GEMM.
+
+use crate::{Result, Tensor, TensorError};
+
+/// `C = A · B` for 2-D tensors `A: [m×k]`, `B: [k×n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D inputs and
+/// [`TensorError::MatmulDimMismatch`] when inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::{Tensor, matmul::matmul};
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` for `A: [k×m]`, `B: [k×n]`, without materializing `Aᵀ`.
+///
+/// This is the shape of the weight-gradient computation
+/// `dW = Xᵀ · dY` in a dense layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D inputs and
+/// [`TensorError::MatmulDimMismatch`] when the leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // For each shared row kk, accumulate the outer product of A's row
+    // (read column-wise as a[kk, i]) with B's row — unit-stride on B and C.
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` for `A: [m×k]`, `B: [n×k]`, without materializing `Bᵀ`.
+///
+/// This is the shape of the input-gradient computation
+/// `dX = dY · Wᵀ` in a dense layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D inputs and
+/// [`TensorError::MatmulDimMismatch`] when the trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix–vector product `y = A · x` for `A: [m×k]`, `x: [k]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDimMismatch`]
+/// on malformed inputs.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: x.shape().rank(),
+            op: "matvec",
+        });
+    }
+    if x.numel() != k {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: x.numel(),
+        });
+    }
+    let ad = a.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &ad[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix().unwrap();
+        let (_, n) = b.shape().as_matrix().unwrap();
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
+                }
+                out.set(&[i, j], acc).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let a = Tensor::from_fn(&[3, 4], |i| (i as f32) * 0.3 - 1.0);
+        let b = Tensor::from_fn(&[4, 5], |i| (i as f32) * 0.1 + 0.5);
+        let got = matmul(&a, &b).unwrap();
+        assert!(got.approx_eq(&naive(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(&[4, 4], |i| i as f32);
+        assert!(matmul(&a, &Tensor::eye(4)).unwrap().approx_eq(&a, 0.0));
+        assert!(matmul(&Tensor::eye(4), &a).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = Tensor::from_fn(&[5, 3], |i| (i as f32).sin());
+        let b = Tensor::from_fn(&[5, 4], |i| (i as f32).cos());
+        let expect = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        assert!(matmul_at_b(&a, &b).unwrap().approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = Tensor::from_fn(&[5, 3], |i| (i as f32).sin());
+        let b = Tensor::from_fn(&[4, 3], |i| (i as f32).cos());
+        let expect = matmul(&a, &b.transpose2d().unwrap()).unwrap();
+        assert!(matmul_a_bt(&a, &b).unwrap().approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_fn(&[3, 4], |i| i as f32);
+        let x = Tensor::from_fn(&[4], |i| (i as f32) - 1.5);
+        let xm = x.reshape(&[4, 1]).unwrap();
+        let expect = matmul(&a, &xm).unwrap();
+        let got = matvec(&a, &x).unwrap();
+        assert_eq!(got.data(), expect.data());
+    }
+
+    #[test]
+    fn matvec_validates() {
+        let a = Tensor::zeros(&[3, 4]);
+        assert!(matvec(&a, &Tensor::zeros(&[5])).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[4, 1])).is_err());
+    }
+}

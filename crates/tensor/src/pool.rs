@@ -1,0 +1,256 @@
+//! Max and average pooling.
+
+use crate::conv::ConvGeom;
+use crate::{Result, Tensor, TensorError};
+
+/// Result of a max-pool forward pass: the pooled tensor plus the flat input
+/// offsets of each winning element, needed for the backward scatter.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled tensor `[n, c, out_h, out_w]`.
+    pub output: Tensor,
+    /// For each output element, the flat offset into the input buffer of the
+    /// maximal element in its window.
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pool forward over non-overlapping or strided windows.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::{Tensor, pool::maxpool2d_forward};
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2])?;
+/// let p = maxpool2d_forward(&x, 2, 2)?;
+/// assert_eq!(p.output.data(), &[4.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maxpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let out_plane = g.out_h * g.out_w;
+    let mut out = vec![f32::NEG_INFINITY; n * c * out_plane];
+    let mut argmax = vec![0usize; n * c * out_plane];
+    let data = input.data();
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            let obase = (s * c + ch) * out_plane;
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = base;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            if iy >= h || ix >= w {
+                                continue;
+                            }
+                            let off = base + iy * w + ix;
+                            if data[off] > best {
+                                best = data[off];
+                                best_off = off;
+                            }
+                        }
+                    }
+                    out[obase + oy * g.out_w + ox] = best;
+                    argmax[obase + oy * g.out_w + ox] = best_off;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, g.out_h, g.out_w])?,
+        argmax,
+    })
+}
+
+/// Max-pool backward: routes each output gradient to the argmax position.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `grad_out` does not match the
+/// recorded argmax table.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_out.numel() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![grad_out.numel()],
+            right: vec![argmax.len()],
+            op: "maxpool2d_backward",
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    for (&g, &off) in grad_out.data().iter().zip(argmax) {
+        gi[off] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average-pool forward.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+pub fn avgpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let out_plane = g.out_h * g.out_w;
+    let norm = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; n * c * out_plane];
+    let data = input.data();
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            let obase = (s * c + ch) * out_plane;
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let mut acc = 0.0f32;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += data[base + (oy * stride + ky) * w + (ox * stride + kx)];
+                        }
+                    }
+                    out[obase + oy * g.out_w + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, g.out_h, g.out_w])
+}
+
+/// Average-pool backward: spreads each output gradient uniformly over its
+/// window.
+///
+/// # Errors
+///
+/// Returns a geometry or shape error when dimensions are inconsistent.
+pub fn avgpool2d_backward(
+    grad_out: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w) = crate::Shape::new(input_dims).as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let (gn, gc, gh, gw) = grad_out.shape().as_nchw()?;
+    if gn != n || gc != c || gh != g.out_h || gw != g.out_w {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, g.out_h, g.out_w],
+            right: grad_out.dims().to_vec(),
+            op: "avgpool2d_backward",
+        });
+    }
+    let norm = 1.0 / (window * window) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            let obase = (s * c + ch) * g.out_h * g.out_w;
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let gval = go[obase + oy * g.out_w + ox] * norm;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            gi[base + (oy * stride + ky) * w + (ox * stride + kx)] += gval;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let p = maxpool2d_forward(&x, 2, 2).unwrap();
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.data(), &[4.0, 8.0, -1.0, 0.75]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let p = maxpool2d_forward(&x, 2, 2).unwrap();
+        let g = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let gx = maxpool2d_backward(&g, &p.argmax, x.dims()).unwrap();
+        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_validates_len() {
+        let g = Tensor::zeros(&[1, 1, 1, 2]);
+        assert!(maxpool2d_backward(&g, &[0], &[1, 1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let p = avgpool2d_forward(&x, 2, 2).unwrap();
+        assert_eq!(p.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let g = Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap();
+        let gx = avgpool2d_backward(&g, &[1, 1, 2, 2], 2, 2).unwrap();
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_handles_multichannel_batches() {
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        let p = maxpool2d_forward(&x, 2, 2).unwrap();
+        assert_eq!(p.output.dims(), &[2, 3, 2, 2]);
+        // Each window max is its bottom-right corner for an increasing ramp.
+        assert_eq!(p.output.get(&[0, 0, 0, 0]).unwrap(), 5.0);
+        assert_eq!(p.output.get(&[1, 2, 1, 1]).unwrap(), 95.0);
+    }
+
+    #[test]
+    fn maxpool_grad_accumulates_on_shared_argmax() {
+        // Overlapping windows (stride 1) that share one maximum must
+        // accumulate gradient there.
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
+        let p = maxpool2d_forward(&x, 2, 1).unwrap();
+        let g = Tensor::ones(p.output.dims());
+        let gx = maxpool2d_backward(&g, &p.argmax, x.dims()).unwrap();
+        // The 9.0 at offset 3 wins windows (0,0), (1,0) and (1,1)… count them.
+        let wins = p.argmax.iter().filter(|&&o| o == 3).count();
+        assert_eq!(gx.data()[3], wins as f32);
+        assert!(wins >= 2);
+    }
+}

@@ -1,0 +1,236 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major tensor shape.
+///
+/// A [`Shape`] records the extent of each dimension; strides are derived
+/// on demand (the crate only supports contiguous row-major layouts, which
+/// keeps every kernel simple and predictable).
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Creates a scalar (rank-0) shape with a single element.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Row-major strides (in elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index, or `None` if any coordinate is out of
+    /// bounds or the index rank disagrees.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            off += i * s;
+        }
+        Some(off)
+    }
+
+    /// Inverse of [`Shape::offset`]: the multi-index of a flat offset.
+    ///
+    /// Returns `None` when `offset >= numel()`.
+    pub fn unravel(&self, offset: usize) -> Option<Vec<usize>> {
+        if offset >= self.numel() {
+            return None;
+        }
+        let mut rem = offset;
+        let mut idx = vec![0usize; self.dims.len()];
+        for (slot, &s) in idx.iter_mut().zip(self.strides().iter()) {
+            *slot = rem / s;
+            rem %= s;
+        }
+        Some(idx)
+    }
+
+    /// Whether two shapes are elementwise-compatible (identical dims).
+    pub fn same_dims(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+
+    /// Interprets this shape as a 2-D matrix `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the rank is exactly 2.
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "as_matrix",
+            });
+        }
+        Ok((self.dims[0], self.dims[1]))
+    }
+
+    /// Interprets this shape as an image batch `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the rank is exactly 4.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize)> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+                op: "as_nchw",
+            });
+        }
+        Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[3, 4]);
+        assert_eq!(s.numel(), 12);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        for off in 0..s.numel() {
+            let idx = s.unravel(off).unwrap();
+            assert_eq!(s.offset(&idx), Some(off));
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0, 3]), None);
+        assert_eq!(s.offset(&[0]), None);
+        assert_eq!(s.unravel(6), None);
+    }
+
+    #[test]
+    fn matrix_and_nchw_views() {
+        assert_eq!(Shape::new(&[3, 5]).as_matrix().unwrap(), (3, 5));
+        assert!(Shape::new(&[3]).as_matrix().is_err());
+        assert_eq!(
+            Shape::new(&[8, 3, 32, 32]).as_nchw().unwrap(),
+            (8, 3, 32, 32)
+        );
+        assert!(Shape::new(&[8, 3, 32]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+    }
+
+    #[test]
+    fn dim_accessor_checks_range() {
+        let s = Shape::new(&[4, 7]);
+        assert_eq!(s.dim(1).unwrap(), 7);
+        assert!(matches!(
+            s.dim(2),
+            Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })
+        ));
+    }
+}

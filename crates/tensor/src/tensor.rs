@@ -1,0 +1,671 @@
+use crate::{Result, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// [`Tensor`] is the single data-carrying type of the GSFL stack: images,
+/// activations, smashed data, gradients and parameters are all tensors.
+/// The layout is always contiguous row-major, so kernels can operate on
+/// plain slices.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::Tensor;
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2])?, 6.0);
+/// let doubled = t.scale(2.0);
+/// assert_eq!(doubled.get(&[0, 1])?, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A rank-1 tensor `[0, 1, ..., n-1]`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new(&[n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat offset.
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, shorthand for `shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow of the flat data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the index is out of
+    /// bounds or has the wrong rank.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        self.shape
+            .offset(index)
+            .map(|o| self.data[o])
+            .ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "index {index:?} out of bounds for shape {}",
+                    self.shape
+                ))
+            })
+    }
+
+    /// Writes `value` at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the index is out of
+    /// bounds or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::InvalidArgument(format!(
+                "index {index:?} out of bounds for shape {}",
+                self.shape
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise operations (allocate a new tensor)
+    // ------------------------------------------------------------------
+
+    fn zip_check(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if !self.shape.same_dims(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "add")?;
+        Ok(self.zip_with(other, |a, b| a + b))
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "sub")?;
+        Ok(self.zip_with(other, |a, b| a - b))
+    }
+
+    /// Elementwise (Hadamard) product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_check(other, "mul")?;
+        Ok(self.zip_with(other, |a, b| a * b))
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise (shapes already checked
+    /// by the caller or guaranteed by construction).
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Adds `k` to every element.
+    pub fn add_scalar(&self, k: f32) -> Tensor {
+        self.map(|x| x + k)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    // ------------------------------------------------------------------
+    // In-place operations
+    // ------------------------------------------------------------------
+
+    /// In-place `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign_t(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_check(other, "add_assign")?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += k * other` (axpy), the workhorse of SGD updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, k: f32, other: &Tensor) -> Result<()> {
+        self.zip_check(other, "axpy")?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+        Ok(())
+    }
+
+    /// In-place multiplication of every element by `k`.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        for a in &mut self.data {
+            *a = value;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn zero(&mut self) {
+        self.fill(0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (`-inf` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Per-row argmax of a 2-D tensor, e.g. predicted class of logit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is 2-D with at
+    /// least one column.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "argmax_rows requires at least one column".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Sums a 2-D tensor along axis 0, producing a `[cols]` tensor
+    /// (the bias-gradient reduction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is 2-D.
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the element counts
+    /// differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ElementCountMismatch {
+                expected: shape.numel(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is 2-D.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+
+    /// Copies rows `range` of the leading axis into a new tensor.
+    ///
+    /// Works for any rank ≥ 1; for an NCHW batch this slices complete
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the range exceeds the
+    /// leading dimension or the tensor is rank 0.
+    pub fn slice_axis0(&self, range: std::ops::Range<usize>) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidArgument(
+                "cannot slice a scalar".into(),
+            ));
+        }
+        let lead = self.shape.dims()[0];
+        if range.end > lead || range.start > range.end {
+            return Err(TensorError::InvalidArgument(format!(
+                "slice {range:?} out of bounds for leading dim {lead}"
+            )));
+        }
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let data = self.data[range.start * inner..range.end * inner].to_vec();
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = range.end - range.start;
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Concatenates tensors along axis 0. All trailing dims must agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] when trailing dimensions disagree.
+    pub fn concat_axis0(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or_else(|| {
+            TensorError::InvalidArgument("concat_axis0 needs at least one tensor".into())
+        })?;
+        let tail = &first.dims()[1..];
+        let mut lead = 0usize;
+        for p in parts {
+            if p.shape.rank() == 0 || &p.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: p.dims().to_vec(),
+                    op: "concat_axis0",
+                });
+            }
+            lead += p.dims()[0];
+        }
+        let mut data = Vec::with_capacity(lead * tail.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        let mut dims = vec![lead];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Gathers the rows of a 2-D tensor (or samples of an NCHW batch) given
+    /// by `indices` into a new tensor, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when an index is out of
+    /// bounds or the tensor is rank 0.
+    pub fn gather_axis0(&self, indices: &[usize]) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::InvalidArgument(
+                "cannot gather from a scalar".into(),
+            ));
+        }
+        let lead = self.shape.dims()[0];
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            if i >= lead {
+                return Err(TensorError::InvalidArgument(format!(
+                    "gather index {i} out of bounds for leading dim {lead}"
+                )));
+            }
+            data.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+        }
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = indices.len();
+        Tensor::from_vec(data, &dims)
+    }
+
+    // ------------------------------------------------------------------
+    // Comparison helpers
+    // ------------------------------------------------------------------
+
+    /// Whether every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape.same_dims(&other.shape)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|x| format!("{x:.4}"))
+            .collect();
+        write!(f, "[{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_count() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(t.get(&[i, j]).unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn elementwise_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { op: "add", .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert!((t.l2_norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0, 5.0, 2.0, 2.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_axis0_reduces_rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum_axis0().unwrap().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]).unwrap(), 6.0);
+        assert_eq!(tt.transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn slice_and_concat_axis0_round_trip() {
+        let t = Tensor::from_fn(&[4, 3], |i| i as f32);
+        let a = t.slice_axis0(0..2).unwrap();
+        let b = t.slice_axis0(2..4).unwrap();
+        let joined = Tensor::concat_axis0(&[&a, &b]).unwrap();
+        assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn slice_axis0_bounds_checked() {
+        let t = Tensor::zeros(&[3, 2]);
+        assert!(t.slice_axis0(2..5).is_err());
+    }
+
+    #[test]
+    fn gather_axis0_reorders_rows() {
+        let t = Tensor::from_fn(&[3, 2], |i| i as f32);
+        let g = t.gather_axis0(&[2, 0]).unwrap();
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert!(t.gather_axis0(&[3]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6);
+        let r = t.reshape(&[2, 3]).unwrap();
+        assert_eq!(r.get(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0005, 2.0], &[2]).unwrap();
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    fn display_truncates_long_tensors() {
+        let t = Tensor::zeros(&[100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+}

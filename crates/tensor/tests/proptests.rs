@@ -1,0 +1,97 @@
+//! Property-based tests for the tensor substrate.
+
+use gsfl_tensor::{io, matmul, rng::SeedDerive, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a shape with rank 1–4 and small extents.
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..=4)
+}
+
+/// Strategy: a tensor with bounded values over a generated shape.
+fn tensor_strategy() -> impl Strategy<Value = Tensor> {
+    shape_strategy().prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        prop::collection::vec(-100.0f32..100.0, n)
+            .prop_map(move |data| Tensor::from_vec(data, &dims).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn offset_unravel_bijection(dims in shape_strategy(), salt in 0usize..1000) {
+        let s = Shape::new(&dims);
+        let off = salt % s.numel();
+        let idx = s.unravel(off).unwrap();
+        prop_assert_eq!(s.offset(&idx), Some(off));
+    }
+
+    #[test]
+    fn add_commutes(t in tensor_strategy()) {
+        let u = t.map(|x| x * 0.5 - 1.0);
+        let ab = t.add(&u).unwrap();
+        let ba = u.add(&t).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 0.0));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(t in tensor_strategy()) {
+        let u = t.map(|x| x.sin() * 10.0);
+        let back = t.sub(&u).unwrap().add(&u).unwrap();
+        prop_assert!(back.approx_eq(&t, 1e-3));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in tensor_strategy(), k in -3.0f32..3.0) {
+        let u = t.map(|x| x * 0.25 + 2.0);
+        let lhs = t.add(&u).unwrap().scale(k);
+        let rhs = t.scale(k).add(&u.scale(k)).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn io_round_trip(t in tensor_strategy()) {
+        let back = io::decode(&io::encode(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn matmul_identity_neutral(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = SeedDerive::new(seed).rng();
+        use rand::Rng;
+        let a = Tensor::from_fn(&[rows, cols], |_| rng.gen_range(-5.0..5.0));
+        let left = matmul::matmul(&Tensor::eye(rows), &a).unwrap();
+        let right = matmul::matmul(&a, &Tensor::eye(cols)).unwrap();
+        prop_assert!(left.approx_eq(&a, 1e-5));
+        prop_assert!(right.approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let mut rng = SeedDerive::new(seed).child("t").rng();
+        use rand::Rng;
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-2.0..2.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-2.0..2.0));
+        let lhs = matmul::matmul(&a, &b).unwrap().transpose2d().unwrap();
+        let rhs = matmul::matmul(&b.transpose2d().unwrap(), &a.transpose2d().unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn slice_concat_round_trip(t in tensor_strategy(), cut_frac in 0.0f64..1.0) {
+        let lead = t.dims()[0];
+        let cut = ((lead as f64) * cut_frac) as usize;
+        let a = t.slice_axis0(0..cut).unwrap();
+        let b = t.slice_axis0(cut..lead).unwrap();
+        let joined = Tensor::concat_axis0(&[&a, &b]).unwrap();
+        prop_assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn seed_paths_never_collide_locally(seed in 0u64..u64::MAX / 2, i in 0u64..512, j in 0u64..512) {
+        prop_assume!(i != j);
+        let root = SeedDerive::new(seed);
+        prop_assert_ne!(root.index(i).seed(), root.index(j).seed());
+    }
+}

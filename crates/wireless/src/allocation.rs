@@ -1,0 +1,178 @@
+//! Bandwidth allocation among concurrent transmitters.
+//!
+//! When several clients transmit in the same phase (FL uploads, parallel
+//! GSFL groups), the AP's total bandwidth is divided among them. The
+//! policy is one of the resource-allocation axes the paper's future work
+//! (§IV) calls out.
+
+use crate::units::Hertz;
+use crate::{Result, WirelessError};
+use serde::{Deserialize, Serialize};
+
+/// How total bandwidth is divided among `n` concurrent links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum BandwidthPolicy {
+    /// Equal split: every active link gets `B/n`.
+    #[default]
+    Equal,
+    /// Payload-weighted: links with more bytes to move get proportionally
+    /// more bandwidth (idealized proportional-fair).
+    PayloadWeighted,
+    /// Channel-aware: bandwidth proportional to the inverse of spectral
+    /// efficiency, equalizing completion times (idealized water-filling).
+    ChannelAware,
+}
+
+
+/// Per-link context the allocator may use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDemand {
+    /// Bytes this link must move in the phase.
+    pub payload_bytes: u64,
+    /// Spectral efficiency of the link in bits/s/Hz (rate per unit
+    /// bandwidth), used by [`BandwidthPolicy::ChannelAware`].
+    pub spectral_efficiency: f64,
+}
+
+/// Splits `total` bandwidth across the given link demands.
+///
+/// Returns one [`Hertz`] per demand; the shares always sum to `total`
+/// (up to floating-point rounding).
+///
+/// # Errors
+///
+/// Returns [`WirelessError::Config`] for an empty demand list,
+/// non-positive total bandwidth, or degenerate demands (all-zero payloads
+/// for [`BandwidthPolicy::PayloadWeighted`], non-positive efficiencies for
+/// [`BandwidthPolicy::ChannelAware`]).
+pub fn allocate(
+    policy: BandwidthPolicy,
+    total: Hertz,
+    demands: &[LinkDemand],
+) -> Result<Vec<Hertz>> {
+    if demands.is_empty() {
+        return Err(WirelessError::Config("no links to allocate".into()));
+    }
+    if total.as_hz() <= 0.0 {
+        return Err(WirelessError::Config("total bandwidth must be > 0".into()));
+    }
+    let n = demands.len();
+    let weights: Vec<f64> = match policy {
+        BandwidthPolicy::Equal => vec![1.0; n],
+        BandwidthPolicy::PayloadWeighted => {
+            let w: Vec<f64> = demands.iter().map(|d| d.payload_bytes as f64).collect();
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err(WirelessError::Config(
+                    "payload-weighted allocation needs a non-zero payload".into(),
+                ));
+            }
+            w
+        }
+        BandwidthPolicy::ChannelAware => {
+            // Completion time of link i with share w_i: bytes_i/(w_i·B·se_i).
+            // Equalizing times ⇒ w_i ∝ bytes_i / se_i.
+            if demands.iter().any(|d| d.spectral_efficiency <= 0.0) {
+                return Err(WirelessError::Config(
+                    "channel-aware allocation needs positive spectral efficiencies".into(),
+                ));
+            }
+            demands
+                .iter()
+                .map(|d| {
+                    let b = (d.payload_bytes as f64).max(1.0);
+                    b / d.spectral_efficiency
+                })
+                .collect()
+        }
+    };
+    let sum: f64 = weights.iter().sum();
+    Ok(weights
+        .into_iter()
+        .map(|w| total.fraction(w / sum))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(bytes: u64, se: f64) -> LinkDemand {
+        LinkDemand {
+            payload_bytes: bytes,
+            spectral_efficiency: se,
+        }
+    }
+
+    #[test]
+    fn equal_split() {
+        let shares = allocate(
+            BandwidthPolicy::Equal,
+            Hertz::from_mhz(6.0),
+            &[demand(1, 1.0), demand(100, 2.0), demand(7, 0.5)],
+        )
+        .unwrap();
+        for s in &shares {
+            assert!((s.as_hz() - 2e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn payload_weighted_proportional() {
+        let shares = allocate(
+            BandwidthPolicy::PayloadWeighted,
+            Hertz::new(100.0),
+            &[demand(10, 1.0), demand(30, 1.0)],
+        )
+        .unwrap();
+        assert!((shares[0].as_hz() - 25.0).abs() < 1e-9);
+        assert!((shares[1].as_hz() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_aware_equalizes_completion_times() {
+        let demands = [demand(1000, 1.0), demand(1000, 4.0)];
+        let total = Hertz::new(100.0);
+        let shares = allocate(BandwidthPolicy::ChannelAware, total, &demands).unwrap();
+        // time_i = bytes/(share·se) must be equal across links.
+        let t0 = 1000.0 / (shares[0].as_hz() * 1.0);
+        let t1 = 1000.0 / (shares[1].as_hz() * 4.0);
+        assert!((t0 - t1).abs() / t0 < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_total() {
+        for policy in [
+            BandwidthPolicy::Equal,
+            BandwidthPolicy::PayloadWeighted,
+            BandwidthPolicy::ChannelAware,
+        ] {
+            let shares = allocate(
+                policy,
+                Hertz::new(1234.5),
+                &[demand(5, 0.5), demand(50, 2.0), demand(500, 1.0)],
+            )
+            .unwrap();
+            let sum: f64 = shares.iter().map(Hertz::as_hz).sum();
+            assert!((sum - 1234.5).abs() < 1e-6, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(allocate(BandwidthPolicy::Equal, Hertz::new(10.0), &[]).is_err());
+        assert!(allocate(BandwidthPolicy::Equal, Hertz::new(0.0), &[demand(1, 1.0)]).is_err());
+        assert!(allocate(
+            BandwidthPolicy::PayloadWeighted,
+            Hertz::new(10.0),
+            &[demand(0, 1.0)]
+        )
+        .is_err());
+        assert!(allocate(
+            BandwidthPolicy::ChannelAware,
+            Hertz::new(10.0),
+            &[demand(1, 0.0)]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Device energy accounting.
+//!
+//! Resource-limited clients are usually battery-limited too, so the
+//! harness tracks per-round energy next to latency. The model is the
+//! standard linear one: radiated transmit power plus constant circuit
+//! power while transmitting, constant receive power while listening, and
+//! a constant compute power while training.
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy amount.
+    pub fn new(j: f64) -> Self {
+        Joules(j)
+    }
+
+    /// The value in joules.
+    pub fn as_joules(&self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, std::ops::Add::add)
+    }
+}
+
+impl std::fmt::Display for Joules {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.2}kJ", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.2}J", self.0)
+        }
+    }
+}
+
+/// Power draw profile of a client device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Power while transmitting (PA + circuits), watts.
+    pub tx_watts: f64,
+    /// Power while receiving, watts.
+    pub rx_watts: f64,
+    /// Power while computing (CPU under training load), watts.
+    pub compute_watts: f64,
+    /// Idle floor, watts (charged on the full round duration if desired).
+    pub idle_watts: f64,
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        // Smartphone-class figures: ~1 W radio TX (23 dBm PA + circuits),
+        // ~0.8 W RX, ~2 W sustained CPU training load, ~0.1 W idle.
+        PowerProfile {
+            tx_watts: 1.0,
+            rx_watts: 0.8,
+            compute_watts: 2.0,
+            idle_watts: 0.1,
+        }
+    }
+}
+
+impl PowerProfile {
+    /// Energy for a transmission of the given duration.
+    pub fn tx_energy(&self, t: Seconds) -> Joules {
+        Joules::new(self.tx_watts * t.as_secs_f64())
+    }
+
+    /// Energy for a reception of the given duration.
+    pub fn rx_energy(&self, t: Seconds) -> Joules {
+        Joules::new(self.rx_watts * t.as_secs_f64())
+    }
+
+    /// Energy for on-device computation of the given duration.
+    pub fn compute_energy(&self, t: Seconds) -> Joules {
+        Joules::new(self.compute_watts * t.as_secs_f64())
+    }
+
+    /// Idle energy over the given duration.
+    pub fn idle_energy(&self, t: Seconds) -> Joules {
+        Joules::new(self.idle_watts * t.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = PowerProfile::default();
+        let t = Seconds::new(2.0);
+        assert!((p.tx_energy(t).as_joules() - 2.0).abs() < 1e-9);
+        assert!((p.rx_energy(t).as_joules() - 1.6).abs() < 1e-9);
+        assert!((p.compute_energy(t).as_joules() - 4.0).abs() < 1e-9);
+        assert!((p.idle_energy(t).as_joules() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joules_arithmetic_and_display() {
+        let total: Joules = [Joules::new(1.5), Joules::new(2.5)].into_iter().sum();
+        assert_eq!(total.as_joules(), 4.0);
+        assert_eq!(Joules::new(0.5).to_string(), "0.50J");
+        assert_eq!(Joules::new(2500.0).to_string(), "2.50kJ");
+        let mut j = Joules::ZERO;
+        j += Joules::new(1.0);
+        assert_eq!(j.as_joules(), 1.0);
+    }
+}

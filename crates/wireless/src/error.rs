@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Error type for wireless model configuration and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirelessError {
+    /// A model was configured with an invalid parameter.
+    Config(String),
+    /// A client index was out of range.
+    UnknownClient {
+        /// The offending index.
+        client: usize,
+        /// Number of clients configured.
+        clients: usize,
+    },
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessError::Config(msg) => write!(f, "configuration error: {msg}"),
+            WirelessError::UnknownClient { client, clients } => {
+                write!(f, "client {client} out of range for {clients} clients")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WirelessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_values() {
+        let e = WirelessError::UnknownClient {
+            client: 9,
+            clients: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

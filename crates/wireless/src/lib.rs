@@ -1,0 +1,57 @@
+//! Wireless network substrate for the GSFL reproduction.
+//!
+//! The paper evaluates training schemes over a resource-limited wireless
+//! network: one access point (AP) with a co-located edge server, and N
+//! mobile clients. This crate provides the standard physical-layer and
+//! device models that the latency accounting is built on (the same family
+//! of models as the paper's reference \[2\], Wu et al., JSAC 2023):
+//!
+//! * [`units`] — strongly typed quantities ([`units::Seconds`],
+//!   [`units::Bytes`], [`units::Hertz`], [`units::Dbm`], …),
+//! * [`pathloss`] — free-space and log-distance path loss with log-normal
+//!   shadowing,
+//! * [`fading`] — Rayleigh block fading, deterministic per (link, round),
+//! * [`link`] — SNR and Shannon-capacity achievable rate,
+//! * [`allocation`] — how the AP divides its bandwidth among concurrent
+//!   transmitters (equal / weighted / channel-aware),
+//! * [`device`] — heterogeneous client compute profiles,
+//! * [`server`] — the edge-server compute profile (rate + parallel slots),
+//! * [`topology`] — client placement around the AP,
+//! * [`latency`] — the composed latency model: transmission and
+//!   computation times for arbitrary payloads and FLOP counts.
+//!
+//! # Example
+//!
+//! ```
+//! use gsfl_wireless::latency::LatencyModel;
+//! use gsfl_wireless::units::Bytes;
+//!
+//! # fn main() -> Result<(), gsfl_wireless::WirelessError> {
+//! let model = LatencyModel::builder().clients(4).seed(7).build()?;
+//! // Uplink time for 1 MiB of smashed data from client 0 in round 0.
+//! let t = model.uplink_time(0, Bytes::new(1 << 20), 0)?;
+//! assert!(t.as_secs_f64() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod allocation;
+pub mod device;
+pub mod energy;
+pub mod fading;
+pub mod latency;
+pub mod link;
+pub mod pathloss;
+pub mod server;
+pub mod topology;
+pub mod units;
+
+pub use error::WirelessError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WirelessError>;

@@ -1,0 +1,131 @@
+//! Path-loss models.
+
+use crate::units::Meters;
+use crate::{Result, WirelessError};
+use serde::{Deserialize, Serialize};
+
+/// Large-scale path loss as a function of distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLoss {
+    /// Free-space path loss at carrier frequency `carrier_ghz`.
+    FreeSpace {
+        /// Carrier frequency in GHz.
+        carrier_ghz: f64,
+    },
+    /// Log-distance model: `PL(d) = ref_loss_db + 10·n·log10(d/d0)`.
+    LogDistance {
+        /// Path-loss exponent `n` (≈2 free space, 3–4 urban).
+        exponent: f64,
+        /// Loss at the reference distance, in dB.
+        ref_loss_db: f64,
+        /// Reference distance `d0` in meters.
+        ref_distance_m: f64,
+    },
+}
+
+impl PathLoss {
+    /// A sensible urban-microcell default (3.5 GHz, exponent 3.0).
+    pub fn urban_default() -> Self {
+        PathLoss::LogDistance {
+            exponent: 3.0,
+            ref_loss_db: 43.3, // FSPL at 1 m, 3.5 GHz
+            ref_distance_m: 1.0,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for non-positive frequencies,
+    /// exponents or reference distances.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            PathLoss::FreeSpace { carrier_ghz } if carrier_ghz <= 0.0 => Err(
+                WirelessError::Config(format!("carrier must be > 0, got {carrier_ghz}")),
+            ),
+            PathLoss::LogDistance {
+                exponent,
+                ref_distance_m,
+                ..
+            } if exponent <= 0.0 || ref_distance_m <= 0.0 => Err(WirelessError::Config(
+                "log-distance exponent and reference distance must be > 0".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// The loss in dB at `distance` (clamped to ≥ 1 m to avoid the
+    /// near-field singularity).
+    pub fn loss_db(&self, distance: Meters) -> f64 {
+        let d = distance.as_meters().max(1.0);
+        match *self {
+            PathLoss::FreeSpace { carrier_ghz } => {
+                // FSPL(dB) = 20 log10(d) + 20 log10(f) + 32.44, d in km, f in MHz
+                20.0 * (d / 1000.0).log10() + 20.0 * (carrier_ghz * 1000.0).log10() + 32.44
+            }
+            PathLoss::LogDistance {
+                exponent,
+                ref_loss_db,
+                ref_distance_m,
+            } => ref_loss_db + 10.0 * exponent * (d / ref_distance_m).log10(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_increases_with_distance() {
+        for model in [PathLoss::FreeSpace { carrier_ghz: 3.5 }, PathLoss::urban_default()] {
+            let near = model.loss_db(Meters::new(10.0));
+            let far = model.loss_db(Meters::new(100.0));
+            assert!(far > near, "{model:?}: {far} vs {near}");
+        }
+    }
+
+    #[test]
+    fn log_distance_slope() {
+        let model = PathLoss::LogDistance {
+            exponent: 3.0,
+            ref_loss_db: 40.0,
+            ref_distance_m: 1.0,
+        };
+        // 10× distance ⇒ +30 dB at exponent 3.
+        let a = model.loss_db(Meters::new(10.0));
+        let b = model.loss_db(Meters::new(100.0));
+        assert!((b - a - 30.0).abs() < 1e-9);
+        assert!((model.loss_db(Meters::new(1.0)) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_space_reference_value() {
+        // FSPL at 1 km, 1 GHz ≈ 92.44 dB.
+        let model = PathLoss::FreeSpace { carrier_ghz: 1.0 };
+        assert!((model.loss_db(Meters::new(1000.0)) - 92.44).abs() < 0.1);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let model = PathLoss::urban_default();
+        assert_eq!(
+            model.loss_db(Meters::new(0.01)),
+            model.loss_db(Meters::new(1.0))
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PathLoss::FreeSpace { carrier_ghz: 0.0 }.validate().is_err());
+        assert!(PathLoss::urban_default().validate().is_ok());
+        assert!(PathLoss::LogDistance {
+            exponent: -1.0,
+            ref_loss_db: 40.0,
+            ref_distance_m: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Client placement around the access point.
+
+use crate::units::Meters;
+use crate::{Result, WirelessError};
+use gsfl_tensor::rng::SeedDerive;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Positions of N clients relative to the AP at the origin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    distances: Vec<Meters>,
+}
+
+impl Topology {
+    /// Places `n` clients uniformly at random in an annulus
+    /// `[min_radius, max_radius]` around the AP (uniform over area).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for inverted or non-positive
+    /// radii.
+    pub fn random_annulus(
+        n: usize,
+        min_radius: Meters,
+        max_radius: Meters,
+        seed: u64,
+    ) -> Result<Self> {
+        let (r0, r1) = (min_radius.as_meters(), max_radius.as_meters());
+        if r0 <= 0.0 || r1 < r0 {
+            return Err(WirelessError::Config(format!(
+                "invalid annulus radii [{r0}, {r1}]"
+            )));
+        }
+        let seeds = SeedDerive::new(seed).child("topology");
+        let distances = (0..n)
+            .map(|i| {
+                let mut rng = seeds.index(i as u64).rng();
+                // Uniform over the annulus area ⇒ r = sqrt(U·(r1²−r0²)+r0²).
+                let u: f64 = rng.gen();
+                Meters::new((u * (r1 * r1 - r0 * r0) + r0 * r0).sqrt())
+            })
+            .collect();
+        Ok(Topology { distances })
+    }
+
+    /// A fixed, explicit placement (for tests and analytic cross-checks).
+    pub fn fixed(distances: Vec<Meters>) -> Self {
+        Topology { distances }
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// Distance of `client` from the AP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for out-of-range indices.
+    pub fn distance(&self, client: usize) -> Result<Meters> {
+        self.distances
+            .get(client)
+            .copied()
+            .ok_or(WirelessError::UnknownClient {
+                client,
+                clients: self.distances.len(),
+            })
+    }
+
+    /// All distances.
+    pub fn distances(&self) -> &[Meters] {
+        &self.distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annulus_respects_bounds() {
+        let t = Topology::random_annulus(100, Meters::new(20.0), Meters::new(200.0), 1).unwrap();
+        assert_eq!(t.client_count(), 100);
+        for d in t.distances() {
+            assert!((20.0..=200.0).contains(&d.as_meters()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Topology::random_annulus(10, Meters::new(10.0), Meters::new(50.0), 3).unwrap();
+        let b = Topology::random_annulus(10, Meters::new(10.0), Meters::new(50.0), 3).unwrap();
+        let c = Topology::random_annulus(10, Meters::new(10.0), Meters::new(50.0), 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let t = Topology::fixed(vec![Meters::new(5.0)]);
+        assert!(t.distance(0).is_ok());
+        assert!(matches!(
+            t.distance(1),
+            Err(WirelessError::UnknownClient { client: 1, clients: 1 })
+        ));
+    }
+
+    #[test]
+    fn invalid_radii_rejected() {
+        assert!(Topology::random_annulus(5, Meters::new(0.0), Meters::new(10.0), 0).is_err());
+        assert!(Topology::random_annulus(5, Meters::new(20.0), Meters::new(10.0), 0).is_err());
+    }
+
+    #[test]
+    fn area_uniform_biases_outward() {
+        // Uniform-over-area places more clients in the outer half of the
+        // annulus (it has more area).
+        let t =
+            Topology::random_annulus(2000, Meters::new(10.0), Meters::new(100.0), 7).unwrap();
+        let mid = ((10.0f64 * 10.0 + 100.0 * 100.0) / 2.0).sqrt(); // equal-area split
+        let outer = t
+            .distances()
+            .iter()
+            .filter(|d| d.as_meters() > mid)
+            .count();
+        let frac = outer as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "outer fraction {frac}");
+    }
+}

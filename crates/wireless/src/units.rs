@@ -1,0 +1,312 @@
+//! Strongly typed physical quantities.
+//!
+//! Newtypes keep seconds, bytes, hertz and decibel-milliwatts from being
+//! mixed up in the latency arithmetic (C-NEWTYPE). Only the operations the
+//! models actually need are provided.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in seconds (f64, non-negative by construction in the models).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero duration.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a duration.
+    pub fn new(secs: f64) -> Self {
+        Seconds(secs)
+    }
+
+    /// The value in seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Seconds) -> Seconds {
+        Seconds(self.0.max(other.0))
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        iter.fold(Seconds::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+/// A payload size in bytes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// The raw count.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// The count as bits (for rate arithmetic).
+    pub fn as_bits(&self) -> u64 {
+        self.0 * 8
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1 << 20 {
+            write!(f, "{:.2}MiB", self.0 as f64 / (1 << 20) as f64)
+        } else if self.0 >= 1 << 10 {
+            write!(f, "{:.2}KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A frequency / bandwidth in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Hertz(f64);
+
+impl Hertz {
+    /// Creates a frequency.
+    pub fn new(hz: f64) -> Self {
+        Hertz(hz)
+    }
+
+    /// Convenience constructor in MHz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// The value in hertz.
+    pub fn as_hz(&self) -> f64 {
+        self.0
+    }
+
+    /// Scales the bandwidth by a fraction (allocation).
+    pub fn fraction(&self, f: f64) -> Hertz {
+        Hertz(self.0 * f)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.2}MHz", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.2}kHz", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1}Hz", self.0)
+        }
+    }
+}
+
+/// A power level in dBm.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Creates a power level.
+    pub fn new(dbm: f64) -> Self {
+        Dbm(dbm)
+    }
+
+    /// The value in dBm.
+    pub fn as_dbm(&self) -> f64 {
+        self.0
+    }
+
+    /// Converts to milliwatts.
+    pub fn to_milliwatts(&self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds from milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mw` is not positive (−∞ dBm is not representable).
+    pub fn from_milliwatts(mw: f64) -> Self {
+        assert!(mw > 0.0, "power must be positive");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Subtracts a loss in dB.
+    pub fn minus_db(&self, db: f64) -> Dbm {
+        Dbm(self.0 - db)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}dBm", self.0)
+    }
+}
+
+/// A distance in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Meters(f64);
+
+impl Meters {
+    /// Creates a distance.
+    pub fn new(m: f64) -> Self {
+        Meters(m)
+    }
+
+    /// The value in meters.
+    pub fn as_meters(&self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}m", self.0)
+    }
+}
+
+/// A compute rate in FLOP/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct FlopsRate(f64);
+
+impl FlopsRate {
+    /// Creates a rate.
+    pub fn new(flops_per_sec: f64) -> Self {
+        FlopsRate(flops_per_sec)
+    }
+
+    /// Convenience constructor in GFLOP/s.
+    pub fn from_gflops(g: f64) -> Self {
+        FlopsRate(g * 1e9)
+    }
+
+    /// The value in FLOP/s.
+    pub fn as_flops_per_sec(&self) -> f64 {
+        self.0
+    }
+
+    /// Time to execute `flops` operations at this rate.
+    ///
+    /// Returns zero time for a zero rate guard to avoid division by zero —
+    /// models validate rates at construction.
+    pub fn time_for(&self, flops: u64) -> Seconds {
+        if self.0 <= 0.0 {
+            return Seconds::ZERO;
+        }
+        Seconds::new(flops as f64 / self.0)
+    }
+}
+
+impl fmt::Display for FlopsRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GFLOP/s", self.0 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_arithmetic() {
+        let a = Seconds::new(1.5);
+        let b = Seconds::new(0.5);
+        assert_eq!((a + b).as_secs_f64(), 2.0);
+        assert_eq!((a - b).as_secs_f64(), 1.0);
+        assert_eq!(a.max(b), a);
+        let total: Seconds = [a, b].into_iter().sum();
+        assert_eq!(total.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn bytes_bits_and_display() {
+        assert_eq!(Bytes::new(10).as_bits(), 80);
+        assert_eq!(Bytes::new(512).to_string(), "512B");
+        assert_eq!(Bytes::new(2048).to_string(), "2.00KiB");
+        assert!(Bytes::new(3 << 20).to_string().contains("MiB"));
+    }
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        for dbm in [-30.0, 0.0, 23.0] {
+            let p = Dbm::new(dbm);
+            let back = Dbm::from_milliwatts(p.to_milliwatts());
+            assert!((back.as_dbm() - dbm).abs() < 1e-9);
+        }
+        assert_eq!(Dbm::new(0.0).to_milliwatts(), 1.0);
+        assert!((Dbm::new(30.0).to_milliwatts() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flops_rate_time() {
+        let r = FlopsRate::from_gflops(2.0);
+        assert!((r.time_for(4_000_000_000).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(FlopsRate::new(0.0).time_for(100), Seconds::ZERO);
+    }
+
+    #[test]
+    fn hertz_helpers() {
+        assert_eq!(Hertz::from_mhz(5.0).as_hz(), 5e6);
+        assert_eq!(Hertz::new(100.0).fraction(0.25).as_hz(), 25.0);
+        assert_eq!(Hertz::from_mhz(1.0).to_string(), "1.00MHz");
+    }
+}

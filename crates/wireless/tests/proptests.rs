@@ -1,0 +1,127 @@
+//! Property-based tests for the wireless substrate.
+
+use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
+use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::link::LinkBudget;
+use gsfl_wireless::pathloss::PathLoss;
+use gsfl_wireless::units::{Bytes, Hertz, Meters};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pathloss_monotone_in_distance(
+        d1 in 1.0f64..500.0,
+        delta in 0.1f64..500.0,
+    ) {
+        for model in [PathLoss::FreeSpace { carrier_ghz: 3.5 }, PathLoss::urban_default()] {
+            let near = model.loss_db(Meters::new(d1));
+            let far = model.loss_db(Meters::new(d1 + delta));
+            prop_assert!(far >= near, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn shannon_rate_positive_and_monotone_in_bandwidth(
+        d in 5.0f64..300.0,
+        bw1 in 0.1f64..20.0,
+        extra in 0.1f64..20.0,
+    ) {
+        let lb = LinkBudget::uplink_default();
+        let r1 = lb.rate_bps(Meters::new(d), Hertz::from_mhz(bw1), 1.0);
+        let r2 = lb.rate_bps(Meters::new(d), Hertz::from_mhz(bw1 + extra), 1.0);
+        prop_assert!(r1 > 0.0);
+        prop_assert!(r2 > r1, "more bandwidth must raise the rate");
+    }
+
+    #[test]
+    fn transmit_time_additive_in_payload(
+        d in 5.0f64..300.0,
+        a in 1u64..1_000_000,
+        b in 1u64..1_000_000,
+    ) {
+        let lb = LinkBudget::uplink_default();
+        let bw = Hertz::from_mhz(2.0);
+        let t = |bytes: u64| {
+            lb.transmit_time(Bytes::new(bytes), Meters::new(d), bw, 1.0)
+                .unwrap()
+                .as_secs_f64()
+        };
+        prop_assert!((t(a) + t(b) - t(a + b)).abs() < 1e-9 * t(a + b).max(1.0));
+    }
+
+    #[test]
+    fn allocation_shares_cover_total_and_stay_positive(
+        total_mhz in 0.5f64..50.0,
+        payloads in prop::collection::vec(1u64..1_000_000, 1..12),
+    ) {
+        let demands: Vec<LinkDemand> = payloads
+            .iter()
+            .map(|&p| LinkDemand {
+                payload_bytes: p,
+                spectral_efficiency: 1.0 + (p % 7) as f64,
+            })
+            .collect();
+        for policy in [
+            BandwidthPolicy::Equal,
+            BandwidthPolicy::PayloadWeighted,
+            BandwidthPolicy::ChannelAware,
+        ] {
+            let shares = allocate(policy, Hertz::from_mhz(total_mhz), &demands).unwrap();
+            let sum: f64 = shares.iter().map(Hertz::as_hz).sum();
+            prop_assert!((sum - total_mhz * 1e6).abs() < 1.0, "{policy:?}");
+            prop_assert!(shares.iter().all(|s| s.as_hz() > 0.0), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn latency_model_deterministic_and_distance_monotone(
+        seed in 0u64..200,
+        payload in 1u64..1_000_000,
+    ) {
+        let near = LatencyModel::builder()
+            .clients(2)
+            .seed(seed)
+            .fading(false)
+            .fixed_distances(vec![Meters::new(30.0), Meters::new(190.0)])
+            .build()
+            .unwrap();
+        let t_near = near.uplink_time(0, Bytes::new(payload), 0).unwrap();
+        let t_far = near.uplink_time(1, Bytes::new(payload), 0).unwrap();
+        prop_assert!(t_far > t_near, "farther client must be slower");
+        // Determinism across fresh builds.
+        let again = LatencyModel::builder()
+            .clients(2)
+            .seed(seed)
+            .fading(false)
+            .fixed_distances(vec![Meters::new(30.0), Meters::new(190.0)])
+            .build()
+            .unwrap();
+        prop_assert_eq!(again.uplink_time(0, Bytes::new(payload), 0).unwrap(), t_near);
+    }
+
+    #[test]
+    fn fading_preserves_mean_rate_ordering(seed in 0u64..100) {
+        // Averaged over many rounds, a near client still beats a far one
+        // despite fading.
+        let model = LatencyModel::builder()
+            .clients(2)
+            .seed(seed)
+            .fixed_distances(vec![Meters::new(30.0), Meters::new(190.0)])
+            .build()
+            .unwrap();
+        let avg = |client: usize| -> f64 {
+            (0..200)
+                .map(|round| {
+                    model
+                        .uplink_time(client, Bytes::new(100_000), round)
+                        .unwrap()
+                        .as_secs_f64()
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        prop_assert!(avg(1) > avg(0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Cut-layer selection study (the paper's §IV future work): how moving
+//! the split point trades client compute against smashed-data traffic,
+//! and what that does to round latency.
+//!
+//! Run with: `cargo run --release --example cut_layer_study`
+
+use gsfl::core::latency::{gsfl_round, ChannelMode, SplitCosts};
+use gsfl::nn::model::{CutPoint, DeepThin};
+use gsfl::nn::split::SplitNetwork;
+use gsfl::wireless::allocation::BandwidthPolicy;
+use gsfl::wireless::latency::LatencyModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = LatencyModel::builder().clients(30).seed(11).build()?;
+    let groups: Vec<Vec<usize>> = (0..6).map(|g| (0..30).filter(|c| c % 6 == g).collect()).collect();
+    let steps = vec![4usize; 30];
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>16} {:>10}",
+        "cut", "client_FLOPs_%", "smashed_B", "client_model_B", "round_s"
+    );
+    for cut in CutPoint::all() {
+        let net = DeepThin::builder(16, 43).seed(1).build()?;
+        let costs = SplitCosts::compute(&net, cut.layer_index(), &[3, 16, 16], 16)?;
+        let split = SplitNetwork::split(DeepThin::builder(16, 43).seed(1).build()?, cut.layer_index())?;
+        let r = gsfl_round(&model, &costs, &steps, &groups, BandwidthPolicy::Equal, ChannelMode::Dedicated, 0)?;
+        let client_share = (costs.client_fwd_flops + costs.client_bwd_flops) as f64
+            / costs.full_flops as f64
+            * 100.0;
+        println!(
+            "{:<8} {:>13.1}% {:>14} {:>16} {:>10.2}",
+            cut.label(),
+            client_share,
+            costs.smashed_bytes.as_u64(),
+            split.client.param_bytes(),
+            r.duration.as_secs_f64()
+        );
+    }
+    println!("\nShallow cuts (conv1/pool1) keep the device load tiny — the");
+    println!("paper's regime for resource-limited clients — while deep cuts");
+    println!("trade smashed-data traffic for on-device FLOPs.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # GSFL — group-based split federated learning
+//!
+//! A from-scratch Rust reproduction of *"Split Federated Learning: Speed
+//! up Model Training in Resource-Limited Wireless Networks"* (Zhang, Wu,
+//! Hu, Li, Zhang — ICDCS 2023): the GSFL training scheme, its CL / FL /
+//! SL / SFL baselines, and the full simulation stack they run on.
+//!
+//! This meta-crate re-exports the workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `gsfl-tensor` | dense f32 tensors, matmul, conv, pooling |
+//! | [`nn`] | `gsfl-nn` | layers, losses, SGD, **cut-layer splitting**, FedAvg algebra |
+//! | [`data`] | `gsfl-data` | synthetic GTSRB, IID/Dirichlet/shard partitioners |
+//! | [`wireless`] | `gsfl-wireless` | path loss, fading, Shannon rates, devices |
+//! | [`simnet`] | `gsfl-simnet` | deterministic DES with k-slot resources |
+//! | [`core`] | `gsfl-core` | the schemes, grouping, latency accounting, runner |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gsfl::core::config::ExperimentConfig;
+//! use gsfl::core::runner::Runner;
+//! use gsfl::core::scheme::SchemeKind;
+//!
+//! # fn main() -> Result<(), gsfl::core::CoreError> {
+//! let config = ExperimentConfig::builder()
+//!     .clients(30)
+//!     .groups(6)
+//!     .rounds(50)
+//!     .build()?;
+//! let runner = Runner::new(config)?;
+//! let gsfl = runner.run(SchemeKind::Gsfl)?;
+//! let sl = runner.run(SchemeKind::VanillaSplit)?;
+//! println!(
+//!     "GSFL reached {:.1}% in {:.0}s simulated; SL took {:.0}s",
+//!     gsfl.final_accuracy_pct(),
+//!     gsfl.total_latency_s(),
+//!     sl.total_latency_s()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper.
+
+#![deny(missing_docs)]
+
+pub use gsfl_core as core;
+pub use gsfl_data as data;
+pub use gsfl_nn as nn;
+pub use gsfl_simnet as simnet;
+pub use gsfl_tensor as tensor;
+pub use gsfl_wireless as wireless;

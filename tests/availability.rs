@@ -1,0 +1,141 @@
+//! Failure injection: client churn via per-round availability.
+//!
+//! With `availability < 1` every scheme must keep training (skipping the
+//! unreachable clients), keep its latency accounting consistent (fewer
+//! participants ⇒ cheaper rounds), and stay deterministic.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+
+fn config(availability: f64, rounds: usize) -> ExperimentConfig {
+    let base = gsfl::data::synth::Augment::default();
+    let mild = gsfl::data::synth::Augment {
+        rotation: base.rotation * 0.5,
+        translation: base.translation * 0.5,
+        scale_jitter: base.scale_jitter * 0.5,
+        brightness: base.brightness * 0.5,
+        noise_std: base.noise_std * 0.5,
+        background_jitter: base.background_jitter,
+    };
+    ExperimentConfig::builder()
+        .clients(8)
+        .groups(2)
+        .rounds(rounds)
+        .batch_size(8)
+        .learning_rate(0.1)
+        .eval_every(rounds.max(1))
+        .augment(mild)
+        .availability(availability)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 20,
+            test_per_class: 8,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp {
+            hidden: vec![24],
+        })
+        .seed(31)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn full_availability_matches_default_semantics() {
+    // availability = 1.0 must reproduce the baseline exactly.
+    let base = Runner::new(config(1.0, 3)).unwrap();
+    for kind in SchemeKind::all() {
+        let a = base.run(kind).unwrap();
+        let b = base.run(kind).unwrap();
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.train_loss.to_bits(), rb.train_loss.to_bits(), "{kind}");
+        }
+    }
+}
+
+#[test]
+fn availability_is_rejected_outside_unit_interval() {
+    assert!(ExperimentConfig::builder().availability(0.0).build().is_err());
+    assert!(ExperimentConfig::builder().availability(1.5).build().is_err());
+    assert!(ExperimentConfig::builder().availability(0.5).build().is_ok());
+}
+
+#[test]
+fn every_scheme_survives_churn_and_learns() {
+    // Per-round participation is a biased subsample, so accuracy
+    // oscillates; the best evaluation over the horizon must still be well
+    // above the 25 % chance level.
+    let mut cfg = config(0.6, 20);
+    cfg.eval_every = 2;
+    let runner = Runner::new(cfg).unwrap();
+    for kind in [
+        SchemeKind::VanillaSplit,
+        SchemeKind::Gsfl,
+        SchemeKind::Federated,
+        SchemeKind::SplitFed,
+    ] {
+        let r = runner.run(kind).unwrap();
+        assert_eq!(r.records.len(), 20, "{kind} must run all rounds");
+        assert!(
+            r.best_accuracy_pct() > 45.0,
+            "{kind} stuck at best {:.1}% under churn",
+            r.best_accuracy_pct()
+        );
+    }
+}
+
+#[test]
+fn churn_reduces_round_cost() {
+    // Fewer participants per round ⇒ fewer bytes and (for the sequential
+    // scheme) less time, summed over a horizon.
+    let full = Runner::new(config(1.0, 6))
+        .unwrap()
+        .run(SchemeKind::VanillaSplit)
+        .unwrap();
+    let churny = Runner::new(config(0.5, 6))
+        .unwrap()
+        .run(SchemeKind::VanillaSplit)
+        .unwrap();
+    assert!(churny.total_bytes() < full.total_bytes());
+    assert!(churny.total_latency_s() < full.total_latency_s());
+    assert!(churny.total_client_energy_j() < full.total_client_energy_j());
+}
+
+#[test]
+fn churn_is_deterministic_and_seed_sensitive() {
+    let a = Runner::new(config(0.5, 5))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    let b = Runner::new(config(0.5, 5))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.train_loss.to_bits(), rb.train_loss.to_bits());
+        assert_eq!(ra.bytes_up, rb.bytes_up);
+    }
+    // A different seed draws different availability patterns.
+    let mut other_cfg = config(0.5, 5);
+    other_cfg.seed = 32;
+    let c = Runner::new(other_cfg).unwrap().run(SchemeKind::Gsfl).unwrap();
+    let differs = a
+        .records
+        .iter()
+        .zip(&c.records)
+        .any(|(x, y)| x.bytes_up != y.bytes_up || x.train_loss != y.train_loss);
+    assert!(differs);
+}
+
+#[test]
+fn extreme_churn_never_empties_a_round() {
+    // At 1% availability the fallback guarantees one participant per
+    // round; the run must complete with non-zero latency each round.
+    let runner = Runner::new(config(0.01, 4)).unwrap();
+    let r = runner.run(SchemeKind::VanillaSplit).unwrap();
+    assert_eq!(r.records.len(), 4);
+    for rec in &r.records {
+        assert!(rec.round_latency_s > 0.0);
+    }
+}

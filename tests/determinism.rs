@@ -1,0 +1,80 @@
+//! Whole-stack determinism and seed-sensitivity: the same seed must give
+//! bit-identical experiments end to end; a different seed must change
+//! them.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+
+fn config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(6)
+        .groups(3)
+        .rounds(3)
+        .batch_size(8)
+        .eval_every(1)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 10,
+            test_per_class: 5,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp {
+            hidden: vec![12],
+        })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn same_seed_bit_identical_across_fresh_runners() {
+    for kind in SchemeKind::all() {
+        let a = Runner::new(config(9)).unwrap().run(kind).unwrap();
+        let b = Runner::new(config(9)).unwrap().run(kind).unwrap();
+        assert_eq!(a.records.len(), b.records.len(), "{kind}");
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.train_loss.to_bits(), rb.train_loss.to_bits(), "{kind}");
+            assert_eq!(
+                ra.round_latency_s.to_bits(),
+                rb.round_latency_s.to_bits(),
+                "{kind}"
+            );
+            assert_eq!(
+                ra.test_accuracy.map(f64::to_bits),
+                rb.test_accuracy.map(f64::to_bits),
+                "{kind}"
+            );
+            assert_eq!(ra.bytes_up, rb.bytes_up, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn different_seed_changes_trajectory() {
+    let a = Runner::new(config(1)).unwrap().run(SchemeKind::Gsfl).unwrap();
+    let b = Runner::new(config(2)).unwrap().run(SchemeKind::Gsfl).unwrap();
+    let differs = a
+        .records
+        .iter()
+        .zip(&b.records)
+        .any(|(ra, rb)| ra.train_loss != rb.train_loss || ra.round_latency_s != rb.round_latency_s);
+    assert!(differs, "seeds 1 and 2 gave identical runs");
+}
+
+#[test]
+fn csv_and_json_outputs_round_trip() {
+    let result = Runner::new(config(5))
+        .unwrap()
+        .run(SchemeKind::VanillaSplit)
+        .unwrap();
+    let dir = std::env::temp_dir().join("gsfl_determinism_test");
+    let stem = dir.join("sl_run");
+    result.write_to(&stem).unwrap();
+    let csv = std::fs::read_to_string(stem.with_extension("csv")).unwrap();
+    assert!(csv.lines().count() > 1);
+    let json = std::fs::read_to_string(stem.with_extension("json")).unwrap();
+    let back: gsfl::core::results::RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.records.len(), result.records.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,136 @@
+//! End-to-end convergence: every scheme must actually learn the synthetic
+//! traffic-sign task, and the per-round convergence ordering of the
+//! paper's Fig. 2(a) must hold (CL ≈ SL ≥ GSFL > FL).
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind, PartitionStrategy};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+
+/// A small but non-trivial experiment that trains in a few seconds.
+/// Mild augmentation keeps the task learnable within a handful of rounds
+/// while leaving enough intra-class variation to be non-trivial.
+fn config(rounds: usize) -> ExperimentConfig {
+    let base = gsfl::data::synth::Augment::default();
+    let mild = gsfl::data::synth::Augment {
+        rotation: base.rotation * 0.5,
+        translation: base.translation * 0.5,
+        scale_jitter: base.scale_jitter * 0.5,
+        brightness: base.brightness * 0.5,
+        noise_std: base.noise_std * 0.5,
+        background_jitter: base.background_jitter,
+    };
+    ExperimentConfig::builder()
+        .clients(8)
+        .groups(2)
+        .rounds(rounds)
+        .batch_size(8)
+        .learning_rate(0.1)
+        .eval_every(rounds.max(1))
+        .partition(PartitionStrategy::Dirichlet(1.0))
+        .augment(mild)
+        .dataset(DatasetConfig {
+            classes: 6,
+            samples_per_class: 30,
+            test_per_class: 10,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp {
+            hidden: vec![32],
+        })
+        .seed(11)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn every_scheme_learns_above_chance() {
+    let runner = Runner::new(config(8)).unwrap();
+    // Chance on 6 classes ≈ 16.7%.
+    for kind in SchemeKind::all() {
+        let result = runner.run(kind).unwrap();
+        assert!(
+            result.final_accuracy_pct() > 40.0,
+            "{kind} stuck at {:.1}%",
+            result.final_accuracy_pct()
+        );
+    }
+}
+
+#[test]
+fn centralized_and_split_reach_high_accuracy() {
+    let runner = Runner::new(config(12)).unwrap();
+    for kind in [SchemeKind::Centralized, SchemeKind::VanillaSplit] {
+        let result = runner.run(kind).unwrap();
+        assert!(
+            result.final_accuracy_pct() > 85.0,
+            "{kind} only reached {:.1}%",
+            result.final_accuracy_pct()
+        );
+    }
+}
+
+#[test]
+fn round_convergence_ordering_matches_paper() {
+    // Fig. 2(a) shape at fixed, small round budget: sequential training
+    // (CL/SL) is at least as accurate per round as group-averaged GSFL,
+    // which beats 8-way-averaged FL.
+    let runner = Runner::new(config(10)).unwrap();
+    let sl = runner.run(SchemeKind::VanillaSplit).unwrap();
+    let gsfl = runner.run(SchemeKind::Gsfl).unwrap();
+    let fl = runner.run(SchemeKind::Federated).unwrap();
+    let acc = |r: &gsfl::core::results::RunResult| r.final_accuracy_pct();
+    assert!(
+        acc(&sl) + 5.0 >= acc(&gsfl),
+        "SL {:.1}% should not trail GSFL {:.1}% by more than noise",
+        acc(&sl),
+        acc(&gsfl)
+    );
+    assert!(
+        acc(&gsfl) > acc(&fl),
+        "GSFL {:.1}% must beat FL {:.1}% per round",
+        acc(&gsfl),
+        acc(&fl)
+    );
+}
+
+#[test]
+fn training_reduces_loss_monotonically_ish() {
+    let runner = Runner::new(config(10)).unwrap();
+    let result = runner.run(SchemeKind::Gsfl).unwrap();
+    let first = result.records.first().unwrap().train_loss;
+    let last = result.records.last().unwrap().train_loss;
+    assert!(
+        last < first * 0.5,
+        "loss should at least halve: {first:.3} → {last:.3}"
+    );
+}
+
+#[test]
+fn cnn_path_works_end_to_end() {
+    // The DeepThin CNN on tiny images, few rounds — exercises conv/pool
+    // forward+backward through the full GSFL pipeline.
+    let config = ExperimentConfig::builder()
+        .clients(4)
+        .groups(2)
+        .rounds(3)
+        .batch_size(8)
+        .eval_every(3)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 12,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::DeepThin {
+            conv1: 4,
+            conv2: 8,
+            fc: 16,
+        })
+        .seed(3)
+        .build()
+        .unwrap();
+    let runner = Runner::new(config).unwrap();
+    let result = runner.run(SchemeKind::Gsfl).unwrap();
+    assert_eq!(result.records.len(), 3);
+    assert!(result.final_accuracy_pct() > 20.0);
+}

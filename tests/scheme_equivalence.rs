@@ -1,0 +1,109 @@
+//! Structural equivalences between schemes:
+//!
+//! * GSFL with M = N singleton groups is *statistically identical* to
+//!   SplitFed — same training trajectory, different storage accounting.
+//! * GSFL group training on threads is deterministic: repeated runs give
+//!   bit-identical records.
+//! * Split and full models compute the same function.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use gsfl::nn::model::Mlp;
+use gsfl::nn::split::SplitNetwork;
+use gsfl::tensor::Tensor;
+
+fn config(clients: usize, groups: usize) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(clients)
+        .groups(groups)
+        .rounds(4)
+        .batch_size(8)
+        .eval_every(2)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 16,
+            test_per_class: 6,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp {
+            hidden: vec![16],
+        })
+        .seed(21)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn gsfl_with_singleton_groups_matches_splitfed_trajectory() {
+    let runner = Runner::new(config(6, 6)).unwrap();
+    let gsfl = runner.run(SchemeKind::Gsfl).unwrap();
+    let sfl = runner.run(SchemeKind::SplitFed).unwrap();
+    assert_eq!(gsfl.records.len(), sfl.records.len());
+    for (a, b) in gsfl.records.iter().zip(&sfl.records) {
+        assert!(
+            (a.train_loss - b.train_loss).abs() < 1e-9,
+            "round {}: losses {} vs {}",
+            a.round,
+            a.train_loss,
+            b.train_loss
+        );
+        assert_eq!(a.test_accuracy, b.test_accuracy, "round {}", a.round);
+    }
+    // The storage accounting is where they differ: SFL keeps N replicas,
+    // GSFL(M=N) also N — but at the paper's M=6 < N the gap appears.
+    assert_eq!(gsfl.server_storage_bytes, sfl.server_storage_bytes);
+}
+
+#[test]
+fn gsfl_storage_is_m_out_of_n_of_splitfed() {
+    let runner = Runner::new(config(6, 2)).unwrap();
+    let gsfl = runner.run(SchemeKind::Gsfl).unwrap();
+    let sfl = runner.run(SchemeKind::SplitFed).unwrap();
+    assert_eq!(gsfl.server_storage_bytes * 3, sfl.server_storage_bytes);
+}
+
+#[test]
+fn parallel_group_training_is_deterministic() {
+    let runner = Runner::new(config(8, 4)).unwrap();
+    let a = runner.run(SchemeKind::Gsfl).unwrap();
+    let b = runner.run(SchemeKind::Gsfl).unwrap();
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.train_loss.to_bits(), rb.train_loss.to_bits());
+        assert_eq!(
+            ra.test_accuracy.map(f64::to_bits),
+            rb.test_accuracy.map(f64::to_bits)
+        );
+    }
+}
+
+#[test]
+fn split_model_computes_same_function_as_whole() {
+    let whole = Mlp::new(12, &[10, 8], 3, 5).into_sequential();
+    for cut in 1..whole.depth() {
+        let mut reference = whole.clone();
+        let mut split = SplitNetwork::split(whole.clone(), cut).unwrap();
+        let x = Tensor::from_fn(&[4, 12], |i| ((i * 7) % 13) as f32 * 0.1 - 0.6);
+        let expect = reference.forward(&x).unwrap();
+        let smashed = split.client.forward(&x).unwrap();
+        let got = split.server.forward(&smashed).unwrap();
+        assert!(
+            got.approx_eq(&expect, 1e-5),
+            "cut {cut} changes the function"
+        );
+    }
+}
+
+#[test]
+fn all_schemes_share_identical_data_and_init() {
+    // Two runners from the same config produce identical contexts; the
+    // first evaluation of CL and SL (same model init, before divergence)
+    // must agree at round 0 semantics — we check the shared context
+    // instead: shard sizes and group assignment.
+    let r1 = Runner::new(config(6, 3)).unwrap();
+    let r2 = Runner::new(config(6, 3)).unwrap();
+    assert_eq!(r1.context().groups, r2.context().groups);
+    let sizes1: Vec<usize> = r1.context().train_shards.iter().map(|s| s.len()).collect();
+    let sizes2: Vec<usize> = r2.context().train_shards.iter().map(|s| s.len()).collect();
+    assert_eq!(sizes1, sizes2);
+}
