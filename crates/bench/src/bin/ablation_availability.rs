@@ -23,8 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .availability(availability)
             .build()?;
         let runner = Runner::new(config)?;
-        let gsfl = runner.run(SchemeKind::Gsfl)?;
-        let sl = runner.run(SchemeKind::VanillaSplit)?;
+        let mut pair = runner
+            .run_many(&[SchemeKind::Gsfl, SchemeKind::VanillaSplit])?
+            .into_iter();
+        let (gsfl, sl) = (pair.next().unwrap(), pair.next().unwrap());
         save_result(&format!("ablation_avail_{availability}_gsfl"), &gsfl);
         rows.push(vec![
             format!("{availability:.1}"),

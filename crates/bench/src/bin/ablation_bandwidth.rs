@@ -108,7 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         eprintln!("  {label}: done");
     }
-    print_table(&["channel", "SL_round_s", "GSFL_round_s", "GSFL_speedup"], &rows);
+    print_table(
+        &["channel", "SL_round_s", "GSFL_round_s", "GSFL_speedup"],
+        &rows,
+    );
     println!("\nUnder dedicated OFDMA subchannels GSFL's group parallelism is");
     println!("real communication parallelism; a dynamic shared pool lets the");
     println!("lone SL transmitter grab the whole band and shrinks the gain —");

@@ -13,12 +13,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = TrainContext::from_config(config)?;
     let costs = ctx.costs;
     println!("cost profile (per batch):");
-    println!("  client fwd+bwd flops : {}", costs.client_fwd_flops + costs.client_bwd_flops);
+    println!(
+        "  client fwd+bwd flops : {}",
+        costs.client_fwd_flops + costs.client_bwd_flops
+    );
     println!("  server flops         : {}", costs.server_flops);
     println!("  full flops           : {}", costs.full_flops);
     println!("  smashed bytes        : {}", costs.smashed_bytes.as_u64());
-    println!("  client model bytes   : {}", costs.client_model_bytes.as_u64());
-    println!("  full model bytes     : {}", costs.full_model_bytes.as_u64());
+    println!(
+        "  client model bytes   : {}",
+        costs.client_model_bytes.as_u64()
+    );
+    println!(
+        "  full model bytes     : {}",
+        costs.full_model_bytes.as_u64()
+    );
 
     // Per-step timings for a median client at full bandwidth and at B/M.
     let c = 0usize;
@@ -28,28 +37,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ul_full = ctx.latency.uplink_time(c, costs.smashed_bytes, 0)?;
     let dl_full = ctx.latency.downlink_time(c, costs.grad_bytes, 0)?;
     let share = ctx.latency.total_bandwidth().fraction(1.0 / 6.0);
-    let ul_share = ctx.latency.uplink_time_with(c, costs.smashed_bytes, 0, share)?;
-    let dl_share = ctx.latency.downlink_time_with(c, costs.grad_bytes, 0, share)?;
-    println!("\nper-step timings, client 0 (distance {:.0} m, device {:.2} GFLOP/s):",
+    let ul_share = ctx
+        .latency
+        .uplink_time_with(c, costs.smashed_bytes, 0, share)?;
+    let dl_share = ctx
+        .latency
+        .downlink_time_with(c, costs.grad_bytes, 0, share)?;
+    println!(
+        "\nper-step timings, client 0 (distance {:.0} m, device {:.2} GFLOP/s):",
         ctx.latency.distance(c)?.as_meters(),
-        ctx.latency.device(c)?.rate().as_flops_per_sec() / 1e9);
-    println!("  client fwd / bwd     : {:.4}s / {:.4}s", cf.as_secs_f64(), cb.as_secs_f64());
+        ctx.latency.device(c)?.rate().as_flops_per_sec() / 1e9
+    );
+    println!(
+        "  client fwd / bwd     : {:.4}s / {:.4}s",
+        cf.as_secs_f64(),
+        cb.as_secs_f64()
+    );
     println!("  server fwd+bwd       : {:.6}s", sv.as_secs_f64());
-    println!("  uplink  (B, B/6)     : {:.4}s, {:.4}s", ul_full.as_secs_f64(), ul_share.as_secs_f64());
-    println!("  downlink(B, B/6)     : {:.4}s, {:.4}s", dl_full.as_secs_f64(), dl_share.as_secs_f64());
-    println!("  relay (model, B)     : {:.4}s", ctx.latency.uplink_time(c, costs.client_model_bytes, 0)?.as_secs_f64());
-    println!("  fl model ul (B/30)   : {:.4}s", ctx.latency.uplink_time_with(c, costs.full_model_bytes, 0, ctx.latency.total_bandwidth().fraction(1.0/30.0))?.as_secs_f64());
+    println!(
+        "  uplink  (B, B/6)     : {:.4}s, {:.4}s",
+        ul_full.as_secs_f64(),
+        ul_share.as_secs_f64()
+    );
+    println!(
+        "  downlink(B, B/6)     : {:.4}s, {:.4}s",
+        dl_full.as_secs_f64(),
+        dl_share.as_secs_f64()
+    );
+    println!(
+        "  relay (model, B)     : {:.4}s",
+        ctx.latency
+            .uplink_time(c, costs.client_model_bytes, 0)?
+            .as_secs_f64()
+    );
+    println!(
+        "  fl model ul (B/30)   : {:.4}s",
+        ctx.latency
+            .uplink_time_with(
+                c,
+                costs.full_model_bytes,
+                0,
+                ctx.latency.total_bandwidth().fraction(1.0 / 30.0)
+            )?
+            .as_secs_f64()
+    );
 
     let steps = ctx.steps_per_client();
     println!("\nsteps/client: {:?}", &steps[..6]);
     let order: Vec<usize> = (0..ctx.config.clients).collect();
     let sl = sl_round(&ctx.latency, &costs, &steps, &order, ctx.config.channel, 0)?;
-    let gsfl = gsfl_round(&ctx.latency, &costs, &steps, &ctx.groups, ctx.config.bandwidth_policy, ctx.config.channel, 0)?;
+    let gsfl = gsfl_round(
+        &ctx.latency,
+        &costs,
+        &steps,
+        &ctx.groups,
+        ctx.config.bandwidth_policy,
+        ctx.config.channel,
+        0,
+    )?;
     println!("\nSL round   : {:.2}s", sl.duration.as_secs_f64());
-    println!("GSFL round : {:.2}s  (speedup {:.2}×)", gsfl.duration.as_secs_f64(),
-        sl.duration.as_secs_f64() / gsfl.duration.as_secs_f64());
+    println!(
+        "GSFL round : {:.2}s  (speedup {:.2}×)",
+        gsfl.duration.as_secs_f64(),
+        sl.duration.as_secs_f64() / gsfl.duration.as_secs_f64()
+    );
     let mib = |b: u64| b as f64 / (1 << 20) as f64;
-    println!("SL bytes   : {:.2} MiB up, {:.2} MiB down", mib(sl.bytes.up), mib(sl.bytes.down));
+    println!(
+        "SL bytes   : {:.2} MiB up, {:.2} MiB down",
+        mib(sl.bytes.up),
+        mib(sl.bytes.down)
+    );
     let _ = (Bytes::ZERO, ChannelMode::Dedicated);
     Ok(())
 }

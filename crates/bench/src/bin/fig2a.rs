@@ -13,11 +13,11 @@ use gsfl_core::scheme::SchemeKind;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = gsfl_bench::full_scale();
     let rounds = rounds_override().unwrap_or(if full { 300 } else { 120 });
-    let config = paper_config(full)
-        .rounds(rounds)
-        .eval_every(2)
-        .build()?;
-    eprintln!("fig2a: {} rounds, 30 clients, 6 groups (full={full})", rounds);
+    let config = paper_config(full).rounds(rounds).eval_every(2).build()?;
+    eprintln!(
+        "fig2a: {} rounds, 30 clients, 6 groups (full={full})",
+        rounds
+    );
 
     let runner = Runner::new(config)?;
     let schemes = [
@@ -26,10 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SchemeKind::Gsfl,
         SchemeKind::Federated,
     ];
+    eprintln!("running {} schemes on parallel threads…", schemes.len());
     let mut results = Vec::new();
-    for kind in schemes {
-        eprintln!("running {kind}…");
-        let r = runner.run(kind)?;
+    for (kind, r) in schemes.into_iter().zip(runner.run_many(&schemes)?) {
         eprintln!(
             "  {kind}: final {:.1}% (best {:.1}%), host time {:.1}s",
             r.final_accuracy_pct(),

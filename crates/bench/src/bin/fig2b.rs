@@ -16,17 +16,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = gsfl_bench::full_scale();
     let rounds = rounds_override().unwrap_or(if full { 300 } else { 120 });
     let config = paper_config(full).rounds(rounds).eval_every(2).build()?;
-    eprintln!("fig2b: {} rounds, 30 clients, 6 groups (full={full})", rounds);
+    eprintln!(
+        "fig2b: {} rounds, 30 clients, 6 groups (full={full})",
+        rounds
+    );
 
     let runner = Runner::new(config)?;
-    let gsfl = runner.run(SchemeKind::Gsfl)?;
+    let mut results = runner
+        .run_many(&[SchemeKind::Gsfl, SchemeKind::VanillaSplit])?
+        .into_iter();
+    let gsfl = results.next().expect("gsfl result");
     eprintln!(
         "  gsfl: final {:.1}%, simulated {:.0}s",
         gsfl.final_accuracy_pct(),
         gsfl.total_latency_s()
     );
     save_result("fig2b_gsfl", &gsfl);
-    let sl = runner.run(SchemeKind::VanillaSplit)?;
+    let sl = results.next().expect("sl result");
     eprintln!(
         "  sl:   final {:.1}%, simulated {:.0}s",
         sl.final_accuracy_pct(),

@@ -23,13 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .eval_every(rounds.max(1))
             .build()?;
         let runner = Runner::new(config)?;
-        let sl = runner.run(SchemeKind::VanillaSplit)?;
-        let gsfl = runner.run(SchemeKind::Gsfl)?;
+        let mut pair = runner
+            .run_many(&[SchemeKind::VanillaSplit, SchemeKind::Gsfl])?
+            .into_iter();
+        let (sl, gsfl) = (pair.next().unwrap(), pair.next().unwrap());
         let rl = |r: &gsfl_core::results::RunResult| {
-            r.records
-                .first()
-                .map(|x| x.round_latency_s)
-                .unwrap_or(0.0)
+            r.records.first().map(|x| x.round_latency_s).unwrap_or(0.0)
         };
         rows.push(vec![
             n.to_string(),
@@ -41,6 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("  N={n}: done");
     }
     println!("\nA6 — per-round latency vs fleet size (M = N/5):");
-    print_table(&["clients", "groups", "SL_round_s", "GSFL_round_s", "speedup"], &rows);
+    print_table(
+        &["clients", "groups", "SL_round_s", "GSFL_round_s", "speedup"],
+        &rows,
+    );
     Ok(())
 }

@@ -1,34 +1,32 @@
 //! **A5 — server-side storage** (paper §I motivation).
 //!
 //! Quantifies the storage argument for grouping: SFL keeps one server-side
-//! model per client; GSFL keeps one per group.
+//! model per client; GSFL keeps one per group. Storage is read from each
+//! scheme through the `Scheme` trait (`storage_bytes`), dispatched by
+//! name via the scheme registry.
 //!
 //! Usage: `cargo run -p gsfl-bench --release --bin storage_table`
 
 use gsfl_bench::{paper_config, print_table};
 use gsfl_core::context::TrainContext;
-use gsfl_core::scheme::SchemeKind;
-use gsfl_core::storage::server_storage_bytes;
+use gsfl_core::scheme::SchemeRegistry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = SchemeRegistry::builtin();
+    let storage = |name: &str, ctx: &TrainContext| -> u64 {
+        registry
+            .create(name)
+            .expect("builtin scheme")
+            .storage_bytes(ctx)
+    };
     let mut rows = Vec::new();
     for n in [10usize, 30, 60, 120] {
         let m = (n / 5).max(1);
-        let config = paper_config(false)
-            .clients(n)
-            .groups(m)
-            .rounds(1)
-            .build()?;
+        let config = paper_config(false).clients(n).groups(m).rounds(1).build()?;
         let ctx = TrainContext::from_config(config)?;
-        let server_bytes = ctx
-            .costs
-            .full_model_bytes
-            .as_u64()
-            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
-        let full = ctx.costs.full_model_bytes.as_u64();
-        let sl = server_storage_bytes(SchemeKind::VanillaSplit, n, m, server_bytes, full);
-        let sfl = server_storage_bytes(SchemeKind::SplitFed, n, m, server_bytes, full);
-        let gsfl = server_storage_bytes(SchemeKind::Gsfl, n, m, server_bytes, full);
+        let sl = storage("sl", &ctx);
+        let sfl = storage("sfl", &ctx);
+        let gsfl = storage("gsfl", &ctx);
         rows.push(vec![
             n.to_string(),
             m.to_string(),

@@ -56,8 +56,7 @@ mod tests {
         let mut b = net(2);
         let mut c = net(3);
         assert_ne!(ParamVec::from_network(&a), ParamVec::from_network(&b));
-        let avg =
-            aggregate_in_place(&mut [&mut a, &mut b, &mut c], &[1.0, 1.0, 2.0]).unwrap();
+        let avg = aggregate_in_place(&mut [&mut a, &mut b, &mut c], &[1.0, 1.0, 2.0]).unwrap();
         assert_eq!(ParamVec::from_network(&a), avg);
         assert_eq!(ParamVec::from_network(&b), avg);
         assert_eq!(ParamVec::from_network(&c), avg);

@@ -61,9 +61,7 @@ impl ModelKind {
                     )));
                 }
                 if sample_dims[1] != sample_dims[2] {
-                    return Err(CoreError::Config(
-                        "DeepThin needs square images".into(),
-                    ));
+                    return Err(CoreError::Config("DeepThin needs square images".into()));
                 }
                 Ok(DeepThin::builder(sample_dims[1], classes)
                     .conv1_channels(*conv1)
@@ -501,7 +499,10 @@ mod tests {
             .partition(PartitionStrategy::Dirichlet(0.0))
             .build()
             .is_err());
-        assert!(ExperimentConfig::builder().learning_rate(0.0).build().is_err());
+        assert!(ExperimentConfig::builder()
+            .learning_rate(0.0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -521,11 +522,9 @@ mod tests {
             .build(&[3, 16, 16], 10, 0)
             .unwrap();
         assert_eq!(cnn.output_shape(&[1, 3, 16, 16]).unwrap(), vec![1, 10]);
-        let mlp = ModelKind::Mlp {
-            hidden: vec![32],
-        }
-        .build(&[3, 8, 8], 5, 0)
-        .unwrap();
+        let mlp = ModelKind::Mlp { hidden: vec![32] }
+            .build(&[3, 8, 8], 5, 0)
+            .unwrap();
         assert_eq!(mlp.output_shape(&[1, 192]).unwrap(), vec![1, 5]);
         assert!(ModelKind::deepthin_default()
             .build(&[1, 16, 16], 10, 0)
@@ -534,7 +533,11 @@ mod tests {
 
     #[test]
     fn latency_model_builds() {
-        let c = ExperimentConfig::builder().clients(4).groups(2).build().unwrap();
+        let c = ExperimentConfig::builder()
+            .clients(4)
+            .groups(2)
+            .build()
+            .unwrap();
         let m = c.latency_model().unwrap();
         assert_eq!(m.client_count(), 4);
     }

@@ -137,7 +137,9 @@ impl TrainContext {
 
     /// Per-client step counts.
     pub fn steps_per_client(&self) -> Vec<usize> {
-        (0..self.config.clients).map(|c| self.steps_for(c)).collect()
+        (0..self.config.clients)
+            .map(|c| self.steps_for(c))
+            .collect()
     }
 
     /// Total training samples across all shards.
@@ -203,9 +205,7 @@ mod tests {
                 test_per_class: 2,
                 image_size: 8,
             })
-            .model(ModelKind::Mlp {
-                hidden: vec![16],
-            })
+            .model(ModelKind::Mlp { hidden: vec![16] })
             .seed(3)
             .build()
             .unwrap()

@@ -35,8 +35,7 @@ use serde::{Deserialize, Serialize};
 ///   [`BandwidthPolicy`]). An idealized scheduler that favours the
 ///   sequential baselines; kept for the resource-allocation ablation
 ///   (paper §IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ChannelMode {
     /// Fixed per-client OFDMA subchannels (`B/N` each) — default.
     #[default]
@@ -44,7 +43,6 @@ pub enum ChannelMode {
     /// Dynamic reallocation of the full band among active transmitters.
     SharedPool,
 }
-
 
 /// Per-mini-batch cost profile of a model at a given cut.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,11 +128,7 @@ pub struct RoundLatency {
 
 /// Closed-form CL round: one epoch of centralized SGD on the server
 /// (one slot), no wireless traffic.
-pub fn cl_round(
-    latency: &LatencyModel,
-    costs: &SplitCosts,
-    total_steps: usize,
-) -> RoundLatency {
+pub fn cl_round(latency: &LatencyModel, costs: &SplitCosts, total_steps: usize) -> RoundLatency {
     let flops = costs.full_flops * total_steps as u64;
     RoundLatency {
         duration: latency.server_compute(flops),
@@ -176,8 +170,8 @@ pub fn fl_round(
         worst = worst.max(dl + compute + ul);
         bytes.up += costs.full_model_bytes.as_u64();
         bytes.down += costs.full_model_bytes.as_u64();
-        energy += (power.rx_energy(dl) + power.compute_energy(compute) + power.tx_energy(ul))
-            .as_joules();
+        energy +=
+            (power.rx_energy(dl) + power.compute_energy(compute) + power.tx_energy(ul)).as_joules();
     }
     // FedAvg aggregation on the server: one pass over the parameters per
     // client — negligible but charged for honesty.
@@ -231,10 +225,8 @@ pub fn sl_round(
             total += fwd + ul + latency.server_compute(costs.server_flops) + dl + bwd;
             bytes.up += costs.smashed_bytes.as_u64();
             bytes.down += costs.grad_bytes.as_u64();
-            energy += (power.compute_energy(fwd + bwd)
-                + power.tx_energy(ul)
-                + power.rx_energy(dl))
-            .as_joules();
+            energy += (power.compute_energy(fwd + bwd) + power.tx_energy(ul) + power.rx_energy(dl))
+                .as_joules();
         }
         // Hand the client-side model back to the AP for the next client.
         let model_ul = latency.uplink_time_with(c, costs.client_model_bytes, round, share)?;
@@ -295,11 +287,11 @@ pub fn gsfl_round_with_schedule(
     let shares = match mode {
         // Every client owns its B/N subchannel regardless of grouping.
         ChannelMode::Dedicated => vec![
-                latency
-                    .total_bandwidth()
-                    .fraction(1.0 / latency.client_count() as f64);
-                m
-            ],
+            latency
+                .total_bandwidth()
+                .fraction(1.0 / latency.client_count() as f64);
+            m
+        ],
         // Active groups split the band per the policy.
         ChannelMode::SharedPool => group_shares(latency, costs, steps, groups, policy, round)?,
     };
@@ -352,12 +344,7 @@ pub fn gsfl_round_with_schedule(
                     prev.as_slice(),
                 )?;
                 let ul_t = latency.uplink_time_with(c, costs.smashed_bytes, round, share)?;
-                let ul = g.add_task(
-                    format!("g{gi}/c{c}/up{s}"),
-                    to_sim(ul_t),
-                    None,
-                    &[cf],
-                )?;
+                let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t), None, &[cf])?;
                 let sv = g.add_task(
                     format!("g{gi}/c{c}/srv{s}"),
                     to_sim(latency.server_compute(costs.server_flops)),
@@ -365,19 +352,9 @@ pub fn gsfl_round_with_schedule(
                     &[ul],
                 )?;
                 let dl_t = latency.downlink_time_with(c, costs.grad_bytes, round, share)?;
-                let dl = g.add_task(
-                    format!("g{gi}/c{c}/down{s}"),
-                    to_sim(dl_t),
-                    None,
-                    &[sv],
-                )?;
+                let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
                 let bwd_t = latency.client_compute(c, costs.client_bwd_flops)?;
-                let cb = g.add_task(
-                    format!("g{gi}/c{c}/bwd{s}"),
-                    to_sim(bwd_t),
-                    None,
-                    &[dl],
-                )?;
+                let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
                 bytes.up += costs.smashed_bytes.as_u64();
                 bytes.down += costs.grad_bytes.as_u64();
                 energy += (power.compute_energy(fwd_t + bwd_t)
@@ -404,8 +381,7 @@ pub fn gsfl_round_with_schedule(
 
     // FedAvg of both halves on the server: one parameter pass per group.
     let join = g.add_barrier("agg-join", &group_ends)?;
-    let agg_flops =
-        (costs.client_model_bytes.as_u64() + server_side_bytes(costs)) / 4 * m as u64;
+    let agg_flops = (costs.client_model_bytes.as_u64() + server_side_bytes(costs)) / 4 * m as u64;
     let _agg = g.add_task(
         "fedavg",
         to_sim(latency.server_compute(agg_flops)),
@@ -441,8 +417,7 @@ fn group_shares(
             let payload: u64 = members
                 .iter()
                 .map(|&c| {
-                    steps[c] as u64
-                        * (costs.smashed_bytes.as_u64() + costs.grad_bytes.as_u64())
+                    steps[c] as u64 * (costs.smashed_bytes.as_u64() + costs.grad_bytes.as_u64())
                         + 2 * costs.client_model_bytes.as_u64()
                 })
                 .sum();
@@ -523,7 +498,15 @@ mod tests {
     fn sl_round_is_sum_over_clients() {
         let (latency, costs) = fixture(4, 3);
         let steps = vec![2, 2, 2];
-        let all = sl_round(&latency, &costs, &steps, &[0, 1, 2], ChannelMode::Dedicated, 0).unwrap();
+        let all = sl_round(
+            &latency,
+            &costs,
+            &steps,
+            &[0, 1, 2],
+            ChannelMode::Dedicated,
+            0,
+        )
+        .unwrap();
         let one = sl_round(&latency, &costs, &steps, &[0], ChannelMode::Dedicated, 0).unwrap();
         // Identical clients ⇒ three times one client's segment.
         assert!((all.duration.as_secs_f64() - 3.0 * one.duration.as_secs_f64()).abs() < 1e-9);
@@ -565,7 +548,15 @@ mod tests {
     fn gsfl_parallel_groups_faster_than_sl() {
         let (latency, costs) = fixture(4, 6);
         let steps = vec![2; 6];
-        let sl = sl_round(&latency, &costs, &steps, &[0, 1, 2, 3, 4, 5], ChannelMode::Dedicated, 0).unwrap();
+        let sl = sl_round(
+            &latency,
+            &costs,
+            &steps,
+            &[0, 1, 2, 3, 4, 5],
+            ChannelMode::Dedicated,
+            0,
+        )
+        .unwrap();
         let groups = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
         let gsfl = gsfl_round(
             &latency,
@@ -709,7 +700,12 @@ mod energy_tests {
         )
         .unwrap();
         let rel = (sl.client_energy_j - gsfl.client_energy_j).abs() / sl.client_energy_j;
-        assert!(rel < 0.02, "sl {} vs gsfl {}", sl.client_energy_j, gsfl.client_energy_j);
+        assert!(
+            rel < 0.02,
+            "sl {} vs gsfl {}",
+            sl.client_energy_j,
+            gsfl.client_energy_j
+        );
         assert!(sl.client_energy_j > 0.0);
     }
 
@@ -731,9 +727,16 @@ mod energy_tests {
         let (latency, costs) = fixture(3);
         let order: Vec<usize> = (0..3).collect();
         let at = |steps: usize| {
-            sl_round(&latency, &costs, &[steps; 3], &order, ChannelMode::Dedicated, 0)
-                .unwrap()
-                .client_energy_j
+            sl_round(
+                &latency,
+                &costs,
+                &[steps; 3],
+                &order,
+                ChannelMode::Dedicated,
+                0,
+            )
+            .unwrap()
+            .client_energy_j
         };
         let (e1, e2, e4) = (at(1), at(2), at(4));
         assert!(e2 > e1 && e4 > e2);

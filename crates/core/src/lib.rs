@@ -22,11 +22,23 @@
 //! inter-group parallelism is throttled by server contention exactly as on
 //! a shared edge server.
 //!
+//! # Architecture
+//!
+//! Every scheme implements the [`scheme::Scheme`] trait (`init` /
+//! `run_round`); the shared round loop — eval cadence, recording, early
+//! stopping — lives once in the generic session driver
+//! ([`runner::Session`]). Sessions stream [`runner::RoundEvent`]s, so
+//! callers can observe a run round-by-round, checkpoint, or abort;
+//! [`runner::Runner::run`] is a thin drain of the same iterator. Early
+//! stopping is pluggable through [`stop::StopPolicy`] (target accuracy,
+//! round/latency budgets, loss plateau — composable), and schemes are
+//! name-dispatchable through [`scheme::SchemeRegistry`].
+//!
 //! # Quickstart
 //!
 //! ```no_run
 //! use gsfl_core::config::ExperimentConfig;
-//! use gsfl_core::runner::Runner;
+//! use gsfl_core::runner::{RoundEvent, Runner};
 //! use gsfl_core::scheme::SchemeKind;
 //!
 //! # fn main() -> Result<(), gsfl_core::CoreError> {
@@ -37,8 +49,39 @@
 //!     .seed(42)
 //!     .build()?;
 //! let runner = Runner::new(config)?;
+//!
+//! // One-shot: drain the session, get the result.
 //! let result = runner.run(SchemeKind::Gsfl)?;
 //! println!("final accuracy: {:.1}%", result.final_accuracy_pct());
+//!
+//! // Streaming: observe the same run round-by-round.
+//! let mut session = runner.session(SchemeKind::Gsfl)?;
+//! for event in &mut session {
+//!     if let RoundEvent::Evaluated { round, accuracy } = event? {
+//!         println!("round {round}: {:.1}%", accuracy * 100.0);
+//!     }
+//! }
+//! let streamed = session.finish(); // identical records to `result`
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Budgeted runs swap the stop policy:
+//!
+//! ```no_run
+//! # use gsfl_core::config::ExperimentConfig;
+//! # use gsfl_core::runner::Runner;
+//! # use gsfl_core::scheme::SchemeKind;
+//! use gsfl_core::stop::LatencyBudget;
+//!
+//! # fn main() -> Result<(), gsfl_core::CoreError> {
+//! # let runner = Runner::new(ExperimentConfig::builder().build()?)?;
+//! // Train for at most one simulated hour of edge time.
+//! let session = runner.session_with_policy(
+//!     SchemeKind::Gsfl,
+//!     Box::new(LatencyBudget::new(3600.0)),
+//! )?;
+//! let result = session.run_to_end()?;
 //! # Ok(())
 //! # }
 //! ```
@@ -56,6 +99,7 @@ pub mod latency;
 pub mod results;
 pub mod runner;
 pub mod scheme;
+pub mod stop;
 pub mod storage;
 
 pub use error::CoreError;

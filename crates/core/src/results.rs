@@ -80,10 +80,7 @@ impl RunResult {
 
     /// Total bytes moved over the run (up + down).
     pub fn total_bytes(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|r| r.bytes_up + r.bytes_down)
-            .sum()
+        self.records.iter().map(|r| r.bytes_up + r.bytes_down).sum()
     }
 
     /// Total client-side energy over the run, joules.
@@ -137,8 +134,7 @@ impl RunResult {
         }
         let mut csv = std::fs::File::create(stem.with_extension("csv"))?;
         csv.write_all(self.to_csv().as_bytes())?;
-        let json = serde_json::to_string_pretty(self)
-            .expect("RunResult serialization cannot fail");
+        let json = serde_json::to_string_pretty(self).expect("RunResult serialization cannot fail");
         std::fs::write(stem.with_extension("json"), json)?;
         Ok(())
     }

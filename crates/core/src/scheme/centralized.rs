@@ -1,70 +1,87 @@
 //! Centralized learning (CL): the accuracy upper-bound baseline.
 
-use super::common::{
-    eval_params, full_train_epoch, make_batcher, make_opt, should_eval, target_reached, Recorder,
-};
+use super::common::{full_train_epoch, make_batcher, make_opt, require_state, require_state_mut};
+use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
 use crate::latency::cl_round;
-use crate::results::RunResult;
-use crate::scheme::SchemeKind;
-use crate::storage::server_storage_bytes;
 use crate::Result;
+use gsfl_data::batcher::Batcher;
 use gsfl_data::dataset::ImageDataset;
+use gsfl_nn::optim::Sgd;
 use gsfl_nn::params::ParamVec;
+use gsfl_nn::Sequential;
 
 /// Centralized learning: all client shards pooled at the edge server, one
 /// epoch of plain SGD per round, no wireless traffic. The paper uses CL as
 /// the accuracy reference in Fig. 2(a).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Centralized;
+#[derive(Debug, Default)]
+pub struct Centralized {
+    state: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    net: Sequential,
+    opt: Sgd,
+    batcher: Batcher,
+    pooled: ImageDataset,
+    total_steps: usize,
+}
 
 impl Centralized {
-    /// Runs centralized training for the configured number of rounds.
-    ///
-    /// # Errors
-    ///
-    /// Propagates training errors.
-    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+    /// An uninitialized scheme instance; [`Scheme::init`] prepares it.
+    pub fn new() -> Self {
+        Centralized::default()
+    }
+}
+
+impl Scheme for Centralized {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Centralized
+    }
+
+    fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
         let shards: Vec<&ImageDataset> = ctx.train_shards.iter().collect();
         let pooled = ImageDataset::concat(&shards)?;
-        let mut net = cfg
+        let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mut eval_net = net.clone();
-        let mut opt = make_opt(cfg);
+        let opt = make_opt(cfg);
         // The server trains on the pooled set; batch stream id uses a
         // client index past all real clients.
         let batcher = make_batcher(cfg, cfg.clients)?;
         let total_steps = pooled.len().div_ceil(cfg.batch_size);
-        let mut rec = Recorder::new(SchemeKind::Centralized.name());
+        self.state = Some(State {
+            net,
+            opt,
+            batcher,
+            pooled,
+            total_steps,
+        });
+        Ok(())
+    }
 
-        for round in 1..=cfg.rounds {
-            let (loss_sum, steps) =
-                full_train_epoch(&mut net, &mut opt, &pooled, &batcher, round as u64)?;
-            opt.advance_round();
-            let latency = cl_round(&ctx.latency, &ctx.costs, total_steps);
-            let acc = if should_eval(cfg, round) {
-                Some(eval_params(
-                    ctx,
-                    &mut eval_net,
-                    &ParamVec::from_network(&net),
-                )?)
-            } else {
-                None
-            };
-            rec.push(round, latency, loss_sum / steps.max(1) as f64, acc);
-            if target_reached(cfg, acc) {
-                break;
-            }
-        }
-        let storage = server_storage_bytes(
-            SchemeKind::Centralized,
-            cfg.clients,
-            cfg.groups,
-            0,
-            ctx.costs.full_model_bytes.as_u64(),
-        );
-        Ok(rec.finish(storage, net.param_count()))
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
+        let state = require_state_mut(&mut self.state)?;
+        let (loss_sum, steps) = full_train_epoch(
+            &mut state.net,
+            &mut state.opt,
+            &state.pooled,
+            &state.batcher,
+            round as u64,
+        )?;
+        state.opt.advance_round();
+        let latency = cl_round(&ctx.latency, &ctx.costs, state.total_steps);
+        Ok(RoundOutcome {
+            latency,
+            train_loss: loss_sum / steps.max(1) as f64,
+            aggregated: false,
+        })
+    }
+
+    fn global_params(&self) -> Result<ParamVec> {
+        let state = require_state(&self.state)?;
+        Ok(ParamVec::from_network(&state.net))
     }
 }

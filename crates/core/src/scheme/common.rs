@@ -16,6 +16,21 @@ use gsfl_nn::Sequential;
 use gsfl_tensor::rng::SeedDerive;
 use std::time::Instant;
 
+/// Unwraps a scheme's state, failing if [`crate::scheme::Scheme::init`]
+/// has not run.
+pub(crate) fn require_state<T>(state: &Option<T>) -> Result<&T> {
+    state
+        .as_ref()
+        .ok_or_else(|| crate::CoreError::Config("scheme not initialized".into()))
+}
+
+/// Mutable [`require_state`].
+pub(crate) fn require_state_mut<T>(state: &mut Option<T>) -> Result<&mut T> {
+    state
+        .as_mut()
+        .ok_or_else(|| crate::CoreError::Config("scheme not initialized".into()))
+}
+
 /// Builds the per-scheme SGD optimizer from the config.
 pub(crate) fn make_opt(cfg: &ExperimentConfig) -> Sgd {
     Sgd::new(cfg.learning_rate).with_momentum(cfg.momentum)
@@ -96,15 +111,20 @@ pub(crate) fn join_params(client: &ParamVec, server: &ParamVec) -> ParamVec {
 
 /// Whether `round` (1-based) is an evaluation round.
 pub(crate) fn should_eval(cfg: &ExperimentConfig, round: usize) -> bool {
-    round == 1 || round == cfg.rounds || round % cfg.eval_every == 0
+    round == 1 || round == cfg.rounds || round.is_multiple_of(cfg.eval_every)
 }
 
 /// Accumulates round records and produces the final [`RunResult`].
+///
+/// The wall clock starts at the first [`Recorder::round_started`] (or
+/// first pushed record), not at construction, so context-build time in
+/// callers that construct the recorder early never leaks into
+/// `wall_clock_s`.
 pub(crate) struct Recorder {
     scheme: &'static str,
     records: Vec<RoundRecord>,
     cumulative_s: f64,
-    started: Instant,
+    started: Option<Instant>,
 }
 
 impl Recorder {
@@ -113,11 +133,19 @@ impl Recorder {
             scheme,
             records: Vec::new(),
             cumulative_s: 0.0,
-            started: Instant::now(),
+            started: None,
         }
     }
 
-    /// Records one round; returns the accuracy if this was an eval round.
+    /// Marks the start of training work; the first call arms the wall
+    /// clock.
+    pub(crate) fn round_started(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Records one round.
     pub(crate) fn push(
         &mut self,
         round: usize,
@@ -125,6 +153,7 @@ impl Recorder {
         train_loss: f64,
         test_accuracy: Option<f64>,
     ) {
+        self.round_started();
         self.cumulative_s += latency.duration.as_secs_f64();
         self.records.push(RoundRecord {
             round,
@@ -138,13 +167,21 @@ impl Recorder {
         });
     }
 
+    /// The most recently recorded round.
+    pub(crate) fn last_record(&self) -> Option<&RoundRecord> {
+        self.records.last()
+    }
+
     pub(crate) fn finish(self, server_storage_bytes: u64, param_count: usize) -> RunResult {
         RunResult {
             scheme: self.scheme.to_string(),
             records: self.records,
             server_storage_bytes,
             param_count,
-            wall_clock_s: self.started.elapsed().as_secs_f64(),
+            wall_clock_s: self
+                .started
+                .map(|t| t.elapsed().as_secs_f64())
+                .unwrap_or(0.0),
         }
     }
 }
@@ -163,14 +200,6 @@ pub(crate) fn eval_params(
         ctx.config.batch_size.max(32),
     )?;
     Ok(r.accuracy)
-}
-
-/// Whether an early-stop target has been hit.
-pub(crate) fn target_reached(cfg: &ExperimentConfig, acc: Option<f64>) -> bool {
-    match (cfg.target_accuracy, acc) {
-        (Some(t), Some(a)) => a >= t,
-        _ => false,
-    }
 }
 
 #[cfg(test)]
@@ -232,17 +261,13 @@ mod tests {
     }
 
     #[test]
-    fn target_reached_logic() {
-        let cfg = ExperimentConfig::builder()
-            .clients(2)
-            .groups(1)
-            .target_accuracy(0.8)
-            .build()
-            .unwrap();
-        assert!(!target_reached(&cfg, None));
-        assert!(!target_reached(&cfg, Some(0.5)));
-        assert!(target_reached(&cfg, Some(0.85)));
-        let no_target = ExperimentConfig::builder().clients(2).groups(1).build().unwrap();
-        assert!(!target_reached(&no_target, Some(1.0)));
+    fn wall_clock_unarmed_until_first_round() {
+        let rec = Recorder::new("x");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let result = rec.finish(0, 0);
+        assert_eq!(
+            result.wall_clock_s, 0.0,
+            "clock must not start at construction"
+        );
     }
 }

@@ -1,95 +1,111 @@
 //! Federated learning (FL): the FedAvg baseline.
 
-use super::common::{
-    eval_params, full_train_epoch, make_batcher, make_opt, should_eval, target_reached, Recorder,
-};
+use super::common::{full_train_epoch, make_batcher, make_opt, require_state, require_state_mut};
+use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::fl_round;
-use crate::results::RunResult;
-use crate::scheme::SchemeKind;
-use crate::storage::server_storage_bytes;
 use crate::Result;
 use gsfl_nn::params::ParamVec;
+use gsfl_nn::Sequential;
 
 /// Federated learning: each round every client downloads the global
 /// model, trains `local_epochs` on its shard, uploads; the AP
 /// FedAvg-aggregates weighted by shard size. Round latency is
 /// straggler-bound with equal bandwidth shares.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Federated;
+#[derive(Debug, Default)]
+pub struct Federated {
+    state: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    template: Sequential,
+    global: ParamVec,
+    steps: Vec<usize>,
+}
 
 impl Federated {
-    /// Runs FedAvg for the configured number of rounds.
-    ///
-    /// # Errors
-    ///
-    /// Propagates training, aggregation or wireless errors.
-    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+    /// An uninitialized scheme instance; [`Scheme::init`] prepares it.
+    pub fn new() -> Self {
+        Federated::default()
+    }
+}
+
+impl Scheme for Federated {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Federated
+    }
+
+    fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
         let template = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mut eval_net = template.clone();
-        let mut global = ParamVec::from_network(&template);
-        let steps = ctx.steps_per_client();
-        let mut rec = Recorder::new(SchemeKind::Federated.name());
+        let global = ParamVec::from_network(&template);
+        self.state = Some(State {
+            template,
+            global,
+            steps: ctx.steps_per_client(),
+        });
+        Ok(())
+    }
 
-        for round in 1..=cfg.rounds {
-            let participants = ctx.available_clients(round as u64);
-            let mut snapshots = Vec::with_capacity(participants.len());
-            let mut weights = Vec::with_capacity(participants.len());
-            let mut loss_sum = 0.0f64;
-            let mut step_sum = 0usize;
-            for &c in &participants {
-                let mut local = template.clone();
-                global.load_into(&mut local)?;
-                let mut opt = make_opt(cfg);
-                let batcher = make_batcher(cfg, c)?;
-                for e in 0..cfg.local_epochs {
-                    let (l, s) = full_train_epoch(
-                        &mut local,
-                        &mut opt,
-                        &ctx.train_shards[c],
-                        &batcher,
-                        round as u64 * cfg.local_epochs as u64 + e as u64,
-                    )?;
-                    loss_sum += l;
-                    step_sum += s;
-                }
-                snapshots.push(ParamVec::from_network(&local));
-                weights.push(ctx.train_shards[c].len() as f64);
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
+        let state = require_state_mut(&mut self.state)?;
+        let cfg = &ctx.config;
+        let participants = ctx.available_clients(round as u64);
+        let mut snapshots = Vec::with_capacity(participants.len());
+        let mut weights = Vec::with_capacity(participants.len());
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for &c in &participants {
+            let mut local = state.template.clone();
+            state.global.load_into(&mut local)?;
+            let mut opt = make_opt(cfg);
+            let batcher = make_batcher(cfg, c)?;
+            for e in 0..cfg.local_epochs {
+                let (l, s) = full_train_epoch(
+                    &mut local,
+                    &mut opt,
+                    &ctx.train_shards[c],
+                    &batcher,
+                    round as u64 * cfg.local_epochs as u64 + e as u64,
+                )?;
+                loss_sum += l;
+                step_sum += s;
             }
-            global = aggregate_snapshots(&snapshots, &weights)?;
-
-            // Non-participants get zero steps so fl_round skips them.
-            let round_steps: Vec<usize> = (0..cfg.clients)
-                .map(|c| if participants.contains(&c) { steps[c] } else { 0 })
-                .collect();
-            let latency = fl_round(
-                &ctx.latency,
-                &ctx.costs,
-                &round_steps,
-                cfg.local_epochs,
-                round as u64,
-            )?;
-            let acc = if should_eval(cfg, round) {
-                Some(eval_params(ctx, &mut eval_net, &global)?)
-            } else {
-                None
-            };
-            rec.push(round, latency, loss_sum / step_sum.max(1) as f64, acc);
-            if target_reached(cfg, acc) {
-                break;
-            }
+            snapshots.push(ParamVec::from_network(&local));
+            weights.push(ctx.train_shards[c].len() as f64);
         }
-        let storage = server_storage_bytes(
-            SchemeKind::Federated,
-            cfg.clients,
-            cfg.groups,
-            0,
-            ctx.costs.full_model_bytes.as_u64(),
-        );
-        Ok(rec.finish(storage, template.param_count()))
+        state.global = aggregate_snapshots(&snapshots, &weights)?;
+
+        // Non-participants get zero steps so fl_round skips them.
+        let round_steps: Vec<usize> = (0..cfg.clients)
+            .map(|c| {
+                if participants.contains(&c) {
+                    state.steps[c]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let latency = fl_round(
+            &ctx.latency,
+            &ctx.costs,
+            &round_steps,
+            cfg.local_epochs,
+            round as u64,
+        )?;
+        Ok(RoundOutcome {
+            latency,
+            train_loss: loss_sum / step_sum.max(1) as f64,
+            aggregated: true,
+        })
+    }
+
+    fn global_params(&self) -> Result<ParamVec> {
+        let state = require_state(&self.state)?;
+        Ok(state.global.clone())
     }
 }

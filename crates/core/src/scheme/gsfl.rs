@@ -1,15 +1,12 @@
 //! Group-based split federated learning — the paper's contribution.
 
 use super::common::{
-    eval_params, join_params, make_batcher, make_opt, should_eval, split_train_epoch,
-    target_reached, Recorder,
+    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
 };
+use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::gsfl_round;
-use crate::results::RunResult;
-use crate::scheme::SchemeKind;
-use crate::storage::server_storage_bytes;
 use crate::{CoreError, Result};
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
@@ -31,100 +28,107 @@ struct GroupPass {
 /// and M server-side models (weighted by group sample counts) into the
 /// next round's global halves.
 ///
-/// Group training really runs on parallel host threads (crossbeam scope);
-/// results are deterministic because each group's work is independent and
-/// aggregation order is fixed.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Gsfl;
+/// Group training really runs on parallel host threads
+/// (`std::thread::scope`); results are deterministic because each group's
+/// work is independent and aggregation order is fixed.
+#[derive(Debug, Default)]
+pub struct Gsfl {
+    state: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    split_template: SplitNetwork,
+    global_client: ParamVec,
+    global_server: ParamVec,
+    steps: Vec<usize>,
+}
 
 impl Gsfl {
-    /// Runs GSFL for the configured number of rounds.
-    ///
-    /// # Errors
-    ///
-    /// Propagates training, aggregation, wireless or simulation errors.
-    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+    /// An uninitialized scheme instance; [`Scheme::init`] prepares it.
+    pub fn new() -> Self {
+        Gsfl::default()
+    }
+}
+
+impl Scheme for Gsfl {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Gsfl
+    }
+
+    fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mut eval_net = net.clone();
         let split_template = SplitNetwork::split(net, cfg.cut())?;
-        let mut global_client = ParamVec::from_network(&split_template.client);
-        let mut global_server = ParamVec::from_network(&split_template.server);
-        let steps = ctx.steps_per_client();
-        let mut rec = Recorder::new(SchemeKind::Gsfl.name());
+        let global_client = ParamVec::from_network(&split_template.client);
+        let global_server = ParamVec::from_network(&split_template.server);
+        self.state = Some(State {
+            split_template,
+            global_client,
+            global_server,
+            steps: ctx.steps_per_client(),
+        });
+        Ok(())
+    }
 
-        for round in 1..=cfg.rounds {
-            // Per-round participation: groups shrink to their reachable
-            // members; fully-unreachable groups sit this round out.
-            let available = ctx.available_clients(round as u64);
-            let round_groups: Vec<Vec<usize>> = ctx
-                .groups
-                .iter()
-                .map(|members| {
-                    members
-                        .iter()
-                        .copied()
-                        .filter(|c| available.contains(c))
-                        .collect::<Vec<usize>>()
-                })
-                .filter(|g| !g.is_empty())
-                .collect();
-            let passes = run_groups_parallel(
-                ctx,
-                &round_groups,
-                &split_template,
-                &global_client,
-                &global_server,
-                round as u64,
-            )?;
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
+        let state = require_state_mut(&mut self.state)?;
+        let cfg = &ctx.config;
+        // Per-round participation: groups shrink to their reachable
+        // members; fully-unreachable groups sit this round out.
+        let available = ctx.available_clients(round as u64);
+        let round_groups: Vec<Vec<usize>> = ctx
+            .groups
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .copied()
+                    .filter(|c| available.contains(c))
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|g| !g.is_empty())
+            .collect();
+        let passes = run_groups_parallel(
+            ctx,
+            &round_groups,
+            &state.split_template,
+            &state.global_client,
+            &state.global_server,
+            round as u64,
+        )?;
 
-            // Step 3: FedAvg over both halves, weighted by group samples.
-            let weights: Vec<f64> = passes.iter().map(|p| p.samples as f64).collect();
-            let client_snaps: Vec<ParamVec> =
-                passes.iter().map(|p| p.client_params.clone()).collect();
-            let server_snaps: Vec<ParamVec> =
-                passes.iter().map(|p| p.server_params.clone()).collect();
-            global_client = aggregate_snapshots(&client_snaps, &weights)?;
-            global_server = aggregate_snapshots(&server_snaps, &weights)?;
+        // FedAvg over both halves, weighted by group samples.
+        let weights: Vec<f64> = passes.iter().map(|p| p.samples as f64).collect();
+        let client_snaps: Vec<ParamVec> = passes.iter().map(|p| p.client_params.clone()).collect();
+        let server_snaps: Vec<ParamVec> = passes.iter().map(|p| p.server_params.clone()).collect();
+        state.global_client = aggregate_snapshots(&client_snaps, &weights)?;
+        state.global_server = aggregate_snapshots(&server_snaps, &weights)?;
 
-            let loss_sum: f64 = passes.iter().map(|p| p.loss_sum).sum();
-            let step_sum: usize = passes.iter().map(|p| p.steps).sum();
+        let loss_sum: f64 = passes.iter().map(|p| p.loss_sum).sum();
+        let step_sum: usize = passes.iter().map(|p| p.steps).sum();
 
-            let latency = gsfl_round(
-                &ctx.latency,
-                &ctx.costs,
-                &steps,
-                &round_groups,
-                cfg.bandwidth_policy,
-                cfg.channel,
-                round as u64,
-            )?;
-            let acc = if should_eval(cfg, round) {
-                let joined = join_params(&global_client, &global_server);
-                Some(eval_params(ctx, &mut eval_net, &joined)?)
-            } else {
-                None
-            };
-            rec.push(round, latency, loss_sum / step_sum.max(1) as f64, acc);
-            if target_reached(cfg, acc) {
-                break;
-            }
-        }
-        let server_bytes = ctx
-            .costs
-            .full_model_bytes
-            .as_u64()
-            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
-        let storage = server_storage_bytes(
-            SchemeKind::Gsfl,
-            cfg.clients,
-            cfg.groups,
-            server_bytes,
-            ctx.costs.full_model_bytes.as_u64(),
-        );
-        Ok(rec.finish(storage, eval_net.param_count()))
+        let latency = gsfl_round(
+            &ctx.latency,
+            &ctx.costs,
+            &state.steps,
+            &round_groups,
+            cfg.bandwidth_policy,
+            cfg.channel,
+            round as u64,
+        )?;
+        Ok(RoundOutcome {
+            latency,
+            train_loss: loss_sum / step_sum.max(1) as f64,
+            aggregated: true,
+        })
+    }
+
+    fn global_params(&self) -> Result<ParamVec> {
+        let state = require_state(&self.state)?;
+        Ok(join_params(&state.global_client, &state.global_server))
     }
 }
 
@@ -137,12 +141,12 @@ fn run_groups_parallel(
     global_server: &ParamVec,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
-    let results: Vec<Result<GroupPass>> = crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
             .map(|members| {
                 let mut replica = template.clone();
-                scope.spawn(move |_| -> Result<GroupPass> {
+                scope.spawn(move || -> Result<GroupPass> {
                     global_client.load_into(&mut replica.client)?;
                     global_server.load_into(&mut replica.server)?;
                     let cfg = &ctx.config;
@@ -178,11 +182,13 @@ fn run_groups_parallel(
         handles
             .into_iter()
             .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(CoreError::Config("group thread panicked".into())))
+                h.join().unwrap_or_else(|payload| {
+                    Err(CoreError::Config(format!(
+                        "group thread panicked: {}",
+                        crate::runner::panic_message(&payload)
+                    )))
+                })
             })
             .collect()
     })
-    .map_err(|_| CoreError::Config("crossbeam scope panicked".into()))?;
-    results.into_iter().collect()
 }

@@ -1,4 +1,10 @@
 //! Training schemes: the GSFL contribution and its baselines.
+//!
+//! Every scheme implements the [`Scheme`] trait — per-run state built by
+//! [`Scheme::init`], one training round per [`Scheme::run_round`] — and
+//! the shared round loop (eval cadence, recording, stopping) lives in the
+//! generic session driver ([`crate::runner::Session`]). New schemes
+//! plug in through [`SchemeRegistry`] without touching the driver.
 
 mod centralized;
 mod common;
@@ -13,10 +19,84 @@ pub use gsfl::Gsfl;
 pub use split::VanillaSplit;
 pub use splitfed::SplitFed;
 
+pub(crate) use common::{eval_params, should_eval, Recorder};
+
 use crate::context::TrainContext;
+use crate::latency::RoundLatency;
 use crate::results::RunResult;
+use crate::storage::server_storage_bytes;
 use crate::Result;
+use gsfl_nn::params::ParamVec;
 use serde::{Deserialize, Serialize};
+
+/// What one training round produced, as reported by a [`Scheme`] to the
+/// session driver.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundOutcome {
+    /// Simulated latency, traffic and energy charged for the round.
+    pub latency: RoundLatency,
+    /// Mean training loss over the round's steps.
+    pub train_loss: f64,
+    /// Whether the round ended in a server-side model aggregation
+    /// (FedAvg); drives the `Aggregated` session event.
+    pub aggregated: bool,
+}
+
+/// A training scheme driven round-by-round by the session runner.
+///
+/// The driver owns the round loop: it calls [`Scheme::init`] once, then
+/// [`Scheme::run_round`] for rounds `1..=rounds`, evaluating
+/// [`Scheme::global_params`] on the session's eval cadence and consulting
+/// its stop policy after every round. Implementations keep all mutable
+/// training state internal so a fresh instance reproduces a run
+/// bit-for-bit.
+pub trait Scheme: Send {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Short lowercase name used in CSV output and file stems.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Builds per-run state against a context. Must be called exactly
+    /// once before [`Scheme::run_round`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/dataset construction errors.
+    fn init(&mut self, ctx: &TrainContext) -> Result<()>;
+
+    /// Executes training round `round` (1-based).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, wireless or simulation errors; fails if
+    /// [`Scheme::init`] has not run.
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome>;
+
+    /// The current global full-model parameters (client ++ server halves
+    /// for split schemes), used by the driver for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if [`Scheme::init`] has not run.
+    fn global_params(&self) -> Result<ParamVec>;
+
+    /// Bytes of model state resident on the edge server while this
+    /// scheme runs (the paper's §I storage argument).
+    fn storage_bytes(&self, ctx: &TrainContext) -> u64 {
+        let full = ctx.costs.full_model_bytes.as_u64();
+        let server_side = full.saturating_sub(ctx.costs.client_model_bytes.as_u64());
+        server_storage_bytes(
+            self.kind(),
+            ctx.config.clients,
+            ctx.config.groups,
+            server_side,
+            full,
+        )
+    }
+}
 
 /// The schemes the harness can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,6 +127,12 @@ impl SchemeKind {
         }
     }
 
+    /// The kind for a short name (`"cl"`, `"fl"`, `"sl"`, `"sfl"`,
+    /// `"gsfl"`), or `None` for an unknown name.
+    pub fn from_name(name: &str) -> Option<SchemeKind> {
+        SchemeKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// All schemes, in the order the paper's Fig. 2(a) presents them.
     pub fn all() -> [SchemeKind; 5] {
         [
@@ -58,25 +144,103 @@ impl SchemeKind {
         ]
     }
 
-    /// Runs the scheme against a context.
+    /// A fresh, uninitialized [`Scheme`] instance of this kind.
+    pub fn scheme(self) -> Box<dyn Scheme> {
+        match self {
+            SchemeKind::Centralized => Box::new(Centralized::new()),
+            SchemeKind::Federated => Box::new(Federated::new()),
+            SchemeKind::VanillaSplit => Box::new(VanillaSplit::new()),
+            SchemeKind::SplitFed => Box::new(SplitFed::new()),
+            SchemeKind::Gsfl => Box::new(Gsfl::new()),
+        }
+    }
+
+    /// Runs the scheme to completion against a context (one-shot
+    /// convenience over the session driver).
     ///
     /// # Errors
     ///
     /// Propagates training, wireless or simulation errors.
     pub fn run(&self, ctx: &TrainContext) -> Result<RunResult> {
-        match self {
-            SchemeKind::Centralized => Centralized::run(ctx),
-            SchemeKind::Federated => Federated::run(ctx),
-            SchemeKind::VanillaSplit => VanillaSplit::run(ctx),
-            SchemeKind::SplitFed => SplitFed::run(ctx),
-            SchemeKind::Gsfl => Gsfl::run(ctx),
-        }
+        crate::runner::Session::over(ctx, *self)?.run_to_end()
     }
 }
 
 impl std::fmt::Display for SchemeKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// A name-indexed registry of scheme constructors.
+///
+/// Bench binaries and tests dispatch by name through the registry so new
+/// schemes (or external experiment drivers) need only one registration
+/// point. [`SchemeRegistry::builtin`] pre-registers all five paper
+/// schemes.
+pub struct SchemeRegistry {
+    entries: Vec<(&'static str, SchemeConstructor)>,
+}
+
+/// A boxed constructor producing fresh scheme instances.
+type SchemeConstructor = Box<dyn Fn() -> Box<dyn Scheme> + Send + Sync>;
+
+impl SchemeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchemeRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding all five built-in schemes, in
+    /// [`SchemeKind::all`] order.
+    pub fn builtin() -> Self {
+        let mut reg = SchemeRegistry::new();
+        for kind in SchemeKind::all() {
+            reg.register(kind.name(), move || kind.scheme());
+        }
+        reg
+    }
+
+    /// Registers (or replaces) a scheme constructor under `name`.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        constructor: impl Fn() -> Box<dyn Scheme> + Send + Sync + 'static,
+    ) {
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = Box::new(constructor);
+        } else {
+            self.entries.push((name, Box::new(constructor)));
+        }
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Builds a fresh scheme instance by name.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Scheme>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f())
+    }
+}
+
+impl Default for SchemeRegistry {
+    fn default() -> Self {
+        SchemeRegistry::builtin()
+    }
+}
+
+impl std::fmt::Debug for SchemeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
@@ -94,5 +258,40 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(SchemeKind::Gsfl.to_string(), "gsfl");
+    }
+
+    #[test]
+    fn name_round_trips_through_lookup() {
+        for kind in SchemeKind::all() {
+            assert_eq!(SchemeKind::from_name(kind.name()), Some(kind));
+            let scheme = kind.scheme();
+            assert_eq!(scheme.kind(), kind);
+            assert_eq!(scheme.name(), kind.name());
+        }
+        assert_eq!(SchemeKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn registry_builds_every_builtin() {
+        let reg = SchemeRegistry::builtin();
+        assert_eq!(reg.names().len(), 5);
+        for kind in SchemeKind::all() {
+            let scheme = reg.create(kind.name()).expect("registered");
+            assert_eq!(scheme.kind(), kind);
+        }
+        assert!(reg.create("unknown").is_none());
+    }
+
+    #[test]
+    fn registry_register_replaces() {
+        let mut reg = SchemeRegistry::builtin();
+        reg.register("gsfl", || Box::new(Gsfl::new()));
+        assert_eq!(reg.names().len(), 5, "replacement must not duplicate");
+        reg.register("custom", || Box::new(Centralized::new()));
+        assert_eq!(reg.names().len(), 6);
+        assert_eq!(
+            reg.create("custom").unwrap().kind(),
+            SchemeKind::Centralized
+        );
     }
 }

@@ -1,15 +1,13 @@
 //! Vanilla split learning (SL): the sequential baseline.
 
 use super::common::{
-    eval_params, join_params, make_batcher, make_opt, should_eval, split_train_epoch,
-    target_reached, Recorder,
+    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
 };
+use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
 use crate::latency::sl_round;
-use crate::results::RunResult;
-use crate::scheme::SchemeKind;
-use crate::storage::server_storage_bytes;
 use crate::Result;
+use gsfl_nn::optim::Sgd;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
 
@@ -17,83 +15,90 @@ use gsfl_nn::split::SplitNetwork;
 /// clients train strictly one after another, each receiving the
 /// client-side model through the AP relay. No aggregation — the model
 /// state simply accumulates SGD steps as it visits every client.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct VanillaSplit;
+#[derive(Debug, Default)]
+pub struct VanillaSplit {
+    state: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    split: SplitNetwork,
+    client_opt: Sgd,
+    server_opt: Sgd,
+    steps: Vec<usize>,
+}
 
 impl VanillaSplit {
-    /// Runs sequential split learning.
-    ///
-    /// # Errors
-    ///
-    /// Propagates training or wireless errors.
-    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+    /// An uninitialized scheme instance; [`Scheme::init`] prepares it.
+    pub fn new() -> Self {
+        VanillaSplit::default()
+    }
+}
+
+impl Scheme for VanillaSplit {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::VanillaSplit
+    }
+
+    fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mut eval_net = net.clone();
-        let mut split = SplitNetwork::split(net, cfg.cut())?;
-        let mut client_opt = make_opt(cfg);
-        let mut server_opt = make_opt(cfg);
-        let steps = ctx.steps_per_client();
-        let mut rec = Recorder::new(SchemeKind::VanillaSplit.name());
+        let split = SplitNetwork::split(net, cfg.cut())?;
+        self.state = Some(State {
+            split,
+            client_opt: make_opt(cfg),
+            server_opt: make_opt(cfg),
+            steps: ctx.steps_per_client(),
+        });
+        Ok(())
+    }
 
-        for round in 1..=cfg.rounds {
-            // Unavailable clients are skipped this round (the relay goes
-            // straight to the next reachable client).
-            let order = ctx.available_clients(round as u64);
-            let mut loss_sum = 0.0f64;
-            let mut step_sum = 0usize;
-            for &c in &order {
-                let batcher = make_batcher(cfg, c)?;
-                let (l, s) = split_train_epoch(
-                    &mut split,
-                    &mut client_opt,
-                    &mut server_opt,
-                    &ctx.train_shards[c],
-                    &batcher,
-                    round as u64,
-                )?;
-                loss_sum += l;
-                step_sum += s;
-            }
-            client_opt.advance_round();
-            server_opt.advance_round();
-
-            let latency = sl_round(
-                &ctx.latency,
-                &ctx.costs,
-                &steps,
-                &order,
-                cfg.channel,
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
+        let state = require_state_mut(&mut self.state)?;
+        let cfg = &ctx.config;
+        // Unavailable clients are skipped this round (the relay goes
+        // straight to the next reachable client).
+        let order = ctx.available_clients(round as u64);
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for &c in &order {
+            let batcher = make_batcher(cfg, c)?;
+            let (l, s) = split_train_epoch(
+                &mut state.split,
+                &mut state.client_opt,
+                &mut state.server_opt,
+                &ctx.train_shards[c],
+                &batcher,
                 round as u64,
             )?;
-            let acc = if should_eval(cfg, round) {
-                let joined = join_params(
-                    &ParamVec::from_network(&split.client),
-                    &ParamVec::from_network(&split.server),
-                );
-                Some(eval_params(ctx, &mut eval_net, &joined)?)
-            } else {
-                None
-            };
-            rec.push(round, latency, loss_sum / step_sum.max(1) as f64, acc);
-            if target_reached(cfg, acc) {
-                break;
-            }
+            loss_sum += l;
+            step_sum += s;
         }
-        let server_bytes = ctx
-            .costs
-            .full_model_bytes
-            .as_u64()
-            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
-        let storage = server_storage_bytes(
-            SchemeKind::VanillaSplit,
-            cfg.clients,
-            cfg.groups,
-            server_bytes,
-            ctx.costs.full_model_bytes.as_u64(),
-        );
-        Ok(rec.finish(storage, eval_net.param_count()))
+        state.client_opt.advance_round();
+        state.server_opt.advance_round();
+
+        let latency = sl_round(
+            &ctx.latency,
+            &ctx.costs,
+            &state.steps,
+            &order,
+            cfg.channel,
+            round as u64,
+        )?;
+        Ok(RoundOutcome {
+            latency,
+            train_loss: loss_sum / step_sum.max(1) as f64,
+            aggregated: false,
+        })
+    }
+
+    fn global_params(&self) -> Result<ParamVec> {
+        let state = require_state(&self.state)?;
+        Ok(join_params(
+            &ParamVec::from_network(&state.split.client),
+            &ParamVec::from_network(&state.split.server),
+        ))
     }
 }

@@ -2,15 +2,12 @@
 //! critiques.
 
 use super::common::{
-    eval_params, join_params, make_batcher, make_opt, should_eval, split_train_epoch,
-    target_reached, Recorder,
+    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
 };
+use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::gsfl_round;
-use crate::results::RunResult;
-use crate::scheme::SchemeKind;
-use crate::storage::server_storage_bytes;
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
@@ -20,92 +17,100 @@ use gsfl_nn::split::SplitNetwork;
 /// halves are FedAvg-aggregated every round. Statistically equivalent to
 /// GSFL with M = N singleton groups — which is exactly how it is
 /// computed — but its server storage grows with N instead of M.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SplitFed;
+#[derive(Debug, Default)]
+pub struct SplitFed {
+    state: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    template: SplitNetwork,
+    global_client: ParamVec,
+    global_server: ParamVec,
+    steps: Vec<usize>,
+}
 
 impl SplitFed {
-    /// Runs SplitFed for the configured number of rounds.
-    ///
-    /// # Errors
-    ///
-    /// Propagates training, aggregation, wireless or simulation errors.
-    pub fn run(ctx: &TrainContext) -> Result<RunResult> {
+    /// An uninitialized scheme instance; [`Scheme::init`] prepares it.
+    pub fn new() -> Self {
+        SplitFed::default()
+    }
+}
+
+impl Scheme for SplitFed {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::SplitFed
+    }
+
+    fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mut eval_net = net.clone();
         let template = SplitNetwork::split(net, cfg.cut())?;
-        let mut global_client = ParamVec::from_network(&template.client);
-        let mut global_server = ParamVec::from_network(&template.server);
-        let steps = ctx.steps_per_client();
-        let mut rec = Recorder::new(SchemeKind::SplitFed.name());
+        let global_client = ParamVec::from_network(&template.client);
+        let global_server = ParamVec::from_network(&template.server);
+        self.state = Some(State {
+            template,
+            global_client,
+            global_server,
+            steps: ctx.steps_per_client(),
+        });
+        Ok(())
+    }
 
-        for round in 1..=cfg.rounds {
-            let participants = ctx.available_clients(round as u64);
-            let singleton_groups: Vec<Vec<usize>> =
-                participants.iter().map(|&c| vec![c]).collect();
-            let mut client_snaps = Vec::with_capacity(participants.len());
-            let mut server_snaps = Vec::with_capacity(participants.len());
-            let mut weights = Vec::with_capacity(participants.len());
-            let mut loss_sum = 0.0f64;
-            let mut step_sum = 0usize;
-            for &c in &participants {
-                let mut replica = template.clone();
-                global_client.load_into(&mut replica.client)?;
-                global_server.load_into(&mut replica.server)?;
-                let mut client_opt = make_opt(cfg);
-                let mut server_opt = make_opt(cfg);
-                let batcher = make_batcher(cfg, c)?;
-                let (l, s) = split_train_epoch(
-                    &mut replica,
-                    &mut client_opt,
-                    &mut server_opt,
-                    &ctx.train_shards[c],
-                    &batcher,
-                    round as u64,
-                )?;
-                loss_sum += l;
-                step_sum += s;
-                client_snaps.push(ParamVec::from_network(&replica.client));
-                server_snaps.push(ParamVec::from_network(&replica.server));
-                weights.push(ctx.train_shards[c].len() as f64);
-            }
-            global_client = aggregate_snapshots(&client_snaps, &weights)?;
-            global_server = aggregate_snapshots(&server_snaps, &weights)?;
-
-            let latency = gsfl_round(
-                &ctx.latency,
-                &ctx.costs,
-                &steps,
-                &singleton_groups,
-                cfg.bandwidth_policy,
-                cfg.channel,
+    fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
+        let state = require_state_mut(&mut self.state)?;
+        let cfg = &ctx.config;
+        let participants = ctx.available_clients(round as u64);
+        let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
+        let mut client_snaps = Vec::with_capacity(participants.len());
+        let mut server_snaps = Vec::with_capacity(participants.len());
+        let mut weights = Vec::with_capacity(participants.len());
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for &c in &participants {
+            let mut replica = state.template.clone();
+            state.global_client.load_into(&mut replica.client)?;
+            state.global_server.load_into(&mut replica.server)?;
+            let mut client_opt = make_opt(cfg);
+            let mut server_opt = make_opt(cfg);
+            let batcher = make_batcher(cfg, c)?;
+            let (l, s) = split_train_epoch(
+                &mut replica,
+                &mut client_opt,
+                &mut server_opt,
+                &ctx.train_shards[c],
+                &batcher,
                 round as u64,
             )?;
-            let acc = if should_eval(cfg, round) {
-                let joined = join_params(&global_client, &global_server);
-                Some(eval_params(ctx, &mut eval_net, &joined)?)
-            } else {
-                None
-            };
-            rec.push(round, latency, loss_sum / step_sum.max(1) as f64, acc);
-            if target_reached(cfg, acc) {
-                break;
-            }
+            loss_sum += l;
+            step_sum += s;
+            client_snaps.push(ParamVec::from_network(&replica.client));
+            server_snaps.push(ParamVec::from_network(&replica.server));
+            weights.push(ctx.train_shards[c].len() as f64);
         }
-        let server_bytes = ctx
-            .costs
-            .full_model_bytes
-            .as_u64()
-            .saturating_sub(ctx.costs.client_model_bytes.as_u64());
-        let storage = server_storage_bytes(
-            SchemeKind::SplitFed,
-            cfg.clients,
-            cfg.groups,
-            server_bytes,
-            ctx.costs.full_model_bytes.as_u64(),
-        );
-        Ok(rec.finish(storage, eval_net.param_count()))
+        state.global_client = aggregate_snapshots(&client_snaps, &weights)?;
+        state.global_server = aggregate_snapshots(&server_snaps, &weights)?;
+
+        let latency = gsfl_round(
+            &ctx.latency,
+            &ctx.costs,
+            &state.steps,
+            &singleton_groups,
+            cfg.bandwidth_policy,
+            cfg.channel,
+            round as u64,
+        )?;
+        Ok(RoundOutcome {
+            latency,
+            train_loss: loss_sum / step_sum.max(1) as f64,
+            aggregated: true,
+        })
+    }
+
+    fn global_params(&self) -> Result<ParamVec> {
+        let state = require_state(&self.state)?;
+        Ok(join_params(&state.global_client, &state.global_server))
     }
 }

@@ -74,7 +74,10 @@ impl Batcher {
             return Err(DataError::Config("cannot batch an empty dataset".into()));
         }
         let mut order: Vec<usize> = (0..dataset.len()).collect();
-        let mut rng = SeedDerive::new(self.seed).child("batcher").index(epoch).rng();
+        let mut rng = SeedDerive::new(self.seed)
+            .child("batcher")
+            .index(epoch)
+            .rng();
         order.shuffle(&mut rng);
         Ok(EpochIter {
             dataset,
@@ -174,8 +177,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(Batcher::new(0, 0).is_err());
-        let empty =
-            ImageDataset::new(Tensor::zeros(&[0, 2]), vec![], 2).unwrap();
+        let empty = ImageDataset::new(Tensor::zeros(&[0, 2]), vec![], 2).unwrap();
         assert!(Batcher::new(2, 0).unwrap().epoch(&empty, 0).is_err());
     }
 

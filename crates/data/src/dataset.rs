@@ -142,7 +142,10 @@ impl ImageDataset {
         }
         let tensors: Vec<&Tensor> = parts.iter().map(|p| &p.images).collect();
         let images = Tensor::concat_axis0(&tensors)?;
-        let labels = parts.iter().flat_map(|p| p.labels.iter().copied()).collect();
+        let labels = parts
+            .iter()
+            .flat_map(|p| p.labels.iter().copied())
+            .collect();
         Ok(ImageDataset {
             images,
             labels,

@@ -303,7 +303,10 @@ mod tests {
         let sizes = p.sizes();
         let max = *sizes.iter().max().unwrap() as f64;
         let min = *sizes.iter().min().unwrap() as f64;
-        assert!(max / min < 1.6, "alpha=1000 should be near-uniform: {sizes:?}");
+        assert!(
+            max / min < 1.6,
+            "alpha=1000 should be near-uniform: {sizes:?}"
+        );
     }
 
     #[test]
@@ -321,7 +324,11 @@ mod tests {
                 .collect();
             labels.sort_unstable();
             labels.dedup();
-            assert!(labels.len() <= 4, "client {c} sees {} classes", labels.len());
+            assert!(
+                labels.len() <= 4,
+                "client {c} sees {} classes",
+                labels.len()
+            );
         }
     }
 

@@ -74,7 +74,7 @@ pub struct Augment {
 impl Default for Augment {
     fn default() -> Self {
         Augment {
-            rotation: 0.18,      // ≈ ±10°
+            rotation: 0.18, // ≈ ±10°
             translation: 0.12,
             scale_jitter: 0.12,
             brightness: 0.25,
@@ -228,11 +228,7 @@ impl SampleJitter {
             dy,
             inv_scale: 1.0 / scale,
             brightness,
-            background: Rgb::new(
-                (g + tint).clamp(0.0, 1.0),
-                g,
-                (g - tint).clamp(0.0, 1.0),
-            ),
+            background: Rgb::new((g + tint).clamp(0.0, 1.0), g, (g - tint).clamp(0.0, 1.0)),
         }
     }
 }
@@ -300,11 +296,7 @@ mod tests {
             .image_size(16)
             .generate()
             .unwrap();
-        assert!(ds
-            .images()
-            .data()
-            .iter()
-            .all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(ds.images().data().iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]
@@ -400,7 +392,10 @@ mod tests {
     fn rejects_bad_config() {
         assert!(SynthGtsrb::builder().classes(0).generate().is_err());
         assert!(SynthGtsrb::builder().classes(44).generate().is_err());
-        assert!(SynthGtsrb::builder().samples_per_class(0).generate().is_err());
+        assert!(SynthGtsrb::builder()
+            .samples_per_class(0)
+            .generate()
+            .is_err());
         assert!(SynthGtsrb::builder().image_size(4).generate().is_err());
     }
 }

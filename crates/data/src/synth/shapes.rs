@@ -163,7 +163,10 @@ mod tests {
         for s in SignShape::all() {
             for &(u, v) in &pts {
                 if s.contains(u, v, 0.7) {
-                    assert!(s.contains(u, v, 1.0), "{s:?} scale monotonicity at ({u},{v})");
+                    assert!(
+                        s.contains(u, v, 1.0),
+                        "{s:?} scale monotonicity at ({u},{v})"
+                    );
                 }
             }
         }
@@ -196,7 +199,11 @@ mod tests {
                 let differ = probes
                     .iter()
                     .any(|&(u, v)| glyphs[i].contains(u, v) != glyphs[k].contains(u, v));
-                assert!(differ, "{:?} and {:?} identical on probe grid", glyphs[i], glyphs[k]);
+                assert!(
+                    differ,
+                    "{:?} and {:?} identical on probe grid",
+                    glyphs[i], glyphs[k]
+                );
             }
         }
     }

@@ -85,7 +85,13 @@ impl ClassSpec {
         }
         // Family 4: end-of-restriction — grey-slashed white circles with
         // grey glyphs, 5 variants.
-        for glyph in [Glyph::HBar, Glyph::VBar, Glyph::Dot, Glyph::Cross, Glyph::Ring] {
+        for glyph in [
+            Glyph::HBar,
+            Glyph::VBar,
+            Glyph::Dot,
+            Glyph::Cross,
+            Glyph::Ring,
+        ] {
             table.push(ClassSpec {
                 shape: SignShape::Circle,
                 rim: Rgb::GREY,

@@ -280,7 +280,9 @@ mod tests {
     #[test]
     fn rejects_wrong_channel_count() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl Layer for Conv2d {
         let macs = (self.in_channels * self.kernel * self.kernel) as u64
             * self.out_channels as u64
             * (out[2] * out[3]) as u64;
-        Ok(LayerFlops::gemm(2 * macs + (out[1] * out[2] * out[3]) as u64))
+        Ok(LayerFlops::gemm(
+            2 * macs + (out[1] * out[2] * out[3]) as u64,
+        ))
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

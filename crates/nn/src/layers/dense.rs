@@ -35,8 +35,10 @@ impl Dense {
     /// Creates a dense layer with He-normal weights drawn from `seed`.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
         let mut rng = seeded_rng(seed);
-        let weight = Init::HeNormal { fan_in: in_features }
-            .tensor(&[out_features, in_features], &mut rng);
+        let weight = Init::HeNormal {
+            fan_in: in_features,
+        }
+        .tensor(&[out_features, in_features], &mut rng);
         Dense {
             weight: Parameter::new(weight),
             bias: Parameter::new(Tensor::zeros(&[out_features])),

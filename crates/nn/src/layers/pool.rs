@@ -88,8 +88,7 @@ impl Layer for MaxPool2d {
 
     fn flops(&self, input_dims: &[usize]) -> Result<LayerFlops> {
         let out = self.output_shape(input_dims)?;
-        let comparisons =
-            (out[1] * out[2] * out[3]) as u64 * (self.window * self.window) as u64;
+        let comparisons = (out[1] * out[2] * out[3]) as u64 * (self.window * self.window) as u64;
         Ok(LayerFlops::elementwise(comparisons))
     }
 
@@ -138,7 +137,12 @@ impl Layer for AvgPool2d {
             .cached_input_dims
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        Ok(avgpool2d_backward(grad_out, dims, self.window, self.stride)?)
+        Ok(avgpool2d_backward(
+            grad_out,
+            dims,
+            self.window,
+            self.stride,
+        )?)
     }
 
     fn params(&self) -> Vec<&Parameter> {

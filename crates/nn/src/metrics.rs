@@ -65,7 +65,11 @@ pub fn evaluate(
     }
     net.set_mode(prev_mode);
     Ok(EvalResult {
-        accuracy: if n == 0 { 0.0 } else { correct as f64 / n as f64 },
+        accuracy: if n == 0 {
+            0.0
+        } else {
+            correct as f64 / n as f64
+        },
         loss: if n == 0 { 0.0 } else { loss_sum / n as f64 },
         samples: n,
     })

@@ -142,7 +142,7 @@ impl DeepThin {
     /// Returns [`NnError::Config`] when `image_size` is not divisible by 4
     /// (two pooling stages) or any width is zero.
     pub fn build(&self) -> Result<Sequential> {
-        if self.image_size % 4 != 0 || self.image_size == 0 {
+        if !self.image_size.is_multiple_of(4) || self.image_size == 0 {
             return Err(NnError::Config(format!(
                 "image_size must be a positive multiple of 4, got {}",
                 self.image_size
@@ -158,7 +158,14 @@ impl DeepThin {
         let seeds = SeedDerive::new(self.seed).child("deepthin");
         let spatial = self.image_size / 4;
         let mut net = Sequential::new();
-        net.push(Conv2d::new(3, self.conv1_channels, 3, 1, 1, seeds.index(0).seed()));
+        net.push(Conv2d::new(
+            3,
+            self.conv1_channels,
+            3,
+            1,
+            1,
+            seeds.index(0).seed(),
+        ));
         net.push(Relu::new());
         net.push(MaxPool2d::new(2, 2));
         net.push(Conv2d::new(
@@ -225,7 +232,11 @@ mod tests {
         let net = DeepThin::builder(32, 43).build().unwrap();
         let dims_at = |cut: CutPoint| -> usize {
             let (client, _) = net.clone().split_at(cut.layer_index()).unwrap();
-            client.output_shape(&[1, 3, 32, 32]).unwrap().iter().product()
+            client
+                .output_shape(&[1, 3, 32, 32])
+                .unwrap()
+                .iter()
+                .product()
         };
         let pool1 = dims_at(CutPoint::AfterPool1);
         let pool2 = dims_at(CutPoint::AfterPool2);

@@ -30,12 +30,10 @@ impl LrSchedule {
     pub fn multiplier(&self, round: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::StepDecay { every, factor } => {
-                match round.checked_div(every) {
-                    None => 1.0,
-                    Some(decays) => factor.powi(decays as i32),
-                }
-            }
+            LrSchedule::StepDecay { every, factor } => match round.checked_div(every) {
+                None => 1.0,
+                Some(decays) => factor.powi(decays as i32),
+            },
             LrSchedule::Cosine {
                 total_rounds,
                 final_fraction,

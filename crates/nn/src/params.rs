@@ -209,7 +209,11 @@ mod tests {
     #[test]
     fn fed_avg_of_identical_models_is_identity() {
         let snap = ParamVec::from_network(&net(5));
-        let avg = fed_avg(&[snap.clone(), snap.clone(), snap.clone()], &[1.0, 2.0, 3.0]).unwrap();
+        let avg = fed_avg(
+            &[snap.clone(), snap.clone(), snap.clone()],
+            &[1.0, 2.0, 3.0],
+        )
+        .unwrap();
         assert!(avg.l2_distance(&snap).unwrap() < 1e-5);
     }
 

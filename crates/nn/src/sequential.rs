@@ -144,7 +144,10 @@ impl Sequential {
 
     /// Mutable parameter views, same order as [`Sequential::params`].
     pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total scalar parameter count.
@@ -324,10 +327,7 @@ mod tests {
         let b = a.clone();
         // Mutating a's parameters must not affect b.
         a.params_mut()[0].value_mut().fill(0.0);
-        assert_ne!(
-            a.params()[0].value().data(),
-            b.params()[0].value().data()
-        );
+        assert_ne!(a.params()[0].value().data(), b.params()[0].value().data());
     }
 
     #[test]

@@ -49,9 +49,9 @@ impl Simulator {
         let mut queue: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
         let mut events: Vec<Event> = Vec::new();
         let push = |queue: &mut BinaryHeap<Reverse<(SimTime, usize, usize)>>,
-                        events: &mut Vec<Event>,
-                        t: SimTime,
-                        ev: Event| {
+                    events: &mut Vec<Event>,
+                    t: SimTime,
+                    ev: Event| {
             let seq = events.len();
             events.push(ev);
             queue.push(Reverse((t, seq, seq)));
@@ -59,7 +59,12 @@ impl Simulator {
 
         for (i, t) in graph.tasks.iter().enumerate() {
             if t.deps.is_empty() {
-                push(&mut queue, &mut events, SimTime::ZERO, Event::Ready(TaskId(i)));
+                push(
+                    &mut queue,
+                    &mut events,
+                    SimTime::ZERO,
+                    Event::Ready(TaskId(i)),
+                );
             }
         }
 
@@ -128,7 +133,9 @@ impl Simulator {
         }
 
         if completed != n {
-            return Err(SimError::Cycle { stuck: n - completed });
+            return Err(SimError::Cycle {
+                stuck: n - completed,
+            });
         }
 
         let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
@@ -355,8 +362,12 @@ mod tests {
     fn gantt_renders_rows() {
         let mut g = TaskGraph::new();
         let r = g.add_resource("srv", 1);
-        let a = g.add_task("first", SimTime::new(1.0), Some(r), &[]).unwrap();
-        let _ = g.add_task("second", SimTime::new(1.0), Some(r), &[a]).unwrap();
+        let a = g
+            .add_task("first", SimTime::new(1.0), Some(r), &[])
+            .unwrap();
+        let _ = g
+            .add_task("second", SimTime::new(1.0), Some(r), &[a])
+            .unwrap();
         let s = Simulator::run(&g).unwrap();
         let chart = s.gantt(20);
         assert!(chart.contains("first"));

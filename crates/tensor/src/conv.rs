@@ -104,8 +104,7 @@ fn im2col(sample: &[f32], c: usize, g: &ConvGeom) -> Tensor {
                         if ix < 0 || ix >= g.in_w as isize {
                             continue;
                         }
-                        out_row[oy * g.out_w + ox] =
-                            plane[iy as usize * g.in_w + ix as usize];
+                        out_row[oy * g.out_w + ox] = plane[iy as usize * g.in_w + ix as usize];
                     }
                 }
             }
@@ -135,8 +134,7 @@ fn col2im(cols_t: &Tensor, c: usize, g: &ConvGeom, out: &mut [f32]) {
                         if ix < 0 || ix >= g.in_w as isize {
                             continue;
                         }
-                        plane[iy as usize * g.in_w + ix as usize] +=
-                            col_row[oy * g.out_w + ox];
+                        plane[iy as usize * g.in_w + ix as usize] += col_row[oy * g.out_w + ox];
                     }
                 }
             }
@@ -185,7 +183,11 @@ pub fn conv2d_forward(
     let out_plane = g.out_h * g.out_w;
     let mut out = vec![0.0f32; n * c_out * out_plane];
     for s in 0..n {
-        let cols = im2col(&input.data()[s * sample_len..(s + 1) * sample_len], c_in, &g);
+        let cols = im2col(
+            &input.data()[s * sample_len..(s + 1) * sample_len],
+            c_in,
+            &g,
+        );
         let y = matmul(&w_mat, &cols)?; // [c_out, out_plane]
         let dst = &mut out[s * c_out * out_plane..(s + 1) * c_out * out_plane];
         for co in 0..c_out {
@@ -237,7 +239,11 @@ pub fn conv2d_backward(
     let mut grad_b = vec![0.0f32; c_out];
 
     for s in 0..n {
-        let cols = im2col(&input.data()[s * sample_len..(s + 1) * sample_len], c_in, &g);
+        let cols = im2col(
+            &input.data()[s * sample_len..(s + 1) * sample_len],
+            c_in,
+            &g,
+        );
         let dy = Tensor::from_vec(
             grad_out.data()[s * c_out * out_plane..(s + 1) * c_out * out_plane].to_vec(),
             &[c_out, out_plane],
@@ -271,7 +277,13 @@ mod tests {
     use super::*;
 
     /// Direct convolution, the slow-but-obviously-correct reference.
-    fn conv_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    fn conv_naive(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (n, c_in, h, w) = input.shape().as_nchw().unwrap();
         let (c_out, _, k_h, k_w) = weight.shape().as_nchw().unwrap();
         let g = ConvGeom::new(h, w, k_h, k_w, stride, pad).unwrap();
@@ -311,7 +323,9 @@ mod tests {
         k: usize,
     ) -> (Tensor, Tensor, Tensor) {
         let input = Tensor::from_fn(&[n, c_in, h, w], |i| ((i * 37 % 17) as f32 - 8.0) * 0.1);
-        let weight = Tensor::from_fn(&[c_out, c_in, k, k], |i| ((i * 53 % 13) as f32 - 6.0) * 0.05);
+        let weight = Tensor::from_fn(&[c_out, c_in, k, k], |i| {
+            ((i * 53 % 13) as f32 - 6.0) * 0.05
+        });
         let bias = Tensor::from_fn(&[c_out], |i| i as f32 * 0.01);
         (input, weight, bias)
     }
@@ -365,8 +379,8 @@ mod tests {
             );
         }
         // Bias gradient under sum-loss is just the number of output pixels.
-        let plane = (out.numel() / out.dims()[1]) as f32 / out.dims()[0] as f32
-            * out.dims()[0] as f32;
+        let plane =
+            (out.numel() / out.dims()[1]) as f32 / out.dims()[0] as f32 * out.dims()[0] as f32;
         for &g in gb.data() {
             assert!((g - plane).abs() < 1e-3);
         }

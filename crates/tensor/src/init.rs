@@ -49,9 +49,7 @@ impl Init {
         match *self {
             Init::Zeros => Tensor::zeros(dims),
             Init::Constant(c) => Tensor::full(dims, c),
-            Init::Uniform { bound } => {
-                Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound))
-            }
+            Init::Uniform { bound } => Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound)),
             Init::HeNormal { fan_in } => {
                 let std = (2.0 / fan_in.max(1) as f32).sqrt();
                 Tensor::from_fn(dims, |_| std * standard_normal(rng))
@@ -86,7 +84,11 @@ mod tests {
     #[test]
     fn zeros_and_constant() {
         let mut rng = seeded_rng(0);
-        assert!(Init::Zeros.tensor(&[4], &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Zeros
+            .tensor(&[4], &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Init::Constant(3.5)
             .tensor(&[4], &mut rng)
             .data()

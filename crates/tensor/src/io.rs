@@ -76,9 +76,9 @@ pub fn decode(bytes: &[u8]) -> Result<Tensor> {
     let mut numel: usize = 1;
     for _ in 0..rank {
         let d = buf.get_u64_le() as usize;
-        numel = numel.checked_mul(d).ok_or_else(|| {
-            TensorError::Decode("element count overflows usize".into())
-        })?;
+        numel = numel
+            .checked_mul(d)
+            .ok_or_else(|| TensorError::Decode("element count overflows usize".into()))?;
         dims.push(d);
     }
     if buf.remaining() != 4 * numel {

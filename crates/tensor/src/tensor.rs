@@ -434,9 +434,7 @@ impl Tensor {
     /// leading dimension or the tensor is rank 0.
     pub fn slice_axis0(&self, range: std::ops::Range<usize>) -> Result<Tensor> {
         if self.shape.rank() == 0 {
-            return Err(TensorError::InvalidArgument(
-                "cannot slice a scalar".into(),
-            ));
+            return Err(TensorError::InvalidArgument("cannot slice a scalar".into()));
         }
         let lead = self.shape.dims()[0];
         if range.end > lead || range.start > range.end {

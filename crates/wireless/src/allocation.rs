@@ -10,8 +10,7 @@ use crate::{Result, WirelessError};
 use serde::{Deserialize, Serialize};
 
 /// How total bandwidth is divided among `n` concurrent links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum BandwidthPolicy {
     /// Equal split: every active link gets `B/n`.
     #[default]
@@ -23,7 +22,6 @@ pub enum BandwidthPolicy {
     /// efficiency, equalizing completion times (idealized water-filling).
     ChannelAware,
 }
-
 
 /// Per-link context the allocator may use.
 #[derive(Debug, Clone, Copy, PartialEq)]

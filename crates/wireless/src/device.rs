@@ -20,9 +20,7 @@ impl DeviceProfile {
     /// Returns [`WirelessError::Config`] for a non-positive rate.
     pub fn new(rate: FlopsRate) -> Result<Self> {
         if rate.as_flops_per_sec() <= 0.0 {
-            return Err(WirelessError::Config(
-                "device rate must be positive".into(),
-            ));
+            return Err(WirelessError::Config("device rate must be positive".into()));
         }
         Ok(DeviceProfile { rate })
     }

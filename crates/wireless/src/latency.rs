@@ -311,12 +311,9 @@ impl LatencyModelBuilder {
                 }
                 Topology::fixed(d.clone())
             }
-            None => Topology::random_annulus(
-                self.clients,
-                self.min_radius,
-                self.max_radius,
-                self.seed,
-            )?,
+            None => {
+                Topology::random_annulus(self.clients, self.min_radius, self.max_radius, self.seed)?
+            }
         };
         let devices = match &self.fixed_devices {
             Some(d) => {
@@ -421,7 +418,9 @@ mod tests {
     fn compute_times() {
         let m = LatencyModel::builder()
             .clients(1)
-            .fixed_devices(vec![DeviceProfile::new(FlopsRate::from_gflops(1.0)).unwrap()])
+            .fixed_devices(vec![
+                DeviceProfile::new(FlopsRate::from_gflops(1.0)).unwrap()
+            ])
             .build()
             .unwrap();
         assert!((m.client_compute(0, 1_000_000_000).unwrap().as_secs_f64() - 1.0).abs() < 1e-9);

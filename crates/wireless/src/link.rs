@@ -55,8 +55,9 @@ impl LinkBudget {
             .minus_db(self.pathloss.loss_db(distance))
             .as_dbm()
             + 10.0 * fading_power_gain.max(f64::MIN_POSITIVE).log10();
-        let noise_dbm =
-            self.noise_dbm_per_hz + 10.0 * bandwidth.as_hz().max(1.0).log10() + self.noise_figure_db;
+        let noise_dbm = self.noise_dbm_per_hz
+            + 10.0 * bandwidth.as_hz().max(1.0).log10()
+            + self.noise_figure_db;
         10f64.powf((rx_dbm - noise_dbm) / 10.0)
     }
 

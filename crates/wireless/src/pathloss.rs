@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn loss_increases_with_distance() {
-        for model in [PathLoss::FreeSpace { carrier_ghz: 3.5 }, PathLoss::urban_default()] {
+        for model in [
+            PathLoss::FreeSpace { carrier_ghz: 3.5 },
+            PathLoss::urban_default(),
+        ] {
             let near = model.loss_db(Meters::new(10.0));
             let far = model.loss_db(Meters::new(100.0));
             assert!(far > near, "{model:?}: {far} vs {near}");

@@ -30,9 +30,7 @@ impl EdgeServer {
             return Err(WirelessError::Config("server needs ≥ 1 slot".into()));
         }
         if rate_per_slot.as_flops_per_sec() <= 0.0 {
-            return Err(WirelessError::Config(
-                "server rate must be positive".into(),
-            ));
+            return Err(WirelessError::Config("server rate must be positive".into()));
         }
         Ok(EdgeServer {
             rate_per_slot,

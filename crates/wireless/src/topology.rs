@@ -103,7 +103,10 @@ mod tests {
         assert!(t.distance(0).is_ok());
         assert!(matches!(
             t.distance(1),
-            Err(WirelessError::UnknownClient { client: 1, clients: 1 })
+            Err(WirelessError::UnknownClient {
+                client: 1,
+                clients: 1
+            })
         ));
     }
 
@@ -117,14 +120,9 @@ mod tests {
     fn area_uniform_biases_outward() {
         // Uniform-over-area places more clients in the outer half of the
         // annulus (it has more area).
-        let t =
-            Topology::random_annulus(2000, Meters::new(10.0), Meters::new(100.0), 7).unwrap();
+        let t = Topology::random_annulus(2000, Meters::new(10.0), Meters::new(100.0), 7).unwrap();
         let mid = ((10.0f64 * 10.0 + 100.0 * 100.0) / 2.0).sqrt(); // equal-area split
-        let outer = t
-            .distances()
-            .iter()
-            .filter(|d| d.as_meters() > mid)
-            .count();
+        let outer = t.distances().iter().filter(|d| d.as_meters() > mid).count();
         let frac = outer as f64 / 2000.0;
         assert!((frac - 0.5).abs() < 0.05, "outer fraction {frac}");
     }

@@ -12,7 +12,9 @@ use gsfl::wireless::latency::LatencyModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = LatencyModel::builder().clients(30).seed(11).build()?;
-    let groups: Vec<Vec<usize>> = (0..6).map(|g| (0..30).filter(|c| c % 6 == g).collect()).collect();
+    let groups: Vec<Vec<usize>> = (0..6)
+        .map(|g| (0..30).filter(|c| c % 6 == g).collect())
+        .collect();
     let steps = vec![4usize; 30];
 
     println!(
@@ -22,8 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cut in CutPoint::all() {
         let net = DeepThin::builder(16, 43).seed(1).build()?;
         let costs = SplitCosts::compute(&net, cut.layer_index(), &[3, 16, 16], 16)?;
-        let split = SplitNetwork::split(DeepThin::builder(16, 43).seed(1).build()?, cut.layer_index())?;
-        let r = gsfl_round(&model, &costs, &steps, &groups, BandwidthPolicy::Equal, ChannelMode::Dedicated, 0)?;
+        let split = SplitNetwork::split(
+            DeepThin::builder(16, 43).seed(1).build()?,
+            cut.layer_index(),
+        )?;
+        let r = gsfl_round(
+            &model,
+            &costs,
+            &steps,
+            &groups,
+            BandwidthPolicy::Equal,
+            ChannelMode::Dedicated,
+            0,
+        )?;
         let client_share = (costs.client_fwd_flops + costs.client_bwd_flops) as f64
             / costs.full_flops as f64
             * 100.0;

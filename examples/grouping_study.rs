@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example grouping_study`
 
+use gsfl::core::config::WirelessConfig;
 use gsfl::core::config::{DatasetConfig, ExperimentConfig, GroupingKind};
 use gsfl::core::runner::Runner;
 use gsfl::core::scheme::SchemeKind;
-use gsfl::core::config::WirelessConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("20 clients with strongly heterogeneous devices (0.2–4 GFLOP/s), 4 groups\n");

@@ -1,10 +1,16 @@
-//! Quickstart: train GSFL and vanilla SL on a small synthetic traffic-sign
-//! task and compare simulated wall-clock latency.
+//! Quickstart: stream a GSFL training session round-by-round, then
+//! compare its simulated wall-clock latency against vanilla SL.
+//!
+//! `Runner::session` yields [`RoundEvent`]s as training progresses —
+//! this example prints a live progress line per round and an accuracy
+//! line per evaluation, exactly what a dashboard or CSV streamer would
+//! consume. `Runner::run` is the one-shot convenience over the same
+//! iterator.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use gsfl::core::config::{DatasetConfig, ExperimentConfig};
-use gsfl::core::runner::Runner;
+use gsfl::core::runner::{RoundEvent, Runner};
 use gsfl::core::scheme::SchemeKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,12 +32,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let runner = Runner::new(config)?;
 
-    println!("training GSFL (3 parallel groups)…");
-    let gsfl = runner.run(SchemeKind::Gsfl)?;
+    // Streaming path: observe GSFL as it trains.
+    println!("training GSFL (3 parallel groups), streaming round events…");
+    let mut session = runner.session(SchemeKind::Gsfl)?;
+    for event in &mut session {
+        match event? {
+            RoundEvent::RoundFinished { round, record } => {
+                println!(
+                    "  round {round:>2}: loss {:.3}, +{:.1}s simulated",
+                    record.train_loss, record.round_latency_s
+                );
+            }
+            RoundEvent::Evaluated { round, accuracy } => {
+                println!("  round {round:>2}: test accuracy {:.1}%", accuracy * 100.0);
+            }
+            RoundEvent::Stopped { reason, .. } => println!("  stopped: {reason}"),
+            _ => {}
+        }
+    }
+    let gsfl = session.finish();
+
+    // One-shot path: same iterator underneath, drained for us.
     println!("training vanilla SL (sequential)…");
     let sl = runner.run(SchemeKind::VanillaSplit)?;
 
-    println!("\n{:<6} {:>10} {:>14} {:>12}", "scheme", "accuracy", "simulated", "host");
+    println!(
+        "\n{:<6} {:>10} {:>14} {:>12}",
+        "scheme", "accuracy", "simulated", "host"
+    );
     for r in [&gsfl, &sl] {
         println!(
             "{:<6} {:>9.1}% {:>13.1}s {:>11.1}s",
@@ -42,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let speedup = sl.total_latency_s() / gsfl.total_latency_s();
-    println!("\nGSFL ran the same {} rounds {speedup:.2}× faster (simulated time).", gsfl.records.len());
+    println!(
+        "\nGSFL ran the same {} rounds {speedup:.2}× faster (simulated time).",
+        gsfl.records.len()
+    );
     println!("(The paper reports ≈31% less delay to matched accuracy on its testbed.)");
     Ok(())
 }

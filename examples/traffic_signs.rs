@@ -37,14 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<6} {:>8} {:>12} {:>12} {:>14}",
         "scheme", "acc_%", "sim_time_s", "traffic_MiB", "server_store_KiB"
     );
-    for kind in [
-        SchemeKind::Centralized,
-        SchemeKind::VanillaSplit,
-        SchemeKind::Gsfl,
-        SchemeKind::Federated,
-        SchemeKind::SplitFed,
-    ] {
-        let r = runner.run(kind)?;
+    // All five schemes on parallel host threads against the shared
+    // context; results come back in presentation order.
+    for r in runner.run_many(&SchemeKind::all())? {
         println!(
             "{:<6} {:>8.1} {:>12.1} {:>12.2} {:>14.1}",
             r.scheme,

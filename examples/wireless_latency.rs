@@ -33,9 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = DeepThin::builder(16, 43).seed(1).build()?;
     let costs = SplitCosts::compute(&net, CutPoint::AfterPool1.layer_index(), &[3, 16, 16], 16)?;
     println!("\n— per-batch cost profile (cut after pool1) —");
-    println!("  client fwd/bwd : {} / {} FLOPs", costs.client_fwd_flops, costs.client_bwd_flops);
+    println!(
+        "  client fwd/bwd : {} / {} FLOPs",
+        costs.client_fwd_flops, costs.client_bwd_flops
+    );
     println!("  server fwd+bwd : {} FLOPs", costs.server_flops);
-    println!("  smashed data   : {} B/batch", costs.smashed_bytes.as_u64());
+    println!(
+        "  smashed data   : {} B/batch",
+        costs.smashed_bytes.as_u64()
+    );
     println!("  client model   : {} B", costs.client_model_bytes.as_u64());
 
     // 4. SL vs GSFL round latency, and the server-contention effect.
@@ -43,12 +49,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let order: Vec<usize> = (0..12).collect();
     let sl = sl_round(&model, &costs, &steps, &order, ChannelMode::Dedicated, 0)?;
     println!("\n— round latency (12 clients) —");
-    println!("  SL  (sequential)        : {:.2} s", sl.duration.as_secs_f64());
+    println!(
+        "  SL  (sequential)        : {:.2} s",
+        sl.duration.as_secs_f64()
+    );
     for m in [2usize, 3, 6, 12] {
         let groups: Vec<Vec<usize>> = (0..m)
             .map(|g| (0..12).filter(|c| c % m == g).collect())
             .collect();
-        let r = gsfl_round(&model, &costs, &steps, &groups, BandwidthPolicy::Equal, ChannelMode::Dedicated, 0)?;
+        let r = gsfl_round(
+            &model,
+            &costs,
+            &steps,
+            &groups,
+            BandwidthPolicy::Equal,
+            ChannelMode::Dedicated,
+            0,
+        )?;
         println!(
             "  GSFL M={m:<2} ({} srv slots) : {:.2} s  ({:.2}× vs SL)",
             model.server().slots(),

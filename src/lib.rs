@@ -18,9 +18,16 @@
 //!
 //! # Quickstart
 //!
+//! Training runs are *sessions*: `Runner::session` streams a
+//! [`core::runner::RoundEvent`] per round milestone (started, aggregated,
+//! evaluated, finished, stopped), and `Runner::run` drains the same
+//! iterator into a final [`core::results::RunResult`]. Early stopping is
+//! pluggable via [`core::stop::StopPolicy`]; `Runner::run_many` runs
+//! several schemes concurrently against one shared context.
+//!
 //! ```no_run
 //! use gsfl::core::config::ExperimentConfig;
-//! use gsfl::core::runner::Runner;
+//! use gsfl::core::runner::{RoundEvent, Runner};
 //! use gsfl::core::scheme::SchemeKind;
 //!
 //! # fn main() -> Result<(), gsfl::core::CoreError> {
@@ -30,7 +37,17 @@
 //!     .rounds(50)
 //!     .build()?;
 //! let runner = Runner::new(config)?;
-//! let gsfl = runner.run(SchemeKind::Gsfl)?;
+//!
+//! // Stream GSFL round-by-round…
+//! let mut session = runner.session(SchemeKind::Gsfl)?;
+//! for event in &mut session {
+//!     if let RoundEvent::Evaluated { round, accuracy } = event? {
+//!         println!("round {round}: {:.1}%", accuracy * 100.0);
+//!     }
+//! }
+//! let gsfl = session.finish();
+//!
+//! // …and compare against the one-shot SL baseline.
 //! let sl = runner.run(SchemeKind::VanillaSplit)?;
 //! println!(
 //!     "GSFL reached {:.1}% in {:.0}s simulated; SL took {:.0}s",

@@ -33,9 +33,7 @@ fn config(availability: f64, rounds: usize) -> ExperimentConfig {
             test_per_class: 8,
             image_size: 8,
         })
-        .model(ModelKind::Mlp {
-            hidden: vec![24],
-        })
+        .model(ModelKind::Mlp { hidden: vec![24] })
         .seed(31)
         .build()
         .unwrap()
@@ -56,9 +54,18 @@ fn full_availability_matches_default_semantics() {
 
 #[test]
 fn availability_is_rejected_outside_unit_interval() {
-    assert!(ExperimentConfig::builder().availability(0.0).build().is_err());
-    assert!(ExperimentConfig::builder().availability(1.5).build().is_err());
-    assert!(ExperimentConfig::builder().availability(0.5).build().is_ok());
+    assert!(ExperimentConfig::builder()
+        .availability(0.0)
+        .build()
+        .is_err());
+    assert!(ExperimentConfig::builder()
+        .availability(1.5)
+        .build()
+        .is_err());
+    assert!(ExperimentConfig::builder()
+        .availability(0.5)
+        .build()
+        .is_ok());
 }
 
 #[test]
@@ -119,7 +126,10 @@ fn churn_is_deterministic_and_seed_sensitive() {
     // A different seed draws different availability patterns.
     let mut other_cfg = config(0.5, 5);
     other_cfg.seed = 32;
-    let c = Runner::new(other_cfg).unwrap().run(SchemeKind::Gsfl).unwrap();
+    let c = Runner::new(other_cfg)
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
     let differs = a
         .records
         .iter()

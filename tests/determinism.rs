@@ -19,9 +19,7 @@ fn config(seed: u64) -> ExperimentConfig {
             test_per_class: 5,
             image_size: 8,
         })
-        .model(ModelKind::Mlp {
-            hidden: vec![12],
-        })
+        .model(ModelKind::Mlp { hidden: vec![12] })
         .seed(seed)
         .build()
         .unwrap()
@@ -52,13 +50,18 @@ fn same_seed_bit_identical_across_fresh_runners() {
 
 #[test]
 fn different_seed_changes_trajectory() {
-    let a = Runner::new(config(1)).unwrap().run(SchemeKind::Gsfl).unwrap();
-    let b = Runner::new(config(2)).unwrap().run(SchemeKind::Gsfl).unwrap();
-    let differs = a
-        .records
-        .iter()
-        .zip(&b.records)
-        .any(|(ra, rb)| ra.train_loss != rb.train_loss || ra.round_latency_s != rb.round_latency_s);
+    let a = Runner::new(config(1))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    let b = Runner::new(config(2))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    let differs =
+        a.records.iter().zip(&b.records).any(|(ra, rb)| {
+            ra.train_loss != rb.train_loss || ra.round_latency_s != rb.round_latency_s
+        });
     assert!(differs, "seeds 1 and 2 gave identical runs");
 }
 

@@ -34,9 +34,7 @@ fn config(rounds: usize) -> ExperimentConfig {
             test_per_class: 10,
             image_size: 8,
         })
-        .model(ModelKind::Mlp {
-            hidden: vec![32],
-        })
+        .model(ModelKind::Mlp { hidden: vec![32] })
         .seed(11)
         .build()
         .expect("valid config")

@@ -122,7 +122,9 @@ fn des_matches_closed_form_for_single_group_without_contention() {
 fn server_slot_contention_monotonicity() {
     let costs = costs();
     let steps = vec![3usize; 12];
-    let groups: Vec<Vec<usize>> = (0..6).map(|g| (0..12).filter(|c| c % 6 == g).collect()).collect();
+    let groups: Vec<Vec<usize>> = (0..6)
+        .map(|g| (0..12).filter(|c| c % 6 == g).collect())
+        .collect();
     let mut last = f64::INFINITY;
     for slots in [1usize, 2, 4, 8] {
         let latency = homogeneous_model(12, slots);
@@ -151,7 +153,9 @@ fn shared_pool_helps_sl_hurts_gsfl_relatively() {
     let costs = costs();
     let steps = vec![3usize; 12];
     let order: Vec<usize> = (0..12).collect();
-    let groups: Vec<Vec<usize>> = (0..6).map(|g| (0..12).filter(|c| c % 6 == g).collect()).collect();
+    let groups: Vec<Vec<usize>> = (0..6)
+        .map(|g| (0..12).filter(|c| c % 6 == g).collect())
+        .collect();
     let speedup = |mode: ChannelMode| {
         let sl = sl_round(&latency, &costs, &steps, &order, mode, 0).unwrap();
         let g = gsfl_round(
@@ -183,5 +187,8 @@ fn byte_accounting_independent_of_channel_mode() {
     let a = sl_round(&latency, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
     let b = sl_round(&latency, &costs, &steps, &order, ChannelMode::SharedPool, 0).unwrap();
     assert_eq!(a.bytes, b.bytes);
-    assert!(a.duration > b.duration, "dedicated B/N must be slower for SL");
+    assert!(
+        a.duration > b.duration,
+        "dedicated B/N must be slower for SL"
+    );
 }

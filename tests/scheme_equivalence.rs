@@ -26,9 +26,7 @@ fn config(clients: usize, groups: usize) -> ExperimentConfig {
             test_per_class: 6,
             image_size: 8,
         })
-        .model(ModelKind::Mlp {
-            hidden: vec![16],
-        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
         .seed(21)
         .build()
         .unwrap()

@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro over named `arg in strategy`
+//! bindings, range and collection strategies, `prop_map` /
+//! `prop_flat_map` combinators, and the `prop_assert*` / `prop_assume!`
+//! macros. Cases are generated deterministically (seeded per test name);
+//! there is no shrinking — a failing case reports its assertion message
+//! only.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving case generation.
+pub type TestRng = ChaCha8Rng;
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — try another.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Give up after this many consecutive rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u32, u64, i32, i64, f32, f64);
+
+/// A length range for [`collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `Vec` strategy over an element strategy and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Alias so `prop::collection::vec(...)` resolves after a prelude glob.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runs one property test: generates cases until `config.cases` are
+/// accepted, panicking on the first failure.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Deterministic per-name seed (FNV-1a).
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest `{name}`: too many prop_assume rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests over `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(config, stringify!($name), |proptest_rng| {
+                    $( let $arg = $crate::Strategy::generate(&($strat), proptest_rng); )*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (a fresh one is generated instead).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject(
+                concat!("assume failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0u32..5, 2..=6)) {
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_chains(v in (1usize..4).prop_flat_map(|n| prop::collection::vec(0i32..10, n..=n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::prop::collection::vec(0u64..1000, 1..8);
+        let mut a = crate::TestRng::seed_from_u64(1);
+        let mut b = crate::TestRng::seed_from_u64(1);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde facade's `Serialize` /
+//! `Deserialize` traits (concrete `Value` tree, no visitors) for the
+//! shapes this workspace uses: named-field structs, tuple/newtype/unit
+//! structs, and enums with unit, tuple and struct variants. Supports the
+//! `#[serde(default)]` field attribute. Generics are not supported.
+//!
+//! Implemented directly on `proc_macro` token streams (no syn/quote in
+//! the offline image): the item is parsed with a small hand-rolled token
+//! walker and the impls are emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive supports struct/enum, got `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Splits a field/variant body at top-level commas (angle-bracket aware).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether a `#[...]` attribute group is `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut has_default = false;
+            let mut j = 0;
+            // Attributes and visibility.
+            loop {
+                match chunk.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        if let Some(TokenTree::Group(g)) = chunk.get(j + 1) {
+                            has_default |= attr_is_serde_default(g);
+                        }
+                        j += 2;
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        j += 1;
+                        if matches!(
+                            chunk.get(j),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            j += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let name = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            };
+            Field { name, has_default }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(obj)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Array(vec![{items}]) }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "inner.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                    f.name
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{\n\
+                                   let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = Vec::new();\n\
+                                   {pushes}\
+                                   ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(inner))])\n\
+                                 }}\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_fields_body(type_path: &str, fields: &[Field], source: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.has_default {
+                format!(
+                    "{fname}: match ::serde::find({source}, \"{fname}\") {{\n\
+                       Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                       None => ::std::default::Default::default(),\n\
+                     }},\n"
+                )
+            } else {
+                format!(
+                    "{fname}: match ::serde::find({source}, \"{fname}\") {{\n\
+                       Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                       None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                         .map_err(|_| ::serde::DeError::missing(\"{fname}\"))?,\n\
+                     }},\n"
+                )
+            }
+        })
+        .collect();
+    format!("Ok({type_path} {{\n{inits}}})")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => (
+            name.clone(),
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", v))?;\n{}",
+                named_fields_body(name, fields, "obj")
+            ),
+        ),
+        Item::TupleStruct { name, arity: 1 } => (
+            name.clone(),
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: String = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                .collect();
+            (
+                name.clone(),
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                     if items.len() != {arity} {{\n\
+                       return Err(::serde::DeError(format!(\"expected {arity} elements, got {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok({name}({gets}))"
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name.clone(), format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&items[{k}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                   let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", payload))?;\n\
+                                   if items.len() != {n} {{\n\
+                                     return Err(::serde::DeError(format!(\"expected {n} elements, got {{}}\", items.len())));\n\
+                                   }}\n\
+                                   return Ok({name}::{vn}({gets}));\n\
+                                 }}\n"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let body = named_fields_body(
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "inner",
+                            );
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                   let inner = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", payload))?;\n\
+                                   return {body};\n\
+                                 }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            (
+                name.clone(),
+                format!(
+                    "match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => return Err(::serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                         match tag.as_str() {{\n\
+                           {data_arms}\
+                           other => return Err(::serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }},\n\
+                       other => return Err(::serde::DeError::expected(\"enum representation\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           #[allow(unreachable_code, clippy::needless_return)]\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
