@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_availability-5513ed7c33a22102.d: crates/bench/src/bin/ablation_availability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_availability-5513ed7c33a22102.rmeta: crates/bench/src/bin/ablation_availability.rs Cargo.toml
+
+crates/bench/src/bin/ablation_availability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_availability-757df92fa77d2e0a.d: crates/bench/src/bin/ablation_availability.rs
+
+/root/repo/target/debug/deps/ablation_availability-757df92fa77d2e0a: crates/bench/src/bin/ablation_availability.rs
+
+crates/bench/src/bin/ablation_availability.rs:

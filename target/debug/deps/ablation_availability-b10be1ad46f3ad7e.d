@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_availability-b10be1ad46f3ad7e.d: crates/bench/src/bin/ablation_availability.rs
+
+/root/repo/target/debug/deps/ablation_availability-b10be1ad46f3ad7e: crates/bench/src/bin/ablation_availability.rs
+
+crates/bench/src/bin/ablation_availability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_availability-e1522d11fac9c7ae.d: crates/bench/src/bin/ablation_availability.rs
+
+/root/repo/target/debug/deps/ablation_availability-e1522d11fac9c7ae: crates/bench/src/bin/ablation_availability.rs
+
+crates/bench/src/bin/ablation_availability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-2e4c0840aa2f64ec.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-2e4c0840aa2f64ec: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

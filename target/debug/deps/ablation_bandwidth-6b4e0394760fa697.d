@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-6b4e0394760fa697.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-6b4e0394760fa697: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

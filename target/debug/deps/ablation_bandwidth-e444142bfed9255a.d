@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-e444142bfed9255a.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-e444142bfed9255a: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

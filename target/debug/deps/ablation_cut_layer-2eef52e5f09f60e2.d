@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cut_layer-2eef52e5f09f60e2.d: crates/bench/src/bin/ablation_cut_layer.rs
+
+/root/repo/target/debug/deps/ablation_cut_layer-2eef52e5f09f60e2: crates/bench/src/bin/ablation_cut_layer.rs
+
+crates/bench/src/bin/ablation_cut_layer.rs:

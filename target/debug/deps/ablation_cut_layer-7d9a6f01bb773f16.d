@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cut_layer-7d9a6f01bb773f16.d: crates/bench/src/bin/ablation_cut_layer.rs
+
+/root/repo/target/debug/deps/ablation_cut_layer-7d9a6f01bb773f16: crates/bench/src/bin/ablation_cut_layer.rs
+
+crates/bench/src/bin/ablation_cut_layer.rs:

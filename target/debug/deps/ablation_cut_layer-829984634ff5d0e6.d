@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cut_layer-829984634ff5d0e6.d: crates/bench/src/bin/ablation_cut_layer.rs
+
+/root/repo/target/debug/deps/ablation_cut_layer-829984634ff5d0e6: crates/bench/src/bin/ablation_cut_layer.rs
+
+crates/bench/src/bin/ablation_cut_layer.rs:

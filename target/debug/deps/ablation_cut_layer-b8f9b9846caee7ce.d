@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cut_layer-b8f9b9846caee7ce.d: crates/bench/src/bin/ablation_cut_layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cut_layer-b8f9b9846caee7ce.rmeta: crates/bench/src/bin/ablation_cut_layer.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cut_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_groups-450eb2b16b49577b.d: crates/bench/src/bin/ablation_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_groups-450eb2b16b49577b.rmeta: crates/bench/src/bin/ablation_groups.rs Cargo.toml
+
+crates/bench/src/bin/ablation_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

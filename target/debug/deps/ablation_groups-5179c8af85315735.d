@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_groups-5179c8af85315735.d: crates/bench/src/bin/ablation_groups.rs
+
+/root/repo/target/debug/deps/ablation_groups-5179c8af85315735: crates/bench/src/bin/ablation_groups.rs
+
+crates/bench/src/bin/ablation_groups.rs:

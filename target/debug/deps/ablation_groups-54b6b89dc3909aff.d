@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_groups-54b6b89dc3909aff.d: crates/bench/src/bin/ablation_groups.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_groups-54b6b89dc3909aff.rmeta: crates/bench/src/bin/ablation_groups.rs Cargo.toml
+
+crates/bench/src/bin/ablation_groups.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_groups-8e5e23f66819547e.d: crates/bench/src/bin/ablation_groups.rs
+
+/root/repo/target/debug/deps/ablation_groups-8e5e23f66819547e: crates/bench/src/bin/ablation_groups.rs
+
+crates/bench/src/bin/ablation_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_groups-c972fd5964b73e0a.d: crates/bench/src/bin/ablation_groups.rs
+
+/root/repo/target/debug/deps/ablation_groups-c972fd5964b73e0a: crates/bench/src/bin/ablation_groups.rs
+
+crates/bench/src/bin/ablation_groups.rs:

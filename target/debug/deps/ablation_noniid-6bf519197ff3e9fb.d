@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noniid-6bf519197ff3e9fb.d: crates/bench/src/bin/ablation_noniid.rs
+
+/root/repo/target/debug/deps/ablation_noniid-6bf519197ff3e9fb: crates/bench/src/bin/ablation_noniid.rs
+
+crates/bench/src/bin/ablation_noniid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_noniid-85d46d06245a87b2.d: crates/bench/src/bin/ablation_noniid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_noniid-85d46d06245a87b2.rmeta: crates/bench/src/bin/ablation_noniid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_noniid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noniid-ade48dc218495574.d: crates/bench/src/bin/ablation_noniid.rs
+
+/root/repo/target/debug/deps/ablation_noniid-ade48dc218495574: crates/bench/src/bin/ablation_noniid.rs
+
+crates/bench/src/bin/ablation_noniid.rs:

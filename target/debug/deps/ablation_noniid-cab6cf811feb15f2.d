@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noniid-cab6cf811feb15f2.d: crates/bench/src/bin/ablation_noniid.rs
+
+/root/repo/target/debug/deps/ablation_noniid-cab6cf811feb15f2: crates/bench/src/bin/ablation_noniid.rs
+
+crates/bench/src/bin/ablation_noniid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/availability-3389e3b546f2561e.d: tests/availability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libavailability-3389e3b546f2561e.rmeta: tests/availability.rs Cargo.toml
+
+tests/availability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

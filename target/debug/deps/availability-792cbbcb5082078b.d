@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/availability-792cbbcb5082078b.d: tests/availability.rs
+
+/root/repo/target/debug/deps/availability-792cbbcb5082078b: tests/availability.rs
+
+tests/availability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-4839767310d53049.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-4839767310d53049: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-4cfe175271666f2b.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4cfe175271666f2b.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4cfe175271666f2b.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_latency-19aee8e602381724.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/debug/deps/debug_latency-19aee8e602381724: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

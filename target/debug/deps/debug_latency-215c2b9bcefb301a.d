@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_latency-215c2b9bcefb301a.d: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_latency-215c2b9bcefb301a.rmeta: crates/bench/src/bin/debug_latency.rs Cargo.toml
+
+crates/bench/src/bin/debug_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_latency-2f85831eedb3354d.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/debug/deps/debug_latency-2f85831eedb3354d: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

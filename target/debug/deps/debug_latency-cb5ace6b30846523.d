@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_latency-cb5ace6b30846523.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/debug/deps/debug_latency-cb5ace6b30846523: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-7690a4a47e5926bf.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7690a4a47e5926bf: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e_convergence-800ddfb693a2e6ef.d: tests/e2e_convergence.rs
+
+/root/repo/target/debug/deps/e2e_convergence-800ddfb693a2e6ef: tests/e2e_convergence.rs
+
+tests/e2e_convergence.rs:

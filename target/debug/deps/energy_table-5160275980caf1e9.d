@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_table-5160275980caf1e9.d: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_table-5160275980caf1e9.rmeta: crates/bench/src/bin/energy_table.rs Cargo.toml
+
+crates/bench/src/bin/energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-77b8b683ebb20fff.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-77b8b683ebb20fff: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-9389073cd195d2a8.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-9389073cd195d2a8: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_table-ec3ae7af600fe40f.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/debug/deps/energy_table-ec3ae7af600fe40f: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a-20ec9c053e0552d5.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/debug/deps/fig2a-20ec9c053e0552d5: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

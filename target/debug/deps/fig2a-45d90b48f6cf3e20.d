@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a-45d90b48f6cf3e20.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/debug/deps/fig2a-45d90b48f6cf3e20: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

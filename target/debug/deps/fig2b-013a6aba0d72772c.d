@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-013a6aba0d72772c.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-013a6aba0d72772c: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

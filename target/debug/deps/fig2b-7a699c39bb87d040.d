@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-7a699c39bb87d040.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-7a699c39bb87d040: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

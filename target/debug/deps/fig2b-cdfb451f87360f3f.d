@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-cdfb451f87360f3f.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-cdfb451f87360f3f: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

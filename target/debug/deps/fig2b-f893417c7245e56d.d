@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2b-f893417c7245e56d.d: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2b-f893417c7245e56d.rmeta: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+crates/bench/src/bin/fig2b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

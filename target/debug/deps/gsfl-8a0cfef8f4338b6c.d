@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gsfl-8a0cfef8f4338b6c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl-8a0cfef8f4338b6c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gsfl-9299a0f3b68aefe7.d: src/lib.rs
+
+/root/repo/target/debug/deps/gsfl-9299a0f3b68aefe7: src/lib.rs
+
+src/lib.rs:

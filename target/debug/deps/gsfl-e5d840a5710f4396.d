@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl-e5d840a5710f4396.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl-e5d840a5710f4396.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl-e5d840a5710f4396.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl-ff57c73cf4a269ca.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl-ff57c73cf4a269ca.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl-ff57c73cf4a269ca.rmeta: src/lib.rs
+
+src/lib.rs:

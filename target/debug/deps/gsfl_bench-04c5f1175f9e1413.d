@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl_bench-04c5f1175f9e1413.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-04c5f1175f9e1413.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-04c5f1175f9e1413.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gsfl_bench-170688ca2df811e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gsfl_bench-170688ca2df811e2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl_bench-6418af40c5ac877d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-6418af40c5ac877d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-6418af40c5ac877d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

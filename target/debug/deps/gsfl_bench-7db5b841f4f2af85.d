@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gsfl_bench-7db5b841f4f2af85.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_bench-7db5b841f4f2af85.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

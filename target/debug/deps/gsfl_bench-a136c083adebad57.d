@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl_bench-a136c083adebad57.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-a136c083adebad57.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-a136c083adebad57.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

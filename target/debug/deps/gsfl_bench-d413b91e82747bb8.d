@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gsfl_bench-d413b91e82747bb8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-d413b91e82747bb8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgsfl_bench-d413b91e82747bb8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gsfl_bench-f4d2d17852428afe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_bench-f4d2d17852428afe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/gsfl_core-a65cdd0bea2cc6f0.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/aggregate.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/grouping.rs crates/core/src/latency.rs crates/core/src/results.rs crates/core/src/runner.rs crates/core/src/scheme/mod.rs crates/core/src/scheme/centralized.rs crates/core/src/scheme/common.rs crates/core/src/scheme/federated.rs crates/core/src/scheme/gsfl.rs crates/core/src/scheme/split.rs crates/core/src/scheme/splitfed.rs crates/core/src/stop.rs crates/core/src/storage.rs
+
+/root/repo/target/debug/deps/libgsfl_core-a65cdd0bea2cc6f0.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/aggregate.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/grouping.rs crates/core/src/latency.rs crates/core/src/results.rs crates/core/src/runner.rs crates/core/src/scheme/mod.rs crates/core/src/scheme/centralized.rs crates/core/src/scheme/common.rs crates/core/src/scheme/federated.rs crates/core/src/scheme/gsfl.rs crates/core/src/scheme/split.rs crates/core/src/scheme/splitfed.rs crates/core/src/stop.rs crates/core/src/storage.rs
+
+/root/repo/target/debug/deps/libgsfl_core-a65cdd0bea2cc6f0.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/aggregate.rs crates/core/src/config.rs crates/core/src/context.rs crates/core/src/grouping.rs crates/core/src/latency.rs crates/core/src/results.rs crates/core/src/runner.rs crates/core/src/scheme/mod.rs crates/core/src/scheme/centralized.rs crates/core/src/scheme/common.rs crates/core/src/scheme/federated.rs crates/core/src/scheme/gsfl.rs crates/core/src/scheme/split.rs crates/core/src/scheme/splitfed.rs crates/core/src/stop.rs crates/core/src/storage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/config.rs:
+crates/core/src/context.rs:
+crates/core/src/grouping.rs:
+crates/core/src/latency.rs:
+crates/core/src/results.rs:
+crates/core/src/runner.rs:
+crates/core/src/scheme/mod.rs:
+crates/core/src/scheme/centralized.rs:
+crates/core/src/scheme/common.rs:
+crates/core/src/scheme/federated.rs:
+crates/core/src/scheme/gsfl.rs:
+crates/core/src/scheme/split.rs:
+crates/core/src/scheme/splitfed.rs:
+crates/core/src/stop.rs:
+crates/core/src/storage.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gsfl_data-36f969cdea342486.d: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs
+
+/root/repo/target/debug/deps/gsfl_data-36f969cdea342486: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs
+
+crates/data/src/lib.rs:
+crates/data/src/error.rs:
+crates/data/src/batcher.rs:
+crates/data/src/dataset.rs:
+crates/data/src/partition.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/palette.rs:
+crates/data/src/synth/shapes.rs:
+crates/data/src/synth/spec.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gsfl_data-aa5737810e2e8d5a.d: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_data-aa5737810e2e8d5a.rmeta: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/error.rs:
+crates/data/src/batcher.rs:
+crates/data/src/dataset.rs:
+crates/data/src/partition.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/palette.rs:
+crates/data/src/synth/shapes.rs:
+crates/data/src/synth/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/gsfl_nn-db10d360db9e39e8.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/sequential.rs crates/nn/src/flops.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/flatten.rs crates/nn/src/layers/pool.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model/mod.rs crates/nn/src/model/deepthin.rs crates/nn/src/model/mlp.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/split.rs
+
+/root/repo/target/debug/deps/gsfl_nn-db10d360db9e39e8: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/sequential.rs crates/nn/src/flops.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/dropout.rs crates/nn/src/layers/flatten.rs crates/nn/src/layers/pool.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model/mod.rs crates/nn/src/model/deepthin.rs crates/nn/src/model/mlp.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/split.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/param.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/flops.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/dropout.rs:
+crates/nn/src/layers/flatten.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model/mod.rs:
+crates/nn/src/model/deepthin.rs:
+crates/nn/src/model/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/split.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gsfl_simnet-9d8ee631e44578d2.d: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/gsfl_simnet-9d8ee631e44578d2: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/graph.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gsfl_simnet-cf69c1a96c3e9d01.d: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libgsfl_simnet-cf69c1a96c3e9d01.rlib: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libgsfl_simnet-cf69c1a96c3e9d01.rmeta: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/graph.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

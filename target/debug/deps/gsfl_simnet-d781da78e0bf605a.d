@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gsfl_simnet-d781da78e0bf605a.d: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_simnet-d781da78e0bf605a.rmeta: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/graph.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

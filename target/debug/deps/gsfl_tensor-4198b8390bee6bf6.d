@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gsfl_tensor-4198b8390bee6bf6.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/gsfl_tensor-4198b8390bee6bf6: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:

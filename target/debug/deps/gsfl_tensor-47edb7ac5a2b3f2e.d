@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gsfl_tensor-47edb7ac5a2b3f2e.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_tensor-47edb7ac5a2b3f2e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

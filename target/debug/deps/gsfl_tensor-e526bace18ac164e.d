@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gsfl_tensor-e526bace18ac164e.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libgsfl_tensor-e526bace18ac164e.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libgsfl_tensor-e526bace18ac164e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gsfl_wireless-4e41ed3ecc6225c1.d: crates/wireless/src/lib.rs crates/wireless/src/error.rs crates/wireless/src/allocation.rs crates/wireless/src/device.rs crates/wireless/src/energy.rs crates/wireless/src/fading.rs crates/wireless/src/latency.rs crates/wireless/src/link.rs crates/wireless/src/pathloss.rs crates/wireless/src/server.rs crates/wireless/src/topology.rs crates/wireless/src/units.rs
+
+/root/repo/target/debug/deps/libgsfl_wireless-4e41ed3ecc6225c1.rlib: crates/wireless/src/lib.rs crates/wireless/src/error.rs crates/wireless/src/allocation.rs crates/wireless/src/device.rs crates/wireless/src/energy.rs crates/wireless/src/fading.rs crates/wireless/src/latency.rs crates/wireless/src/link.rs crates/wireless/src/pathloss.rs crates/wireless/src/server.rs crates/wireless/src/topology.rs crates/wireless/src/units.rs
+
+/root/repo/target/debug/deps/libgsfl_wireless-4e41ed3ecc6225c1.rmeta: crates/wireless/src/lib.rs crates/wireless/src/error.rs crates/wireless/src/allocation.rs crates/wireless/src/device.rs crates/wireless/src/energy.rs crates/wireless/src/fading.rs crates/wireless/src/latency.rs crates/wireless/src/link.rs crates/wireless/src/pathloss.rs crates/wireless/src/server.rs crates/wireless/src/topology.rs crates/wireless/src/units.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/allocation.rs:
+crates/wireless/src/device.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/fading.rs:
+crates/wireless/src/latency.rs:
+crates/wireless/src/link.rs:
+crates/wireless/src/pathloss.rs:
+crates/wireless/src/server.rs:
+crates/wireless/src/topology.rs:
+crates/wireless/src/units.rs:

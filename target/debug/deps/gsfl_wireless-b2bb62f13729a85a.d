@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gsfl_wireless-b2bb62f13729a85a.d: crates/wireless/src/lib.rs crates/wireless/src/error.rs crates/wireless/src/allocation.rs crates/wireless/src/device.rs crates/wireless/src/energy.rs crates/wireless/src/fading.rs crates/wireless/src/latency.rs crates/wireless/src/link.rs crates/wireless/src/pathloss.rs crates/wireless/src/server.rs crates/wireless/src/topology.rs crates/wireless/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgsfl_wireless-b2bb62f13729a85a.rmeta: crates/wireless/src/lib.rs crates/wireless/src/error.rs crates/wireless/src/allocation.rs crates/wireless/src/device.rs crates/wireless/src/energy.rs crates/wireless/src/fading.rs crates/wireless/src/latency.rs crates/wireless/src/link.rs crates/wireless/src/pathloss.rs crates/wireless/src/server.rs crates/wireless/src/topology.rs crates/wireless/src/units.rs Cargo.toml
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/allocation.rs:
+crates/wireless/src/device.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/fading.rs:
+crates/wireless/src/latency.rs:
+crates/wireless/src/link.rs:
+crates/wireless/src/pathloss.rs:
+crates/wireless/src/server.rs:
+crates/wireless/src/topology.rs:
+crates/wireless/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

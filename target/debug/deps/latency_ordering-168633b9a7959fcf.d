@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency_ordering-168633b9a7959fcf.d: tests/latency_ordering.rs
+
+/root/repo/target/debug/deps/latency_ordering-168633b9a7959fcf: tests/latency_ordering.rs
+
+tests/latency_ordering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_ordering-e55b648d773d9074.d: tests/latency_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_ordering-e55b648d773d9074.rmeta: tests/latency_ordering.rs Cargo.toml
+
+tests/latency_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-6a7ec7af5d29eb8c.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-6a7ec7af5d29eb8c.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8a32955af1d0e6e0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8a32955af1d0e6e0.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8a32955af1d0e6e0.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e06773956ee2a572.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e06773956ee2a572: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

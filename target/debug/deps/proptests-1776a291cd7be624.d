@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1776a291cd7be624.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1776a291cd7be624: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1b16b4a8c6b0cd15.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1b16b4a8c6b0cd15: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

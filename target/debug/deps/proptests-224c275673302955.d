@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-224c275673302955.d: crates/data/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-224c275673302955: crates/data/tests/proptests.rs
+
+crates/data/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-229c59ff6aa136ad.d: crates/simnet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-229c59ff6aa136ad.rmeta: crates/simnet/tests/proptests.rs Cargo.toml
+
+crates/simnet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

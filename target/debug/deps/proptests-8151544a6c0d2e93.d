@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8151544a6c0d2e93.d: crates/simnet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8151544a6c0d2e93: crates/simnet/tests/proptests.rs
+
+crates/simnet/tests/proptests.rs:

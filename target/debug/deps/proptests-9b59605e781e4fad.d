@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9b59605e781e4fad.d: crates/wireless/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9b59605e781e4fad: crates/wireless/tests/proptests.rs
+
+crates/wireless/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9bf38531ee483d6b.d: crates/data/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9bf38531ee483d6b.rmeta: crates/data/tests/proptests.rs Cargo.toml
+
+crates/data/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9fad3b23dcb4f0d2.d: crates/wireless/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9fad3b23dcb4f0d2.rmeta: crates/wireless/tests/proptests.rs Cargo.toml
+
+crates/wireless/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

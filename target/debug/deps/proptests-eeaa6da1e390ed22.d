@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-eeaa6da1e390ed22.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-eeaa6da1e390ed22: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/round_trace-16e139c0034b0738.d: crates/bench/src/bin/round_trace.rs
+
+/root/repo/target/debug/deps/round_trace-16e139c0034b0738: crates/bench/src/bin/round_trace.rs
+
+crates/bench/src/bin/round_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/round_trace-2554de67b5492b8a.d: crates/bench/src/bin/round_trace.rs
+
+/root/repo/target/debug/deps/round_trace-2554de67b5492b8a: crates/bench/src/bin/round_trace.rs
+
+crates/bench/src/bin/round_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/round_trace-ef2fa0fac95eeedb.d: crates/bench/src/bin/round_trace.rs
+
+/root/repo/target/debug/deps/round_trace-ef2fa0fac95eeedb: crates/bench/src/bin/round_trace.rs
+
+crates/bench/src/bin/round_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/round_trace-ff0325ed88f1e84d.d: crates/bench/src/bin/round_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libround_trace-ff0325ed88f1e84d.rmeta: crates/bench/src/bin/round_trace.rs Cargo.toml
+
+crates/bench/src/bin/round_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-0c2553e503910f46.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-0c2553e503910f46: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

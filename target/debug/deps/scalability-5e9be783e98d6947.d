@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-5e9be783e98d6947.d: crates/bench/src/bin/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-5e9be783e98d6947.rmeta: crates/bench/src/bin/scalability.rs Cargo.toml
+
+crates/bench/src/bin/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-62357ae941fef61b.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-62357ae941fef61b: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-758976b59cfeda01.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-758976b59cfeda01: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_equivalence-89a5195278c4d922.d: tests/scheme_equivalence.rs
+
+/root/repo/target/debug/deps/scheme_equivalence-89a5195278c4d922: tests/scheme_equivalence.rs
+
+tests/scheme_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_equivalence-98d32eb6aa8a465c.d: tests/scheme_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_equivalence-98d32eb6aa8a465c.rmeta: tests/scheme_equivalence.rs Cargo.toml
+
+tests/scheme_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-12dc029392915d26.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-12dc029392915d26.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-12dc029392915d26.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

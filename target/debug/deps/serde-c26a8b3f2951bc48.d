@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c26a8b3f2951bc48.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-c26a8b3f2951bc48: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fdd6e7ea845b87f6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fdd6e7ea845b87f6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fdd6e7ea845b87f6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-259f6d3e5edeac06.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-259f6d3e5edeac06.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

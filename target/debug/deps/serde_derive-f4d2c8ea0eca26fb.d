@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-f4d2c8ea0eca26fb.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-f4d2c8ea0eca26fb: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

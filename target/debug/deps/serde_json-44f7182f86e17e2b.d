@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-44f7182f86e17e2b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-44f7182f86e17e2b.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-44f7182f86e17e2b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

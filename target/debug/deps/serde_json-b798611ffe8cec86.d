@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b798611ffe8cec86.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-b798611ffe8cec86: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

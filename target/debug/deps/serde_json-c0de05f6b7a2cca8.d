@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c0de05f6b7a2cca8.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c0de05f6b7a2cca8.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c0de05f6b7a2cca8.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_api-5b1bf52fdf898599.d: tests/session_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_api-5b1bf52fdf898599.rmeta: tests/session_api.rs Cargo.toml
+
+tests/session_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

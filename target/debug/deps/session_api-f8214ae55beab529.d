@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-f8214ae55beab529.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/session_api-f8214ae55beab529: tests/session_api.rs
+
+tests/session_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_table-22d91b551598c58e.d: crates/bench/src/bin/storage_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_table-22d91b551598c58e.rmeta: crates/bench/src/bin/storage_table.rs Cargo.toml
+
+crates/bench/src/bin/storage_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_table-3951b79337fa5c95.d: crates/bench/src/bin/storage_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_table-3951b79337fa5c95.rmeta: crates/bench/src/bin/storage_table.rs Cargo.toml
+
+crates/bench/src/bin/storage_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_table-8d21b3f7c0167ef7.d: crates/bench/src/bin/storage_table.rs
+
+/root/repo/target/debug/deps/storage_table-8d21b3f7c0167ef7: crates/bench/src/bin/storage_table.rs
+
+crates/bench/src/bin/storage_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_table-ca967bcbc1823b56.d: crates/bench/src/bin/storage_table.rs
+
+/root/repo/target/debug/deps/storage_table-ca967bcbc1823b56: crates/bench/src/bin/storage_table.rs
+
+crates/bench/src/bin/storage_table.rs:

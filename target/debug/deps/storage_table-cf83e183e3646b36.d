@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_table-cf83e183e3646b36.d: crates/bench/src/bin/storage_table.rs
+
+/root/repo/target/debug/deps/storage_table-cf83e183e3646b36: crates/bench/src/bin/storage_table.rs
+
+crates/bench/src/bin/storage_table.rs:

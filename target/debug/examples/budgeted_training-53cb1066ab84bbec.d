@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/budgeted_training-53cb1066ab84bbec.d: examples/budgeted_training.rs
+
+/root/repo/target/debug/examples/budgeted_training-53cb1066ab84bbec: examples/budgeted_training.rs
+
+examples/budgeted_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/budgeted_training-ae9c7ce05cbe5430.d: examples/budgeted_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbudgeted_training-ae9c7ce05cbe5430.rmeta: examples/budgeted_training.rs Cargo.toml
+
+examples/budgeted_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cut_layer_study-6435258b434e76ec.d: examples/cut_layer_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcut_layer_study-6435258b434e76ec.rmeta: examples/cut_layer_study.rs Cargo.toml
+
+examples/cut_layer_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

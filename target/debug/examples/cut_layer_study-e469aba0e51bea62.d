@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cut_layer_study-e469aba0e51bea62.d: examples/cut_layer_study.rs
+
+/root/repo/target/debug/examples/cut_layer_study-e469aba0e51bea62: examples/cut_layer_study.rs
+
+examples/cut_layer_study.rs:

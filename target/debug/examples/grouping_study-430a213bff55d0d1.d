@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grouping_study-430a213bff55d0d1.d: examples/grouping_study.rs
+
+/root/repo/target/debug/examples/grouping_study-430a213bff55d0d1: examples/grouping_study.rs
+
+examples/grouping_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grouping_study-76e7574137e02b4c.d: examples/grouping_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrouping_study-76e7574137e02b4c.rmeta: examples/grouping_study.rs Cargo.toml
+
+examples/grouping_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7b81cd992dcbd84.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7b81cd992dcbd84: examples/quickstart.rs
+
+examples/quickstart.rs:

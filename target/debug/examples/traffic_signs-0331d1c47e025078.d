@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_signs-0331d1c47e025078.d: examples/traffic_signs.rs
+
+/root/repo/target/debug/examples/traffic_signs-0331d1c47e025078: examples/traffic_signs.rs
+
+examples/traffic_signs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_signs-acfd3586f2c1a0f3.d: examples/traffic_signs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_signs-acfd3586f2c1a0f3.rmeta: examples/traffic_signs.rs Cargo.toml
+
+examples/traffic_signs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_latency-15c85b2227d84c0f.d: examples/wireless_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_latency-15c85b2227d84c0f.rmeta: examples/wireless_latency.rs Cargo.toml
+
+examples/wireless_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

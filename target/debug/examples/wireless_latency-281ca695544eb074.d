@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_latency-281ca695544eb074.d: examples/wireless_latency.rs
+
+/root/repo/target/debug/examples/wireless_latency-281ca695544eb074: examples/wireless_latency.rs
+
+examples/wireless_latency.rs:

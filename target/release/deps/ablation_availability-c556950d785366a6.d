@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_availability-c556950d785366a6.d: crates/bench/src/bin/ablation_availability.rs
+
+/root/repo/target/release/deps/ablation_availability-c556950d785366a6: crates/bench/src/bin/ablation_availability.rs
+
+crates/bench/src/bin/ablation_availability.rs:

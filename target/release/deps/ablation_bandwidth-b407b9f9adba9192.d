@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandwidth-b407b9f9adba9192.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/release/deps/ablation_bandwidth-b407b9f9adba9192: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

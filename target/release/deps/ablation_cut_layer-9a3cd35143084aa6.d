@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cut_layer-9a3cd35143084aa6.d: crates/bench/src/bin/ablation_cut_layer.rs
+
+/root/repo/target/release/deps/ablation_cut_layer-9a3cd35143084aa6: crates/bench/src/bin/ablation_cut_layer.rs
+
+crates/bench/src/bin/ablation_cut_layer.rs:

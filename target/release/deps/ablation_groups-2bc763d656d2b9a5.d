@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_groups-2bc763d656d2b9a5.d: crates/bench/src/bin/ablation_groups.rs
+
+/root/repo/target/release/deps/ablation_groups-2bc763d656d2b9a5: crates/bench/src/bin/ablation_groups.rs
+
+crates/bench/src/bin/ablation_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_noniid-5e32404ff28ff67a.d: crates/bench/src/bin/ablation_noniid.rs
+
+/root/repo/target/release/deps/ablation_noniid-5e32404ff28ff67a: crates/bench/src/bin/ablation_noniid.rs
+
+crates/bench/src/bin/ablation_noniid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_latency-65c5d9799eb34f7e.d: crates/bench/src/bin/debug_latency.rs
+
+/root/repo/target/release/deps/debug_latency-65c5d9799eb34f7e: crates/bench/src/bin/debug_latency.rs
+
+crates/bench/src/bin/debug_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy_table-086b71646e129fa1.d: crates/bench/src/bin/energy_table.rs
+
+/root/repo/target/release/deps/energy_table-086b71646e129fa1: crates/bench/src/bin/energy_table.rs
+
+crates/bench/src/bin/energy_table.rs:

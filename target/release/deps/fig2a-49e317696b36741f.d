@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2a-49e317696b36741f.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/release/deps/fig2a-49e317696b36741f: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

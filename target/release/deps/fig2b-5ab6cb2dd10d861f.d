@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2b-5ab6cb2dd10d861f.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/release/deps/fig2b-5ab6cb2dd10d861f: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gsfl-f63d278a83f6eb1f.d: src/lib.rs
+
+/root/repo/target/release/deps/libgsfl-f63d278a83f6eb1f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgsfl-f63d278a83f6eb1f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gsfl_bench-07ab0097d258ef2c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgsfl_bench-07ab0097d258ef2c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgsfl_bench-07ab0097d258ef2c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

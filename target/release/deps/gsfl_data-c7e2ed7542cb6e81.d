@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gsfl_data-c7e2ed7542cb6e81.d: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs
+
+/root/repo/target/release/deps/libgsfl_data-c7e2ed7542cb6e81.rlib: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs
+
+/root/repo/target/release/deps/libgsfl_data-c7e2ed7542cb6e81.rmeta: crates/data/src/lib.rs crates/data/src/error.rs crates/data/src/batcher.rs crates/data/src/dataset.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/synth/mod.rs crates/data/src/synth/palette.rs crates/data/src/synth/shapes.rs crates/data/src/synth/spec.rs
+
+crates/data/src/lib.rs:
+crates/data/src/error.rs:
+crates/data/src/batcher.rs:
+crates/data/src/dataset.rs:
+crates/data/src/partition.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth/mod.rs:
+crates/data/src/synth/palette.rs:
+crates/data/src/synth/shapes.rs:
+crates/data/src/synth/spec.rs:

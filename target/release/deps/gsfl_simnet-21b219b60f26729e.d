@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gsfl_simnet-21b219b60f26729e.d: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libgsfl_simnet-21b219b60f26729e.rlib: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libgsfl_simnet-21b219b60f26729e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/error.rs crates/simnet/src/graph.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/error.rs:
+crates/simnet/src/graph.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gsfl_tensor-375786f73c125f2a.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libgsfl_tensor-375786f73c125f2a.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libgsfl_tensor-375786f73c125f2a.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/matmul.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:

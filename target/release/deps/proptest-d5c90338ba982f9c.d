@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d5c90338ba982f9c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d5c90338ba982f9c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d5c90338ba982f9c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/round_trace-9a13651ca17c5e40.d: crates/bench/src/bin/round_trace.rs
+
+/root/repo/target/release/deps/round_trace-9a13651ca17c5e40: crates/bench/src/bin/round_trace.rs
+
+crates/bench/src/bin/round_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-5091b6f0691cbadb.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-5091b6f0691cbadb: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

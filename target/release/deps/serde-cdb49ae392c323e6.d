@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cdb49ae392c323e6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cdb49ae392c323e6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cdb49ae392c323e6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-453a89d77fb21d7b.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-453a89d77fb21d7b.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-9fbcd573d1905cca.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9fbcd573d1905cca.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9fbcd573d1905cca.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

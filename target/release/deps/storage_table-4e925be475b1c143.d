@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storage_table-4e925be475b1c143.d: crates/bench/src/bin/storage_table.rs
+
+/root/repo/target/release/deps/storage_table-4e925be475b1c143: crates/bench/src/bin/storage_table.rs
+
+crates/bench/src/bin/storage_table.rs:

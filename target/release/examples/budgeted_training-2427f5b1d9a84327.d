@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/budgeted_training-2427f5b1d9a84327.d: examples/budgeted_training.rs
+
+/root/repo/target/release/examples/budgeted_training-2427f5b1d9a84327: examples/budgeted_training.rs
+
+examples/budgeted_training.rs:

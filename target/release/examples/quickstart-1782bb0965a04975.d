@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1782bb0965a04975.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1782bb0965a04975: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traffic_signs-b9e1ffddee41307e.d: examples/traffic_signs.rs
+
+/root/repo/target/release/examples/traffic_signs-b9e1ffddee41307e: examples/traffic_signs.rs
+
+examples/traffic_signs.rs:
