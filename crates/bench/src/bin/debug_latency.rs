@@ -31,22 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-step timings for a median client at full bandwidth and at B/M.
     let c = 0usize;
-    let cf = ctx.latency.client_compute(c, costs.client_fwd_flops)?;
-    let cb = ctx.latency.client_compute(c, costs.client_bwd_flops)?;
-    let sv = ctx.latency.server_compute(costs.server_flops);
-    let ul_full = ctx.latency.uplink_time(c, costs.smashed_bytes, 0)?;
-    let dl_full = ctx.latency.downlink_time(c, costs.grad_bytes, 0)?;
-    let share = ctx.latency.total_bandwidth().fraction(1.0 / 6.0);
-    let ul_share = ctx
-        .latency
-        .uplink_time_with(c, costs.smashed_bytes, 0, share)?;
-    let dl_share = ctx
-        .latency
-        .downlink_time_with(c, costs.grad_bytes, 0, share)?;
+    let env = ctx.env.as_ref();
+    let full = env.total_bandwidth(0);
+    let cf = env.client_compute(c, costs.client_fwd_flops, 0)?;
+    let cb = env.client_compute(c, costs.client_bwd_flops, 0)?;
+    let sv = env.server_compute(costs.server_flops);
+    let ul_full = env.uplink_time(c, costs.smashed_bytes, 0, full)?;
+    let dl_full = env.downlink_time(c, costs.grad_bytes, 0, full)?;
+    let share = full.fraction(1.0 / 6.0);
+    let ul_share = env.uplink_time(c, costs.smashed_bytes, 0, share)?;
+    let dl_share = env.downlink_time(c, costs.grad_bytes, 0, share)?;
     println!(
         "\nper-step timings, client 0 (distance {:.0} m, device {:.2} GFLOP/s):",
-        ctx.latency.distance(c)?.as_meters(),
-        ctx.latency.device(c)?.rate().as_flops_per_sec() / 1e9
+        env.distance(c, 0)?.as_meters(),
+        env.device_rate(c, 0)?.as_flops_per_sec() / 1e9
     );
     println!(
         "  client fwd / bwd     : {:.4}s / {:.4}s",
@@ -66,28 +64,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  relay (model, B)     : {:.4}s",
-        ctx.latency
-            .uplink_time(c, costs.client_model_bytes, 0)?
+        env.uplink_time(c, costs.client_model_bytes, 0, full)?
             .as_secs_f64()
     );
     println!(
         "  fl model ul (B/30)   : {:.4}s",
-        ctx.latency
-            .uplink_time_with(
-                c,
-                costs.full_model_bytes,
-                0,
-                ctx.latency.total_bandwidth().fraction(1.0 / 30.0)
-            )?
+        env.uplink_time(c, costs.full_model_bytes, 0, full.fraction(1.0 / 30.0))?
             .as_secs_f64()
     );
 
     let steps = ctx.steps_per_client();
     println!("\nsteps/client: {:?}", &steps[..6]);
     let order: Vec<usize> = (0..ctx.config.clients).collect();
-    let sl = sl_round(&ctx.latency, &costs, &steps, &order, ctx.config.channel, 0)?;
+    let sl = sl_round(env, &costs, &steps, &order, ctx.config.channel, 0)?;
     let gsfl = gsfl_round(
-        &ctx.latency,
+        env,
         &costs,
         &steps,
         &ctx.groups,

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steps = ctx.steps_per_client();
 
     let (latency, schedule) = gsfl_round_with_schedule(
-        &ctx.latency,
+        ctx.env.as_ref(),
         &ctx.costs,
         &steps,
         &ctx.groups,
@@ -52,9 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schedule.utilization(
             // The server is always the first declared resource.
             resource_zero(),
-            ctx.latency.server().slots()
+            ctx.env.server().slots()
         ) * 100.0,
-        ctx.latency.server().slots()
+        ctx.env.server().slots()
     );
     Ok(())
 }

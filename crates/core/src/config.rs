@@ -7,10 +7,13 @@ use gsfl_nn::model::{CutPoint, DeepThin, Mlp};
 use gsfl_nn::Sequential;
 use gsfl_wireless::allocation::BandwidthPolicy;
 use gsfl_wireless::device::DeviceHeterogeneity;
+use gsfl_wireless::environment::ChannelModel;
 use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::scenario::Scenario;
 use gsfl_wireless::server::EdgeServer;
 use gsfl_wireless::units::{FlopsRate, Hertz};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which network architecture an experiment trains.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -203,6 +206,11 @@ pub struct ExperimentConfig {
     pub augment: Augment,
     /// Wireless parameters.
     pub wireless: WirelessConfig,
+    /// The wireless scenario: static (default) or one of the
+    /// time-varying environments (mobility, diurnal bandwidth,
+    /// congestion, stragglers, dropouts, composite).
+    #[serde(default)]
+    pub scenario: Scenario,
     /// Bandwidth split among concurrent transmitters (SharedPool mode).
     pub bandwidth_policy: BandwidthPolicy,
     /// Spectrum assignment model (dedicated OFDMA subchannels vs dynamic
@@ -239,6 +247,7 @@ impl ExperimentConfig {
                 partition: PartitionStrategy::Dirichlet(1.0),
                 augment: Augment::default(),
                 wireless: WirelessConfig::default(),
+                scenario: Scenario::Static,
                 bandwidth_policy: BandwidthPolicy::Equal,
                 channel: ChannelMode::Dedicated,
                 grouping: GroupingKind::RoundRobin,
@@ -255,7 +264,20 @@ impl ExperimentConfig {
         self.cut_index.unwrap_or_else(|| self.model.default_cut())
     }
 
-    /// Builds the wireless latency model for this experiment.
+    /// Builds the wireless environment for this experiment: the base
+    /// latency model wrapped by whatever [`Scenario`] the config names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wireless and scenario configuration errors.
+    pub fn environment(&self) -> Result<Arc<dyn ChannelModel>> {
+        Ok(Arc::from(
+            self.scenario.build(self.latency_model()?, self.seed)?,
+        ))
+    }
+
+    /// Builds the static base wireless latency model for this experiment
+    /// (before any scenario overlay; see [`ExperimentConfig::environment`]).
     ///
     /// # Errors
     ///
@@ -412,6 +434,12 @@ impl ExperimentConfigBuilder {
     /// Sets wireless parameters.
     pub fn wireless(mut self, w: WirelessConfig) -> Self {
         self.config.wireless = w;
+        self
+    }
+
+    /// Sets the wireless scenario (see [`Scenario::presets`]).
+    pub fn scenario(mut self, s: Scenario) -> Self {
+        self.config.scenario = s;
         self
     }
 

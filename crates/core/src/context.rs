@@ -9,10 +9,11 @@ use gsfl_data::dataset::ImageDataset;
 use gsfl_data::partition::Partition;
 use gsfl_data::synth::SynthGtsrb;
 use gsfl_tensor::rng::SeedDerive;
-use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::environment::{ChannelModel, RoundConditions};
+use std::sync::Arc;
 
 /// Everything a scheme needs to train: per-client shards, the test set,
-/// the wireless latency model and the group assignment. Built once per
+/// the wireless environment and the group assignment. Built once per
 /// experiment so every scheme sees identical data, channel and grouping.
 #[derive(Debug, Clone)]
 pub struct TrainContext {
@@ -22,8 +23,10 @@ pub struct TrainContext {
     pub train_shards: Vec<ImageDataset>,
     /// The held-out test set.
     pub test_set: ImageDataset,
-    /// Wireless + compute latency model.
-    pub latency: LatencyModel,
+    /// The wireless environment (latency, compute, availability), built
+    /// from the config's scenario. Shared because contexts are cloned
+    /// across scheme threads.
+    pub env: Arc<dyn ChannelModel>,
     /// GSFL group assignment (group → member client ids, in training
     /// order).
     pub groups: Vec<Vec<usize>>,
@@ -79,7 +82,7 @@ impl TrainContext {
         };
         let train_shards = partition.materialize(&train)?;
 
-        let latency = config.latency_model()?;
+        let env = config.environment()?;
 
         // Cost profile of the split model (drives latency and load-aware
         // grouping).
@@ -95,14 +98,16 @@ impl TrainContext {
             GroupingKind::ComputeBalanced | GroupingKind::ChannelAware
         );
         let client_costs: Option<Vec<ClientCost>> = if needs_costs {
+            // Grouping is decided once, from the environment's initial
+            // (round-0) conditions.
             let mut v = Vec::with_capacity(config.clients);
             for (c, shard) in train_shards.iter().enumerate() {
                 let steps = shard.len().div_ceil(config.batch_size) as f64;
                 let per_batch_flops = (costs.client_fwd_flops + costs.client_bwd_flops) as f64;
-                let rate = latency.device(c)?.rate().as_flops_per_sec();
+                let rate = env.device_rate(c, 0)?.as_flops_per_sec();
                 v.push(ClientCost {
                     round_time_s: steps * per_batch_flops / rate,
-                    distance_m: latency.distance(c)?.as_meters(),
+                    distance_m: env.distance(c, 0)?.as_meters(),
                 });
             }
             Some(v)
@@ -121,7 +126,7 @@ impl TrainContext {
             config,
             train_shards,
             test_set: test,
-            latency,
+            env,
             groups,
             sample_dims,
             costs,
@@ -147,9 +152,13 @@ impl TrainContext {
         self.train_shards.iter().map(ImageDataset::len).sum()
     }
 
-    /// Whether `client` participates in `round` under the configured
-    /// availability probability (deterministic per seed).
+    /// Whether `client` participates in `round`: the environment's
+    /// dropout injection (if any) and the configured availability
+    /// probability must both let it through (deterministic per seed).
     pub fn is_available(&self, round: u64, client: usize) -> bool {
+        if !self.env.is_available(client, round) {
+            return false;
+        }
         if self.config.availability >= 1.0 {
             return true;
         }
@@ -160,6 +169,15 @@ impl TrainContext {
             .index(client as u64)
             .rng();
         rng.gen::<f64>() < self.config.availability
+    }
+
+    /// The environment's [`RoundConditions`] snapshot for `round`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment query errors.
+    pub fn conditions(&self, round: u64) -> Result<RoundConditions> {
+        Ok(self.env.conditions(round)?)
     }
 
     /// The clients participating in `round`. Never empty: if the draw

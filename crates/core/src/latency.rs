@@ -9,6 +9,13 @@
 //!   k-slot FIFO resource and each concurrent transmitter gets a bandwidth
 //!   share from the configured [`BandwidthPolicy`].
 //!
+//! Both calculators consume the wireless layer exclusively through the
+//! [`ChannelModel`] trait: each round they take a [`RoundConditions`]
+//! snapshot (that round's bandwidth and availability) for the share math
+//! and charge per-task times via the trait's per-round queries, so
+//! time-varying environments (mobility, diurnal bandwidth, stragglers)
+//! plug in without touching this module.
+//!
 //! On contention-free configurations the DES reproduces the closed forms
 //! exactly (see the property tests in `tests/`).
 
@@ -17,7 +24,7 @@ use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
 use gsfl_simnet::{Schedule, SimTime, Simulator, TaskGraph};
 use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
-use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::environment::{ChannelModel, RoundConditions};
 use gsfl_wireless::units::{Bytes, Hertz, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -128,7 +135,11 @@ pub struct RoundLatency {
 
 /// Closed-form CL round: one epoch of centralized SGD on the server
 /// (one slot), no wireless traffic.
-pub fn cl_round(latency: &LatencyModel, costs: &SplitCosts, total_steps: usize) -> RoundLatency {
+pub fn cl_round(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    total_steps: usize,
+) -> RoundLatency {
     let flops = costs.full_flops * total_steps as u64;
     RoundLatency {
         duration: latency.server_compute(flops),
@@ -145,16 +156,17 @@ pub fn cl_round(latency: &LatencyModel, costs: &SplitCosts, total_steps: usize) 
 ///
 /// Propagates wireless model errors.
 pub fn fl_round(
-    latency: &LatencyModel,
+    latency: &dyn ChannelModel,
     costs: &SplitCosts,
     steps: &[usize],
     local_epochs: usize,
     round: u64,
 ) -> Result<RoundLatency> {
+    let cond = latency.conditions(round)?;
     // Clients with zero steps are non-participants this round (e.g.
     // unavailable under churn): they neither train nor exchange models.
     let n = steps.iter().filter(|&&s| s > 0).count().max(1);
-    let share = latency.total_bandwidth().fraction(1.0 / n as f64);
+    let share = cond.bandwidth.fraction(1.0 / n as f64);
     let power = *latency.power();
     let mut worst = Seconds::ZERO;
     let mut bytes = RoundBytes::default();
@@ -163,10 +175,10 @@ pub fn fl_round(
         if s == 0 {
             continue;
         }
-        let dl = latency.downlink_time_with(c, costs.full_model_bytes, round, share)?;
-        let ul = latency.uplink_time_with(c, costs.full_model_bytes, round, share)?;
+        let dl = latency.downlink_time(c, costs.full_model_bytes, round, share)?;
+        let ul = latency.uplink_time(c, costs.full_model_bytes, round, share)?;
         let compute_flops = costs.full_flops * (s * local_epochs) as u64;
-        let compute = latency.client_compute(c, compute_flops)?;
+        let compute = latency.client_compute(c, compute_flops, round)?;
         worst = worst.max(dl + compute + ul);
         bytes.up += costs.full_model_bytes.as_u64();
         bytes.down += costs.full_model_bytes.as_u64();
@@ -193,18 +205,17 @@ pub fn fl_round(
 ///
 /// Propagates wireless model errors.
 pub fn sl_round(
-    latency: &LatencyModel,
+    latency: &dyn ChannelModel,
     costs: &SplitCosts,
     steps: &[usize],
     order: &[usize],
     mode: ChannelMode,
     round: u64,
 ) -> Result<RoundLatency> {
+    let cond = latency.conditions(round)?;
     let share = match mode {
-        ChannelMode::Dedicated => latency
-            .total_bandwidth()
-            .fraction(1.0 / latency.client_count() as f64),
-        ChannelMode::SharedPool => latency.total_bandwidth(),
+        ChannelMode::Dedicated => cond.dedicated_share(),
+        ChannelMode::SharedPool => cond.bandwidth,
     };
     let power = *latency.power();
     let mut total = Seconds::ZERO;
@@ -212,16 +223,16 @@ pub fn sl_round(
     let mut energy = 0.0f64;
     for &c in order {
         // Model arrives at this client (from the AP relay).
-        let model_dl = latency.downlink_time_with(c, costs.client_model_bytes, round, share)?;
+        let model_dl = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
         total += model_dl;
         energy += power.rx_energy(model_dl).as_joules();
         bytes.down += costs.client_model_bytes.as_u64();
         // Split-training steps.
         for _ in 0..steps[c] {
-            let fwd = latency.client_compute(c, costs.client_fwd_flops)?;
-            let ul = latency.uplink_time_with(c, costs.smashed_bytes, round, share)?;
-            let dl = latency.downlink_time_with(c, costs.grad_bytes, round, share)?;
-            let bwd = latency.client_compute(c, costs.client_bwd_flops)?;
+            let fwd = latency.client_compute(c, costs.client_fwd_flops, round)?;
+            let ul = latency.uplink_time(c, costs.smashed_bytes, round, share)?;
+            let dl = latency.downlink_time(c, costs.grad_bytes, round, share)?;
+            let bwd = latency.client_compute(c, costs.client_bwd_flops, round)?;
             total += fwd + ul + latency.server_compute(costs.server_flops) + dl + bwd;
             bytes.up += costs.smashed_bytes.as_u64();
             bytes.down += costs.grad_bytes.as_u64();
@@ -229,7 +240,7 @@ pub fn sl_round(
                 .as_joules();
         }
         // Hand the client-side model back to the AP for the next client.
-        let model_ul = latency.uplink_time_with(c, costs.client_model_bytes, round, share)?;
+        let model_ul = latency.uplink_time(c, costs.client_model_bytes, round, share)?;
         total += model_ul;
         energy += power.tx_energy(model_ul).as_joules();
         bytes.up += costs.client_model_bytes.as_u64();
@@ -252,7 +263,7 @@ pub fn sl_round(
 ///
 /// Propagates wireless/simulation errors.
 pub fn gsfl_round(
-    latency: &LatencyModel,
+    latency: &dyn ChannelModel,
     costs: &SplitCosts,
     steps: &[usize],
     groups: &[Vec<usize>],
@@ -272,7 +283,7 @@ pub fn gsfl_round(
 ///
 /// Propagates wireless/simulation errors.
 pub fn gsfl_round_with_schedule(
-    latency: &LatencyModel,
+    latency: &dyn ChannelModel,
     costs: &SplitCosts,
     steps: &[usize],
     groups: &[Vec<usize>],
@@ -284,16 +295,14 @@ pub fn gsfl_round_with_schedule(
     if m == 0 {
         return Err(CoreError::Config("gsfl needs at least one group".into()));
     }
+    let cond = latency.conditions(round)?;
     let shares = match mode {
         // Every client owns its B/N subchannel regardless of grouping.
-        ChannelMode::Dedicated => vec![
-            latency
-                .total_bandwidth()
-                .fraction(1.0 / latency.client_count() as f64);
-            m
-        ],
+        ChannelMode::Dedicated => vec![cond.dedicated_share(); m],
         // Active groups split the band per the policy.
-        ChannelMode::SharedPool => group_shares(latency, costs, steps, groups, policy, round)?,
+        ChannelMode::SharedPool => {
+            group_shares(latency, &cond, costs, steps, groups, policy, round)?
+        }
     };
 
     let power = *latency.power();
@@ -311,8 +320,7 @@ pub fn gsfl_round_with_schedule(
             // freshly aggregated model; later members receive the relay).
             if j > 0 {
                 let from = members[j - 1];
-                let relay_t =
-                    latency.uplink_time_with(from, costs.client_model_bytes, round, share)?;
+                let relay_t = latency.uplink_time(from, costs.client_model_bytes, round, share)?;
                 let ul = g.add_task(
                     format!("g{gi}/relay-up{from}"),
                     to_sim(relay_t),
@@ -323,8 +331,7 @@ pub fn gsfl_round_with_schedule(
                 energy += power.tx_energy(relay_t).as_joules();
                 prev = Some(ul);
             }
-            let model_dl_t =
-                latency.downlink_time_with(c, costs.client_model_bytes, round, share)?;
+            let model_dl_t = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
             let dl = g.add_task(
                 format!("g{gi}/model-down{c}"),
                 to_sim(model_dl_t),
@@ -336,14 +343,14 @@ pub fn gsfl_round_with_schedule(
             prev = Some(dl);
 
             for s in 0..steps[c] {
-                let fwd_t = latency.client_compute(c, costs.client_fwd_flops)?;
+                let fwd_t = latency.client_compute(c, costs.client_fwd_flops, round)?;
                 let cf = g.add_task(
                     format!("g{gi}/c{c}/fwd{s}"),
                     to_sim(fwd_t),
                     None,
                     prev.as_slice(),
                 )?;
-                let ul_t = latency.uplink_time_with(c, costs.smashed_bytes, round, share)?;
+                let ul_t = latency.uplink_time(c, costs.smashed_bytes, round, share)?;
                 let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t), None, &[cf])?;
                 let sv = g.add_task(
                     format!("g{gi}/c{c}/srv{s}"),
@@ -351,9 +358,9 @@ pub fn gsfl_round_with_schedule(
                     Some(server),
                     &[ul],
                 )?;
-                let dl_t = latency.downlink_time_with(c, costs.grad_bytes, round, share)?;
+                let dl_t = latency.downlink_time(c, costs.grad_bytes, round, share)?;
                 let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
-                let bwd_t = latency.client_compute(c, costs.client_bwd_flops)?;
+                let bwd_t = latency.client_compute(c, costs.client_bwd_flops, round)?;
                 let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
                 bytes.up += costs.smashed_bytes.as_u64();
                 bytes.down += costs.grad_bytes.as_u64();
@@ -366,8 +373,7 @@ pub fn gsfl_round_with_schedule(
         }
         // Last member ships the group's client-side model to the AP.
         let last = *members.last().expect("groups are non-empty");
-        let agg_ul_t =
-            latency.uplink_time_with(last, costs.client_model_bytes, round, shares[gi])?;
+        let agg_ul_t = latency.uplink_time(last, costs.client_model_bytes, round, shares[gi])?;
         let agg_ul = g.add_task(
             format!("g{gi}/agg-up{last}"),
             to_sim(agg_ul_t),
@@ -400,16 +406,18 @@ pub fn gsfl_round_with_schedule(
     ))
 }
 
-/// Bandwidth share of each group under `policy`.
+/// Bandwidth share of each group under `policy`, out of the round's
+/// available bandwidth.
 fn group_shares(
-    latency: &LatencyModel,
+    latency: &dyn ChannelModel,
+    cond: &RoundConditions,
     costs: &SplitCosts,
     steps: &[usize],
     groups: &[Vec<usize>],
     policy: BandwidthPolicy,
     round: u64,
 ) -> Result<Vec<Hertz>> {
-    let total = latency.total_bandwidth();
+    let total = cond.bandwidth;
     let demands: Vec<LinkDemand> = groups
         .iter()
         .map(|members| {
@@ -460,10 +468,12 @@ mod tests {
     use super::*;
     use gsfl_nn::model::Mlp;
     use gsfl_wireless::device::DeviceProfile;
+    use gsfl_wireless::environment::StaticEnvironment;
+    use gsfl_wireless::latency::LatencyModel;
     use gsfl_wireless::server::EdgeServer;
     use gsfl_wireless::units::{FlopsRate, Meters};
 
-    fn fixture(slots: usize, clients: usize) -> (LatencyModel, SplitCosts) {
+    fn fixture(slots: usize, clients: usize) -> (StaticEnvironment, SplitCosts) {
         let latency = LatencyModel::builder()
             .clients(clients)
             .fading(false)
@@ -477,7 +487,7 @@ mod tests {
             .unwrap();
         let net = Mlp::new(48, &[32, 32], 5, 0).into_sequential();
         let costs = SplitCosts::compute(&net, 2, &[48], 8).unwrap();
-        (latency, costs)
+        (StaticEnvironment::new(latency), costs)
     }
 
     #[test]
@@ -654,10 +664,12 @@ mod energy_tests {
     use super::*;
     use gsfl_nn::model::Mlp;
     use gsfl_wireless::device::DeviceProfile;
+    use gsfl_wireless::environment::StaticEnvironment;
+    use gsfl_wireless::latency::LatencyModel;
     use gsfl_wireless::server::EdgeServer;
     use gsfl_wireless::units::{FlopsRate, Meters};
 
-    fn fixture(clients: usize) -> (LatencyModel, SplitCosts) {
+    fn fixture(clients: usize) -> (StaticEnvironment, SplitCosts) {
         let latency = LatencyModel::builder()
             .clients(clients)
             .fading(false)
@@ -671,7 +683,7 @@ mod energy_tests {
             .unwrap();
         let net = Mlp::new(48, &[32, 32], 5, 0).into_sequential();
         let costs = SplitCosts::compute(&net, 2, &[48], 8).unwrap();
-        (latency, costs)
+        (StaticEnvironment::new(latency), costs)
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //!   model replicas, sequential split training inside each group, parallel
 //!   training across groups, FedAvg of both model halves per round.
 //!
-//! Latency is charged through [`gsfl_wireless::latency::LatencyModel`] and,
-//! for the parallel schemes, a discrete-event simulation
+//! Latency is charged through the pluggable
+//! [`gsfl_wireless::environment::ChannelModel`] trait — the composed
+//! static model by default, or any time-varying
+//! [`gsfl_wireless::scenario::Scenario`] (mobility drift, diurnal
+//! bandwidth, stragglers, dropouts) named by the config's `scenario`
+//! field — and, for the parallel schemes, a discrete-event simulation
 //! ([`gsfl_simnet`]) in which the edge server is a k-slot FIFO resource —
 //! inter-group parallelism is throttled by server contention exactly as on
 //! a shared edge server.
@@ -82,6 +86,28 @@
 //!     Box::new(LatencyBudget::new(3600.0)),
 //! )?;
 //! let result = session.run_to_end()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Time-varying wireless scenarios plug in through the config:
+//!
+//! ```no_run
+//! # use gsfl_core::config::ExperimentConfig;
+//! # use gsfl_core::runner::Runner;
+//! # use gsfl_core::scheme::SchemeKind;
+//! use gsfl_wireless::scenario::{Scenario, StragglerSpec};
+//!
+//! # fn main() -> Result<(), gsfl_core::CoreError> {
+//! let config = ExperimentConfig::builder()
+//!     .clients(30)
+//!     .groups(6)
+//!     .scenario(Scenario::Stragglers(StragglerSpec {
+//!         probability: 0.25,
+//!         slowdown: 4.0,
+//!     }))
+//!     .build()?;
+//! let result = Runner::new(config)?.run(SchemeKind::Gsfl)?;
 //! # Ok(())
 //! # }
 //! ```

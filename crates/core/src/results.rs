@@ -78,6 +78,21 @@ impl RunResult {
             .map(|r| r.cumulative_latency_s)
     }
 
+    /// Client-side joules spent until test accuracy first reached
+    /// `target` (fraction) — the energy twin of
+    /// [`RunResult::time_to_accuracy`], used to rank schemes on battery
+    /// cost in scenario sweeps.
+    pub fn energy_to_accuracy(&self, target: f64) -> Option<f64> {
+        let mut spent = 0.0;
+        for r in &self.records {
+            spent += r.client_energy_j;
+            if r.test_accuracy.is_some_and(|a| a >= target) {
+                return Some(spent);
+            }
+        }
+        None
+    }
+
     /// Total bytes moved over the run (up + down).
     pub fn total_bytes(&self) -> u64 {
         self.records.iter().map(|r| r.bytes_up + r.bytes_down).sum()
@@ -202,6 +217,14 @@ mod tests {
         assert_eq!(r.total_bytes(), 450);
         assert_eq!(r.total_latency_s(), 6.0);
         assert!((r.total_client_energy_j() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_to_accuracy_accumulates_until_target() {
+        let r = result();
+        assert_eq!(r.energy_to_accuracy(0.25), Some(3.0)); // round 1
+        assert_eq!(r.energy_to_accuracy(0.5), Some(9.0)); // round 3
+        assert_eq!(r.energy_to_accuracy(0.95), None);
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Scheme for Centralized {
             round as u64,
         )?;
         state.opt.advance_round();
-        let latency = cl_round(&ctx.latency, &ctx.costs, state.total_steps);
+        let latency = cl_round(ctx.env.as_ref(), &ctx.costs, state.total_steps);
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / steps.max(1) as f64,

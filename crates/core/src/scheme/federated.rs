@@ -91,7 +91,7 @@ impl Scheme for Federated {
             })
             .collect();
         let latency = fl_round(
-            &ctx.latency,
+            ctx.env.as_ref(),
             &ctx.costs,
             &round_steps,
             cfg.local_epochs,

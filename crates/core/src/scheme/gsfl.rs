@@ -111,7 +111,7 @@ impl Scheme for Gsfl {
         let step_sum: usize = passes.iter().map(|p| p.steps).sum();
 
         let latency = gsfl_round(
-            &ctx.latency,
+            ctx.env.as_ref(),
             &ctx.costs,
             &state.steps,
             &round_groups,

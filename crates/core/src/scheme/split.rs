@@ -80,7 +80,7 @@ impl Scheme for VanillaSplit {
         state.server_opt.advance_round();
 
         let latency = sl_round(
-            &ctx.latency,
+            ctx.env.as_ref(),
             &ctx.costs,
             &state.steps,
             &order,

@@ -94,7 +94,7 @@ impl Scheme for SplitFed {
         state.global_server = aggregate_snapshots(&server_snaps, &weights)?;
 
         let latency = gsfl_round(
-            &ctx.latency,
+            ctx.env.as_ref(),
             &ctx.costs,
             &state.steps,
             &singleton_groups,

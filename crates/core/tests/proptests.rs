@@ -7,18 +7,21 @@ use gsfl_core::latency::{gsfl_round, sl_round, ChannelMode, SplitCosts};
 use gsfl_nn::model::Mlp;
 use gsfl_wireless::allocation::BandwidthPolicy;
 use gsfl_wireless::device::DeviceProfile;
+use gsfl_wireless::environment::StaticEnvironment;
 use gsfl_wireless::latency::LatencyModel;
 use gsfl_wireless::server::EdgeServer;
 use gsfl_wireless::units::{FlopsRate, Meters};
 use proptest::prelude::*;
 
-fn model(clients: usize, slots: usize, seed: u64) -> LatencyModel {
-    LatencyModel::builder()
-        .clients(clients)
-        .seed(seed)
-        .server(EdgeServer::new(FlopsRate::from_gflops(10.0), slots).unwrap())
-        .build()
-        .unwrap()
+fn model(clients: usize, slots: usize, seed: u64) -> StaticEnvironment {
+    StaticEnvironment::new(
+        LatencyModel::builder()
+            .clients(clients)
+            .seed(seed)
+            .server(EdgeServer::new(FlopsRate::from_gflops(10.0), slots).unwrap())
+            .build()
+            .unwrap(),
+    )
 }
 
 fn costs() -> SplitCosts {
@@ -161,22 +164,22 @@ proptest! {
         let costs = costs();
         let steps = vec![3usize; 6];
         let order: Vec<usize> = (0..6).collect();
-        let slow = LatencyModel::builder()
+        let slow = StaticEnvironment::new(LatencyModel::builder()
             .clients(6)
             .seed(seed)
             .fixed_devices(vec![DeviceProfile::new(FlopsRate::from_gflops(0.2)).unwrap(); 6])
             .fixed_distances(vec![Meters::new(80.0); 6])
             .fading(false)
             .build()
-            .unwrap();
-        let fast = LatencyModel::builder()
+            .unwrap());
+        let fast = StaticEnvironment::new(LatencyModel::builder()
             .clients(6)
             .seed(seed)
             .fixed_devices(vec![DeviceProfile::new(FlopsRate::from_gflops(2.0)).unwrap(); 6])
             .fixed_distances(vec![Meters::new(80.0); 6])
             .fading(false)
             .build()
-            .unwrap();
+            .unwrap());
         let t_slow = sl_round(&slow, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
         let t_fast = sl_round(&fast, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
         prop_assert!(t_fast.duration.as_secs_f64() < t_slow.duration.as_secs_f64());

@@ -1,0 +1,773 @@
+//! The pluggable wireless-environment API.
+//!
+//! [`ChannelModel`] is the trait every latency calculator and training
+//! scheme talks to: per-round uplink/downlink/compute/availability
+//! queries, plus a [`RoundConditions`] snapshot of the whole network at
+//! one round. Two implementations ship:
+//!
+//! * [`StaticEnvironment`] — a transparent wrapper over the composed
+//!   [`LatencyModel`]; every round sees the same topology, bandwidth and
+//!   device fleet (fading still varies per block). This reproduces the
+//!   pre-trait behavior bit-for-bit.
+//! * [`DynamicEnvironment`] — the static base plus time-varying overlays:
+//!   mobility-driven path-loss drift ([`Mobility`]), diurnal/congested
+//!   bandwidth profiles ([`BandwidthProfile`]), straggler injection
+//!   ([`StragglerInjector`]) and dropout injection ([`DropoutInjector`]).
+//!
+//! Ready-made presets over these overlays live in [`crate::scenario`].
+
+use crate::energy::PowerProfile;
+use crate::latency::LatencyModel;
+use crate::mobility::Mobility;
+use crate::server::EdgeServer;
+use crate::units::{Bytes, FlopsRate, Hertz, Meters, Seconds};
+use crate::{Result, WirelessError};
+use gsfl_tensor::rng::SeedDerive;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-round view of the wireless environment.
+///
+/// Every query takes the round number so implementations can vary
+/// conditions over time; static environments simply ignore it.
+/// Transmission times take an explicit bandwidth `share` — callers
+/// (the latency calculators) decide how the round's total bandwidth,
+/// reported by [`ChannelModel::total_bandwidth`], is divided.
+pub trait ChannelModel: std::fmt::Debug + Send + Sync {
+    /// Number of clients in the network.
+    fn client_count(&self) -> usize;
+
+    /// Total system bandwidth available in `round`.
+    fn total_bandwidth(&self, round: u64) -> Hertz;
+
+    /// The edge-server profile (rate and parallel slots).
+    fn server(&self) -> &EdgeServer;
+
+    /// The client power-draw profile used for energy accounting.
+    fn power(&self) -> &PowerProfile;
+
+    /// The effective AP distance of `client` in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn distance(&self, client: usize, round: u64) -> Result<Meters>;
+
+    /// The effective compute rate of `client` in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn device_rate(&self, client: usize, round: u64) -> Result<FlopsRate>;
+
+    /// Uplink transmission time over an allocated bandwidth share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] / [`WirelessError::Config`]
+    /// on bad indices or zero share.
+    fn uplink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds>;
+
+    /// Downlink transmission time over an allocated bandwidth share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] / [`WirelessError::Config`]
+    /// on bad indices or zero share.
+    fn downlink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds>;
+
+    /// Achievable uplink rate in bits/s over `share` bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn uplink_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64>;
+
+    /// The uplink fading power gain of `client` in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn uplink_gain(&self, client: usize, round: u64) -> Result<f64>;
+
+    /// On-device compute time of `client` in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn client_compute(&self, client: usize, flops: u64, round: u64) -> Result<Seconds>;
+
+    /// Compute time of one edge-server slot.
+    fn server_compute(&self, flops: u64) -> Seconds;
+
+    /// Whether the client's radio is reachable in `round` (dropout
+    /// injection). Defaults to always reachable.
+    fn is_available(&self, client: usize, round: u64) -> bool {
+        let _ = (client, round);
+        true
+    }
+
+    /// A snapshot of the whole network's conditions in `round`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-client query errors.
+    fn conditions(&self, round: u64) -> Result<RoundConditions> {
+        let clients = (0..self.client_count())
+            .map(|c| {
+                Ok(ClientConditions {
+                    client: c,
+                    distance: self.distance(c, round)?,
+                    compute_rate: self.device_rate(c, round)?,
+                    uplink_gain: self.uplink_gain(c, round)?,
+                    available: self.is_available(c, round),
+                })
+            })
+            .collect::<Result<Vec<ClientConditions>>>()?;
+        Ok(RoundConditions {
+            round,
+            bandwidth: self.total_bandwidth(round),
+            clients,
+        })
+    }
+}
+
+/// The state of one client as seen in a [`RoundConditions`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientConditions {
+    /// Client index.
+    pub client: usize,
+    /// Effective AP distance this round.
+    pub distance: Meters,
+    /// Effective compute rate this round.
+    pub compute_rate: FlopsRate,
+    /// Uplink fading power gain this round.
+    pub uplink_gain: f64,
+    /// Whether the client is reachable this round.
+    pub available: bool,
+}
+
+/// A per-round snapshot of the environment, consumed by the latency
+/// calculators (bandwidth-share math, availability) and handy for
+/// tracing why a round was slow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundConditions {
+    /// The round this snapshot describes.
+    pub round: u64,
+    /// Total bandwidth available this round.
+    pub bandwidth: Hertz,
+    /// Per-client conditions, indexed by client id.
+    pub clients: Vec<ClientConditions>,
+}
+
+impl RoundConditions {
+    /// The fixed OFDMA subchannel each of the N registered clients owns
+    /// this round (`B/N`).
+    pub fn dedicated_share(&self) -> Hertz {
+        self.bandwidth
+            .fraction(1.0 / self.clients.len().max(1) as f64)
+    }
+
+    /// The clients reachable this round.
+    pub fn available_clients(&self) -> Vec<usize> {
+        self.clients
+            .iter()
+            .filter(|c| c.available)
+            .map(|c| c.client)
+            .collect()
+    }
+}
+
+/// The always-the-same environment: a transparent [`ChannelModel`] view
+/// of the composed [`LatencyModel`]. Query-for-query identical to calling
+/// the model directly, so results through the trait are byte-identical to
+/// the pre-trait code path.
+#[derive(Debug, Clone)]
+pub struct StaticEnvironment {
+    base: LatencyModel,
+}
+
+impl StaticEnvironment {
+    /// Wraps a composed latency model.
+    pub fn new(base: LatencyModel) -> Self {
+        StaticEnvironment { base }
+    }
+
+    /// The wrapped model.
+    pub fn base(&self) -> &LatencyModel {
+        &self.base
+    }
+}
+
+impl ChannelModel for StaticEnvironment {
+    fn client_count(&self) -> usize {
+        self.base.client_count()
+    }
+
+    fn total_bandwidth(&self, _round: u64) -> Hertz {
+        self.base.total_bandwidth()
+    }
+
+    fn server(&self) -> &EdgeServer {
+        self.base.server()
+    }
+
+    fn power(&self) -> &PowerProfile {
+        self.base.power()
+    }
+
+    fn distance(&self, client: usize, _round: u64) -> Result<Meters> {
+        self.base.distance(client)
+    }
+
+    fn device_rate(&self, client: usize, _round: u64) -> Result<FlopsRate> {
+        Ok(self.base.device(client)?.rate())
+    }
+
+    fn uplink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        self.base.uplink_time_with(client, payload, round, share)
+    }
+
+    fn downlink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        self.base.downlink_time_with(client, payload, round, share)
+    }
+
+    fn uplink_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64> {
+        self.base.uplink_rate_bps(client, round, share)
+    }
+
+    fn uplink_gain(&self, client: usize, round: u64) -> Result<f64> {
+        self.base.distance(client)?; // index check
+        Ok(self.base.uplink_gain(client, round))
+    }
+
+    fn client_compute(&self, client: usize, flops: u64, _round: u64) -> Result<Seconds> {
+        self.base.client_compute(client, flops)
+    }
+
+    fn server_compute(&self, flops: u64) -> Seconds {
+        self.base.server_compute(flops)
+    }
+}
+
+/// How the total system bandwidth varies over rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BandwidthProfile {
+    /// Full bandwidth every round.
+    #[default]
+    Constant,
+    /// Smooth day/night load cycle: available bandwidth oscillates
+    /// between the full band (off-peak) and `trough_frac` of it (peak
+    /// congestion) with period `period_rounds`.
+    Diurnal {
+        /// Rounds per full cycle.
+        period_rounds: u64,
+        /// Fraction of the band left at peak congestion, in `(0, 1]`.
+        trough_frac: f64,
+    },
+    /// Random congestion spikes: with probability `probability` a round's
+    /// bandwidth collapses to `frac` of the band (deterministic per
+    /// round given the environment seed).
+    Spikes {
+        /// Per-round spike probability, in `[0, 1]`.
+        probability: f64,
+        /// Fraction of the band left during a spike, in `(0, 1]`.
+        frac: f64,
+    },
+}
+
+impl BandwidthProfile {
+    /// The multiplier on the base bandwidth in `round`.
+    fn factor(&self, round: u64, seeds: &SeedDerive) -> f64 {
+        match *self {
+            BandwidthProfile::Constant => 1.0,
+            BandwidthProfile::Diurnal {
+                period_rounds,
+                trough_frac,
+            } => {
+                let period = period_rounds.max(1) as f64;
+                let theta = 2.0 * std::f64::consts::PI * round as f64 / period;
+                // cos starts at the off-peak maximum (factor 1.0).
+                let wave = 0.5 + 0.5 * theta.cos();
+                trough_frac + (1.0 - trough_frac) * wave
+            }
+            BandwidthProfile::Spikes { probability, frac } => {
+                let mut rng = seeds.child("bw-spikes").index(round).rng();
+                if rng.gen::<f64>() < probability {
+                    frac
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic per-round compute-straggler injection: with probability
+/// `probability` a client's compute rate is divided by `slowdown` for
+/// that round (thermal throttling, background load).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerInjector {
+    /// Per-client-round straggle probability, in `[0, 1]`.
+    pub probability: f64,
+    /// Rate divisor while straggling (≥ 1).
+    pub slowdown: f64,
+}
+
+impl StragglerInjector {
+    /// The compute-rate divisor of `client` in `round` (1.0 = full speed).
+    fn slowdown_at(&self, client: usize, round: u64, seeds: &SeedDerive) -> f64 {
+        let mut rng = seeds
+            .child("stragglers")
+            .index(client as u64)
+            .index(round)
+            .rng();
+        if rng.gen::<f64>() < self.probability {
+            self.slowdown.max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Deterministic per-round radio-dropout injection: with probability
+/// `probability` a client is unreachable for a round (deep shadowing,
+/// cell reselection, battery saver).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropoutInjector {
+    /// Per-client-round dropout probability, in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl DropoutInjector {
+    fn dropped(&self, client: usize, round: u64, seeds: &SeedDerive) -> bool {
+        let mut rng = seeds
+            .child("dropouts")
+            .index(client as u64)
+            .index(round)
+            .rng();
+        rng.gen::<f64>() < self.probability
+    }
+}
+
+/// A time-varying environment: the static base plus mobility, bandwidth,
+/// straggler and dropout overlays. Built via [`DynamicEnvironment::builder`]
+/// or from a [`crate::scenario::Scenario`] preset.
+#[derive(Debug)]
+pub struct DynamicEnvironment {
+    base: LatencyModel,
+    mobility: Box<dyn Mobility>,
+    bandwidth: BandwidthProfile,
+    stragglers: Option<StragglerInjector>,
+    dropouts: Option<DropoutInjector>,
+    seeds: SeedDerive,
+}
+
+/// Builder for [`DynamicEnvironment`].
+#[derive(Debug)]
+pub struct DynamicEnvironmentBuilder {
+    base: LatencyModel,
+    mobility: Box<dyn Mobility>,
+    bandwidth: BandwidthProfile,
+    stragglers: Option<StragglerInjector>,
+    dropouts: Option<DropoutInjector>,
+    seed: u64,
+}
+
+impl DynamicEnvironment {
+    /// Starts a builder over a static base model; with no overlays the
+    /// result behaves exactly like [`StaticEnvironment`].
+    pub fn builder(base: LatencyModel) -> DynamicEnvironmentBuilder {
+        DynamicEnvironmentBuilder {
+            base,
+            mobility: Box::new(crate::mobility::Stationary),
+            bandwidth: BandwidthProfile::Constant,
+            stragglers: None,
+            dropouts: None,
+            seed: 0,
+        }
+    }
+
+    fn straggle_factor(&self, client: usize, round: u64) -> f64 {
+        self.stragglers
+            .map(|s| s.slowdown_at(client, round, &self.seeds))
+            .unwrap_or(1.0)
+    }
+}
+
+impl DynamicEnvironmentBuilder {
+    /// Sets the mobility model.
+    pub fn mobility(mut self, m: impl Mobility + 'static) -> Self {
+        self.mobility = Box::new(m);
+        self
+    }
+
+    /// Sets the bandwidth profile.
+    pub fn bandwidth(mut self, b: BandwidthProfile) -> Self {
+        self.bandwidth = b;
+        self
+    }
+
+    /// Enables straggler injection.
+    pub fn stragglers(mut self, s: StragglerInjector) -> Self {
+        self.stragglers = Some(s);
+        self
+    }
+
+    /// Enables dropout injection.
+    pub fn dropouts(mut self, d: DropoutInjector) -> Self {
+        self.dropouts = Some(d);
+        self
+    }
+
+    /// Seeds the stochastic overlays (spikes, stragglers, dropouts).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for out-of-range probabilities
+    /// or fractions.
+    pub fn build(self) -> Result<DynamicEnvironment> {
+        if let BandwidthProfile::Diurnal { trough_frac, .. } = self.bandwidth {
+            if !(trough_frac > 0.0 && trough_frac <= 1.0) {
+                return Err(WirelessError::Config(format!(
+                    "diurnal trough_frac must be in (0,1], got {trough_frac}"
+                )));
+            }
+        }
+        if let BandwidthProfile::Spikes { probability, frac } = self.bandwidth {
+            if !(0.0..=1.0).contains(&probability) || frac <= 0.0 || frac > 1.0 {
+                return Err(WirelessError::Config(
+                    "spike probability must be in [0,1] and frac in (0,1]".into(),
+                ));
+            }
+        }
+        if let Some(s) = self.stragglers {
+            if !(0.0..=1.0).contains(&s.probability) || s.slowdown < 1.0 {
+                return Err(WirelessError::Config(
+                    "straggler probability must be in [0,1] and slowdown ≥ 1".into(),
+                ));
+            }
+        }
+        if let Some(d) = self.dropouts {
+            if !(0.0..=1.0).contains(&d.probability) {
+                return Err(WirelessError::Config(
+                    "dropout probability must be in [0,1]".into(),
+                ));
+            }
+        }
+        Ok(DynamicEnvironment {
+            base: self.base,
+            mobility: self.mobility,
+            bandwidth: self.bandwidth,
+            stragglers: self.stragglers,
+            dropouts: self.dropouts,
+            seeds: SeedDerive::new(self.seed).child("environment"),
+        })
+    }
+}
+
+impl ChannelModel for DynamicEnvironment {
+    fn client_count(&self) -> usize {
+        self.base.client_count()
+    }
+
+    fn total_bandwidth(&self, round: u64) -> Hertz {
+        self.base
+            .total_bandwidth()
+            .fraction(self.bandwidth.factor(round, &self.seeds))
+    }
+
+    fn server(&self) -> &EdgeServer {
+        self.base.server()
+    }
+
+    fn power(&self) -> &PowerProfile {
+        self.base.power()
+    }
+
+    fn distance(&self, client: usize, round: u64) -> Result<Meters> {
+        let placed = self.base.distance(client)?;
+        Ok(self.mobility.distance_at(client, placed, round))
+    }
+
+    fn device_rate(&self, client: usize, round: u64) -> Result<FlopsRate> {
+        let base = self.base.device(client)?.rate();
+        let factor = self.straggle_factor(client, round);
+        Ok(FlopsRate::new(base.as_flops_per_sec() / factor))
+    }
+
+    fn uplink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        let d = self.distance(client, round)?;
+        self.base.uplink_time_at(client, payload, round, share, d)
+    }
+
+    fn downlink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        let d = self.distance(client, round)?;
+        self.base.downlink_time_at(client, payload, round, share, d)
+    }
+
+    fn uplink_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64> {
+        let d = self.distance(client, round)?;
+        Ok(self.base.uplink_rate_bps_at(client, round, share, d))
+    }
+
+    fn uplink_gain(&self, client: usize, round: u64) -> Result<f64> {
+        self.base.distance(client)?; // index check
+        Ok(self.base.uplink_gain(client, round))
+    }
+
+    fn client_compute(&self, client: usize, flops: u64, round: u64) -> Result<Seconds> {
+        Ok(self.device_rate(client, round)?.time_for(flops))
+    }
+
+    fn server_compute(&self, flops: u64) -> Seconds {
+        self.base.server_compute(flops)
+    }
+
+    fn is_available(&self, client: usize, round: u64) -> bool {
+        match self.dropouts {
+            Some(d) => !d.dropped(client, round, &self.seeds),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::OrbitDrift;
+
+    fn base(clients: usize) -> LatencyModel {
+        LatencyModel::builder()
+            .clients(clients)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn static_environment_matches_model_exactly() {
+        let model = base(4);
+        let env = StaticEnvironment::new(model.clone());
+        let payload = Bytes::new(200_000);
+        let share = Hertz::from_mhz(1.0);
+        for round in 0..8u64 {
+            for c in 0..4 {
+                assert_eq!(
+                    env.uplink_time(c, payload, round, share).unwrap(),
+                    model.uplink_time_with(c, payload, round, share).unwrap()
+                );
+                assert_eq!(
+                    env.downlink_time(c, payload, round, share).unwrap(),
+                    model.downlink_time_with(c, payload, round, share).unwrap()
+                );
+                assert_eq!(
+                    env.client_compute(c, 1_000_000, round).unwrap(),
+                    model.client_compute(c, 1_000_000).unwrap()
+                );
+                assert!(env.is_available(c, round));
+            }
+            assert_eq!(env.total_bandwidth(round), model.total_bandwidth());
+        }
+        assert_eq!(
+            env.server_compute(1_000_000),
+            model.server_compute(1_000_000)
+        );
+    }
+
+    #[test]
+    fn no_overlay_dynamic_matches_static() {
+        let model = base(3);
+        let dynamic = DynamicEnvironment::builder(model.clone()).build().unwrap();
+        let env = StaticEnvironment::new(model);
+        let payload = Bytes::new(50_000);
+        let share = Hertz::from_mhz(2.0);
+        for round in 0..5u64 {
+            for c in 0..3 {
+                assert_eq!(
+                    dynamic.uplink_time(c, payload, round, share).unwrap(),
+                    env.uplink_time(c, payload, round, share).unwrap()
+                );
+                assert_eq!(
+                    dynamic.device_rate(c, round).unwrap(),
+                    env.device_rate(c, round).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_changes_distances_and_times() {
+        let env = DynamicEnvironment::builder(base(2))
+            .mobility(OrbitDrift {
+                amplitude_frac: 0.5,
+                period_rounds: 7,
+            })
+            .build()
+            .unwrap();
+        let d1 = env.distance(0, 1).unwrap();
+        let d2 = env.distance(0, 3).unwrap();
+        assert_ne!(d1, d2, "mobility must move the client");
+    }
+
+    #[test]
+    fn diurnal_bandwidth_cycles() {
+        let env = DynamicEnvironment::builder(base(2))
+            .bandwidth(BandwidthProfile::Diurnal {
+                period_rounds: 10,
+                trough_frac: 0.25,
+            })
+            .build()
+            .unwrap();
+        let full = env.total_bandwidth(0).as_hz();
+        let trough = env.total_bandwidth(5).as_hz();
+        assert!((trough / full - 0.25).abs() < 1e-9, "half period = trough");
+        assert!((env.total_bandwidth(10).as_hz() - full).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stragglers_slow_compute_deterministically() {
+        let env = DynamicEnvironment::builder(base(2))
+            .stragglers(StragglerInjector {
+                probability: 1.0,
+                slowdown: 4.0,
+            })
+            .seed(9)
+            .build()
+            .unwrap();
+        let plain = StaticEnvironment::new(base(2));
+        let slow = env.client_compute(0, 1_000_000_000, 3).unwrap();
+        let fast = plain.client_compute(0, 1_000_000_000, 3).unwrap();
+        assert!((slow.as_secs_f64() / fast.as_secs_f64() - 4.0).abs() < 1e-9);
+        assert_eq!(slow, env.client_compute(0, 1_000_000_000, 3).unwrap());
+    }
+
+    #[test]
+    fn dropouts_are_deterministic_and_partial() {
+        let env = DynamicEnvironment::builder(base(4))
+            .dropouts(DropoutInjector { probability: 0.5 })
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut dropped = 0;
+        let mut up = 0;
+        for round in 0..50u64 {
+            for c in 0..4 {
+                let a = env.is_available(c, round);
+                assert_eq!(a, env.is_available(c, round));
+                if a {
+                    up += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+        assert!(dropped > 0 && up > 0, "p=0.5 must mix: {dropped} / {up}");
+    }
+
+    #[test]
+    fn conditions_snapshot_reflects_overlays() {
+        let env = DynamicEnvironment::builder(base(3))
+            .bandwidth(BandwidthProfile::Diurnal {
+                period_rounds: 8,
+                trough_frac: 0.5,
+            })
+            .mobility(OrbitDrift::default())
+            .build()
+            .unwrap();
+        let c0 = env.conditions(0).unwrap();
+        let c4 = env.conditions(4).unwrap();
+        assert_eq!(c0.clients.len(), 3);
+        assert!(c4.bandwidth.as_hz() < c0.bandwidth.as_hz());
+        assert_ne!(c0.clients[0].distance, c4.clients[0].distance);
+        assert_eq!(c0.available_clients(), vec![0, 1, 2]);
+        let share = c0.dedicated_share().as_hz();
+        assert!((share * 3.0 - c0.bandwidth.as_hz()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(DynamicEnvironment::builder(base(1))
+            .stragglers(StragglerInjector {
+                probability: 1.5,
+                slowdown: 2.0
+            })
+            .build()
+            .is_err());
+        assert!(DynamicEnvironment::builder(base(1))
+            .stragglers(StragglerInjector {
+                probability: 0.5,
+                slowdown: 0.5
+            })
+            .build()
+            .is_err());
+        assert!(DynamicEnvironment::builder(base(1))
+            .dropouts(DropoutInjector { probability: -0.1 })
+            .build()
+            .is_err());
+        assert!(DynamicEnvironment::builder(base(1))
+            .bandwidth(BandwidthProfile::Diurnal {
+                period_rounds: 5,
+                trough_frac: 0.0
+            })
+            .build()
+            .is_err());
+        assert!(DynamicEnvironment::builder(base(1))
+            .bandwidth(BandwidthProfile::Spikes {
+                probability: 2.0,
+                frac: 0.5
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_client_errors_through_trait() {
+        let env = StaticEnvironment::new(base(2));
+        assert!(env.distance(9, 0).is_err());
+        assert!(env.device_rate(9, 0).is_err());
+        assert!(env.uplink_gain(9, 0).is_err());
+    }
+}

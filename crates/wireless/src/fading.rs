@@ -9,6 +9,29 @@
 use gsfl_tensor::rng::SeedDerive;
 use rand::Rng;
 
+/// A small-scale fading process, as a trait.
+///
+/// Implementations must be deterministic in `(link, block)` so repeated
+/// queries agree; [`BlockFading`] is the built-in Rayleigh realization.
+/// Nothing in the crate consumes the trait object yet — like
+/// [`crate::pathloss::PathLossModel`], it names the seam future
+/// environments will accept custom channel statistics through.
+pub trait FadingProcess: std::fmt::Debug + Send + Sync {
+    /// Channel power gain `|h|²` for `link` in coherence `block`.
+    fn power_gain(&self, link: usize, block: u64) -> f64;
+
+    /// The gain expressed in dB.
+    fn gain_db(&self, link: usize, block: u64) -> f64 {
+        10.0 * self.power_gain(link, block).log10()
+    }
+}
+
+impl FadingProcess for BlockFading {
+    fn power_gain(&self, link: usize, block: u64) -> f64 {
+        BlockFading::power_gain(self, link, block)
+    }
+}
+
 /// Deterministic block-fading process.
 #[derive(Debug, Clone, Copy)]
 pub struct BlockFading {

@@ -141,8 +141,27 @@ impl LatencyModel {
         share: Hertz,
     ) -> Result<Seconds> {
         let d = self.topology.distance(client)?;
+        self.uplink_time_at(client, payload, round, share, d)
+    }
+
+    /// [`LatencyModel::uplink_time_with`] at an explicit distance —
+    /// the seam mobility-driven environments use to override placement
+    /// while keeping the link composition (fading stream, budget) in one
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] on zero share.
+    pub fn uplink_time_at(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+    ) -> Result<Seconds> {
         let gain = self.fading.power_gain(self.uplink_link_id(client), round);
-        self.uplink.transmit_time(payload, d, share, gain)
+        self.uplink.transmit_time(payload, distance, share, gain)
     }
 
     /// Downlink transmission time using the full channel bandwidth.
@@ -168,8 +187,25 @@ impl LatencyModel {
         share: Hertz,
     ) -> Result<Seconds> {
         let d = self.topology.distance(client)?;
+        self.downlink_time_at(client, payload, round, share, d)
+    }
+
+    /// [`LatencyModel::downlink_time_with`] at an explicit distance
+    /// (see [`LatencyModel::uplink_time_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] on zero share.
+    pub fn downlink_time_at(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+    ) -> Result<Seconds> {
         let gain = self.fading.power_gain(self.downlink_link_id(client), round);
-        self.downlink.transmit_time(payload, d, share, gain)
+        self.downlink.transmit_time(payload, distance, share, gain)
     }
 
     /// Achievable uplink rate in bits/s over `share` bandwidth (used by
@@ -180,8 +216,20 @@ impl LatencyModel {
     /// Returns [`WirelessError::UnknownClient`] for bad indices.
     pub fn uplink_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64> {
         let d = self.topology.distance(client)?;
+        Ok(self.uplink_rate_bps_at(client, round, share, d))
+    }
+
+    /// [`LatencyModel::uplink_rate_bps`] at an explicit distance
+    /// (see [`LatencyModel::uplink_time_at`]).
+    pub fn uplink_rate_bps_at(
+        &self,
+        client: usize,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+    ) -> f64 {
         let gain = self.fading.power_gain(self.uplink_link_id(client), round);
-        Ok(self.uplink.rate_bps(d, share, gain))
+        self.uplink.rate_bps(distance, share, gain)
     }
 
     /// On-device compute time for `client`.
@@ -196,6 +244,16 @@ impl LatencyModel {
     /// Compute time of one edge-server slot.
     pub fn server_compute(&self, flops: u64) -> Seconds {
         self.server.compute_time(flops)
+    }
+
+    /// The uplink fading power gain of `client` in `round`.
+    pub fn uplink_gain(&self, client: usize, round: u64) -> f64 {
+        self.fading.power_gain(self.uplink_link_id(client), round)
+    }
+
+    /// The downlink fading power gain of `client` in `round`.
+    pub fn downlink_gain(&self, client: usize, round: u64) -> f64 {
+        self.fading.power_gain(self.downlink_link_id(client), round)
     }
 
     // Distinct fading streams for the two directions of each client link.

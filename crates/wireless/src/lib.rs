@@ -18,7 +18,14 @@
 //! * [`server`] — the edge-server compute profile (rate + parallel slots),
 //! * [`topology`] — client placement around the AP,
 //! * [`latency`] — the composed latency model: transmission and
-//!   computation times for arbitrary payloads and FLOP counts.
+//!   computation times for arbitrary payloads and FLOP counts,
+//! * [`environment`] — the pluggable [`ChannelModel`] trait with static
+//!   and time-varying implementations ([`RoundConditions`] snapshots,
+//!   mobility drift, diurnal bandwidth, stragglers, dropouts),
+//! * [`mobility`] — client mobility models behind the
+//!   [`mobility::Mobility`] trait,
+//! * [`scenario`] — serde-loadable [`Scenario`] presets that build
+//!   environments over any base model.
 //!
 //! # Example
 //!
@@ -43,15 +50,20 @@ mod error;
 pub mod allocation;
 pub mod device;
 pub mod energy;
+pub mod environment;
 pub mod fading;
 pub mod latency;
 pub mod link;
+pub mod mobility;
 pub mod pathloss;
+pub mod scenario;
 pub mod server;
 pub mod topology;
 pub mod units;
 
+pub use environment::{ChannelModel, RoundConditions};
 pub use error::WirelessError;
+pub use scenario::Scenario;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, WirelessError>;

@@ -1,0 +1,198 @@
+//! Client mobility models.
+//!
+//! A [`Mobility`] model maps a client's *placement* distance (where the
+//! topology put it) to its *effective* distance in a given round, so a
+//! time-varying environment can drive path-loss drift without touching
+//! the link-budget math. All models are deterministic functions of
+//! `(client, round)` — repeated queries agree and experiments reproduce.
+
+use crate::units::Meters;
+use gsfl_tensor::rng::SeedDerive;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic client-mobility process.
+pub trait Mobility: std::fmt::Debug + Send + Sync {
+    /// The effective AP distance of `client` in `round`, given the
+    /// distance the topology placed it at.
+    fn distance_at(&self, client: usize, placed: Meters, round: u64) -> Meters;
+}
+
+/// No movement: every round sees the placement distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Stationary;
+
+impl Mobility for Stationary {
+    fn distance_at(&self, _client: usize, placed: Meters, _round: u64) -> Meters {
+        placed
+    }
+}
+
+/// Smooth periodic drift around the placement distance.
+///
+/// Client `c` oscillates sinusoidally with relative amplitude
+/// `amplitude_frac` and period `period_rounds`, phase-shifted per client
+/// so the fleet does not move in lockstep. Models pedestrians circling a
+/// cell: pathloss drifts slowly and coherently across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbitDrift {
+    /// Peak deviation as a fraction of the placement distance (e.g. 0.4
+    /// swings between 0.6× and 1.4×).
+    pub amplitude_frac: f64,
+    /// Rounds per full oscillation.
+    pub period_rounds: u64,
+}
+
+impl Default for OrbitDrift {
+    fn default() -> Self {
+        OrbitDrift {
+            amplitude_frac: 0.5,
+            period_rounds: 20,
+        }
+    }
+}
+
+impl Mobility for OrbitDrift {
+    fn distance_at(&self, client: usize, placed: Meters, round: u64) -> Meters {
+        let period = self.period_rounds.max(1) as f64;
+        // Per-client phase offset spreads the fleet over the cycle.
+        let phase = client as f64 * std::f64::consts::FRAC_PI_3;
+        let theta = 2.0 * std::f64::consts::PI * round as f64 / period + phase;
+        let scale = 1.0 + self.amplitude_frac * theta.sin();
+        // Never collapse onto the AP (the path-loss model clamps at 1 m
+        // anyway, but keep the geometry sane).
+        Meters::new((placed.as_meters() * scale).max(1.0))
+    }
+}
+
+/// Random-waypoint mobility with O(1) queries.
+///
+/// Time is divided into epochs of `epoch_rounds`; each client draws a
+/// deterministic waypoint distance per epoch (uniform over the annulus
+/// area in `[min_m, max_m]`) and moves linearly between consecutive
+/// waypoints across the epoch. This is the classic random-waypoint model
+/// collapsed onto the AP-distance axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    /// Closest approach to the AP.
+    pub min_m: f64,
+    /// Farthest excursion.
+    pub max_m: f64,
+    /// Rounds spent travelling between consecutive waypoints.
+    pub epoch_rounds: u64,
+    /// Seed for the waypoint draws.
+    pub seed: u64,
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        RandomWaypoint {
+            min_m: 20.0,
+            max_m: 200.0,
+            epoch_rounds: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomWaypoint {
+    fn waypoint(&self, client: usize, epoch: u64) -> f64 {
+        let mut rng = SeedDerive::new(self.seed)
+            .child("waypoints")
+            .index(client as u64)
+            .index(epoch)
+            .rng();
+        let (r0, r1) = (self.min_m.max(1.0), self.max_m.max(self.min_m.max(1.0)));
+        // Uniform over the annulus area, like Topology::random_annulus.
+        let u: f64 = rng.gen();
+        (u * (r1 * r1 - r0 * r0) + r0 * r0).sqrt()
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn distance_at(&self, client: usize, _placed: Meters, round: u64) -> Meters {
+        let epoch_len = self.epoch_rounds.max(1);
+        let epoch = round / epoch_len;
+        let frac = (round % epoch_len) as f64 / epoch_len as f64;
+        let from = self.waypoint(client, epoch);
+        let to = self.waypoint(client, epoch + 1);
+        Meters::new(from + (to - from) * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_is_identity() {
+        let m = Stationary;
+        for r in [0u64, 5, 99] {
+            assert_eq!(m.distance_at(3, Meters::new(80.0), r).as_meters(), 80.0);
+        }
+    }
+
+    #[test]
+    fn orbit_drift_is_periodic_and_bounded() {
+        let m = OrbitDrift {
+            amplitude_frac: 0.5,
+            period_rounds: 10,
+        };
+        let placed = Meters::new(100.0);
+        let d0 = m.distance_at(0, placed, 0).as_meters();
+        let d10 = m.distance_at(0, placed, 10).as_meters();
+        assert!((d0 - d10).abs() < 1e-9, "one full period returns home");
+        for r in 0..10 {
+            let d = m.distance_at(0, placed, r).as_meters();
+            assert!((50.0..=150.0).contains(&d), "round {r}: {d}");
+        }
+        // Different rounds actually move the client.
+        assert_ne!(
+            m.distance_at(0, placed, 1).as_meters(),
+            m.distance_at(0, placed, 3).as_meters()
+        );
+    }
+
+    #[test]
+    fn orbit_drift_declusters_clients() {
+        let m = OrbitDrift::default();
+        let placed = Meters::new(100.0);
+        assert_ne!(
+            m.distance_at(0, placed, 5).as_meters(),
+            m.distance_at(1, placed, 5).as_meters()
+        );
+    }
+
+    #[test]
+    fn random_waypoint_deterministic_and_bounded() {
+        let m = RandomWaypoint {
+            min_m: 20.0,
+            max_m: 200.0,
+            epoch_rounds: 8,
+            seed: 3,
+        };
+        for r in 0..40u64 {
+            let a = m.distance_at(2, Meters::new(50.0), r).as_meters();
+            let b = m.distance_at(2, Meters::new(50.0), r).as_meters();
+            assert_eq!(a, b);
+            assert!((20.0..=200.0).contains(&a), "round {r}: {a}");
+        }
+    }
+
+    #[test]
+    fn random_waypoint_moves_smoothly_within_epoch() {
+        let m = RandomWaypoint {
+            min_m: 10.0,
+            max_m: 100.0,
+            epoch_rounds: 10,
+            seed: 1,
+        };
+        let placed = Meters::new(50.0);
+        // Within one epoch the motion is linear: equal round increments
+        // give equal distance increments.
+        let d1 = m.distance_at(0, placed, 1).as_meters();
+        let d2 = m.distance_at(0, placed, 2).as_meters();
+        let d3 = m.distance_at(0, placed, 3).as_meters();
+        assert!((d3 - d2 - (d2 - d1)).abs() < 1e-9);
+    }
+}

@@ -4,6 +4,23 @@ use crate::units::Meters;
 use crate::{Result, WirelessError};
 use serde::{Deserialize, Serialize};
 
+/// Large-scale path loss as a function of distance, as a trait.
+///
+/// The built-in [`PathLoss`] enum implements this. Nothing in the crate
+/// consumes the trait object yet — it names the seam a future
+/// interference / multi-AP environment (see ROADMAP) will accept custom
+/// propagation models through (ray-traced maps, measured traces).
+pub trait PathLossModel: std::fmt::Debug + Send + Sync {
+    /// The loss in dB at `distance`.
+    fn loss_db(&self, distance: Meters) -> f64;
+}
+
+impl PathLossModel for PathLoss {
+    fn loss_db(&self, distance: Meters) -> f64 {
+        PathLoss::loss_db(self, distance)
+    }
+}
+
 /// Large-scale path loss as a function of distance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum PathLoss {

@@ -1,0 +1,426 @@
+//! Serde-loadable wireless scenarios.
+//!
+//! A [`Scenario`] names a wireless environment shape — static, or one of
+//! the time-varying overlays from [`crate::environment`] — with its
+//! parameters, serializes cleanly inside experiment configs, and builds
+//! the matching [`ChannelModel`] over any base [`LatencyModel`].
+//!
+//! [`Scenario::presets`] lists the ready-made presets the scenario-sweep
+//! tooling iterates: `static`, `mobility`, `diurnal`, `congested`,
+//! `stragglers`, `dropouts`.
+
+use crate::environment::{
+    BandwidthProfile, ChannelModel, DropoutInjector, DynamicEnvironment, StaticEnvironment,
+    StragglerInjector,
+};
+use crate::latency::LatencyModel;
+use crate::mobility::RandomWaypoint;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the `mobility` scenario (random-waypoint drift).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilitySpec {
+    /// Closest approach to the AP, meters.
+    pub min_m: f64,
+    /// Farthest excursion, meters.
+    pub max_m: f64,
+    /// Rounds spent travelling between consecutive waypoints.
+    pub epoch_rounds: u64,
+}
+
+impl Default for MobilitySpec {
+    fn default() -> Self {
+        MobilitySpec {
+            min_m: 20.0,
+            max_m: 200.0,
+            epoch_rounds: 10,
+        }
+    }
+}
+
+/// Parameters of the `diurnal` scenario (smooth bandwidth load cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalSpec {
+    /// Rounds per full day/night cycle.
+    pub period_rounds: u64,
+    /// Fraction of the band left at peak congestion, in `(0, 1]`.
+    pub trough_frac: f64,
+}
+
+impl Default for DiurnalSpec {
+    fn default() -> Self {
+        DiurnalSpec {
+            period_rounds: 20,
+            trough_frac: 0.3,
+        }
+    }
+}
+
+/// Parameters of the `congested` scenario (random bandwidth spikes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionSpec {
+    /// Per-round spike probability, in `[0, 1]`.
+    pub probability: f64,
+    /// Fraction of the band left during a spike, in `(0, 1]`.
+    pub frac: f64,
+}
+
+impl Default for CongestionSpec {
+    fn default() -> Self {
+        CongestionSpec {
+            probability: 0.3,
+            frac: 0.25,
+        }
+    }
+}
+
+/// Parameters of the `stragglers` scenario (per-round compute slowdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// Per-client-round straggle probability, in `[0, 1]`.
+    pub probability: f64,
+    /// Compute-rate divisor while straggling (≥ 1).
+    pub slowdown: f64,
+}
+
+impl Default for StragglerSpec {
+    fn default() -> Self {
+        StragglerSpec {
+            probability: 0.25,
+            slowdown: 4.0,
+        }
+    }
+}
+
+/// Parameters of the `dropouts` scenario (per-round radio dropouts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropoutSpec {
+    /// Per-client-round dropout probability, in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl Default for DropoutSpec {
+    fn default() -> Self {
+        DropoutSpec { probability: 0.2 }
+    }
+}
+
+/// A free-form composition of every overlay axis at once.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompositeSpec {
+    /// Optional mobility overlay.
+    pub mobility: Option<MobilitySpec>,
+    /// Optional diurnal bandwidth overlay.
+    pub diurnal: Option<DiurnalSpec>,
+    /// Optional congestion-spike overlay (mutually exclusive with
+    /// `diurnal`; setting both is rejected at build).
+    pub congestion: Option<CongestionSpec>,
+    /// Optional straggler overlay.
+    pub stragglers: Option<StragglerSpec>,
+    /// Optional dropout overlay.
+    pub dropouts: Option<DropoutSpec>,
+}
+
+/// A named, serializable wireless environment shape.
+///
+/// `Static` (the default) reproduces the pre-trait composed model
+/// byte-for-byte; every other variant overlays one time-varying axis;
+/// `Composite` combines several.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Scenario {
+    /// The always-the-same environment (fading still varies per round).
+    #[default]
+    Static,
+    /// Random-waypoint mobility: path loss drifts as clients move.
+    Mobility(MobilitySpec),
+    /// Diurnal bandwidth: the band breathes with a day/night load cycle.
+    Diurnal(DiurnalSpec),
+    /// Congestion spikes: random rounds lose most of the band.
+    Congested(CongestionSpec),
+    /// Compute stragglers: random client-rounds run slowed down.
+    Stragglers(StragglerSpec),
+    /// Radio dropouts: random client-rounds are unreachable.
+    Dropouts(DropoutSpec),
+    /// Several overlays at once.
+    Composite(CompositeSpec),
+}
+
+impl Scenario {
+    /// The short name used in tables and file stems.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Static => "static",
+            Scenario::Mobility(_) => "mobility",
+            Scenario::Diurnal(_) => "diurnal",
+            Scenario::Congested(_) => "congested",
+            Scenario::Stragglers(_) => "stragglers",
+            Scenario::Dropouts(_) => "dropouts",
+            Scenario::Composite(_) => "composite",
+        }
+    }
+
+    /// The ready-made presets, in sweep order: the static baseline plus
+    /// five time-varying environments at default parameters.
+    pub fn presets() -> Vec<Scenario> {
+        vec![
+            Scenario::Static,
+            Scenario::Mobility(MobilitySpec::default()),
+            Scenario::Diurnal(DiurnalSpec::default()),
+            Scenario::Congested(CongestionSpec::default()),
+            Scenario::Stragglers(StragglerSpec::default()),
+            Scenario::Dropouts(DropoutSpec::default()),
+        ]
+    }
+
+    /// Looks up a preset by [`Scenario::name`].
+    pub fn preset(name: &str) -> Option<Scenario> {
+        Scenario::presets().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Builds the environment this scenario describes over a base model.
+    /// `seed` drives the stochastic overlays (waypoints, spikes,
+    /// stragglers, dropouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::WirelessError::Config`] for out-of-range
+    /// parameters.
+    pub fn build(&self, base: LatencyModel, seed: u64) -> Result<Box<dyn ChannelModel>> {
+        match *self {
+            Scenario::Static => Ok(Box::new(StaticEnvironment::new(base))),
+            Scenario::Mobility(m) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .mobility(waypoints(m, seed)?)
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Diurnal(d) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Diurnal {
+                        period_rounds: d.period_rounds,
+                        trough_frac: d.trough_frac,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Congested(c) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Spikes {
+                        probability: c.probability,
+                        frac: c.frac,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Stragglers(s) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .stragglers(StragglerInjector {
+                        probability: s.probability,
+                        slowdown: s.slowdown,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Dropouts(d) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .dropouts(DropoutInjector {
+                        probability: d.probability,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Composite(c) => {
+                if c.diurnal.is_some() && c.congestion.is_some() {
+                    return Err(crate::WirelessError::Config(
+                        "composite scenario cannot combine diurnal and congestion \
+                         bandwidth overlays — pick one"
+                            .into(),
+                    ));
+                }
+                let mut b = DynamicEnvironment::builder(base).seed(seed);
+                if let Some(m) = c.mobility {
+                    b = b.mobility(waypoints(m, seed)?);
+                }
+                if let Some(d) = c.diurnal {
+                    b = b.bandwidth(BandwidthProfile::Diurnal {
+                        period_rounds: d.period_rounds,
+                        trough_frac: d.trough_frac,
+                    });
+                } else if let Some(s) = c.congestion {
+                    b = b.bandwidth(BandwidthProfile::Spikes {
+                        probability: s.probability,
+                        frac: s.frac,
+                    });
+                }
+                if let Some(s) = c.stragglers {
+                    b = b.stragglers(StragglerInjector {
+                        probability: s.probability,
+                        slowdown: s.slowdown,
+                    });
+                }
+                if let Some(d) = c.dropouts {
+                    b = b.dropouts(DropoutInjector {
+                        probability: d.probability,
+                    });
+                }
+                Ok(Box::new(b.build()?))
+            }
+        }
+    }
+}
+
+fn waypoints(m: MobilitySpec, seed: u64) -> Result<RandomWaypoint> {
+    if m.min_m <= 0.0 || m.max_m < m.min_m {
+        return Err(crate::WirelessError::Config(format!(
+            "mobility annulus must satisfy 0 < min_m ≤ max_m, got [{}, {}]",
+            m.min_m, m.max_m
+        )));
+    }
+    if m.epoch_rounds == 0 {
+        return Err(crate::WirelessError::Config(
+            "mobility epoch_rounds must be ≥ 1".into(),
+        ));
+    }
+    Ok(RandomWaypoint {
+        min_m: m.min_m,
+        max_m: m.max_m,
+        epoch_rounds: m.epoch_rounds,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bytes, Hertz};
+
+    fn base() -> LatencyModel {
+        LatencyModel::builder().clients(3).seed(2).build().unwrap()
+    }
+
+    #[test]
+    fn presets_cover_every_axis_once() {
+        let presets = Scenario::presets();
+        assert_eq!(presets.len(), 6);
+        let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "static",
+                "mobility",
+                "diurnal",
+                "congested",
+                "stragglers",
+                "dropouts"
+            ]
+        );
+        for name in names {
+            assert_eq!(Scenario::preset(name).unwrap().name(), name);
+        }
+        assert!(Scenario::preset("nope").is_none());
+    }
+
+    #[test]
+    fn every_preset_builds_and_answers_queries() {
+        for scenario in Scenario::presets() {
+            let env = scenario.build(base(), 7).unwrap();
+            let share = Hertz::from_mhz(1.0);
+            for round in 0..4u64 {
+                let t = env
+                    .uplink_time(0, Bytes::new(10_000), round, share)
+                    .unwrap();
+                assert!(t.as_secs_f64() > 0.0, "{}", scenario.name());
+                let cond = env.conditions(round).unwrap();
+                assert_eq!(cond.clients.len(), 3, "{}", scenario.name());
+            }
+        }
+    }
+
+    #[test]
+    fn static_build_is_static_environment() {
+        let env = Scenario::Static.build(base(), 0).unwrap();
+        assert_eq!(env.total_bandwidth(0), env.total_bandwidth(99));
+        assert_eq!(env.distance(0, 0).unwrap(), env.distance(0, 99).unwrap());
+    }
+
+    #[test]
+    fn composite_combines_axes() {
+        let scenario = Scenario::Composite(CompositeSpec {
+            mobility: Some(MobilitySpec::default()),
+            diurnal: Some(DiurnalSpec {
+                period_rounds: 10,
+                trough_frac: 0.5,
+            }),
+            congestion: None,
+            stragglers: Some(StragglerSpec {
+                probability: 1.0,
+                slowdown: 2.0,
+            }),
+            dropouts: None,
+        });
+        let env = scenario.build(base(), 3).unwrap();
+        assert!(env.total_bandwidth(5).as_hz() < env.total_bandwidth(0).as_hz());
+        assert_ne!(env.distance(0, 0).unwrap(), env.distance(0, 7).unwrap());
+        let slow = env.client_compute(0, 1_000_000_000, 0).unwrap();
+        let fast = StaticEnvironment::new(base())
+            .client_compute(0, 1_000_000_000, 0)
+            .unwrap();
+        assert!(slow.as_secs_f64() > fast.as_secs_f64());
+    }
+
+    #[test]
+    fn scenario_serializes_and_round_trips() {
+        for scenario in Scenario::presets() {
+            let json = serde_json::to_string(&scenario).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, scenario, "{json}");
+        }
+        let composite = Scenario::Composite(CompositeSpec {
+            stragglers: Some(StragglerSpec::default()),
+            ..CompositeSpec::default()
+        });
+        let json = serde_json::to_string(&composite).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, composite);
+    }
+
+    #[test]
+    fn mobility_parameters_validated_at_build() {
+        let inverted = Scenario::Mobility(MobilitySpec {
+            min_m: 200.0,
+            max_m: 20.0,
+            epoch_rounds: 10,
+        });
+        assert!(inverted.build(base(), 0).is_err());
+        let zero_epoch = Scenario::Mobility(MobilitySpec {
+            epoch_rounds: 0,
+            ..MobilitySpec::default()
+        });
+        assert!(zero_epoch.build(base(), 0).is_err());
+    }
+
+    #[test]
+    fn composite_rejects_conflicting_bandwidth_overlays() {
+        let conflicting = Scenario::Composite(CompositeSpec {
+            diurnal: Some(DiurnalSpec::default()),
+            congestion: Some(CongestionSpec::default()),
+            ..CompositeSpec::default()
+        });
+        assert!(conflicting.build(base(), 0).is_err());
+    }
+
+    #[test]
+    fn bad_parameters_rejected_at_build() {
+        let bad = Scenario::Stragglers(StragglerSpec {
+            probability: 2.0,
+            slowdown: 2.0,
+        });
+        assert!(bad.build(base(), 0).is_err());
+        let bad = Scenario::Diurnal(DiurnalSpec {
+            period_rounds: 5,
+            trough_frac: -0.5,
+        });
+        assert!(bad.build(base(), 0).is_err());
+    }
+}

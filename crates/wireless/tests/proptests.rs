@@ -1,6 +1,7 @@
 //! Property-based tests for the wireless substrate.
 
 use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
+use gsfl_wireless::environment::{ChannelModel, DynamicEnvironment, StaticEnvironment};
 use gsfl_wireless::latency::LatencyModel;
 use gsfl_wireless::link::LinkBudget;
 use gsfl_wireless::pathloss::PathLoss;
@@ -99,6 +100,67 @@ proptest! {
             .build()
             .unwrap();
         prop_assert_eq!(again.uplink_time(0, Bytes::new(payload), 0).unwrap(), t_near);
+    }
+
+    #[test]
+    fn static_environment_is_query_identical_to_the_model(
+        seed in 0u64..200,
+        clients in 1usize..8,
+        payload in 1u64..2_000_000,
+        round in 0u64..100,
+        share_mhz in 0.1f64..10.0,
+        flops in 1u64..1_000_000_000,
+    ) {
+        // The trait path must be bit-for-bit the concrete model: this is
+        // what makes Scenario::Static provably behavior-preserving.
+        let model = LatencyModel::builder().clients(clients).seed(seed).build().unwrap();
+        let env = StaticEnvironment::new(model.clone());
+        let share = Hertz::from_mhz(share_mhz);
+        let payload = Bytes::new(payload);
+        for c in 0..clients {
+            prop_assert_eq!(
+                env.uplink_time(c, payload, round, share).unwrap(),
+                model.uplink_time_with(c, payload, round, share).unwrap()
+            );
+            prop_assert_eq!(
+                env.downlink_time(c, payload, round, share).unwrap(),
+                model.downlink_time_with(c, payload, round, share).unwrap()
+            );
+            prop_assert_eq!(
+                env.uplink_rate_bps(c, round, share).unwrap(),
+                model.uplink_rate_bps(c, round, share).unwrap()
+            );
+            prop_assert_eq!(
+                env.client_compute(c, flops, round).unwrap(),
+                model.client_compute(c, flops).unwrap()
+            );
+            prop_assert_eq!(env.distance(c, round).unwrap(), model.distance(c).unwrap());
+            prop_assert!(env.is_available(c, round));
+        }
+        prop_assert_eq!(env.total_bandwidth(round), model.total_bandwidth());
+        prop_assert_eq!(env.server_compute(flops), model.server_compute(flops));
+    }
+
+    #[test]
+    fn overlay_free_dynamic_environment_matches_static(
+        seed in 0u64..100,
+        payload in 1u64..1_000_000,
+        round in 0u64..50,
+    ) {
+        let model = LatencyModel::builder().clients(3).seed(seed).build().unwrap();
+        let st = StaticEnvironment::new(model.clone());
+        let dy = DynamicEnvironment::builder(model).seed(seed).build().unwrap();
+        let share = Hertz::from_mhz(1.5);
+        for c in 0..3 {
+            prop_assert_eq!(
+                dy.uplink_time(c, Bytes::new(payload), round, share).unwrap(),
+                st.uplink_time(c, Bytes::new(payload), round, share).unwrap()
+            );
+            prop_assert_eq!(
+                dy.conditions(round).unwrap(),
+                st.conditions(round).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,11 @@ use gsfl::core::latency::{gsfl_round, ChannelMode, SplitCosts};
 use gsfl::nn::model::{CutPoint, DeepThin};
 use gsfl::nn::split::SplitNetwork;
 use gsfl::wireless::allocation::BandwidthPolicy;
+use gsfl::wireless::environment::StaticEnvironment;
 use gsfl::wireless::latency::LatencyModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = LatencyModel::builder().clients(30).seed(11).build()?;
+    let model = StaticEnvironment::new(LatencyModel::builder().clients(30).seed(11).build()?);
     let groups: Vec<Vec<usize>> = (0..6)
         .map(|g| (0..30).filter(|c| c % 6 == g).collect())
         .collect();

@@ -59,6 +59,32 @@
 //! # }
 //! ```
 //!
+//! # Wireless scenarios
+//!
+//! The wireless layer is pluggable behind
+//! [`wireless::environment::ChannelModel`]: the default
+//! [`wireless::Scenario::Static`] environment reproduces the paper's
+//! fixed network, and the time-varying presets (`mobility`, `diurnal`,
+//! `congested`, `stragglers`, `dropouts`) inject per-round dynamics —
+//! see `examples/scenario_sweep.rs` for a full scheme-ranking sweep:
+//!
+//! ```no_run
+//! use gsfl::core::config::ExperimentConfig;
+//! use gsfl::core::runner::Runner;
+//! use gsfl::core::scheme::SchemeKind;
+//! use gsfl::wireless::Scenario;
+//!
+//! # fn main() -> Result<(), gsfl::core::CoreError> {
+//! let config = ExperimentConfig::builder()
+//!     .clients(30)
+//!     .groups(6)
+//!     .scenario(Scenario::preset("diurnal").expect("built-in"))
+//!     .build()?;
+//! let result = Runner::new(config)?.run(SchemeKind::Gsfl)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries that regenerate every figure of the paper.
 

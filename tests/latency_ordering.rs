@@ -6,22 +6,25 @@ use gsfl::core::latency::{gsfl_round, sl_round, ChannelMode, SplitCosts};
 use gsfl::nn::model::Mlp;
 use gsfl::wireless::allocation::BandwidthPolicy;
 use gsfl::wireless::device::DeviceProfile;
+use gsfl::wireless::environment::StaticEnvironment;
 use gsfl::wireless::latency::LatencyModel;
 use gsfl::wireless::server::EdgeServer;
 use gsfl::wireless::units::{FlopsRate, Meters};
 
-fn homogeneous_model(clients: usize, slots: usize) -> LatencyModel {
-    LatencyModel::builder()
-        .clients(clients)
-        .fading(false)
-        .fixed_distances(vec![Meters::new(60.0); clients])
-        .fixed_devices(vec![
-            DeviceProfile::new(FlopsRate::from_gflops(0.5)).unwrap();
-            clients
-        ])
-        .server(EdgeServer::new(FlopsRate::from_gflops(50.0), slots).unwrap())
-        .build()
-        .unwrap()
+fn homogeneous_model(clients: usize, slots: usize) -> StaticEnvironment {
+    StaticEnvironment::new(
+        LatencyModel::builder()
+            .clients(clients)
+            .fading(false)
+            .fixed_distances(vec![Meters::new(60.0); clients])
+            .fixed_devices(vec![
+                DeviceProfile::new(FlopsRate::from_gflops(0.5)).unwrap();
+                clients
+            ])
+            .server(EdgeServer::new(FlopsRate::from_gflops(50.0), slots).unwrap())
+            .build()
+            .unwrap(),
+    )
 }
 
 fn costs() -> SplitCosts {
