@@ -1,0 +1,32 @@
+//! Benchmarks of FedAvg aggregation — the per-round server-side cost
+//! that grows with the number of groups/clients. Ported from the dead
+//! criterion sources in `benches/aggregation.rs`.
+
+use super::Suite;
+use gsfl_nn::model::Mlp;
+use gsfl_nn::params::{fed_avg, ParamVec};
+use std::hint::black_box;
+
+/// Registers the aggregation benches on `suite`.
+pub fn register(suite: &mut Suite) {
+    let dim = 50_000usize; // ≈ the harness CNN's parameter count
+    for replicas in [2usize, 6, 30] {
+        let models: Vec<ParamVec> = (0..replicas)
+            .map(|r| ParamVec::from_values((0..dim).map(|i| ((i + r) as f32).sin()).collect()))
+            .collect();
+        let weights = vec![1.0f64; replicas];
+        suite.run(format!("fed_avg_replicas_{replicas}"), 50, || {
+            black_box(fed_avg(black_box(&models), black_box(&weights)).unwrap());
+        });
+    }
+
+    let net = Mlp::new(768, &[128, 64], 43, 0).into_sequential();
+    suite.run("paramvec_snapshot", 200, || {
+        black_box(ParamVec::from_network(black_box(&net)));
+    });
+    let snap = ParamVec::from_network(&net);
+    let mut target = Mlp::new(768, &[128, 64], 43, 1).into_sequential();
+    suite.run("paramvec_load", 200, || {
+        snap.load_into(black_box(&mut target)).unwrap();
+    });
+}

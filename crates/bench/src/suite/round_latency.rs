@@ -1,0 +1,70 @@
+//! Benchmarks of the latency calculators themselves — the closed forms
+//! and the discrete-event simulation that price every round of
+//! Fig. 2(b). Ported from the dead criterion sources in
+//! `benches/round_latency.rs` and updated to the `ChannelModel` trait
+//! the calculators consume since the environment redesign.
+
+use super::Suite;
+use gsfl_core::latency::{fl_round, gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_nn::model::Mlp;
+use gsfl_wireless::allocation::BandwidthPolicy;
+use gsfl_wireless::environment::{ChannelModel, StaticEnvironment};
+use gsfl_wireless::latency::LatencyModel;
+use std::hint::black_box;
+
+fn fixture(clients: usize) -> (StaticEnvironment, SplitCosts, Vec<usize>) {
+    let latency = LatencyModel::builder()
+        .clients(clients)
+        .seed(7)
+        .build()
+        .unwrap();
+    let net = Mlp::new(768, &[128, 64], 43, 0).into_sequential();
+    let costs = SplitCosts::compute(&net, 2, &[768], 16).unwrap();
+    let steps = vec![5usize; clients];
+    (StaticEnvironment::new(latency), costs, steps)
+}
+
+/// Registers the round-latency benches on `suite`.
+pub fn register(suite: &mut Suite) {
+    let (env, costs, steps) = fixture(30);
+    let env: &dyn ChannelModel = &env;
+    let order: Vec<usize> = (0..30).collect();
+
+    suite.run("sl_round_closed_form_30c", 400, || {
+        black_box(
+            sl_round(
+                black_box(env),
+                &costs,
+                &steps,
+                &order,
+                ChannelMode::Dedicated,
+                3,
+            )
+            .unwrap(),
+        );
+    });
+
+    suite.run("fl_round_closed_form_30c", 400, || {
+        black_box(fl_round(black_box(env), &costs, &steps, 1, 3).unwrap());
+    });
+
+    for m in [1usize, 6, 30] {
+        let groups: Vec<Vec<usize>> = (0..m)
+            .map(|g| (0..30).filter(|c| c % m == g).collect())
+            .collect();
+        suite.run(format!("gsfl_round_des_groups_{m}"), 200, || {
+            black_box(
+                gsfl_round(
+                    black_box(env),
+                    &costs,
+                    &steps,
+                    &groups,
+                    BandwidthPolicy::Equal,
+                    ChannelMode::Dedicated,
+                    3,
+                )
+                .unwrap(),
+            );
+        });
+    }
+}

@@ -225,6 +225,14 @@ pub struct ExperimentConfig {
     /// Per-round probability that a client is reachable and participates
     /// (1.0 = always available; lower values inject churn/failures).
     pub availability: f64,
+    /// Host threads used to train independent clients/groups in parallel
+    /// inside a round. `None` (default) draws from the shared
+    /// process-wide budget (`GSFL_THREADS` env var or the machine's
+    /// available parallelism); `Some(n)` forces exactly `n`. Results are
+    /// bit-identical for every setting — work is partitioned at fixed
+    /// boundaries and aggregated in fixed order.
+    #[serde(default)]
+    pub client_threads: Option<usize>,
     /// Master experiment seed.
     pub seed: u64,
 }
@@ -254,6 +262,7 @@ impl ExperimentConfig {
                 eval_every: 2,
                 target_accuracy: None,
                 availability: 1.0,
+                client_threads: None,
                 seed: 0,
             },
         }
@@ -476,6 +485,13 @@ impl ExperimentConfigBuilder {
     /// Sets the per-round client availability probability.
     pub fn availability(mut self, p: f64) -> Self {
         self.config.availability = p;
+        self
+    }
+
+    /// Forces the in-round client/group parallelism to exactly `n` host
+    /// threads (see [`ExperimentConfig::client_threads`]).
+    pub fn client_threads(mut self, n: usize) -> Self {
+        self.config.client_threads = Some(n.max(1));
         self
     }
 

@@ -122,6 +122,7 @@ pub mod config;
 pub mod context;
 pub mod grouping;
 pub mod latency;
+pub(crate) mod parallel;
 pub mod results;
 pub mod runner;
 pub mod scheme;

@@ -16,7 +16,7 @@ use crate::context::TrainContext;
 use crate::results::{RoundRecord, RunResult};
 use crate::scheme::{eval_params, should_eval, Recorder, Scheme, SchemeKind};
 use crate::stop::{NeverStop, StopPolicy, StopReason, TargetAccuracy};
-use crate::{CoreError, Result};
+use crate::Result;
 use gsfl_nn::Sequential;
 use std::collections::VecDeque;
 
@@ -116,34 +116,26 @@ impl Runner {
         self.session(kind)?.run_to_end()
     }
 
-    /// Runs several schemes concurrently (one host thread each; every
-    /// scheme shares the immutable context), returning results in the
-    /// order of `kinds`. Records are identical to sequential runs — each
-    /// scheme's training is independent and internally deterministic.
-    /// `wall_clock_s`, however, measures real elapsed host time while the
-    /// schemes contend for cores, so it is not comparable to a solo run's.
+    /// Runs several schemes concurrently (sharing the immutable context),
+    /// returning results in the order of `kinds`. The fan-out is clamped
+    /// through the shared thread budget (see
+    /// [`gsfl_tensor::threading`]), so stacking `run_many` on top of
+    /// per-round client/group parallelism cannot oversubscribe the host.
+    /// Records are identical to sequential runs — each scheme's training
+    /// is independent and internally deterministic. `wall_clock_s`,
+    /// however, measures real elapsed host time while the schemes
+    /// contend for cores, so it is not comparable to a solo run's.
     ///
     /// # Errors
     ///
     /// Propagates the first scheme failure, in `kinds` order.
     pub fn run_many(&self, kinds: &[SchemeKind]) -> Result<Vec<RunResult>> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = kinds
-                .iter()
-                .map(|&kind| scope.spawn(move || self.run(kind)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|payload| {
-                        Err(CoreError::Config(format!(
-                            "scheme thread panicked: {}",
-                            panic_message(&payload)
-                        )))
-                    })
-                })
-                .collect()
-        })
+        // Scheme-level fan-out always draws from the shared budget;
+        // `client_threads` governs only the *in-round* parallelism, so
+        // honoring it here too would apply the override at two nesting
+        // levels at once and oversubscribe.
+        let grant = gsfl_tensor::threading::request_threads(kinds.len());
+        crate::parallel::run_indexed(kinds.len(), grant.threads(), |i| self.run(kinds[i]))
     }
 }
 

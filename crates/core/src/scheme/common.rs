@@ -68,9 +68,15 @@ pub(crate) fn split_train_epoch(
         let logits = split.server.forward(&smashed)?;
         let out = loss_fn.compute(&logits, &batch.labels)?;
         let grad_smashed = split.server.backward(&out.grad_logits)?;
-        split.client.backward(&grad_smashed)?;
+        split.client.backward_no_input_grad(&grad_smashed)?;
         server_opt.step(&mut split.server.params_mut())?;
         client_opt.step(&mut split.client.params_mut())?;
+        // Hand dead activations/gradients back to the workspace that
+        // produced them so the steady-state step allocates nothing.
+        split.client.recycle(smashed);
+        split.server.recycle(logits);
+        split.server.recycle(grad_smashed);
+        split.server.recycle(out.grad_logits);
         loss_sum += out.loss as f64;
         steps += 1;
     }
@@ -92,8 +98,10 @@ pub(crate) fn full_train_epoch(
         net.zero_grad();
         let logits = net.forward(&batch.images)?;
         let out = loss_fn.compute(&logits, &batch.labels)?;
-        net.backward(&out.grad_logits)?;
+        net.backward_no_input_grad(&out.grad_logits)?;
         opt.step(&mut net.params_mut())?;
+        net.recycle(logits);
+        net.recycle(out.grad_logits);
         loss_sum += out.loss as f64;
         steps += 1;
     }

@@ -5,6 +5,7 @@ use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::fl_round;
+use crate::parallel::{round_fanout, run_indexed};
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::Sequential;
@@ -13,6 +14,12 @@ use gsfl_nn::Sequential;
 /// model, trains `local_epochs` on its shard, uploads; the AP
 /// FedAvg-aggregates weighted by shard size. Round latency is
 /// straggler-bound with equal bandwidth shares.
+///
+/// Clients are independent inside a round, so they really train on
+/// parallel host threads (budgeted by
+/// [`crate::config::ExperimentConfig::client_threads`] /
+/// `GSFL_THREADS`); aggregation order is fixed, making records
+/// byte-identical to a sequential run.
 #[derive(Debug, Default)]
 pub struct Federated {
     state: Option<State>,
@@ -55,15 +62,21 @@ impl Scheme for Federated {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
         let participants = ctx.available_clients(round as u64);
-        let mut snapshots = Vec::with_capacity(participants.len());
-        let mut weights = Vec::with_capacity(participants.len());
-        let mut loss_sum = 0.0f64;
-        let mut step_sum = 0usize;
-        for &c in &participants {
-            let mut local = state.template.clone();
-            state.global.load_into(&mut local)?;
+
+        // Independent clients train on parallel host threads; results
+        // come back in participant order and are aggregated in that fixed
+        // order, so records are byte-identical to the sequential path.
+        let (threads, _grant) = round_fanout(cfg, participants.len());
+        let template = &state.template;
+        let global = &state.global;
+        let passes = run_indexed(participants.len(), threads, |idx| {
+            let c = participants[idx];
+            let mut local = template.clone();
+            global.load_into(&mut local)?;
             let mut opt = make_opt(cfg);
             let batcher = make_batcher(cfg, c)?;
+            let mut loss_sum = 0.0f64;
+            let mut step_sum = 0usize;
             for e in 0..cfg.local_epochs {
                 let (l, s) = full_train_epoch(
                     &mut local,
@@ -75,8 +88,22 @@ impl Scheme for Federated {
                 loss_sum += l;
                 step_sum += s;
             }
-            snapshots.push(ParamVec::from_network(&local));
-            weights.push(ctx.train_shards[c].len() as f64);
+            Ok((
+                ParamVec::from_network(&local),
+                ctx.train_shards[c].len() as f64,
+                loss_sum,
+                step_sum,
+            ))
+        })?;
+        let mut snapshots = Vec::with_capacity(passes.len());
+        let mut weights = Vec::with_capacity(passes.len());
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for (snap, weight, l, s) in passes {
+            snapshots.push(snap);
+            weights.push(weight);
+            loss_sum += l;
+            step_sum += s;
         }
         state.global = aggregate_snapshots(&snapshots, &weights)?;
 

@@ -7,7 +7,8 @@ use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::gsfl_round;
-use crate::{CoreError, Result};
+use crate::parallel::{round_fanout, run_indexed};
+use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
 
@@ -28,9 +29,11 @@ struct GroupPass {
 /// and M server-side models (weighted by group sample counts) into the
 /// next round's global halves.
 ///
-/// Group training really runs on parallel host threads
-/// (`std::thread::scope`); results are deterministic because each group's
-/// work is independent and aggregation order is fixed.
+/// Group training really runs on parallel host threads, clamped through
+/// the shared [`gsfl_tensor::threading`] budget (or forced by
+/// [`crate::config::ExperimentConfig::client_threads`]); results are
+/// deterministic because each group's work is independent and
+/// aggregation order is fixed.
 #[derive(Debug, Default)]
 pub struct Gsfl {
     state: Option<State>,
@@ -132,7 +135,8 @@ impl Scheme for Gsfl {
     }
 }
 
-/// Trains every group for one round on its own host thread.
+/// Trains every group for one round, fanning groups out over the
+/// thread-budgeted host parallelism in fixed group order.
 fn run_groups_parallel(
     ctx: &TrainContext,
     groups: &[Vec<usize>],
@@ -141,54 +145,38 @@ fn run_groups_parallel(
     global_server: &ParamVec,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .iter()
-            .map(|members| {
-                let mut replica = template.clone();
-                scope.spawn(move || -> Result<GroupPass> {
-                    global_client.load_into(&mut replica.client)?;
-                    global_server.load_into(&mut replica.server)?;
-                    let cfg = &ctx.config;
-                    let mut client_opt = make_opt(cfg);
-                    let mut server_opt = make_opt(cfg);
-                    let mut loss_sum = 0.0f64;
-                    let mut step_sum = 0usize;
-                    let mut samples = 0usize;
-                    for &c in members {
-                        let batcher = make_batcher(cfg, c)?;
-                        let (l, s) = split_train_epoch(
-                            &mut replica,
-                            &mut client_opt,
-                            &mut server_opt,
-                            &ctx.train_shards[c],
-                            &batcher,
-                            round,
-                        )?;
-                        loss_sum += l;
-                        step_sum += s;
-                        samples += ctx.train_shards[c].len();
-                    }
-                    Ok(GroupPass {
-                        client_params: ParamVec::from_network(&replica.client),
-                        server_params: ParamVec::from_network(&replica.server),
-                        loss_sum,
-                        steps: step_sum,
-                        samples,
-                    })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|payload| {
-                    Err(CoreError::Config(format!(
-                        "group thread panicked: {}",
-                        crate::runner::panic_message(&payload)
-                    )))
-                })
-            })
-            .collect()
+    let (threads, _grant) = round_fanout(&ctx.config, groups.len());
+    run_indexed(groups.len(), threads, |idx| {
+        let members = &groups[idx];
+        let mut replica = template.clone();
+        global_client.load_into(&mut replica.client)?;
+        global_server.load_into(&mut replica.server)?;
+        let cfg = &ctx.config;
+        let mut client_opt = make_opt(cfg);
+        let mut server_opt = make_opt(cfg);
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        let mut samples = 0usize;
+        for &c in members {
+            let batcher = make_batcher(cfg, c)?;
+            let (l, s) = split_train_epoch(
+                &mut replica,
+                &mut client_opt,
+                &mut server_opt,
+                &ctx.train_shards[c],
+                &batcher,
+                round,
+            )?;
+            loss_sum += l;
+            step_sum += s;
+            samples += ctx.train_shards[c].len();
+        }
+        Ok(GroupPass {
+            client_params: ParamVec::from_network(&replica.client),
+            server_params: ParamVec::from_network(&replica.server),
+            loss_sum,
+            steps: step_sum,
+            samples,
+        })
     })
 }

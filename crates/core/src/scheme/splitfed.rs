@@ -8,6 +8,7 @@ use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
 use crate::latency::gsfl_round;
+use crate::parallel::{round_fanout, run_indexed};
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
@@ -64,15 +65,20 @@ impl Scheme for SplitFed {
         let cfg = &ctx.config;
         let participants = ctx.available_clients(round as u64);
         let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
-        let mut client_snaps = Vec::with_capacity(participants.len());
-        let mut server_snaps = Vec::with_capacity(participants.len());
-        let mut weights = Vec::with_capacity(participants.len());
-        let mut loss_sum = 0.0f64;
-        let mut step_sum = 0usize;
-        for &c in &participants {
-            let mut replica = state.template.clone();
-            state.global_client.load_into(&mut replica.client)?;
-            state.global_server.load_into(&mut replica.server)?;
+
+        // SplitFed's whole point is that clients train concurrently
+        // against their own server-side replicas — so run them on
+        // parallel host threads, collecting in fixed participant order
+        // (byte-identical to the sequential path).
+        let (threads, _grant) = round_fanout(cfg, participants.len());
+        let template = &state.template;
+        let global_client = &state.global_client;
+        let global_server = &state.global_server;
+        let passes = run_indexed(participants.len(), threads, |idx| {
+            let c = participants[idx];
+            let mut replica = template.clone();
+            global_client.load_into(&mut replica.client)?;
+            global_server.load_into(&mut replica.server)?;
             let mut client_opt = make_opt(cfg);
             let mut server_opt = make_opt(cfg);
             let batcher = make_batcher(cfg, c)?;
@@ -84,11 +90,25 @@ impl Scheme for SplitFed {
                 &batcher,
                 round as u64,
             )?;
+            Ok((
+                ParamVec::from_network(&replica.client),
+                ParamVec::from_network(&replica.server),
+                ctx.train_shards[c].len() as f64,
+                l,
+                s,
+            ))
+        })?;
+        let mut client_snaps = Vec::with_capacity(passes.len());
+        let mut server_snaps = Vec::with_capacity(passes.len());
+        let mut weights = Vec::with_capacity(passes.len());
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for (client_snap, server_snap, weight, l, s) in passes {
+            client_snaps.push(client_snap);
+            server_snaps.push(server_snap);
+            weights.push(weight);
             loss_sum += l;
             step_sum += s;
-            client_snaps.push(ParamVec::from_network(&replica.client));
-            server_snaps.push(ParamVec::from_network(&replica.server));
-            weights.push(ctx.train_shards[c].len() as f64);
         }
         state.global_client = aggregate_snapshots(&client_snaps, &weights)?;
         state.global_server = aggregate_snapshots(&server_snaps, &weights)?;

@@ -2,7 +2,17 @@
 
 use crate::flops::LayerFlops;
 use crate::{Parameter, Result};
+use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
+
+/// Refreshes an activation cache slot from `src`, reusing the existing
+/// tensor's backing buffer when the slot is already populated.
+pub(crate) fn cache_tensor(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(t) => t.assign(src),
+        None => *slot = Some(src.clone()),
+    }
+}
 
 /// Whether a forward pass is for training (caches activations, applies
 /// dropout, uses batch statistics) or evaluation.
@@ -24,7 +34,9 @@ pub enum Mode {
 /// The trait is object-safe: networks are `Vec<Box<dyn Layer>>`, and
 /// [`Layer::clone_box`] supports duplicating whole networks when a scheme
 /// distributes models to clients or replicates server-side models per group.
-pub trait Layer: Send {
+/// Layers are plain owned data (`Send + Sync`), so shared network
+/// templates can be cloned from any worker thread.
+pub trait Layer: Send + Sync {
     /// Human-readable layer name (e.g. `"conv2d(3→16,3×3)"`).
     fn name(&self) -> String;
 
@@ -45,6 +57,43 @@ pub trait Layer: Send {
     /// forward activation exists, or a shape error when `grad_out` does not
     /// match the cached output shape.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// [`Layer::forward`] drawing scratch (and, where possible, the
+    /// output buffer) from a caller [`Workspace`]. Layers on the training
+    /// hot path override this; the default simply ignores the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::forward`].
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let _ = ws;
+        self.forward(input, mode)
+    }
+
+    /// [`Layer::backward`] drawing scratch from a caller [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward`].
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let _ = ws;
+        self.backward(grad_out)
+    }
+
+    /// [`Layer::backward_ws`] for a network's **first** layer, whose
+    /// input gradient nothing consumes: accumulates parameter gradients
+    /// but may skip computing the input gradient entirely. The default
+    /// just discards it; layers whose input gradient is expensive
+    /// (dense, conv) override this with a real skip.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward`].
+    fn backward_ws_last(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<()> {
+        let g = self.backward_ws(grad_out, ws)?;
+        ws.recycle(g);
+        Ok(())
+    }
 
     /// Immutable views of the layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Parameter>;

@@ -1,6 +1,7 @@
 use crate::flops::LayerFlops;
-use crate::layer::{Layer, Mode};
+use crate::layer::{cache_tensor, Layer, Mode};
 use crate::{NnError, Parameter, Result};
+use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
 
 /// Builds a parameter-free elementwise activation layer type.
@@ -30,16 +31,34 @@ macro_rules! elementwise_activation {
             }
 
             fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-                let out = input.map(|$x| $fwd);
-                if mode == Mode::Train {
-                    // Cache the *input* (ReLU family) — the closures below
-                    // decide what they need.
-                    self.cached = Some(input.clone());
-                }
-                Ok(out)
+                let mut ws = Workspace::new();
+                self.forward_ws(input, mode, &mut ws)
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+                let mut ws = Workspace::new();
+                self.backward_ws(grad_out, &mut ws)
+            }
+
+            fn forward_ws(
+                &mut self,
+                input: &Tensor,
+                mode: Mode,
+                ws: &mut Workspace,
+            ) -> Result<Tensor> {
+                let mut out = ws.take(input.numel());
+                for (o, &$x) in out.iter_mut().zip(input.data()) {
+                    *o = $fwd;
+                }
+                if mode == Mode::Train {
+                    // Cache the *input* (ReLU family) — the closures below
+                    // decide what they need.
+                    cache_tensor(&mut self.cached, input);
+                }
+                Ok(Tensor::from_vec(out, input.dims())?)
+            }
+
+            fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
                 let $cached = self
                     .cached
                     .as_ref()
@@ -52,11 +71,15 @@ macro_rules! elementwise_activation {
                         $cached.dims()
                     )));
                 }
-                let mut out = grad_out.clone();
-                for (g, &$y) in out.data_mut().iter_mut().zip($cached.data()) {
-                    *g *= $bwd;
+                let mut out = ws.take(grad_out.numel());
+                for ((o, &g), &$y) in out
+                    .iter_mut()
+                    .zip(grad_out.data())
+                    .zip($cached.data())
+                {
+                    *o = g * $bwd;
                 }
-                Ok(out)
+                Ok(Tensor::from_vec(out, grad_out.dims())?)
             }
 
             fn params(&self) -> Vec<&Parameter> {
@@ -135,23 +158,37 @@ impl Layer for Sigmoid {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let mut out = ws.take(input.numel());
+        for (o, &x) in out.iter_mut().zip(input.data()) {
+            *o = 1.0 / (1.0 + (-x).exp());
+        }
+        let out = Tensor::from_vec(out, input.dims())?;
         if mode == Mode::Train {
-            self.cached_output = Some(out.clone());
+            cache_tensor(&mut self.cached_output, &out);
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let y = self
             .cached_output
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        let mut out = grad_out.clone();
-        for (g, &s) in out.data_mut().iter_mut().zip(y.data()) {
-            *g *= s * (1.0 - s);
+        let mut out = ws.take(grad_out.numel());
+        for ((o, &g), &s) in out.iter_mut().zip(grad_out.data()).zip(y.data()) {
+            *o = g * (s * (1.0 - s));
         }
-        Ok(out)
+        Ok(Tensor::from_vec(out, grad_out.dims())?)
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -202,23 +239,37 @@ impl Layer for Tanh {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.map(f32::tanh);
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let mut out = ws.take(input.numel());
+        for (o, &x) in out.iter_mut().zip(input.data()) {
+            *o = x.tanh();
+        }
+        let out = Tensor::from_vec(out, input.dims())?;
         if mode == Mode::Train {
-            self.cached_output = Some(out.clone());
+            cache_tensor(&mut self.cached_output, &out);
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let y = self
             .cached_output
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        let mut out = grad_out.clone();
-        for (g, &t) in out.data_mut().iter_mut().zip(y.data()) {
-            *g *= 1.0 - t * t;
+        let mut out = ws.take(grad_out.numel());
+        for ((o, &g), &t) in out.iter_mut().zip(grad_out.data()).zip(y.data()) {
+            *o = g * (1.0 - t * t);
         }
-        Ok(out)
+        Ok(Tensor::from_vec(out, grad_out.dims())?)
     }
 
     fn params(&self) -> Vec<&Parameter> {

@@ -1,10 +1,14 @@
 use crate::flops::LayerFlops;
-use crate::layer::{Layer, Mode};
+use crate::layer::{cache_tensor, Layer, Mode};
 use crate::{NnError, Parameter, Result};
-use gsfl_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeom};
+use gsfl_tensor::conv::{
+    conv2d_backward_from_cols, conv2d_backward_params_from_cols, conv2d_backward_ws,
+    conv2d_forward_ws, conv2d_forward_ws_cols, ConvGeom,
+};
 use gsfl_tensor::init::Init;
 use gsfl_tensor::rng::seeded_rng;
-use gsfl_tensor::Tensor;
+use gsfl_tensor::workspace::Workspace;
+use gsfl_tensor::{kernel_mode, KernelMode, Tensor};
 
 /// 2-D convolution layer over NCHW batches.
 ///
@@ -31,7 +35,14 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    /// Training-mode input cache (reference-kernel path only — the fast
+    /// path caches the lowered column matrix instead).
     cached_input: Option<Tensor>,
+    /// Training-mode im2col cache: the forward pass's lowering is reused
+    /// verbatim by the backward pass.
+    cached_cols: Option<Tensor>,
+    /// Input dims matching `cached_cols`.
+    cached_dims: Option<Vec<usize>>,
 }
 
 impl Conv2d {
@@ -57,6 +68,8 @@ impl Conv2d {
             stride,
             pad,
             cached_input: None,
+            cached_cols: None,
+            cached_dims: None,
         }
     }
 
@@ -85,29 +98,105 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let y = conv2d_forward(
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if mode == Mode::Train && kernel_mode() == KernelMode::Fast {
+            // Fast path: keep the batch lowering for the backward pass.
+            let (y, cols) = conv2d_forward_ws_cols(
+                input,
+                self.weight.value(),
+                self.bias.value(),
+                self.stride,
+                self.pad,
+                ws,
+            )?;
+            if let Some(old) = self.cached_cols.take() {
+                ws.recycle(old);
+            }
+            self.cached_cols = Some(cols);
+            let dims = self.cached_dims.get_or_insert_with(Vec::new);
+            dims.clear();
+            dims.extend_from_slice(input.dims());
+            self.cached_input = None;
+            return Ok(y);
+        }
+        let y = conv2d_forward_ws(
             input,
             self.weight.value(),
             self.bias.value(),
             self.stride,
             self.pad,
+            ws,
         )?;
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            cache_tensor(&mut self.cached_input, input);
+            self.cached_cols = None;
         }
         Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        let (gx, gw, gb) =
-            conv2d_backward(input, self.weight.value(), grad_out, self.stride, self.pad)?;
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let (gx, gw, gb) = if let (Some(cols), Some(dims)) =
+            (self.cached_cols.as_ref(), self.cached_dims.as_ref())
+        {
+            conv2d_backward_from_cols(
+                dims,
+                cols,
+                self.weight.value(),
+                grad_out,
+                self.stride,
+                self.pad,
+                ws,
+            )?
+        } else {
+            let input = self
+                .cached_input
+                .as_ref()
+                .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
+            conv2d_backward_ws(
+                input,
+                self.weight.value(),
+                grad_out,
+                self.stride,
+                self.pad,
+                ws,
+            )?
+        };
         self.weight.grad_mut().add_assign_t(&gw)?;
         self.bias.grad_mut().add_assign_t(&gb)?;
+        ws.recycle(gw);
+        ws.recycle(gb);
         Ok(gx)
+    }
+
+    fn backward_ws_last(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<()> {
+        if let (Some(cols), Some(dims)) = (self.cached_cols.as_ref(), self.cached_dims.as_ref()) {
+            let (gw, gb) = conv2d_backward_params_from_cols(
+                dims,
+                cols,
+                self.weight.value(),
+                grad_out,
+                self.stride,
+                self.pad,
+                ws,
+            )?;
+            self.weight.grad_mut().add_assign_t(&gw)?;
+            self.bias.grad_mut().add_assign_t(&gb)?;
+            ws.recycle(gw);
+            ws.recycle(gb);
+            return Ok(());
+        }
+        let g = self.backward_ws(grad_out, ws)?;
+        ws.recycle(g);
+        Ok(())
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -142,6 +231,8 @@ impl Layer for Conv2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(Conv2d {
             cached_input: None,
+            cached_cols: None,
+            cached_dims: None,
             ..self.clone()
         })
     }

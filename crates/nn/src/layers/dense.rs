@@ -1,9 +1,10 @@
 use crate::flops::LayerFlops;
-use crate::layer::{Layer, Mode};
+use crate::layer::{cache_tensor, Layer, Mode};
 use crate::{NnError, Parameter, Result};
 use gsfl_tensor::init::Init;
-use gsfl_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use gsfl_tensor::matmul::{matmul_a_bt_ws, matmul_at_b_ws, matmul_ws};
 use gsfl_tensor::rng::seeded_rng;
+use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
 
 /// Fully connected layer: `y = x · Wᵀ + b` with `W: [out×in]`, `b: [out]`.
@@ -57,6 +58,34 @@ impl Dense {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Accumulates dW and db from `grad_out` (shared by the full and
+    /// input-gradient-skipping backward paths).
+    fn accumulate_param_grads(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<()> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: format!("dense({}→{})", self.in_features, self.out_features),
+            })?;
+        // dW = dYᵀ · X  → [out×n]·[n×in] = [out×in]
+        let dw = matmul_at_b_ws(grad_out, input, ws)?;
+        self.weight.grad_mut().add_assign_t(&dw)?;
+        ws.recycle(dw);
+        // db = Σ_rows dY
+        let (_, out) = grad_out.shape().as_matrix()?;
+        let mut db = ws.take_zeroed(out);
+        for row in grad_out.data().chunks_exact(out) {
+            for (d, &v) in db.iter_mut().zip(row) {
+                *d += v;
+            }
+        }
+        for (g, &d) in self.bias.grad_mut().data_mut().iter_mut().zip(&db) {
+            *g += d;
+        }
+        ws.give(db);
+        Ok(())
+    }
 }
 
 impl Layer for Dense {
@@ -65,35 +94,39 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         // y = x · Wᵀ : [n×in] · [out×in]ᵀ = [n×out]
-        let mut y = matmul_a_bt(input, self.weight.value())?;
-        let (n, out) = y.shape().as_matrix()?;
+        let mut y = matmul_a_bt_ws(input, self.weight.value(), ws)?;
+        let out = self.out_features;
         let b = self.bias.value().data();
-        let yd = y.data_mut();
-        for r in 0..n {
-            for c in 0..out {
-                yd[r * out + c] += b[c];
+        for row in y.data_mut().chunks_exact_mut(out) {
+            for (v, &bv) in row.iter_mut().zip(b) {
+                *v += bv;
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            cache_tensor(&mut self.cached_input, input);
         }
         Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        // dW = dYᵀ · X  → [out×n]·[n×in] = [out×in]
-        let dw = matmul_at_b(grad_out, input)?;
-        self.weight.grad_mut().add_assign_t(&dw)?;
-        // db = Σ_rows dY
-        let db = grad_out.sum_axis0()?;
-        self.bias.grad_mut().add_assign_t(&db)?;
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        self.accumulate_param_grads(grad_out, ws)?;
         // dX = dY · W → [n×out]·[out×in] = [n×in]
-        Ok(matmul(grad_out, self.weight.value())?)
+        Ok(matmul_ws(grad_out, self.weight.value(), ws)?)
+    }
+
+    fn backward_ws_last(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<()> {
+        self.accumulate_param_grads(grad_out, ws)
     }
 
     fn params(&self) -> Vec<&Parameter> {

@@ -2,8 +2,9 @@ use crate::flops::LayerFlops;
 use crate::layer::{Layer, Mode};
 use crate::{NnError, Parameter, Result};
 use gsfl_tensor::pool::{
-    avgpool2d_backward, avgpool2d_forward, maxpool2d_backward, maxpool2d_forward,
+    avgpool2d_backward_ws, avgpool2d_forward_ws, maxpool2d_backward_ws, maxpool2d_forward_ws,
 };
+use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
 
 /// Max-pooling layer over square windows.
@@ -26,7 +27,11 @@ use gsfl_tensor::Tensor;
 pub struct MaxPool2d {
     window: usize,
     stride: usize,
-    cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+    /// Argmax table of the last forward; reused across steps so the
+    /// steady-state training loop performs no allocation here.
+    argmax: Vec<usize>,
+    /// Input dims of the last [`Mode::Train`] forward (`None` until then).
+    cached_dims: Option<Vec<usize>>,
 }
 
 impl MaxPool2d {
@@ -35,7 +40,8 @@ impl MaxPool2d {
         MaxPool2d {
             window,
             stride,
-            cached: None,
+            argmax: Vec::new(),
+            cached_dims: None,
         }
     }
 }
@@ -46,19 +52,38 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = maxpool2d_forward(input, self.window, self.stride)?;
-        if mode == Mode::Train {
-            self.cached = Some((out.argmax, input.dims().to_vec()));
-        }
-        Ok(out.output)
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let (argmax, in_dims) = self
-            .cached
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let out = maxpool2d_forward_ws(input, self.window, self.stride, ws, &mut self.argmax)?;
+        self.cached_dims = if mode == Mode::Train {
+            match self.cached_dims.take() {
+                Some(mut dims) => {
+                    dims.clear();
+                    dims.extend_from_slice(input.dims());
+                    Some(dims)
+                }
+                None => Some(input.dims().to_vec()),
+            }
+        } else {
+            None
+        };
+        Ok(out)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let in_dims = self
+            .cached_dims
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        Ok(maxpool2d_backward(grad_out, argmax, in_dims)?)
+        Ok(maxpool2d_backward_ws(grad_out, &self.argmax, in_dims, ws)?)
     }
 
     fn params(&self) -> Vec<&Parameter> {
@@ -94,7 +119,8 @@ impl Layer for MaxPool2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(MaxPool2d {
-            cached: None,
+            argmax: Vec::new(),
+            cached_dims: None,
             ..self.clone()
         })
     }
@@ -125,23 +151,34 @@ impl Layer for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = avgpool2d_forward(input, self.window, self.stride)?;
+        let mut ws = Workspace::new();
+        self.forward_ws(input, mode, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let out = avgpool2d_forward_ws(input, self.window, self.stride, ws)?;
         if mode == Mode::Train {
             self.cached_input_dims = Some(input.dims().to_vec());
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
         let dims = self
             .cached_input_dims
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name() })?;
-        Ok(avgpool2d_backward(
+        Ok(avgpool2d_backward_ws(
             grad_out,
             dims,
             self.window,
             self.stride,
+            ws,
         )?)
     }
 

@@ -128,6 +128,10 @@ impl Sgd {
 
     /// Applies one update step using the accumulated gradients.
     ///
+    /// The whole update runs in place over the parameter, gradient and
+    /// velocity slices — no clones, no temporaries — so the momentum
+    /// buffers allocated at warm-up are the only state this ever holds.
+    ///
     /// # Errors
     ///
     /// Propagates tensor shape errors (which indicate the optimizer was
@@ -140,15 +144,60 @@ impl Sgd {
                 .map(|p| Tensor::zeros(p.value().dims()))
                 .collect();
         }
+        if gsfl_tensor::kernel_mode() == gsfl_tensor::KernelMode::Reference {
+            return self.step_legacy(params, lr);
+        }
         for (i, p) in params.iter_mut().enumerate() {
+            let (value, grad) = p.value_and_grad_mut();
             if self.weight_decay != 0.0 {
                 // grad ← grad + wd·w
+                for (g, &w) in grad.data_mut().iter_mut().zip(value.data()) {
+                    *g += self.weight_decay * w;
+                }
+            }
+            if self.momentum != 0.0 {
+                let v = &mut self.velocities[i];
+                if !v.shape().same_dims(grad.shape()) {
+                    return Err(gsfl_tensor::TensorError::ShapeMismatch {
+                        left: v.dims().to_vec(),
+                        right: grad.dims().to_vec(),
+                        op: "add_assign",
+                    }
+                    .into());
+                }
+                // v ← μ·v + g ; w ← w − lr·v
+                let momentum = self.momentum;
+                for ((ve, &g), w) in v
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(value.data_mut())
+                {
+                    *ve *= momentum;
+                    *ve += g;
+                    *w += -lr * *ve;
+                }
+            } else {
+                for (w, &g) in value.data_mut().iter_mut().zip(grad.data()) {
+                    *w += -lr * g;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-optimization update, preserved verbatim (clones per step)
+    /// so [`gsfl_tensor::KernelMode::Reference`] reconstructs the old
+    /// engine's cost for benchmark baselines. Computes the same values
+    /// as [`Sgd::step`].
+    fn step_legacy(&mut self, params: &mut [&mut Parameter], lr: f32) -> Result<()> {
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.weight_decay != 0.0 {
                 let wd_term = p.value().scale(self.weight_decay);
                 p.grad_mut().add_assign_t(&wd_term)?;
             }
             if self.momentum != 0.0 {
                 let v = &mut self.velocities[i];
-                // v ← μ·v + g ; w ← w − lr·v
                 v.scale_assign(self.momentum);
                 let grad = p.grad().clone();
                 v.add_assign_t(&grad)?;

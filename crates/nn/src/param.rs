@@ -49,6 +49,12 @@ impl Parameter {
         &mut self.grad
     }
 
+    /// Simultaneous mutable access to value and gradient (the optimizer
+    /// update reads the gradient while writing the value in one pass).
+    pub fn value_and_grad_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.value, &mut self.grad)
+    }
+
     /// Resets the gradient to zero.
     pub fn zero_grad(&mut self) {
         self.grad.zero();

@@ -1,6 +1,7 @@
 use crate::flops::LayerFlops;
 use crate::layer::{Layer, Mode};
 use crate::{NnError, Parameter, Result};
+use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
 
 /// A pipeline of layers executed in order.
@@ -34,6 +35,10 @@ use gsfl_tensor::Tensor;
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     mode: Mode,
+    /// Scratch pool shared by the layers: intermediate activations and
+    /// gradients are recycled here between layers, so a steady-state
+    /// training step performs no heap allocation inside the network.
+    ws: Workspace,
 }
 
 impl Clone for Sequential {
@@ -41,6 +46,7 @@ impl Clone for Sequential {
         Sequential {
             layers: self.layers.clone(),
             mode: self.mode,
+            ws: Workspace::new(),
         }
     }
 }
@@ -61,6 +67,7 @@ impl Sequential {
         Sequential {
             layers: Vec::new(),
             mode: Mode::Train,
+            ws: Workspace::new(),
         }
     }
 
@@ -101,33 +108,129 @@ impl Sequential {
         self.mode
     }
 
-    /// Runs the pipeline forward.
+    /// Runs the pipeline forward. Intermediate activations draw from (and
+    /// are recycled into) the network's internal [`Workspace`]; the
+    /// returned tensor owns a workspace buffer, which callers on the hot
+    /// path can hand back with [`Sequential::recycle`] once consumed.
     ///
     /// # Errors
     ///
     /// Propagates the first layer error (usually a shape mismatch).
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let mode = self.mode;
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, mode)?;
+        if gsfl_tensor::kernel_mode() == gsfl_tensor::KernelMode::Reference {
+            // Faithful pre-optimization engine for benchmark baselines:
+            // clone-per-layer, no buffer recycling.
+            let mut x = input.clone();
+            for layer in &mut self.layers {
+                x = layer.forward(&x, mode)?;
+            }
+            return Ok(x);
         }
-        Ok(x)
+        let mut x: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let y = match &x {
+                Some(t) => layer.forward_ws(t, mode, &mut self.ws)?,
+                None => layer.forward_ws(input, mode, &mut self.ws)?,
+            };
+            if let Some(consumed) = x.take() {
+                self.ws.recycle(consumed);
+            }
+            x = Some(y);
+        }
+        Ok(match x {
+            Some(out) => out,
+            None => input.clone(),
+        })
     }
 
     /// Propagates a gradient backward through the pipeline, accumulating
-    /// parameter gradients, and returns the gradient at the input.
+    /// parameter gradients, and returns the gradient at the input (again
+    /// a workspace-owned buffer — see [`Sequential::forward`]).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::BackwardBeforeForward`] if a layer has no cached
     /// activation (i.e. `forward` was not run in [`Mode::Train`]).
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+        if gsfl_tensor::kernel_mode() == gsfl_tensor::KernelMode::Reference {
+            let mut g = grad_out.clone();
+            for layer in self.layers.iter_mut().rev() {
+                g = layer.backward(&g)?;
+            }
+            return Ok(g);
         }
-        Ok(g)
+        let mut g: Option<Tensor> = None;
+        for layer in self.layers.iter_mut().rev() {
+            let next = match &g {
+                Some(t) => layer.backward_ws(t, &mut self.ws)?,
+                None => layer.backward_ws(grad_out, &mut self.ws)?,
+            };
+            if let Some(consumed) = g.take() {
+                self.ws.recycle(consumed);
+            }
+            g = Some(next);
+        }
+        Ok(match g {
+            Some(out) => out,
+            None => grad_out.clone(),
+        })
+    }
+
+    /// [`Sequential::backward`] for callers that do not consume the
+    /// network's input gradient — i.e. every training loop, where the
+    /// gradient below the first layer is dead. The first layer only
+    /// accumulates its parameter gradients ([`Layer::backward_ws_last`]),
+    /// skipping an entire GEMM (+ col2im for convolutions) per step.
+    /// Parameter gradients are identical to [`Sequential::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sequential::backward`].
+    pub fn backward_no_input_grad(&mut self, grad_out: &Tensor) -> Result<()> {
+        if gsfl_tensor::kernel_mode() == gsfl_tensor::KernelMode::Reference {
+            // The pre-optimization engine always computed the dead
+            // gradient; keep the baseline faithful.
+            let g = self.backward(grad_out)?;
+            drop(g);
+            return Ok(());
+        }
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return Ok(());
+        };
+        let mut g: Option<Tensor> = None;
+        for layer in rest.iter_mut().rev() {
+            let next = match &g {
+                Some(t) => layer.backward_ws(t, &mut self.ws)?,
+                None => layer.backward_ws(grad_out, &mut self.ws)?,
+            };
+            if let Some(consumed) = g.take() {
+                self.ws.recycle(consumed);
+            }
+            g = Some(next);
+        }
+        match &g {
+            Some(t) => first.backward_ws_last(t, &mut self.ws)?,
+            None => first.backward_ws_last(grad_out, &mut self.ws)?,
+        }
+        if let Some(consumed) = g.take() {
+            self.ws.recycle(consumed);
+        }
+        Ok(())
+    }
+
+    /// Returns a tensor's backing buffer to the network's scratch pool.
+    /// Call this with tensors the network produced (smashed data, logits,
+    /// input gradients) once they are dead to keep the training loop
+    /// allocation-free; dropping them instead is always safe, just slower.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.ws.recycle(tensor);
+    }
+
+    /// Fresh heap allocations the internal workspace has performed (a
+    /// steady-state training loop stops increasing this after warm-up).
+    pub fn workspace_fresh_allocs(&self) -> usize {
+        self.ws.fresh_allocs()
     }
 
     /// Zeroes every parameter gradient.
@@ -207,10 +310,12 @@ impl Sequential {
             Sequential {
                 layers,
                 mode: self.mode,
+                ws: Workspace::new(),
             },
             Sequential {
                 layers: tail,
                 mode: self.mode,
+                ws: Workspace::new(),
             },
         ))
     }
@@ -223,6 +328,7 @@ impl Sequential {
         Sequential {
             layers,
             mode: front.mode,
+            ws: Workspace::new(),
         }
     }
 }
@@ -336,5 +442,55 @@ mod tests {
         let dbg = format!("{net:?}");
         assert!(dbg.contains("dense(3→5)"));
         assert!(dbg.contains("relu"));
+    }
+
+    #[test]
+    fn backward_no_input_grad_accumulates_same_param_grads() {
+        let x = Tensor::from_fn(&[4, 3], |i| (i as f32) * 0.17 - 0.2);
+        let g = Tensor::from_fn(&[4, 2], |i| (i as f32) * 0.09 - 0.1);
+        let mut full = small_net();
+        full.forward(&x).unwrap();
+        full.backward(&g).unwrap();
+        let mut skipped = small_net();
+        skipped.forward(&x).unwrap();
+        skipped.backward_no_input_grad(&g).unwrap();
+        for (pf, ps) in full.params().iter().zip(skipped.params()) {
+            assert_eq!(
+                pf.grad().data(),
+                ps.grad().data(),
+                "skipping the dead input gradient must not change parameter grads"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_training_step_is_allocation_free() {
+        use crate::layers::{Conv2d, Flatten, MaxPool2d};
+        // A conv stack — the layers with the heaviest scratch usage.
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, 1));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 3 * 3, 5, 2));
+        let x = Tensor::from_fn(&[4, 2, 6, 6], |i| ((i * 13 % 31) as f32 - 15.0) * 0.05);
+        let step = |net: &mut Sequential| {
+            net.zero_grad();
+            let y = net.forward(&x).unwrap();
+            let g = Tensor::ones(y.dims());
+            net.recycle(y);
+            net.backward_no_input_grad(&g).unwrap();
+        };
+        step(&mut net);
+        step(&mut net);
+        let warm = net.workspace_fresh_allocs();
+        for _ in 0..3 {
+            step(&mut net);
+        }
+        assert_eq!(
+            net.workspace_fresh_allocs(),
+            warm,
+            "training steps must stop allocating after warm-up"
+        );
     }
 }

@@ -1,0 +1,51 @@
+//! Process-wide kernel selection: fast (default) vs reference.
+//!
+//! The `perf_suite` benchmark harness flips this to [`KernelMode::Reference`]
+//! to reconstruct the pre-optimization engine end to end and measure the
+//! speedup against it on the same machine. Both modes compute the same
+//! values (the fast kernels preserve each output element's reduction
+//! order wherever the layer stack depends on bit-exactness), so flipping
+//! the mode mid-run is safe — it only changes speed.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which implementations the public tensor entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Blocked/batched/threaded kernels (default).
+    #[default]
+    Fast,
+    /// The preserved pre-optimization kernels in [`crate::reference`].
+    Reference,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel implementation for the whole process.
+pub fn set_kernel_mode(mode: KernelMode) {
+    MODE.store(
+        match mode {
+            KernelMode::Fast => 0,
+            KernelMode::Reference => 1,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// The currently selected kernel implementation.
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => KernelMode::Fast,
+        _ => KernelMode::Reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fast() {
+        assert_eq!(KernelMode::default(), KernelMode::Fast);
+    }
+}

@@ -6,9 +6,18 @@
 //!
 //! * [`Shape`] — dimension bookkeeping with row-major strides,
 //! * [`Tensor`] — an owned, contiguous `f32` buffer plus its shape,
-//! * [`matmul`] — cache-friendly blocked matrix multiplication,
-//! * [`conv`] — im2col/col2im based 2-D convolution forward and backward,
+//! * [`matmul`] — blocked, register-tiled, optionally multithreaded
+//!   matrix multiplication,
+//! * [`conv`] — whole-batch im2col/col2im 2-D convolution forward and
+//!   backward,
 //! * [`pool`] — max/average pooling forward and backward,
+//! * [`workspace`] — recycled scratch buffers so the training hot path
+//!   is allocation-free after warm-up,
+//! * [`threading`] — the process-wide thread budget every parallel path
+//!   (GEMM rows, clients, groups, schemes) draws from,
+//! * [`reference`](mod@reference) — the preserved pre-optimization
+//!   kernels (test oracle and benchmark baseline), selectable at runtime
+//!   via [`kernel`],
 //! * [`init`] — He / Xavier / uniform initializers,
 //! * [`rng`] — deterministic hierarchical seed derivation so that every
 //!   client, group and round of a distributed experiment draws from an
@@ -40,13 +49,19 @@ mod tensor;
 pub mod conv;
 pub mod init;
 pub mod io;
+pub mod kernel;
 pub mod matmul;
 pub mod pool;
+pub mod reference;
 pub mod rng;
+pub mod threading;
+pub mod workspace;
 
 pub use error::TensorError;
+pub use kernel::{kernel_mode, set_kernel_mode, KernelMode};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

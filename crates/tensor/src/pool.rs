@@ -1,6 +1,12 @@
 //! Max and average pooling.
+//!
+//! Each op has a plain entry point that allocates its result and a `_ws`
+//! twin that draws output buffers from a caller [`Workspace`] (and, for
+//! max-pool, refills a caller-owned argmax buffer) so the training hot
+//! path stays allocation-free after warm-up.
 
 use crate::conv::ConvGeom;
+use crate::workspace::Workspace;
 use crate::{Result, Tensor, TensorError};
 
 /// Result of a max-pool forward pass: the pooled tensor plus the flat input
@@ -14,31 +20,21 @@ pub struct MaxPoolOutput {
     pub argmax: Vec<usize>,
 }
 
-/// Max-pool forward over non-overlapping or strided windows.
-///
-/// # Errors
-///
-/// Returns a geometry error when the window does not fit the input.
-///
-/// # Example
-///
-/// ```
-/// use gsfl_tensor::{Tensor, pool::maxpool2d_forward};
-///
-/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
-/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2])?;
-/// let p = maxpool2d_forward(&x, 2, 2)?;
-/// assert_eq!(p.output.data(), &[4.0]);
-/// # Ok(())
-/// # }
-/// ```
-pub fn maxpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
-    let (n, c, h, w) = input.shape().as_nchw()?;
-    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+/// Shared max-pool kernel writing into caller buffers.
+#[allow(clippy::too_many_arguments)]
+fn maxpool_core(
+    data: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    g: &ConvGeom,
+    window: usize,
+    stride: usize,
+    out: &mut [f32],
+    argmax: &mut [usize],
+) {
     let out_plane = g.out_h * g.out_w;
-    let mut out = vec![f32::NEG_INFINITY; n * c * out_plane];
-    let mut argmax = vec![0usize; n * c * out_plane];
-    let data = input.data();
     for s in 0..n {
         for ch in 0..c {
             let base = (s * c + ch) * h * w;
@@ -67,10 +63,82 @@ pub fn maxpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result
             }
         }
     }
+}
+
+/// Max-pool forward over non-overlapping or strided windows.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_tensor::{Tensor, pool::maxpool2d_forward};
+///
+/// # fn main() -> Result<(), gsfl_tensor::TensorError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2])?;
+/// let p = maxpool2d_forward(&x, 2, 2)?;
+/// assert_eq!(p.output.data(), &[4.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maxpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let len = n * c * g.out_h * g.out_w;
+    let mut out = vec![0.0f32; len];
+    let mut argmax = vec![0usize; len];
+    maxpool_core(
+        input.data(),
+        n,
+        c,
+        h,
+        w,
+        &g,
+        window,
+        stride,
+        &mut out,
+        &mut argmax,
+    );
     Ok(MaxPoolOutput {
         output: Tensor::from_vec(out, &[n, c, g.out_h, g.out_w])?,
         argmax,
     })
+}
+
+/// [`maxpool2d_forward`] writing the pooled tensor into a workspace
+/// buffer and refilling the caller-owned `argmax` buffer in place.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+pub fn maxpool2d_forward_ws(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    ws: &mut Workspace,
+    argmax: &mut Vec<usize>,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let len = n * c * g.out_h * g.out_w;
+    let mut out = ws.take(len);
+    argmax.clear();
+    argmax.resize(len, 0);
+    maxpool_core(
+        input.data(),
+        n,
+        c,
+        h,
+        w,
+        &g,
+        window,
+        stride,
+        &mut out,
+        argmax,
+    );
+    Tensor::from_vec(out, &[n, c, g.out_h, g.out_w])
 }
 
 /// Max-pool backward: routes each output gradient to the argmax position.
@@ -84,6 +152,21 @@ pub fn maxpool2d_backward(
     argmax: &[usize],
     input_dims: &[usize],
 ) -> Result<Tensor> {
+    let mut ws = Workspace::new();
+    maxpool2d_backward_ws(grad_out, argmax, input_dims, &mut ws)
+}
+
+/// [`maxpool2d_backward`] drawing the gradient buffer from `ws`.
+///
+/// # Errors
+///
+/// Same conditions as [`maxpool2d_backward`].
+pub fn maxpool2d_backward_ws(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+    ws: &mut Workspace,
+) -> Result<Tensor> {
     if grad_out.numel() != argmax.len() {
         return Err(TensorError::ShapeMismatch {
             left: vec![grad_out.numel()],
@@ -91,26 +174,29 @@ pub fn maxpool2d_backward(
             op: "maxpool2d_backward",
         });
     }
-    let mut grad_in = Tensor::zeros(input_dims);
-    let gi = grad_in.data_mut();
+    let numel: usize = input_dims.iter().product();
+    let mut gi = ws.take_zeroed(numel);
     for (&g, &off) in grad_out.data().iter().zip(argmax) {
         gi[off] += g;
     }
-    Ok(grad_in)
+    Tensor::from_vec(gi, input_dims)
 }
 
-/// Average-pool forward.
-///
-/// # Errors
-///
-/// Returns a geometry error when the window does not fit the input.
-pub fn avgpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
-    let (n, c, h, w) = input.shape().as_nchw()?;
-    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+/// Shared average-pool kernel writing into a caller buffer.
+#[allow(clippy::too_many_arguments)]
+fn avgpool_core(
+    data: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    g: &ConvGeom,
+    window: usize,
+    stride: usize,
+    out: &mut [f32],
+) {
     let out_plane = g.out_h * g.out_w;
     let norm = 1.0 / (window * window) as f32;
-    let mut out = vec![0.0f32; n * c * out_plane];
-    let data = input.data();
     for s in 0..n {
         for ch in 0..c {
             let base = (s * c + ch) * h * w;
@@ -128,6 +214,33 @@ pub fn avgpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result
             }
         }
     }
+}
+
+/// Average-pool forward.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+pub fn avgpool2d_forward(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let mut ws = Workspace::new();
+    avgpool2d_forward_ws(input, window, stride, &mut ws)
+}
+
+/// [`avgpool2d_forward`] drawing the output buffer from `ws`.
+///
+/// # Errors
+///
+/// Returns a geometry error when the window does not fit the input.
+pub fn avgpool2d_forward_ws(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let g = ConvGeom::new(h, w, window, window, stride, 0)?;
+    let mut out = ws.take(n * c * g.out_h * g.out_w);
+    avgpool_core(input.data(), n, c, h, w, &g, window, stride, &mut out);
     Tensor::from_vec(out, &[n, c, g.out_h, g.out_w])
 }
 
@@ -143,6 +256,22 @@ pub fn avgpool2d_backward(
     window: usize,
     stride: usize,
 ) -> Result<Tensor> {
+    let mut ws = Workspace::new();
+    avgpool2d_backward_ws(grad_out, input_dims, window, stride, &mut ws)
+}
+
+/// [`avgpool2d_backward`] drawing the gradient buffer from `ws`.
+///
+/// # Errors
+///
+/// Same conditions as [`avgpool2d_backward`].
+pub fn avgpool2d_backward_ws(
+    grad_out: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
     let (n, c, h, w) = crate::Shape::new(input_dims).as_nchw()?;
     let g = ConvGeom::new(h, w, window, window, stride, 0)?;
     let (gn, gc, gh, gw) = grad_out.shape().as_nchw()?;
@@ -154,8 +283,8 @@ pub fn avgpool2d_backward(
         });
     }
     let norm = 1.0 / (window * window) as f32;
-    let mut grad_in = Tensor::zeros(input_dims);
-    let gi = grad_in.data_mut();
+    let numel: usize = input_dims.iter().product();
+    let mut gi = ws.take_zeroed(numel);
     let go = grad_out.data();
     for s in 0..n {
         for ch in 0..c {
@@ -173,7 +302,7 @@ pub fn avgpool2d_backward(
             }
         }
     }
-    Ok(grad_in)
+    Tensor::from_vec(gi, input_dims)
 }
 
 #[cfg(test)]
@@ -210,6 +339,26 @@ mod tests {
     fn maxpool_backward_validates_len() {
         let g = Tensor::zeros(&[1, 1, 1, 2]);
         assert!(maxpool2d_backward(&g, &[0], &[1, 1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn ws_variant_matches_plain_and_reuses_buffers() {
+        let x = Tensor::from_fn(&[2, 3, 6, 6], |i| ((i * 31 % 23) as f32 - 11.0) * 0.3);
+        let plain = maxpool2d_forward(&x, 2, 2).unwrap();
+        let mut ws = Workspace::new();
+        let mut argmax = Vec::new();
+        let y1 = maxpool2d_forward_ws(&x, 2, 2, &mut ws, &mut argmax).unwrap();
+        assert_eq!(y1.data(), plain.output.data());
+        assert_eq!(argmax, plain.argmax);
+        let g1 = maxpool2d_backward_ws(&y1, &argmax, x.dims(), &mut ws).unwrap();
+        ws.recycle(y1);
+        ws.recycle(g1);
+        let allocs = ws.fresh_allocs();
+        let y2 = maxpool2d_forward_ws(&x, 2, 2, &mut ws, &mut argmax).unwrap();
+        let g2 = maxpool2d_backward_ws(&y2, &argmax, x.dims(), &mut ws).unwrap();
+        ws.recycle(y2);
+        ws.recycle(g2);
+        assert_eq!(ws.fresh_allocs(), allocs, "steady state must not allocate");
     }
 
     #[test]

@@ -137,6 +137,15 @@ impl Tensor {
         self.data
     }
 
+    /// Makes `self` a copy of `src`, reusing the existing backing buffer's
+    /// capacity instead of allocating (the layer activation caches use
+    /// this so a steady-state training step stays allocation-free).
+    pub fn assign(&mut self, src: &Tensor) {
+        self.shape = src.shape.clone();
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Element at a multi-index.
     ///
     /// # Errors

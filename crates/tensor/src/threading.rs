@@ -1,0 +1,116 @@
+//! Process-wide thread budget shared by every parallel path.
+//!
+//! Several layers of the stack can fan out onto host threads: the runner
+//! runs whole schemes in parallel, GSFL trains groups in parallel,
+//! FedAvg-style schemes train clients in parallel, and large GEMMs split
+//! by rows. Uncoordinated, those multiply (schemes × clients × GEMM
+//! rows) and oversubscribe the host. This module is the single arbiter:
+//! a caller [`request_threads`] for the fan-out it *wants*, receives a
+//! [`ThreadGrant`] for what the machine can afford right now, and the
+//! grant returns its share when dropped. Nested parallelism therefore
+//! degrades gracefully to sequential instead of stacking threads.
+//!
+//! The budget is [`hardware_threads`]: `std::thread::available_parallelism`,
+//! overridable with the `GSFL_THREADS` environment variable (read once).
+//! Grant sizing never affects results — all parallel paths in this
+//! workspace partition work at fixed boundaries and combine in fixed
+//! order, so any grant yields bit-identical output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker threads currently granted beyond the callers' own threads.
+static EXTRA_IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide thread budget: `GSFL_THREADS` if set to a positive
+/// integer, otherwise the host's available parallelism. Cached after the
+/// first call.
+pub fn hardware_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("GSFL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// A lease on worker threads; gives them back to the budget on drop.
+#[derive(Debug)]
+pub struct ThreadGrant {
+    extra: usize,
+}
+
+impl ThreadGrant {
+    /// Total threads the holder may run with, including its own
+    /// (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.extra + 1
+    }
+}
+
+impl Drop for ThreadGrant {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            EXTRA_IN_USE.fetch_sub(self.extra, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Requests a fan-out of up to `want` threads (the caller's own thread
+/// included). The grant holds whatever share of the budget is free —
+/// possibly just the caller's thread, in which case work should run
+/// sequentially.
+pub fn request_threads(want: usize) -> ThreadGrant {
+    let cap = hardware_threads();
+    let want_extra = want.saturating_sub(1);
+    if want_extra == 0 || cap <= 1 {
+        return ThreadGrant { extra: 0 };
+    }
+    let mut granted = 0;
+    let _ = EXTRA_IN_USE.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
+        granted = want_extra.min(cap.saturating_sub(1).saturating_sub(used));
+        if granted == 0 {
+            None
+        } else {
+            Some(used + granted)
+        }
+    });
+    ThreadGrant { extra: granted }
+}
+
+/// Worker threads currently leased out (diagnostics/tests).
+pub fn extra_threads_in_use() -> usize {
+    EXTRA_IN_USE.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_is_at_least_one_thread() {
+        let g = request_threads(0);
+        assert_eq!(g.threads(), 1);
+        let g = request_threads(1);
+        assert_eq!(g.threads(), 1);
+    }
+
+    #[test]
+    fn grants_never_exceed_budget() {
+        // Note: other tests in this binary may hold grants concurrently,
+        // so only local invariants are asserted here.
+        let cap = hardware_threads();
+        let g1 = request_threads(1024);
+        let g2 = request_threads(1024);
+        assert!(
+            (g1.threads() - 1) + (g2.threads() - 1) <= cap.saturating_sub(1),
+            "extras exceed the budget"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Reusable scratch buffers for the training hot path.
+//!
+//! Every tensor op used to allocate (and zero) a fresh `Vec<f32>` per
+//! call; at simulator scale — thousands of mini-batch steps per round,
+//! dozens of clients — allocation and memset dominate the small-kernel
+//! regime. A [`Workspace`] is a recycling pool: kernels [`Workspace::take`]
+//! a buffer, and callers [`Workspace::give`] it back (or
+//! [`Workspace::recycle`] a whole [`Tensor`]) once its contents are dead.
+//! After warm-up a training step performs O(1) fresh allocations, which
+//! the [`Workspace::fresh_allocs`] counter makes testable.
+//!
+//! A workspace is plain owned data (`Send`), so each network replica on a
+//! parallel client/group thread carries its own pool with no locking.
+//!
+//! # Example
+//!
+//! ```
+//! use gsfl_tensor::workspace::Workspace;
+//!
+//! let mut ws = Workspace::new();
+//! let buf = ws.take_zeroed(128);
+//! assert_eq!(ws.fresh_allocs(), 1);
+//! ws.give(buf);
+//! let again = ws.take_zeroed(64); // reuses the pooled buffer
+//! assert_eq!(ws.fresh_allocs(), 1);
+//! ws.give(again);
+//! ```
+
+use crate::Tensor;
+
+/// A pool of recycled `f32` scratch buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+    fresh_allocs: usize,
+}
+
+impl Workspace {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A buffer of length `len` with **unspecified contents** (stale data
+    /// from a previous use is possible). Use for outputs that will be
+    /// fully overwritten; use [`Workspace::take_zeroed`] for accumulators.
+    ///
+    /// Selection is best-fit by capacity: the smallest pooled buffer that
+    /// already holds `len` elements wins, so a steady-state caller cycling
+    /// through a fixed set of sizes never reallocates. Only when no pooled
+    /// buffer is large enough does this count as a fresh allocation.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.truncate(len);
+                if buf.len() < len {
+                    buf.resize(len, 0.0); // capacity suffices: len grows in place
+                }
+                buf
+            }
+            None => {
+                // Growing a smaller pooled buffer would realloc anyway;
+                // count it honestly and keep the small one pooled.
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// A zero-filled buffer of length `len`.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Returns a tensor's backing buffer to the pool.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.give(tensor.into_vec());
+    }
+
+    /// How many buffers were heap-allocated because the pool was empty.
+    /// Steady-state reuse means this stops growing after warm-up.
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let mut ws = Workspace::new();
+        let a = ws.take(10);
+        let b = ws.take(20);
+        assert_eq!(ws.fresh_allocs(), 2);
+        ws.give(a);
+        ws.give(b);
+        let c = ws.take(15);
+        assert_eq!(c.len(), 15);
+        assert_eq!(ws.fresh_allocs(), 2, "pooled buffer must be reused");
+        ws.give(c);
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(4);
+        a.fill(7.0);
+        ws.give(a);
+        let b = ws.take_zeroed(4);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn recycle_tensor_round_trips() {
+        let mut ws = Workspace::new();
+        ws.recycle(Tensor::ones(&[3, 3]));
+        let buf = ws.take(9);
+        assert_eq!(ws.fresh_allocs(), 0);
+        assert_eq!(buf.len(), 9);
+    }
+}

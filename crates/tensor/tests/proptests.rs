@@ -1,7 +1,23 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate, including the
+//! fast-vs-reference kernel equivalence suite: the blocked/threaded
+//! GEMM and the batched im2col convolution must reproduce the preserved
+//! naive kernels — bit-exactly wherever the fast path keeps the same
+//! per-element reduction order (plain/transposed matmul, conv forward,
+//! conv input/bias gradients), within epsilon where it regroups the sum
+//! (the batched conv weight gradient).
 
-use gsfl_tensor::{io, matmul, rng::SeedDerive, Shape, Tensor};
+use gsfl_tensor::{conv, io, matmul, reference, rng::SeedDerive, Shape, Tensor};
 use proptest::prelude::*;
+
+/// Relative-ish tolerance check for gradients whose reduction order
+/// legitimately differs between kernels.
+fn close_rel(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data()).all(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        })
+}
 
 /// Strategy: a shape with rank 1–4 and small extents.
 fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
@@ -93,5 +109,90 @@ proptest! {
         prop_assume!(i != j);
         let root = SeedDerive::new(seed);
         prop_assert_ne!(root.index(i).seed(), root.index(j).seed());
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let mut rng = SeedDerive::new(seed).child("gemm").rng();
+        use rand::Rng;
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-3.0..3.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-3.0..3.0));
+        let fast = matmul::matmul(&a, &b).unwrap();
+        let naive = reference::matmul(&a, &b).unwrap();
+        // Same ascending-k reduction per element ⇒ exact f32 equality.
+        prop_assert_eq!(fast.data(), naive.data());
+    }
+
+    #[test]
+    fn threaded_matmul_bit_identical_to_naive(seed in 0u64..50) {
+        // Shapes above the parallel threshold; with multiple hardware
+        // threads this exercises the row-partitioned path, which must
+        // not change a single bit.
+        let mut rng = SeedDerive::new(seed).child("gemm-par").rng();
+        use rand::Rng;
+        let (m, k, n) = (96usize, 48usize, 72usize);
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-3.0..3.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-3.0..3.0));
+        let fast = matmul::matmul(&a, &b).unwrap();
+        let naive = reference::matmul(&a, &b).unwrap();
+        prop_assert_eq!(fast.data(), naive.data());
+    }
+
+    #[test]
+    fn transposed_matmuls_bit_identical_to_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        let mut rng = SeedDerive::new(seed).child("gemm-t").rng();
+        use rand::Rng;
+        // Aᵀ·B with A:[k×m], B:[k×n].
+        let a = Tensor::from_fn(&[k, m], |_| rng.gen_range(-3.0..3.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-3.0..3.0));
+        let fast = matmul::matmul_at_b(&a, &b).unwrap();
+        let naive = reference::matmul_at_b(&a, &b).unwrap();
+        prop_assert_eq!(fast.data(), naive.data());
+        // A·Bᵀ with A:[m×k], B:[n×k].
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-3.0..3.0));
+        let b = Tensor::from_fn(&[n, k], |_| rng.gen_range(-3.0..3.0));
+        let fast = matmul::matmul_a_bt(&a, &b).unwrap();
+        let naive = reference::matmul_a_bt(&a, &b).unwrap();
+        prop_assert_eq!(fast.data(), naive.data());
+    }
+
+    #[test]
+    fn batched_conv_forward_bit_identical_to_per_sample(
+        n in 1usize..5, c_in in 1usize..4, hw in 3usize..10, c_out in 1usize..5,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..500
+    ) {
+        let mut rng = SeedDerive::new(seed).child("conv").rng();
+        use rand::Rng;
+        let input = Tensor::from_fn(&[n, c_in, hw, hw], |_| rng.gen_range(-2.0..2.0));
+        let weight = Tensor::from_fn(&[c_out, c_in, 3, 3], |_| rng.gen_range(-1.0..1.0));
+        let bias = Tensor::from_fn(&[c_out], |_| rng.gen_range(-0.5..0.5));
+        let fast = conv::conv2d_forward(&input, &weight, &bias, stride, pad).unwrap();
+        let naive = reference::conv2d_forward(&input, &weight, &bias, stride, pad).unwrap();
+        prop_assert_eq!(fast.data(), naive.data());
+    }
+
+    #[test]
+    fn batched_conv_backward_matches_per_sample(
+        n in 1usize..5, c_in in 1usize..4, hw in 3usize..9, c_out in 1usize..4,
+        seed in 0u64..500
+    ) {
+        let mut rng = SeedDerive::new(seed).child("conv-bwd").rng();
+        use rand::Rng;
+        let input = Tensor::from_fn(&[n, c_in, hw, hw], |_| rng.gen_range(-2.0..2.0));
+        let weight = Tensor::from_fn(&[c_out, c_in, 3, 3], |_| rng.gen_range(-1.0..1.0));
+        let bias = Tensor::zeros(&[c_out]);
+        let out = conv::conv2d_forward(&input, &weight, &bias, 1, 1).unwrap();
+        let grad_out = Tensor::from_fn(out.dims(), |_| rng.gen_range(-1.0..1.0));
+        let (gx, gw, gb) = conv::conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        let (rx, rw, rb) = reference::conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        // Input and bias gradients keep the reference reduction order.
+        prop_assert_eq!(gx.data(), rx.data());
+        prop_assert_eq!(gb.data(), rb.data());
+        // The batch-wide dW GEMM regroups the f32 sum: epsilon, not bits.
+        prop_assert!(close_rel(&gw, &rw, 1e-4), "dW diverged beyond epsilon");
     }
 }

@@ -1,0 +1,106 @@
+//! The fast engine versus the preserved pre-optimization engine
+//! (`KernelMode::Reference`).
+//!
+//! For MLP models every fast kernel on the training path preserves the
+//! per-element f32 reduction order, so whole experiments must be
+//! **byte-identical** across engines. For conv models the batched
+//! weight-gradient GEMM regroups the sum (epsilon-level), so a
+//! single-round comparison must agree tightly but not bitwise.
+//!
+//! NOTE: the kernel mode is process-global, so everything lives in one
+//! `#[test]` (this file is its own test binary) — no other test in this
+//! process can observe the temporary Reference mode.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use gsfl::tensor::{set_kernel_mode, KernelMode};
+
+fn mlp_config() -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(6)
+        .groups(2)
+        .rounds(3)
+        .batch_size(8)
+        .eval_every(1)
+        .learning_rate(0.1)
+        .momentum(0.9)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 10,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
+        .seed(23)
+        .build()
+        .unwrap()
+}
+
+fn cnn_config() -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(4)
+        .groups(2)
+        .rounds(1)
+        .batch_size(8)
+        .eval_every(1)
+        .learning_rate(0.05)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 8,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::DeepThin {
+            conv1: 4,
+            conv2: 8,
+            fc: 16,
+        })
+        .seed(29)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn reference_engine_reproduces_fast_engine() {
+    // --- MLP: byte-identical across engines, all schemes -------------
+    for kind in SchemeKind::all() {
+        set_kernel_mode(KernelMode::Fast);
+        let fast = Runner::new(mlp_config()).unwrap().run(kind).unwrap();
+        set_kernel_mode(KernelMode::Reference);
+        let reference = Runner::new(mlp_config()).unwrap().run(kind).unwrap();
+        set_kernel_mode(KernelMode::Fast);
+        assert_eq!(fast.records.len(), reference.records.len(), "{kind}");
+        for (f, r) in fast.records.iter().zip(&reference.records) {
+            assert_eq!(
+                f.train_loss.to_bits(),
+                r.train_loss.to_bits(),
+                "{kind}: MLP training must be bit-identical across engines"
+            );
+            assert_eq!(
+                f.test_accuracy.map(f64::to_bits),
+                r.test_accuracy.map(f64::to_bits),
+                "{kind}: MLP accuracy must be bit-identical across engines"
+            );
+        }
+    }
+
+    // --- CNN: one round, tight numeric agreement ---------------------
+    set_kernel_mode(KernelMode::Fast);
+    let fast = Runner::new(cnn_config())
+        .unwrap()
+        .run(SchemeKind::SplitFed)
+        .unwrap();
+    set_kernel_mode(KernelMode::Reference);
+    let reference = Runner::new(cnn_config())
+        .unwrap()
+        .run(SchemeKind::SplitFed)
+        .unwrap();
+    set_kernel_mode(KernelMode::Fast);
+    let fl = fast.records[0].train_loss;
+    let rl = reference.records[0].train_loss;
+    assert!(
+        (fl - rl).abs() <= 1e-4 * fl.abs().max(1.0),
+        "CNN single-round loss diverged: fast={fl}, reference={rl}"
+    );
+}
