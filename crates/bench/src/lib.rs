@@ -9,6 +9,7 @@
 //! scale (synthetic 43-class signs, 16×16, ~2150 train images, a few
 //! hundred rounds); pass `--full` to any binary for a larger, slower run.
 
+pub mod compare;
 pub mod suite;
 
 use gsfl_core::config::{DatasetConfig, ExperimentConfig, ExperimentConfigBuilder};

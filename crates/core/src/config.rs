@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use crate::cut::CutPolicySpec;
 use crate::latency::ChannelMode;
 use crate::{CoreError, Result};
 use gsfl_data::synth::Augment;
@@ -198,6 +199,12 @@ pub struct ExperimentConfig {
     /// Cut index override for split schemes (client-side layer count);
     /// `None` uses the model's default cut.
     pub cut_index: Option<usize>,
+    /// How split schemes choose the cut each round: the fixed configured
+    /// cut (default, the paper's behavior), a greedy latency-estimate
+    /// policy, or a bandit over realized latencies. Adaptive policies
+    /// require `momentum == 0`.
+    #[serde(default)]
+    pub cut_policy: CutPolicySpec,
     /// Dataset generation parameters.
     pub dataset: DatasetConfig,
     /// Data partition strategy.
@@ -251,6 +258,7 @@ impl ExperimentConfig {
                 local_epochs: 1,
                 model: ModelKind::deepthin_default(),
                 cut_index: None,
+                cut_policy: CutPolicySpec::Fixed,
                 dataset: DatasetConfig::default(),
                 partition: PartitionStrategy::Dirichlet(1.0),
                 augment: Augment::default(),
@@ -332,6 +340,20 @@ impl ExperimentConfig {
         }
         if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
             return Err(CoreError::Config("learning_rate must be > 0".into()));
+        }
+        if !self.cut_policy.is_fixed() && self.momentum != 0.0 {
+            return Err(CoreError::Config(
+                "adaptive cut policies require momentum == 0 (optimizer \
+                 velocity cannot be remapped across cuts)"
+                    .into(),
+            ));
+        }
+        if let CutPolicySpec::Bandit { epsilon } = self.cut_policy {
+            if !(0.0..=1.0).contains(&epsilon) || epsilon.is_nan() {
+                return Err(CoreError::Config(format!(
+                    "bandit epsilon must be in [0,1], got {epsilon}"
+                )));
+            }
         }
         if let Some(t) = self.target_accuracy {
             if !(0.0..=1.0).contains(&t) {
@@ -419,6 +441,13 @@ impl ExperimentConfigBuilder {
     /// Sets the cut via a named DeepThin cut point.
     pub fn cut_point(mut self, cp: CutPoint) -> Self {
         self.config.cut_index = Some(cp.layer_index());
+        self
+    }
+
+    /// Sets the per-round cut-selection policy (see
+    /// [`crate::cut::CutPolicySpec`]).
+    pub fn cut_policy(mut self, p: CutPolicySpec) -> Self {
+        self.config.cut_policy = p;
         self
     }
 
@@ -547,6 +576,39 @@ mod tests {
             .learning_rate(0.0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn cut_policy_validation() {
+        assert!(ExperimentConfig::builder()
+            .cut_policy(CutPolicySpec::Greedy)
+            .build()
+            .is_ok());
+        assert!(
+            ExperimentConfig::builder()
+                .cut_policy(CutPolicySpec::Greedy)
+                .momentum(0.9)
+                .build()
+                .is_err(),
+            "adaptive cuts cannot carry optimizer momentum"
+        );
+        assert!(ExperimentConfig::builder()
+            .cut_policy(CutPolicySpec::Bandit { epsilon: 1.5 })
+            .build()
+            .is_err());
+        // Serde default keeps old configs loading as Fixed.
+        let json = r#"{"clients":2,"groups":1,"rounds":1,"batch_size":1,
+            "learning_rate":0.1,"momentum":0.0,"local_epochs":1,
+            "model":{"Mlp":{"hidden":[8]}},"cut_index":null,
+            "dataset":{"classes":2,"samples_per_class":2,"test_per_class":1,"image_size":8},
+            "partition":"Iid","augment":{"rotation":0.0,"translation":0.0,"scale_jitter":0.0,
+            "brightness":0.0,"noise_std":0.0,"background_jitter":0.0},
+            "wireless":{"bandwidth_mhz":10.0,"server_slots":4,"server_gflops":50.0,
+            "device_min_gflops":0.2,"device_max_gflops":0.6,"fading":true},
+            "bandwidth_policy":"Equal","channel":"Dedicated","grouping":"RoundRobin",
+            "eval_every":1,"target_accuracy":null,"availability":1.0,"seed":0}"#;
+        let cfg: ExperimentConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.cut_policy, CutPolicySpec::Fixed);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use gsfl_data::partition::Partition;
 use gsfl_data::synth::SynthGtsrb;
 use gsfl_tensor::rng::SeedDerive;
 use gsfl_wireless::environment::{ChannelModel, RoundConditions};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Everything a scheme needs to train: per-client shards, the test set,
@@ -35,6 +36,14 @@ pub struct TrainContext {
     /// Per-batch cost profile of the configured model at the configured
     /// cut.
     pub costs: SplitCosts,
+    /// Valid candidate cut indices for the configured model, ascending.
+    /// Just the configured cut when the policy is fixed; every valid cut
+    /// otherwise. The policy *instance* is deliberately not here: each
+    /// scheme run builds its own [`crate::cut::CutSelector`] so learned
+    /// state never leaks across sessions or threads.
+    pub cut_candidates: Vec<usize>,
+    /// Per-candidate cost profiles (always contains the configured cut).
+    pub costs_by_cut: BTreeMap<usize, SplitCosts>,
 }
 
 impl TrainContext {
@@ -91,6 +100,25 @@ impl TrainContext {
             .build(&sample_dims, config.dataset.classes, config.seed)?;
         let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?;
 
+        // Candidate cuts for the cut policy: just the configured cut when
+        // fixed, every valid split otherwise (with its cost profile, so
+        // per-round decisions never recompute FLOP counts).
+        let cut_candidates: Vec<usize> = if config.cut_policy.is_fixed() {
+            vec![config.cut()]
+        } else {
+            (1..model.depth()).collect()
+        };
+        let mut costs_by_cut = BTreeMap::new();
+        for &cut in &cut_candidates {
+            let c = if cut == config.cut() {
+                costs
+            } else {
+                SplitCosts::compute(&model, cut, &sample_dims, config.batch_size)?
+            };
+            costs_by_cut.insert(cut, c);
+        }
+        costs_by_cut.entry(config.cut()).or_insert(costs);
+
         // Group assignment; load-aware strategies estimate per-client round
         // time from shard size, device rate and distance.
         let needs_costs = matches!(
@@ -130,6 +158,8 @@ impl TrainContext {
             groups,
             sample_dims,
             costs,
+            cut_candidates,
+            costs_by_cut,
         })
     }
 

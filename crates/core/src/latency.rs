@@ -120,6 +120,35 @@ pub struct RoundBytes {
     pub down: u64,
 }
 
+/// Where a round's charged time went, summed over every task in the
+/// round (not the critical path — parallel schemes overlap phases, so
+/// the components sum to more than the wall-clock duration).
+///
+/// Attribution rule: time a server-side task spends **queued for a busy
+/// edge-server slot is server time**, not uplink time — the uplink
+/// finished when the last bit arrived; everything after that is the
+/// (per-AP) server's contention. This is what makes multi-AP rounds
+/// legible: a congested AP shows up as `server_s`, not as a mysteriously
+/// slow radio.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// On-device computation, seconds.
+    pub client_compute_s: f64,
+    /// Pure client→AP transmit time, seconds.
+    pub uplink_s: f64,
+    /// Pure AP→client transmit time, seconds.
+    pub downlink_s: f64,
+    /// Server-side computation **plus** slot-queue waiting, seconds.
+    pub server_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total charged seconds across all phases.
+    pub fn total_s(&self) -> f64 {
+        self.client_compute_s + self.uplink_s + self.downlink_s + self.server_s
+    }
+}
+
 /// The latency (and traffic) of one round of a scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundLatency {
@@ -131,6 +160,8 @@ pub struct RoundLatency {
     /// radio TX/RX plus on-device computation, per the latency model's
     /// [`gsfl_wireless::energy::PowerProfile`].
     pub client_energy_j: f64,
+    /// Per-phase attribution of the round's charged time.
+    pub breakdown: LatencyBreakdown,
 }
 
 /// Closed-form CL round: one epoch of centralized SGD on the server
@@ -141,16 +172,24 @@ pub fn cl_round(
     total_steps: usize,
 ) -> RoundLatency {
     let flops = costs.full_flops * total_steps as u64;
+    let duration = latency.server_compute(flops);
     RoundLatency {
-        duration: latency.server_compute(flops),
+        duration,
         bytes: RoundBytes::default(),
         client_energy_j: 0.0,
+        breakdown: LatencyBreakdown {
+            server_s: duration.as_secs_f64(),
+            ..LatencyBreakdown::default()
+        },
     }
 }
 
 /// Closed-form FL round: every client downloads the full model, trains
 /// `local_epochs` epochs, uploads; all concurrently on equal bandwidth
-/// shares; round time is the straggler's.
+/// shares; round time is the straggler's. All participants upload
+/// concurrently, so under an interference-aware environment every
+/// client's uplink sees the rest of the cohort as co-channel
+/// interference.
 ///
 /// # Errors
 ///
@@ -165,18 +204,24 @@ pub fn fl_round(
     let cond = latency.conditions(round)?;
     // Clients with zero steps are non-participants this round (e.g.
     // unavailable under churn): they neither train nor exchange models.
-    let n = steps.iter().filter(|&&s| s > 0).count().max(1);
+    let participants: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > 0)
+        .map(|(c, _)| c)
+        .collect();
+    let n = participants.len().max(1);
     let share = cond.bandwidth.fraction(1.0 / n as f64);
     let power = *latency.power();
     let mut worst = Seconds::ZERO;
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
-    for (c, &s) in steps.iter().enumerate() {
-        if s == 0 {
-            continue;
-        }
+    let mut breakdown = LatencyBreakdown::default();
+    for &c in &participants {
+        let s = steps[c];
         let dl = latency.downlink_time(c, costs.full_model_bytes, round, share)?;
-        let ul = latency.uplink_time(c, costs.full_model_bytes, round, share)?;
+        let others: Vec<usize> = participants.iter().copied().filter(|&o| o != c).collect();
+        let ul = latency.uplink_time_among(c, costs.full_model_bytes, round, share, &others)?;
         let compute_flops = costs.full_flops * (s * local_epochs) as u64;
         let compute = latency.client_compute(c, compute_flops, round)?;
         worst = worst.max(dl + compute + ul);
@@ -184,14 +229,19 @@ pub fn fl_round(
         bytes.down += costs.full_model_bytes.as_u64();
         energy +=
             (power.rx_energy(dl) + power.compute_energy(compute) + power.tx_energy(ul)).as_joules();
+        breakdown.downlink_s += dl.as_secs_f64();
+        breakdown.uplink_s += ul.as_secs_f64();
+        breakdown.client_compute_s += compute.as_secs_f64();
     }
     // FedAvg aggregation on the server: one pass over the parameters per
     // client — negligible but charged for honesty.
     let agg = latency.server_compute(costs.full_model_bytes.as_u64() / 4 * n as u64);
+    breakdown.server_s += agg.as_secs_f64();
     Ok(RoundLatency {
         duration: worst + agg,
         bytes,
         client_energy_j: energy,
+        breakdown,
     })
 }
 
@@ -221,41 +271,61 @@ pub fn sl_round(
     let mut total = Seconds::ZERO;
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
+    let mut breakdown = LatencyBreakdown::default();
     for &c in order {
         // Model arrives at this client (from the AP relay).
         let model_dl = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
         total += model_dl;
         energy += power.rx_energy(model_dl).as_joules();
         bytes.down += costs.client_model_bytes.as_u64();
-        // Split-training steps.
+        breakdown.downlink_s += model_dl.as_secs_f64();
+        // Split-training steps. SL is strictly sequential — one
+        // transmitter at a time — so no co-channel interference applies.
         for _ in 0..steps[c] {
             let fwd = latency.client_compute(c, costs.client_fwd_flops, round)?;
             let ul = latency.uplink_time(c, costs.smashed_bytes, round, share)?;
             let dl = latency.downlink_time(c, costs.grad_bytes, round, share)?;
             let bwd = latency.client_compute(c, costs.client_bwd_flops, round)?;
-            total += fwd + ul + latency.server_compute(costs.server_flops) + dl + bwd;
+            let ap = latency.ap_of(c, round)?;
+            let srv = latency.server_compute_at(ap, costs.server_flops);
+            total += fwd + ul + srv + dl + bwd;
             bytes.up += costs.smashed_bytes.as_u64();
             bytes.down += costs.grad_bytes.as_u64();
             energy += (power.compute_energy(fwd + bwd) + power.tx_energy(ul) + power.rx_energy(dl))
                 .as_joules();
+            breakdown.client_compute_s += (fwd + bwd).as_secs_f64();
+            breakdown.uplink_s += ul.as_secs_f64();
+            breakdown.downlink_s += dl.as_secs_f64();
+            breakdown.server_s += srv.as_secs_f64();
         }
         // Hand the client-side model back to the AP for the next client.
         let model_ul = latency.uplink_time(c, costs.client_model_bytes, round, share)?;
         total += model_ul;
         energy += power.tx_energy(model_ul).as_joules();
         bytes.up += costs.client_model_bytes.as_u64();
+        breakdown.uplink_s += model_ul.as_secs_f64();
     }
     Ok(RoundLatency {
         duration: total,
         bytes,
         client_energy_j: energy,
+        breakdown,
     })
 }
 
 /// DES-based GSFL round: groups run their sequential chains in parallel;
 /// each group's transmissions use a bandwidth share from `policy`; every
-/// server-side execution (and the final FedAvg) contends for the edge
-/// server's slots. Returns the makespan.
+/// server-side execution (and the final FedAvg) contends for the slots of
+/// the edge server **at the transmitting client's AP** (one DES resource
+/// per AP — single-AP environments behave exactly as before). Returns the
+/// makespan.
+///
+/// Concurrency pays a physical price under interference-aware
+/// environments: while `m` groups run in parallel, each transmission is
+/// charged at the SINR seen against one representative concurrent
+/// transmitter per other active group (the member at the same chain
+/// position, wrapping), so SharedPool's dynamic reallocation no longer
+/// gets its spectrum for free.
 ///
 /// Setting `groups` to singletons yields the SFL (SplitFed) round.
 ///
@@ -307,20 +377,47 @@ pub fn gsfl_round_with_schedule(
 
     let power = *latency.power();
     let mut g = TaskGraph::new();
-    let server = g.add_resource("edge-server", latency.server().slots());
+    // One FIFO resource per AP's edge server; single-AP environments get
+    // exactly the one "edge-server" resource they always had.
+    let servers: Vec<_> = (0..latency.ap_count())
+        .map(|ap| {
+            let label = if latency.ap_count() == 1 {
+                "edge-server".to_string()
+            } else {
+                format!("edge-server{ap}")
+            };
+            g.add_resource(label, latency.server_at(ap).slots())
+        })
+        .collect();
     let mut group_ends = Vec::with_capacity(m);
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
+    let mut breakdown = LatencyBreakdown::default();
+    // Server-bound tasks with the task whose completion made them ready,
+    // so queue wait (start − uplink finish) can be attributed to the
+    // server phase after the simulation runs.
+    let mut server_tasks = Vec::new();
 
     for (gi, members) in groups.iter().enumerate() {
         let share = shares[gi];
         let mut prev = None;
         for (j, &c) in members.iter().enumerate() {
+            // While this member transmits, every other active group has a
+            // member of its own on the air: charge SINR against the
+            // same-position representative of each other group.
+            let interferers = co_transmitters(groups, gi, j);
             // Client-model handoff: AP → client (first member receives the
             // freshly aggregated model; later members receive the relay).
             if j > 0 {
                 let from = members[j - 1];
-                let relay_t = latency.uplink_time(from, costs.client_model_bytes, round, share)?;
+                let relay_interferers = co_transmitters(groups, gi, j - 1);
+                let relay_t = latency.uplink_time_among(
+                    from,
+                    costs.client_model_bytes,
+                    round,
+                    share,
+                    &relay_interferers,
+                )?;
                 let ul = g.add_task(
                     format!("g{gi}/relay-up{from}"),
                     to_sim(relay_t),
@@ -329,6 +426,7 @@ pub fn gsfl_round_with_schedule(
                 )?;
                 bytes.up += costs.client_model_bytes.as_u64();
                 energy += power.tx_energy(relay_t).as_joules();
+                breakdown.uplink_s += relay_t.as_secs_f64();
                 prev = Some(ul);
             }
             let model_dl_t = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
@@ -340,8 +438,10 @@ pub fn gsfl_round_with_schedule(
             )?;
             bytes.down += costs.client_model_bytes.as_u64();
             energy += power.rx_energy(model_dl_t).as_joules();
+            breakdown.downlink_s += model_dl_t.as_secs_f64();
             prev = Some(dl);
 
+            let ap = latency.ap_of(c, round)?;
             for s in 0..steps[c] {
                 let fwd_t = latency.client_compute(c, costs.client_fwd_flops, round)?;
                 let cf = g.add_task(
@@ -350,14 +450,22 @@ pub fn gsfl_round_with_schedule(
                     None,
                     prev.as_slice(),
                 )?;
-                let ul_t = latency.uplink_time(c, costs.smashed_bytes, round, share)?;
+                let ul_t = latency.uplink_time_among(
+                    c,
+                    costs.smashed_bytes,
+                    round,
+                    share,
+                    &interferers,
+                )?;
                 let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t), None, &[cf])?;
+                let srv_t = latency.server_compute_at(ap, costs.server_flops);
                 let sv = g.add_task(
                     format!("g{gi}/c{c}/srv{s}"),
-                    to_sim(latency.server_compute(costs.server_flops)),
-                    Some(server),
+                    to_sim(srv_t),
+                    Some(servers[ap]),
                     &[ul],
                 )?;
+                server_tasks.push((sv, ul));
                 let dl_t = latency.downlink_time(c, costs.grad_bytes, round, share)?;
                 let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
                 let bwd_t = latency.client_compute(c, costs.client_bwd_flops, round)?;
@@ -368,12 +476,23 @@ pub fn gsfl_round_with_schedule(
                     + power.tx_energy(ul_t)
                     + power.rx_energy(dl_t))
                 .as_joules();
+                breakdown.client_compute_s += (fwd_t + bwd_t).as_secs_f64();
+                breakdown.uplink_s += ul_t.as_secs_f64();
+                breakdown.downlink_s += dl_t.as_secs_f64();
+                breakdown.server_s += srv_t.as_secs_f64();
                 prev = Some(cb);
             }
         }
         // Last member ships the group's client-side model to the AP.
         let last = *members.last().expect("groups are non-empty");
-        let agg_ul_t = latency.uplink_time(last, costs.client_model_bytes, round, shares[gi])?;
+        let last_interferers = co_transmitters(groups, gi, members.len() - 1);
+        let agg_ul_t = latency.uplink_time_among(
+            last,
+            costs.client_model_bytes,
+            round,
+            shares[gi],
+            &last_interferers,
+        )?;
         let agg_ul = g.add_task(
             format!("g{gi}/agg-up{last}"),
             to_sim(agg_ul_t),
@@ -382,28 +501,53 @@ pub fn gsfl_round_with_schedule(
         )?;
         bytes.up += costs.client_model_bytes.as_u64();
         energy += power.tx_energy(agg_ul_t).as_joules();
+        breakdown.uplink_s += agg_ul_t.as_secs_f64();
         group_ends.push(agg_ul);
     }
 
     // FedAvg of both halves on the server: one parameter pass per group.
+    // Aggregation runs at AP 0's server (the anchor AP that owns the
+    // global model).
     let join = g.add_barrier("agg-join", &group_ends)?;
     let agg_flops = (costs.client_model_bytes.as_u64() + server_side_bytes(costs)) / 4 * m as u64;
-    let _agg = g.add_task(
-        "fedavg",
-        to_sim(latency.server_compute(agg_flops)),
-        Some(server),
-        &[join],
-    )?;
+    let agg_t = latency.server_compute_at(0, agg_flops);
+    let agg = g.add_task("fedavg", to_sim(agg_t), Some(servers[0]), &[join])?;
+    breakdown.server_s += agg_t.as_secs_f64();
+    server_tasks.push((agg, join));
 
     let schedule = Simulator::run(&g)?;
+    // Attribute slot-queue waiting to the server phase: a server task
+    // becomes ready the instant its uplink (or join) finishes; any gap
+    // before it starts is contention at that AP's server.
+    for (sv, ready_after) in server_tasks {
+        let wait = schedule.start(sv).as_secs_f64() - schedule.finish(ready_after).as_secs_f64();
+        if wait > 0.0 {
+            breakdown.server_s += wait;
+        }
+    }
     Ok((
         RoundLatency {
             duration: Seconds::new(schedule.makespan().as_secs_f64()),
             bytes,
             client_energy_j: energy,
+            breakdown,
         },
         schedule,
     ))
+}
+
+/// One representative concurrent transmitter per other active group, for
+/// the member at chain position `j` of group `gi`: the other group's
+/// member at the same position (wrapping around shorter chains).
+/// Deterministic, and empty when only one group is active — SL-shaped
+/// rounds stay interference-free.
+fn co_transmitters(groups: &[Vec<usize>], gi: usize, j: usize) -> Vec<usize> {
+    groups
+        .iter()
+        .enumerate()
+        .filter(|(h, g)| *h != gi && !g.is_empty())
+        .map(|(_, g)| g[j % g.len()])
+        .collect()
 }
 
 /// Bandwidth share of each group under `policy`, out of the round's

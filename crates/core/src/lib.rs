@@ -120,6 +120,7 @@ mod error;
 pub mod aggregate;
 pub mod config;
 pub mod context;
+pub mod cut;
 pub mod grouping;
 pub mod latency;
 pub(crate) mod parallel;

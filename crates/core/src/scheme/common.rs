@@ -248,6 +248,7 @@ mod tests {
                 duration: Seconds::new(2.0),
                 bytes: RoundBytes { up: 5, down: 7 },
                 client_energy_j: 1.5,
+                breakdown: Default::default(),
             },
             1.0,
             None,
@@ -258,6 +259,7 @@ mod tests {
                 duration: Seconds::new(3.0),
                 bytes: RoundBytes::default(),
                 client_energy_j: 0.5,
+                breakdown: Default::default(),
             },
             0.5,
             Some(0.9),

@@ -6,11 +6,13 @@ use super::common::{
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
+use crate::cut::CutSelector;
 use crate::latency::gsfl_round;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
+use gsfl_nn::Sequential;
 
 /// Outcome of one group's pass in a round.
 struct GroupPass {
@@ -41,9 +43,14 @@ pub struct Gsfl {
 
 #[derive(Debug)]
 struct State {
-    split_template: SplitNetwork,
-    global_client: ParamVec,
-    global_server: ParamVec,
+    /// Architecture template; parameters are loaded from `global` and the
+    /// network is split at the round's cut before training.
+    template: Sequential,
+    /// Current global full-model parameters (client ++ server halves).
+    global: ParamVec,
+    /// This run's private cut-selection state (fresh per init, so
+    /// bandit feedback never leaks across sessions).
+    cuts: CutSelector,
     steps: Vec<usize>,
 }
 
@@ -64,13 +71,11 @@ impl Scheme for Gsfl {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let split_template = SplitNetwork::split(net, cfg.cut())?;
-        let global_client = ParamVec::from_network(&split_template.client);
-        let global_server = ParamVec::from_network(&split_template.server);
+        let global = ParamVec::from_network(&net);
         self.state = Some(State {
-            split_template,
-            global_client,
-            global_server,
+            template: net,
+            global,
+            cuts: CutSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
         });
         Ok(())
@@ -79,6 +84,15 @@ impl Scheme for Gsfl {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
+        // The cut policy picks this round's split point from the live
+        // conditions (the fixed policy short-circuits to the config).
+        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+        // Split the current global model at the chosen cut: parameters
+        // are preserved across the split, so replicas start from the
+        // aggregated state exactly as before.
+        let mut whole = state.template.clone();
+        state.global.load_into(&mut whole)?;
+        let split_template = SplitNetwork::split(whole, cut)?;
         // Per-round participation: groups shrink to their reachable
         // members; fully-unreachable groups sit this round out.
         let available = ctx.available_clients(round as u64);
@@ -94,34 +108,31 @@ impl Scheme for Gsfl {
             })
             .filter(|g| !g.is_empty())
             .collect();
-        let passes = run_groups_parallel(
-            ctx,
-            &round_groups,
-            &state.split_template,
-            &state.global_client,
-            &state.global_server,
-            round as u64,
-        )?;
+        let passes = run_groups_parallel(ctx, &round_groups, &split_template, round as u64)?;
 
         // FedAvg over both halves, weighted by group samples.
         let weights: Vec<f64> = passes.iter().map(|p| p.samples as f64).collect();
         let client_snaps: Vec<ParamVec> = passes.iter().map(|p| p.client_params.clone()).collect();
         let server_snaps: Vec<ParamVec> = passes.iter().map(|p| p.server_params.clone()).collect();
-        state.global_client = aggregate_snapshots(&client_snaps, &weights)?;
-        state.global_server = aggregate_snapshots(&server_snaps, &weights)?;
+        let global_client = aggregate_snapshots(&client_snaps, &weights)?;
+        let global_server = aggregate_snapshots(&server_snaps, &weights)?;
+        state.global = join_params(&global_client, &global_server);
 
         let loss_sum: f64 = passes.iter().map(|p| p.loss_sum).sum();
         let step_sum: usize = passes.iter().map(|p| p.steps).sum();
 
         let latency = gsfl_round(
             ctx.env.as_ref(),
-            &ctx.costs,
+            &costs,
             &state.steps,
             &round_groups,
             cfg.bandwidth_policy,
             cfg.channel,
             round as u64,
         )?;
+        state
+            .cuts
+            .observe(round as u64, cut, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,
@@ -131,26 +142,23 @@ impl Scheme for Gsfl {
 
     fn global_params(&self) -> Result<ParamVec> {
         let state = require_state(&self.state)?;
-        Ok(join_params(&state.global_client, &state.global_server))
+        Ok(state.global.clone())
     }
 }
 
 /// Trains every group for one round, fanning groups out over the
-/// thread-budgeted host parallelism in fixed group order.
+/// thread-budgeted host parallelism in fixed group order. The template
+/// already carries the round's global parameters.
 fn run_groups_parallel(
     ctx: &TrainContext,
     groups: &[Vec<usize>],
     template: &SplitNetwork,
-    global_client: &ParamVec,
-    global_server: &ParamVec,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
     let (threads, _grant) = round_fanout(&ctx.config, groups.len());
     run_indexed(groups.len(), threads, |idx| {
         let members = &groups[idx];
         let mut replica = template.clone();
-        global_client.load_into(&mut replica.client)?;
-        global_server.load_into(&mut replica.server)?;
         let cfg = &ctx.config;
         let mut client_opt = make_opt(cfg);
         let mut server_opt = make_opt(cfg);

@@ -5,16 +5,25 @@ use super::common::{
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
+use crate::cut::CutSelector;
 use crate::latency::sl_round;
 use crate::Result;
 use gsfl_nn::optim::Sgd;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
+use gsfl_nn::Sequential;
 
 /// Vanilla split learning: one client-side and one server-side model;
 /// clients train strictly one after another, each receiving the
 /// client-side model through the AP relay. No aggregation — the model
 /// state simply accumulates SGD steps as it visits every client.
+///
+/// Under the fixed cut policy the split (and its optimizers, including
+/// any momentum state) persists across rounds exactly as before. Under
+/// an adaptive [`crate::cut::CutPolicy`] the model is re-split at each
+/// round's chosen cut; the config validation guarantees `momentum == 0`
+/// there, so per-round optimizers are state-free and nothing is lost in
+/// the re-split.
 #[derive(Debug, Default)]
 pub struct VanillaSplit {
     state: Option<State>,
@@ -22,10 +31,26 @@ pub struct VanillaSplit {
 
 #[derive(Debug)]
 struct State {
-    split: SplitNetwork,
-    client_opt: Sgd,
-    server_opt: Sgd,
+    mode: Mode,
+    /// This run's private cut-selection state.
+    cuts: CutSelector,
     steps: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// The historical path: a persistent split and persistent optimizers.
+    Fixed {
+        split: SplitNetwork,
+        client_opt: Sgd,
+        server_opt: Sgd,
+    },
+    /// Adaptive cuts: the full model travels between rounds; each round
+    /// splits it at the policy's cut.
+    Adaptive {
+        template: Sequential,
+        global: ParamVec,
+    },
 }
 
 impl VanillaSplit {
@@ -45,11 +70,22 @@ impl Scheme for VanillaSplit {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let split = SplitNetwork::split(net, cfg.cut())?;
+        let mode = if cfg.cut_policy.is_fixed() {
+            Mode::Fixed {
+                split: SplitNetwork::split(net, cfg.cut())?,
+                client_opt: make_opt(cfg),
+                server_opt: make_opt(cfg),
+            }
+        } else {
+            let global = ParamVec::from_network(&net);
+            Mode::Adaptive {
+                template: net,
+                global,
+            }
+        };
         self.state = Some(State {
-            split,
-            client_opt: make_opt(cfg),
-            server_opt: make_opt(cfg),
+            mode,
+            cuts: CutSelector::from_config(cfg),
             steps: ctx.steps_per_client(),
         });
         Ok(())
@@ -61,32 +97,71 @@ impl Scheme for VanillaSplit {
         // Unavailable clients are skipped this round (the relay goes
         // straight to the next reachable client).
         let order = ctx.available_clients(round as u64);
+        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
-        for &c in &order {
-            let batcher = make_batcher(cfg, c)?;
-            let (l, s) = split_train_epoch(
-                &mut state.split,
-                &mut state.client_opt,
-                &mut state.server_opt,
-                &ctx.train_shards[c],
-                &batcher,
-                round as u64,
-            )?;
-            loss_sum += l;
-            step_sum += s;
+        match &mut state.mode {
+            Mode::Fixed {
+                split,
+                client_opt,
+                server_opt,
+            } => {
+                for &c in &order {
+                    let batcher = make_batcher(cfg, c)?;
+                    let (l, s) = split_train_epoch(
+                        split,
+                        client_opt,
+                        server_opt,
+                        &ctx.train_shards[c],
+                        &batcher,
+                        round as u64,
+                    )?;
+                    loss_sum += l;
+                    step_sum += s;
+                }
+                client_opt.advance_round();
+                server_opt.advance_round();
+            }
+            Mode::Adaptive { template, global } => {
+                let mut whole = template.clone();
+                global.load_into(&mut whole)?;
+                let mut split = SplitNetwork::split(whole, cut)?;
+                // Momentum is 0 by validation, so fresh per-round
+                // optimizers are exactly the persistent ones.
+                let mut client_opt = make_opt(cfg);
+                let mut server_opt = make_opt(cfg);
+                for &c in &order {
+                    let batcher = make_batcher(cfg, c)?;
+                    let (l, s) = split_train_epoch(
+                        &mut split,
+                        &mut client_opt,
+                        &mut server_opt,
+                        &ctx.train_shards[c],
+                        &batcher,
+                        round as u64,
+                    )?;
+                    loss_sum += l;
+                    step_sum += s;
+                }
+                *global = join_params(
+                    &ParamVec::from_network(&split.client),
+                    &ParamVec::from_network(&split.server),
+                );
+            }
         }
-        state.client_opt.advance_round();
-        state.server_opt.advance_round();
 
         let latency = sl_round(
             ctx.env.as_ref(),
-            &ctx.costs,
+            &costs,
             &state.steps,
             &order,
             cfg.channel,
             round as u64,
         )?;
+        state
+            .cuts
+            .observe(round as u64, cut, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,
@@ -95,10 +170,12 @@ impl Scheme for VanillaSplit {
     }
 
     fn global_params(&self) -> Result<ParamVec> {
-        let state = require_state(&self.state)?;
-        Ok(join_params(
-            &ParamVec::from_network(&state.split.client),
-            &ParamVec::from_network(&state.split.server),
-        ))
+        match &require_state(&self.state)?.mode {
+            Mode::Fixed { split, .. } => Ok(join_params(
+                &ParamVec::from_network(&split.client),
+                &ParamVec::from_network(&split.server),
+            )),
+            Mode::Adaptive { global, .. } => Ok(global.clone()),
+        }
     }
 }

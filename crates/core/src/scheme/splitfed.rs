@@ -7,11 +7,13 @@ use super::common::{
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
+use crate::cut::CutSelector;
 use crate::latency::gsfl_round;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
+use gsfl_nn::Sequential;
 
 /// SplitFed v1: every client trains *in parallel* against its **own**
 /// server-side model replica (N replicas resident at the server); both
@@ -25,9 +27,13 @@ pub struct SplitFed {
 
 #[derive(Debug)]
 struct State {
-    template: SplitNetwork,
-    global_client: ParamVec,
-    global_server: ParamVec,
+    /// Architecture template; parameters live in `global` and the network
+    /// is split at the round's cut before training.
+    template: Sequential,
+    /// Current global full-model parameters (client ++ server halves).
+    global: ParamVec,
+    /// This run's private cut-selection state.
+    cuts: CutSelector,
     steps: Vec<usize>,
 }
 
@@ -48,13 +54,11 @@ impl Scheme for SplitFed {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let template = SplitNetwork::split(net, cfg.cut())?;
-        let global_client = ParamVec::from_network(&template.client);
-        let global_server = ParamVec::from_network(&template.server);
+        let global = ParamVec::from_network(&net);
         self.state = Some(State {
-            template,
-            global_client,
-            global_server,
+            template: net,
+            global,
+            cuts: CutSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
         });
         Ok(())
@@ -63,6 +67,10 @@ impl Scheme for SplitFed {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
+        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+        let mut whole = state.template.clone();
+        state.global.load_into(&mut whole)?;
+        let template = SplitNetwork::split(whole, cut)?;
         let participants = ctx.available_clients(round as u64);
         let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
 
@@ -71,14 +79,10 @@ impl Scheme for SplitFed {
         // parallel host threads, collecting in fixed participant order
         // (byte-identical to the sequential path).
         let (threads, _grant) = round_fanout(cfg, participants.len());
-        let template = &state.template;
-        let global_client = &state.global_client;
-        let global_server = &state.global_server;
+        let template = &template;
         let passes = run_indexed(participants.len(), threads, |idx| {
             let c = participants[idx];
             let mut replica = template.clone();
-            global_client.load_into(&mut replica.client)?;
-            global_server.load_into(&mut replica.server)?;
             let mut client_opt = make_opt(cfg);
             let mut server_opt = make_opt(cfg);
             let batcher = make_batcher(cfg, c)?;
@@ -110,18 +114,22 @@ impl Scheme for SplitFed {
             loss_sum += l;
             step_sum += s;
         }
-        state.global_client = aggregate_snapshots(&client_snaps, &weights)?;
-        state.global_server = aggregate_snapshots(&server_snaps, &weights)?;
+        let global_client = aggregate_snapshots(&client_snaps, &weights)?;
+        let global_server = aggregate_snapshots(&server_snaps, &weights)?;
+        state.global = join_params(&global_client, &global_server);
 
         let latency = gsfl_round(
             ctx.env.as_ref(),
-            &ctx.costs,
+            &costs,
             &state.steps,
             &singleton_groups,
             cfg.bandwidth_policy,
             cfg.channel,
             round as u64,
         )?;
+        state
+            .cuts
+            .observe(round as u64, cut, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,
@@ -131,6 +139,6 @@ impl Scheme for SplitFed {
 
     fn global_params(&self) -> Result<ParamVec> {
         let state = require_state(&self.state)?;
-        Ok(join_params(&state.global_client, &state.global_server))
+        Ok(state.global.clone())
     }
 }

@@ -17,6 +17,7 @@
 //! Ready-made presets over these overlays live in [`crate::scenario`].
 
 use crate::energy::PowerProfile;
+use crate::interference::{co_channel_interference_mw, InterferenceSpec};
 use crate::latency::LatencyModel;
 use crate::mobility::Mobility;
 use crate::server::EdgeServer;
@@ -119,6 +120,87 @@ pub trait ChannelModel: std::fmt::Debug + Send + Sync {
         true
     }
 
+    /// The co-channel interference parameters of this environment, if
+    /// concurrent transmitters interfere at all. `None` (the default)
+    /// means perfectly orthogonal access — the historical behavior.
+    fn interference(&self) -> Option<InterferenceSpec> {
+        None
+    }
+
+    /// Uplink transmission time while `interferers` transmit concurrently
+    /// co-channel. The default ignores the interferer set (orthogonal
+    /// access); interference-aware environments degrade the rate from SNR
+    /// to SINR. Implementations skip `client` itself if it appears in
+    /// `interferers`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelModel::uplink_time`].
+    fn uplink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<Seconds> {
+        let _ = interferers;
+        self.uplink_time(client, payload, round, share)
+    }
+
+    /// Achievable uplink rate in bits/s while `interferers` transmit
+    /// concurrently (see [`ChannelModel::uplink_time_among`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelModel::uplink_rate_bps`].
+    fn uplink_rate_bps_among(
+        &self,
+        client: usize,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<f64> {
+        let _ = interferers;
+        self.uplink_rate_bps(client, round, share)
+    }
+
+    /// Number of access points / edge servers in the environment.
+    /// Single-AP environments (the default) report 1.
+    fn ap_count(&self) -> usize {
+        1
+    }
+
+    /// The AP `client` is associated with in `round`. Single-AP
+    /// environments always answer 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::UnknownClient`] for bad indices.
+    fn ap_of(&self, client: usize, round: u64) -> Result<usize> {
+        let _ = round;
+        if client >= self.client_count() {
+            return Err(WirelessError::UnknownClient {
+                client,
+                clients: self.client_count(),
+            });
+        }
+        Ok(0)
+    }
+
+    /// The edge-server profile co-located with AP `ap`. Single-AP
+    /// environments return their only server for every index.
+    fn server_at(&self, ap: usize) -> &EdgeServer {
+        let _ = ap;
+        self.server()
+    }
+
+    /// Compute time of one slot of AP `ap`'s edge server.
+    fn server_compute_at(&self, ap: usize, flops: u64) -> Seconds {
+        let _ = ap;
+        self.server_compute(flops)
+    }
+
     /// A snapshot of the whole network's conditions in `round`.
     ///
     /// # Errors
@@ -133,6 +215,7 @@ pub trait ChannelModel: std::fmt::Debug + Send + Sync {
                     compute_rate: self.device_rate(c, round)?,
                     uplink_gain: self.uplink_gain(c, round)?,
                     available: self.is_available(c, round),
+                    ap: self.ap_of(c, round)?,
                 })
             })
             .collect::<Result<Vec<ClientConditions>>>()?;
@@ -157,6 +240,10 @@ pub struct ClientConditions {
     pub uplink_gain: f64,
     /// Whether the client is reachable this round.
     pub available: bool,
+    /// The AP / edge server the client is associated with this round
+    /// (always 0 in single-AP environments).
+    #[serde(default)]
+    pub ap: usize,
 }
 
 /// A per-round snapshot of the environment, consumed by the latency
@@ -197,17 +284,52 @@ impl RoundConditions {
 #[derive(Debug, Clone)]
 pub struct StaticEnvironment {
     base: LatencyModel,
+    interference: Option<InterferenceSpec>,
 }
 
 impl StaticEnvironment {
     /// Wraps a composed latency model.
     pub fn new(base: LatencyModel) -> Self {
-        StaticEnvironment { base }
+        StaticEnvironment {
+            base,
+            interference: None,
+        }
+    }
+
+    /// Enables co-channel interference between concurrent transmitters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for a reuse factor outside
+    /// `[0, 1]`.
+    pub fn with_interference(mut self, spec: InterferenceSpec) -> Result<Self> {
+        spec.validate()?;
+        self.interference = Some(spec);
+        Ok(self)
     }
 
     /// The wrapped model.
     pub fn base(&self) -> &LatencyModel {
         &self.base
+    }
+
+    fn interference_mw(&self, client: usize, round: u64, interferers: &[usize]) -> Result<f64> {
+        let Some(spec) = self.interference else {
+            return Ok(0.0);
+        };
+        let mut sources = Vec::with_capacity(interferers.len());
+        for &i in interferers {
+            if i == client {
+                continue;
+            }
+            let d = self.base.distance(i)?;
+            sources.push((d, self.base.uplink_gain(i, round)));
+        }
+        Ok(co_channel_interference_mw(
+            self.base.uplink_budget(),
+            &sources,
+            spec,
+        ))
     }
 }
 
@@ -271,6 +393,38 @@ impl ChannelModel for StaticEnvironment {
 
     fn server_compute(&self, flops: u64) -> Seconds {
         self.base.server_compute(flops)
+    }
+
+    fn interference(&self) -> Option<InterferenceSpec> {
+        self.interference
+    }
+
+    fn uplink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<Seconds> {
+        let d = self.base.distance(client)?;
+        let i_mw = self.interference_mw(client, round, interferers)?;
+        self.base
+            .uplink_time_at_sinr(client, payload, round, share, d, i_mw)
+    }
+
+    fn uplink_rate_bps_among(
+        &self,
+        client: usize,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<f64> {
+        let d = self.base.distance(client)?;
+        let i_mw = self.interference_mw(client, round, interferers)?;
+        Ok(self
+            .base
+            .uplink_rate_bps_at_sinr(client, round, share, d, i_mw))
     }
 }
 
@@ -384,6 +538,7 @@ pub struct DynamicEnvironment {
     bandwidth: BandwidthProfile,
     stragglers: Option<StragglerInjector>,
     dropouts: Option<DropoutInjector>,
+    interference: Option<InterferenceSpec>,
     seeds: SeedDerive,
 }
 
@@ -395,6 +550,7 @@ pub struct DynamicEnvironmentBuilder {
     bandwidth: BandwidthProfile,
     stragglers: Option<StragglerInjector>,
     dropouts: Option<DropoutInjector>,
+    interference: Option<InterferenceSpec>,
     seed: u64,
 }
 
@@ -408,6 +564,7 @@ impl DynamicEnvironment {
             bandwidth: BandwidthProfile::Constant,
             stragglers: None,
             dropouts: None,
+            interference: None,
             seed: 0,
         }
     }
@@ -416,6 +573,26 @@ impl DynamicEnvironment {
         self.stragglers
             .map(|s| s.slowdown_at(client, round, &self.seeds))
             .unwrap_or(1.0)
+    }
+
+    fn interference_mw(&self, client: usize, round: u64, interferers: &[usize]) -> Result<f64> {
+        let Some(spec) = self.interference else {
+            return Ok(0.0);
+        };
+        let mut sources = Vec::with_capacity(interferers.len());
+        for &i in interferers {
+            if i == client {
+                continue;
+            }
+            // Interferers are heard from wherever mobility put them.
+            let d = self.distance(i, round)?;
+            sources.push((d, self.base.uplink_gain(i, round)));
+        }
+        Ok(co_channel_interference_mw(
+            self.base.uplink_budget(),
+            &sources,
+            spec,
+        ))
     }
 }
 
@@ -441,6 +618,12 @@ impl DynamicEnvironmentBuilder {
     /// Enables dropout injection.
     pub fn dropouts(mut self, d: DropoutInjector) -> Self {
         self.dropouts = Some(d);
+        self
+    }
+
+    /// Enables co-channel interference between concurrent transmitters.
+    pub fn interference(mut self, spec: InterferenceSpec) -> Self {
+        self.interference = Some(spec);
         self
     }
 
@@ -485,12 +668,16 @@ impl DynamicEnvironmentBuilder {
                 ));
             }
         }
+        if let Some(i) = self.interference {
+            i.validate()?;
+        }
         Ok(DynamicEnvironment {
             base: self.base,
             mobility: self.mobility,
             bandwidth: self.bandwidth,
             stragglers: self.stragglers,
             dropouts: self.dropouts,
+            interference: self.interference,
             seeds: SeedDerive::new(self.seed).child("environment"),
         })
     }
@@ -571,6 +758,38 @@ impl ChannelModel for DynamicEnvironment {
             Some(d) => !d.dropped(client, round, &self.seeds),
             None => true,
         }
+    }
+
+    fn interference(&self) -> Option<InterferenceSpec> {
+        self.interference
+    }
+
+    fn uplink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<Seconds> {
+        let d = self.distance(client, round)?;
+        let i_mw = self.interference_mw(client, round, interferers)?;
+        self.base
+            .uplink_time_at_sinr(client, payload, round, share, d, i_mw)
+    }
+
+    fn uplink_rate_bps_among(
+        &self,
+        client: usize,
+        round: u64,
+        share: Hertz,
+        interferers: &[usize],
+    ) -> Result<f64> {
+        let d = self.distance(client, round)?;
+        let i_mw = self.interference_mw(client, round, interferers)?;
+        Ok(self
+            .base
+            .uplink_rate_bps_at_sinr(client, round, share, d, i_mw))
     }
 }
 
@@ -761,6 +980,97 @@ mod tests {
             })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn interference_free_among_is_bitwise_plain_uplink() {
+        // Even *with* a spec, an empty interferer set must reproduce the
+        // plain SNR uplink time bit for bit (the golden-fixture guard).
+        let model = base(3);
+        let plain = StaticEnvironment::new(model.clone());
+        let spec = InterferenceSpec { reuse_factor: 0.7 };
+        let noisy = StaticEnvironment::new(model)
+            .with_interference(spec)
+            .unwrap();
+        let payload = Bytes::new(120_000);
+        let share = Hertz::from_mhz(1.5);
+        for round in 0..6u64 {
+            for c in 0..3 {
+                assert_eq!(
+                    noisy
+                        .uplink_time_among(c, payload, round, share, &[])
+                        .unwrap(),
+                    plain.uplink_time(c, payload, round, share).unwrap()
+                );
+                // Self-interference is skipped.
+                assert_eq!(
+                    noisy
+                        .uplink_time_among(c, payload, round, share, &[c])
+                        .unwrap(),
+                    plain.uplink_time(c, payload, round, share).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_transmitters_slow_the_uplink() {
+        let env = StaticEnvironment::new(base(4))
+            .with_interference(InterferenceSpec { reuse_factor: 0.5 })
+            .unwrap();
+        let payload = Bytes::new(200_000);
+        let share = Hertz::from_mhz(1.0);
+        let clean = env.uplink_time_among(0, payload, 2, share, &[]).unwrap();
+        let one = env.uplink_time_among(0, payload, 2, share, &[1]).unwrap();
+        let two = env
+            .uplink_time_among(0, payload, 2, share, &[1, 2])
+            .unwrap();
+        assert!(one.as_secs_f64() > clean.as_secs_f64());
+        assert!(two.as_secs_f64() > one.as_secs_f64());
+        let r_clean = env.uplink_rate_bps_among(0, 2, share, &[]).unwrap();
+        let r_two = env.uplink_rate_bps_among(0, 2, share, &[1, 2]).unwrap();
+        assert!(r_two < r_clean);
+    }
+
+    #[test]
+    fn dynamic_interference_follows_mobility() {
+        let spec = InterferenceSpec { reuse_factor: 1.0 };
+        let env = DynamicEnvironment::builder(base(2))
+            .mobility(OrbitDrift {
+                amplitude_frac: 0.5,
+                period_rounds: 7,
+            })
+            .interference(spec)
+            .build()
+            .unwrap();
+        assert_eq!(env.interference(), Some(spec));
+        let share = Hertz::from_mhz(1.0);
+        let a = env
+            .uplink_time_among(0, Bytes::new(100_000), 1, share, &[1])
+            .unwrap();
+        let b = env
+            .uplink_time_among(0, Bytes::new(100_000), 3, share, &[1])
+            .unwrap();
+        assert_ne!(a, b, "mobility must move the interferer too");
+        assert!(DynamicEnvironment::builder(base(1))
+            .interference(InterferenceSpec { reuse_factor: 2.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn single_ap_defaults_through_trait() {
+        let env = StaticEnvironment::new(base(2));
+        assert_eq!(env.ap_count(), 1);
+        assert_eq!(env.ap_of(1, 5).unwrap(), 0);
+        assert!(env.ap_of(9, 0).is_err());
+        assert_eq!(env.server_at(0).slots(), env.server().slots());
+        assert_eq!(
+            env.server_compute_at(0, 1_000_000),
+            env.server_compute(1_000_000)
+        );
+        let cond = env.conditions(0).unwrap();
+        assert!(cond.clients.iter().all(|c| c.ap == 0));
     }
 
     #[test]

@@ -160,8 +160,42 @@ impl LatencyModel {
         share: Hertz,
         distance: Meters,
     ) -> Result<Seconds> {
+        self.uplink_time_at_sinr(client, payload, round, share, distance, 0.0)
+    }
+
+    /// [`LatencyModel::uplink_time_at`] under `interference_mw` of
+    /// aggregate co-channel interference power — the seam
+    /// interference-aware environments use. Zero interference is
+    /// bit-identical to the interference-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] on zero share.
+    pub fn uplink_time_at_sinr(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+        interference_mw: f64,
+    ) -> Result<Seconds> {
         let gain = self.fading.power_gain(self.uplink_link_id(client), round);
-        self.uplink.transmit_time(payload, distance, share, gain)
+        self.uplink
+            .transmit_time_sinr(payload, distance, share, gain, interference_mw)
+    }
+
+    /// Received power (linear milliwatts) that `client`, transmitting on
+    /// the uplink in `round` from `distance`, lands at a receiver —
+    /// its co-channel interference contribution before reuse scaling.
+    pub fn uplink_rx_power_mw(&self, client: usize, round: u64, distance: Meters) -> f64 {
+        let gain = self.fading.power_gain(self.uplink_link_id(client), round);
+        self.uplink.rx_power_mw(distance, gain)
+    }
+
+    /// The uplink link budget (shared by all clients).
+    pub fn uplink_budget(&self) -> &LinkBudget {
+        &self.uplink
     }
 
     /// Downlink transmission time using the full channel bandwidth.
@@ -228,8 +262,22 @@ impl LatencyModel {
         share: Hertz,
         distance: Meters,
     ) -> f64 {
+        self.uplink_rate_bps_at_sinr(client, round, share, distance, 0.0)
+    }
+
+    /// [`LatencyModel::uplink_rate_bps_at`] under aggregate co-channel
+    /// interference power.
+    pub fn uplink_rate_bps_at_sinr(
+        &self,
+        client: usize,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+        interference_mw: f64,
+    ) -> f64 {
         let gain = self.fading.power_gain(self.uplink_link_id(client), round);
-        self.uplink.rate_bps(distance, share, gain)
+        self.uplink
+            .rate_bps_sinr(distance, share, gain, interference_mw)
     }
 
     /// On-device compute time for `client`.

@@ -11,7 +11,9 @@
 //! * [`pathloss`] — free-space and log-distance path loss with log-normal
 //!   shadowing,
 //! * [`fading`] — Rayleigh block fading, deterministic per (link, round),
-//! * [`link`] — SNR and Shannon-capacity achievable rate,
+//! * [`link`] — SNR/SINR and Shannon-capacity achievable rate,
+//! * [`interference`] — co-channel interference between concurrent
+//!   transmitters (reuse/orthogonality factor over the SINR form),
 //! * [`allocation`] — how the AP divides its bandwidth among concurrent
 //!   transmitters (equal / weighted / channel-aware),
 //! * [`device`] — heterogeneous client compute profiles,
@@ -24,6 +26,8 @@
 //!   mobility drift, diurnal bandwidth, stragglers, dropouts),
 //! * [`mobility`] — client mobility models behind the
 //!   [`mobility::Mobility`] trait,
+//! * [`multi_ap`] — several APs / edge servers with mobility-driven
+//!   re-association behind a [`multi_ap::HandoffPolicy`] trait,
 //! * [`scenario`] — serde-loadable [`Scenario`] presets that build
 //!   environments over any base model.
 //!
@@ -52,9 +56,11 @@ pub mod device;
 pub mod energy;
 pub mod environment;
 pub mod fading;
+pub mod interference;
 pub mod latency;
 pub mod link;
 pub mod mobility;
+pub mod multi_ap;
 pub mod pathloss;
 pub mod scenario;
 pub mod server;
@@ -63,6 +69,8 @@ pub mod units;
 
 pub use environment::{ChannelModel, RoundConditions};
 pub use error::WirelessError;
+pub use interference::InterferenceSpec;
+pub use multi_ap::MultiApEnvironment;
 pub use scenario::Scenario;
 
 /// Crate-wide result alias.

@@ -1,4 +1,11 @@
-//! Link budget: SNR and achievable rate.
+//! Link budget: SNR/SINR and achievable rate.
+//!
+//! The interference-free quantities ([`LinkBudget::snr`],
+//! [`LinkBudget::rate_bps`], [`LinkBudget::transmit_time`]) are thin
+//! wrappers over the SINR forms at zero interference power — and the
+//! zero-interference path is **bit-identical** to the historical SNR
+//! formulas (`x / (1.0 + 0.0) == x` in IEEE 754), so environments that
+//! never inject interference reproduce pre-SINR numbers byte for byte.
 
 use crate::pathloss::PathLoss;
 use crate::units::{Bytes, Dbm, Hertz, Meters, Seconds};
@@ -61,10 +68,60 @@ impl LinkBudget {
         10f64.powf((rx_dbm - noise_dbm) / 10.0)
     }
 
+    /// Received signal power in linear milliwatts at `distance` with the
+    /// given fading power gain — the quantity one transmitter contributes
+    /// as co-channel interference at a receiver it is not addressing.
+    pub fn rx_power_mw(&self, distance: Meters, fading_power_gain: f64) -> f64 {
+        let rx_dbm = self
+            .tx_power
+            .minus_db(self.pathloss.loss_db(distance))
+            .as_dbm()
+            + 10.0 * fading_power_gain.max(f64::MIN_POSITIVE).log10();
+        10f64.powf(rx_dbm / 10.0)
+    }
+
+    /// Thermal-plus-figure noise power in linear milliwatts over
+    /// `bandwidth`.
+    pub fn noise_power_mw(&self, bandwidth: Hertz) -> f64 {
+        let noise_dbm = self.noise_dbm_per_hz
+            + 10.0 * bandwidth.as_hz().max(1.0).log10()
+            + self.noise_figure_db;
+        10f64.powf(noise_dbm / 10.0)
+    }
+
+    /// Linear SINR: SNR degraded by `interference_mw` of co-channel
+    /// interference power (milliwatts, already scaled by any reuse
+    /// factor).
+    ///
+    /// Computed as `snr / (1 + I/N)` so `interference_mw == 0.0`
+    /// reproduces [`LinkBudget::snr`] bit for bit.
+    pub fn sinr(
+        &self,
+        distance: Meters,
+        bandwidth: Hertz,
+        fading_power_gain: f64,
+        interference_mw: f64,
+    ) -> f64 {
+        self.snr(distance, bandwidth, fading_power_gain)
+            / (1.0 + interference_mw / self.noise_power_mw(bandwidth))
+    }
+
     /// Shannon-capacity achievable rate in bits/s.
     pub fn rate_bps(&self, distance: Meters, bandwidth: Hertz, fading_power_gain: f64) -> f64 {
-        let snr = self.snr(distance, bandwidth, fading_power_gain);
-        bandwidth.as_hz() * (1.0 + snr).log2()
+        self.rate_bps_sinr(distance, bandwidth, fading_power_gain, 0.0)
+    }
+
+    /// Shannon-capacity achievable rate in bits/s under co-channel
+    /// interference.
+    pub fn rate_bps_sinr(
+        &self,
+        distance: Meters,
+        bandwidth: Hertz,
+        fading_power_gain: f64,
+        interference_mw: f64,
+    ) -> f64 {
+        let sinr = self.sinr(distance, bandwidth, fading_power_gain, interference_mw);
+        bandwidth.as_hz() * (1.0 + sinr).log2()
     }
 
     /// Time to transmit `payload` at the achievable rate.
@@ -80,10 +137,28 @@ impl LinkBudget {
         bandwidth: Hertz,
         fading_power_gain: f64,
     ) -> Result<Seconds> {
+        self.transmit_time_sinr(payload, distance, bandwidth, fading_power_gain, 0.0)
+    }
+
+    /// Time to transmit `payload` at the achievable rate under co-channel
+    /// interference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] when the rate underflows to zero
+    /// (zero bandwidth).
+    pub fn transmit_time_sinr(
+        &self,
+        payload: Bytes,
+        distance: Meters,
+        bandwidth: Hertz,
+        fading_power_gain: f64,
+        interference_mw: f64,
+    ) -> Result<Seconds> {
         if payload == Bytes::ZERO {
             return Ok(Seconds::ZERO);
         }
-        let rate = self.rate_bps(distance, bandwidth, fading_power_gain);
+        let rate = self.rate_bps_sinr(distance, bandwidth, fading_power_gain, interference_mw);
         if rate <= 0.0 {
             return Err(WirelessError::Config(format!(
                 "link rate is zero (bandwidth {bandwidth}, distance {distance})"
@@ -155,6 +230,45 @@ mod tests {
         let rate = lb.rate_bps(Meters::new(50.0), Hertz::from_mhz(5.0), 1.0);
         assert!(rate > 5e6, "rate {rate}");
         assert!(rate < 500e6, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_interference_sinr_is_bitwise_snr() {
+        let lb = LinkBudget::uplink_default();
+        let bw = Hertz::from_mhz(2.0);
+        for d in [5.0f64, 50.0, 180.0] {
+            for g in [0.3f64, 1.0, 2.5] {
+                let d = Meters::new(d);
+                assert_eq!(lb.sinr(d, bw, g, 0.0), lb.snr(d, bw, g));
+                assert_eq!(lb.rate_bps_sinr(d, bw, g, 0.0), lb.rate_bps(d, bw, g));
+            }
+        }
+    }
+
+    #[test]
+    fn interference_strictly_degrades_rate() {
+        let lb = LinkBudget::uplink_default();
+        let d = Meters::new(60.0);
+        let bw = Hertz::from_mhz(1.0);
+        // One 23 dBm interferer at 100 m.
+        let i_mw = lb.rx_power_mw(Meters::new(100.0), 1.0);
+        let clean = lb.rate_bps(d, bw, 1.0);
+        let dirty = lb.rate_bps_sinr(d, bw, 1.0, i_mw);
+        assert!(dirty < clean, "{dirty} !< {clean}");
+        // More interference is never faster.
+        let dirtier = lb.rate_bps_sinr(d, bw, 1.0, 2.0 * i_mw);
+        assert!(dirtier < dirty);
+    }
+
+    #[test]
+    fn rx_power_consistent_with_snr() {
+        // SNR == rx_power / noise_power, by definition.
+        let lb = LinkBudget::uplink_default();
+        let d = Meters::new(75.0);
+        let bw = Hertz::from_mhz(3.0);
+        let ratio = lb.rx_power_mw(d, 1.3) / lb.noise_power_mw(bw);
+        let snr = lb.snr(d, bw, 1.3);
+        assert!((ratio / snr - 1.0).abs() < 1e-9, "{ratio} vs {snr}");
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //!
 //! [`Scenario::presets`] lists the ready-made presets the scenario-sweep
 //! tooling iterates: `static`, `mobility`, `diurnal`, `congested`,
-//! `stragglers`, `dropouts`.
+//! `stragglers`, `dropouts`, `interference`, `multi_ap`, `adaptive_cut`,
+//! `composite`.
 
 use crate::environment::{
     BandwidthProfile, ChannelModel, DropoutInjector, DynamicEnvironment, StaticEnvironment,
     StragglerInjector,
 };
+use crate::interference::InterferenceSpec;
 use crate::latency::LatencyModel;
 use crate::mobility::RandomWaypoint;
+use crate::multi_ap::{HandoffKind, MultiApEnvironment};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +109,72 @@ impl Default for DropoutSpec {
     }
 }
 
+/// Parameters of the `multi_ap` scenario: several APs on a line, each
+/// with its own edge server, mobility-driven re-association, and
+/// optional cross-AP co-channel interference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiApSpec {
+    /// Number of APs, placed on a line through the origin.
+    pub aps: usize,
+    /// Spacing between neighbouring APs, meters.
+    pub spacing_m: f64,
+    /// The handoff policy deciding per-round associations.
+    pub handoff: HandoffKind,
+    /// Co-channel reuse factor across the fleet (0 disables
+    /// interference).
+    pub reuse_factor: f64,
+    /// Optional random-waypoint roaming (drives handoffs); `None` keeps
+    /// clients at their placement radii.
+    pub mobility: Option<MobilitySpec>,
+}
+
+impl Default for MultiApSpec {
+    fn default() -> Self {
+        MultiApSpec {
+            aps: 3,
+            spacing_m: 150.0,
+            handoff: HandoffKind::Hysteresis { margin_db: 3.0 },
+            reuse_factor: 0.1,
+            mobility: Some(MobilitySpec {
+                min_m: 20.0,
+                max_m: 320.0,
+                epoch_rounds: 8,
+            }),
+        }
+    }
+}
+
+/// Parameters of the `adaptive_cut` scenario: the contested, fast-moving
+/// environment the adaptive cut-selection studies run against — a deep
+/// diurnal bandwidth cycle, strong co-channel interference, and compute
+/// stragglers, so the latency-optimal cut genuinely shifts from round to
+/// round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveCutSpec {
+    /// Diurnal bandwidth cycle (short and deep by default).
+    pub diurnal: DiurnalSpec,
+    /// Co-channel interference between concurrent transmitters.
+    pub interference: InterferenceSpec,
+    /// Compute straggler injection.
+    pub stragglers: StragglerSpec,
+}
+
+impl Default for AdaptiveCutSpec {
+    fn default() -> Self {
+        AdaptiveCutSpec {
+            diurnal: DiurnalSpec {
+                period_rounds: 6,
+                trough_frac: 0.2,
+            },
+            interference: InterferenceSpec { reuse_factor: 0.6 },
+            stragglers: StragglerSpec {
+                probability: 0.3,
+                slowdown: 4.0,
+            },
+        }
+    }
+}
+
 /// A free-form composition of every overlay axis at once.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CompositeSpec {
@@ -120,6 +189,25 @@ pub struct CompositeSpec {
     pub stragglers: Option<StragglerSpec>,
     /// Optional dropout overlay.
     pub dropouts: Option<DropoutSpec>,
+    /// Optional co-channel interference overlay.
+    #[serde(default)]
+    pub interference: Option<InterferenceSpec>,
+}
+
+impl CompositeSpec {
+    /// The everything-at-once stress composite used as the `composite`
+    /// preset: mobility, congestion spikes, stragglers, dropouts and
+    /// interference together.
+    pub fn stress() -> Self {
+        CompositeSpec {
+            mobility: Some(MobilitySpec::default()),
+            diurnal: None,
+            congestion: Some(CongestionSpec::default()),
+            stragglers: Some(StragglerSpec::default()),
+            dropouts: Some(DropoutSpec { probability: 0.1 }),
+            interference: Some(InterferenceSpec { reuse_factor: 0.3 }),
+        }
+    }
 }
 
 /// A named, serializable wireless environment shape.
@@ -142,6 +230,14 @@ pub enum Scenario {
     Stragglers(StragglerSpec),
     /// Radio dropouts: random client-rounds are unreachable.
     Dropouts(DropoutSpec),
+    /// Co-channel interference: concurrent transmitters degrade each
+    /// other from SNR to SINR.
+    Interference(InterferenceSpec),
+    /// Several APs / edge servers with mobility-driven handoffs.
+    MultiAp(MultiApSpec),
+    /// The contested environment the adaptive cut-selection studies use
+    /// (deep diurnal cycle + interference + stragglers).
+    AdaptiveCut(AdaptiveCutSpec),
     /// Several overlays at once.
     Composite(CompositeSpec),
 }
@@ -156,12 +252,17 @@ impl Scenario {
             Scenario::Congested(_) => "congested",
             Scenario::Stragglers(_) => "stragglers",
             Scenario::Dropouts(_) => "dropouts",
+            Scenario::Interference(_) => "interference",
+            Scenario::MultiAp(_) => "multi_ap",
+            Scenario::AdaptiveCut(_) => "adaptive_cut",
             Scenario::Composite(_) => "composite",
         }
     }
 
-    /// The ready-made presets, in sweep order: the static baseline plus
-    /// five time-varying environments at default parameters.
+    /// The ready-made presets, in sweep order: the static baseline, the
+    /// single-axis time-varying environments, the contested-spectrum
+    /// environments (interference, multi-AP, the adaptive-cut stress
+    /// case), and the everything-at-once composite.
     pub fn presets() -> Vec<Scenario> {
         vec![
             Scenario::Static,
@@ -170,6 +271,10 @@ impl Scenario {
             Scenario::Congested(CongestionSpec::default()),
             Scenario::Stragglers(StragglerSpec::default()),
             Scenario::Dropouts(DropoutSpec::default()),
+            Scenario::Interference(InterferenceSpec::default()),
+            Scenario::MultiAp(MultiApSpec::default()),
+            Scenario::AdaptiveCut(AdaptiveCutSpec::default()),
+            Scenario::Composite(CompositeSpec::stress()),
         ]
     }
 
@@ -230,6 +335,43 @@ impl Scenario {
                     .seed(seed)
                     .build()?,
             )),
+            Scenario::Interference(spec) => Ok(Box::new(
+                StaticEnvironment::new(base).with_interference(spec)?,
+            )),
+            Scenario::MultiAp(m) => {
+                let mut b = MultiApEnvironment::builder(base)
+                    .line(m.aps, m.spacing_m)?
+                    .handoff_kind(m.handoff)
+                    .seed(seed);
+                if let Some(spec) = m.mobility {
+                    b = b.mobility(waypoints(spec, seed)?);
+                }
+                // Validate the reuse factor even when inactive, so a
+                // typo'd negative/NaN value fails loudly instead of
+                // silently disabling interference.
+                let spec = InterferenceSpec {
+                    reuse_factor: m.reuse_factor,
+                };
+                spec.validate()?;
+                if spec.is_active() {
+                    b = b.interference(spec);
+                }
+                Ok(Box::new(b.build()?))
+            }
+            Scenario::AdaptiveCut(a) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Diurnal {
+                        period_rounds: a.diurnal.period_rounds,
+                        trough_frac: a.diurnal.trough_frac,
+                    })
+                    .interference(a.interference)
+                    .stragglers(StragglerInjector {
+                        probability: a.stragglers.probability,
+                        slowdown: a.stragglers.slowdown,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
             Scenario::Composite(c) => {
                 if c.diurnal.is_some() && c.congestion.is_some() {
                     return Err(crate::WirelessError::Config(
@@ -263,6 +405,9 @@ impl Scenario {
                     b = b.dropouts(DropoutInjector {
                         probability: d.probability,
                     });
+                }
+                if let Some(i) = c.interference {
+                    b = b.interference(i);
                 }
                 Ok(Box::new(b.build()?))
             }
@@ -302,7 +447,7 @@ mod tests {
     #[test]
     fn presets_cover_every_axis_once() {
         let presets = Scenario::presets();
-        assert_eq!(presets.len(), 6);
+        assert_eq!(presets.len(), 10);
         let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
         assert_eq!(
             names,
@@ -312,7 +457,11 @@ mod tests {
                 "diurnal",
                 "congested",
                 "stragglers",
-                "dropouts"
+                "dropouts",
+                "interference",
+                "multi_ap",
+                "adaptive_cut",
+                "composite"
             ]
         );
         for name in names {
@@ -358,6 +507,7 @@ mod tests {
                 slowdown: 2.0,
             }),
             dropouts: None,
+            interference: None,
         });
         let env = scenario.build(base(), 3).unwrap();
         assert!(env.total_bandwidth(5).as_hz() < env.total_bandwidth(0).as_hz());
@@ -422,5 +572,77 @@ mod tests {
             trough_frac: -0.5,
         });
         assert!(bad.build(base(), 0).is_err());
+        let bad = Scenario::Interference(InterferenceSpec { reuse_factor: 1.5 });
+        assert!(bad.build(base(), 0).is_err());
+        let bad = Scenario::MultiAp(MultiApSpec {
+            aps: 0,
+            ..MultiApSpec::default()
+        });
+        assert!(bad.build(base(), 0).is_err());
+        // A negative/NaN reuse factor must fail loudly, not silently
+        // disable interference (same knob as the interference preset).
+        let bad = Scenario::MultiAp(MultiApSpec {
+            reuse_factor: -0.5,
+            ..MultiApSpec::default()
+        });
+        assert!(bad.build(base(), 0).is_err());
+        let bad = Scenario::MultiAp(MultiApSpec {
+            reuse_factor: f64::NAN,
+            ..MultiApSpec::default()
+        });
+        assert!(bad.build(base(), 0).is_err());
+    }
+
+    #[test]
+    fn interference_preset_pays_for_concurrency() {
+        let env = Scenario::Interference(InterferenceSpec { reuse_factor: 0.8 })
+            .build(base(), 1)
+            .unwrap();
+        let share = Hertz::from_mhz(1.0);
+        let clean = env
+            .uplink_time_among(0, Bytes::new(50_000), 0, share, &[])
+            .unwrap();
+        let contested = env
+            .uplink_time_among(0, Bytes::new(50_000), 0, share, &[1, 2])
+            .unwrap();
+        assert!(contested.as_secs_f64() > clean.as_secs_f64());
+    }
+
+    #[test]
+    fn multi_ap_preset_exposes_topology() {
+        let env = Scenario::MultiAp(MultiApSpec::default())
+            .build(base(), 2)
+            .unwrap();
+        assert_eq!(env.ap_count(), 3);
+        let cond = env.conditions(0).unwrap();
+        assert!(cond.clients.iter().all(|c| c.ap < 3));
+        // With a greedy handoff policy, roaming clients change APs.
+        let greedy = Scenario::MultiAp(MultiApSpec {
+            handoff: HandoffKind::BestSinr,
+            ..MultiApSpec::default()
+        })
+        .build(base(), 2)
+        .unwrap();
+        let mut moved = false;
+        'outer: for c in 0..3 {
+            let first = greedy.ap_of(c, 0).unwrap();
+            for r in 1..60u64 {
+                if greedy.ap_of(c, r).unwrap() != first {
+                    moved = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(moved, "multi_ap roaming must produce handoffs");
+    }
+
+    #[test]
+    fn adaptive_cut_preset_is_contested() {
+        let env = Scenario::AdaptiveCut(AdaptiveCutSpec::default())
+            .build(base(), 3)
+            .unwrap();
+        assert!(env.interference().unwrap().is_active());
+        // The diurnal trough bites mid-period.
+        assert!(env.total_bandwidth(3).as_hz() < env.total_bandwidth(0).as_hz());
     }
 }

@@ -2,8 +2,11 @@
 
 use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
 use gsfl_wireless::environment::{ChannelModel, DynamicEnvironment, StaticEnvironment};
+use gsfl_wireless::interference::InterferenceSpec;
 use gsfl_wireless::latency::LatencyModel;
 use gsfl_wireless::link::LinkBudget;
+use gsfl_wireless::mobility::RandomWaypoint;
+use gsfl_wireless::multi_ap::{HandoffKind, MultiApEnvironment};
 use gsfl_wireless::pathloss::PathLoss;
 use gsfl_wireless::units::{Bytes, Hertz, Meters};
 use proptest::prelude::*;
@@ -160,6 +163,148 @@ proptest! {
                 dy.conditions(round).unwrap(),
                 st.conditions(round).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn adding_an_interferer_never_increases_rate(
+        d in 5.0f64..300.0,
+        gain in 0.05f64..4.0,
+        bw in 0.2f64..20.0,
+        i_base in 0.0f64..1e-6,
+        i_extra_d in 5.0f64..400.0,
+    ) {
+        // SINR monotonicity at the link layer: more aggregate
+        // interference power can only lower the Shannon rate.
+        let lb = LinkBudget::uplink_default();
+        let bw = Hertz::from_mhz(bw);
+        let extra = lb.rx_power_mw(Meters::new(i_extra_d), 1.0);
+        let before = lb.rate_bps_sinr(Meters::new(d), bw, gain, i_base);
+        let after = lb.rate_bps_sinr(Meters::new(d), bw, gain, i_base + extra);
+        prop_assert!(after <= before, "{after} > {before}");
+        prop_assert!(after > 0.0);
+    }
+
+    #[test]
+    fn env_interferer_set_monotone_in_uplink_time(
+        seed in 0u64..100,
+        round in 0u64..32,
+        reuse in 0.05f64..1.0,
+    ) {
+        // Environment layer: growing the concurrent-transmitter set can
+        // only slow a victim's uplink.
+        let model = LatencyModel::builder().clients(4).seed(seed).build().unwrap();
+        let env = StaticEnvironment::new(model)
+            .with_interference(InterferenceSpec { reuse_factor: reuse })
+            .unwrap();
+        let share = Hertz::from_mhz(1.0);
+        let t = |interferers: &[usize]| {
+            env.uplink_time_among(0, Bytes::new(100_000), round, share, interferers)
+                .unwrap()
+                .as_secs_f64()
+        };
+        let t0 = t(&[]);
+        let t1 = t(&[1]);
+        let t2 = t(&[1, 2]);
+        let t3 = t(&[1, 2, 3]);
+        prop_assert!(t0 <= t1 && t1 <= t2 && t2 <= t3, "{t0} {t1} {t2} {t3}");
+        prop_assert!(t3 > t0, "active interference must actually bite");
+    }
+
+    #[test]
+    fn zero_interferers_reproduce_snr_numbers_bitwise(
+        seed in 0u64..100,
+        round in 0u64..32,
+        payload in 1u64..2_000_000,
+        reuse in 0.0f64..1.0,
+    ) {
+        // The golden-fixture guard: an interference-capable environment
+        // queried with no concurrent transmitters must reproduce the
+        // plain SNR environment byte for byte — same floats, not just
+        // close ones.
+        let model = LatencyModel::builder().clients(3).seed(seed).build().unwrap();
+        let plain = StaticEnvironment::new(model.clone());
+        let sinr_env = StaticEnvironment::new(model)
+            .with_interference(InterferenceSpec { reuse_factor: reuse })
+            .unwrap();
+        let share = Hertz::from_mhz(2.0);
+        for c in 0..3 {
+            prop_assert_eq!(
+                sinr_env.uplink_time_among(c, Bytes::new(payload), round, share, &[]).unwrap(),
+                plain.uplink_time(c, Bytes::new(payload), round, share).unwrap()
+            );
+            prop_assert_eq!(
+                sinr_env.uplink_rate_bps_among(c, round, share, &[]).unwrap(),
+                plain.uplink_rate_bps(c, round, share).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn single_ap_multi_ap_environment_is_bitwise_static(
+        seed in 0u64..100,
+        round in 0u64..32,
+        payload in 1u64..2_000_000,
+    ) {
+        let model = LatencyModel::builder().clients(3).seed(seed).build().unwrap();
+        let single = StaticEnvironment::new(model.clone());
+        let multi = MultiApEnvironment::builder(model).seed(seed).build().unwrap();
+        let share = Hertz::from_mhz(1.0);
+        for c in 0..3 {
+            prop_assert_eq!(
+                multi.uplink_time(c, Bytes::new(payload), round, share).unwrap(),
+                single.uplink_time(c, Bytes::new(payload), round, share).unwrap()
+            );
+            prop_assert_eq!(
+                multi.downlink_time(c, Bytes::new(payload), round, share).unwrap(),
+                single.downlink_time(c, Bytes::new(payload), round, share).unwrap()
+            );
+            prop_assert_eq!(
+                multi.conditions(round).unwrap(),
+                single.conditions(round).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_decisions_deterministic_per_seed(
+        seed in 0u64..50,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [
+            HandoffKind::Nearest,
+            HandoffKind::BestSinr,
+            HandoffKind::Hysteresis { margin_db: 4.0 },
+        ][kind_idx];
+        let build = || {
+            MultiApEnvironment::builder(
+                LatencyModel::builder().clients(5).seed(seed).build().unwrap(),
+            )
+            .line(3, 130.0)
+            .unwrap()
+            .mobility(RandomWaypoint {
+                min_m: 20.0,
+                max_m: 280.0,
+                epoch_rounds: 5,
+                seed,
+            })
+            .handoff_kind(kind)
+            .seed(seed)
+            .build()
+            .unwrap()
+        };
+        let a = build();
+        let b = build();
+        // b is queried in reverse round order to stress the memoization.
+        for r in (0..24u64).rev() {
+            for c in 0..5 {
+                b.ap_of(c, r).unwrap();
+            }
+        }
+        for r in 0..24u64 {
+            for c in 0..5 {
+                prop_assert_eq!(a.ap_of(c, r).unwrap(), b.ap_of(c, r).unwrap(), "{:?} c{} r{}", kind, c, r);
+            }
         }
     }
 

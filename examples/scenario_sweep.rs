@@ -4,11 +4,14 @@
 //! Runs every scheme (CL, SL, GSFL, FL, SFL) through each built-in
 //! [`Scenario`] preset — static baseline, random-waypoint mobility,
 //! diurnal bandwidth, congestion spikes, compute stragglers, radio
-//! dropouts — against one shared data/model setup, and prints a
-//! per-scenario ranking table over simulated latency, test accuracy and
-//! client-side energy.
+//! dropouts, co-channel interference, multi-AP handoffs, the
+//! adaptive-cut stress case and the composite — against one shared
+//! data/model setup, and prints a per-scenario ranking table over
+//! simulated latency, test accuracy and client-side energy.
 //!
 //! Run with: `cargo run --release --example scenario_sweep`
+//! or, for a single preset (as the CI scenario matrix does):
+//! `cargo run --release --example scenario_sweep -- multi_ap`
 
 use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
 use gsfl::core::results::RunResult;
@@ -38,14 +41,23 @@ fn config(scenario: Scenario) -> Result<ExperimentConfig, gsfl::core::CoreError>
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kinds = SchemeKind::all();
+    // An optional preset name restricts the sweep to that scenario — the
+    // CI scenario matrix runs one preset per job so a broken preset
+    // names itself in the job list.
+    let scenarios: Vec<Scenario> =
+        match std::env::args().nth(1) {
+            Some(name) => vec![Scenario::preset(&name)
+                .ok_or_else(|| format!("unknown scenario preset {name:?}"))?],
+            None => Scenario::presets(),
+        };
     println!(
-        "sweeping {} scenarios × {} schemes…\n",
-        Scenario::presets().len(),
+        "sweeping {} scenario(s) × {} schemes…\n",
+        scenarios.len(),
         kinds.len()
     );
 
     let mut static_latency: Vec<(SchemeKind, f64)> = Vec::new();
-    for scenario in Scenario::presets() {
+    for scenario in scenarios {
         let runner = Runner::new(config(scenario)?)?;
         let mut results: Vec<(SchemeKind, RunResult)> = kinds
             .iter()
