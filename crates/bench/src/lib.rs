@@ -200,6 +200,8 @@ mod tests {
                     test_accuracy: Some(0.5),
                     bytes_up: 0,
                     bytes_down: 0,
+                    bytes_up_raw: 0,
+                    bytes_down_raw: 0,
                     client_energy_j: 0.0,
                 },
                 RoundRecord {
@@ -210,6 +212,8 @@ mod tests {
                     test_accuracy: None,
                     bytes_up: 0,
                     bytes_down: 0,
+                    bytes_up_raw: 0,
+                    bytes_down_raw: 0,
                     client_energy_j: 0.0,
                 },
             ],

@@ -1,0 +1,87 @@
+//! Payload-codec kernel benches: the encode/decode round trips every
+//! lossy artifact (smashed data, gradients, model deltas) pays per wire
+//! crossing. The comparison entry pits the workspace-recycled
+//! select-based top-k kernel against a naive fresh-allocating full-sort
+//! baseline — the machine-portable ratio `perf_compare` gates on.
+
+use super::Suite;
+use gsfl_tensor::quant::{fp16_roundtrip, intq_roundtrip, topk_mask};
+use gsfl_tensor::Workspace;
+use std::hint::black_box;
+
+/// The smashed-data-sized buffer the codec benches transcode
+/// (64k scalars ≈ a 16-sample conv activation batch).
+const N: usize = 64 * 1024;
+const K: usize = N / 16;
+
+fn payload() -> Vec<f32> {
+    (0..N)
+        .map(|i| ((i * 31 % 4093) as f32 - 2046.0) * 0.01)
+        .collect()
+}
+
+/// Naive top-k for the baseline: allocate an index vector, fully sort it
+/// by magnitude, zero the losers — what a first implementation does
+/// before select_nth + a recycled scratch pool.
+fn topk_sort_fresh(values: &mut [f32], k: usize) {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .abs()
+            .partial_cmp(&values[a].abs())
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    for &i in &order[k..] {
+        values[i] = 0.0;
+    }
+}
+
+/// Registers the codec benches on `suite`.
+pub fn register(suite: &mut Suite) {
+    let src = payload();
+
+    let mut buf = src.clone();
+    suite.run("codec_fp16_roundtrip_64k", 200, || {
+        buf.copy_from_slice(&src);
+        fp16_roundtrip(black_box(&mut buf));
+    });
+
+    let mut buf = src.clone();
+    suite.run("codec_intq8_roundtrip_64k", 100, || {
+        buf.copy_from_slice(&src);
+        intq_roundtrip(black_box(&mut buf), 8, 42);
+    });
+
+    let mut base_buf = src.clone();
+    let mut fast_buf = src.clone();
+    let mut ws = Workspace::new();
+    suite.compare(
+        "codec_topk_64k",
+        60,
+        || {
+            base_buf.copy_from_slice(&src);
+            topk_sort_fresh(black_box(&mut base_buf), K);
+        },
+        || {
+            fast_buf.copy_from_slice(&src);
+            topk_mask(black_box(&mut fast_buf), K, &mut ws);
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_kernel_keep_the_same_survivor_set() {
+        let mut ws = Workspace::new();
+        let src = payload();
+        let mut naive = src.clone();
+        topk_sort_fresh(&mut naive, K);
+        let mut fast = src.clone();
+        topk_mask(&mut fast, K, &mut ws);
+        assert_eq!(naive, fast, "the bench compares equivalent work");
+    }
+}

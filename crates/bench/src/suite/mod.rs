@@ -11,6 +11,7 @@
 //! engine, with the speedup factor computed from mean wall-clock.
 
 pub mod aggregation;
+pub mod codec;
 pub mod round_latency;
 pub mod tensor_ops;
 pub mod train;
@@ -159,6 +160,7 @@ impl Suite {
 pub fn run_all(quick: bool) -> SuiteReport {
     let mut suite = Suite::new(quick);
     tensor_ops::register(&mut suite);
+    codec::register(&mut suite);
     aggregation::register(&mut suite);
     round_latency::register(&mut suite);
     train::register(&mut suite);

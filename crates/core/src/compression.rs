@@ -1,0 +1,149 @@
+//! Per-artifact compression configuration.
+//!
+//! A split-learning round ships four kinds of artifact across the
+//! wireless link, and each can carry its own [`CodecSpec`]:
+//!
+//! | artifact | encoded direction | codec field |
+//! |---|---|---|
+//! | smashed activations (+ labels) | client → AP | [`CompressionSpec::smashed`] |
+//! | cut-layer gradients | AP → client | [`CompressionSpec::gradient`] |
+//! | client-side model halves | client → AP (relay/upload hops) | [`CompressionSpec::client_model`] |
+//! | full models | client → AP (FL upload) | [`CompressionSpec::full_model`] |
+//!
+//! Model codecs compress the **uplink** only: the AP decodes each
+//! encoded upload and relays/broadcasts the model onward in fp32, which
+//! is exactly what the training loops do (downloaded models are never
+//! transcoded) — charging a compressed downlink would save airtime the
+//! accuracy never paid for.
+//!
+//! The spec is threaded from [`crate::config::ExperimentConfig`] through
+//! [`crate::context::TrainContext`] into every scheme: training applies
+//! the lossy transcode to the artifacts themselves (so accuracy pays),
+//! while [`crate::latency::SplitCosts::with_compression`] shrinks the
+//! wire sizes both latency calculators charge (so airtime saves). Labels
+//! always travel as 4-byte class ids — codecs apply to the activation
+//! payload only.
+//!
+//! The default is [`CodecSpec::Identity`] everywhere, which is provably
+//! byte-identical to the pre-codec simulator (the golden-fixture tests
+//! pin this).
+
+use crate::Result;
+use gsfl_nn::codec::CodecSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which codec each exchanged artifact uses (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CompressionSpec {
+    /// Codec for smashed activations (client → AP). Labels ride along
+    /// uncompressed.
+    #[serde(default)]
+    pub smashed: CodecSpec,
+    /// Codec for cut-layer gradients (AP → client).
+    #[serde(default)]
+    pub gradient: CodecSpec,
+    /// Codec for client-side model halves, applied as a delta against
+    /// the round-start global on every relay/upload hop (uplink only;
+    /// the AP relays fp32 downlink).
+    #[serde(default)]
+    pub client_model: CodecSpec,
+    /// Codec for full models, applied as a delta against the
+    /// round-start global on the FL upload (the broadcast is fp32).
+    #[serde(default)]
+    pub full_model: CodecSpec,
+}
+
+impl CompressionSpec {
+    /// The same codec on every artifact — what codec-ranking sweeps use.
+    pub fn uniform(codec: CodecSpec) -> Self {
+        CompressionSpec {
+            smashed: codec,
+            gradient: codec,
+            client_model: codec,
+            full_model: codec,
+        }
+    }
+
+    /// Whether every artifact uses the fp32 passthrough (the hot paths
+    /// skip all codec work then — byte-identity by construction).
+    pub fn is_transparent(&self) -> bool {
+        self.smashed.is_identity()
+            && self.gradient.is_identity()
+            && self.client_model.is_identity()
+            && self.full_model.is_identity()
+    }
+
+    /// A short label for tables: the uniform codec's name, or a
+    /// per-artifact summary when the artifacts differ.
+    pub fn label(&self) -> String {
+        let names = [
+            self.smashed.name(),
+            self.gradient.name(),
+            self.client_model.name(),
+            self.full_model.name(),
+        ];
+        if names.iter().all(|n| *n == names[0]) {
+            names[0].clone()
+        } else {
+            names.join("/")
+        }
+    }
+
+    /// Validates every codec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid codec's error.
+    pub fn validate(&self) -> Result<()> {
+        self.smashed.validate()?;
+        self.gradient.validate()?;
+        self.client_model.validate()?;
+        self.full_model.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_transparent() {
+        let spec = CompressionSpec::default();
+        assert!(spec.is_transparent());
+        assert_eq!(spec.label(), "identity");
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_and_mixed_labels() {
+        assert_eq!(CompressionSpec::uniform(CodecSpec::Fp16).label(), "fp16");
+        let mixed = CompressionSpec {
+            smashed: CodecSpec::IntQ { bits: 8 },
+            gradient: CodecSpec::IntQ { bits: 8 },
+            client_model: CodecSpec::TopK { frac: 0.25 },
+            full_model: CodecSpec::TopK { frac: 0.25 },
+        };
+        assert!(!mixed.is_transparent());
+        assert_eq!(mixed.label(), "intq8/intq8/topk25/topk25");
+    }
+
+    #[test]
+    fn validation_delegates_to_codecs() {
+        let bad = CompressionSpec {
+            smashed: CodecSpec::IntQ { bits: 99 },
+            ..CompressionSpec::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_defaults_keep_old_configs_loading() {
+        let spec: CompressionSpec = serde_json::from_str("{}").unwrap();
+        assert!(spec.is_transparent());
+        let full = CompressionSpec::uniform(CodecSpec::IntQ { bits: 4 });
+        let json = serde_json::to_string(&full).unwrap();
+        let back: CompressionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, full);
+    }
+}

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use crate::compression::CompressionSpec;
 use crate::cut::CutPolicySpec;
 use crate::latency::ChannelMode;
 use crate::{CoreError, Result};
@@ -218,6 +219,12 @@ pub struct ExperimentConfig {
     /// congestion, stragglers, dropouts, composite).
     #[serde(default)]
     pub scenario: Scenario,
+    /// Which codec each exchanged artifact (smashed data, gradients,
+    /// model updates) is encoded with before crossing the wire. Defaults
+    /// to fp32 identity on everything — byte-identical to the pre-codec
+    /// simulator.
+    #[serde(default)]
+    pub compression: CompressionSpec,
     /// Bandwidth split among concurrent transmitters (SharedPool mode).
     pub bandwidth_policy: BandwidthPolicy,
     /// Spectrum assignment model (dedicated OFDMA subchannels vs dynamic
@@ -264,6 +271,7 @@ impl ExperimentConfig {
                 augment: Augment::default(),
                 wireless: WirelessConfig::default(),
                 scenario: Scenario::Static,
+                compression: CompressionSpec::default(),
                 bandwidth_policy: BandwidthPolicy::Equal,
                 channel: ChannelMode::Dedicated,
                 grouping: GroupingKind::RoundRobin,
@@ -373,6 +381,7 @@ impl ExperimentConfig {
                 return Err(CoreError::Config("dirichlet alpha must be > 0".into()));
             }
         }
+        self.compression.validate()?;
         Ok(())
     }
 }
@@ -478,6 +487,13 @@ impl ExperimentConfigBuilder {
     /// Sets the wireless scenario (see [`Scenario::presets`]).
     pub fn scenario(mut self, s: Scenario) -> Self {
         self.config.scenario = s;
+        self
+    }
+
+    /// Sets the per-artifact payload compression (see
+    /// [`CompressionSpec`]).
+    pub fn compression(mut self, c: CompressionSpec) -> Self {
+        self.config.compression = c;
         self
     }
 

@@ -94,11 +94,13 @@ impl TrainContext {
         let env = config.environment()?;
 
         // Cost profile of the split model (drives latency and load-aware
-        // grouping).
+        // grouping). The configured compression shrinks the wire-size
+        // fields; compute and storage accounting stay raw.
         let model = config
             .model
             .build(&sample_dims, config.dataset.classes, config.seed)?;
-        let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?;
+        let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?
+            .with_compression(&config.compression);
 
         // Candidate cuts for the cut policy: just the configured cut when
         // fixed, every valid split otherwise (with its cost profile, so
@@ -114,6 +116,7 @@ impl TrainContext {
                 costs
             } else {
                 SplitCosts::compute(&model, cut, &sample_dims, config.batch_size)?
+                    .with_compression(&config.compression)
             };
             costs_by_cut.insert(cut, c);
         }

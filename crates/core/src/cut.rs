@@ -102,6 +102,9 @@ impl GreedyLatency {
                 continue;
             }
             let steps = q.steps[c] as f64;
+            // Estimates charge the encoded wire sizes — what actually
+            // occupies the air under the configured compression (model
+            // downlinks are fp32, matching the round calculators).
             let dl_model = q
                 .env
                 .downlink_time(c, costs.client_model_bytes, q.round, share)
@@ -112,13 +115,13 @@ impl GreedyLatency {
                 .ok()?;
             let ul = q
                 .env
-                .uplink_time(c, costs.smashed_bytes, q.round, share)
+                .uplink_time(c, costs.smashed_wire_bytes, q.round, share)
                 .ok()?;
             let ap = q.env.ap_of(c, q.round).ok()?;
             let srv = q.env.server_compute_at(ap, costs.server_flops);
             let dl = q
                 .env
-                .downlink_time(c, costs.grad_bytes, q.round, share)
+                .downlink_time(c, costs.grad_wire_bytes, q.round, share)
                 .ok()?;
             let bwd = q
                 .env

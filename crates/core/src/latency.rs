@@ -19,6 +19,7 @@
 //! On contention-free configurations the DES reproduces the closed forms
 //! exactly (see the property tests in `tests/`).
 
+use crate::compression::CompressionSpec;
 use crate::{CoreError, Result};
 use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
@@ -52,6 +53,14 @@ pub enum ChannelMode {
 }
 
 /// Per-mini-batch cost profile of a model at a given cut.
+///
+/// The `*_bytes` fields are the **raw** fp32 footprints of each artifact;
+/// the `*_wire_bytes` twins are what actually crosses the air after the
+/// configured [`CompressionSpec`] encodes it (equal to the raw fields
+/// under the default identity codecs — see
+/// [`SplitCosts::with_compression`]). The latency calculators charge
+/// transmission time on the wire sizes and report both totals in
+/// [`RoundBytes`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitCosts {
     /// Client-side forward FLOPs per batch.
@@ -62,14 +71,27 @@ pub struct SplitCosts {
     pub server_flops: u64,
     /// Full-model forward+backward FLOPs per batch (FL/CL).
     pub full_flops: u64,
-    /// Smashed-data payload per batch (activations + labels).
+    /// Smashed-data payload per batch (activations + labels), raw fp32.
     pub smashed_bytes: Bytes,
-    /// Gradient payload per batch (same tensor shape as the smashed data).
+    /// Gradient payload per batch (same tensor shape as the smashed
+    /// data), raw fp32.
     pub grad_bytes: Bytes,
-    /// Client-side model wire size.
+    /// Client-side model size, raw fp32.
     pub client_model_bytes: Bytes,
-    /// Full-model wire size (FL).
+    /// Full-model size (FL), raw fp32.
     pub full_model_bytes: Bytes,
+    /// Encoded smashed-data payload per batch (labels always ride
+    /// uncompressed).
+    pub smashed_wire_bytes: Bytes,
+    /// Encoded gradient payload per batch.
+    pub grad_wire_bytes: Bytes,
+    /// Encoded client-side model size — charged on model *uplinks*
+    /// only; downlinks relay the AP's decoded fp32 state and are
+    /// charged raw.
+    pub client_model_wire_bytes: Bytes,
+    /// Encoded full-model size — charged on the FL *upload*; the
+    /// broadcast is fp32.
+    pub full_model_wire_bytes: Bytes,
 }
 
 impl SplitCosts {
@@ -107,17 +129,49 @@ impl SplitCosts {
             grad_bytes: Bytes::new(smashed_payload - 4 * batch as u64),
             client_model_bytes,
             full_model_bytes,
+            smashed_wire_bytes: Bytes::new(smashed_payload),
+            grad_wire_bytes: Bytes::new(smashed_payload - 4 * batch as u64),
+            client_model_wire_bytes: client_model_bytes,
+            full_model_wire_bytes: full_model_bytes,
         })
+    }
+
+    /// A copy whose `*_wire_bytes` fields reflect `comp`'s codecs. Raw
+    /// fields (and therefore compute/storage accounting) are untouched;
+    /// identity codecs leave the wire fields bit-identical to the raw
+    /// ones. Labels (the difference between `smashed_bytes` and
+    /// `grad_bytes`) always travel as 4-byte class ids.
+    pub fn with_compression(&self, comp: &CompressionSpec) -> SplitCosts {
+        let act_numel = (self.grad_bytes.as_u64() / 4) as usize;
+        let label_bytes = self.smashed_bytes.as_u64() - self.grad_bytes.as_u64();
+        let client_numel = (self.client_model_bytes.as_u64() / 4) as usize;
+        let full_numel = (self.full_model_bytes.as_u64() / 4) as usize;
+        SplitCosts {
+            smashed_wire_bytes: Bytes::new(comp.smashed.wire_bytes(act_numel) + label_bytes),
+            grad_wire_bytes: Bytes::new(comp.gradient.wire_bytes(act_numel)),
+            client_model_wire_bytes: Bytes::new(comp.client_model.wire_bytes(client_numel)),
+            full_model_wire_bytes: Bytes::new(comp.full_model.wire_bytes(full_numel)),
+            ..*self
+        }
     }
 }
 
 /// Byte counters accumulated by a round-latency computation.
+///
+/// `up`/`down` are the **encoded** totals — the bytes airtime was
+/// actually charged for. `raw_up`/`raw_down` are what the same
+/// artifacts would have weighed uncompressed (equal under the identity
+/// codecs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundBytes {
-    /// Total client→AP bytes.
+    /// Total client→AP bytes on the wire (encoded).
     pub up: u64,
-    /// Total AP→client bytes.
+    /// Total AP→client bytes on the wire (encoded).
     pub down: u64,
+    /// Uncompressed client→AP bytes.
+    pub raw_up: u64,
+    /// Uncompressed AP→client bytes.
+    pub raw_down: u64,
 }
 
 /// Where a round's charged time went, summed over every task in the
@@ -219,14 +273,23 @@ pub fn fl_round(
     let mut breakdown = LatencyBreakdown::default();
     for &c in &participants {
         let s = steps[c];
-        let dl = latency.downlink_time(c, costs.full_model_bytes, round, share)?;
         let others: Vec<usize> = participants.iter().copied().filter(|&o| o != c).collect();
-        let ul = latency.uplink_time_among(c, costs.full_model_bytes, round, share, &others)?;
+        // All participants receive the broadcast concurrently, so the
+        // downlink pays SINR against the cohort just like the uplink.
+        // The broadcast itself is fp32 — only the *upload* is encoded
+        // (the aggregated global is never transcoded, so charging a
+        // compressed downlink would save airtime the accuracy never
+        // paid for).
+        let dl = latency.downlink_time_among(c, costs.full_model_bytes, round, share, &others)?;
+        let ul =
+            latency.uplink_time_among(c, costs.full_model_wire_bytes, round, share, &others)?;
         let compute_flops = costs.full_flops * (s * local_epochs) as u64;
         let compute = latency.client_compute(c, compute_flops, round)?;
         worst = worst.max(dl + compute + ul);
-        bytes.up += costs.full_model_bytes.as_u64();
+        bytes.up += costs.full_model_wire_bytes.as_u64();
         bytes.down += costs.full_model_bytes.as_u64();
+        bytes.raw_up += costs.full_model_bytes.as_u64();
+        bytes.raw_down += costs.full_model_bytes.as_u64();
         energy +=
             (power.rx_energy(dl) + power.compute_energy(compute) + power.tx_energy(ul)).as_joules();
         breakdown.downlink_s += dl.as_secs_f64();
@@ -273,24 +336,29 @@ pub fn sl_round(
     let mut energy = 0.0f64;
     let mut breakdown = LatencyBreakdown::default();
     for &c in order {
-        // Model arrives at this client (from the AP relay).
+        // Model arrives at this client (from the AP relay). The AP
+        // decoded the previous client's encoded upload and relays the
+        // model onward in fp32, so the downlink is charged raw.
         let model_dl = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
         total += model_dl;
         energy += power.rx_energy(model_dl).as_joules();
         bytes.down += costs.client_model_bytes.as_u64();
+        bytes.raw_down += costs.client_model_bytes.as_u64();
         breakdown.downlink_s += model_dl.as_secs_f64();
         // Split-training steps. SL is strictly sequential — one
         // transmitter at a time — so no co-channel interference applies.
         for _ in 0..steps[c] {
             let fwd = latency.client_compute(c, costs.client_fwd_flops, round)?;
-            let ul = latency.uplink_time(c, costs.smashed_bytes, round, share)?;
-            let dl = latency.downlink_time(c, costs.grad_bytes, round, share)?;
+            let ul = latency.uplink_time(c, costs.smashed_wire_bytes, round, share)?;
+            let dl = latency.downlink_time(c, costs.grad_wire_bytes, round, share)?;
             let bwd = latency.client_compute(c, costs.client_bwd_flops, round)?;
             let ap = latency.ap_of(c, round)?;
             let srv = latency.server_compute_at(ap, costs.server_flops);
             total += fwd + ul + srv + dl + bwd;
-            bytes.up += costs.smashed_bytes.as_u64();
-            bytes.down += costs.grad_bytes.as_u64();
+            bytes.up += costs.smashed_wire_bytes.as_u64();
+            bytes.down += costs.grad_wire_bytes.as_u64();
+            bytes.raw_up += costs.smashed_bytes.as_u64();
+            bytes.raw_down += costs.grad_bytes.as_u64();
             energy += (power.compute_energy(fwd + bwd) + power.tx_energy(ul) + power.rx_energy(dl))
                 .as_joules();
             breakdown.client_compute_s += (fwd + bwd).as_secs_f64();
@@ -299,10 +367,11 @@ pub fn sl_round(
             breakdown.server_s += srv.as_secs_f64();
         }
         // Hand the client-side model back to the AP for the next client.
-        let model_ul = latency.uplink_time(c, costs.client_model_bytes, round, share)?;
+        let model_ul = latency.uplink_time(c, costs.client_model_wire_bytes, round, share)?;
         total += model_ul;
         energy += power.tx_energy(model_ul).as_joules();
-        bytes.up += costs.client_model_bytes.as_u64();
+        bytes.up += costs.client_model_wire_bytes.as_u64();
+        bytes.raw_up += costs.client_model_bytes.as_u64();
         breakdown.uplink_s += model_ul.as_secs_f64();
     }
     Ok(RoundLatency {
@@ -413,7 +482,7 @@ pub fn gsfl_round_with_schedule(
                 let relay_interferers = co_transmitters(groups, gi, j - 1);
                 let relay_t = latency.uplink_time_among(
                     from,
-                    costs.client_model_bytes,
+                    costs.client_model_wire_bytes,
                     round,
                     share,
                     &relay_interferers,
@@ -424,12 +493,24 @@ pub fn gsfl_round_with_schedule(
                     None,
                     prev.as_slice(),
                 )?;
-                bytes.up += costs.client_model_bytes.as_u64();
+                bytes.up += costs.client_model_wire_bytes.as_u64();
+                bytes.raw_up += costs.client_model_bytes.as_u64();
                 energy += power.tx_energy(relay_t).as_joules();
                 breakdown.uplink_s += relay_t.as_secs_f64();
                 prev = Some(ul);
             }
-            let model_dl_t = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
+            // While this member receives, every other active group has a
+            // concurrent AP downlink on the air: charge downlink SINR
+            // against the same-position representatives. Model
+            // downlinks are fp32 (the AP decodes encoded uploads and
+            // relays raw — see `fl_round`).
+            let model_dl_t = latency.downlink_time_among(
+                c,
+                costs.client_model_bytes,
+                round,
+                share,
+                &interferers,
+            )?;
             let dl = g.add_task(
                 format!("g{gi}/model-down{c}"),
                 to_sim(model_dl_t),
@@ -437,6 +518,7 @@ pub fn gsfl_round_with_schedule(
                 prev.as_slice(),
             )?;
             bytes.down += costs.client_model_bytes.as_u64();
+            bytes.raw_down += costs.client_model_bytes.as_u64();
             energy += power.rx_energy(model_dl_t).as_joules();
             breakdown.downlink_s += model_dl_t.as_secs_f64();
             prev = Some(dl);
@@ -452,7 +534,7 @@ pub fn gsfl_round_with_schedule(
                 )?;
                 let ul_t = latency.uplink_time_among(
                     c,
-                    costs.smashed_bytes,
+                    costs.smashed_wire_bytes,
                     round,
                     share,
                     &interferers,
@@ -466,12 +548,20 @@ pub fn gsfl_round_with_schedule(
                     &[ul],
                 )?;
                 server_tasks.push((sv, ul));
-                let dl_t = latency.downlink_time(c, costs.grad_bytes, round, share)?;
+                let dl_t = latency.downlink_time_among(
+                    c,
+                    costs.grad_wire_bytes,
+                    round,
+                    share,
+                    &interferers,
+                )?;
                 let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
                 let bwd_t = latency.client_compute(c, costs.client_bwd_flops, round)?;
                 let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
-                bytes.up += costs.smashed_bytes.as_u64();
-                bytes.down += costs.grad_bytes.as_u64();
+                bytes.up += costs.smashed_wire_bytes.as_u64();
+                bytes.down += costs.grad_wire_bytes.as_u64();
+                bytes.raw_up += costs.smashed_bytes.as_u64();
+                bytes.raw_down += costs.grad_bytes.as_u64();
                 energy += (power.compute_energy(fwd_t + bwd_t)
                     + power.tx_energy(ul_t)
                     + power.rx_energy(dl_t))
@@ -488,7 +578,7 @@ pub fn gsfl_round_with_schedule(
         let last_interferers = co_transmitters(groups, gi, members.len() - 1);
         let agg_ul_t = latency.uplink_time_among(
             last,
-            costs.client_model_bytes,
+            costs.client_model_wire_bytes,
             round,
             shares[gi],
             &last_interferers,
@@ -499,7 +589,8 @@ pub fn gsfl_round_with_schedule(
             None,
             prev.as_slice(),
         )?;
-        bytes.up += costs.client_model_bytes.as_u64();
+        bytes.up += costs.client_model_wire_bytes.as_u64();
+        bytes.raw_up += costs.client_model_bytes.as_u64();
         energy += power.tx_energy(agg_ul_t).as_joules();
         breakdown.uplink_s += agg_ul_t.as_secs_f64();
         group_ends.push(agg_ul);
@@ -551,7 +642,14 @@ fn co_transmitters(groups: &[Vec<usize>], gi: usize, j: usize) -> Vec<usize> {
 }
 
 /// Bandwidth share of each group under `policy`, out of the round's
-/// available bandwidth.
+/// available bandwidth. Payloads are the **encoded** wire sizes (that is
+/// what occupies the air), and the spectral-efficiency probe is
+/// SINR-aware: each member is rated against the same-position
+/// representatives of the other groups that will transmit alongside it,
+/// so [`BandwidthPolicy::ChannelAware`] co-optimizes shares and
+/// interference instead of trusting interference-free rates.
+/// Interference-free environments answer the `_among` query identically
+/// to the plain one, keeping zero-interference behavior bit-identical.
 fn group_shares(
     latency: &dyn ChannelModel,
     cond: &RoundConditions,
@@ -564,23 +662,30 @@ fn group_shares(
     let total = cond.bandwidth;
     let demands: Vec<LinkDemand> = groups
         .iter()
-        .map(|members| {
+        .enumerate()
+        .map(|(gi, members)| {
             // Per-group payload over the round.
             let payload: u64 = members
                 .iter()
                 .map(|&c| {
-                    steps[c] as u64 * (costs.smashed_bytes.as_u64() + costs.grad_bytes.as_u64())
-                        + 2 * costs.client_model_bytes.as_u64()
+                    steps[c] as u64
+                        * (costs.smashed_wire_bytes.as_u64() + costs.grad_wire_bytes.as_u64())
+                        // Model up is encoded, model down is the fp32
+                        // relay (see the round calculators).
+                        + costs.client_model_wire_bytes.as_u64()
+                        + costs.client_model_bytes.as_u64()
                 })
                 .sum();
             // Spectral efficiency proxy: mean over members at an equal
-            // share.
+            // share, each heard against its concurrent transmitters.
             let probe = total.fraction(1.0 / groups.len() as f64);
             let se = members
                 .iter()
-                .map(|&c| {
+                .enumerate()
+                .map(|(j, &c)| {
+                    let interferers = co_transmitters(groups, gi, j);
                     latency
-                        .uplink_rate_bps(c, round, probe)
+                        .uplink_rate_bps_among(c, round, probe, &interferers)
                         .map(|r| r / probe.as_hz())
                 })
                 .collect::<gsfl_wireless::Result<Vec<f64>>>()

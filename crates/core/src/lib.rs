@@ -118,6 +118,7 @@
 mod error;
 
 pub mod aggregate;
+pub mod compression;
 pub mod config;
 pub mod context;
 pub mod cut;

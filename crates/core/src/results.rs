@@ -5,7 +5,14 @@ use std::io::Write;
 use std::path::Path;
 
 /// Metrics recorded for one training round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `bytes_up`/`bytes_down` are what the wire actually carried — the
+/// **encoded** totals airtime was charged for. `bytes_up_raw`/
+/// `bytes_down_raw` are the same artifacts' uncompressed fp32 footprint;
+/// under the default identity codecs the pairs are equal, and the
+/// hand-written serde below omits the raw fields then, keeping identity
+/// runs byte-identical to the pre-codec golden fixtures.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundRecord {
     /// 1-based round number.
     pub round: usize,
@@ -17,13 +24,86 @@ pub struct RoundRecord {
     pub train_loss: f64,
     /// Test accuracy in `[0,1]`, present on evaluation rounds.
     pub test_accuracy: Option<f64>,
-    /// Client→AP bytes this round.
+    /// Client→AP bytes on the wire this round (encoded).
     pub bytes_up: u64,
-    /// AP→client bytes this round.
+    /// AP→client bytes on the wire this round (encoded).
     pub bytes_down: u64,
+    /// Uncompressed client→AP bytes this round.
+    pub bytes_up_raw: u64,
+    /// Uncompressed AP→client bytes this round.
+    pub bytes_down_raw: u64,
     /// Total client-side energy this round, joules.
-    #[serde(default)]
     pub client_energy_j: f64,
+}
+
+// Hand-written (de)serialization: the vendored serde derive has no
+// `skip_serializing_if`, and the golden-fixture tests compare serialized
+// records *as strings* — so the raw-byte fields must only appear when a
+// lossy codec actually made them differ from the wire totals.
+impl Serialize for RoundRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("round".to_string(), self.round.to_value()),
+            (
+                "round_latency_s".to_string(),
+                self.round_latency_s.to_value(),
+            ),
+            (
+                "cumulative_latency_s".to_string(),
+                self.cumulative_latency_s.to_value(),
+            ),
+            ("train_loss".to_string(), self.train_loss.to_value()),
+            ("test_accuracy".to_string(), self.test_accuracy.to_value()),
+            ("bytes_up".to_string(), self.bytes_up.to_value()),
+            ("bytes_down".to_string(), self.bytes_down.to_value()),
+        ];
+        if self.bytes_up_raw != self.bytes_up || self.bytes_down_raw != self.bytes_down {
+            fields.push(("bytes_up_raw".to_string(), self.bytes_up_raw.to_value()));
+            fields.push(("bytes_down_raw".to_string(), self.bytes_down_raw.to_value()));
+        }
+        fields.push((
+            "client_energy_j".to_string(),
+            self.client_energy_j.to_value(),
+        ));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RoundRecord {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", v))?;
+        let field =
+            |name: &str| serde::find(entries, name).ok_or_else(|| serde::DeError::missing(name));
+        let bytes_up = u64::from_value(field("bytes_up")?)?;
+        let bytes_down = u64::from_value(field("bytes_down")?)?;
+        Ok(RoundRecord {
+            round: usize::from_value(field("round")?)?,
+            round_latency_s: f64::from_value(field("round_latency_s")?)?,
+            cumulative_latency_s: f64::from_value(field("cumulative_latency_s")?)?,
+            train_loss: f64::from_value(field("train_loss")?)?,
+            test_accuracy: Option::<f64>::from_value(field("test_accuracy")?)?,
+            bytes_up,
+            bytes_down,
+            // Absent on identity-codec records: the raw totals equal the
+            // wire totals.
+            bytes_up_raw: match serde::find(entries, "bytes_up_raw") {
+                Some(raw) => u64::from_value(raw)?,
+                None => bytes_up,
+            },
+            bytes_down_raw: match serde::find(entries, "bytes_down_raw") {
+                Some(raw) => u64::from_value(raw)?,
+                None => bytes_down,
+            },
+            // Pre-energy records load with zero energy (the historical
+            // `#[serde(default)]`).
+            client_energy_j: match serde::find(entries, "client_energy_j") {
+                Some(e) => f64::from_value(e)?,
+                None => 0.0,
+            },
+        })
+    }
 }
 
 /// The complete outcome of running one scheme.
@@ -93,9 +173,28 @@ impl RunResult {
         None
     }
 
-    /// Total bytes moved over the run (up + down).
+    /// Total bytes moved over the wire (encoded, up + down).
     pub fn total_bytes(&self) -> u64 {
         self.records.iter().map(|r| r.bytes_up + r.bytes_down).sum()
+    }
+
+    /// Total uncompressed bytes the same run would have moved (up +
+    /// down). Equal to [`RunResult::total_bytes`] under identity codecs.
+    pub fn total_raw_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.bytes_up_raw + r.bytes_down_raw)
+            .sum()
+    }
+
+    /// Wire bytes divided by raw bytes over the run — 1.0 uncompressed,
+    /// smaller is tighter. 1.0 for an empty run.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.total_raw_bytes();
+        if raw == 0 {
+            return 1.0;
+        }
+        self.total_bytes() as f64 / raw as f64
     }
 
     /// Total client-side energy over the run, joules.
@@ -115,7 +214,7 @@ impl RunResult {
     /// accuracy cells on non-evaluation rounds).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scheme,round,round_latency_s,cumulative_latency_s,train_loss,test_accuracy,bytes_up,bytes_down,client_energy_j\n",
+            "scheme,round,round_latency_s,cumulative_latency_s,train_loss,test_accuracy,bytes_up,bytes_down,bytes_up_raw,bytes_down_raw,client_energy_j\n",
         );
         for r in &self.records {
             let acc = r
@@ -123,7 +222,7 @@ impl RunResult {
                 .map(|a| format!("{a:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{},{},{},{:.6}\n",
+                "{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{:.6}\n",
                 self.scheme,
                 r.round,
                 r.round_latency_s,
@@ -132,6 +231,8 @@ impl RunResult {
                 acc,
                 r.bytes_up,
                 r.bytes_down,
+                r.bytes_up_raw,
+                r.bytes_down_raw,
                 r.client_energy_j
             ));
         }
@@ -159,40 +260,28 @@ impl RunResult {
 mod tests {
     use super::*;
 
+    fn record(round: usize, cumulative: f64, loss: f64, acc: Option<f64>) -> RoundRecord {
+        RoundRecord {
+            round,
+            round_latency_s: 2.0,
+            cumulative_latency_s: cumulative,
+            train_loss: loss,
+            test_accuracy: acc,
+            bytes_up: 100,
+            bytes_down: 50,
+            bytes_up_raw: 100,
+            bytes_down_raw: 50,
+            client_energy_j: 3.0,
+        }
+    }
+
     fn result() -> RunResult {
         RunResult {
             scheme: "test".into(),
             records: vec![
-                RoundRecord {
-                    round: 1,
-                    round_latency_s: 2.0,
-                    cumulative_latency_s: 2.0,
-                    train_loss: 1.5,
-                    test_accuracy: Some(0.3),
-                    bytes_up: 100,
-                    bytes_down: 50,
-                    client_energy_j: 3.0,
-                },
-                RoundRecord {
-                    round: 2,
-                    round_latency_s: 2.0,
-                    cumulative_latency_s: 4.0,
-                    train_loss: 1.0,
-                    test_accuracy: None,
-                    bytes_up: 100,
-                    bytes_down: 50,
-                    client_energy_j: 3.0,
-                },
-                RoundRecord {
-                    round: 3,
-                    round_latency_s: 2.0,
-                    cumulative_latency_s: 6.0,
-                    train_loss: 0.5,
-                    test_accuracy: Some(0.8),
-                    bytes_up: 100,
-                    bytes_down: 50,
-                    client_energy_j: 3.0,
-                },
+                record(1, 2.0, 1.5, Some(0.3)),
+                record(2, 4.0, 1.0, None),
+                record(3, 6.0, 0.5, Some(0.8)),
             ],
             server_storage_bytes: 1234,
             param_count: 99,
@@ -244,6 +333,42 @@ mod tests {
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.records.len(), r.records.len());
         assert_eq!(back.scheme, r.scheme);
+        assert_eq!(back.records[0], r.records[0]);
+    }
+
+    #[test]
+    fn raw_bytes_serialize_only_when_compressed() {
+        // Identity (raw == wire): the raw fields must not appear — the
+        // golden fixtures compare serialized records as strings.
+        let identity = record(1, 2.0, 1.0, None);
+        let json = serde_json::to_string(&identity).unwrap();
+        assert!(!json.contains("bytes_up_raw"), "{json}");
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, identity);
+
+        // Compressed: both raw fields appear and round-trip.
+        let mut squeezed = identity;
+        squeezed.bytes_up = 25;
+        squeezed.bytes_down = 13;
+        let json = serde_json::to_string(&squeezed).unwrap();
+        assert!(json.contains("bytes_up_raw"), "{json}");
+        assert!(json.contains("bytes_down_raw"), "{json}");
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, squeezed);
+    }
+
+    #[test]
+    fn compression_totals() {
+        let mut r = result();
+        assert_eq!(r.total_raw_bytes(), 450);
+        assert!((r.compression_ratio() - 1.0).abs() < 1e-12);
+        for rec in &mut r.records {
+            rec.bytes_up = 50;
+            rec.bytes_down = 25;
+        }
+        assert_eq!(r.total_bytes(), 225);
+        assert_eq!(r.total_raw_bytes(), 450);
+        assert!((r.compression_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::results::{RoundRecord, RunResult};
 use crate::Result;
 use gsfl_data::batcher::Batcher;
 use gsfl_data::dataset::ImageDataset;
+use gsfl_nn::codec::{transcode_delta, Codec, CodecSpec, CutChannel};
 use gsfl_nn::loss::SoftmaxCrossEntropy;
 use gsfl_nn::metrics::evaluate;
 use gsfl_nn::optim::Sgd;
@@ -14,6 +15,7 @@ use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
 use gsfl_tensor::rng::SeedDerive;
+use gsfl_tensor::Workspace;
 use std::time::Instant;
 
 /// Unwraps a scheme's state, failing if [`crate::scheme::Scheme::init`]
@@ -47,9 +49,98 @@ pub(crate) fn make_batcher(cfg: &ExperimentConfig, client: usize) -> Result<Batc
     )?)
 }
 
-/// One epoch of split training over a shard: client forward → server
-/// forward → loss → server backward → smashed gradient → client backward,
-/// stepping both optimizers each mini-batch. Returns `(loss_sum, steps)`.
+/// The cut-boundary codec hook for this experiment (smashed uplink +
+/// gradient downlink).
+pub(crate) fn make_cut_channel(cfg: &ExperimentConfig) -> CutChannel {
+    CutChannel::new(&cfg.compression.smashed, &cfg.compression.gradient)
+}
+
+/// A [`CutChannel`] bound to one client's deterministic codec streams:
+/// streams depend only on (seed, client, epoch, step), never on thread
+/// scheduling, so stochastic codecs keep runs byte-identical for any
+/// thread count.
+pub(crate) struct CutLink<'a> {
+    pub(crate) channel: &'a mut CutChannel,
+    pub(crate) streams: SeedDerive,
+}
+
+impl<'a> CutLink<'a> {
+    pub(crate) fn new(cfg: &ExperimentConfig, channel: &'a mut CutChannel, client: usize) -> Self {
+        CutLink {
+            channel,
+            streams: SeedDerive::new(cfg.seed)
+                .child("codec")
+                .index(client as u64),
+        }
+    }
+}
+
+/// Applies a model codec to a network's parameters as a delta against
+/// the round-start reference both endpoints hold — the lossy transcode a
+/// model exchange (relay hop, upload) subjects the parameters to.
+/// Identity codecs skip everything, including the snapshot.
+pub(crate) struct ModelCodec {
+    codec: Box<dyn Codec>,
+    ws: Workspace,
+    seeds: SeedDerive,
+}
+
+impl ModelCodec {
+    pub(crate) fn new(spec: &CodecSpec, seed: u64) -> Self {
+        ModelCodec {
+            codec: spec.build(),
+            ws: Workspace::new(),
+            seeds: SeedDerive::new(seed).child("codec-model"),
+        }
+    }
+
+    /// Whether the codec actually changes anything.
+    pub(crate) fn active(&self) -> bool {
+        !self.codec.is_identity()
+    }
+
+    /// Transcodes a flat parameter snapshot in place (delta vs
+    /// `reference`) — for callers that already hold the [`ParamVec`]
+    /// and don't need it written back into a network.
+    pub(crate) fn apply_vec(
+        &mut self,
+        params: &mut ParamVec,
+        reference: &ParamVec,
+        round: u64,
+        client: usize,
+    ) -> Result<()> {
+        if !self.active() {
+            return Ok(());
+        }
+        let stream = self.seeds.index(round).index(client as u64).seed();
+        transcode_delta(self.codec.as_ref(), params, reference, stream, &mut self.ws)?;
+        Ok(())
+    }
+
+    /// Transcodes `net`'s parameters in place (delta vs `reference`).
+    pub(crate) fn apply(
+        &mut self,
+        net: &mut Sequential,
+        reference: &ParamVec,
+        round: u64,
+        client: usize,
+    ) -> Result<()> {
+        if !self.active() {
+            return Ok(());
+        }
+        let mut params = ParamVec::from_network(net);
+        self.apply_vec(&mut params, reference, round, client)?;
+        params.load_into(net)?;
+        Ok(())
+    }
+}
+
+/// One epoch of split training over a shard: client forward → **uplink
+/// codec** → server forward → loss → server backward → **downlink
+/// codec** → client backward, stepping both optimizers each mini-batch.
+/// The server trains on the *decoded* smashed data and the client on the
+/// *decoded* gradient, so lossy codecs cost accuracy exactly where the
+/// latency model saves airtime. Returns `(loss_sum, steps)`.
 pub(crate) fn split_train_epoch(
     split: &mut SplitNetwork,
     client_opt: &mut Sgd,
@@ -57,17 +148,23 @@ pub(crate) fn split_train_epoch(
     shard: &ImageDataset,
     batcher: &Batcher,
     epoch: u64,
+    link: CutLink<'_>,
 ) -> Result<(f64, usize)> {
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut loss_sum = 0.0f64;
     let mut steps = 0usize;
+    let up_streams = link.streams.child("up").index(epoch);
+    let down_streams = link.streams.child("down").index(epoch);
+    let channel = link.channel;
     for batch in batcher.epoch(shard, epoch)? {
         split.client.zero_grad();
         split.server.zero_grad();
-        let smashed = split.client.forward(&batch.images)?;
+        let mut smashed = split.client.forward(&batch.images)?;
+        channel.encode_up(&mut smashed, up_streams.index(steps as u64).seed());
         let logits = split.server.forward(&smashed)?;
         let out = loss_fn.compute(&logits, &batch.labels)?;
-        let grad_smashed = split.server.backward(&out.grad_logits)?;
+        let mut grad_smashed = split.server.backward(&out.grad_logits)?;
+        channel.encode_down(&mut grad_smashed, down_streams.index(steps as u64).seed());
         split.client.backward_no_input_grad(&grad_smashed)?;
         server_opt.step(&mut split.server.params_mut())?;
         client_opt.step(&mut split.client.params_mut())?;
@@ -77,6 +174,7 @@ pub(crate) fn split_train_epoch(
         split.server.recycle(logits);
         split.server.recycle(grad_smashed);
         split.server.recycle(out.grad_logits);
+        batcher.recycle(batch);
         loss_sum += out.loss as f64;
         steps += 1;
     }
@@ -102,6 +200,7 @@ pub(crate) fn full_train_epoch(
         opt.step(&mut net.params_mut())?;
         net.recycle(logits);
         net.recycle(out.grad_logits);
+        batcher.recycle(batch);
         loss_sum += out.loss as f64;
         steps += 1;
     }
@@ -171,6 +270,8 @@ impl Recorder {
             test_accuracy,
             bytes_up: latency.bytes.up,
             bytes_down: latency.bytes.down,
+            bytes_up_raw: latency.bytes.raw_up,
+            bytes_down_raw: latency.bytes.raw_down,
             client_energy_j: latency.client_energy_j,
         });
     }
@@ -246,7 +347,12 @@ mod tests {
             1,
             RoundLatency {
                 duration: Seconds::new(2.0),
-                bytes: RoundBytes { up: 5, down: 7 },
+                bytes: RoundBytes {
+                    up: 5,
+                    down: 7,
+                    raw_up: 5,
+                    raw_down: 7,
+                },
                 client_energy_j: 1.5,
                 breakdown: Default::default(),
             },

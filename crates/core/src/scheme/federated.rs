@@ -1,6 +1,8 @@
 //! Federated learning (FL): the FedAvg baseline.
 
-use super::common::{full_train_epoch, make_batcher, make_opt, require_state, require_state_mut};
+use super::common::{
+    full_train_epoch, make_batcher, make_opt, require_state, require_state_mut, ModelCodec,
+};
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
 use crate::context::TrainContext;
@@ -88,8 +90,14 @@ impl Scheme for Federated {
                 loss_sum += l;
                 step_sum += s;
             }
+            // The full-model upload is encoded as a delta against the
+            // round-start global both endpoints hold; the AP aggregates
+            // what it decoded.
+            let mut snapshot = ParamVec::from_network(&local);
+            let mut model_codec = ModelCodec::new(&cfg.compression.full_model, cfg.seed);
+            model_codec.apply_vec(&mut snapshot, global, round as u64, c)?;
             Ok((
-                ParamVec::from_network(&local),
+                snapshot,
                 ctx.train_shards[c].len() as f64,
                 loss_sum,
                 step_sum,

@@ -1,7 +1,8 @@
 //! Group-based split federated learning — the paper's contribution.
 
 use super::common::{
-    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
+    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
@@ -162,10 +163,20 @@ fn run_groups_parallel(
         let cfg = &ctx.config;
         let mut client_opt = make_opt(cfg);
         let mut server_opt = make_opt(cfg);
+        let mut channel = make_cut_channel(cfg);
+        // The client half is re-encoded on every wire crossing: each
+        // relay hop between members and the final upload to the AP, as a
+        // delta against the state the hop started from. Streams depend
+        // only on (seed, round, client), so group-parallel threads stay
+        // byte-identical.
+        let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
         let mut samples = 0usize;
         for &c in members {
+            let relay_ref = model_codec
+                .active()
+                .then(|| ParamVec::from_network(&replica.client));
             let batcher = make_batcher(cfg, c)?;
             let (l, s) = split_train_epoch(
                 &mut replica,
@@ -174,7 +185,11 @@ fn run_groups_parallel(
                 &ctx.train_shards[c],
                 &batcher,
                 round,
+                CutLink::new(cfg, &mut channel, c),
             )?;
+            if let Some(reference) = relay_ref {
+                model_codec.apply(&mut replica.client, &reference, round, c)?;
+            }
             loss_sum += l;
             step_sum += s;
             samples += ctx.train_shards[c].len();

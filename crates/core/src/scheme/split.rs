@@ -1,7 +1,8 @@
 //! Vanilla split learning (SL): the sequential baseline.
 
 use super::common::{
-    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
+    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
@@ -101,6 +102,11 @@ impl Scheme for VanillaSplit {
 
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
+        let mut channel = make_cut_channel(cfg);
+        // The client-side model codec bites on every AP relay hop: after
+        // each client's segment the client half travels client → AP →
+        // next client as a delta against the state the hop started from.
+        let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
         match &mut state.mode {
             Mode::Fixed {
                 split,
@@ -108,6 +114,9 @@ impl Scheme for VanillaSplit {
                 server_opt,
             } => {
                 for &c in &order {
+                    let relay_ref = model_codec
+                        .active()
+                        .then(|| ParamVec::from_network(&split.client));
                     let batcher = make_batcher(cfg, c)?;
                     let (l, s) = split_train_epoch(
                         split,
@@ -116,7 +125,11 @@ impl Scheme for VanillaSplit {
                         &ctx.train_shards[c],
                         &batcher,
                         round as u64,
+                        CutLink::new(cfg, &mut channel, c),
                     )?;
+                    if let Some(reference) = relay_ref {
+                        model_codec.apply(&mut split.client, &reference, round as u64, c)?;
+                    }
                     loss_sum += l;
                     step_sum += s;
                 }
@@ -132,6 +145,9 @@ impl Scheme for VanillaSplit {
                 let mut client_opt = make_opt(cfg);
                 let mut server_opt = make_opt(cfg);
                 for &c in &order {
+                    let relay_ref = model_codec
+                        .active()
+                        .then(|| ParamVec::from_network(&split.client));
                     let batcher = make_batcher(cfg, c)?;
                     let (l, s) = split_train_epoch(
                         &mut split,
@@ -140,7 +156,11 @@ impl Scheme for VanillaSplit {
                         &ctx.train_shards[c],
                         &batcher,
                         round as u64,
+                        CutLink::new(cfg, &mut channel, c),
                     )?;
+                    if let Some(reference) = relay_ref {
+                        model_codec.apply(&mut split.client, &reference, round as u64, c)?;
+                    }
                     loss_sum += l;
                     step_sum += s;
                 }

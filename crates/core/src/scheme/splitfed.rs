@@ -2,7 +2,8 @@
 //! critiques.
 
 use super::common::{
-    join_params, make_batcher, make_opt, require_state, require_state_mut, split_train_epoch,
+    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_snapshots;
@@ -80,11 +81,17 @@ impl Scheme for SplitFed {
         // (byte-identical to the sequential path).
         let (threads, _grant) = round_fanout(cfg, participants.len());
         let template = &template;
+        // Round-start client half: the delta reference every client's
+        // model upload is encoded against.
+        let client_ref = ParamVec::from_network(&template.client);
+        let client_ref = &client_ref;
         let passes = run_indexed(participants.len(), threads, |idx| {
             let c = participants[idx];
             let mut replica = template.clone();
             let mut client_opt = make_opt(cfg);
             let mut server_opt = make_opt(cfg);
+            let mut channel = make_cut_channel(cfg);
+            let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
             let batcher = make_batcher(cfg, c)?;
             let (l, s) = split_train_epoch(
                 &mut replica,
@@ -93,9 +100,14 @@ impl Scheme for SplitFed {
                 &ctx.train_shards[c],
                 &batcher,
                 round as u64,
+                CutLink::new(cfg, &mut channel, c),
             )?;
+            // The client half crosses the wire for aggregation; the
+            // server half lives at the server and ships nothing.
+            let mut client_snap = ParamVec::from_network(&replica.client);
+            model_codec.apply_vec(&mut client_snap, client_ref, round as u64, c)?;
             Ok((
-                ParamVec::from_network(&replica.client),
+                client_snap,
                 ParamVec::from_network(&replica.server),
                 ctx.train_shards[c].len() as f64,
                 l,

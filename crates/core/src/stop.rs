@@ -258,6 +258,8 @@ mod tests {
             test_accuracy: acc,
             bytes_up: 0,
             bytes_down: 0,
+            bytes_up_raw: 0,
+            bytes_down_raw: 0,
             client_energy_j: 0.0,
         }
     }

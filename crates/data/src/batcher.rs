@@ -3,8 +3,9 @@
 use crate::dataset::ImageDataset;
 use crate::{DataError, Result};
 use gsfl_tensor::rng::SeedDerive;
-use gsfl_tensor::Tensor;
+use gsfl_tensor::{Tensor, Workspace};
 use rand::seq::SliceRandom;
+use std::cell::RefCell;
 
 /// One mini-batch: an image tensor and its labels.
 #[derive(Debug, Clone)]
@@ -15,11 +16,41 @@ pub struct Batch {
     pub labels: Vec<usize>,
 }
 
+/// The batcher's persistent gather arena: recycled image buffers (a
+/// best-fit [`Workspace`]) plus a label-vector pool. Training loops hand
+/// consumed batches back through [`Batcher::recycle`]; after the first
+/// epoch warms the pool, per-step gathers allocate nothing.
+#[derive(Debug, Default)]
+struct Arena {
+    images: Workspace,
+    labels: Vec<Vec<usize>>,
+    label_fresh: usize,
+}
+
+impl Arena {
+    fn take_labels(&mut self) -> Vec<usize> {
+        match self.labels.pop() {
+            Some(buf) => buf,
+            None => {
+                self.label_fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
 /// A shuffling mini-batch iterator over a dataset.
 ///
 /// Each *epoch* reshuffles with a seed derived from `(base seed, epoch)`,
 /// so iteration order is deterministic for a given experiment seed but
 /// differs between epochs.
+///
+/// The batcher owns a per-client gather arena: batches draw their image
+/// buffer and label vector from recycled pools, and callers on the hot
+/// path return consumed batches with [`Batcher::recycle`] so the
+/// steady-state training step performs no gather allocation (pinned by
+/// [`Batcher::gather_fresh_allocs`]). Dropping batches instead is always
+/// safe, just slower.
 ///
 /// # Example
 ///
@@ -34,10 +65,23 @@ pub struct Batch {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Batcher {
     batch_size: usize,
     seed: u64,
+    arena: RefCell<Arena>,
+}
+
+impl Clone for Batcher {
+    fn clone(&self) -> Self {
+        // The pooled buffers stay with the original; a clone starts with
+        // a cold arena of its own.
+        Batcher {
+            batch_size: self.batch_size,
+            seed: self.seed,
+            arena: RefCell::new(Arena::default()),
+        }
+    }
 }
 
 impl Batcher {
@@ -50,7 +94,11 @@ impl Batcher {
         if batch_size == 0 {
             return Err(DataError::Config("batch_size must be ≥ 1".into()));
         }
-        Ok(Batcher { batch_size, seed })
+        Ok(Batcher {
+            batch_size,
+            seed,
+            arena: RefCell::new(Arena::default()),
+        })
     }
 
     /// The configured batch size.
@@ -64,12 +112,31 @@ impl Batcher {
         dataset.len().div_ceil(self.batch_size)
     }
 
+    /// Returns a consumed batch's buffers to the gather arena so the
+    /// next [`EpochIter::next`] reuses them instead of allocating.
+    pub fn recycle(&self, batch: Batch) {
+        let mut arena = self.arena.borrow_mut();
+        arena.images.recycle(batch.images);
+        let mut labels = batch.labels;
+        labels.clear();
+        arena.labels.push(labels);
+    }
+
+    /// How many gather buffers (image + label) were freshly heap-
+    /// allocated because the arena had nothing to recycle. A training
+    /// loop that recycles its batches stops increasing this after the
+    /// first epoch.
+    pub fn gather_fresh_allocs(&self) -> usize {
+        let arena = self.arena.borrow();
+        arena.images.fresh_allocs() + arena.label_fresh
+    }
+
     /// Iterates one epoch over `dataset` in a fresh shuffled order.
     ///
     /// # Errors
     ///
     /// Returns [`DataError::Config`] for an empty dataset.
-    pub fn epoch<'d>(&self, dataset: &'d ImageDataset, epoch: u64) -> Result<EpochIter<'d>> {
+    pub fn epoch<'d>(&'d self, dataset: &'d ImageDataset, epoch: u64) -> Result<EpochIter<'d>> {
         if dataset.is_empty() {
             return Err(DataError::Config("cannot batch an empty dataset".into()));
         }
@@ -81,6 +148,7 @@ impl Batcher {
         order.shuffle(&mut rng);
         Ok(EpochIter {
             dataset,
+            arena: &self.arena,
             order,
             cursor: 0,
             batch_size: self.batch_size,
@@ -92,6 +160,7 @@ impl Batcher {
 #[derive(Debug)]
 pub struct EpochIter<'d> {
     dataset: &'d ImageDataset,
+    arena: &'d RefCell<Arena>,
     order: Vec<usize>,
     cursor: usize,
     batch_size: usize,
@@ -107,12 +176,18 @@ impl Iterator for EpochIter<'_> {
         let end = (self.cursor + self.batch_size).min(self.order.len());
         let idx = &self.order[self.cursor..end];
         self.cursor = end;
+        let inner: usize = self.dataset.images().dims()[1..].iter().product();
+        let (buf, mut labels) = {
+            let mut arena = self.arena.borrow_mut();
+            (arena.images.take(idx.len() * inner), arena.take_labels())
+        };
         let images = self
             .dataset
             .images()
-            .gather_axis0(idx)
+            .gather_axis0_with(idx, buf)
             .expect("indices from 0..len are valid");
-        let labels = idx.iter().map(|&i| self.dataset.labels()[i]).collect();
+        labels.clear();
+        labels.extend(idx.iter().map(|&i| self.dataset.labels()[i]));
         Some(Batch { images, labels })
     }
 
@@ -184,7 +259,68 @@ mod tests {
     #[test]
     fn size_hint_is_exact() {
         let ds = dataset(10);
-        let it = Batcher::new(4, 0).unwrap().epoch(&ds, 0).unwrap();
+        let b = Batcher::new(4, 0).unwrap();
+        let it = b.epoch(&ds, 0).unwrap();
         assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn recycled_epochs_stop_allocating() {
+        let ds = dataset(10); // batch sizes 4, 4, 2 — two buffer shapes
+        let b = Batcher::new(4, 3).unwrap();
+        let run_epoch = |e: u64| {
+            // Use then recycle each batch, as the training loops do.
+            for batch in b.epoch(&ds, e).unwrap() {
+                b.recycle(batch);
+            }
+        };
+        run_epoch(0);
+        run_epoch(1);
+        let warm = b.gather_fresh_allocs();
+        assert!(warm > 0, "the cold arena must have allocated something");
+        for e in 2..6 {
+            run_epoch(e);
+        }
+        assert_eq!(
+            b.gather_fresh_allocs(),
+            warm,
+            "steady-state gathers must reuse the arena"
+        );
+    }
+
+    #[test]
+    fn recycled_batches_are_byte_identical_to_fresh_ones() {
+        let ds = dataset(10);
+        let fresh = Batcher::new(4, 9).unwrap();
+        let reused = Batcher::new(4, 9).unwrap();
+        // Warm the reused batcher's arena with a full epoch.
+        for batch in reused.epoch(&ds, 0).unwrap() {
+            reused.recycle(batch);
+        }
+        for e in 0..3u64 {
+            let a: Vec<Batch> = fresh.epoch(&ds, e).unwrap().collect();
+            let mut b_batches = Vec::new();
+            for batch in reused.epoch(&ds, e).unwrap() {
+                b_batches.push((batch.images.data().to_vec(), batch.labels.clone()));
+                reused.recycle(batch);
+            }
+            for (x, (img, labels)) in a.iter().zip(&b_batches) {
+                assert_eq!(x.images.data(), &img[..]);
+                assert_eq!(&x.labels, labels);
+            }
+        }
+    }
+
+    #[test]
+    fn clone_starts_with_a_cold_arena() {
+        let ds = dataset(8);
+        let b = Batcher::new(4, 1).unwrap();
+        for batch in b.epoch(&ds, 0).unwrap() {
+            b.recycle(batch);
+        }
+        assert!(b.gather_fresh_allocs() > 0);
+        let c = b.clone();
+        assert_eq!(c.gather_fresh_allocs(), 0);
+        assert_eq!(c.batch_size(), 4);
     }
 }

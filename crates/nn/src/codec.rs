@@ -1,0 +1,454 @@
+//! Payload codecs: what the wire actually carries.
+//!
+//! Every artifact a split-learning protocol ships across the wireless
+//! link — smashed activations, cut-layer gradients, model updates — can
+//! be encoded before transmission. A [`Codec`] knows two things about an
+//! artifact of `numel` scalars:
+//!
+//! * its **wire size** ([`Codec::wire_bytes`]) — what the latency model
+//!   charges airtime for, and
+//! * its **lossy round trip** ([`Codec::transcode`]) — the
+//!   encode-then-decode transformation the *receiver* observes. Training
+//!   proceeds on the decoded tensor, so accuracy cost and airtime saving
+//!   are realized together instead of being modeled.
+//!
+//! Four codecs ship: [`Identity`] (fp32 passthrough, provably a no-op),
+//! [`Fp16`], stochastic [`IntQ`] uniform quantization, and [`TopK`]
+//! sparsification for model deltas. They are named in configs by the
+//! serde-loadable [`CodecSpec`]. The cut-boundary hook is
+//! [`CutChannel`]: one per training replica, holding the uplink
+//! (smashed) and downlink (gradient) codecs plus a recycled scratch
+//! workspace. Model updates go through [`transcode_delta`], which
+//! encodes the *delta* against a reference both endpoints hold (the
+//! round-start global), the standard trick that makes sparsification
+//! meaningful.
+
+use crate::params::ParamVec;
+use crate::{NnError, Result};
+use gsfl_tensor::quant::{fp16_roundtrip, intq_roundtrip, topk_mask};
+use gsfl_tensor::workspace::Workspace;
+use gsfl_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A payload codec: wire-size accounting plus the lossy round trip the
+/// receiver observes (see the module docs).
+pub trait Codec: std::fmt::Debug + Send + Sync {
+    /// Short name used in tables and file stems (e.g. `"intq4"`).
+    fn name(&self) -> String;
+
+    /// Encoded wire size in bytes of an artifact with `numel` scalars.
+    fn wire_bytes(&self, numel: usize) -> u64;
+
+    /// Whether this codec is the fp32 passthrough (lets hot paths skip
+    /// the transcode entirely — byte-identity by construction).
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// Applies encode-then-decode in place. `stream` seeds stochastic
+    /// codecs (same stream ⇒ same result); `ws` supplies recycled
+    /// scratch.
+    fn transcode(&self, values: &mut [f32], stream: u64, ws: &mut Workspace);
+}
+
+/// The fp32 passthrough: 4 bytes per scalar, transcode is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl Codec for Identity {
+    fn name(&self) -> String {
+        "identity".into()
+    }
+
+    fn wire_bytes(&self, numel: usize) -> u64 {
+        4 * numel as u64
+    }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
+
+    fn transcode(&self, _values: &mut [f32], _stream: u64, _ws: &mut Workspace) {}
+}
+
+/// IEEE 754 binary16: 2 bytes per scalar, round-to-nearest-even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp16;
+
+impl Codec for Fp16 {
+    fn name(&self) -> String {
+        "fp16".into()
+    }
+
+    fn wire_bytes(&self, numel: usize) -> u64 {
+        2 * numel as u64
+    }
+
+    fn transcode(&self, values: &mut [f32], _stream: u64, _ws: &mut Workspace) {
+        fp16_roundtrip(values);
+    }
+}
+
+/// Symmetric `bits`-bit uniform quantization with seeded stochastic
+/// rounding. Wire size: `bits` per scalar (packed) plus a 4-byte scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntQ {
+    /// Bits per scalar including the sign, in `2..=16`.
+    pub bits: u32,
+}
+
+impl Codec for IntQ {
+    fn name(&self) -> String {
+        format!("intq{}", self.bits)
+    }
+
+    fn wire_bytes(&self, numel: usize) -> u64 {
+        (numel as u64 * u64::from(self.bits)).div_ceil(8) + 4
+    }
+
+    fn transcode(&self, values: &mut [f32], stream: u64, _ws: &mut Workspace) {
+        intq_roundtrip(values, self.bits, stream);
+    }
+}
+
+/// Magnitude top-k sparsification: keep a `frac` fraction of the scalars
+/// (at least one), zero the rest. Wire size: 8 bytes per survivor
+/// (4-byte value + 4-byte index). Meant for model *deltas* (see
+/// [`transcode_delta`]); applying it to raw activations is legal but
+/// rarely useful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopK {
+    /// Fraction of scalars kept, in `(0, 1]`.
+    pub frac: f64,
+}
+
+impl TopK {
+    /// How many scalars survive out of `numel`.
+    pub fn kept(&self, numel: usize) -> usize {
+        ((numel as f64 * self.frac).ceil() as usize).clamp(1, numel.max(1))
+    }
+}
+
+impl Codec for TopK {
+    fn name(&self) -> String {
+        format!("topk{:02}", (self.frac * 100.0).round() as u64)
+    }
+
+    fn wire_bytes(&self, numel: usize) -> u64 {
+        8 * self.kept(numel) as u64
+    }
+
+    fn transcode(&self, values: &mut [f32], _stream: u64, ws: &mut Workspace) {
+        let k = self.kept(values.len());
+        topk_mask(values, k, ws);
+    }
+}
+
+/// Serde-loadable codec name + parameters; builds the matching [`Codec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CodecSpec {
+    /// fp32 passthrough — the historical wire format, byte-identical.
+    #[default]
+    Identity,
+    /// IEEE binary16.
+    Fp16,
+    /// `bits`-bit stochastic uniform quantization.
+    IntQ {
+        /// Bits per scalar including the sign, in `2..=16`.
+        bits: u32,
+    },
+    /// Magnitude top-k sparsification keeping a `frac` fraction.
+    TopK {
+        /// Fraction of scalars kept, in `(0, 1]`.
+        frac: f64,
+    },
+}
+
+impl CodecSpec {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] for out-of-range bits or fractions.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            CodecSpec::Identity | CodecSpec::Fp16 => Ok(()),
+            CodecSpec::IntQ { bits } => {
+                if !(2..=16).contains(&bits) {
+                    return Err(NnError::Config(format!(
+                        "intq bits must be in 2..=16, got {bits}"
+                    )));
+                }
+                Ok(())
+            }
+            CodecSpec::TopK { frac } => {
+                if !(frac > 0.0 && frac <= 1.0) || frac.is_nan() {
+                    return Err(NnError::Config(format!(
+                        "topk frac must be in (0,1], got {frac}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the codec object.
+    pub fn build(&self) -> Box<dyn Codec> {
+        match *self {
+            CodecSpec::Identity => Box::new(Identity),
+            CodecSpec::Fp16 => Box::new(Fp16),
+            CodecSpec::IntQ { bits } => Box::new(IntQ { bits }),
+            CodecSpec::TopK { frac } => Box::new(TopK { frac }),
+        }
+    }
+
+    /// The codec's short name without boxing.
+    pub fn name(&self) -> String {
+        match *self {
+            CodecSpec::Identity => Identity.name(),
+            CodecSpec::Fp16 => Fp16.name(),
+            CodecSpec::IntQ { bits } => IntQ { bits }.name(),
+            CodecSpec::TopK { frac } => TopK { frac }.name(),
+        }
+    }
+
+    /// Encoded wire size without boxing.
+    pub fn wire_bytes(&self, numel: usize) -> u64 {
+        match *self {
+            CodecSpec::Identity => Identity.wire_bytes(numel),
+            CodecSpec::Fp16 => Fp16.wire_bytes(numel),
+            CodecSpec::IntQ { bits } => IntQ { bits }.wire_bytes(numel),
+            CodecSpec::TopK { frac } => TopK { frac }.wire_bytes(numel),
+        }
+    }
+
+    /// Whether this is the fp32 passthrough.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, CodecSpec::Identity)
+    }
+}
+
+/// The encode/decode hook at the cut boundary: the uplink codec applied
+/// to smashed activations before they reach the server half, and the
+/// downlink codec applied to cut-layer gradients before they return to
+/// the client half. Owns a recycled scratch [`Workspace`], so
+/// steady-state transcoding allocates nothing.
+#[derive(Debug)]
+pub struct CutChannel {
+    up: Box<dyn Codec>,
+    down: Box<dyn Codec>,
+    ws: Workspace,
+}
+
+impl CutChannel {
+    /// Builds the channel from uplink/downlink codec specs.
+    pub fn new(up: &CodecSpec, down: &CodecSpec) -> Self {
+        CutChannel {
+            up: up.build(),
+            down: down.build(),
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Whether both directions are the fp32 passthrough — the hot paths
+    /// skip the hook entirely then, guaranteeing byte-identity.
+    pub fn is_transparent(&self) -> bool {
+        self.up.is_identity() && self.down.is_identity()
+    }
+
+    /// Transcodes smashed activations in place (client → server).
+    pub fn encode_up(&mut self, smashed: &mut Tensor, stream: u64) {
+        if !self.up.is_identity() {
+            self.up.transcode(smashed.data_mut(), stream, &mut self.ws);
+        }
+    }
+
+    /// Transcodes a cut-layer gradient in place (server → client).
+    pub fn encode_down(&mut self, grad: &mut Tensor, stream: u64) {
+        if !self.down.is_identity() {
+            self.down.transcode(grad.data_mut(), stream, &mut self.ws);
+        }
+    }
+}
+
+/// Applies `codec` to the **delta** of `params` against `reference`, in
+/// place: `params ← reference + decode(encode(params − reference))`.
+/// Both endpoints of a model exchange hold the reference (the
+/// round-start global), so delta coding is what a real system would
+/// ship — and what makes [`TopK`] sparsification meaningful, since
+/// per-round deltas are near-sparse while raw weights are not.
+///
+/// # Errors
+///
+/// Returns [`NnError::ParamLenMismatch`] when the vectors disagree in
+/// length.
+pub fn transcode_delta(
+    codec: &dyn Codec,
+    params: &mut ParamVec,
+    reference: &ParamVec,
+    stream: u64,
+    ws: &mut Workspace,
+) -> Result<()> {
+    if codec.is_identity() {
+        return Ok(());
+    }
+    if params.len() != reference.len() {
+        return Err(NnError::ParamLenMismatch {
+            expected: reference.len(),
+            actual: params.len(),
+        });
+    }
+    let n = params.len();
+    let mut delta = ws.take(n);
+    for ((d, p), r) in delta
+        .iter_mut()
+        .zip(params.values())
+        .zip(reference.values())
+    {
+        *d = p - r;
+    }
+    codec.transcode(&mut delta, stream, ws);
+    for ((p, d), r) in params
+        .values_mut()
+        .iter_mut()
+        .zip(delta.iter())
+        .zip(reference.values())
+    {
+        *p = r + d;
+    }
+    ws.give(delta);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 31 % 97) as f32 - 48.0) * 0.03)
+            .collect()
+    }
+
+    #[test]
+    fn identity_is_a_bitwise_noop() {
+        let mut ws = Workspace::new();
+        let orig = sample(64);
+        let mut v = orig.clone();
+        Identity.transcode(&mut v, 7, &mut ws);
+        assert_eq!(v, orig);
+        assert_eq!(Identity.wire_bytes(100), 400);
+        assert!(Identity.is_identity());
+    }
+
+    #[test]
+    fn wire_sizes_shrink() {
+        assert_eq!(Fp16.wire_bytes(100), 200);
+        assert_eq!(IntQ { bits: 8 }.wire_bytes(100), 104);
+        assert_eq!(IntQ { bits: 4 }.wire_bytes(100), 54);
+        assert_eq!(TopK { frac: 0.1 }.wire_bytes(100), 80);
+        // TopK always keeps at least one scalar.
+        assert_eq!(TopK { frac: 0.001 }.kept(10), 1);
+    }
+
+    #[test]
+    fn spec_builds_matching_codecs() {
+        for (spec, name) in [
+            (CodecSpec::Identity, "identity"),
+            (CodecSpec::Fp16, "fp16"),
+            (CodecSpec::IntQ { bits: 4 }, "intq4"),
+            (CodecSpec::TopK { frac: 0.25 }, "topk25"),
+        ] {
+            assert_eq!(spec.name(), name);
+            assert_eq!(spec.build().wire_bytes(64), spec.wire_bytes(64));
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(CodecSpec::IntQ { bits: 1 }.validate().is_err());
+        assert!(CodecSpec::IntQ { bits: 17 }.validate().is_err());
+        assert!(CodecSpec::IntQ { bits: 8 }.validate().is_ok());
+        assert!(CodecSpec::TopK { frac: 0.0 }.validate().is_err());
+        assert!(CodecSpec::TopK { frac: 1.5 }.validate().is_err());
+        assert!(CodecSpec::TopK { frac: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        for spec in [
+            CodecSpec::Identity,
+            CodecSpec::Fp16,
+            CodecSpec::IntQ { bits: 6 },
+            CodecSpec::TopK { frac: 0.5 },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: CodecSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn cut_channel_transparent_fast_path() {
+        let ch = CutChannel::new(&CodecSpec::Identity, &CodecSpec::Identity);
+        assert!(ch.is_transparent());
+        let ch = CutChannel::new(&CodecSpec::Fp16, &CodecSpec::Identity);
+        assert!(!ch.is_transparent());
+    }
+
+    #[test]
+    fn cut_channel_transcodes_both_directions() {
+        let mut ch = CutChannel::new(&CodecSpec::IntQ { bits: 4 }, &CodecSpec::Fp16);
+        let mut up = Tensor::from_vec(sample(32), &[4, 8]).unwrap();
+        let orig_up = up.clone();
+        ch.encode_up(&mut up, 3);
+        assert_ne!(up.data(), orig_up.data(), "4-bit quantization must bite");
+        let mut down = Tensor::from_vec(sample(32), &[4, 8]).unwrap();
+        let orig_down = down.clone();
+        ch.encode_down(&mut down, 3);
+        assert!(down.approx_eq(&orig_down, 1e-2), "fp16 error is small");
+    }
+
+    #[test]
+    fn transcode_delta_codes_the_difference() {
+        let mut ws = Workspace::new();
+        let reference = ParamVec::from_values(vec![1.0; 16]);
+        // A near-sparse delta: two large entries, the rest tiny.
+        let mut values = vec![1.001f32; 16];
+        values[3] = 2.0;
+        values[11] = 0.0;
+        let mut params = ParamVec::from_values(values);
+        let codec = TopK { frac: 2.0 / 16.0 };
+        transcode_delta(&codec, &mut params, &reference, 0, &mut ws).unwrap();
+        // Only the two large-delta entries survive; others revert to the
+        // reference.
+        assert_eq!(params.values()[3], 2.0);
+        assert_eq!(params.values()[11], 0.0);
+        for (i, &v) in params.values().iter().enumerate() {
+            if i != 3 && i != 11 {
+                assert_eq!(v, 1.0, "entry {i} must fall back to the reference");
+            }
+        }
+        // Identity is a guaranteed no-op.
+        let mut p2 = ParamVec::from_values(vec![0.5, 0.7]);
+        let before = p2.clone();
+        transcode_delta(
+            &Identity,
+            &mut p2,
+            &ParamVec::from_values(vec![0.0, 0.0]),
+            0,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(p2, before);
+        // Length mismatch errors.
+        assert!(transcode_delta(
+            &codec,
+            &mut ParamVec::from_values(vec![1.0]),
+            &reference,
+            0,
+            &mut ws
+        )
+        .is_err());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`optim`] — SGD with momentum, weight decay and LR schedules,
 //! * [`params::ParamVec`] — flattened parameter vectors for FedAvg
 //!   aggregation and wire-size accounting,
+//! * [`codec`] — payload codecs (fp16, stochastic int quantization,
+//!   top-k sparsification) applied to everything that crosses the
+//!   simulated wireless link,
 //! * [`flops`] — per-layer forward/backward FLOPs estimates that drive the
 //!   wireless latency model,
 //! * [`model`] — the lightweight traffic-sign CNN (DeepThin-style) and an
@@ -46,6 +49,7 @@ mod error;
 mod param;
 mod sequential;
 
+pub mod codec;
 pub mod flops;
 pub mod layer;
 pub mod layers;

@@ -51,6 +51,12 @@ impl ParamVec {
         &self.values
     }
 
+    /// Mutable access to the flat values (used by payload codecs to
+    /// apply a lossy transcode in place).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
     /// Number of scalars.
     pub fn len(&self) -> usize {
         self.values.len()

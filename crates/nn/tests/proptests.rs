@@ -94,6 +94,97 @@ proptest! {
     }
 
     #[test]
+    fn identity_codec_round_trip_is_bitwise_exact(seed in 0u64..300, n in 1usize..512) {
+        use gsfl_nn::codec::{Codec, Identity};
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 31 + seed) % 997) as f32 * 0.01 - 4.5).collect();
+        let mut v = orig.clone();
+        Identity.transcode(&mut v, seed, &mut ws);
+        prop_assert_eq!(&v, &orig, "identity must not move a bit");
+        prop_assert_eq!(Identity.wire_bytes(n), 4 * n as u64);
+    }
+
+    #[test]
+    fn fp16_codec_round_trip_within_documented_epsilon(seed in 0u64..300, n in 1usize..512) {
+        use gsfl_nn::codec::{Codec, Fp16};
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        // Normal-range values: relative error ≤ 2^-11 (half-precision ulp).
+        let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 37 + seed) % 1999) as f32 * 0.013 - 13.0).collect();
+        let mut v = orig.clone();
+        Fp16.transcode(&mut v, seed, &mut ws);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a - b).abs() <= b.abs() / 2048.0 + 1e-24, "{} -> {}", b, a);
+        }
+        prop_assert_eq!(Fp16.wire_bytes(n), 2 * n as u64);
+    }
+
+    #[test]
+    fn intq_codec_round_trip_within_one_step(
+        seed in 0u64..300,
+        n in 1usize..512,
+        bits in 2u32..=16,
+    ) {
+        use gsfl_nn::codec::{Codec, IntQ};
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 53 + seed) % 401) as f32 * 0.02 - 4.0).collect();
+        let mut v = orig.clone();
+        let codec = IntQ { bits };
+        codec.transcode(&mut v, seed, &mut ws);
+        // Stochastic rounding never moves a value by more than one
+        // quantization step: scale / (2^(bits-1) - 1).
+        let scale = orig.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let step = scale / ((1u32 << (bits - 1)) - 1) as f32;
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a - b).abs() <= step + 1e-6, "{} -> {} (step {})", b, a, step);
+        }
+        // Deterministic per stream.
+        let mut again = orig.clone();
+        codec.transcode(&mut again, seed, &mut ws);
+        prop_assert_eq!(v, again);
+    }
+
+    #[test]
+    fn topk_codec_preserves_the_top_k_set(
+        seed in 0u64..300,
+        n in 2usize..256,
+        frac in 0.05f64..1.0,
+    ) {
+        use gsfl_nn::codec::{Codec, TopK};
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 71 + seed) % 509) as f32 * 0.04 - 10.0).collect();
+        let codec = TopK { frac };
+        let k = codec.kept(n);
+        let mut v = orig.clone();
+        codec.transcode(&mut v, seed, &mut ws);
+        // Exactly k survivors, each bit-identical to its original.
+        let survivors: Vec<usize> = v
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(survivors.len() <= k);
+        for &i in &survivors {
+            prop_assert_eq!(v[i], orig[i], "survivors keep exact values");
+        }
+        // No zeroed element may strictly dominate a survivor: the kth
+        // magnitude is a floor under every kept value.
+        let min_kept = survivors
+            .iter()
+            .map(|&i| orig[i].abs())
+            .fold(f32::INFINITY, f32::min);
+        for (i, &x) in orig.iter().enumerate() {
+            if !survivors.contains(&i) {
+                prop_assert!(x.abs() <= min_kept + 1e-12, "dropped {} beats kept {}", x, min_kept);
+            }
+        }
+    }
+
+    #[test]
     fn one_sgd_step_on_correct_label_reduces_loss(seed in 0u64..300) {
         use gsfl_nn::optim::Sgd;
         let mut net = mlp(4, 6, 3, seed);

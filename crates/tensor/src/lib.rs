@@ -52,6 +52,7 @@ pub mod io;
 pub mod kernel;
 pub mod matmul;
 pub mod pool;
+pub mod quant;
 pub mod reference;
 pub mod rng;
 pub mod threading;

@@ -497,6 +497,20 @@ impl Tensor {
     /// Returns [`TensorError::InvalidArgument`] when an index is out of
     /// bounds or the tensor is rank 0.
     pub fn gather_axis0(&self, indices: &[usize]) -> Result<Tensor> {
+        self.gather_axis0_with(indices, Vec::new())
+    }
+
+    /// [`Tensor::gather_axis0`] into a caller-provided buffer, so hot
+    /// paths (the per-step mini-batch gather) can recycle one arena
+    /// buffer instead of allocating per call. `buf` is cleared and
+    /// refilled; when its capacity already covers the gather, no heap
+    /// allocation happens. The gathered data is byte-identical to
+    /// [`Tensor::gather_axis0`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::gather_axis0`].
+    pub fn gather_axis0_with(&self, indices: &[usize], mut buf: Vec<f32>) -> Result<Tensor> {
         if self.shape.rank() == 0 {
             return Err(TensorError::InvalidArgument(
                 "cannot gather from a scalar".into(),
@@ -504,18 +518,19 @@ impl Tensor {
         }
         let lead = self.shape.dims()[0];
         let inner: usize = self.shape.dims()[1..].iter().product();
-        let mut data = Vec::with_capacity(indices.len() * inner);
+        buf.clear();
+        buf.reserve(indices.len() * inner);
         for &i in indices {
             if i >= lead {
                 return Err(TensorError::InvalidArgument(format!(
                     "gather index {i} out of bounds for leading dim {lead}"
                 )));
             }
-            data.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+            buf.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
         }
         let mut dims = self.shape.dims().to_vec();
         dims[0] = indices.len();
-        Tensor::from_vec(data, &dims)
+        Tensor::from_vec(buf, &dims)
     }
 
     // ------------------------------------------------------------------

@@ -165,6 +165,29 @@ pub trait ChannelModel: std::fmt::Debug + Send + Sync {
         self.uplink_rate_bps(client, round, share)
     }
 
+    /// Downlink transmission time while the APs concurrently serve
+    /// `receivers` (other clients mid-downlink) co-channel. The default
+    /// ignores the set (orthogonal access — the historical behavior);
+    /// interference-aware environments degrade the rate from SNR to
+    /// SINR, hearing each concurrent downlink's transmitter (the AP
+    /// serving that receiver) at the victim client. Implementations skip
+    /// `client` itself if it appears in `receivers`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelModel::downlink_time`].
+    fn downlink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        receivers: &[usize],
+    ) -> Result<Seconds> {
+        let _ = receivers;
+        self.downlink_time(client, payload, round, share)
+    }
+
     /// Number of access points / edge servers in the environment.
     /// Single-AP environments (the default) report 1.
     fn ap_count(&self) -> usize {
@@ -331,6 +354,31 @@ impl StaticEnvironment {
             spec,
         ))
     }
+
+    /// Aggregate downlink interference at `client`: every concurrent
+    /// downlink leaks from the (single) AP, so each receiver in
+    /// `receivers` contributes the AP's received power over the victim's
+    /// own AP path (distance and downlink fading), scaled by the reuse
+    /// factor.
+    fn downlink_interference_mw(
+        &self,
+        client: usize,
+        round: u64,
+        receivers: &[usize],
+    ) -> Result<f64> {
+        let Some(spec) = self.interference else {
+            return Ok(0.0);
+        };
+        let d = self.base.distance(client)?;
+        let gain = self.base.downlink_gain(client, round);
+        let others = receivers.iter().filter(|&&r| r != client).count();
+        let sources = vec![(d, gain); others];
+        Ok(co_channel_interference_mw(
+            self.base.downlink_budget(),
+            &sources,
+            spec,
+        ))
+    }
 }
 
 impl ChannelModel for StaticEnvironment {
@@ -426,6 +474,20 @@ impl ChannelModel for StaticEnvironment {
             .base
             .uplink_rate_bps_at_sinr(client, round, share, d, i_mw))
     }
+
+    fn downlink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        receivers: &[usize],
+    ) -> Result<Seconds> {
+        let d = self.base.distance(client)?;
+        let i_mw = self.downlink_interference_mw(client, round, receivers)?;
+        self.base
+            .downlink_time_at_sinr(client, payload, round, share, d, i_mw)
+    }
 }
 
 /// How the total system bandwidth varies over rounds.
@@ -434,6 +496,13 @@ pub enum BandwidthProfile {
     /// Full bandwidth every round.
     #[default]
     Constant,
+    /// A permanently narrow band: `frac` of the nominal bandwidth every
+    /// round (spectrum licensing, a shared backhaul cap). The
+    /// bandwidth-constrained regime where payload compression pays.
+    Scaled {
+        /// Fraction of the nominal band available, in `(0, 1]`.
+        frac: f64,
+    },
     /// Smooth day/night load cycle: available bandwidth oscillates
     /// between the full band (off-peak) and `trough_frac` of it (peak
     /// congestion) with period `period_rounds`.
@@ -459,6 +528,7 @@ impl BandwidthProfile {
     fn factor(&self, round: u64, seeds: &SeedDerive) -> f64 {
         match *self {
             BandwidthProfile::Constant => 1.0,
+            BandwidthProfile::Scaled { frac } => frac,
             BandwidthProfile::Diurnal {
                 period_rounds,
                 trough_frac,
@@ -594,6 +664,29 @@ impl DynamicEnvironment {
             spec,
         ))
     }
+
+    /// Downlink twin of [`DynamicEnvironment::interference_mw`]: each
+    /// concurrent downlink leaks from the AP over the victim's own
+    /// (mobility-driven) AP path.
+    fn downlink_interference_mw(
+        &self,
+        client: usize,
+        round: u64,
+        receivers: &[usize],
+    ) -> Result<f64> {
+        let Some(spec) = self.interference else {
+            return Ok(0.0);
+        };
+        let d = self.distance(client, round)?;
+        let gain = self.base.downlink_gain(client, round);
+        let others = receivers.iter().filter(|&&r| r != client).count();
+        let sources = vec![(d, gain); others];
+        Ok(co_channel_interference_mw(
+            self.base.downlink_budget(),
+            &sources,
+            spec,
+        ))
+    }
 }
 
 impl DynamicEnvironmentBuilder {
@@ -640,6 +733,13 @@ impl DynamicEnvironmentBuilder {
     /// Returns [`WirelessError::Config`] for out-of-range probabilities
     /// or fractions.
     pub fn build(self) -> Result<DynamicEnvironment> {
+        if let BandwidthProfile::Scaled { frac } = self.bandwidth {
+            if !(frac > 0.0 && frac <= 1.0) || frac.is_nan() {
+                return Err(WirelessError::Config(format!(
+                    "scaled bandwidth frac must be in (0,1], got {frac}"
+                )));
+            }
+        }
         if let BandwidthProfile::Diurnal { trough_frac, .. } = self.bandwidth {
             if !(trough_frac > 0.0 && trough_frac <= 1.0) {
                 return Err(WirelessError::Config(format!(
@@ -790,6 +890,20 @@ impl ChannelModel for DynamicEnvironment {
         Ok(self
             .base
             .uplink_rate_bps_at_sinr(client, round, share, d, i_mw))
+    }
+
+    fn downlink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        receivers: &[usize],
+    ) -> Result<Seconds> {
+        let d = self.distance(client, round)?;
+        let i_mw = self.downlink_interference_mw(client, round, receivers)?;
+        self.base
+            .downlink_time_at_sinr(client, payload, round, share, d, i_mw)
     }
 }
 

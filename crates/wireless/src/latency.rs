@@ -238,8 +238,35 @@ impl LatencyModel {
         share: Hertz,
         distance: Meters,
     ) -> Result<Seconds> {
+        self.downlink_time_at_sinr(client, payload, round, share, distance, 0.0)
+    }
+
+    /// [`LatencyModel::downlink_time_at`] under `interference_mw` of
+    /// aggregate co-channel interference power heard at the client — the
+    /// seam interference-aware environments use for concurrent AP
+    /// downlinks. Zero interference is bit-identical to the
+    /// interference-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] on zero share.
+    pub fn downlink_time_at_sinr(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        distance: Meters,
+        interference_mw: f64,
+    ) -> Result<Seconds> {
         let gain = self.fading.power_gain(self.downlink_link_id(client), round);
-        self.downlink.transmit_time(payload, distance, share, gain)
+        self.downlink
+            .transmit_time_sinr(payload, distance, share, gain, interference_mw)
+    }
+
+    /// The downlink link budget (shared by all clients).
+    pub fn downlink_budget(&self) -> &LinkBudget {
+        &self.downlink
     }
 
     /// Achievable uplink rate in bits/s over `share` bandwidth (used by

@@ -320,6 +320,37 @@ impl MultiApEnvironment {
             spec,
         ))
     }
+
+    /// Downlink twin of [`MultiApEnvironment::interference_mw`]: each
+    /// concurrent downlink is transmitted by the AP *serving that
+    /// receiver*, and is heard at the victim client from the victim's
+    /// distance to that AP (with the victim's downlink fading state —
+    /// the cross-AP path has no stream of its own).
+    fn downlink_interference_mw(
+        &self,
+        client: usize,
+        round: u64,
+        receivers: &[usize],
+    ) -> Result<f64> {
+        let Some(spec) = self.interference else {
+            return Ok(0.0);
+        };
+        let gain = self.base.downlink_gain(client, round);
+        let mut sources = Vec::with_capacity(receivers.len());
+        for &r in receivers {
+            if r == client {
+                continue;
+            }
+            let serving_ap = self.association(r, round)?;
+            let d = self.distance_to_ap(client, serving_ap, round)?;
+            sources.push((d, gain));
+        }
+        Ok(co_channel_interference_mw(
+            self.base.downlink_budget(),
+            &sources,
+            spec,
+        ))
+    }
 }
 
 impl MultiApEnvironmentBuilder {
@@ -523,6 +554,20 @@ impl ChannelModel for MultiApEnvironment {
         Ok(self
             .base
             .uplink_rate_bps_at_sinr(client, round, share, d, i_mw))
+    }
+
+    fn downlink_time_among(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+        receivers: &[usize],
+    ) -> Result<Seconds> {
+        let d = self.distance(client, round)?;
+        let i_mw = self.downlink_interference_mw(client, round, receivers)?;
+        self.base
+            .downlink_time_at_sinr(client, payload, round, share, d, i_mw)
     }
 
     fn ap_count(&self) -> usize {

@@ -109,6 +109,41 @@ impl Default for DropoutSpec {
     }
 }
 
+/// Parameters of the `narrowband` scenario: a permanently thin slice of
+/// spectrum (licensing, a shared backhaul cap) — the regime where
+/// payload compression trades accuracy for real airtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NarrowbandSpec {
+    /// Fraction of the nominal band available, in `(0, 1]`.
+    pub frac: f64,
+}
+
+impl Default for NarrowbandSpec {
+    fn default() -> Self {
+        NarrowbandSpec { frac: 0.1 }
+    }
+}
+
+/// Parameters of the `crowded_cell` scenario: a narrow band *and*
+/// co-channel interference between concurrent transmitters — the
+/// worst-case airtime market where compressed payloads matter most.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdedCellSpec {
+    /// Fraction of the nominal band available, in `(0, 1]`.
+    pub frac: f64,
+    /// Co-channel interference between concurrent transmitters.
+    pub interference: InterferenceSpec,
+}
+
+impl Default for CrowdedCellSpec {
+    fn default() -> Self {
+        CrowdedCellSpec {
+            frac: 0.15,
+            interference: InterferenceSpec { reuse_factor: 0.5 },
+        }
+    }
+}
+
 /// Parameters of the `multi_ap` scenario: several APs on a line, each
 /// with its own edge server, mobility-driven re-association, and
 /// optional cross-AP co-channel interference.
@@ -233,6 +268,11 @@ pub enum Scenario {
     /// Co-channel interference: concurrent transmitters degrade each
     /// other from SNR to SINR.
     Interference(InterferenceSpec),
+    /// A permanently narrow band — the compression-study baseline.
+    Narrowband(NarrowbandSpec),
+    /// Narrow band plus co-channel interference — the contested airtime
+    /// market where compressed payloads matter most.
+    CrowdedCell(CrowdedCellSpec),
     /// Several APs / edge servers with mobility-driven handoffs.
     MultiAp(MultiApSpec),
     /// The contested environment the adaptive cut-selection studies use
@@ -253,6 +293,8 @@ impl Scenario {
             Scenario::Stragglers(_) => "stragglers",
             Scenario::Dropouts(_) => "dropouts",
             Scenario::Interference(_) => "interference",
+            Scenario::Narrowband(_) => "narrowband",
+            Scenario::CrowdedCell(_) => "crowded_cell",
             Scenario::MultiAp(_) => "multi_ap",
             Scenario::AdaptiveCut(_) => "adaptive_cut",
             Scenario::Composite(_) => "composite",
@@ -272,6 +314,8 @@ impl Scenario {
             Scenario::Stragglers(StragglerSpec::default()),
             Scenario::Dropouts(DropoutSpec::default()),
             Scenario::Interference(InterferenceSpec::default()),
+            Scenario::Narrowband(NarrowbandSpec::default()),
+            Scenario::CrowdedCell(CrowdedCellSpec::default()),
             Scenario::MultiAp(MultiApSpec::default()),
             Scenario::AdaptiveCut(AdaptiveCutSpec::default()),
             Scenario::Composite(CompositeSpec::stress()),
@@ -337,6 +381,19 @@ impl Scenario {
             )),
             Scenario::Interference(spec) => Ok(Box::new(
                 StaticEnvironment::new(base).with_interference(spec)?,
+            )),
+            Scenario::Narrowband(n) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Scaled { frac: n.frac })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::CrowdedCell(c) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Scaled { frac: c.frac })
+                    .interference(c.interference)
+                    .seed(seed)
+                    .build()?,
             )),
             Scenario::MultiAp(m) => {
                 let mut b = MultiApEnvironment::builder(base)
@@ -447,7 +504,7 @@ mod tests {
     #[test]
     fn presets_cover_every_axis_once() {
         let presets = Scenario::presets();
-        assert_eq!(presets.len(), 10);
+        assert_eq!(presets.len(), 12);
         let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
         assert_eq!(
             names,
@@ -459,6 +516,8 @@ mod tests {
                 "stragglers",
                 "dropouts",
                 "interference",
+                "narrowband",
+                "crowded_cell",
                 "multi_ap",
                 "adaptive_cut",
                 "composite"
@@ -634,6 +693,34 @@ mod tests {
             }
         }
         assert!(moved, "multi_ap roaming must produce handoffs");
+    }
+
+    #[test]
+    fn narrowband_presets_shrink_the_band() {
+        let narrow = Scenario::Narrowband(NarrowbandSpec { frac: 0.1 })
+            .build(base(), 0)
+            .unwrap();
+        let nominal = StaticEnvironment::new(base());
+        for round in 0..4u64 {
+            let got = narrow.total_bandwidth(round).as_hz();
+            let want = nominal.total_bandwidth(round).as_hz() * 0.1;
+            assert!((got - want).abs() < 1e-6, "round {round}: {got} vs {want}");
+        }
+        let crowded = Scenario::CrowdedCell(CrowdedCellSpec::default())
+            .build(base(), 0)
+            .unwrap();
+        assert!(crowded.total_bandwidth(0).as_hz() < nominal.total_bandwidth(0).as_hz());
+        assert!(crowded.interference().unwrap().is_active());
+        // Out-of-range fractions fail loudly.
+        assert!(Scenario::Narrowband(NarrowbandSpec { frac: 0.0 })
+            .build(base(), 0)
+            .is_err());
+        assert!(Scenario::CrowdedCell(CrowdedCellSpec {
+            frac: 1.5,
+            ..CrowdedCellSpec::default()
+        })
+        .build(base(), 0)
+        .is_err());
     }
 
     #[test]

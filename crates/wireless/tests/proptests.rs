@@ -212,6 +212,73 @@ proptest! {
     }
 
     #[test]
+    fn env_receiver_set_monotone_in_downlink_time(
+        seed in 0u64..100,
+        round in 0u64..32,
+        reuse in 0.05f64..1.0,
+        env_kind in 0usize..2,
+    ) {
+        // Downlink twin of the uplink monotonicity law: growing the set
+        // of concurrently-served receivers can only slow a victim's
+        // downlink — in the single-AP environments (same-AP subchannel
+        // leakage) and in the multi-AP fleet (other APs' downlinks heard
+        // across cells).
+        let model = LatencyModel::builder().clients(4).seed(seed).build().unwrap();
+        let spec = InterferenceSpec { reuse_factor: reuse };
+        let env: Box<dyn ChannelModel> = if env_kind == 1 {
+            Box::new(
+                MultiApEnvironment::builder(model)
+                    .line(2, 120.0)
+                    .unwrap()
+                    .interference(spec)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            )
+        } else {
+            Box::new(StaticEnvironment::new(model).with_interference(spec).unwrap())
+        };
+        let share = Hertz::from_mhz(1.0);
+        let t = |receivers: &[usize]| {
+            env.downlink_time_among(0, Bytes::new(100_000), round, share, receivers)
+                .unwrap()
+                .as_secs_f64()
+        };
+        let t0 = t(&[]);
+        let t1 = t(&[1]);
+        let t2 = t(&[1, 2]);
+        let t3 = t(&[1, 2, 3]);
+        prop_assert!(t0 <= t1 && t1 <= t2 && t2 <= t3, "{t0} {t1} {t2} {t3}");
+        prop_assert!(t3 > t0, "active downlink interference must bite");
+        // The victim itself in the receiver set is skipped.
+        prop_assert_eq!(t(&[0]), t0);
+    }
+
+    #[test]
+    fn zero_receivers_reproduce_downlink_bitwise(
+        seed in 0u64..100,
+        round in 0u64..32,
+        payload in 1u64..2_000_000,
+        reuse in 0.0f64..1.0,
+    ) {
+        // Golden-fixture guard for the downlink path: no concurrent
+        // receivers (or an inactive spec) must reproduce the plain
+        // downlink time byte for byte.
+        let model = LatencyModel::builder().clients(3).seed(seed).build().unwrap();
+        let plain = StaticEnvironment::new(model.clone());
+        let sinr_env = StaticEnvironment::new(model)
+            .with_interference(InterferenceSpec { reuse_factor: reuse })
+            .unwrap();
+        let share = Hertz::from_mhz(2.0);
+        for c in 0..3 {
+            prop_assert_eq!(
+                sinr_env.downlink_time_among(c, Bytes::new(payload), round, share, &[]).unwrap(),
+                plain.downlink_time(c, Bytes::new(payload), round, share).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn zero_interferers_reproduce_snr_numbers_bitwise(
         seed in 0u64..100,
         round in 0u64..32,

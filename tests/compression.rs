@@ -1,0 +1,208 @@
+//! End-to-end guarantees of the payload codec layer.
+//!
+//! * The explicit identity `CompressionSpec` reproduces the pre-codec
+//!   golden fixture **byte for byte** — the codec hooks are provably
+//!   transparent when every artifact is fp32.
+//! * Lossy codecs shrink the charged wire bytes while the raw totals
+//!   stay exactly what the identity run moved, and the saved airtime
+//!   shows up as lower round latency.
+//! * Lossy runs stay deterministic — per seed and per thread count —
+//!   because codec streams derive from (seed, client, epoch, step), not
+//!   from scheduling.
+
+use gsfl::core::compression::CompressionSpec;
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::results::RoundRecord;
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use gsfl::nn::codec::CodecSpec;
+use gsfl::wireless::scenario::NarrowbandSpec;
+use gsfl::wireless::Scenario;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fixture {
+    case: String,
+    scheme: String,
+    records: Vec<RoundRecord>,
+}
+
+fn fixture_config(availability: f64, seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(6)
+        .groups(2)
+        .rounds(4)
+        .batch_size(4)
+        .eval_every(2)
+        .learning_rate(0.1)
+        .availability(availability)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 8,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn explicit_identity_codec_reproduces_the_golden_fixture_byte_identically() {
+    let mut fixtures = Vec::new();
+    for (label, availability, seed) in [("full", 1.0f64, 7u64), ("churn", 0.7, 11)] {
+        let mut config = fixture_config(availability, seed);
+        // Explicitly identity on every artifact — not just the default.
+        config.compression = CompressionSpec::uniform(CodecSpec::Identity);
+        assert!(config.compression.is_transparent());
+        let runner = Runner::new(config).unwrap();
+        for kind in SchemeKind::all() {
+            let result = runner.run(kind).unwrap();
+            fixtures.push(Fixture {
+                case: label.to_string(),
+                scheme: result.scheme,
+                records: result.records,
+            });
+        }
+    }
+    let got = serde_json::to_string_pretty(&fixtures).unwrap();
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/static_round_records.json"
+    ))
+    .expect("golden fixture present");
+    assert_eq!(
+        got, golden,
+        "an explicit identity CompressionSpec must reproduce the \
+         pre-codec golden records byte for byte"
+    );
+}
+
+fn narrowband_config(compression: CompressionSpec) -> ExperimentConfig {
+    let mut cfg = fixture_config(1.0, 7);
+    cfg.scenario = Scenario::Narrowband(NarrowbandSpec { frac: 0.1 });
+    cfg.compression = compression;
+    cfg
+}
+
+#[test]
+fn lossy_codecs_shrink_wire_bytes_and_airtime_but_not_raw_totals() {
+    let identity = Runner::new(narrowband_config(CompressionSpec::default())).unwrap();
+    let fp16 = Runner::new(narrowband_config(CompressionSpec::uniform(CodecSpec::Fp16))).unwrap();
+    let intq4 = Runner::new(narrowband_config(CompressionSpec::uniform(
+        CodecSpec::IntQ { bits: 4 },
+    )))
+    .unwrap();
+    for kind in [
+        SchemeKind::VanillaSplit,
+        SchemeKind::Gsfl,
+        SchemeKind::Federated,
+    ] {
+        let base = identity.run(kind).unwrap();
+        let half = fp16.run(kind).unwrap();
+        let quarter = intq4.run(kind).unwrap();
+        // Identity: wire == raw, record by record.
+        for r in &base.records {
+            assert_eq!(r.bytes_up, r.bytes_up_raw, "{kind}");
+            assert_eq!(r.bytes_down, r.bytes_down_raw, "{kind}");
+        }
+        // Lossy: the raw totals are exactly the identity run's traffic
+        // (same protocol, same artifacts), while the wire totals shrink
+        // and the charged airtime shrinks with them.
+        assert_eq!(half.total_raw_bytes(), base.total_bytes(), "{kind}");
+        assert_eq!(quarter.total_raw_bytes(), base.total_bytes(), "{kind}");
+        assert!(half.total_bytes() < base.total_bytes(), "{kind}");
+        assert!(quarter.total_bytes() < half.total_bytes(), "{kind}");
+        assert!(
+            half.total_latency_s() < base.total_latency_s(),
+            "{kind}: saved bytes must be saved airtime"
+        );
+        for r in &half.records {
+            // Uplinks are always encoded. Downlinks: split schemes
+            // compress the gradient stream; FL's downlink is the fp32
+            // broadcast (never transcoded, so never discounted).
+            assert!(r.bytes_up < r.bytes_up_raw, "{kind}");
+            if kind == SchemeKind::Federated {
+                assert_eq!(r.bytes_down, r.bytes_down_raw, "{kind}");
+            } else {
+                assert!(r.bytes_down < r.bytes_down_raw, "{kind}");
+            }
+        }
+        assert!(half.compression_ratio() < 1.0);
+    }
+}
+
+#[test]
+fn lossy_runs_are_deterministic_per_seed() {
+    let cfg = narrowband_config(CompressionSpec {
+        smashed: CodecSpec::IntQ { bits: 8 },
+        gradient: CodecSpec::IntQ { bits: 8 },
+        client_model: CodecSpec::TopK { frac: 0.25 },
+        full_model: CodecSpec::TopK { frac: 0.25 },
+    });
+    let a = Runner::new(cfg.clone()).unwrap();
+    let b = Runner::new(cfg).unwrap();
+    for kind in SchemeKind::all() {
+        let ra = a.run(kind).unwrap();
+        let rb = b.run(kind).unwrap();
+        assert_eq!(ra.records.len(), rb.records.len(), "{kind}");
+        for (x, y) in ra.records.iter().zip(&rb.records) {
+            assert_eq!(x, y, "{kind}: lossy runs must reproduce bit-for-bit");
+        }
+    }
+}
+
+#[test]
+fn lossy_runs_are_thread_count_invariant() {
+    // Codec streams derive from (seed, client, epoch, step) — never from
+    // which host thread ran the client — so the parallel schemes stay
+    // byte-identical under any fan-out.
+    let base = narrowband_config(CompressionSpec {
+        smashed: CodecSpec::IntQ { bits: 6 },
+        gradient: CodecSpec::Fp16,
+        client_model: CodecSpec::TopK { frac: 0.5 },
+        full_model: CodecSpec::IntQ { bits: 8 },
+    });
+    let mut solo = base.clone();
+    solo.client_threads = Some(1);
+    let mut wide = base;
+    wide.client_threads = Some(4);
+    let solo = Runner::new(solo).unwrap();
+    let wide = Runner::new(wide).unwrap();
+    for kind in [
+        SchemeKind::Federated,
+        SchemeKind::SplitFed,
+        SchemeKind::Gsfl,
+    ] {
+        let a = solo.run(kind).unwrap();
+        let b = wide.run(kind).unwrap();
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x, y, "{kind}: thread count must not move a bit");
+        }
+    }
+}
+
+#[test]
+fn fp16_still_learns() {
+    // The near-lossless codec must not wreck convergence: final
+    // accuracy lands in the same neighbourhood as uncompressed training.
+    let mut cfg = narrowband_config(CompressionSpec::uniform(CodecSpec::Fp16));
+    cfg.rounds = 6;
+    let base_cfg = {
+        let mut c = narrowband_config(CompressionSpec::default());
+        c.rounds = 6;
+        c
+    };
+    let lossy = Runner::new(cfg).unwrap().run(SchemeKind::Gsfl).unwrap();
+    let exact = Runner::new(base_cfg)
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    assert!(
+        lossy.best_accuracy_pct() >= exact.best_accuracy_pct() - 10.0,
+        "fp16 {} vs fp32 {}",
+        lossy.best_accuracy_pct(),
+        exact.best_accuracy_pct()
+    );
+}
