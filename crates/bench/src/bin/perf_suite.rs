@@ -78,6 +78,10 @@ fn print_report(report: &SuiteReport) {
             .collect();
         print_table(&["comparison", "baseline ms", "fast ms", "speedup"], &rows);
     }
+
+    if let Some(kb) = report.peak_rss_kb {
+        println!("\npeak RSS: {kb} kB (includes the 10⁶-configured-client round)");
+    }
 }
 
 fn main() {

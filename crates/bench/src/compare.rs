@@ -127,6 +127,7 @@ mod tests {
             quick: false,
             hardware_threads: 1,
             generated_unix_s: 0,
+            peak_rss_kb: None,
             entries: Vec::new(),
             comparisons: pairs
                 .iter()

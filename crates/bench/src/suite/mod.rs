@@ -12,6 +12,7 @@
 
 pub mod aggregation;
 pub mod codec;
+pub mod population;
 pub mod round_latency;
 pub mod tensor_ops;
 pub mod train;
@@ -57,6 +58,12 @@ pub struct SuiteReport {
     pub hardware_threads: usize,
     /// Seconds since the Unix epoch when the suite finished.
     pub generated_unix_s: u64,
+    /// Peak resident set size (`VmHWM`) of the suite process when it
+    /// finished, in kB; `None` off Linux. The population benches run a
+    /// full round at 10⁶ configured clients, so this pins the sparse
+    /// subsystem's memory claim alongside its timings.
+    #[serde(default)]
+    pub peak_rss_kb: Option<u64>,
     /// All timed workloads.
     pub entries: Vec<BenchEntry>,
     /// Baseline-vs-fast speedups.
@@ -150,10 +157,21 @@ impl Suite {
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
+            peak_rss_kb: peak_rss_kb(),
             entries: self.entries,
             comparisons: self.comparisons,
         }
     }
+}
+
+/// Peak resident set size in kilobytes, from `/proc/self/status`
+/// (`None` off Linux).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")
+            .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+    })
 }
 
 /// Runs every benchmark group into one report.
@@ -164,6 +182,7 @@ pub fn run_all(quick: bool) -> SuiteReport {
     aggregation::register(&mut suite);
     round_latency::register(&mut suite);
     train::register(&mut suite);
+    population::register(&mut suite);
     suite.finish()
 }
 

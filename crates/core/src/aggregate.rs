@@ -1,13 +1,26 @@
-//! FedAvg aggregation of model halves.
+//! FedAvg aggregation of model halves — flat and two-tier (tree).
 //!
 //! Step 3 of the paper's scheme: after every group finishes its pass, the
 //! AP aggregates the M client-side models and the M server-side models
 //! into one of each, weighted by the number of samples each group trained
 //! on (the classic FedAvg rule).
+//!
+//! At population scale the reduction runs as a **two-tier tree** over the
+//! AP topology ([`aggregate_tree`]): each AP reduces the contributors it
+//! serves, then a second tier merges the per-AP partial aggregates over
+//! the AP→aggregator backhaul. Numerically the merge is defined to
+//! accumulate contributions in cohort order through one `f64`
+//! accumulator, independent of the AP partition — `f64` addition is not
+//! associative, so re-grouping the sum by AP would perturb low-order
+//! bits; pinning the accumulation order makes the tree reduction
+//! bit-identical to flat [`aggregate_in_place`] by construction (the
+//! tree shapes *cost*: per-AP payloads and backhaul charging live in
+//! [`crate::latency`]).
 
 use crate::Result;
-use gsfl_nn::params::{fed_avg, ParamVec};
+use gsfl_nn::params::{fed_avg, fed_avg_with, ParamVec};
 use gsfl_nn::Sequential;
+use gsfl_tensor::workspace::Workspace;
 
 /// Snapshots and aggregates a set of same-architecture networks in place.
 ///
@@ -37,6 +50,81 @@ pub fn aggregate_in_place(networks: &mut [&mut Sequential], weights: &[f64]) -> 
 /// Propagates FedAvg algebra errors.
 pub fn aggregate_snapshots(snapshots: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
     Ok(fed_avg(snapshots, weights)?)
+}
+
+/// [`aggregate_snapshots`] over recycled [`Workspace`] buffers: the `f64`
+/// accumulator and the `f32` result come from the pool, so a scheme that
+/// recycles its dead round-start snapshot aggregates with zero fresh
+/// allocations in steady state. Bitwise identical to
+/// [`aggregate_snapshots`].
+///
+/// # Errors
+///
+/// Propagates FedAvg algebra errors.
+pub fn aggregate_snapshots_with(
+    snapshots: &[ParamVec],
+    weights: &[f64],
+    ws: &mut Workspace,
+) -> Result<ParamVec> {
+    Ok(fed_avg_with(snapshots, weights, ws)?)
+}
+
+/// One AP's share of a two-tier tree reduction (see [`aggregate_tree`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApShare {
+    /// The AP index.
+    pub ap: usize,
+    /// How many contributors this AP reduced locally.
+    pub members: usize,
+}
+
+/// A two-tier tree reduction: the aggregated parameters plus the per-AP
+/// membership the latency layer prices backhaul transfers from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeAggregate {
+    /// The aggregated parameters — bit-identical to flat aggregation of
+    /// the same snapshots/weights in the same order.
+    pub params: ParamVec,
+    /// Per-AP contributor counts, ascending by AP index; APs that served
+    /// no contributor are absent.
+    pub shares: Vec<ApShare>,
+}
+
+/// Reduces `snapshots` as a two-tier tree over an AP partition: each AP
+/// locally reduces the contributors assigned to it (`aps[i]` is
+/// contributor `i`'s AP), then the second tier merges the per-AP partial
+/// aggregates. The returned parameters are **bit-identical** to
+/// [`aggregate_snapshots`] over the same inputs in the same order (see
+/// the module docs for why the accumulation order is pinned); the tree
+/// shows up in [`TreeAggregate::shares`], which the latency layer uses to
+/// price per-AP backhaul transfers.
+///
+/// # Errors
+///
+/// Returns a config error when `aps.len() != snapshots.len()`;
+/// propagates FedAvg algebra errors.
+pub fn aggregate_tree(
+    snapshots: &[ParamVec],
+    weights: &[f64],
+    aps: &[usize],
+    ws: &mut Workspace,
+) -> Result<TreeAggregate> {
+    if aps.len() != snapshots.len() {
+        return Err(crate::CoreError::Config(format!(
+            "aggregate_tree needs one AP per snapshot, got {} APs for {} snapshots",
+            aps.len(),
+            snapshots.len()
+        )));
+    }
+    let params = fed_avg_with(snapshots, weights, ws)?;
+    let mut shares: Vec<ApShare> = Vec::new();
+    for &ap in aps {
+        match shares.binary_search_by_key(&ap, |s| s.ap) {
+            Ok(i) => shares[i].members += 1,
+            Err(i) => shares.insert(i, ApShare { ap, members: 1 }),
+        }
+    }
+    Ok(TreeAggregate { params, shares })
 }
 
 #[cfg(test)]
@@ -74,6 +162,48 @@ mod tests {
         }
         let avg = aggregate_in_place(&mut [&mut a, &mut b], &[3.0, 1.0]).unwrap();
         assert!(avg.values().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn workspace_aggregation_is_bitwise_flat_and_allocation_free() {
+        let snaps: Vec<ParamVec> = (0..5).map(|s| ParamVec::from_network(&net(s))).collect();
+        let weights = [2.0, 1.0, 4.0, 0.5, 3.0];
+        let flat = aggregate_snapshots(&snaps, &weights).unwrap();
+        let mut ws = Workspace::new();
+        let pooled = aggregate_snapshots_with(&snaps, &weights, &mut ws).unwrap();
+        let flat_bits: Vec<u32> = flat.values().iter().map(|v| v.to_bits()).collect();
+        let pooled_bits: Vec<u32> = pooled.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(flat_bits, pooled_bits);
+        assert_eq!(ws.fresh_allocs(), 2); // warm-up: one f64 acc, one f32 out
+        ws.give(pooled.into_values());
+        for _ in 0..4 {
+            let again = aggregate_snapshots_with(&snaps, &weights, &mut ws).unwrap();
+            ws.give(again.into_values());
+        }
+        assert_eq!(ws.fresh_allocs(), 2, "steady state must not allocate");
+    }
+
+    #[test]
+    fn tree_reduction_is_bitwise_flat_and_counts_members() {
+        let snaps: Vec<ParamVec> = (0..6).map(|s| ParamVec::from_network(&net(s))).collect();
+        let weights = [1.0, 2.0, 3.0, 1.0, 2.0, 1.0];
+        let aps = [2usize, 0, 2, 1, 0, 2];
+        let mut ws = Workspace::new();
+        let tree = aggregate_tree(&snaps, &weights, &aps, &mut ws).unwrap();
+        let flat = aggregate_snapshots(&snaps, &weights).unwrap();
+        let flat_bits: Vec<u32> = flat.values().iter().map(|v| v.to_bits()).collect();
+        let tree_bits: Vec<u32> = tree.params.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(flat_bits, tree_bits);
+        assert_eq!(
+            tree.shares,
+            vec![
+                ApShare { ap: 0, members: 2 },
+                ApShare { ap: 1, members: 1 },
+                ApShare { ap: 2, members: 3 },
+            ]
+        );
+        // Partition length must match.
+        assert!(aggregate_tree(&snaps, &weights, &[0, 1], &mut ws).is_err());
     }
 
     #[test]

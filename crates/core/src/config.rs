@@ -3,6 +3,7 @@
 use crate::compression::CompressionSpec;
 use crate::cut::CutPolicySpec;
 use crate::latency::ChannelMode;
+use crate::population::PopulationConfig;
 use crate::{CoreError, Result};
 use gsfl_data::synth::Augment;
 use gsfl_nn::model::{CutPoint, DeepThin, Mlp};
@@ -239,6 +240,15 @@ pub struct ExperimentConfig {
     /// Per-round probability that a client is reachable and participates
     /// (1.0 = always available; lower values inject churn/failures).
     pub availability: f64,
+    /// Optional population-scale mode: `Some` declares a configured
+    /// population of [`PopulationConfig::clients`] sparse clients, of
+    /// which each round samples and materializes a cohort of exactly
+    /// `clients` — so `clients` doubles as the cohort capacity that the
+    /// environment, grouping, and latency accounting are sized to.
+    /// `None` (default) keeps every configured client dense, exactly as
+    /// before.
+    #[serde(default)]
+    pub population: Option<PopulationConfig>,
     /// Host threads used to train independent clients/groups in parallel
     /// inside a round. `None` (default) draws from the shared
     /// process-wide budget (`GSFL_THREADS` env var or the machine's
@@ -278,6 +288,7 @@ impl ExperimentConfig {
                 eval_every: 2,
                 target_accuracy: None,
                 availability: 1.0,
+                population: None,
                 client_threads: None,
                 seed: 0,
             },
@@ -379,6 +390,15 @@ impl ExperimentConfig {
         if let PartitionStrategy::Dirichlet(a) = self.partition {
             if a.is_nan() || a <= 0.0 {
                 return Err(CoreError::Config("dirichlet alpha must be > 0".into()));
+            }
+        }
+        if let Some(p) = &self.population {
+            if p.clients < self.clients as u64 {
+                return Err(CoreError::Config(format!(
+                    "population.clients ({}) must be at least the cohort \
+                     capacity `clients` ({})",
+                    p.clients, self.clients
+                )));
             }
         }
         self.compression.validate()?;
@@ -533,6 +553,15 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables population-scale mode (see
+    /// [`ExperimentConfig::population`]): `clients` becomes the cohort
+    /// capacity sampled each round from a sparse population of
+    /// `p.clients`.
+    pub fn population(mut self, p: PopulationConfig) -> Self {
+        self.config.population = Some(p);
+        self
+    }
+
     /// Forces the in-round client/group parallelism to exactly `n` host
     /// threads (see [`ExperimentConfig::client_threads`]).
     pub fn client_threads(mut self, n: usize) -> Self {
@@ -625,6 +654,34 @@ mod tests {
             "eval_every":1,"target_accuracy":null,"availability":1.0,"seed":0}"#;
         let cfg: ExperimentConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.cut_policy, CutPolicySpec::Fixed);
+    }
+
+    #[test]
+    fn population_mode_validates() {
+        let ok = ExperimentConfig::builder()
+            .clients(8)
+            .groups(2)
+            .population(PopulationConfig {
+                clients: 1_000_000,
+                samples_per_client: 0,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ok.population.unwrap().clients, 1_000_000);
+        assert!(
+            ExperimentConfig::builder()
+                .clients(8)
+                .groups(2)
+                .population(PopulationConfig {
+                    clients: 4,
+                    samples_per_client: 0,
+                })
+                .build()
+                .is_err(),
+            "a population smaller than the cohort cannot fill it"
+        );
+        // Old configs (no `population` key) keep loading as dense mode —
+        // the serde test JSON below omits it.
     }
 
     #[test]

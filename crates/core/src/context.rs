@@ -4,12 +4,14 @@
 use crate::config::{ExperimentConfig, GroupingKind, PartitionStrategy};
 use crate::grouping::{assign_groups, ClientCost};
 use crate::latency::SplitCosts;
+use crate::population::Population;
 use crate::Result;
 use gsfl_data::dataset::ImageDataset;
 use gsfl_data::partition::Partition;
 use gsfl_data::synth::SynthGtsrb;
 use gsfl_tensor::rng::SeedDerive;
 use gsfl_wireless::environment::{ChannelModel, RoundConditions};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -20,8 +22,16 @@ use std::sync::Arc;
 pub struct TrainContext {
     /// The experiment configuration.
     pub config: ExperimentConfig,
-    /// Per-client training shards (index = client id).
+    /// Per-slot training shards (index = client id in dense mode, cohort
+    /// slot in population mode, where this holds the round-0 cohort —
+    /// [`TrainContext::round_shards`] materializes later rounds).
     pub train_shards: Vec<ImageDataset>,
+    /// The sparse-population descriptor when the config enables
+    /// population mode (`None` = every configured client is dense).
+    pub population: Option<Population>,
+    /// The shared training pool population cohorts draw their shards
+    /// from (`Some` exactly when `population` is).
+    pub train_pool: Option<ImageDataset>,
     /// The held-out test set.
     pub test_set: ImageDataset,
     /// The wireless environment (latency, compute, availability), built
@@ -78,18 +88,34 @@ impl TrainContext {
         };
         let sample_dims = train.sample_dims();
 
-        // Partition across clients.
-        let part_seed = seeds.child("partition").seed();
-        let partition = match config.partition {
-            PartitionStrategy::Iid => Partition::iid(&train, config.clients, part_seed)?,
-            PartitionStrategy::Dirichlet(alpha) => {
-                Partition::dirichlet(&train, config.clients, alpha, part_seed)?
-            }
-            PartitionStrategy::Shards(k) => {
-                Partition::shards(&train, config.clients, k, part_seed)?
-            }
+        // Population mode keeps the training set pooled and materializes
+        // per-round cohort shards on demand; dense mode partitions it
+        // across the configured clients exactly as before.
+        let population = match &config.population {
+            Some(spec) => Some(Population::new(
+                spec,
+                config.clients,
+                seeds.child("population").seed(),
+            )?),
+            None => None,
         };
-        let train_shards = partition.materialize(&train)?;
+        let (train_shards, train_pool) = if let Some(pop) = &population {
+            let members = pop.sample_cohort(0);
+            let shards = pop.materialize_cohort(&members, &train)?;
+            (shards, Some(train))
+        } else {
+            let part_seed = seeds.child("partition").seed();
+            let partition = match config.partition {
+                PartitionStrategy::Iid => Partition::iid(&train, config.clients, part_seed)?,
+                PartitionStrategy::Dirichlet(alpha) => {
+                    Partition::dirichlet(&train, config.clients, alpha, part_seed)?
+                }
+                PartitionStrategy::Shards(k) => {
+                    Partition::shards(&train, config.clients, k, part_seed)?
+                }
+            };
+            (partition.materialize(&train)?, None)
+        };
 
         let env = config.environment()?;
 
@@ -156,6 +182,8 @@ impl TrainContext {
         Ok(TrainContext {
             config,
             train_shards,
+            population,
+            train_pool,
             test_set: test,
             env,
             groups,
@@ -211,6 +239,32 @@ impl TrainContext {
     /// Propagates environment query errors.
     pub fn conditions(&self, round: u64) -> Result<RoundConditions> {
         Ok(self.env.conditions(round)?)
+    }
+
+    /// Per-slot training shards for `round`: the static partition in
+    /// dense mode (borrowed, zero-cost), or the round's freshly
+    /// materialized cohort in population mode. Population shards all
+    /// have the same length ([`Population::shard_len`]), so step vectors
+    /// computed at init stay valid — only the shard *contents* rotate
+    /// with the sampled cohort.
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization errors.
+    pub fn round_shards(&self, round: u64) -> Result<Cow<'_, [ImageDataset]>> {
+        match (&self.population, &self.train_pool) {
+            (Some(pop), Some(pool)) => {
+                let members = pop.sample_cohort(round);
+                Ok(Cow::Owned(pop.materialize_cohort(&members, pool)?))
+            }
+            _ => Ok(Cow::Borrowed(&self.train_shards)),
+        }
+    }
+
+    /// The global population ids occupying the cohort slots in `round`
+    /// (`None` in dense mode).
+    pub fn cohort_members(&self, round: u64) -> Option<Vec<u64>> {
+        self.population.as_ref().map(|p| p.sample_cohort(round))
     }
 
     /// The clients participating in `round`. Never empty: if the draw
@@ -289,6 +343,37 @@ mod tests {
             let expect = ctx.train_shards[c].len().div_ceil(4);
             assert_eq!(ctx.steps_for(c), expect);
         }
+    }
+
+    #[test]
+    fn population_context_is_cohort_sized() {
+        let mut cfg = tiny_config();
+        cfg.population = Some(crate::population::PopulationConfig {
+            clients: 50_000,
+            samples_per_client: 0,
+        });
+        let ctx = TrainContext::from_config(cfg).unwrap();
+        // Everything is sized to the cohort, not the 50k population.
+        assert_eq!(ctx.train_shards.len(), 6);
+        assert_eq!(ctx.steps_per_client().len(), 6);
+        let r0 = ctx.round_shards(0).unwrap();
+        assert_eq!(
+            r0.as_ref(),
+            ctx.train_shards.as_slice(),
+            "init holds the round-0 cohort"
+        );
+        let r1 = ctx.round_shards(1).unwrap();
+        assert_eq!(r1.len(), 6);
+        assert_ne!(r1.as_ref(), ctx.train_shards.as_slice(), "cohorts rotate");
+        // Constant shard sizes keep init-time step vectors valid.
+        assert!(r1.iter().all(|s| s.len() == r1[0].len()));
+        let members = ctx.cohort_members(1).unwrap();
+        assert_eq!(members.len(), 6);
+        assert!(members.iter().all(|&m| m < 50_000));
+        // Dense mode has no cohort and borrows its shards.
+        let dense = TrainContext::from_config(tiny_config()).unwrap();
+        assert!(dense.cohort_members(0).is_none());
+        assert!(matches!(dense.round_shards(5).unwrap(), Cow::Borrowed(_)));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
 use gsfl_wireless::environment::{ChannelModel, RoundConditions};
 use gsfl_wireless::units::{Bytes, Hertz, Seconds};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// How the AP's spectrum is assigned to client links.
 ///
@@ -194,12 +195,16 @@ pub struct LatencyBreakdown {
     pub downlink_s: f64,
     /// Server-side computation **plus** slot-queue waiting, seconds.
     pub server_s: f64,
+    /// Second-tier AP→aggregator backhaul transfer time, seconds (zero
+    /// unless the environment prices its backhaul — see
+    /// [`ChannelModel::backhaul`]).
+    pub backhaul_s: f64,
 }
 
 impl LatencyBreakdown {
     /// Total charged seconds across all phases.
     pub fn total_s(&self) -> f64 {
-        self.client_compute_s + self.uplink_s + self.downlink_s + self.server_s
+        self.client_compute_s + self.uplink_s + self.downlink_s + self.server_s + self.backhaul_s
     }
 }
 
@@ -296,12 +301,21 @@ pub fn fl_round(
         breakdown.uplink_s += ul.as_secs_f64();
         breakdown.client_compute_s += compute.as_secs_f64();
     }
+    // Two-tier aggregation: each participating AP reduces its cohort
+    // locally, then ships one full-model-sized fp32 partial aggregate
+    // over its backhaul (free when the environment prices no backhaul).
+    let mut aps = Vec::with_capacity(participants.len());
+    for &c in &participants {
+        aps.push(latency.ap_of(c, round)?);
+    }
+    let backhaul = backhaul_charge(latency, &aps, costs.full_model_bytes);
+    breakdown.backhaul_s += backhaul.charged_s;
     // FedAvg aggregation on the server: one pass over the parameters per
     // client — negligible but charged for honesty.
     let agg = latency.server_compute(costs.full_model_bytes.as_u64() / 4 * n as u64);
     breakdown.server_s += agg.as_secs_f64();
     Ok(RoundLatency {
-        duration: worst + agg,
+        duration: worst + backhaul.wall + agg,
         bytes,
         client_energy_j: energy,
         breakdown,
@@ -459,6 +473,9 @@ pub fn gsfl_round_with_schedule(
         })
         .collect();
     let mut group_ends = Vec::with_capacity(m);
+    // The AP each group's final upload lands on — where its partial
+    // aggregate is reduced before the backhaul tier.
+    let mut group_aps = Vec::with_capacity(m);
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
     let mut breakdown = LatencyBreakdown::default();
@@ -594,12 +611,41 @@ pub fn gsfl_round_with_schedule(
         energy += power.tx_energy(agg_ul_t).as_joules();
         breakdown.uplink_s += agg_ul_t.as_secs_f64();
         group_ends.push(agg_ul);
+        group_aps.push(latency.ap_of(last, round)?);
     }
+
+    // Two-tier aggregation: every AP that hosted a group's final upload
+    // reduces its groups locally and ships one partial aggregate (both
+    // halves, fp32) over its backhaul before the top-level merge. With
+    // no priced backhaul the task graph is exactly the historical
+    // single-tier one.
+    let join_inputs = if group_aps.iter().any(|&ap| latency.backhaul(ap).is_some()) {
+        let payload = Bytes::new(costs.client_model_bytes.as_u64() + server_side_bytes(costs));
+        let mut per_ap: BTreeMap<usize, Vec<_>> = BTreeMap::new();
+        for (&end, &ap) in group_ends.iter().zip(&group_aps) {
+            per_ap.entry(ap).or_default().push(end);
+        }
+        let mut inputs = Vec::new();
+        for (ap, ends) in per_ap {
+            match latency.backhaul(ap) {
+                Some(link) => {
+                    let t = link.transfer_time(payload);
+                    let bh = g.add_task(format!("backhaul{ap}"), to_sim(t), None, &ends)?;
+                    breakdown.backhaul_s += t.as_secs_f64();
+                    inputs.push(bh);
+                }
+                None => inputs.extend(ends),
+            }
+        }
+        inputs
+    } else {
+        group_ends
+    };
 
     // FedAvg of both halves on the server: one parameter pass per group.
     // Aggregation runs at AP 0's server (the anchor AP that owns the
     // global model).
-    let join = g.add_barrier("agg-join", &group_ends)?;
+    let join = g.add_barrier("agg-join", &join_inputs)?;
     let agg_flops = (costs.client_model_bytes.as_u64() + server_side_bytes(costs)) / 4 * m as u64;
     let agg_t = latency.server_compute_at(0, agg_flops);
     let agg = g.add_task("fedavg", to_sim(agg_t), Some(servers[0]), &[join])?;
@@ -697,6 +743,43 @@ fn group_shares(
         })
         .collect::<gsfl_wireless::Result<Vec<LinkDemand>>>()?;
     Ok(allocate(policy, total, &demands)?)
+}
+
+/// The second-tier backhaul charge of one round: the wall-clock cost
+/// (per-AP transfers run concurrently, so the slowest AP gates the
+/// round) and the summed per-transfer time for breakdown attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BackhaulCharge {
+    /// Wall-clock seconds the round waits on the backhaul tier.
+    pub wall: Seconds,
+    /// Summed transfer seconds across all shipping APs.
+    pub charged_s: f64,
+}
+
+/// Prices the AP→aggregator tier of a two-tier aggregation: each
+/// distinct AP in `aps` ships one `payload`-sized partial aggregate over
+/// its [`ChannelModel::backhaul`] link. APs without a priced link ship
+/// for free — the historical single-tier behavior, which keeps
+/// backhaul-free environments byte-identical.
+pub fn backhaul_charge(
+    latency: &dyn ChannelModel,
+    aps: &[usize],
+    payload: Bytes,
+) -> BackhaulCharge {
+    let mut charge = BackhaulCharge::default();
+    let mut seen: Vec<usize> = Vec::new();
+    for &ap in aps {
+        if seen.contains(&ap) {
+            continue;
+        }
+        seen.push(ap);
+        if let Some(link) = latency.backhaul(ap) {
+            let t = link.transfer_time(payload);
+            charge.wall = charge.wall.max(t);
+            charge.charged_s += t.as_secs_f64();
+        }
+    }
+    charge
 }
 
 /// The wire size of the server-side model implied by the cost profile:
@@ -881,6 +964,101 @@ mod tests {
         let b = cl_round(&latency, &costs, 20);
         assert!((b.duration.as_secs_f64() / a.duration.as_secs_f64() - 2.0).abs() < 1e-9);
         assert_eq!(a.bytes.up, 0);
+    }
+
+    #[test]
+    fn backhaul_is_free_by_default_and_charged_when_priced() {
+        use gsfl_wireless::backhaul::BackhaulLink;
+        use gsfl_wireless::multi_ap::MultiApEnvironment;
+        let (flat, costs) = fixture(4, 4);
+        let fl = fl_round(&flat, &costs, &[1, 1, 1, 1], 1, 0).unwrap();
+        assert_eq!(fl.breakdown.backhaul_s, 0.0);
+        let build = |link: Option<BackhaulLink>| {
+            let latency = LatencyModel::builder()
+                .clients(4)
+                .fading(false)
+                .fixed_distances(vec![Meters::new(50.0); 4])
+                .fixed_devices(vec![
+                    DeviceProfile::new(FlopsRate::from_gflops(1.0)).unwrap();
+                    4
+                ])
+                .server(EdgeServer::new(FlopsRate::from_gflops(50.0), 4).unwrap())
+                .build()
+                .unwrap();
+            let mut b = MultiApEnvironment::builder(latency).line(2, 100.0).unwrap();
+            if let Some(l) = link {
+                b = b.backhaul(l);
+            }
+            b.build().unwrap()
+        };
+        let free = build(None);
+        let slow_link = BackhaulLink::new(1e6, 0.05).unwrap();
+        let tiered = build(Some(slow_link));
+        // FL: backhaul extends the round by exactly the wall charge and
+        // leaves every other phase untouched.
+        let steps = [1usize, 1, 1, 1];
+        let fl_free = fl_round(&free, &costs, &steps, 1, 0).unwrap();
+        let fl_tiered = fl_round(&tiered, &costs, &steps, 1, 0).unwrap();
+        assert_eq!(fl_free.breakdown.backhaul_s, 0.0);
+        assert!(fl_tiered.breakdown.backhaul_s > 0.0);
+        assert!(fl_tiered.duration.as_secs_f64() > fl_free.duration.as_secs_f64());
+        assert_eq!(fl_free.breakdown.uplink_s, fl_tiered.breakdown.uplink_s);
+        assert_eq!(fl_free.breakdown.server_s, fl_tiered.breakdown.server_s);
+        assert_eq!(fl_free.bytes, fl_tiered.bytes, "backhaul is not airtime");
+        // GSFL: the DES gets per-AP backhaul tasks before the merge.
+        let groups = vec![vec![0usize, 1], vec![2, 3]];
+        let g_free = gsfl_round(
+            &free,
+            &costs,
+            &steps,
+            &groups,
+            BandwidthPolicy::Equal,
+            ChannelMode::Dedicated,
+            0,
+        )
+        .unwrap();
+        let g_tiered = gsfl_round(
+            &tiered,
+            &costs,
+            &steps,
+            &groups,
+            BandwidthPolicy::Equal,
+            ChannelMode::Dedicated,
+            0,
+        )
+        .unwrap();
+        assert_eq!(g_free.breakdown.backhaul_s, 0.0);
+        assert!(g_tiered.breakdown.backhaul_s > 0.0);
+        assert!(g_tiered.duration.as_secs_f64() > g_free.duration.as_secs_f64());
+    }
+
+    #[test]
+    fn backhaul_charge_dedupes_aps_and_takes_the_max() {
+        use gsfl_wireless::backhaul::BackhaulLink;
+        use gsfl_wireless::multi_ap::MultiApEnvironment;
+        let latency = LatencyModel::builder().clients(2).seed(1).build().unwrap();
+        let link = BackhaulLink::new(1e6, 0.01).unwrap();
+        let env = MultiApEnvironment::builder(latency)
+            .line(3, 100.0)
+            .unwrap()
+            .backhaul(link)
+            .build()
+            .unwrap();
+        let payload = Bytes::new(125_000); // 1 s of serialization at 1 Mb/s
+        let per_ap = link.transfer_time(payload).as_secs_f64();
+        let one = backhaul_charge(&env, &[1, 1, 1], payload);
+        assert!((one.wall.as_secs_f64() - per_ap).abs() < 1e-12);
+        assert!(
+            (one.charged_s - per_ap).abs() < 1e-12,
+            "duplicates ship once"
+        );
+        let two = backhaul_charge(&env, &[0, 2], payload);
+        assert!((two.wall.as_secs_f64() - per_ap).abs() < 1e-12, "parallel");
+        assert!((two.charged_s - 2.0 * per_ap).abs() < 1e-12);
+        assert_eq!(
+            backhaul_charge(&env, &[], payload),
+            BackhaulCharge::default()
+        );
     }
 
     #[test]

@@ -125,6 +125,7 @@ pub mod cut;
 pub mod grouping;
 pub mod latency;
 pub(crate) mod parallel;
+pub mod population;
 pub mod results;
 pub mod runner;
 pub mod scheme;

@@ -1,0 +1,391 @@
+//! Sparse client populations: 1k→1M configured clients in O(cohort) memory.
+//!
+//! The paper evaluates N ≤ 60 clients, where it is fine to materialize
+//! every client eagerly (a data shard, an environment slot, a steps
+//! entry each). At population scale that breaks: 1M clients × a shard
+//! each is gigabytes before the first round starts, even though a round
+//! only ever touches the sampled cohort.
+//!
+//! This module flips the representation: a [`Population`] stores clients
+//! as **(seed, metadata) only** — a configured count plus a derivation
+//! root — and per-round participation sampling materializes a *cohort*
+//! of exactly `config.clients` slots. Everything downstream (wireless
+//! environment, grouping, latency accounting, step vectors) is sized to
+//! the cohort, never to the configured population:
+//!
+//! * [`Population::sample_cohort`] draws the round's cohort — a uniform
+//!   sample without replacement of global client ids — with Floyd's
+//!   algorithm: O(cohort) time and memory regardless of the configured
+//!   population size, deterministic in (seed, round), and independent of
+//!   host thread count because it is a single sequential pass.
+//! * [`Population::materialize_member`] realizes one sampled client's
+//!   data shard on demand from the shared training pool, seeded by the
+//!   client's global id — the same client always sees the same data, and
+//!   unsampled clients never allocate anything.
+//! * [`CowParams`] shares round-start model state copy-on-write: cloning
+//!   is one `Arc` reference bump, and the underlying parameters are
+//!   copied only when (and if) a holder first writes. A cohort fanning
+//!   out over worker threads starts from one parameter buffer instead of
+//!   N full clones.
+//!
+//! Because every materialized shard has the same length
+//! ([`Population::shard_len`]), per-slot step counts are constant across
+//! rounds — init-time step vectors stay valid and only the shard
+//! *contents* change per round.
+
+use crate::{CoreError, Result};
+use gsfl_data::dataset::ImageDataset;
+use gsfl_nn::params::ParamVec;
+use gsfl_tensor::rng::SeedDerive;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of a sparse client population (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Configured population size: how many clients *exist*. Must be at
+    /// least the cohort capacity (`ExperimentConfig::clients`); only the
+    /// sampled cohort is ever materialized, so this can be millions.
+    pub clients: u64,
+    /// Training samples drawn (with replacement, bootstrap-style) from
+    /// the shared pool for each materialized cohort member. `0` (the
+    /// default) splits the pool evenly: `pool_len / cohort`, min 1.
+    #[serde(default)]
+    pub samples_per_client: usize,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            clients: 100_000,
+            samples_per_client: 0,
+        }
+    }
+}
+
+/// A sparse client population: clients exist only as (seed, metadata)
+/// until [`Population::sample_cohort`] materializes a round's cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Population {
+    seed: u64,
+    clients: u64,
+    cohort: usize,
+    samples_per_client: usize,
+}
+
+impl Population {
+    /// Builds a population of `spec.clients` sparse clients whose rounds
+    /// materialize cohorts of exactly `cohort` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when the configured population is
+    /// empty or smaller than the cohort.
+    pub fn new(spec: &PopulationConfig, cohort: usize, seed: u64) -> Result<Self> {
+        if cohort == 0 {
+            return Err(CoreError::Config("population cohort must be ≥ 1".into()));
+        }
+        if spec.clients < cohort as u64 {
+            return Err(CoreError::Config(format!(
+                "population of {} clients cannot fill a cohort of {cohort}",
+                spec.clients
+            )));
+        }
+        Ok(Population {
+            seed,
+            clients: spec.clients,
+            cohort,
+            samples_per_client: spec.samples_per_client,
+        })
+    }
+
+    /// How many clients are configured to exist.
+    pub fn configured_clients(&self) -> u64 {
+        self.clients
+    }
+
+    /// How many clients a round materializes.
+    pub fn cohort_size(&self) -> usize {
+        self.cohort
+    }
+
+    /// The derived seed that is client `member`'s entire persistent
+    /// state — its data shard (and any future per-client randomness) is
+    /// regenerated from this on demand.
+    pub fn member_seed(&self, member: u64) -> u64 {
+        SeedDerive::new(self.seed)
+            .child("member")
+            .index(member)
+            .seed()
+    }
+
+    /// Samples the round's cohort: `cohort_size` distinct global client
+    /// ids from `0..configured_clients`, ascending. Floyd's algorithm —
+    /// O(cohort) draws and memory however large the population is — run
+    /// as one sequential pass, so the result depends only on
+    /// (population seed, round), never on host thread count.
+    pub fn sample_cohort(&self, round: u64) -> Vec<u64> {
+        let n = self.clients;
+        let k = self.cohort as u64;
+        let mut rng = SeedDerive::new(self.seed)
+            .child("cohort")
+            .index(round)
+            .rng();
+        // Kept sorted: every candidate j exceeds all prior insertions, and
+        // replacement draws binary-search their slot.
+        let mut chosen: Vec<u64> = Vec::with_capacity(self.cohort);
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j);
+            match chosen.binary_search(&t) {
+                Ok(_) => chosen.push(j),
+                Err(pos) => chosen.insert(pos, t),
+            }
+        }
+        chosen
+    }
+
+    /// Shard length every materialized member trains on, given the shared
+    /// pool's size (see [`PopulationConfig::samples_per_client`]).
+    pub fn shard_len(&self, pool_len: usize) -> usize {
+        if self.samples_per_client > 0 {
+            self.samples_per_client
+        } else {
+            (pool_len / self.cohort).max(1)
+        }
+    }
+
+    /// Materializes client `member`'s data shard from the shared pool: a
+    /// bootstrap draw seeded by the member's global id, so the same
+    /// client always regenerates the same shard and unsampled clients
+    /// cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an empty pool; propagates
+    /// dataset gather errors.
+    pub fn materialize_member(&self, member: u64, pool: &ImageDataset) -> Result<ImageDataset> {
+        if pool.is_empty() {
+            return Err(CoreError::Config(
+                "population materialization needs a non-empty training pool".into(),
+            ));
+        }
+        let len = self.shard_len(pool.len());
+        let mut rng = SeedDerive::new(self.member_seed(member))
+            .child("data")
+            .rng();
+        let mut indices = Vec::with_capacity(len);
+        for _ in 0..len {
+            indices.push(rng.gen_range(0..pool.len()));
+        }
+        Ok(pool.subset(&indices)?)
+    }
+
+    /// Materializes every member of a sampled cohort, in slot order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Population::materialize_member`] errors.
+    pub fn materialize_cohort(
+        &self,
+        members: &[u64],
+        pool: &ImageDataset,
+    ) -> Result<Vec<ImageDataset>> {
+        members
+            .iter()
+            .map(|&m| self.materialize_member(m, pool))
+            .collect()
+    }
+}
+
+/// Copy-on-write model parameters: every clone is one `Arc` bump that
+/// shares the underlying buffer until a holder first writes
+/// ([`CowParams::make_mut`]), which is when — and only when — the
+/// parameters are actually copied. Dereferences to [`ParamVec`] for all
+/// read access.
+///
+/// # Example
+///
+/// ```
+/// use gsfl_core::population::CowParams;
+/// use gsfl_nn::params::ParamVec;
+///
+/// let round_start = CowParams::new(ParamVec::from_values(vec![1.0, 2.0]));
+/// let mut worker = round_start.clone(); // Arc bump, no copy
+/// assert!(worker.shares_storage_with(&round_start));
+/// worker.make_mut().values_mut()[0] = 9.0; // first write copies
+/// assert!(!worker.shares_storage_with(&round_start));
+/// assert_eq!(round_start.values(), &[1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CowParams {
+    inner: Arc<ParamVec>,
+}
+
+impl CowParams {
+    /// Wraps parameters as shared round-start state.
+    pub fn new(params: ParamVec) -> Self {
+        CowParams {
+            inner: Arc::new(params),
+        }
+    }
+
+    /// Read access without copying (also available through `Deref`).
+    pub fn get(&self) -> &ParamVec {
+        &self.inner
+    }
+
+    /// Write access: copies the underlying parameters first if any other
+    /// holder still shares them (`Arc::make_mut`).
+    pub fn make_mut(&mut self) -> &mut ParamVec {
+        Arc::make_mut(&mut self.inner)
+    }
+
+    /// Replaces the shared state with freshly aggregated parameters;
+    /// other holders keep the old buffer alive until they drop.
+    pub fn replace(&mut self, params: ParamVec) {
+        self.inner = Arc::new(params);
+    }
+
+    /// Whether two handles still share one underlying buffer.
+    pub fn shares_storage_with(&self, other: &CowParams) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Consumes the handle; returns the parameters without copying when
+    /// this was the last holder (e.g. to recycle the dead buffer into a
+    /// [`gsfl_tensor::workspace::Workspace`]), `None` when still shared.
+    pub fn into_inner(self) -> Option<ParamVec> {
+        Arc::try_unwrap(self.inner).ok()
+    }
+}
+
+impl std::ops::Deref for CowParams {
+    type Target = ParamVec;
+
+    fn deref(&self) -> &ParamVec {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsfl_data::synth::SynthGtsrb;
+
+    fn pop(clients: u64, cohort: usize) -> Population {
+        Population::new(
+            &PopulationConfig {
+                clients,
+                samples_per_client: 0,
+            },
+            cohort,
+            42,
+        )
+        .unwrap()
+    }
+
+    fn pool() -> ImageDataset {
+        SynthGtsrb::builder()
+            .classes(3)
+            .samples_per_class(8)
+            .image_size(8)
+            .seed(7)
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn cohort_is_distinct_sorted_and_deterministic() {
+        let p = pop(1_000_000, 64);
+        let a = p.sample_cohort(3);
+        let b = p.sample_cohort(3);
+        assert_eq!(a, b, "same (seed, round) must give the same cohort");
+        assert_eq!(a.len(), 64);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending and distinct");
+        assert!(a.iter().all(|&m| m < 1_000_000));
+        assert_ne!(a, p.sample_cohort(4), "rounds draw different cohorts");
+        let other = Population::new(
+            &PopulationConfig {
+                clients: 1_000_000,
+                samples_per_client: 0,
+            },
+            64,
+            43,
+        )
+        .unwrap();
+        assert_ne!(a, other.sample_cohort(3), "seeds draw different cohorts");
+    }
+
+    #[test]
+    fn full_population_cohort_is_everyone() {
+        let p = pop(16, 16);
+        assert_eq!(p.sample_cohort(0), (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn member_shards_are_deterministic_and_bounded() {
+        let p = pop(1_000_000, 4);
+        let pool = pool();
+        let a = p.materialize_member(987_654, &pool).unwrap();
+        let b = p.materialize_member(987_654, &pool).unwrap();
+        assert_eq!(a, b, "same member must regenerate the same shard");
+        assert_eq!(a.len(), p.shard_len(pool.len()));
+        assert_eq!(p.shard_len(pool.len()), 24 / 4);
+        let c = p.materialize_member(123, &pool).unwrap();
+        assert_ne!(a.labels(), c.labels(), "members draw their own data");
+    }
+
+    #[test]
+    fn explicit_samples_per_client_wins() {
+        let p = Population::new(
+            &PopulationConfig {
+                clients: 100,
+                samples_per_client: 5,
+            },
+            10,
+            1,
+        )
+        .unwrap();
+        let pool = pool();
+        assert_eq!(p.materialize_member(0, &pool).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn invalid_populations_are_rejected() {
+        let spec = PopulationConfig {
+            clients: 3,
+            samples_per_client: 0,
+        };
+        assert!(Population::new(&spec, 4, 0).is_err(), "cohort > population");
+        assert!(Population::new(&spec, 0, 0).is_err(), "empty cohort");
+        assert!(Population::new(&spec, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn cow_shares_until_first_write() {
+        let base = CowParams::new(ParamVec::from_values(vec![1.0, 2.0, 3.0]));
+        let mut fork = base.clone();
+        assert!(fork.shares_storage_with(&base));
+        assert_eq!(fork.values(), base.values());
+        fork.make_mut().values_mut()[1] = -2.0;
+        assert!(!fork.shares_storage_with(&base));
+        assert_eq!(base.values(), &[1.0, 2.0, 3.0], "original untouched");
+        assert_eq!(fork.values(), &[1.0, -2.0, 3.0]);
+        // Unique holders unwrap without copying; shared ones do not.
+        assert!(fork.into_inner().is_some());
+        let still_shared = base.clone();
+        assert!(base.into_inner().is_none());
+        assert_eq!(still_shared.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn replace_detaches_other_holders() {
+        let mut global = CowParams::new(ParamVec::from_values(vec![0.0]));
+        let worker = global.clone();
+        global.replace(ParamVec::from_values(vec![5.0]));
+        assert_eq!(worker.values(), &[0.0], "old round state stays alive");
+        assert_eq!(global.values(), &[5.0]);
+        assert!(!global.shares_storage_with(&worker));
+    }
+}

@@ -42,6 +42,9 @@ impl Scheme for Centralized {
 
     fn init(&mut self, ctx: &TrainContext) -> Result<()> {
         let cfg = &ctx.config;
+        // Pools the per-slot shards. In population mode `train_shards`
+        // is the round-0 cohort, so this stays O(cohort) — CL never
+        // materializes the configured population.
         let shards: Vec<&ImageDataset> = ctx.train_shards.iter().collect();
         let pooled = ImageDataset::concat(&shards)?;
         let net = cfg

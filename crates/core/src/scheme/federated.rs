@@ -4,13 +4,15 @@ use super::common::{
     full_train_epoch, make_batcher, make_opt, require_state, require_state_mut, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
-use crate::aggregate::aggregate_snapshots;
+use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
 use crate::latency::fl_round;
 use crate::parallel::{round_fanout, run_indexed};
+use crate::population::CowParams;
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::Sequential;
+use gsfl_tensor::workspace::Workspace;
 
 /// Federated learning: each round every client downloads the global
 /// model, trains `local_epochs` on its shard, uploads; the AP
@@ -30,8 +32,14 @@ pub struct Federated {
 #[derive(Debug)]
 struct State {
     template: Sequential,
-    global: ParamVec,
+    /// Round-start global parameters, shared copy-on-write: worker
+    /// threads hold `Arc` references, never per-client clones.
+    global: CowParams,
     steps: Vec<usize>,
+    /// Recycled aggregation scratch (the `f64` accumulator and dead
+    /// snapshot buffers), so steady-state rounds aggregate without
+    /// fresh allocations.
+    ws: Workspace,
 }
 
 impl Federated {
@@ -51,11 +59,12 @@ impl Scheme for Federated {
         let template = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let global = ParamVec::from_network(&template);
+        let global = CowParams::new(ParamVec::from_network(&template));
         self.state = Some(State {
             template,
             global,
             steps: ctx.steps_per_client(),
+            ws: Workspace::new(),
         });
         Ok(())
     }
@@ -64,13 +73,20 @@ impl Scheme for Federated {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
         let participants = ctx.available_clients(round as u64);
+        // Dense mode borrows the static shards; population mode
+        // materializes this round's sampled cohort.
+        let shards = ctx.round_shards(round as u64)?;
+        let shards = shards.as_ref();
 
         // Independent clients train on parallel host threads; results
         // come back in participant order and are aggregated in that fixed
         // order, so records are byte-identical to the sequential path.
         let (threads, _grant) = round_fanout(cfg, participants.len());
         let template = &state.template;
-        let global = &state.global;
+        // One shared round-start state: workers clone an `Arc` handle,
+        // not the parameters.
+        let global = state.global.clone();
+        let global = &global;
         let passes = run_indexed(participants.len(), threads, |idx| {
             let c = participants[idx];
             let mut local = template.clone();
@@ -83,7 +99,7 @@ impl Scheme for Federated {
                 let (l, s) = full_train_epoch(
                     &mut local,
                     &mut opt,
-                    &ctx.train_shards[c],
+                    &shards[c],
                     &batcher,
                     round as u64 * cfg.local_epochs as u64 + e as u64,
                 )?;
@@ -95,13 +111,8 @@ impl Scheme for Federated {
             // what it decoded.
             let mut snapshot = ParamVec::from_network(&local);
             let mut model_codec = ModelCodec::new(&cfg.compression.full_model, cfg.seed);
-            model_codec.apply_vec(&mut snapshot, global, round as u64, c)?;
-            Ok((
-                snapshot,
-                ctx.train_shards[c].len() as f64,
-                loss_sum,
-                step_sum,
-            ))
+            model_codec.apply_vec(&mut snapshot, global.get(), round as u64, c)?;
+            Ok((snapshot, shards[c].len() as f64, loss_sum, step_sum))
         })?;
         let mut snapshots = Vec::with_capacity(passes.len());
         let mut weights = Vec::with_capacity(passes.len());
@@ -113,7 +124,22 @@ impl Scheme for Federated {
             loss_sum += l;
             step_sum += s;
         }
-        state.global = aggregate_snapshots(&snapshots, &weights)?;
+        // Two-tier tree aggregation over the AP topology (bit-identical
+        // to flat FedAvg — see `crate::aggregate`), through the recycled
+        // workspace.
+        let mut aps = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            aps.push(ctx.env.ap_of(c, round as u64)?);
+        }
+        let tree = aggregate_tree(&snapshots, &weights, &aps, &mut state.ws)?;
+        let old = std::mem::replace(&mut state.global, CowParams::new(tree.params));
+        // Dead buffers feed the next round's aggregation scratch.
+        if let Some(dead) = old.into_inner() {
+            state.ws.give(dead.into_values());
+        }
+        for snap in snapshots {
+            state.ws.give(snap.into_values());
+        }
 
         // Non-participants get zero steps so fl_round skips them.
         let round_steps: Vec<usize> = (0..cfg.clients)
@@ -141,6 +167,6 @@ impl Scheme for Federated {
 
     fn global_params(&self) -> Result<ParamVec> {
         let state = require_state(&self.state)?;
-        Ok(state.global.clone())
+        Ok(state.global.get().clone())
     }
 }

@@ -5,15 +5,18 @@ use super::common::{
     split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
-use crate::aggregate::aggregate_snapshots;
+use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
 use crate::cut::CutSelector;
 use crate::latency::gsfl_round;
 use crate::parallel::{round_fanout, run_indexed};
+use crate::population::CowParams;
 use crate::Result;
+use gsfl_data::dataset::ImageDataset;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
+use gsfl_tensor::workspace::Workspace;
 
 /// Outcome of one group's pass in a round.
 struct GroupPass {
@@ -47,12 +50,16 @@ struct State {
     /// Architecture template; parameters are loaded from `global` and the
     /// network is split at the round's cut before training.
     template: Sequential,
-    /// Current global full-model parameters (client ++ server halves).
-    global: ParamVec,
+    /// Current global full-model parameters (client ++ server halves),
+    /// shared copy-on-write across the round's replicas.
+    global: CowParams,
     /// This run's private cut-selection state (fresh per init, so
     /// bandit feedback never leaks across sessions).
     cuts: CutSelector,
     steps: Vec<usize>,
+    /// Recycled aggregation scratch — dead snapshots and the `f64`
+    /// accumulator cycle through this pool.
+    ws: Workspace,
 }
 
 impl Gsfl {
@@ -72,12 +79,13 @@ impl Scheme for Gsfl {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let global = ParamVec::from_network(&net);
+        let global = CowParams::new(ParamVec::from_network(&net));
         self.state = Some(State {
             template: net,
             global,
             cuts: CutSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
+            ws: Workspace::new(),
         });
         Ok(())
     }
@@ -109,18 +117,46 @@ impl Scheme for Gsfl {
             })
             .filter(|g| !g.is_empty())
             .collect();
-        let passes = run_groups_parallel(ctx, &round_groups, &split_template, round as u64)?;
+        let shards = ctx.round_shards(round as u64)?;
+        let passes = run_groups_parallel(
+            ctx,
+            &round_groups,
+            shards.as_ref(),
+            &split_template,
+            round as u64,
+        )?;
 
-        // FedAvg over both halves, weighted by group samples.
-        let weights: Vec<f64> = passes.iter().map(|p| p.samples as f64).collect();
-        let client_snaps: Vec<ParamVec> = passes.iter().map(|p| p.client_params.clone()).collect();
-        let server_snaps: Vec<ParamVec> = passes.iter().map(|p| p.server_params.clone()).collect();
-        let global_client = aggregate_snapshots(&client_snaps, &weights)?;
-        let global_server = aggregate_snapshots(&server_snaps, &weights)?;
-        state.global = join_params(&global_client, &global_server);
-
-        let loss_sum: f64 = passes.iter().map(|p| p.loss_sum).sum();
-        let step_sum: usize = passes.iter().map(|p| p.steps).sum();
+        // Two-tier FedAvg over both halves, weighted by group samples:
+        // each group's AP (where its replica lives) reduces first, the
+        // backhaul tier merges — bit-identical to flat aggregation (see
+        // `crate::aggregate`).
+        let mut group_aps = Vec::with_capacity(round_groups.len());
+        for g in &round_groups {
+            group_aps.push(ctx.env.ap_of(g[g.len() - 1], round as u64)?);
+        }
+        let mut client_snaps = Vec::with_capacity(passes.len());
+        let mut server_snaps = Vec::with_capacity(passes.len());
+        let mut weights = Vec::with_capacity(passes.len());
+        let mut loss_sum = 0.0f64;
+        let mut step_sum = 0usize;
+        for p in passes {
+            client_snaps.push(p.client_params);
+            server_snaps.push(p.server_params);
+            weights.push(p.samples as f64);
+            loss_sum += p.loss_sum;
+            step_sum += p.steps;
+        }
+        let global_client = aggregate_tree(&client_snaps, &weights, &group_aps, &mut state.ws)?;
+        let global_server = aggregate_tree(&server_snaps, &weights, &group_aps, &mut state.ws)?;
+        state
+            .global
+            .replace(join_params(&global_client.params, &global_server.params));
+        // Dead buffers feed the next round's aggregation scratch.
+        state.ws.give(global_client.params.into_values());
+        state.ws.give(global_server.params.into_values());
+        for snap in client_snaps.into_iter().chain(server_snaps) {
+            state.ws.give(snap.into_values());
+        }
 
         let latency = gsfl_round(
             ctx.env.as_ref(),
@@ -143,16 +179,18 @@ impl Scheme for Gsfl {
 
     fn global_params(&self) -> Result<ParamVec> {
         let state = require_state(&self.state)?;
-        Ok(state.global.clone())
+        Ok(state.global.get().clone())
     }
 }
 
 /// Trains every group for one round, fanning groups out over the
 /// thread-budgeted host parallelism in fixed group order. The template
-/// already carries the round's global parameters.
+/// already carries the round's global parameters; `shards` holds the
+/// round's per-slot training data (the cohort in population mode).
 fn run_groups_parallel(
     ctx: &TrainContext,
     groups: &[Vec<usize>],
+    shards: &[ImageDataset],
     template: &SplitNetwork,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
@@ -182,7 +220,7 @@ fn run_groups_parallel(
                 &mut replica,
                 &mut client_opt,
                 &mut server_opt,
-                &ctx.train_shards[c],
+                &shards[c],
                 &batcher,
                 round,
                 CutLink::new(cfg, &mut channel, c),
@@ -192,7 +230,7 @@ fn run_groups_parallel(
             }
             loss_sum += l;
             step_sum += s;
-            samples += ctx.train_shards[c].len();
+            samples += shards[c].len();
         }
         Ok(GroupPass {
             client_params: ParamVec::from_network(&replica.client),

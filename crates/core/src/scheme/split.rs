@@ -99,6 +99,9 @@ impl Scheme for VanillaSplit {
         // straight to the next reachable client).
         let order = ctx.available_clients(round as u64);
         let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+        // Dense mode borrows the static shards; population mode
+        // materializes this round's sampled cohort.
+        let shards = ctx.round_shards(round as u64)?;
 
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
@@ -122,7 +125,7 @@ impl Scheme for VanillaSplit {
                         split,
                         client_opt,
                         server_opt,
-                        &ctx.train_shards[c],
+                        &shards[c],
                         &batcher,
                         round as u64,
                         CutLink::new(cfg, &mut channel, c),
@@ -153,7 +156,7 @@ impl Scheme for VanillaSplit {
                         &mut split,
                         &mut client_opt,
                         &mut server_opt,
-                        &ctx.train_shards[c],
+                        &shards[c],
                         &batcher,
                         round as u64,
                         CutLink::new(cfg, &mut channel, c),

@@ -6,15 +6,17 @@ use super::common::{
     split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
-use crate::aggregate::aggregate_snapshots;
+use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
 use crate::cut::CutSelector;
 use crate::latency::gsfl_round;
 use crate::parallel::{round_fanout, run_indexed};
+use crate::population::CowParams;
 use crate::Result;
 use gsfl_nn::params::ParamVec;
 use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
+use gsfl_tensor::workspace::Workspace;
 
 /// SplitFed v1: every client trains *in parallel* against its **own**
 /// server-side model replica (N replicas resident at the server); both
@@ -31,11 +33,14 @@ struct State {
     /// Architecture template; parameters live in `global` and the network
     /// is split at the round's cut before training.
     template: Sequential,
-    /// Current global full-model parameters (client ++ server halves).
-    global: ParamVec,
+    /// Current global full-model parameters (client ++ server halves),
+    /// shared copy-on-write across the round's replicas.
+    global: CowParams,
     /// This run's private cut-selection state.
     cuts: CutSelector,
     steps: Vec<usize>,
+    /// Recycled aggregation scratch.
+    ws: Workspace,
 }
 
 impl SplitFed {
@@ -55,12 +60,13 @@ impl Scheme for SplitFed {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let global = ParamVec::from_network(&net);
+        let global = CowParams::new(ParamVec::from_network(&net));
         self.state = Some(State {
             template: net,
             global,
             cuts: CutSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
+            ws: Workspace::new(),
         });
         Ok(())
     }
@@ -74,6 +80,8 @@ impl Scheme for SplitFed {
         let template = SplitNetwork::split(whole, cut)?;
         let participants = ctx.available_clients(round as u64);
         let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
+        let shards = ctx.round_shards(round as u64)?;
+        let shards = shards.as_ref();
 
         // SplitFed's whole point is that clients train concurrently
         // against their own server-side replicas — so run them on
@@ -97,7 +105,7 @@ impl Scheme for SplitFed {
                 &mut replica,
                 &mut client_opt,
                 &mut server_opt,
-                &ctx.train_shards[c],
+                &shards[c],
                 &batcher,
                 round as u64,
                 CutLink::new(cfg, &mut channel, c),
@@ -109,7 +117,7 @@ impl Scheme for SplitFed {
             Ok((
                 client_snap,
                 ParamVec::from_network(&replica.server),
-                ctx.train_shards[c].len() as f64,
+                shards[c].len() as f64,
                 l,
                 s,
             ))
@@ -126,9 +134,23 @@ impl Scheme for SplitFed {
             loss_sum += l;
             step_sum += s;
         }
-        let global_client = aggregate_snapshots(&client_snaps, &weights)?;
-        let global_server = aggregate_snapshots(&server_snaps, &weights)?;
-        state.global = join_params(&global_client, &global_server);
+        // Two-tier tree aggregation over the AP topology, bit-identical
+        // to flat FedAvg (see `crate::aggregate`).
+        let mut aps = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            aps.push(ctx.env.ap_of(c, round as u64)?);
+        }
+        let global_client = aggregate_tree(&client_snaps, &weights, &aps, &mut state.ws)?;
+        let global_server = aggregate_tree(&server_snaps, &weights, &aps, &mut state.ws)?;
+        state
+            .global
+            .replace(join_params(&global_client.params, &global_server.params));
+        // Dead buffers feed the next round's aggregation scratch.
+        state.ws.give(global_client.params.into_values());
+        state.ws.give(global_server.params.into_values());
+        for snap in client_snaps.into_iter().chain(server_snaps) {
+            state.ws.give(snap.into_values());
+        }
 
         let latency = gsfl_round(
             ctx.env.as_ref(),
@@ -151,6 +173,6 @@ impl Scheme for SplitFed {
 
     fn global_params(&self) -> Result<ParamVec> {
         let state = require_state(&self.state)?;
-        Ok(state.global.clone())
+        Ok(state.global.get().clone())
     }
 }

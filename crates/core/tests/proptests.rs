@@ -1,10 +1,16 @@
 //! Property-based tests for the core scheme machinery: grouping
-//! invariants, latency monotonicity, and DES-vs-closed-form agreement.
+//! invariants, latency monotonicity, DES-vs-closed-form agreement, and
+//! population-scale tree aggregation / cohort sampling.
 
+use gsfl_core::aggregate::{aggregate_snapshots, aggregate_tree};
 use gsfl_core::config::GroupingKind;
 use gsfl_core::grouping::{assign_groups, ClientCost};
 use gsfl_core::latency::{gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_core::population::{Population, PopulationConfig};
 use gsfl_nn::model::Mlp;
+use gsfl_nn::params::ParamVec;
+use gsfl_tensor::rng::SeedDerive;
+use gsfl_tensor::workspace::Workspace;
 use gsfl_wireless::allocation::BandwidthPolicy;
 use gsfl_wireless::device::DeviceProfile;
 use gsfl_wireless::environment::StaticEnvironment;
@@ -183,5 +189,76 @@ proptest! {
         let t_slow = sl_round(&slow, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
         let t_fast = sl_round(&fast, &costs, &steps, &order, ChannelMode::Dedicated, 0).unwrap();
         prop_assert!(t_fast.duration.as_secs_f64() < t_slow.duration.as_secs_f64());
+    }
+
+    #[test]
+    fn tree_reduction_is_bitwise_flat_for_any_partition(
+        n in 1usize..7,
+        dim in 1usize..32,
+        seed in 0u64..1000,
+        ap_mod in 1usize..5,
+    ) {
+        // The two-tier AP reduction must be bit-identical to the flat
+        // FedAvg whatever the AP assignment and whatever order the
+        // cohort's snapshots arrive in.
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+        let mut rng = SeedDerive::new(seed).child("tree-prop").rng();
+        let mut contributors: Vec<(ParamVec, f64, usize)> = (0..n)
+            .map(|_| {
+                let values: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                (
+                    ParamVec::from_values(values),
+                    rng.gen_range(0.1f64..4.0),
+                    rng.gen_range(0..ap_mod),
+                )
+            })
+            .collect();
+        // An arbitrary cohort order — both reductions see the same one.
+        contributors.shuffle(&mut rng);
+        let snaps: Vec<ParamVec> = contributors.iter().map(|c| c.0.clone()).collect();
+        let weights: Vec<f64> = contributors.iter().map(|c| c.1).collect();
+        let aps: Vec<usize> = contributors.iter().map(|c| c.2).collect();
+        let flat = aggregate_snapshots(&snaps, &weights).unwrap();
+        let mut ws = Workspace::new();
+        let tree = aggregate_tree(&snaps, &weights, &aps, &mut ws).unwrap();
+        let flat_bits: Vec<u32> = flat.values().iter().map(|v| v.to_bits()).collect();
+        let tree_bits: Vec<u32> = tree.params.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(flat_bits, tree_bits);
+        // Every contributor is counted under exactly one AP.
+        prop_assert_eq!(tree.shares.iter().map(|s| s.members).sum::<usize>(), n);
+        prop_assert!(tree.shares.windows(2).all(|w| w[0].ap < w[1].ap));
+    }
+
+    #[test]
+    fn cohort_sampling_is_deterministic_and_thread_invariant(
+        seed in 0u64..500,
+        round in 0u64..50,
+        cohort in 1usize..24,
+        extra in 0u64..1_000_000,
+    ) {
+        let spec = PopulationConfig {
+            clients: cohort as u64 + extra,
+            samples_per_client: 0,
+        };
+        let pop = Population::new(&spec, cohort, seed).unwrap();
+        let base = pop.sample_cohort(round);
+        prop_assert_eq!(base.len(), cohort);
+        prop_assert!(base.windows(2).all(|w| w[0] < w[1]), "distinct ascending ids");
+        prop_assert!(base.iter().all(|&m| m < spec.clients));
+        // Sampling is a pure function of (seed, round): whichever thread
+        // calls it — and however many call concurrently — the cohort is
+        // identical.
+        for threads in [1usize, 2, 4] {
+            let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| s.spawn(|| pop.sample_cohort(round)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in &results {
+                prop_assert_eq!(r, &base);
+            }
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! accounting and makes aggregation simple dense algebra.
 
 use crate::{NnError, Result, Sequential};
+use gsfl_tensor::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// A flat snapshot of a network's parameters.
@@ -55,6 +56,12 @@ impl ParamVec {
     /// apply a lossy transcode in place).
     pub fn values_mut(&mut self) -> &mut [f32] {
         &mut self.values
+    }
+
+    /// Consumes the vector, returning its backing buffer (so a dead
+    /// snapshot's allocation can go back into a [`Workspace`] pool).
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
     }
 
     /// Number of scalars.
@@ -143,6 +150,20 @@ impl ParamVec {
 /// # }
 /// ```
 pub fn fed_avg(models: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
+    let mut ws = Workspace::new();
+    fed_avg_with(models, weights, &mut ws)
+}
+
+/// [`fed_avg`] over recycled [`Workspace`] buffers: the `f64` accumulator
+/// and the `f32` result come from (and the accumulator returns to) the
+/// pool, so steady-state aggregation performs zero fresh allocations.
+/// Bitwise identical to [`fed_avg`] — same accumulation order, same
+/// precision.
+///
+/// # Errors
+///
+/// Same as [`fed_avg`].
+pub fn fed_avg_with(models: &[ParamVec], weights: &[f64], ws: &mut Workspace) -> Result<ParamVec> {
     if models.is_empty() || models.len() != weights.len() {
         return Err(NnError::Config(format!(
             "fed_avg needs matching non-empty models/weights, got {}/{}",
@@ -158,9 +179,10 @@ pub fn fed_avg(models: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
         return Err(NnError::Config("fed_avg weights must be ≥ 0".into()));
     }
     let len = models[0].len();
-    let mut acc = vec![0.0f64; len];
+    let mut acc = ws.take_f64_zeroed(len);
     for (m, &w) in models.iter().zip(weights) {
         if m.len() != len {
+            ws.give_f64(acc);
             return Err(NnError::ParamLenMismatch {
                 expected: len,
                 actual: m.len(),
@@ -171,9 +193,12 @@ pub fn fed_avg(models: &[ParamVec], weights: &[f64]) -> Result<ParamVec> {
             *a += frac * v as f64;
         }
     }
-    Ok(ParamVec::from_values(
-        acc.into_iter().map(|v| v as f32).collect(),
-    ))
+    let mut out = ws.take(len);
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        *o = a as f32;
+    }
+    ws.give_f64(acc);
+    Ok(ParamVec::from_values(out))
 }
 
 #[cfg(test)]
@@ -239,6 +264,30 @@ mod tests {
         assert!(fed_avg(&[a.clone(), b], &[1.0, 1.0]).is_err());
         assert!(fed_avg(std::slice::from_ref(&a), &[0.0]).is_err());
         assert!(fed_avg(&[a.clone(), a], &[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn fed_avg_with_matches_fed_avg_and_reuses_buffers() {
+        let models: Vec<ParamVec> = (0..4)
+            .map(|s| ParamVec::from_network(&net(s as u64)))
+            .collect();
+        let weights = [1.0, 2.5, 0.5, 3.0];
+        let plain = fed_avg(&models, &weights).unwrap();
+        let mut ws = Workspace::new();
+        let pooled = fed_avg_with(&models, &weights, &mut ws).unwrap();
+        // Bitwise identical — same accumulation order and precision.
+        let plain_bits: Vec<u32> = plain.values().iter().map(|v| v.to_bits()).collect();
+        let pooled_bits: Vec<u32> = pooled.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(plain_bits, pooled_bits);
+        // Warm-up paid for one f64 accumulator and one f32 result.
+        assert_eq!(ws.fresh_allocs(), 2);
+        // Recycling the dead result makes the next call allocation-free.
+        ws.give(pooled.into_values());
+        for _ in 0..5 {
+            let again = fed_avg_with(&models, &weights, &mut ws).unwrap();
+            ws.give(again.into_values());
+        }
+        assert_eq!(ws.fresh_allocs(), 2, "steady state must not allocate");
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 use crate::Tensor;
 
-/// A pool of recycled `f32` scratch buffers (see the module docs).
+/// A pool of recycled `f32` (and `f64` accumulator) scratch buffers
+/// (see the module docs).
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    pool_f64: Vec<Vec<f64>>,
     fresh_allocs: usize,
 }
 
@@ -94,15 +96,57 @@ impl Workspace {
         self.give(tensor.into_vec());
     }
 
+    /// An `f64` accumulator buffer of length `len` with **unspecified
+    /// contents** — the double-precision twin of [`Workspace::take`],
+    /// used by the aggregation hot path. Shares the
+    /// [`Workspace::fresh_allocs`] counter.
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in self.pool_f64.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.pool_f64.swap_remove(i);
+                buf.truncate(len);
+                if buf.len() < len {
+                    buf.resize(len, 0.0); // capacity suffices: len grows in place
+                }
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// A zero-filled `f64` accumulator of length `len`.
+    pub fn take_f64_zeroed(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.take_f64(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns an `f64` buffer to the pool for reuse.
+    pub fn give_f64(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.pool_f64.push(buf);
+        }
+    }
+
     /// How many buffers were heap-allocated because the pool was empty.
     /// Steady-state reuse means this stops growing after warm-up.
     pub fn fresh_allocs(&self) -> usize {
         self.fresh_allocs
     }
 
-    /// Buffers currently parked in the pool.
+    /// Buffers currently parked in the pool (both precisions).
     pub fn pooled(&self) -> usize {
-        self.pool.len()
+        self.pool.len() + self.pool_f64.len()
     }
 }
 
@@ -133,6 +177,25 @@ mod tests {
         ws.give(a);
         let b = ws.take_zeroed(4);
         assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn f64_pool_recycles_like_f32() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_f64(16);
+        assert_eq!(ws.fresh_allocs(), 1);
+        a.fill(3.5);
+        ws.give_f64(a);
+        let b = ws.take_f64_zeroed(12);
+        assert_eq!(b.len(), 12);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.fresh_allocs(), 1, "pooled f64 buffer must be reused");
+        ws.give_f64(b);
+        // The two precisions pool independently but count together.
+        let f32_buf = ws.take(8);
+        assert_eq!(ws.fresh_allocs(), 2);
+        ws.give(f32_buf);
+        assert_eq!(ws.pooled(), 2);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! AP→aggregator backhaul links for hierarchical (two-tier) aggregation.
+//!
+//! The access-network models in this crate price the client↔AP hop; a
+//! [`BackhaulLink`] prices the second tier — the wired (or microwave)
+//! hop from an AP's edge server up to the aggregation point that merges
+//! per-AP partial aggregates. Environments expose their backhaul through
+//! [`crate::environment::ChannelModel::backhaul`]; the default is `None`
+//! (an infinitely fast backhaul), which keeps every pre-existing
+//! single-tier environment byte-identical.
+
+use crate::units::{Bytes, Seconds};
+use crate::{Result, WirelessError};
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point backhaul link between one AP's edge server and the
+/// aggregation tier above it.
+///
+/// The transfer model is the classic fixed-latency pipe:
+/// `time = latency_s + bits / capacity_bps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackhaulLink {
+    /// Link capacity, bits per second.
+    pub capacity_bps: f64,
+    /// Fixed per-transfer latency (propagation + switching), seconds.
+    pub latency_s: f64,
+}
+
+impl Default for BackhaulLink {
+    /// A metro-Ethernet-class default: 1 Gbit/s with 2 ms of fixed
+    /// latency.
+    fn default() -> Self {
+        BackhaulLink {
+            capacity_bps: 1e9,
+            latency_s: 2e-3,
+        }
+    }
+}
+
+impl BackhaulLink {
+    /// A validated link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for a non-positive or non-finite
+    /// capacity, or a negative/non-finite latency.
+    pub fn new(capacity_bps: f64, latency_s: f64) -> Result<Self> {
+        let link = BackhaulLink {
+            capacity_bps,
+            latency_s,
+        };
+        link.validate()?;
+        Ok(link)
+    }
+
+    /// Checks the link parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for a non-positive or non-finite
+    /// capacity, or a negative/non-finite latency.
+    pub fn validate(&self) -> Result<()> {
+        if !self.capacity_bps.is_finite() || self.capacity_bps <= 0.0 {
+            return Err(WirelessError::Config(format!(
+                "backhaul capacity must be finite and > 0 bps, got {}",
+                self.capacity_bps
+            )));
+        }
+        if !self.latency_s.is_finite() || self.latency_s < 0.0 {
+            return Err(WirelessError::Config(format!(
+                "backhaul latency must be finite and ≥ 0 s, got {}",
+                self.latency_s
+            )));
+        }
+        Ok(())
+    }
+
+    /// Time to push `payload` across this link.
+    pub fn transfer_time(&self, payload: Bytes) -> Seconds {
+        Seconds::new(self.latency_s + payload.as_bits() as f64 / self.capacity_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization() {
+        let link = BackhaulLink::new(1e6, 0.5).unwrap();
+        // 125_000 bytes = 1e6 bits = 1 second of serialization.
+        let t = link.transfer_time(Bytes::new(125_000));
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        // An empty payload still pays the fixed latency.
+        let t0 = link.transfer_time(Bytes::ZERO);
+        assert!((t0.as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_valid_and_fast() {
+        let link = BackhaulLink::default();
+        link.validate().unwrap();
+        assert!(link.transfer_time(Bytes::new(1 << 20)).as_secs_f64() < 0.05);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(BackhaulLink::new(0.0, 0.0).is_err());
+        assert!(BackhaulLink::new(-1.0, 0.0).is_err());
+        assert!(BackhaulLink::new(f64::NAN, 0.0).is_err());
+        assert!(BackhaulLink::new(1e9, -0.1).is_err());
+        assert!(BackhaulLink::new(1e9, f64::INFINITY).is_err());
+    }
+}

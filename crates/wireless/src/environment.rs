@@ -224,6 +224,15 @@ pub trait ChannelModel: std::fmt::Debug + Send + Sync {
         self.server_compute(flops)
     }
 
+    /// The backhaul link from AP `ap`'s edge server up to the aggregation
+    /// tier, if this environment prices that hop. `None` (the default)
+    /// means an infinitely fast backhaul — the historical single-tier
+    /// behavior, and what keeps 1-AP environments byte-identical.
+    fn backhaul(&self, ap: usize) -> Option<crate::backhaul::BackhaulLink> {
+        let _ = ap;
+        None
+    }
+
     /// A snapshot of the whole network's conditions in `round`.
     ///
     /// # Errors

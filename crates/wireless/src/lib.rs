@@ -16,6 +16,8 @@
 //!   transmitters (reuse/orthogonality factor over the SINR form),
 //! * [`allocation`] — how the AP divides its bandwidth among concurrent
 //!   transmitters (equal / weighted / channel-aware),
+//! * [`backhaul`] — AP→aggregator backhaul links priced into two-tier
+//!   (hierarchical) aggregation,
 //! * [`device`] — heterogeneous client compute profiles,
 //! * [`server`] — the edge-server compute profile (rate + parallel slots),
 //! * [`topology`] — client placement around the AP,
@@ -52,6 +54,7 @@
 mod error;
 
 pub mod allocation;
+pub mod backhaul;
 pub mod device;
 pub mod energy;
 pub mod environment;
@@ -67,6 +70,7 @@ pub mod server;
 pub mod topology;
 pub mod units;
 
+pub use backhaul::BackhaulLink;
 pub use environment::{ChannelModel, RoundConditions};
 pub use error::WirelessError;
 pub use interference::InterferenceSpec;

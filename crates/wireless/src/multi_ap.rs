@@ -24,6 +24,7 @@
 //! **byte for byte** — distances to an AP at the origin are the mobility
 //! radii themselves, not a 2D round trip through `sqrt`.
 
+use crate::backhaul::BackhaulLink;
 use crate::energy::PowerProfile;
 use crate::environment::ChannelModel;
 use crate::interference::{co_channel_interference_mw, InterferenceSpec};
@@ -178,6 +179,7 @@ pub struct MultiApEnvironment {
     mobility: Box<dyn Mobility>,
     handoff: Box<dyn HandoffPolicy>,
     interference: Option<InterferenceSpec>,
+    backhaul: Option<BackhaulLink>,
     /// Per-client bearing from the origin (radians); the mobility model
     /// supplies the radius.
     angles: Vec<f64>,
@@ -194,6 +196,7 @@ pub struct MultiApEnvironmentBuilder {
     mobility: Box<dyn Mobility>,
     handoff: Box<dyn HandoffPolicy>,
     interference: Option<InterferenceSpec>,
+    backhaul: Option<BackhaulLink>,
     seed: u64,
 }
 
@@ -214,6 +217,7 @@ impl MultiApEnvironment {
             mobility: Box::new(Stationary),
             handoff: Box::new(NearestAp),
             interference: None,
+            backhaul: None,
             seed: 0,
         }
     }
@@ -424,6 +428,14 @@ impl MultiApEnvironmentBuilder {
         self
     }
 
+    /// Prices the AP→aggregator backhaul hop with `link` (every AP gets
+    /// the same link profile). Without this call the backhaul is free —
+    /// the historical single-tier behavior.
+    pub fn backhaul(mut self, link: BackhaulLink) -> Self {
+        self.backhaul = Some(link);
+        self
+    }
+
     /// Seeds the deterministic client bearings.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -439,6 +451,9 @@ impl MultiApEnvironmentBuilder {
         if let Some(i) = self.interference {
             i.validate()?;
         }
+        if let Some(b) = self.backhaul {
+            b.validate()?;
+        }
         let seeds = SeedDerive::new(self.seed).child("multi-ap-bearings");
         let angles = (0..self.base.client_count())
             .map(|c| {
@@ -452,6 +467,7 @@ impl MultiApEnvironmentBuilder {
             mobility: self.mobility,
             handoff: self.handoff,
             interference: self.interference,
+            backhaul: self.backhaul,
             angles,
             assoc: RwLock::new(Vec::new()),
         })
@@ -584,6 +600,14 @@ impl ChannelModel for MultiApEnvironment {
 
     fn server_compute_at(&self, ap: usize, flops: u64) -> Seconds {
         self.server_at(ap).compute_time(flops)
+    }
+
+    fn backhaul(&self, ap: usize) -> Option<BackhaulLink> {
+        if ap < self.aps.len() {
+            self.backhaul
+        } else {
+            None
+        }
     }
 }
 
@@ -803,6 +827,29 @@ mod tests {
             .uplink_time_among(0, Bytes::new(100_000), 1, share, &[1, 2, 3])
             .unwrap();
         assert!(noisy.as_secs_f64() > clean.as_secs_f64());
+    }
+
+    #[test]
+    fn backhaul_is_off_by_default_and_priced_when_set() {
+        let flat = MultiApEnvironment::builder(base(2)).build().unwrap();
+        assert!(flat.backhaul(0).is_none());
+        let link = BackhaulLink::new(1e8, 1e-3).unwrap();
+        let tiered = MultiApEnvironment::builder(base(2))
+            .line(2, 100.0)
+            .unwrap()
+            .backhaul(link)
+            .build()
+            .unwrap();
+        assert_eq!(tiered.backhaul(0), Some(link));
+        assert_eq!(tiered.backhaul(1), Some(link));
+        assert!(tiered.backhaul(2).is_none(), "out-of-range AP has no link");
+        assert!(MultiApEnvironment::builder(base(2))
+            .backhaul(BackhaulLink {
+                capacity_bps: 0.0,
+                latency_s: 0.0,
+            })
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //!
 //! [`Scenario::presets`] lists the ready-made presets the scenario-sweep
 //! tooling iterates: `static`, `mobility`, `diurnal`, `congested`,
-//! `stragglers`, `dropouts`, `interference`, `multi_ap`, `adaptive_cut`,
-//! `composite`.
+//! `stragglers`, `dropouts`, `interference`, `multi_ap`, `hierarchical`,
+//! `adaptive_cut`, `composite`.
 
+use crate::backhaul::BackhaulLink;
 use crate::environment::{
     BandwidthProfile, ChannelModel, DropoutInjector, DynamicEnvironment, StaticEnvironment,
     StragglerInjector,
@@ -161,6 +162,11 @@ pub struct MultiApSpec {
     /// Optional random-waypoint roaming (drives handoffs); `None` keeps
     /// clients at their placement radii.
     pub mobility: Option<MobilitySpec>,
+    /// Optional AP→aggregator backhaul pricing. `None` (the default, and
+    /// what the plain `multi_ap` preset uses) keeps the backhaul free —
+    /// the historical single-tier behavior.
+    #[serde(default)]
+    pub backhaul: Option<BackhaulLink>,
 }
 
 impl Default for MultiApSpec {
@@ -175,6 +181,19 @@ impl Default for MultiApSpec {
                 max_m: 320.0,
                 epoch_rounds: 8,
             }),
+            backhaul: None,
+        }
+    }
+}
+
+impl MultiApSpec {
+    /// The `hierarchical` preset parameters: the `multi_ap` topology with
+    /// the AP→aggregator backhaul priced, so two-tier tree aggregation
+    /// pays for its second hop.
+    pub fn hierarchical() -> Self {
+        MultiApSpec {
+            backhaul: Some(BackhaulLink::default()),
+            ..MultiApSpec::default()
         }
     }
 }
@@ -275,6 +294,10 @@ pub enum Scenario {
     CrowdedCell(CrowdedCellSpec),
     /// Several APs / edge servers with mobility-driven handoffs.
     MultiAp(MultiApSpec),
+    /// The multi-AP topology with the AP→aggregator backhaul priced —
+    /// the environment the two-tier (hierarchical) aggregation studies
+    /// run against.
+    Hierarchical(MultiApSpec),
     /// The contested environment the adaptive cut-selection studies use
     /// (deep diurnal cycle + interference + stragglers).
     AdaptiveCut(AdaptiveCutSpec),
@@ -296,6 +319,7 @@ impl Scenario {
             Scenario::Narrowband(_) => "narrowband",
             Scenario::CrowdedCell(_) => "crowded_cell",
             Scenario::MultiAp(_) => "multi_ap",
+            Scenario::Hierarchical(_) => "hierarchical",
             Scenario::AdaptiveCut(_) => "adaptive_cut",
             Scenario::Composite(_) => "composite",
         }
@@ -317,6 +341,7 @@ impl Scenario {
             Scenario::Narrowband(NarrowbandSpec::default()),
             Scenario::CrowdedCell(CrowdedCellSpec::default()),
             Scenario::MultiAp(MultiApSpec::default()),
+            Scenario::Hierarchical(MultiApSpec::hierarchical()),
             Scenario::AdaptiveCut(AdaptiveCutSpec::default()),
             Scenario::Composite(CompositeSpec::stress()),
         ]
@@ -395,7 +420,7 @@ impl Scenario {
                     .seed(seed)
                     .build()?,
             )),
-            Scenario::MultiAp(m) => {
+            Scenario::MultiAp(m) | Scenario::Hierarchical(m) => {
                 let mut b = MultiApEnvironment::builder(base)
                     .line(m.aps, m.spacing_m)?
                     .handoff_kind(m.handoff)
@@ -412,6 +437,9 @@ impl Scenario {
                 spec.validate()?;
                 if spec.is_active() {
                     b = b.interference(spec);
+                }
+                if let Some(link) = m.backhaul {
+                    b = b.backhaul(link);
                 }
                 Ok(Box::new(b.build()?))
             }
@@ -504,7 +532,7 @@ mod tests {
     #[test]
     fn presets_cover_every_axis_once() {
         let presets = Scenario::presets();
-        assert_eq!(presets.len(), 12);
+        assert_eq!(presets.len(), 13);
         let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
         assert_eq!(
             names,
@@ -519,6 +547,7 @@ mod tests {
                 "narrowband",
                 "crowded_cell",
                 "multi_ap",
+                "hierarchical",
                 "adaptive_cut",
                 "composite"
             ]
@@ -693,6 +722,33 @@ mod tests {
             }
         }
         assert!(moved, "multi_ap roaming must produce handoffs");
+    }
+
+    #[test]
+    fn hierarchical_preset_prices_the_backhaul() {
+        let env = Scenario::Hierarchical(MultiApSpec::hierarchical())
+            .build(base(), 2)
+            .unwrap();
+        assert_eq!(env.ap_count(), 3);
+        for ap in 0..3 {
+            let link = env.backhaul(ap).expect("hierarchical preset has backhaul");
+            assert!(link.transfer_time(Bytes::new(1 << 20)).as_secs_f64() > 0.0);
+        }
+        // The plain multi_ap preset keeps the backhaul free (golden runs
+        // must not change).
+        let flat = Scenario::MultiAp(MultiApSpec::default())
+            .build(base(), 2)
+            .unwrap();
+        assert!(flat.backhaul(0).is_none());
+        // Bad link parameters fail at build.
+        let bad = Scenario::Hierarchical(MultiApSpec {
+            backhaul: Some(BackhaulLink {
+                capacity_bps: -1.0,
+                latency_s: 0.0,
+            }),
+            ..MultiApSpec::hierarchical()
+        });
+        assert!(bad.build(base(), 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Population-scale scalability sweep: 1k → 1M configured clients.
+//!
+//! Two claims are checked, and the process exits non-zero if either is
+//! violated, so CI can use this example as a gate:
+//!
+//! 1. **Bounded memory.** With a fixed cohort, peak RSS must not grow
+//!    with the *configured* population size — clients exist only as
+//!    (seed, metadata) until sampled, so 1M configured clients costs the
+//!    same memory as 1k.
+//! 2. **Near-linear round time in cohort size.** At a fixed population,
+//!    doubling the cohort may at most double round time (within slack),
+//!    i.e. nothing in sampling, materialization, or tree aggregation is
+//!    superlinear in the cohort.
+//!
+//! Usage: `cargo run --release --example scalability [max_clients]`
+//! where `max_clients` caps the sweep (e.g. `10000` for a CI smoke run;
+//! the default sweeps the full 1k/10k/100k/1M ladder).
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::population::PopulationConfig;
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use std::time::Instant;
+
+/// Peak resident set size in kilobytes, from `/proc/self/status`.
+/// Returns `None` off Linux; the memory gate is skipped there.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn config(configured: u64, cohort: usize, threads: Option<usize>) -> ExperimentConfig {
+    let mut builder = ExperimentConfig::builder()
+        .clients(cohort)
+        .groups(2)
+        .rounds(2)
+        .batch_size(8)
+        .eval_every(2)
+        .learning_rate(0.1)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 8,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
+        .population(PopulationConfig {
+            clients: configured,
+            // Fixed per-member shard so per-cohort-member work is
+            // constant across every point of the sweep.
+            samples_per_client: 16,
+        })
+        .seed(29);
+    if let Some(n) = threads {
+        builder = builder.client_threads(n);
+    }
+    builder.build().expect("sweep config is valid")
+}
+
+fn run_once(configured: u64, cohort: usize, threads: Option<usize>) -> (f64, f64) {
+    let runner = Runner::new(config(configured, cohort, threads)).expect("runner builds");
+    let start = Instant::now();
+    let result = runner.run(SchemeKind::Gsfl).expect("round runs");
+    let wall = start.elapsed().as_secs_f64();
+    let loss = result
+        .records
+        .last()
+        .map(|r| r.train_loss)
+        .unwrap_or(f64::NAN);
+    assert!(loss.is_finite(), "training diverged at N={configured}");
+    (wall, loss)
+}
+
+fn main() {
+    let max_clients: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("max_clients must be an integer"))
+        .unwrap_or(1_000_000);
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Phase 1: memory stays flat as the configured population grows.
+    let tiers: Vec<u64> = [1_000u64, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&n| n <= max_clients)
+        .collect();
+    assert!(!tiers.is_empty(), "max_clients below the smallest tier");
+    const COHORT: usize = 8;
+    println!("phase 1: fixed cohort of {COHORT}, growing configured population");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "clients", "wall_s", "peak_rss_kb", "loss"
+    );
+    let mut tier_stats: Vec<(u64, f64, Option<u64>)> = Vec::new();
+    for &n in &tiers {
+        let (wall, loss) = run_once(n, COHORT, None);
+        let rss = peak_rss_kb();
+        println!(
+            "{:>12} {:>12.3} {:>12} {:>12.4}",
+            n,
+            wall,
+            rss.map(|kb| kb.to_string()).unwrap_or_else(|| "n/a".into()),
+            loss
+        );
+        tier_stats.push((n, wall, rss));
+    }
+    let (first, last) = (tier_stats.first().unwrap(), tier_stats.last().unwrap());
+    match (first.2, last.2) {
+        (Some(base_kb), Some(peak_kb)) => {
+            // A sparse population must not allocate per unsampled client.
+            // Materializing 1M shards eagerly would cost gigabytes; the
+            // budget below only allows allocator noise.
+            const BUDGET_KB: u64 = 262_144; // 256 MiB
+            let growth = peak_kb.saturating_sub(base_kb);
+            if growth > BUDGET_KB {
+                failures.push(format!(
+                    "peak RSS grew {growth} kB from N={} to N={} (budget {BUDGET_KB} kB): \
+                     per-unsampled-client allocation suspected",
+                    first.0, last.0
+                ));
+            }
+        }
+        _ => eprintln!("note: /proc/self/status unavailable; memory gate skipped"),
+    }
+    // Round time must not scale with the configured population either:
+    // sampling is O(cohort), not O(N).
+    let slack = 25.0 * first.1.max(0.05) + 1.0;
+    if last.1 > slack {
+        failures.push(format!(
+            "round time grew with configured population: {:.3}s at N={} vs {:.3}s at N={} \
+             (limit {:.3}s)",
+            last.1, last.0, first.1, first.0, slack
+        ));
+    }
+
+    // ---- Phase 2: round time near-linear in cohort size.
+    let population = max_clients.min(100_000);
+    let cohorts = [4usize, 8, 16];
+    println!("\nphase 2: fixed population of {population}, growing cohort (1 thread)");
+    println!("{:>12} {:>12} {:>12}", "cohort", "wall_s", "loss");
+    let mut cohort_walls: Vec<f64> = Vec::new();
+    for &cohort in &cohorts {
+        let (wall, loss) = run_once(population, cohort, Some(1));
+        println!("{:>12} {:>12.3} {:>12.4}", cohort, wall, loss);
+        cohort_walls.push(wall);
+    }
+    let ideal = cohorts[cohorts.len() - 1] as f64 / cohorts[0] as f64;
+    let ratio = cohort_walls[cohorts.len() - 1] / cohort_walls[0].max(1e-3);
+    const LINEARITY_SLACK: f64 = 2.5;
+    if ratio > ideal * LINEARITY_SLACK {
+        failures.push(format!(
+            "round time superlinear in cohort: {}x cohort cost {ratio:.2}x time \
+             (limit {:.1}x)",
+            ideal,
+            ideal * LINEARITY_SLACK
+        ));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nscalability sweep OK (max configured clients: {})",
+            tiers.last().unwrap()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end population mode: every scheme trains a cohort sampled from
+//! a sparse population far larger than anything materialized, the runs
+//! are deterministic, and the hierarchical preset charges backhaul time
+//! that the backhaul-free topology does not.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::population::PopulationConfig;
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use gsfl::wireless::Scenario;
+
+fn population_config(configured: u64, scenario: Scenario) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(6)
+        .groups(2)
+        .rounds(3)
+        .batch_size(4)
+        .eval_every(3)
+        .learning_rate(0.1)
+        .dataset(DatasetConfig {
+            classes: 4,
+            samples_per_class: 8,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
+        .population(PopulationConfig {
+            clients: configured,
+            samples_per_client: 0,
+        })
+        .scenario(scenario)
+        .seed(13)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_scheme_trains_a_cohort_from_a_large_population() {
+    let runner = Runner::new(population_config(2_000_000, Scenario::Static)).unwrap();
+    for kind in SchemeKind::all() {
+        let result = runner.run(kind).unwrap();
+        assert_eq!(result.records.len(), 3, "{kind:?} must run every round");
+        assert!(
+            result.records.iter().all(|r| r.train_loss.is_finite()),
+            "{kind:?} produced a non-finite loss"
+        );
+    }
+}
+
+#[test]
+fn population_runs_are_deterministic() {
+    let a = Runner::new(population_config(500_000, Scenario::Static))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    let b = Runner::new(population_config(500_000, Scenario::Static))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.records).unwrap(),
+        serde_json::to_string(&b.records).unwrap(),
+        "population mode must be bit-deterministic per seed"
+    );
+}
+
+#[test]
+fn hierarchical_backhaul_slows_population_rounds() {
+    let flat = Runner::new(population_config(
+        100_000,
+        Scenario::preset("multi_ap").unwrap(),
+    ))
+    .unwrap()
+    .run(SchemeKind::Gsfl)
+    .unwrap();
+    let tiered = Runner::new(population_config(
+        100_000,
+        Scenario::preset("hierarchical").unwrap(),
+    ))
+    .unwrap()
+    .run(SchemeKind::Gsfl)
+    .unwrap();
+    assert!(
+        tiered.total_latency_s() > flat.total_latency_s(),
+        "a priced backhaul tier must add latency: {} vs {}",
+        tiered.total_latency_s(),
+        flat.total_latency_s()
+    );
+    // The training math is identical — only transport cost differs.
+    assert_eq!(
+        flat.records
+            .iter()
+            .map(|r| r.train_loss.to_bits())
+            .collect::<Vec<u64>>(),
+        tiered
+            .records
+            .iter()
+            .map(|r| r.train_loss.to_bits())
+            .collect::<Vec<u64>>(),
+        "backhaul pricing must not perturb training"
+    );
+}
