@@ -1,15 +1,27 @@
 //! Developer diagnostic: decompose SL and GSFL round latency into
 //! computation vs communication under the current paper-scale defaults.
 //!
-//! Usage: `cargo run -p gsfl-bench --release --bin debug_latency`
+//! All environment state is read through the `ChannelModel` trait —
+//! the round's `RoundConditions` snapshot plus the per-AP server
+//! accessors — so the breakdown is faithful under multi-AP, interference
+//! and trace-driven environments, not just the static single-cell model.
+//!
+//! Usage: `cargo run -p gsfl-bench --release --bin debug_latency [-- scenario]`
+//! where `scenario` is any preset name (default: the static paper cell).
 
 use gsfl_bench::paper_config;
 use gsfl_core::context::TrainContext;
-use gsfl_core::latency::{gsfl_round, sl_round, ChannelMode};
-use gsfl_wireless::units::Bytes;
+use gsfl_core::latency::{gsfl_round, sl_round};
+use gsfl_wireless::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = paper_config(false).rounds(1).build()?;
+    let mut builder = paper_config(false).rounds(1);
+    if let Some(name) = std::env::args().nth(1) {
+        let scenario =
+            Scenario::preset(&name).ok_or_else(|| format!("unknown scenario preset: {name}"))?;
+        builder = builder.scenario(scenario);
+    }
+    let config = builder.build()?;
     let ctx = TrainContext::from_config(config)?;
     let costs = ctx.costs;
     println!("cost profile (per batch):");
@@ -29,22 +41,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         costs.full_model_bytes.as_u64()
     );
 
-    // Per-step timings for a median client at full bandwidth and at B/M.
-    let c = 0usize;
+    // The round-0 snapshot every planner sees: total band, per-client
+    // distance / compute / availability / AP association.
     let env = ctx.env.as_ref();
-    let full = env.total_bandwidth(0);
+    let cond = env.conditions(0)?;
+    let full = cond.bandwidth;
+    println!(
+        "\nround-0 conditions: {:.1} MHz total, {} APs, {}/{} clients reachable",
+        full.as_hz() / 1e6,
+        env.ap_count(),
+        cond.available_clients().len(),
+        cond.clients.len(),
+    );
+
+    // Per-step timings for a probe client at full bandwidth and at the
+    // dedicated OFDMA share, against its *own* AP's edge server.
+    let c = 0usize;
+    let probe = &cond.clients[c];
+    let ap = probe.ap;
     let cf = env.client_compute(c, costs.client_fwd_flops, 0)?;
     let cb = env.client_compute(c, costs.client_bwd_flops, 0)?;
-    let sv = env.server_compute(costs.server_flops);
+    let sv = env.server_compute_at(ap, costs.server_flops);
     let ul_full = env.uplink_time(c, costs.smashed_bytes, 0, full)?;
     let dl_full = env.downlink_time(c, costs.grad_bytes, 0, full)?;
-    let share = full.fraction(1.0 / 6.0);
+    let share = cond.dedicated_share();
     let ul_share = env.uplink_time(c, costs.smashed_bytes, 0, share)?;
     let dl_share = env.downlink_time(c, costs.grad_bytes, 0, share)?;
     println!(
-        "\nper-step timings, client 0 (distance {:.0} m, device {:.2} GFLOP/s):",
-        env.distance(c, 0)?.as_meters(),
-        env.device_rate(c, 0)?.as_flops_per_sec() / 1e9
+        "\nper-step timings, client 0 (distance {:.0} m, device {:.2} GFLOP/s, AP {ap}):",
+        probe.distance.as_meters(),
+        probe.compute_rate.as_flops_per_sec() / 1e9
     );
     println!(
         "  client fwd / bwd     : {:.4}s / {:.4}s",
@@ -53,12 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  server fwd+bwd       : {:.6}s", sv.as_secs_f64());
     println!(
-        "  uplink  (B, B/6)     : {:.4}s, {:.4}s",
+        "  uplink  (B, B/N)     : {:.4}s, {:.4}s",
         ul_full.as_secs_f64(),
         ul_share.as_secs_f64()
     );
     println!(
-        "  downlink(B, B/6)     : {:.4}s, {:.4}s",
+        "  downlink(B, B/N)     : {:.4}s, {:.4}s",
         dl_full.as_secs_f64(),
         dl_share.as_secs_f64()
     );
@@ -74,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let steps = ctx.steps_per_client();
-    println!("\nsteps/client: {:?}", &steps[..6]);
+    println!("\nsteps/client: {:?}", &steps[..6.min(steps.len())]);
     let order: Vec<usize> = (0..ctx.config.clients).collect();
     let sl = sl_round(env, &costs, &steps, &order, ctx.config.channel, 0)?;
     let gsfl = gsfl_round(
@@ -98,6 +124,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mib(sl.bytes.up),
         mib(sl.bytes.down)
     );
-    let _ = (Bytes::ZERO, ChannelMode::Dedicated);
     Ok(())
 }

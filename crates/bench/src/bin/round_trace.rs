@@ -47,23 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         latency.client_energy_j,
     );
     print!("{}", schedule.gantt(72));
-    println!(
-        "\nedge-server utilization: {:.1}% of {} slots over the makespan",
-        schedule.utilization(
-            // The server is always the first declared resource.
-            resource_zero(),
-            ctx.env.server().slots()
-        ) * 100.0,
-        ctx.env.server().slots()
-    );
+    // The round builder declares one FIFO resource per AP's edge server;
+    // the schedule's own resource table recovers the handles, so this
+    // reports correctly for single- and multi-AP environments alike.
+    println!();
+    for ap in 0..ctx.env.ap_count() {
+        let label = if ctx.env.ap_count() == 1 {
+            "edge-server".to_string()
+        } else {
+            format!("edge-server{ap}")
+        };
+        let Some(handle) = schedule.resource(&label) else {
+            continue;
+        };
+        let slots = ctx.env.server_at(ap).slots();
+        println!(
+            "{label} utilization: {:.1}% of {slots} slots over the makespan",
+            schedule.utilization(handle, slots) * 100.0,
+        );
+    }
     Ok(())
-}
-
-/// The edge-server resource handle (first resource declared by the round
-/// builder).
-fn resource_zero() -> gsfl_simnet::ResourceId {
-    // TaskGraph hands out sequential ids; the round builder declares the
-    // server first. A tiny graph reproduces the same first handle.
-    let mut g = gsfl_simnet::TaskGraph::new();
-    g.add_resource("probe", 1)
 }

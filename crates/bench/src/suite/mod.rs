@@ -12,6 +12,7 @@
 
 pub mod aggregation;
 pub mod codec;
+pub mod orchestrator;
 pub mod population;
 pub mod round_latency;
 pub mod tensor_ops;
@@ -181,6 +182,7 @@ pub fn run_all(quick: bool) -> SuiteReport {
     codec::register(&mut suite);
     aggregation::register(&mut suite);
     round_latency::register(&mut suite);
+    orchestrator::register(&mut suite);
     train::register(&mut suite);
     population::register(&mut suite);
     suite.finish()

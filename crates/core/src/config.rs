@@ -3,6 +3,7 @@
 use crate::compression::CompressionSpec;
 use crate::cut::CutPolicySpec;
 use crate::latency::ChannelMode;
+use crate::orchestrator::OrchestratorSpec;
 use crate::population::PopulationConfig;
 use crate::{CoreError, Result};
 use gsfl_data::synth::Augment;
@@ -207,6 +208,14 @@ pub struct ExperimentConfig {
     /// require `momentum == 0`.
     #[serde(default)]
     pub cut_policy: CutPolicySpec,
+    /// How each round's joint cut × codec × bandwidth-share decision is
+    /// made: statically from the configured fields (default, the paper's
+    /// behavior), by a greedy per-round latency estimate, or by a bandit
+    /// over realized latencies. Non-static orchestrators require
+    /// `momentum == 0` and the fixed cut policy — the orchestrator owns
+    /// the per-round cut decision.
+    #[serde(default)]
+    pub orchestrator: OrchestratorSpec,
     /// Dataset generation parameters.
     pub dataset: DatasetConfig,
     /// Data partition strategy.
@@ -276,6 +285,7 @@ impl ExperimentConfig {
                 model: ModelKind::deepthin_default(),
                 cut_index: None,
                 cut_policy: CutPolicySpec::Fixed,
+                orchestrator: OrchestratorSpec::Static,
                 dataset: DatasetConfig::default(),
                 partition: PartitionStrategy::Dirichlet(1.0),
                 augment: Augment::default(),
@@ -371,6 +381,29 @@ impl ExperimentConfig {
             if !(0.0..=1.0).contains(&epsilon) || epsilon.is_nan() {
                 return Err(CoreError::Config(format!(
                     "bandit epsilon must be in [0,1], got {epsilon}"
+                )));
+            }
+        }
+        if !self.orchestrator.is_static() {
+            if self.momentum != 0.0 {
+                return Err(CoreError::Config(
+                    "orchestrators require momentum == 0 (optimizer \
+                     velocity cannot be remapped across cuts)"
+                        .into(),
+                ));
+            }
+            if !self.cut_policy.is_fixed() {
+                return Err(CoreError::Config(
+                    "orchestrators own the per-round cut decision; use the \
+                     Fixed cut policy with a non-static orchestrator"
+                        .into(),
+                ));
+            }
+        }
+        if let OrchestratorSpec::Bandit { epsilon } = self.orchestrator {
+            if !(0.0..=1.0).contains(&epsilon) || epsilon.is_nan() {
+                return Err(CoreError::Config(format!(
+                    "orchestrator bandit epsilon must be in [0,1], got {epsilon}"
                 )));
             }
         }
@@ -477,6 +510,13 @@ impl ExperimentConfigBuilder {
     /// [`crate::cut::CutPolicySpec`]).
     pub fn cut_policy(mut self, p: CutPolicySpec) -> Self {
         self.config.cut_policy = p;
+        self
+    }
+
+    /// Sets the per-round joint orchestrator (see
+    /// [`crate::orchestrator::OrchestratorSpec`]).
+    pub fn orchestrator(mut self, o: OrchestratorSpec) -> Self {
+        self.config.orchestrator = o;
         self
     }
 
@@ -654,6 +694,40 @@ mod tests {
             "eval_every":1,"target_accuracy":null,"availability":1.0,"seed":0}"#;
         let cfg: ExperimentConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.cut_policy, CutPolicySpec::Fixed);
+        // ... and (no `orchestrator` key) as the static orchestrator.
+        assert_eq!(cfg.orchestrator, OrchestratorSpec::Static);
+    }
+
+    #[test]
+    fn orchestrator_validation() {
+        assert!(ExperimentConfig::builder()
+            .orchestrator(OrchestratorSpec::Greedy)
+            .build()
+            .is_ok());
+        assert!(
+            ExperimentConfig::builder()
+                .orchestrator(OrchestratorSpec::Greedy)
+                .momentum(0.9)
+                .build()
+                .is_err(),
+            "orchestrated cuts cannot carry optimizer momentum"
+        );
+        assert!(
+            ExperimentConfig::builder()
+                .orchestrator(OrchestratorSpec::Greedy)
+                .cut_policy(CutPolicySpec::Greedy)
+                .build()
+                .is_err(),
+            "two per-round cut deciders must be rejected"
+        );
+        assert!(ExperimentConfig::builder()
+            .orchestrator(OrchestratorSpec::Bandit { epsilon: 1.5 })
+            .build()
+            .is_err());
+        assert!(ExperimentConfig::builder()
+            .orchestrator(OrchestratorSpec::Bandit { epsilon: 0.2 })
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct TrainContext {
     pub cut_candidates: Vec<usize>,
     /// Per-candidate cost profiles (always contains the configured cut).
     pub costs_by_cut: BTreeMap<usize, SplitCosts>,
+    /// The codec menu a per-round orchestrator may choose from (first
+    /// entry = the configured compression spec). Just the configured
+    /// spec when the orchestrator is static.
+    pub codec_menu: Vec<crate::compression::CompressionSpec>,
 }
 
 impl TrainContext {
@@ -128,14 +132,16 @@ impl TrainContext {
         let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?
             .with_compression(&config.compression);
 
-        // Candidate cuts for the cut policy: just the configured cut when
-        // fixed, every valid split otherwise (with its cost profile, so
+        // Candidate cuts for per-round deciders (cut policy or
+        // orchestrator): just the configured cut when both are static,
+        // every valid split otherwise (with its cost profile, so
         // per-round decisions never recompute FLOP counts).
-        let cut_candidates: Vec<usize> = if config.cut_policy.is_fixed() {
-            vec![config.cut()]
-        } else {
-            (1..model.depth()).collect()
-        };
+        let cut_candidates: Vec<usize> =
+            if config.cut_policy.is_fixed() && config.orchestrator.is_static() {
+                vec![config.cut()]
+            } else {
+                (1..model.depth()).collect()
+            };
         let mut costs_by_cut = BTreeMap::new();
         for &cut in &cut_candidates {
             let c = if cut == config.cut() {
@@ -147,6 +153,15 @@ impl TrainContext {
             costs_by_cut.insert(cut, c);
         }
         costs_by_cut.entry(config.cut()).or_insert(costs);
+
+        // The orchestrator's codec menu (configured spec first). Note
+        // `costs_by_cut` stays under the *configured* codec — planners
+        // re-derive wire sizes per menu entry via `with_compression`.
+        let codec_menu = if config.orchestrator.is_static() {
+            vec![config.compression]
+        } else {
+            crate::orchestrator::codec_menu(&config.compression)
+        };
 
         // Group assignment; load-aware strategies estimate per-client round
         // time from shard size, device rate and distance.
@@ -191,6 +206,7 @@ impl TrainContext {
             costs,
             cut_candidates,
             costs_by_cut,
+            codec_menu,
         })
     }
 

@@ -132,6 +132,41 @@ impl GreedyLatency {
         }
         Some(worst)
     }
+
+    /// The same chain estimate for one client only — drives the
+    /// per-client [`CutPolicy::choose_for`] refinement.
+    fn estimate_for(q: &CutQuery<'_>, cut: usize, client: usize) -> Option<f64> {
+        let costs = q.costs.get(&cut)?;
+        let share = q.conditions.dedicated_share();
+        let steps = q.steps.get(client).copied().unwrap_or(0);
+        if steps == 0 {
+            return Some(0.0);
+        }
+        let dl_model = q
+            .env
+            .downlink_time(client, costs.client_model_bytes, q.round, share)
+            .ok()?;
+        let fwd = q
+            .env
+            .client_compute(client, costs.client_fwd_flops, q.round)
+            .ok()?;
+        let ul = q
+            .env
+            .uplink_time(client, costs.smashed_wire_bytes, q.round, share)
+            .ok()?;
+        let ap = q.env.ap_of(client, q.round).ok()?;
+        let srv = q.env.server_compute_at(ap, costs.server_flops);
+        let dl = q
+            .env
+            .downlink_time(client, costs.grad_wire_bytes, q.round, share)
+            .ok()?;
+        let bwd = q
+            .env
+            .client_compute(client, costs.client_bwd_flops, q.round)
+            .ok()?;
+        let per_step = (fwd + ul + srv + dl + bwd).as_secs_f64();
+        Some(dl_model.as_secs_f64() + steps as f64 * per_step)
+    }
 }
 
 impl CutPolicy for GreedyLatency {
@@ -140,6 +175,24 @@ impl CutPolicy for GreedyLatency {
         let mut best_est = f64::INFINITY;
         for &cut in q.candidates {
             let Some(est) = GreedyLatency::estimate(q, cut) else {
+                continue;
+            };
+            if est < best_est {
+                best = cut;
+                best_est = est;
+            }
+        }
+        best
+    }
+
+    /// Per-client argmin of the single-client chain estimate — schemes
+    /// whose server side is per-client (SplitFed) can train each client
+    /// at its own latency-optimal cut.
+    fn choose_for(&self, client: usize, q: &CutQuery<'_>) -> usize {
+        let mut best = self.choose(q);
+        let mut best_est = f64::INFINITY;
+        for &cut in q.candidates {
+            let Some(est) = GreedyLatency::estimate_for(q, cut, client) else {
                 continue;
             };
             if est < best_est {
@@ -302,6 +355,47 @@ impl CutSelector {
         Ok((cut, costs))
     }
 
+    /// Per-client cuts from the policy's [`CutPolicy::choose_for`] hook,
+    /// indexed by client id. `None` on the fixed path — every client
+    /// trains at the configured cut, byte-identical to before. Only
+    /// schemes whose server side is per-client (SplitFed) can honor
+    /// heterogeneous cuts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment query errors; fails if the policy returns
+    /// a cut outside the context's candidate set.
+    pub fn client_cuts_for_round(
+        &self,
+        ctx: &crate::context::TrainContext,
+        round: u64,
+    ) -> crate::Result<Option<Vec<usize>>> {
+        if self.fixed {
+            return Ok(None);
+        }
+        let conditions = ctx.env.conditions(round)?;
+        let steps = ctx.steps_per_client();
+        let q = CutQuery {
+            round,
+            default_cut: ctx.config.cut(),
+            candidates: &ctx.cut_candidates,
+            costs: &ctx.costs_by_cut,
+            conditions: &conditions,
+            env: ctx.env.as_ref(),
+            steps: &steps,
+        };
+        let cuts: Vec<usize> = (0..ctx.config.clients)
+            .map(|c| self.policy.choose_for(c, &q))
+            .collect();
+        if let Some(bad) = cuts.iter().find(|c| !ctx.cut_candidates.contains(c)) {
+            return Err(crate::CoreError::Config(format!(
+                "cut policy chose per-client cut {bad}, not among candidates {:?}",
+                ctx.cut_candidates
+            )));
+        }
+        Ok(Some(cuts))
+    }
+
     /// Feeds a round's realized latency back to the policy (no-op for
     /// policies that do not learn).
     pub fn observe(&self, round: u64, cut: usize, latency_s: f64) {
@@ -372,6 +466,28 @@ mod tests {
         let b = GreedyLatency.choose(&q);
         assert_eq!(a, b);
         assert!(candidates.contains(&a));
+    }
+
+    #[test]
+    fn greedy_choose_for_minimizes_each_clients_chain() {
+        let (env, costs, candidates) = fixture();
+        let cond = env.conditions(1).unwrap();
+        // Client 2 trains far more than the others — its own-chain argmin
+        // is the minimum of its per-client estimate, whatever that is.
+        let steps = vec![1, 1, 9];
+        let q = query(&env, &costs, &candidates, &cond, &steps);
+        for client in 0..3 {
+            let cut = GreedyLatency.choose_for(client, &q);
+            assert!(candidates.contains(&cut));
+            let est = GreedyLatency::estimate_for(&q, cut, client).unwrap();
+            for &c in &candidates {
+                assert!(est <= GreedyLatency::estimate_for(&q, c, client).unwrap() + 1e-12);
+            }
+        }
+        // Zero-step clients cost nothing everywhere; any candidate works.
+        let steps = vec![0, 1, 1];
+        let q = query(&env, &costs, &candidates, &cond, &steps);
+        assert!(candidates.contains(&GreedyLatency.choose_for(0, &q)));
     }
 
     #[test]

@@ -260,6 +260,26 @@ pub fn fl_round(
     local_epochs: usize,
     round: u64,
 ) -> Result<RoundLatency> {
+    fl_round_planned(latency, costs, steps, local_epochs, round, None)
+}
+
+/// [`fl_round`] with an optional per-client bandwidth-share override
+/// from an orchestrator's [`crate::orchestrator::RoundPlan`]:
+/// `share_fracs[c]` is client `c`'s fraction of the round's total band
+/// (entries ≤ 0 fall back to the default equal split). `None` is exactly
+/// [`fl_round`].
+///
+/// # Errors
+///
+/// Propagates wireless model errors.
+pub fn fl_round_planned(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    steps: &[usize],
+    local_epochs: usize,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+) -> Result<RoundLatency> {
     let cond = latency.conditions(round)?;
     // Clients with zero steps are non-participants this round (e.g.
     // unavailable under churn): they neither train nor exchange models.
@@ -270,7 +290,11 @@ pub fn fl_round(
         .map(|(c, _)| c)
         .collect();
     let n = participants.len().max(1);
-    let share = cond.bandwidth.fraction(1.0 / n as f64);
+    let default_share = cond.bandwidth.fraction(1.0 / n as f64);
+    let share_of = |c: usize| match share_fracs {
+        Some(f) if f.get(c).copied().unwrap_or(0.0) > 0.0 => cond.bandwidth.fraction(f[c]),
+        _ => default_share,
+    };
     let power = *latency.power();
     let mut worst = Seconds::ZERO;
     let mut bytes = RoundBytes::default();
@@ -278,6 +302,7 @@ pub fn fl_round(
     let mut breakdown = LatencyBreakdown::default();
     for &c in &participants {
         let s = steps[c];
+        let share = share_of(c);
         let others: Vec<usize> = participants.iter().copied().filter(|&o| o != c).collect();
         // All participants receive the broadcast concurrently, so the
         // downlink pays SINR against the cohort just like the uplink.
@@ -339,10 +364,35 @@ pub fn sl_round(
     mode: ChannelMode,
     round: u64,
 ) -> Result<RoundLatency> {
+    sl_round_planned(latency, costs, steps, order, mode, round, None)
+}
+
+/// [`sl_round`] with an optional per-client bandwidth-share override
+/// from an orchestrator's [`crate::orchestrator::RoundPlan`]:
+/// `share_fracs[c]` is client `c`'s fraction of the round's total band
+/// (entries ≤ 0 fall back to the channel-mode default). `None` is
+/// exactly [`sl_round`].
+///
+/// # Errors
+///
+/// Propagates wireless model errors.
+pub fn sl_round_planned(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    steps: &[usize],
+    order: &[usize],
+    mode: ChannelMode,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+) -> Result<RoundLatency> {
     let cond = latency.conditions(round)?;
-    let share = match mode {
+    let default_share = match mode {
         ChannelMode::Dedicated => cond.dedicated_share(),
         ChannelMode::SharedPool => cond.bandwidth,
+    };
+    let share_of = |c: usize| match share_fracs {
+        Some(f) if f.get(c).copied().unwrap_or(0.0) > 0.0 => cond.bandwidth.fraction(f[c]),
+        _ => default_share,
     };
     let power = *latency.power();
     let mut total = Seconds::ZERO;
@@ -350,6 +400,7 @@ pub fn sl_round(
     let mut energy = 0.0f64;
     let mut breakdown = LatencyBreakdown::default();
     for &c in order {
+        let share = share_of(c);
         // Model arrives at this client (from the AP relay). The AP
         // decoded the previous client's encoded upload and relays the
         // model onward in fp32, so the downlink is charged raw.
@@ -444,18 +495,96 @@ pub fn gsfl_round_with_schedule(
     mode: ChannelMode,
     round: u64,
 ) -> Result<(RoundLatency, Schedule)> {
+    let group_costs = vec![*costs; groups.len()];
+    gsfl_round_inner(
+        latency,
+        &group_costs,
+        steps,
+        groups,
+        policy,
+        mode,
+        round,
+        None,
+    )
+}
+
+/// [`gsfl_round`] under an orchestrator's
+/// [`crate::orchestrator::RoundPlan`]: per-group cost profiles (hetero
+/// cuts give each group its own profile — SplitFed's singleton groups
+/// make that per-client) and an optional per-client bandwidth-share
+/// override (`share_fracs[c]` = client `c`'s fraction of the total band;
+/// entries ≤ 0 fall back to the dedicated share). Uniform costs plus
+/// `None` shares is exactly [`gsfl_round`].
+///
+/// # Errors
+///
+/// Propagates wireless/simulation errors; `group_costs` must have one
+/// entry per group.
+#[allow(clippy::too_many_arguments)]
+pub fn gsfl_round_planned(
+    latency: &dyn ChannelModel,
+    group_costs: &[SplitCosts],
+    steps: &[usize],
+    groups: &[Vec<usize>],
+    policy: BandwidthPolicy,
+    mode: ChannelMode,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+) -> Result<RoundLatency> {
+    gsfl_round_inner(
+        latency,
+        group_costs,
+        steps,
+        groups,
+        policy,
+        mode,
+        round,
+        share_fracs,
+    )
+    .map(|(latency, _)| latency)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gsfl_round_inner(
+    latency: &dyn ChannelModel,
+    group_costs: &[SplitCosts],
+    steps: &[usize],
+    groups: &[Vec<usize>],
+    policy: BandwidthPolicy,
+    mode: ChannelMode,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+) -> Result<(RoundLatency, Schedule)> {
     let m = groups.len();
     if m == 0 {
         return Err(CoreError::Config("gsfl needs at least one group".into()));
     }
+    if group_costs.len() != m {
+        return Err(CoreError::Config(format!(
+            "gsfl needs one cost profile per group: {} profiles for {m} groups",
+            group_costs.len()
+        )));
+    }
     let cond = latency.conditions(round)?;
-    let shares = match mode {
-        // Every client owns its B/N subchannel regardless of grouping.
-        ChannelMode::Dedicated => vec![cond.dedicated_share(); m],
-        // Active groups split the band per the policy.
-        ChannelMode::SharedPool => {
-            group_shares(latency, &cond, costs, steps, groups, policy, round)?
-        }
+    let shares = match share_fracs {
+        // Planned shares are per client; the per-group vector is unused.
+        Some(_) => vec![Hertz::new(0.0); m],
+        None => match mode {
+            // Every client owns its B/N subchannel regardless of grouping.
+            ChannelMode::Dedicated => vec![cond.dedicated_share(); m],
+            // Active groups split the band per the policy.
+            ChannelMode::SharedPool => {
+                group_shares(latency, &cond, group_costs, steps, groups, policy, round)?
+            }
+        },
+    };
+    // The share a member of group `gi` transmits on: its planned
+    // fraction of the band when the orchestrator set one, the group's
+    // share otherwise.
+    let member_share = |gi: usize, c: usize| match share_fracs {
+        Some(f) if f.get(c).copied().unwrap_or(0.0) > 0.0 => cond.bandwidth.fraction(f[c]),
+        Some(_) => cond.dedicated_share(),
+        None => shares[gi],
     };
 
     let power = *latency.power();
@@ -485,7 +614,7 @@ pub fn gsfl_round_with_schedule(
     let mut server_tasks = Vec::new();
 
     for (gi, members) in groups.iter().enumerate() {
-        let share = shares[gi];
+        let gc = &group_costs[gi];
         let mut prev = None;
         for (j, &c) in members.iter().enumerate() {
             // While this member transmits, every other active group has a
@@ -499,9 +628,9 @@ pub fn gsfl_round_with_schedule(
                 let relay_interferers = co_transmitters(groups, gi, j - 1);
                 let relay_t = latency.uplink_time_among(
                     from,
-                    costs.client_model_wire_bytes,
+                    gc.client_model_wire_bytes,
                     round,
-                    share,
+                    member_share(gi, from),
                     &relay_interferers,
                 )?;
                 let ul = g.add_task(
@@ -510,8 +639,8 @@ pub fn gsfl_round_with_schedule(
                     None,
                     prev.as_slice(),
                 )?;
-                bytes.up += costs.client_model_wire_bytes.as_u64();
-                bytes.raw_up += costs.client_model_bytes.as_u64();
+                bytes.up += gc.client_model_wire_bytes.as_u64();
+                bytes.raw_up += gc.client_model_bytes.as_u64();
                 energy += power.tx_energy(relay_t).as_joules();
                 breakdown.uplink_s += relay_t.as_secs_f64();
                 prev = Some(ul);
@@ -523,9 +652,9 @@ pub fn gsfl_round_with_schedule(
             // relays raw — see `fl_round`).
             let model_dl_t = latency.downlink_time_among(
                 c,
-                costs.client_model_bytes,
+                gc.client_model_bytes,
                 round,
-                share,
+                member_share(gi, c),
                 &interferers,
             )?;
             let dl = g.add_task(
@@ -534,15 +663,15 @@ pub fn gsfl_round_with_schedule(
                 None,
                 prev.as_slice(),
             )?;
-            bytes.down += costs.client_model_bytes.as_u64();
-            bytes.raw_down += costs.client_model_bytes.as_u64();
+            bytes.down += gc.client_model_bytes.as_u64();
+            bytes.raw_down += gc.client_model_bytes.as_u64();
             energy += power.rx_energy(model_dl_t).as_joules();
             breakdown.downlink_s += model_dl_t.as_secs_f64();
             prev = Some(dl);
 
             let ap = latency.ap_of(c, round)?;
             for s in 0..steps[c] {
-                let fwd_t = latency.client_compute(c, costs.client_fwd_flops, round)?;
+                let fwd_t = latency.client_compute(c, gc.client_fwd_flops, round)?;
                 let cf = g.add_task(
                     format!("g{gi}/c{c}/fwd{s}"),
                     to_sim(fwd_t),
@@ -551,13 +680,13 @@ pub fn gsfl_round_with_schedule(
                 )?;
                 let ul_t = latency.uplink_time_among(
                     c,
-                    costs.smashed_wire_bytes,
+                    gc.smashed_wire_bytes,
                     round,
-                    share,
+                    member_share(gi, c),
                     &interferers,
                 )?;
                 let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t), None, &[cf])?;
-                let srv_t = latency.server_compute_at(ap, costs.server_flops);
+                let srv_t = latency.server_compute_at(ap, gc.server_flops);
                 let sv = g.add_task(
                     format!("g{gi}/c{c}/srv{s}"),
                     to_sim(srv_t),
@@ -567,18 +696,18 @@ pub fn gsfl_round_with_schedule(
                 server_tasks.push((sv, ul));
                 let dl_t = latency.downlink_time_among(
                     c,
-                    costs.grad_wire_bytes,
+                    gc.grad_wire_bytes,
                     round,
-                    share,
+                    member_share(gi, c),
                     &interferers,
                 )?;
                 let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
-                let bwd_t = latency.client_compute(c, costs.client_bwd_flops, round)?;
+                let bwd_t = latency.client_compute(c, gc.client_bwd_flops, round)?;
                 let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
-                bytes.up += costs.smashed_wire_bytes.as_u64();
-                bytes.down += costs.grad_wire_bytes.as_u64();
-                bytes.raw_up += costs.smashed_bytes.as_u64();
-                bytes.raw_down += costs.grad_bytes.as_u64();
+                bytes.up += gc.smashed_wire_bytes.as_u64();
+                bytes.down += gc.grad_wire_bytes.as_u64();
+                bytes.raw_up += gc.smashed_bytes.as_u64();
+                bytes.raw_down += gc.grad_bytes.as_u64();
                 energy += (power.compute_energy(fwd_t + bwd_t)
                     + power.tx_energy(ul_t)
                     + power.rx_energy(dl_t))
@@ -595,9 +724,9 @@ pub fn gsfl_round_with_schedule(
         let last_interferers = co_transmitters(groups, gi, members.len() - 1);
         let agg_ul_t = latency.uplink_time_among(
             last,
-            costs.client_model_wire_bytes,
+            gc.client_model_wire_bytes,
             round,
-            shares[gi],
+            member_share(gi, last),
             &last_interferers,
         )?;
         let agg_ul = g.add_task(
@@ -606,8 +735,8 @@ pub fn gsfl_round_with_schedule(
             None,
             prev.as_slice(),
         )?;
-        bytes.up += costs.client_model_wire_bytes.as_u64();
-        bytes.raw_up += costs.client_model_bytes.as_u64();
+        bytes.up += gc.client_model_wire_bytes.as_u64();
+        bytes.raw_up += gc.client_model_bytes.as_u64();
         energy += power.tx_energy(agg_ul_t).as_joules();
         breakdown.uplink_s += agg_ul_t.as_secs_f64();
         group_ends.push(agg_ul);
@@ -620,7 +749,15 @@ pub fn gsfl_round_with_schedule(
     // no priced backhaul the task graph is exactly the historical
     // single-tier one.
     let join_inputs = if group_aps.iter().any(|&ap| latency.backhaul(ap).is_some()) {
-        let payload = Bytes::new(costs.client_model_bytes.as_u64() + server_side_bytes(costs));
+        // Per-AP partial aggregates carry the widest group's halves
+        // (uniform costs make this exactly the historical payload).
+        let payload = Bytes::new(
+            group_costs
+                .iter()
+                .map(|c| c.client_model_bytes.as_u64() + server_side_bytes(c))
+                .max()
+                .unwrap_or(0),
+        );
         let mut per_ap: BTreeMap<usize, Vec<_>> = BTreeMap::new();
         for (&end, &ap) in group_ends.iter().zip(&group_aps) {
             per_ap.entry(ap).or_default().push(end);
@@ -646,7 +783,12 @@ pub fn gsfl_round_with_schedule(
     // Aggregation runs at AP 0's server (the anchor AP that owns the
     // global model).
     let join = g.add_barrier("agg-join", &join_inputs)?;
-    let agg_flops = (costs.client_model_bytes.as_u64() + server_side_bytes(costs)) / 4 * m as u64;
+    // One parameter pass per group (uniform costs reduce to the
+    // historical `(client + server) / 4 × m`).
+    let agg_flops: u64 = group_costs
+        .iter()
+        .map(|c| (c.client_model_bytes.as_u64() + server_side_bytes(c)) / 4)
+        .sum();
     let agg_t = latency.server_compute_at(0, agg_flops);
     let agg = g.add_task("fedavg", to_sim(agg_t), Some(servers[0]), &[join])?;
     breakdown.server_s += agg_t.as_secs_f64();
@@ -699,7 +841,7 @@ fn co_transmitters(groups: &[Vec<usize>], gi: usize, j: usize) -> Vec<usize> {
 fn group_shares(
     latency: &dyn ChannelModel,
     cond: &RoundConditions,
-    costs: &SplitCosts,
+    group_costs: &[SplitCosts],
     steps: &[usize],
     groups: &[Vec<usize>],
     policy: BandwidthPolicy,
@@ -710,6 +852,7 @@ fn group_shares(
         .iter()
         .enumerate()
         .map(|(gi, members)| {
+            let costs = &group_costs[gi];
             // Per-group payload over the round.
             let payload: u64 = members
                 .iter()

@@ -124,6 +124,7 @@ pub mod context;
 pub mod cut;
 pub mod grouping;
 pub mod latency;
+pub mod orchestrator;
 pub(crate) mod parallel;
 pub mod population;
 pub mod results;

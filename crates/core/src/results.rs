@@ -158,6 +158,21 @@ impl RunResult {
             .map(|r| r.cumulative_latency_s)
     }
 
+    /// Simulated seconds until test accuracy reached `target` and never
+    /// fell below it again — robust to the one-evaluation flukes that
+    /// [`RunResult::time_to_accuracy`] counts as arrival.
+    pub fn sustained_time_to_accuracy(&self, target: f64) -> Option<f64> {
+        let from = self
+            .records
+            .iter()
+            .rposition(|r| r.test_accuracy.is_some_and(|a| a < target))
+            .map_or(0, |i| i + 1);
+        self.records[from..]
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_latency_s)
+    }
+
     /// Client-side joules spent until test accuracy first reached
     /// `target` (fraction) — the energy twin of
     /// [`RunResult::time_to_accuracy`], used to rank schemes on battery

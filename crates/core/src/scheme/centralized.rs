@@ -4,6 +4,7 @@ use super::common::{full_train_epoch, make_batcher, make_opt, require_state, req
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
 use crate::latency::cl_round;
+use crate::orchestrator::PlanSelector;
 use crate::Result;
 use gsfl_data::batcher::Batcher;
 use gsfl_data::dataset::ImageDataset;
@@ -26,6 +27,10 @@ struct State {
     batcher: Batcher,
     pooled: ImageDataset,
     total_steps: usize,
+    /// This run's private plan-selection state. CL has no wireless
+    /// traffic or cut, so plans only vary the (compute-irrelevant)
+    /// codec — the loop exists so orchestrators observe every scheme.
+    plans: PlanSelector,
 }
 
 impl Centralized {
@@ -61,6 +66,7 @@ impl Scheme for Centralized {
             batcher,
             pooled,
             total_steps,
+            plans: PlanSelector::from_config(cfg),
         });
         Ok(())
     }
@@ -75,7 +81,13 @@ impl Scheme for Centralized {
             round as u64,
         )?;
         state.opt.advance_round();
-        let latency = cl_round(ctx.env.as_ref(), &ctx.costs, state.total_steps);
+        // `full_flops` is a raw field — no plan codec can change the CL
+        // round, so the static path stays byte-identical by construction.
+        let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
+        let latency = cl_round(ctx.env.as_ref(), &costs, state.total_steps);
+        state
+            .plans
+            .observe(round as u64, &plan, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / steps.max(1) as f64,

@@ -49,10 +49,11 @@ pub(crate) fn make_batcher(cfg: &ExperimentConfig, client: usize) -> Result<Batc
     )?)
 }
 
-/// The cut-boundary codec hook for this experiment (smashed uplink +
-/// gradient downlink).
-pub(crate) fn make_cut_channel(cfg: &ExperimentConfig) -> CutChannel {
-    CutChannel::new(&cfg.compression.smashed, &cfg.compression.gradient)
+/// The cut-boundary codec hook for one round's compression spec (smashed
+/// uplink + gradient downlink) — the configured spec on the static path,
+/// or whatever the orchestrator's plan picked this round.
+pub(crate) fn make_cut_channel_for(comp: &crate::compression::CompressionSpec) -> CutChannel {
+    CutChannel::new(&comp.smashed, &comp.gradient)
 }
 
 /// A [`CutChannel`] bound to one client's deterministic codec streams:

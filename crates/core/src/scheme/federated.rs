@@ -6,7 +6,8 @@ use super::common::{
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
-use crate::latency::fl_round;
+use crate::latency::fl_round_planned;
+use crate::orchestrator::PlanSelector;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
 use crate::Result;
@@ -40,6 +41,9 @@ struct State {
     /// snapshot buffers), so steady-state rounds aggregate without
     /// fresh allocations.
     ws: Workspace,
+    /// This run's private plan-selection state. FL has no cut — plans
+    /// vary the upload codec, the bandwidth shares and the cohort.
+    plans: PlanSelector,
 }
 
 impl Federated {
@@ -65,6 +69,7 @@ impl Scheme for Federated {
             global,
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
+            plans: PlanSelector::from_config(cfg),
         });
         Ok(())
     }
@@ -72,7 +77,13 @@ impl Scheme for Federated {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
-        let participants = ctx.available_clients(round as u64);
+        let mut participants = ctx.available_clients(round as u64);
+        let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
+        // A cohort cap admits only the head of the deterministic
+        // participant order (FL has no cut, so per-client cuts are moot).
+        if let Some(k) = plan.cohort {
+            participants.truncate(k);
+        }
         // Dense mode borrows the static shards; population mode
         // materializes this round's sampled cohort.
         let shards = ctx.round_shards(round as u64)?;
@@ -110,7 +121,7 @@ impl Scheme for Federated {
             // round-start global both endpoints hold; the AP aggregates
             // what it decoded.
             let mut snapshot = ParamVec::from_network(&local);
-            let mut model_codec = ModelCodec::new(&cfg.compression.full_model, cfg.seed);
+            let mut model_codec = ModelCodec::new(&plan.codec.full_model, cfg.seed);
             model_codec.apply_vec(&mut snapshot, global.get(), round as u64, c)?;
             Ok((snapshot, shards[c].len() as f64, loss_sum, step_sum))
         })?;
@@ -151,13 +162,17 @@ impl Scheme for Federated {
                 }
             })
             .collect();
-        let latency = fl_round(
+        let latency = fl_round_planned(
             ctx.env.as_ref(),
-            &ctx.costs,
+            &costs,
             &round_steps,
             cfg.local_epochs,
             round as u64,
+            plan.shares.as_deref(),
         )?;
+        state
+            .plans
+            .observe(round as u64, &plan, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

@@ -1,14 +1,15 @@
 //! Group-based split federated learning — the paper's contribution.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
     split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
+use crate::compression::CompressionSpec;
 use crate::context::TrainContext;
-use crate::cut::CutSelector;
-use crate::latency::gsfl_round;
+use crate::latency::gsfl_round_planned;
+use crate::orchestrator::PlanSelector;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
 use crate::Result;
@@ -53,9 +54,9 @@ struct State {
     /// Current global full-model parameters (client ++ server halves),
     /// shared copy-on-write across the round's replicas.
     global: CowParams,
-    /// This run's private cut-selection state (fresh per init, so
+    /// This run's private plan-selection state (fresh per init, so
     /// bandit feedback never leaks across sessions).
-    cuts: CutSelector,
+    plans: PlanSelector,
     steps: Vec<usize>,
     /// Recycled aggregation scratch — dead snapshots and the `f64`
     /// accumulator cycle through this pool.
@@ -83,7 +84,7 @@ impl Scheme for Gsfl {
         self.state = Some(State {
             template: net,
             global,
-            cuts: CutSelector::from_config(&ctx.config),
+            plans: PlanSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
         });
@@ -93,18 +94,26 @@ impl Scheme for Gsfl {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
-        // The cut policy picks this round's split point from the live
-        // conditions (the fixed policy short-circuits to the config).
-        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+        // The plan selector picks this round's joint cut × codec ×
+        // shares decision from the live conditions (the static path
+        // short-circuits to the config through the cut policy).
+        let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
         // Split the current global model at the chosen cut: parameters
         // are preserved across the split, so replicas start from the
         // aggregated state exactly as before.
         let mut whole = state.template.clone();
         state.global.load_into(&mut whole)?;
-        let split_template = SplitNetwork::split(whole, cut)?;
+        let split_template = SplitNetwork::split(whole, plan.cut)?;
         // Per-round participation: groups shrink to their reachable
-        // members; fully-unreachable groups sit this round out.
-        let available = ctx.available_clients(round as u64);
+        // members; fully-unreachable groups sit this round out. A
+        // cohort cap admits only the head of the deterministic
+        // participant order. GSFL shares one split template across a
+        // group's chain, so per-client cuts are not exercised here —
+        // SplitFed (per-client replicas) honors them.
+        let mut available = ctx.available_clients(round as u64);
+        if let Some(k) = plan.cohort {
+            available.truncate(k);
+        }
         let round_groups: Vec<Vec<usize>> = ctx
             .groups
             .iter()
@@ -123,6 +132,7 @@ impl Scheme for Gsfl {
             &round_groups,
             shards.as_ref(),
             &split_template,
+            &plan.codec,
             round as u64,
         )?;
 
@@ -158,18 +168,20 @@ impl Scheme for Gsfl {
             state.ws.give(snap.into_values());
         }
 
-        let latency = gsfl_round(
+        let group_costs = vec![costs; round_groups.len()];
+        let latency = gsfl_round_planned(
             ctx.env.as_ref(),
-            &costs,
+            &group_costs,
             &state.steps,
             &round_groups,
             cfg.bandwidth_policy,
             cfg.channel,
             round as u64,
+            plan.shares.as_deref(),
         )?;
         state
-            .cuts
-            .observe(round as u64, cut, latency.duration.as_secs_f64());
+            .plans
+            .observe(round as u64, &plan, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,
@@ -192,6 +204,7 @@ fn run_groups_parallel(
     groups: &[Vec<usize>],
     shards: &[ImageDataset],
     template: &SplitNetwork,
+    codec: &CompressionSpec,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
     let (threads, _grant) = round_fanout(&ctx.config, groups.len());
@@ -201,13 +214,13 @@ fn run_groups_parallel(
         let cfg = &ctx.config;
         let mut client_opt = make_opt(cfg);
         let mut server_opt = make_opt(cfg);
-        let mut channel = make_cut_channel(cfg);
+        let mut channel = make_cut_channel_for(codec);
         // The client half is re-encoded on every wire crossing: each
         // relay hop between members and the final upload to the AP, as a
         // delta against the state the hop started from. Streams depend
         // only on (seed, round, client), so group-parallel threads stay
         // byte-identical.
-        let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
+        let mut model_codec = ModelCodec::new(&codec.client_model, cfg.seed);
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
         let mut samples = 0usize;

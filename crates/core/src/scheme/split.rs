@@ -1,13 +1,13 @@
 //! Vanilla split learning (SL): the sequential baseline.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
     split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
-use crate::cut::CutSelector;
-use crate::latency::sl_round;
+use crate::latency::sl_round_planned;
+use crate::orchestrator::PlanSelector;
 use crate::Result;
 use gsfl_nn::optim::Sgd;
 use gsfl_nn::params::ParamVec;
@@ -33,8 +33,9 @@ pub struct VanillaSplit {
 #[derive(Debug)]
 struct State {
     mode: Mode,
-    /// This run's private cut-selection state.
-    cuts: CutSelector,
+    /// This run's private plan-selection state (cut policy and/or
+    /// orchestrator).
+    plans: PlanSelector,
     steps: Vec<usize>,
 }
 
@@ -71,7 +72,9 @@ impl Scheme for VanillaSplit {
         let net = cfg
             .model
             .build(&ctx.sample_dims, cfg.dataset.classes, cfg.seed)?;
-        let mode = if cfg.cut_policy.is_fixed() {
+        // The persistent-split fast path needs the cut to never move:
+        // both the cut policy and the orchestrator must be static.
+        let mode = if cfg.cut_policy.is_fixed() && cfg.orchestrator.is_static() {
             Mode::Fixed {
                 split: SplitNetwork::split(net, cfg.cut())?,
                 client_opt: make_opt(cfg),
@@ -86,7 +89,7 @@ impl Scheme for VanillaSplit {
         };
         self.state = Some(State {
             mode,
-            cuts: CutSelector::from_config(cfg),
+            plans: PlanSelector::from_config(cfg),
             steps: ctx.steps_per_client(),
         });
         Ok(())
@@ -97,19 +100,25 @@ impl Scheme for VanillaSplit {
         let cfg = &ctx.config;
         // Unavailable clients are skipped this round (the relay goes
         // straight to the next reachable client).
-        let order = ctx.available_clients(round as u64);
-        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
+        let mut order = ctx.available_clients(round as u64);
+        let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
+        // A cohort cap admits only the head of the deterministic
+        // participant order (SL ignores per-client cuts — there is one
+        // shared model chain).
+        if let Some(k) = plan.cohort {
+            order.truncate(k);
+        }
         // Dense mode borrows the static shards; population mode
         // materializes this round's sampled cohort.
         let shards = ctx.round_shards(round as u64)?;
 
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
-        let mut channel = make_cut_channel(cfg);
+        let mut channel = make_cut_channel_for(&plan.codec);
         // The client-side model codec bites on every AP relay hop: after
         // each client's segment the client half travels client → AP →
         // next client as a delta against the state the hop started from.
-        let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
+        let mut model_codec = ModelCodec::new(&plan.codec.client_model, cfg.seed);
         match &mut state.mode {
             Mode::Fixed {
                 split,
@@ -142,7 +151,7 @@ impl Scheme for VanillaSplit {
             Mode::Adaptive { template, global } => {
                 let mut whole = template.clone();
                 global.load_into(&mut whole)?;
-                let mut split = SplitNetwork::split(whole, cut)?;
+                let mut split = SplitNetwork::split(whole, plan.cut)?;
                 // Momentum is 0 by validation, so fresh per-round
                 // optimizers are exactly the persistent ones.
                 let mut client_opt = make_opt(cfg);
@@ -174,17 +183,18 @@ impl Scheme for VanillaSplit {
             }
         }
 
-        let latency = sl_round(
+        let latency = sl_round_planned(
             ctx.env.as_ref(),
             &costs,
             &state.steps,
             &order,
             cfg.channel,
             round as u64,
+            plan.shares.as_deref(),
         )?;
         state
-            .cuts
-            .observe(round as u64, cut, latency.duration.as_secs_f64());
+            .plans
+            .observe(round as u64, &plan, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

@@ -2,14 +2,14 @@
 //! critiques.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel, make_opt, require_state, require_state_mut,
+    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
     split_train_epoch, CutLink, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
-use crate::cut::CutSelector;
-use crate::latency::gsfl_round;
+use crate::latency::gsfl_round_planned;
+use crate::orchestrator::{PlanSelector, RoundPlan};
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
 use crate::Result;
@@ -23,6 +23,12 @@ use gsfl_tensor::workspace::Workspace;
 /// halves are FedAvg-aggregated every round. Statistically equivalent to
 /// GSFL with M = N singleton groups — which is exactly how it is
 /// computed — but its server storage grows with N instead of M.
+///
+/// Because each client owns a private replica, SplitFed is the one
+/// scheme where *per-client heterogeneous cuts* are structurally free:
+/// when the round plan carries [`RoundPlan::client_cuts`] each replica
+/// is split at its client's own cut, and the round aggregates the
+/// re-joined full models (cut-invariant) instead of per-half snapshots.
 #[derive(Debug, Default)]
 pub struct SplitFed {
     state: Option<State>,
@@ -36,8 +42,8 @@ struct State {
     /// Current global full-model parameters (client ++ server halves),
     /// shared copy-on-write across the round's replicas.
     global: CowParams,
-    /// This run's private cut-selection state.
-    cuts: CutSelector,
+    /// This run's private plan-selection state.
+    plans: PlanSelector,
     steps: Vec<usize>,
     /// Recycled aggregation scratch.
     ws: Workspace,
@@ -64,7 +70,7 @@ impl Scheme for SplitFed {
         self.state = Some(State {
             template: net,
             global,
-            cuts: CutSelector::from_config(&ctx.config),
+            plans: PlanSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
         });
@@ -74,11 +80,13 @@ impl Scheme for SplitFed {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
-        let (cut, costs) = state.cuts.cut_for_round(ctx, round as u64)?;
-        let mut whole = state.template.clone();
-        state.global.load_into(&mut whole)?;
-        let template = SplitNetwork::split(whole, cut)?;
-        let participants = ctx.available_clients(round as u64);
+        let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
+        let mut participants = ctx.available_clients(round as u64);
+        // A cohort cap admits only the head of the deterministic
+        // participant order.
+        if let Some(k) = plan.cohort {
+            participants.truncate(k);
+        }
         let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
         let shards = ctx.round_shards(round as u64)?;
         let shards = shards.as_ref();
@@ -88,82 +96,41 @@ impl Scheme for SplitFed {
         // parallel host threads, collecting in fixed participant order
         // (byte-identical to the sequential path).
         let (threads, _grant) = round_fanout(cfg, participants.len());
-        let template = &template;
-        // Round-start client half: the delta reference every client's
-        // model upload is encoded against.
-        let client_ref = ParamVec::from_network(&template.client);
-        let client_ref = &client_ref;
-        let passes = run_indexed(participants.len(), threads, |idx| {
-            let c = participants[idx];
-            let mut replica = template.clone();
-            let mut client_opt = make_opt(cfg);
-            let mut server_opt = make_opt(cfg);
-            let mut channel = make_cut_channel(cfg);
-            let mut model_codec = ModelCodec::new(&cfg.compression.client_model, cfg.seed);
-            let batcher = make_batcher(cfg, c)?;
-            let (l, s) = split_train_epoch(
-                &mut replica,
-                &mut client_opt,
-                &mut server_opt,
-                &shards[c],
-                &batcher,
-                round as u64,
-                CutLink::new(cfg, &mut channel, c),
-            )?;
-            // The client half crosses the wire for aggregation; the
-            // server half lives at the server and ships nothing.
-            let mut client_snap = ParamVec::from_network(&replica.client);
-            model_codec.apply_vec(&mut client_snap, client_ref, round as u64, c)?;
-            Ok((
-                client_snap,
-                ParamVec::from_network(&replica.server),
-                shards[c].len() as f64,
-                l,
-                s,
-            ))
-        })?;
-        let mut client_snaps = Vec::with_capacity(passes.len());
-        let mut server_snaps = Vec::with_capacity(passes.len());
-        let mut weights = Vec::with_capacity(passes.len());
-        let mut loss_sum = 0.0f64;
-        let mut step_sum = 0usize;
-        for (client_snap, server_snap, weight, l, s) in passes {
-            client_snaps.push(client_snap);
-            server_snaps.push(server_snap);
-            weights.push(weight);
-            loss_sum += l;
-            step_sum += s;
-        }
-        // Two-tier tree aggregation over the AP topology, bit-identical
-        // to flat FedAvg (see `crate::aggregate`).
-        let mut aps = Vec::with_capacity(participants.len());
-        for &c in &participants {
-            aps.push(ctx.env.ap_of(c, round as u64)?);
-        }
-        let global_client = aggregate_tree(&client_snaps, &weights, &aps, &mut state.ws)?;
-        let global_server = aggregate_tree(&server_snaps, &weights, &aps, &mut state.ws)?;
-        state
-            .global
-            .replace(join_params(&global_client.params, &global_server.params));
-        // Dead buffers feed the next round's aggregation scratch.
-        state.ws.give(global_client.params.into_values());
-        state.ws.give(global_server.params.into_values());
-        for snap in client_snaps.into_iter().chain(server_snaps) {
-            state.ws.give(snap.into_values());
-        }
 
-        let latency = gsfl_round(
+        let (loss_sum, step_sum) = match &plan.client_cuts {
+            None => run_uniform(ctx, state, &plan, &participants, shards, threads, round)?,
+            Some(cuts) => run_hetero(
+                ctx,
+                state,
+                &plan,
+                cuts,
+                &participants,
+                shards,
+                threads,
+                round,
+            )?,
+        };
+
+        let group_costs = match &plan.client_cuts {
+            None => vec![costs; singleton_groups.len()],
+            Some(cuts) => participants
+                .iter()
+                .map(|&c| ctx.costs_by_cut[&cuts[c]].with_compression(&plan.codec))
+                .collect(),
+        };
+        let latency = gsfl_round_planned(
             ctx.env.as_ref(),
-            &costs,
+            &group_costs,
             &state.steps,
             &singleton_groups,
             cfg.bandwidth_policy,
             cfg.channel,
             round as u64,
+            plan.shares.as_deref(),
         )?;
         state
-            .cuts
-            .observe(round as u64, cut, latency.duration.as_secs_f64());
+            .plans
+            .observe(round as u64, &plan, latency.duration.as_secs_f64());
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,
@@ -175,4 +142,161 @@ impl Scheme for SplitFed {
         let state = require_state(&self.state)?;
         Ok(state.global.get().clone())
     }
+}
+
+/// The historical single-cut round: one shared split template, per-half
+/// snapshots aggregated separately. Byte-identical to the pre-plan code
+/// path when the plan is static.
+fn run_uniform(
+    ctx: &TrainContext,
+    state: &mut State,
+    plan: &RoundPlan,
+    participants: &[usize],
+    shards: &[gsfl_data::dataset::ImageDataset],
+    threads: usize,
+    round: usize,
+) -> Result<(f64, usize)> {
+    let cfg = &ctx.config;
+    let mut whole = state.template.clone();
+    state.global.load_into(&mut whole)?;
+    let template = SplitNetwork::split(whole, plan.cut)?;
+    let template = &template;
+    // Round-start client half: the delta reference every client's
+    // model upload is encoded against.
+    let client_ref = ParamVec::from_network(&template.client);
+    let client_ref = &client_ref;
+    let passes = run_indexed(participants.len(), threads, |idx| {
+        let c = participants[idx];
+        let mut replica = template.clone();
+        let mut client_opt = make_opt(cfg);
+        let mut server_opt = make_opt(cfg);
+        let mut channel = make_cut_channel_for(&plan.codec);
+        let mut model_codec = ModelCodec::new(&plan.codec.client_model, cfg.seed);
+        let batcher = make_batcher(cfg, c)?;
+        let (l, s) = split_train_epoch(
+            &mut replica,
+            &mut client_opt,
+            &mut server_opt,
+            &shards[c],
+            &batcher,
+            round as u64,
+            CutLink::new(cfg, &mut channel, c),
+        )?;
+        // The client half crosses the wire for aggregation; the
+        // server half lives at the server and ships nothing.
+        let mut client_snap = ParamVec::from_network(&replica.client);
+        model_codec.apply_vec(&mut client_snap, client_ref, round as u64, c)?;
+        Ok((
+            client_snap,
+            ParamVec::from_network(&replica.server),
+            shards[c].len() as f64,
+            l,
+            s,
+        ))
+    })?;
+    let mut client_snaps = Vec::with_capacity(passes.len());
+    let mut server_snaps = Vec::with_capacity(passes.len());
+    let mut weights = Vec::with_capacity(passes.len());
+    let mut loss_sum = 0.0f64;
+    let mut step_sum = 0usize;
+    for (client_snap, server_snap, weight, l, s) in passes {
+        client_snaps.push(client_snap);
+        server_snaps.push(server_snap);
+        weights.push(weight);
+        loss_sum += l;
+        step_sum += s;
+    }
+    // Two-tier tree aggregation over the AP topology, bit-identical
+    // to flat FedAvg (see `crate::aggregate`).
+    let mut aps = Vec::with_capacity(participants.len());
+    for &c in participants {
+        aps.push(ctx.env.ap_of(c, round as u64)?);
+    }
+    let global_client = aggregate_tree(&client_snaps, &weights, &aps, &mut state.ws)?;
+    let global_server = aggregate_tree(&server_snaps, &weights, &aps, &mut state.ws)?;
+    state
+        .global
+        .replace(join_params(&global_client.params, &global_server.params));
+    // Dead buffers feed the next round's aggregation scratch.
+    state.ws.give(global_client.params.into_values());
+    state.ws.give(global_server.params.into_values());
+    for snap in client_snaps.into_iter().chain(server_snaps) {
+        state.ws.give(snap.into_values());
+    }
+    Ok((loss_sum, step_sum))
+}
+
+/// Heterogeneous cuts: each participant's replica is split at its own
+/// cut, so half shapes differ across clients and per-half aggregation is
+/// impossible. Instead every replica re-joins into a full parameter
+/// vector (cut-invariant layout) and one tree aggregation merges them.
+#[allow(clippy::too_many_arguments)]
+fn run_hetero(
+    ctx: &TrainContext,
+    state: &mut State,
+    plan: &RoundPlan,
+    cuts: &[usize],
+    participants: &[usize],
+    shards: &[gsfl_data::dataset::ImageDataset],
+    threads: usize,
+    round: usize,
+) -> Result<(f64, usize)> {
+    let cfg = &ctx.config;
+    let template = &state.template;
+    let global = state.global.clone();
+    let global = &global;
+    let passes = run_indexed(participants.len(), threads, |idx| {
+        let c = participants[idx];
+        let mut whole = template.clone();
+        global.load_into(&mut whole)?;
+        let mut replica = SplitNetwork::split(whole, cuts[c])?;
+        // Round-start client half *at this client's cut* — the delta
+        // reference its model upload is encoded against.
+        let client_ref = ParamVec::from_network(&replica.client);
+        let mut client_opt = make_opt(cfg);
+        let mut server_opt = make_opt(cfg);
+        let mut channel = make_cut_channel_for(&plan.codec);
+        let mut model_codec = ModelCodec::new(&plan.codec.client_model, cfg.seed);
+        let batcher = make_batcher(cfg, c)?;
+        let (l, s) = split_train_epoch(
+            &mut replica,
+            &mut client_opt,
+            &mut server_opt,
+            &shards[c],
+            &batcher,
+            round as u64,
+            CutLink::new(cfg, &mut channel, c),
+        )?;
+        let mut client_snap = ParamVec::from_network(&replica.client);
+        model_codec.apply_vec(&mut client_snap, &client_ref, round as u64, c)?;
+        Ok((
+            join_params(&client_snap, &ParamVec::from_network(&replica.server)),
+            shards[c].len() as f64,
+            l,
+            s,
+        ))
+    })?;
+    let mut snapshots = Vec::with_capacity(passes.len());
+    let mut weights = Vec::with_capacity(passes.len());
+    let mut loss_sum = 0.0f64;
+    let mut step_sum = 0usize;
+    for (snap, weight, l, s) in passes {
+        snapshots.push(snap);
+        weights.push(weight);
+        loss_sum += l;
+        step_sum += s;
+    }
+    let mut aps = Vec::with_capacity(participants.len());
+    for &c in participants {
+        aps.push(ctx.env.ap_of(c, round as u64)?);
+    }
+    let tree = aggregate_tree(&snapshots, &weights, &aps, &mut state.ws)?;
+    let old = std::mem::replace(&mut state.global, CowParams::new(tree.params));
+    if let Some(dead) = old.into_inner() {
+        state.ws.give(dead.into_values());
+    }
+    for snap in snapshots {
+        state.ws.give(snap.into_values());
+    }
+    Ok((loss_sum, step_sum))
 }

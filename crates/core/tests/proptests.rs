@@ -3,9 +3,13 @@
 //! population-scale tree aggregation / cohort sampling.
 
 use gsfl_core::aggregate::{aggregate_snapshots, aggregate_tree};
+use gsfl_core::compression::CompressionSpec;
 use gsfl_core::config::GroupingKind;
 use gsfl_core::grouping::{assign_groups, ClientCost};
 use gsfl_core::latency::{gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_core::orchestrator::{
+    codec_menu, validate_plan, BanditPlan, GreedyJoint, Orchestrator, PlanQuery, StaticPlan,
+};
 use gsfl_core::population::{Population, PopulationConfig};
 use gsfl_nn::model::Mlp;
 use gsfl_nn::params::ParamVec;
@@ -13,7 +17,7 @@ use gsfl_tensor::rng::SeedDerive;
 use gsfl_tensor::workspace::Workspace;
 use gsfl_wireless::allocation::BandwidthPolicy;
 use gsfl_wireless::device::DeviceProfile;
-use gsfl_wireless::environment::StaticEnvironment;
+use gsfl_wireless::environment::{ChannelModel, StaticEnvironment};
 use gsfl_wireless::latency::LatencyModel;
 use gsfl_wireless::server::EdgeServer;
 use gsfl_wireless::units::{FlopsRate, Meters};
@@ -45,8 +49,74 @@ fn makespan_opt_upper(costs: &[ClientCost], groups: usize, lower: f64) -> f64 {
     lower + max_cost
 }
 
+/// Every orchestrator implementation, queried over random fleet sizes,
+/// seeds and rounds, must emit a plan that passes `validate_plan`: cut ∈
+/// candidates, per-client cuts ∈ candidates, shares finite/non-negative
+/// summing to ≤ 1 with positive entries for active participants, cohort
+/// within the participant count.
+fn orchestrator_plan_is_feasible(
+    clients: usize,
+    seed: u64,
+    round: u64,
+    epsilon: f64,
+) -> std::result::Result<(), TestCaseError> {
+    let env = model(clients, 4, seed);
+    let net = Mlp::new(48, &[24, 16], 5, 0).into_sequential();
+    let candidates: Vec<usize> = (1..net.depth()).collect();
+    let costs: std::collections::BTreeMap<usize, SplitCosts> = candidates
+        .iter()
+        .map(|&cut| (cut, SplitCosts::compute(&net, cut, &[48], 4).unwrap()))
+        .collect();
+    let menu = codec_menu(&CompressionSpec::default());
+    let steps = vec![2usize; clients];
+    let participants: Vec<usize> = (0..clients).collect();
+    let bandit = BanditPlan::new(epsilon, seed);
+    let greedy = GreedyJoint::new();
+    let planners: [(&str, &dyn Orchestrator); 3] = [
+        ("static", &StaticPlan),
+        ("greedy", &greedy),
+        ("bandit", &bandit),
+    ];
+    for (name, planner) in planners {
+        // Ask across a few consecutive rounds so stateful planners
+        // (greedy hysteresis, bandit untried-first sweep) are exercised
+        // past their first decision.
+        for r in round..round + 4 {
+            let cond = env.conditions(r).unwrap();
+            let q = PlanQuery {
+                round: r,
+                default_cut: candidates[0],
+                candidates: &candidates,
+                costs: &costs,
+                codec_menu: &menu,
+                conditions: &cond,
+                env: &env,
+                steps: &steps,
+                participants: &participants,
+            };
+            let plan = planner.plan(&q);
+            prop_assert!(
+                validate_plan(&plan, &q).is_ok(),
+                "{name} round {r}: infeasible plan {plan:?}"
+            );
+            planner.observe(r, &plan, 1.0 + (r as f64));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn orchestrators_emit_feasible_plans(
+        clients in 2usize..10,
+        seed in 0u64..100,
+        round in 0u64..20,
+        epsilon in 0.0f64..=1.0,
+    ) {
+        orchestrator_plan_is_feasible(clients, seed, round, epsilon)?;
+    }
 
     #[test]
     fn grouping_is_exact_cover(

@@ -191,6 +191,26 @@ impl Schedule {
         &self.spans
     }
 
+    /// The graph's resources in declaration order, as `(handle, label)`
+    /// pairs. This is the supported way for schedule consumers to
+    /// recover a handle (e.g. to feed [`Schedule::utilization`]) —
+    /// resource ids are assigned by declaration order inside the graph
+    /// builder, and reconstructing that order out-of-band is fragile.
+    pub fn resources(&self) -> impl Iterator<Item = (crate::ResourceId, &str)> {
+        self.resource_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (crate::ResourceId(i), l.as_str()))
+    }
+
+    /// The handle of the resource declared with `label`, if any.
+    pub fn resource(&self, label: &str) -> Option<crate::ResourceId> {
+        self.resource_labels
+            .iter()
+            .position(|l| l == label)
+            .map(crate::ResourceId)
+    }
+
     /// Utilization of a resource over the makespan, in `[0, 1]` (per
     /// slot-second of capacity).
     pub fn utilization(&self, resource: crate::ResourceId, slots: usize) -> f64 {
@@ -272,6 +292,20 @@ mod tests {
         assert_eq!(s.start(TaskId(0)), SimTime::ZERO);
         assert_eq!(s.start(TaskId(3)), SimTime::new(3.0));
         assert!((s.utilization(r, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resources_are_recoverable_by_label() {
+        let mut g = TaskGraph::new();
+        let srv = g.add_resource("srv", 1);
+        let link = g.add_resource("link", 2);
+        g.add_task("t", SimTime::new(1.0), Some(srv), &[]).unwrap();
+        let s = Simulator::run(&g).unwrap();
+        assert_eq!(s.resource("srv"), Some(srv));
+        assert_eq!(s.resource("link"), Some(link));
+        assert_eq!(s.resource("nope"), None);
+        let listed: Vec<_> = s.resources().collect();
+        assert_eq!(listed, vec![(srv, "srv"), (link, "link")]);
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //!   [`mobility::Mobility`] trait,
 //! * [`multi_ap`] — several APs / edge servers with mobility-driven
 //!   re-association behind a [`multi_ap::HandoffPolicy`] trait,
+//! * [`trace`] — trace-driven channels: serde-loaded per-client
+//!   bandwidth/RTT/availability time series replayed as a
+//!   [`ChannelModel`] (hold/interpolate resampling, bundled
+//!   diurnal-cellular fixture),
 //! * [`scenario`] — serde-loadable [`Scenario`] presets that build
 //!   environments over any base model.
 //!
@@ -68,6 +72,7 @@ pub mod pathloss;
 pub mod scenario;
 pub mod server;
 pub mod topology;
+pub mod trace;
 pub mod units;
 
 pub use backhaul::BackhaulLink;
@@ -76,6 +81,7 @@ pub use error::WirelessError;
 pub use interference::InterferenceSpec;
 pub use multi_ap::MultiApEnvironment;
 pub use scenario::Scenario;
+pub use trace::{ChannelTrace, TraceEnvironment};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, WirelessError>;

@@ -8,7 +8,7 @@
 //! [`Scenario::presets`] lists the ready-made presets the scenario-sweep
 //! tooling iterates: `static`, `mobility`, `diurnal`, `congested`,
 //! `stragglers`, `dropouts`, `interference`, `multi_ap`, `hierarchical`,
-//! `adaptive_cut`, `composite`.
+//! `adaptive_cut`, `trace_replay`, `orchestrated`, `composite`.
 
 use crate::backhaul::BackhaulLink;
 use crate::environment::{
@@ -19,6 +19,7 @@ use crate::interference::InterferenceSpec;
 use crate::latency::LatencyModel;
 use crate::mobility::RandomWaypoint;
 use crate::multi_ap::{HandoffKind, MultiApEnvironment};
+use crate::trace::{ChannelTrace, Resample, TraceEnvironment};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
@@ -229,6 +230,61 @@ impl Default for AdaptiveCutSpec {
     }
 }
 
+/// Parameters of the `trace_replay` scenario: the bundled
+/// diurnal-cellular [`ChannelTrace`] replayed over the base model (see
+/// [`crate::trace`]). Arbitrary trace files load through
+/// [`TraceEnvironment::new`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceReplaySpec {
+    /// How values between trace samples are reconstructed.
+    pub resample: Resample,
+    /// Seconds of trace time one training round advances.
+    pub round_s: f64,
+}
+
+impl Default for TraceReplaySpec {
+    fn default() -> Self {
+        TraceReplaySpec {
+            resample: Resample::Hold,
+            round_s: 30.0,
+        }
+    }
+}
+
+/// Parameters of the `orchestrated` scenario: the crowded cell the
+/// orchestrator studies run against — congestion that *swings* from
+/// round to round (a short, deep diurnal cycle) on top of co-channel
+/// interference, compute stragglers and radio dropouts, so the jointly
+/// optimal cut/codec/share decision genuinely moves every few rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratedSpec {
+    /// Diurnal bandwidth cycle (short and deep by default).
+    pub diurnal: DiurnalSpec,
+    /// Co-channel interference between concurrent transmitters.
+    pub interference: InterferenceSpec,
+    /// Compute straggler injection.
+    pub stragglers: StragglerSpec,
+    /// Radio dropout injection.
+    pub dropouts: DropoutSpec,
+}
+
+impl Default for OrchestratedSpec {
+    fn default() -> Self {
+        OrchestratedSpec {
+            diurnal: DiurnalSpec {
+                period_rounds: 5,
+                trough_frac: 0.1,
+            },
+            interference: InterferenceSpec { reuse_factor: 0.6 },
+            stragglers: StragglerSpec {
+                probability: 0.3,
+                slowdown: 4.0,
+            },
+            dropouts: DropoutSpec { probability: 0.1 },
+        }
+    }
+}
+
 /// A free-form composition of every overlay axis at once.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CompositeSpec {
@@ -301,6 +357,12 @@ pub enum Scenario {
     /// The contested environment the adaptive cut-selection studies use
     /// (deep diurnal cycle + interference + stragglers).
     AdaptiveCut(AdaptiveCutSpec),
+    /// The bundled diurnal-cellular trace replayed over the base model.
+    TraceReplay(TraceReplaySpec),
+    /// The orchestrated crowded cell: swinging congestion plus
+    /// interference, stragglers and dropouts — what the orchestrator
+    /// studies run against.
+    Orchestrated(OrchestratedSpec),
     /// Several overlays at once.
     Composite(CompositeSpec),
 }
@@ -321,6 +383,8 @@ impl Scenario {
             Scenario::MultiAp(_) => "multi_ap",
             Scenario::Hierarchical(_) => "hierarchical",
             Scenario::AdaptiveCut(_) => "adaptive_cut",
+            Scenario::TraceReplay(_) => "trace_replay",
+            Scenario::Orchestrated(_) => "orchestrated",
             Scenario::Composite(_) => "composite",
         }
     }
@@ -343,6 +407,8 @@ impl Scenario {
             Scenario::MultiAp(MultiApSpec::default()),
             Scenario::Hierarchical(MultiApSpec::hierarchical()),
             Scenario::AdaptiveCut(AdaptiveCutSpec::default()),
+            Scenario::TraceReplay(TraceReplaySpec::default()),
+            Scenario::Orchestrated(OrchestratedSpec::default()),
             Scenario::Composite(CompositeSpec::stress()),
         ]
     }
@@ -457,6 +523,29 @@ impl Scenario {
                     .seed(seed)
                     .build()?,
             )),
+            Scenario::TraceReplay(t) => Ok(Box::new(TraceEnvironment::new(
+                base,
+                ChannelTrace::diurnal_cellular(),
+                t.resample,
+                t.round_s,
+            )?)),
+            Scenario::Orchestrated(o) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .bandwidth(BandwidthProfile::Diurnal {
+                        period_rounds: o.diurnal.period_rounds,
+                        trough_frac: o.diurnal.trough_frac,
+                    })
+                    .interference(o.interference)
+                    .stragglers(StragglerInjector {
+                        probability: o.stragglers.probability,
+                        slowdown: o.stragglers.slowdown,
+                    })
+                    .dropouts(DropoutInjector {
+                        probability: o.dropouts.probability,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
             Scenario::Composite(c) => {
                 if c.diurnal.is_some() && c.congestion.is_some() {
                     return Err(crate::WirelessError::Config(
@@ -532,7 +621,7 @@ mod tests {
     #[test]
     fn presets_cover_every_axis_once() {
         let presets = Scenario::presets();
-        assert_eq!(presets.len(), 13);
+        assert_eq!(presets.len(), 15);
         let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
         assert_eq!(
             names,
@@ -549,6 +638,8 @@ mod tests {
                 "multi_ap",
                 "hierarchical",
                 "adaptive_cut",
+                "trace_replay",
+                "orchestrated",
                 "composite"
             ]
         );
@@ -774,6 +865,56 @@ mod tests {
         assert!(Scenario::CrowdedCell(CrowdedCellSpec {
             frac: 1.5,
             ..CrowdedCellSpec::default()
+        })
+        .build(base(), 0)
+        .is_err());
+    }
+
+    #[test]
+    fn trace_replay_preset_replays_the_bundled_trace() {
+        let env = Scenario::TraceReplay(TraceReplaySpec::default())
+            .build(base(), 0)
+            .unwrap();
+        let share = Hertz::from_mhz(1.0);
+        // The diurnal wave makes congestion-peak rounds slower than the
+        // off-peak start (round_s 30 s × 12 rounds = the 360 s trough).
+        let off_peak = env
+            .uplink_time(0, Bytes::new(100_000), 0, share)
+            .unwrap()
+            .as_secs_f64();
+        let peak = env
+            .uplink_time(0, Bytes::new(100_000), 12, share)
+            .unwrap()
+            .as_secs_f64();
+        assert!(peak > off_peak, "peak {peak} vs off-peak {off_peak}");
+        // Bad parameters fail at build.
+        assert!(Scenario::TraceReplay(TraceReplaySpec {
+            round_s: 0.0,
+            ..TraceReplaySpec::default()
+        })
+        .build(base(), 0)
+        .is_err());
+    }
+
+    #[test]
+    fn orchestrated_preset_swings_every_axis() {
+        let env = Scenario::Orchestrated(OrchestratedSpec::default())
+            .build(base(), 3)
+            .unwrap();
+        assert!(env.interference().unwrap().is_active());
+        // The short diurnal cycle bites within a handful of rounds.
+        assert!(env.total_bandwidth(2).as_hz() < env.total_bandwidth(0).as_hz());
+        // Dropouts are live somewhere in a long horizon.
+        let mut dropped = false;
+        for round in 0..60u64 {
+            for c in 0..3 {
+                dropped |= !env.is_available(c, round);
+            }
+        }
+        assert!(dropped, "p=0.1 dropouts over 180 samples must fire");
+        assert!(Scenario::Orchestrated(OrchestratedSpec {
+            dropouts: DropoutSpec { probability: 2.0 },
+            ..OrchestratedSpec::default()
         })
         .build(base(), 0)
         .is_err());

@@ -1,0 +1,566 @@
+//! Trace-driven channels: replay measured per-client time series.
+//!
+//! A [`ChannelTrace`] is a serde-loaded set of per-client samples —
+//! `(time_s, bandwidth_bps, rtt_s, available)` — and a
+//! [`TraceEnvironment`] replays it as a [`ChannelModel`]: round `r` maps
+//! to trace time `r × round_s` (wrapping cyclically past the end of the
+//! trace), and each client's transmissions are charged against its
+//! *measured* link capacity instead of the analytic SNR link budget.
+//!
+//! Semantics:
+//!
+//! * `bandwidth_bps` is the client's full-band link throughput at that
+//!   instant. A transmission over a `share` of the system band gets the
+//!   proportional slice: `rate = bandwidth_bps × share / total_band`.
+//!   [`ChannelModel::total_bandwidth`] stays the base model's nominal
+//!   band, so dedicated-share math (`B/N`) is unchanged.
+//! * `rtt_s` (optional, default 0) is a per-transfer latency floor added
+//!   to every uplink/downlink.
+//! * `available` (optional, default `true`) marks radio coverage;
+//!   resampled with hold semantics always.
+//! * Compute rates, distances, fading gains, power and the edge server
+//!   come from the wrapped [`LatencyModel`] — the trace replaces the
+//!   *radio link* only.
+//!
+//! Between samples, [`Resample::Hold`] keeps the previous sample's
+//! values and [`Resample::Interpolate`] linearly interpolates the
+//! numeric fields. Malformed traces (empty series, non-monotonic
+//! timestamps, NaN/zero/negative bandwidths) are rejected at load time
+//! with field-path error messages — see [`ChannelTrace::validate`].
+//!
+//! The crate bundles a six-client diurnal-cellular fixture
+//! ([`ChannelTrace::diurnal_cellular`]) with phase-shifted congestion
+//! waves and deep-trough dropouts, used by the `trace_replay` scenario
+//! preset.
+
+use crate::energy::PowerProfile;
+use crate::environment::ChannelModel;
+use crate::latency::LatencyModel;
+use crate::server::EdgeServer;
+use crate::units::{Bytes, FlopsRate, Hertz, Meters, Seconds};
+use crate::{Result, WirelessError};
+use serde::{Deserialize, Serialize};
+
+/// One measurement instant of one client's link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Seconds since the start of the trace. Must be strictly
+    /// increasing within a series.
+    pub time_s: f64,
+    /// Measured full-band link throughput, bits per second. Must be
+    /// finite and positive.
+    pub bandwidth_bps: f64,
+    /// Per-transfer round-trip latency floor, seconds (default 0).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rtt_s: Option<f64>,
+    /// Whether the client has radio coverage (default `true`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub available: Option<bool>,
+}
+
+/// One client's measurement series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientTrace {
+    /// The samples, in strictly increasing `time_s` order.
+    pub samples: Vec<TraceSample>,
+}
+
+/// A set of per-client link traces, loadable from JSON.
+///
+/// Clients beyond the trace's series count reuse series modulo its
+/// length, so a short trace can drive a larger fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelTrace {
+    /// Per-client series; client `c` replays `clients[c % len]`.
+    pub clients: Vec<ClientTrace>,
+}
+
+/// The bundled diurnal-cellular fixture, embedded at compile time.
+const DIURNAL_CELLULAR_JSON: &str = include_str!("traces/diurnal_cellular.json");
+
+impl ChannelTrace {
+    /// Parses and validates a trace from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for parse failures or any
+    /// malformed field (with its path — see [`ChannelTrace::validate`]).
+    pub fn from_json(text: &str) -> Result<Self> {
+        let trace: ChannelTrace = serde_json::from_str(text)
+            .map_err(|e| WirelessError::Config(format!("trace parse error: {e}")))?;
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// The bundled six-client diurnal-cellular trace: phase-shifted
+    /// 12-minute congestion waves between 2 and 16 Mb/s, rising RTTs in
+    /// the troughs, and deep-trough dropouts on two clients.
+    pub fn diurnal_cellular() -> Self {
+        ChannelTrace::from_json(DIURNAL_CELLULAR_JSON).expect("bundled trace is valid")
+    }
+
+    /// Validates the trace: at least one series, every series non-empty
+    /// with strictly increasing timestamps, every bandwidth finite and
+    /// positive, every RTT finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] naming the offending field by
+    /// path, e.g. `clients[2].samples[5].bandwidth_bps`.
+    pub fn validate(&self) -> Result<()> {
+        if self.clients.is_empty() {
+            return Err(WirelessError::Config(
+                "clients: trace holds no client series".into(),
+            ));
+        }
+        for (i, series) in self.clients.iter().enumerate() {
+            if series.samples.is_empty() {
+                return Err(WirelessError::Config(format!(
+                    "clients[{i}].samples: series is empty"
+                )));
+            }
+            for (j, s) in series.samples.iter().enumerate() {
+                if !s.time_s.is_finite() || s.time_s < 0.0 {
+                    return Err(WirelessError::Config(format!(
+                        "clients[{i}].samples[{j}].time_s: must be finite and ≥ 0, got {}",
+                        s.time_s
+                    )));
+                }
+                if j > 0 {
+                    let prev = series.samples[j - 1].time_s;
+                    if s.time_s <= prev {
+                        return Err(WirelessError::Config(format!(
+                            "clients[{i}].samples[{j}].time_s: timestamps must be strictly \
+                             increasing (prev {prev}, got {})",
+                            s.time_s
+                        )));
+                    }
+                }
+                if !s.bandwidth_bps.is_finite() || s.bandwidth_bps <= 0.0 {
+                    return Err(WirelessError::Config(format!(
+                        "clients[{i}].samples[{j}].bandwidth_bps: must be finite and > 0, got {}",
+                        s.bandwidth_bps
+                    )));
+                }
+                if let Some(rtt) = s.rtt_s {
+                    if !rtt.is_finite() || rtt < 0.0 {
+                        return Err(WirelessError::Config(format!(
+                            "clients[{i}].samples[{j}].rtt_s: must be finite and ≥ 0, got {rtt}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of client series.
+    pub fn series_count(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// How trace values between samples are reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Resample {
+    /// Step function: each sample's values hold until the next sample.
+    #[default]
+    Hold,
+    /// Linear interpolation of the numeric fields (bandwidth, RTT);
+    /// availability always holds.
+    Interpolate,
+}
+
+/// The reconstructed link state of one client at one trace instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkState {
+    bandwidth_bps: f64,
+    rtt_s: f64,
+    available: bool,
+}
+
+/// A [`ChannelModel`] that replays a [`ChannelTrace`] over a wrapped
+/// [`LatencyModel`] (see the module docs for the semantics).
+#[derive(Debug, Clone)]
+pub struct TraceEnvironment {
+    base: LatencyModel,
+    trace: ChannelTrace,
+    resample: Resample,
+    round_s: f64,
+}
+
+impl TraceEnvironment {
+    /// Builds a trace-driven environment: round `r` reads the trace at
+    /// `r × round_s` seconds, wrapping cyclically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::Config`] for an invalid trace or a
+    /// non-positive `round_s`.
+    pub fn new(
+        base: LatencyModel,
+        trace: ChannelTrace,
+        resample: Resample,
+        round_s: f64,
+    ) -> Result<Self> {
+        trace.validate()?;
+        if !round_s.is_finite() || round_s <= 0.0 {
+            return Err(WirelessError::Config(format!(
+                "round_s: must be finite and > 0, got {round_s}"
+            )));
+        }
+        Ok(TraceEnvironment {
+            base,
+            trace,
+            resample,
+            round_s,
+        })
+    }
+
+    /// The wrapped analytic model.
+    pub fn base(&self) -> &LatencyModel {
+        &self.base
+    }
+
+    /// The replayed trace.
+    pub fn trace(&self) -> &ChannelTrace {
+        &self.trace
+    }
+
+    fn check_client(&self, client: usize) -> Result<()> {
+        if client >= self.base.client_count() {
+            return Err(WirelessError::UnknownClient {
+                client,
+                clients: self.base.client_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The reconstructed link state of `client` at round `round`.
+    fn link_state(&self, client: usize, round: u64) -> LinkState {
+        let series = &self.trace.clients[client % self.trace.clients.len()].samples;
+        let first = series[0].time_s;
+        let last = series[series.len() - 1].time_s;
+        let span = last - first;
+        let t = round as f64 * self.round_s;
+        // Cyclic replay: times inside [first, last] read the trace
+        // directly; anything outside wraps with period `span`. A
+        // single-sample series is a constant.
+        let t = if span <= 0.0 {
+            first
+        } else if t >= first && t <= last {
+            t
+        } else {
+            first + (t - first).rem_euclid(span)
+        };
+        // Index of the last sample at or before t.
+        let idx = series
+            .partition_point(|s| s.time_s <= t)
+            .saturating_sub(1)
+            .min(series.len() - 1);
+        let cur = &series[idx];
+        let state_of = |s: &TraceSample| LinkState {
+            bandwidth_bps: s.bandwidth_bps,
+            rtt_s: s.rtt_s.unwrap_or(0.0),
+            available: s.available.unwrap_or(true),
+        };
+        match self.resample {
+            Resample::Hold => state_of(cur),
+            Resample::Interpolate => {
+                if idx + 1 >= series.len() {
+                    return state_of(cur);
+                }
+                let next = &series[idx + 1];
+                let dt = next.time_s - cur.time_s;
+                let w = if dt > 0.0 { (t - cur.time_s) / dt } else { 0.0 };
+                let a = state_of(cur);
+                let b = state_of(next);
+                LinkState {
+                    bandwidth_bps: a.bandwidth_bps + w * (b.bandwidth_bps - a.bandwidth_bps),
+                    rtt_s: a.rtt_s + w * (b.rtt_s - a.rtt_s),
+                    // Availability is categorical: always hold.
+                    available: a.available,
+                }
+            }
+        }
+    }
+
+    /// The traced rate of `client` over `share` of the system band.
+    fn shared_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64> {
+        self.check_client(client)?;
+        let total = self.base.total_bandwidth().as_hz();
+        let frac = share.as_hz() / total;
+        if !frac.is_finite() || frac <= 0.0 {
+            return Err(WirelessError::Config(format!(
+                "bandwidth share must be > 0, got {} Hz of {} Hz",
+                share.as_hz(),
+                total
+            )));
+        }
+        Ok(self.link_state(client, round).bandwidth_bps * frac)
+    }
+
+    fn transfer_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        let rate = self.shared_rate_bps(client, round, share)?;
+        let rtt = self.link_state(client, round).rtt_s;
+        Ok(Seconds::new(payload.as_bits() as f64 / rate + rtt))
+    }
+}
+
+impl ChannelModel for TraceEnvironment {
+    fn client_count(&self) -> usize {
+        self.base.client_count()
+    }
+
+    fn total_bandwidth(&self, _round: u64) -> Hertz {
+        self.base.total_bandwidth()
+    }
+
+    fn server(&self) -> &EdgeServer {
+        self.base.server()
+    }
+
+    fn power(&self) -> &PowerProfile {
+        self.base.power()
+    }
+
+    fn distance(&self, client: usize, _round: u64) -> Result<Meters> {
+        self.base.distance(client)
+    }
+
+    fn device_rate(&self, client: usize, _round: u64) -> Result<FlopsRate> {
+        Ok(self.base.device(client)?.rate())
+    }
+
+    fn uplink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        self.transfer_time(client, payload, round, share)
+    }
+
+    fn downlink_time(
+        &self,
+        client: usize,
+        payload: Bytes,
+        round: u64,
+        share: Hertz,
+    ) -> Result<Seconds> {
+        self.transfer_time(client, payload, round, share)
+    }
+
+    fn uplink_rate_bps(&self, client: usize, round: u64, share: Hertz) -> Result<f64> {
+        self.shared_rate_bps(client, round, share)
+    }
+
+    fn uplink_gain(&self, client: usize, round: u64) -> Result<f64> {
+        self.base.distance(client)?; // index check
+        Ok(self.base.uplink_gain(client, round))
+    }
+
+    fn client_compute(&self, client: usize, flops: u64, _round: u64) -> Result<Seconds> {
+        self.base.client_compute(client, flops)
+    }
+
+    fn server_compute(&self, flops: u64) -> Seconds {
+        self.base.server_compute(flops)
+    }
+
+    fn is_available(&self, client: usize, round: u64) -> bool {
+        if client >= self.base.client_count() {
+            return false;
+        }
+        self.link_state(client, round).available
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(clients: usize) -> LatencyModel {
+        LatencyModel::builder()
+            .clients(clients)
+            .seed(2)
+            .fading(false)
+            .build()
+            .unwrap()
+    }
+
+    fn two_point_trace() -> ChannelTrace {
+        ChannelTrace {
+            clients: vec![ClientTrace {
+                samples: vec![
+                    TraceSample {
+                        time_s: 0.0,
+                        bandwidth_bps: 1.0e6,
+                        rtt_s: Some(0.01),
+                        available: None,
+                    },
+                    TraceSample {
+                        time_s: 100.0,
+                        bandwidth_bps: 3.0e6,
+                        rtt_s: Some(0.03),
+                        available: Some(false),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn bundled_fixture_loads_and_validates() {
+        let trace = ChannelTrace::diurnal_cellular();
+        assert_eq!(trace.series_count(), 6);
+        assert!(trace.clients.iter().all(|c| c.samples.len() == 13));
+        // At least one dropout sample is bundled.
+        assert!(trace
+            .clients
+            .iter()
+            .flat_map(|c| &c.samples)
+            .any(|s| s.available == Some(false)));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_fields_with_paths() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"clients": []}"#, "clients:"),
+            (r#"{"clients": [{"samples": []}]}"#, "clients[0].samples:"),
+            (
+                r#"{"clients": [{"samples": [{"time_s": 0, "bandwidth_bps": 0}]}]}"#,
+                "clients[0].samples[0].bandwidth_bps",
+            ),
+            (
+                r#"{"clients": [{"samples": [{"time_s": 0, "bandwidth_bps": -5}]}]}"#,
+                "clients[0].samples[0].bandwidth_bps",
+            ),
+            (
+                r#"{"clients": [{"samples": [
+                    {"time_s": 0, "bandwidth_bps": 1e6},
+                    {"time_s": 0, "bandwidth_bps": 1e6}]}]}"#,
+                "clients[0].samples[1].time_s",
+            ),
+            (
+                r#"{"clients": [{"samples": [
+                    {"time_s": 5, "bandwidth_bps": 1e6},
+                    {"time_s": 2, "bandwidth_bps": 1e6}]}]}"#,
+                "clients[0].samples[1].time_s",
+            ),
+            (
+                r#"{"clients": [{"samples": [{"time_s": 0, "bandwidth_bps": 1e6, "rtt_s": -1}]}]}"#,
+                "clients[0].samples[0].rtt_s",
+            ),
+            (
+                r#"{"clients": [{"samples": [{"time_s": -3, "bandwidth_bps": 1e6}]}]}"#,
+                "clients[0].samples[0].time_s",
+            ),
+        ];
+        for (json, path) in cases {
+            let err = ChannelTrace::from_json(json).unwrap_err().to_string();
+            assert!(err.contains(path), "{json} should fail at {path}: {err}");
+        }
+        // NaN cannot appear in JSON, but programmatic traces can carry it.
+        let mut trace = two_point_trace();
+        trace.clients[0].samples[0].bandwidth_bps = f64::NAN;
+        let err = trace.validate().unwrap_err().to_string();
+        assert!(err.contains("clients[0].samples[0].bandwidth_bps"), "{err}");
+    }
+
+    #[test]
+    fn hold_steps_and_interpolate_blends() {
+        // round_s = 10 → rounds 0..=10 span the 100 s trace.
+        let hold = TraceEnvironment::new(base(1), two_point_trace(), Resample::Hold, 10.0).unwrap();
+        let lerp =
+            TraceEnvironment::new(base(1), two_point_trace(), Resample::Interpolate, 10.0).unwrap();
+        let share = hold.total_bandwidth(0);
+        // Hold: rounds 0..10 read the first sample.
+        assert_eq!(hold.uplink_rate_bps(0, 0, share).unwrap(), 1.0e6);
+        assert_eq!(hold.uplink_rate_bps(0, 9, share).unwrap(), 1.0e6);
+        // Interpolate: halfway between samples at round 5.
+        assert!((lerp.uplink_rate_bps(0, 5, share).unwrap() - 2.0e6).abs() < 1e-6);
+        // Availability always holds: the first sample (available) rules
+        // until the second sample's instant.
+        assert!(lerp.is_available(0, 5));
+        assert!(!lerp.is_available(0, 10));
+    }
+
+    #[test]
+    fn replay_wraps_cyclically() {
+        let env = TraceEnvironment::new(base(1), two_point_trace(), Resample::Hold, 10.0).unwrap();
+        let share = env.total_bandwidth(0);
+        // Round 10 hits the last sample; round 11 wraps to 10 s past the
+        // start — back on the first sample.
+        assert_eq!(env.uplink_rate_bps(0, 10, share).unwrap(), 3.0e6);
+        assert_eq!(env.uplink_rate_bps(0, 11, share).unwrap(), 1.0e6);
+        assert!(env.is_available(0, 11));
+    }
+
+    #[test]
+    fn transfer_time_is_bits_over_shared_rate_plus_rtt() {
+        let env = TraceEnvironment::new(base(2), two_point_trace(), Resample::Hold, 10.0).unwrap();
+        let total = env.total_bandwidth(0);
+        let payload = Bytes::new(125_000); // 1e6 bits
+        let full = env.uplink_time(0, payload, 0, total).unwrap();
+        assert!((full.as_secs_f64() - (1.0 + 0.01)).abs() < 1e-9);
+        let half = env.uplink_time(0, payload, 0, total.fraction(0.5)).unwrap();
+        assert!((half.as_secs_f64() - (2.0 + 0.01)).abs() < 1e-9);
+        // Symmetric capacity: downlink is charged identically.
+        assert_eq!(env.downlink_time(0, payload, 0, total).unwrap(), full);
+        // Client 1 reuses series 0 (modulo wrap).
+        assert_eq!(env.uplink_time(1, payload, 0, total).unwrap(), full);
+    }
+
+    #[test]
+    fn compute_and_identity_queries_delegate_to_base() {
+        let model = base(2);
+        let env =
+            TraceEnvironment::new(model.clone(), two_point_trace(), Resample::Hold, 10.0).unwrap();
+        assert_eq!(
+            env.client_compute(0, 1_000_000, 3).unwrap(),
+            model.client_compute(0, 1_000_000).unwrap()
+        );
+        assert_eq!(env.server_compute(9_000), model.server_compute(9_000));
+        assert_eq!(env.distance(1, 0).unwrap(), model.distance(1).unwrap());
+        assert_eq!(env.total_bandwidth(7), model.total_bandwidth());
+        let cond = env.conditions(0).unwrap();
+        assert_eq!(cond.clients.len(), 2);
+    }
+
+    #[test]
+    fn constructor_and_query_errors() {
+        assert!(TraceEnvironment::new(base(1), two_point_trace(), Resample::Hold, 0.0).is_err());
+        assert!(
+            TraceEnvironment::new(base(1), two_point_trace(), Resample::Hold, f64::NAN).is_err()
+        );
+        let bad = ChannelTrace {
+            clients: vec![ClientTrace { samples: vec![] }],
+        };
+        assert!(TraceEnvironment::new(base(1), bad, Resample::Hold, 10.0).is_err());
+        let env = TraceEnvironment::new(base(1), two_point_trace(), Resample::Hold, 10.0).unwrap();
+        assert!(env
+            .uplink_time(5, Bytes::new(10), 0, env.total_bandwidth(0))
+            .is_err());
+        assert!(env
+            .uplink_time(0, Bytes::new(10), 0, Hertz::new(0.0))
+            .is_err());
+        assert!(!env.is_available(5, 0));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let trace = ChannelTrace::diurnal_cellular();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back = ChannelTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}
