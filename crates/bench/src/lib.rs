@@ -203,6 +203,11 @@ mod tests {
                     bytes_up_raw: 0,
                     bytes_down_raw: 0,
                     client_energy_j: 0.0,
+                    retries: 0,
+                    wasted_airtime_bytes: 0,
+                    lost_clients: 0,
+                    backups_activated: 0,
+                    quorum_met: true,
                 },
                 RoundRecord {
                     round: 2,
@@ -215,6 +220,11 @@ mod tests {
                     bytes_up_raw: 0,
                     bytes_down_raw: 0,
                     client_energy_j: 0.0,
+                    retries: 0,
+                    wasted_airtime_bytes: 0,
+                    lost_clients: 0,
+                    backups_activated: 0,
+                    quorum_met: true,
                 },
             ],
             server_storage_bytes: 0,

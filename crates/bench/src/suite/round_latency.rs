@@ -5,11 +5,15 @@
 //! the calculators consume since the environment redesign.
 
 use super::Suite;
-use gsfl_core::latency::{fl_round, gsfl_round, sl_round, ChannelMode, SplitCosts};
+use gsfl_core::latency::{
+    fl_round, fl_round_recovered, gsfl_round, sl_round, ChannelMode, SplitCosts,
+};
+use gsfl_core::recovery::RecoveryPlan;
 use gsfl_nn::model::Mlp;
 use gsfl_wireless::allocation::BandwidthPolicy;
-use gsfl_wireless::environment::{ChannelModel, StaticEnvironment};
+use gsfl_wireless::environment::{ChannelModel, DynamicEnvironment, StaticEnvironment};
 use gsfl_wireless::latency::LatencyModel;
+use gsfl_wireless::FaultSpec;
 use std::hint::black_box;
 
 fn fixture(clients: usize) -> (StaticEnvironment, SplitCosts, Vec<usize>) {
@@ -47,6 +51,52 @@ pub fn register(suite: &mut Suite) {
     suite.run("fl_round_closed_form_30c", 400, || {
         black_box(fl_round(black_box(env), &costs, &steps, 1, 3).unwrap());
     });
+
+    // Fault-aware pricing overhead at 64 clients: the same FL round
+    // priced clean versus through a fault-injecting environment (10%
+    // transfer loss, 5% crashes, a deadline armed). The tracked ratio is
+    // the fault layer's pricing overhead; `perf_compare` gates it so the
+    // per-transfer fault queries never silently blow up round pricing.
+    let (_, costs64, steps64) = fixture(64);
+    let clean64 =
+        StaticEnvironment::new(LatencyModel::builder().clients(64).seed(7).build().unwrap());
+    let clean64: &dyn ChannelModel = &clean64;
+    let faulty64 =
+        DynamicEnvironment::builder(LatencyModel::builder().clients(64).seed(7).build().unwrap())
+            .faults(FaultSpec {
+                loss_prob: 0.1,
+                crash_prob: 0.05,
+                ..FaultSpec::default()
+            })
+            .seed(7)
+            .build()
+            .unwrap();
+    let faulty64: &dyn ChannelModel = &faulty64;
+    let recovery = RecoveryPlan {
+        deadline_s: Some(30.0),
+        backups: Vec::new(),
+    };
+    suite.compare(
+        "fault_round_64c",
+        200,
+        || {
+            black_box(
+                fl_round_recovered(
+                    black_box(faulty64),
+                    &costs64,
+                    &steps64,
+                    1,
+                    3,
+                    None,
+                    &recovery,
+                )
+                .unwrap(),
+            );
+        },
+        || {
+            black_box(fl_round(black_box(clean64), &costs64, &steps64, 1, 3).unwrap());
+        },
+    );
 
     for m in [1usize, 6, 30] {
         let groups: Vec<Vec<usize>> = (0..m)

@@ -5,6 +5,7 @@ use crate::cut::CutPolicySpec;
 use crate::latency::ChannelMode;
 use crate::orchestrator::OrchestratorSpec;
 use crate::population::PopulationConfig;
+use crate::recovery::RecoverySpec;
 use crate::{CoreError, Result};
 use gsfl_data::synth::Augment;
 use gsfl_nn::model::{CutPoint, DeepThin, Mlp};
@@ -258,6 +259,11 @@ pub struct ExperimentConfig {
     /// before.
     #[serde(default)]
     pub population: Option<PopulationConfig>,
+    /// Fault recovery: optional round deadline with quorum aggregation
+    /// and backup-client over-provisioning. The default spec is a no-op
+    /// (no deadline, no backups) — rounds behave exactly as before.
+    #[serde(default)]
+    pub recovery: RecoverySpec,
     /// Host threads used to train independent clients/groups in parallel
     /// inside a round. `None` (default) draws from the shared
     /// process-wide budget (`GSFL_THREADS` env var or the machine's
@@ -299,6 +305,7 @@ impl ExperimentConfig {
                 target_accuracy: None,
                 availability: 1.0,
                 population: None,
+                recovery: RecoverySpec::default(),
                 client_threads: None,
                 seed: 0,
             },
@@ -435,6 +442,7 @@ impl ExperimentConfig {
             }
         }
         self.compression.validate()?;
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -599,6 +607,13 @@ impl ExperimentConfigBuilder {
     /// `p.clients`.
     pub fn population(mut self, p: PopulationConfig) -> Self {
         self.config.population = Some(p);
+        self
+    }
+
+    /// Sets the fault-recovery spec (round deadline / quorum / backup
+    /// cohort size; see [`RecoverySpec`]).
+    pub fn recovery(mut self, r: RecoverySpec) -> Self {
+        self.config.recovery = r;
         self
     }
 

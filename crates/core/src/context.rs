@@ -5,6 +5,7 @@ use crate::config::{ExperimentConfig, GroupingKind, PartitionStrategy};
 use crate::grouping::{assign_groups, ClientCost};
 use crate::latency::SplitCosts;
 use crate::population::Population;
+use crate::recovery::RoundRecovery;
 use crate::Result;
 use gsfl_data::dataset::ImageDataset;
 use gsfl_data::partition::Partition;
@@ -281,6 +282,69 @@ impl TrainContext {
     /// (`None` in dense mode).
     pub fn cohort_members(&self, round: u64) -> Option<Vec<u64>> {
         self.population.as_ref().map(|p| p.sample_cohort(round))
+    }
+
+    /// Prepares the round's fault-recovery plan for the scheduled cohort
+    /// `admitted` (in participation order). `available` is the full
+    /// availability draw `admitted` was taken from: clients it holds
+    /// beyond `admitted` (e.g. those a cohort cap excluded) are the
+    /// dense-mode standby candidates. In population mode standbys are
+    /// extra members drawn from the population's `"backups"` stream
+    /// instead. A no-op [`crate::recovery::RecoverySpec`] returns the
+    /// identity plan without touching any fault stream.
+    pub fn round_recovery(
+        &self,
+        round: u64,
+        admitted: &[usize],
+        available: &[usize],
+    ) -> RoundRecovery {
+        let spec = &self.config.recovery;
+        if spec.is_noop() {
+            return RoundRecovery::default();
+        }
+        let spares: Vec<usize> = available
+            .iter()
+            .copied()
+            .filter(|c| !admitted.contains(c))
+            .collect();
+        let population_backups = match &self.population {
+            Some(p) => p.sample_backups(round, spec.backups),
+            None => Vec::new(),
+        };
+        RoundRecovery::prepare(
+            &self.config,
+            self.env.as_ref(),
+            admitted,
+            &spares,
+            &population_backups,
+            |c| self.steps_for(c),
+            round,
+        )
+    }
+
+    /// [`TrainContext::round_shards`] with the recovery plan's
+    /// population-mode backup substitutions applied: a slot whose
+    /// primary crashed trains the replacement member's freshly
+    /// materialized shard. Dense mode (no overrides) is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates materialization errors.
+    pub fn round_shards_recovered(
+        &self,
+        round: u64,
+        recovery: &RoundRecovery,
+    ) -> Result<Cow<'_, [ImageDataset]>> {
+        let mut shards = self.round_shards(round)?;
+        if let (Some(pop), Some(pool)) = (&self.population, &self.train_pool) {
+            if !recovery.member_overrides.is_empty() {
+                let owned = shards.to_mut();
+                for (&slot, &member) in &recovery.member_overrides {
+                    owned[slot] = pop.materialize_member(member, pool)?;
+                }
+            }
+        }
+        Ok(shards)
     }
 
     /// The clients participating in `round`. Never empty: if the draw

@@ -20,6 +20,7 @@
 //! exactly (see the property tests in `tests/`).
 
 use crate::compression::CompressionSpec;
+use crate::recovery::{RecoveryPlan, RoundFate};
 use crate::{CoreError, Result};
 use gsfl_nn::split::SplitNetwork;
 use gsfl_nn::Sequential;
@@ -208,6 +209,46 @@ impl LatencyBreakdown {
     }
 }
 
+/// Fault accounting of one round. The default — no retries, nothing
+/// wasted, nobody lost, quorum met — is what every fault-free round
+/// reports, so clean runs stay byte-identical through the serde layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Retransmissions across every wire transfer this round (total
+    /// attempts minus first tries).
+    pub retries: u64,
+    /// Airtime bytes that bought nothing: retransmitted payloads plus
+    /// everything charged to clients that crashed mid-round.
+    pub wasted_airtime_bytes: u64,
+    /// Scheduled clients that delivered no update (crashed without a
+    /// backup, or still in flight at the deadline).
+    pub lost_clients: u32,
+    /// Standby clients that activated for a crashed primary.
+    pub backups_activated: u32,
+    /// Whether the round met its aggregation quorum (`false` only when a
+    /// [`crate::recovery::DeadlinePolicy`] skipped the round).
+    pub quorum_met: bool,
+}
+
+impl Default for FaultStats {
+    fn default() -> Self {
+        FaultStats {
+            retries: 0,
+            wasted_airtime_bytes: 0,
+            lost_clients: 0,
+            backups_activated: 0,
+            quorum_met: true,
+        }
+    }
+}
+
+impl FaultStats {
+    /// Whether the round saw no fault activity at all (the identity).
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// The latency (and traffic) of one round of a scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundLatency {
@@ -221,6 +262,73 @@ pub struct RoundLatency {
     pub client_energy_j: f64,
     /// Per-phase attribution of the round's charged time.
     pub breakdown: LatencyBreakdown,
+    /// Fault accounting (all-zero / quorum-met on fault-free rounds).
+    pub faults: FaultStats,
+}
+
+/// A wire transfer priced through the environment's fault stream:
+/// `time` is what the round waits (airtime × attempts + backoff),
+/// `air` the radio-active seconds the energy model charges. Both equal
+/// the raw airtime bit-for-bit on a clean first-try outcome.
+#[derive(Debug, Clone, Copy)]
+struct PricedTransfer {
+    time: Seconds,
+    air: Seconds,
+}
+
+/// Per-round transfer pricing: numbers each client's wire transfers
+/// sequentially and asks the environment's seeded
+/// [`ChannelModel::transfer_outcome`] stream how many attempts each one
+/// took, accumulating retry and wasted-airtime stats. On fault-free
+/// environments every outcome is the clean first try and the returned
+/// times are the input airtimes, bit for bit.
+#[derive(Debug, Default)]
+struct FaultMeter {
+    counters: BTreeMap<usize, u64>,
+    retries: u64,
+    wasted_airtime_bytes: u64,
+}
+
+impl FaultMeter {
+    fn price(
+        &mut self,
+        latency: &dyn ChannelModel,
+        client: usize,
+        round: u64,
+        airtime: Seconds,
+        wire: Bytes,
+    ) -> PricedTransfer {
+        let counter = self.counters.entry(client).or_insert(0);
+        let transfer = *counter;
+        *counter += 1;
+        let outcome = latency.transfer_outcome(client, round, transfer);
+        let lost = u64::from(outcome.attempts.max(1)) - 1;
+        self.retries += lost;
+        self.wasted_airtime_bytes += wire.as_u64() * lost;
+        let air = if outcome.attempts <= 1 {
+            airtime
+        } else {
+            Seconds::new(airtime.as_secs_f64() * f64::from(outcome.attempts))
+        };
+        PricedTransfer {
+            time: outcome.total_time(airtime),
+            air,
+        }
+    }
+
+    fn stats(&self, fate: &RoundFate) -> FaultStats {
+        FaultStats {
+            retries: self.retries,
+            wasted_airtime_bytes: self.wasted_airtime_bytes,
+            lost_clients: fate.lost(),
+            backups_activated: fate.backups_activated,
+            quorum_met: true,
+        }
+    }
+
+    fn waste(&mut self, wire: u64) {
+        self.wasted_airtime_bytes += wire;
+    }
 }
 
 /// Closed-form CL round: one epoch of centralized SGD on the server
@@ -240,6 +348,7 @@ pub fn cl_round(
             server_s: duration.as_secs_f64(),
             ..LatencyBreakdown::default()
         },
+        faults: FaultStats::default(),
     }
 }
 
@@ -280,6 +389,41 @@ pub fn fl_round_planned(
     round: u64,
     share_fracs: Option<&[f64]>,
 ) -> Result<RoundLatency> {
+    fl_round_recovered(
+        latency,
+        costs,
+        steps,
+        local_epochs,
+        round,
+        share_fracs,
+        &RecoveryPlan::default(),
+    )
+    .map(|(latency, _)| latency)
+}
+
+/// [`fl_round_planned`] under a [`RecoveryPlan`]: mid-compute crashes
+/// (from the environment's [`ChannelModel::crash_point`] stream) charge
+/// a crashed client its broadcast plus its completed fraction of local
+/// work and drop its upload; an assigned backup then re-runs the slot's
+/// work on its own channel, serialized after the crash. A deadline
+/// truncates the round — in-flight updates at the cutoff are dropped.
+/// Returns the per-slot [`RoundFate`] alongside the priced latency;
+/// the default plan on a fault-free environment is exactly
+/// [`fl_round_planned`].
+///
+/// # Errors
+///
+/// Propagates wireless model errors.
+#[allow(clippy::too_many_arguments)]
+pub fn fl_round_recovered(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    steps: &[usize],
+    local_epochs: usize,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+    recovery: &RecoveryPlan,
+) -> Result<(RoundLatency, RoundFate)> {
     let cond = latency.conditions(round)?;
     // Clients with zero steps are non-participants this round (e.g.
     // unavailable under churn): they neither train nor exchange models.
@@ -296,10 +440,17 @@ pub fn fl_round_planned(
         _ => default_share,
     };
     let power = *latency.power();
-    let mut worst = Seconds::ZERO;
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
     let mut breakdown = LatencyBreakdown::default();
+    let mut meter = FaultMeter::default();
+    let mut fate = RoundFate {
+        planned: participants.clone(),
+        ..RoundFate::default()
+    };
+    // (slot, completion time, delivers-an-update) — the deadline filter
+    // runs over this after every path is priced.
+    let mut paths: Vec<(usize, Seconds, bool)> = Vec::with_capacity(participants.len());
     for &c in &participants {
         let s = steps[c];
         let share = share_of(c);
@@ -310,21 +461,108 @@ pub fn fl_round_planned(
         // (the aggregated global is never transcoded, so charging a
         // compressed downlink would save airtime the accuracy never
         // paid for).
-        let dl = latency.downlink_time_among(c, costs.full_model_bytes, round, share, &others)?;
-        let ul =
-            latency.uplink_time_among(c, costs.full_model_wire_bytes, round, share, &others)?;
+        let dl_air =
+            latency.downlink_time_among(c, costs.full_model_bytes, round, share, &others)?;
+        let dl = meter.price(latency, c, round, dl_air, costs.full_model_bytes);
         let compute_flops = costs.full_flops * (s * local_epochs) as u64;
         let compute = latency.client_compute(c, compute_flops, round)?;
-        worst = worst.max(dl + compute + ul);
-        bytes.up += costs.full_model_wire_bytes.as_u64();
         bytes.down += costs.full_model_bytes.as_u64();
-        bytes.raw_up += costs.full_model_bytes.as_u64();
         bytes.raw_down += costs.full_model_bytes.as_u64();
-        energy +=
-            (power.rx_energy(dl) + power.compute_energy(compute) + power.tx_energy(ul)).as_joules();
-        breakdown.downlink_s += dl.as_secs_f64();
-        breakdown.uplink_s += ul.as_secs_f64();
-        breakdown.client_compute_s += compute.as_secs_f64();
+        breakdown.downlink_s += dl.time.as_secs_f64();
+        if let Some(f) = latency.crash_point(c, round) {
+            // Crash after `f` of the local work: the broadcast and the
+            // partial epochs are charged and wasted; the upload never
+            // starts.
+            fate.crashed.push(c);
+            meter.waste(costs.full_model_bytes.as_u64());
+            let partial = Seconds::new(compute.as_secs_f64() * f);
+            energy += (power.rx_energy(dl.air) + power.compute_energy(partial)).as_joules();
+            breakdown.client_compute_s += partial.as_secs_f64();
+            let mut done = dl.time + partial;
+            let mut delivers = false;
+            if let Some(b) = recovery.backup_for(c) {
+                // The standby re-runs the slot's work on its own channel,
+                // serialized after the crash is detected.
+                let b_dl_air = latency.downlink_time_among(
+                    b.client,
+                    costs.full_model_bytes,
+                    round,
+                    share_of(b.client),
+                    &others,
+                )?;
+                let b_dl = meter.price(latency, b.client, round, b_dl_air, costs.full_model_bytes);
+                let b_flops = costs.full_flops * (b.steps * local_epochs) as u64;
+                let b_compute = latency.client_compute(b.client, b_flops, round)?;
+                let b_ul_air = latency.uplink_time_among(
+                    b.client,
+                    costs.full_model_wire_bytes,
+                    round,
+                    share_of(b.client),
+                    &others,
+                )?;
+                let b_ul = meter.price(
+                    latency,
+                    b.client,
+                    round,
+                    b_ul_air,
+                    costs.full_model_wire_bytes,
+                );
+                done = done + b_dl.time + b_compute + b_ul.time;
+                bytes.up += costs.full_model_wire_bytes.as_u64();
+                bytes.down += costs.full_model_bytes.as_u64();
+                bytes.raw_up += costs.full_model_bytes.as_u64();
+                bytes.raw_down += costs.full_model_bytes.as_u64();
+                energy += (power.rx_energy(b_dl.air)
+                    + power.compute_energy(b_compute)
+                    + power.tx_energy(b_ul.air))
+                .as_joules();
+                breakdown.downlink_s += b_dl.time.as_secs_f64();
+                breakdown.client_compute_s += b_compute.as_secs_f64();
+                breakdown.uplink_s += b_ul.time.as_secs_f64();
+                fate.backups_activated += 1;
+                delivers = true;
+            }
+            paths.push((c, done, delivers));
+        } else {
+            let ul_air =
+                latency.uplink_time_among(c, costs.full_model_wire_bytes, round, share, &others)?;
+            let ul = meter.price(latency, c, round, ul_air, costs.full_model_wire_bytes);
+            bytes.up += costs.full_model_wire_bytes.as_u64();
+            bytes.raw_up += costs.full_model_bytes.as_u64();
+            energy +=
+                (power.rx_energy(dl.air) + power.compute_energy(compute) + power.tx_energy(ul.air))
+                    .as_joules();
+            breakdown.uplink_s += ul.time.as_secs_f64();
+            breakdown.client_compute_s += compute.as_secs_f64();
+            paths.push((c, dl.time + compute + ul.time, true));
+        }
+    }
+    // Deadline truncation: an update still in flight at the cutoff is
+    // dropped; the server stops waiting at the deadline.
+    let mut worst = Seconds::ZERO;
+    let mut deadline_hit = false;
+    for &(c, done, delivers) in &paths {
+        let in_time = recovery.deadline_s.is_none_or(|d| done.as_secs_f64() <= d);
+        if delivers && in_time {
+            fate.survivors.push(c);
+            worst = worst.max(done);
+        } else if delivers {
+            fate.deadline_dropped.push(c);
+            deadline_hit = true;
+        }
+    }
+    if deadline_hit {
+        // The server waited out the full deadline for the missing
+        // updates before proceeding.
+        worst = Seconds::new(recovery.deadline_s.unwrap_or(0.0));
+    } else if fate.survivors.is_empty() {
+        // Nobody delivered: the round ends when the last partial dies.
+        for &(_, done, _) in &paths {
+            worst = worst.max(done);
+        }
+        if let Some(d) = recovery.deadline_s {
+            worst = Seconds::new(worst.as_secs_f64().min(d));
+        }
     }
     // Two-tier aggregation: each participating AP reduces its cohort
     // locally, then ships one full-model-sized fp32 partial aggregate
@@ -339,12 +577,17 @@ pub fn fl_round_planned(
     // client — negligible but charged for honesty.
     let agg = latency.server_compute(costs.full_model_bytes.as_u64() / 4 * n as u64);
     breakdown.server_s += agg.as_secs_f64();
-    Ok(RoundLatency {
-        duration: worst + backhaul.wall + agg,
-        bytes,
-        client_energy_j: energy,
-        breakdown,
-    })
+    let faults = meter.stats(&fate);
+    Ok((
+        RoundLatency {
+            duration: worst + backhaul.wall + agg,
+            bytes,
+            client_energy_j: energy,
+            breakdown,
+            faults,
+        },
+        fate,
+    ))
 }
 
 /// Closed-form SL round: clients train strictly sequentially; after each
@@ -385,6 +628,134 @@ pub fn sl_round_planned(
     round: u64,
     share_fracs: Option<&[f64]>,
 ) -> Result<RoundLatency> {
+    sl_round_recovered(
+        latency,
+        costs,
+        steps,
+        order,
+        mode,
+        round,
+        share_fracs,
+        &RecoveryPlan::default(),
+    )
+    .map(|(latency, _)| latency)
+}
+
+/// Everything one SL chain segment accumulates into — split out so the
+/// primary, its backup and every later client charge through the same
+/// code path.
+#[derive(Debug, Default)]
+struct SlAccumulator {
+    total: Seconds,
+    bytes: RoundBytes,
+    energy: f64,
+    breakdown: LatencyBreakdown,
+}
+
+/// Prices one client's SL chain segment: model-down, `run_steps`
+/// split-training steps, and (unless the client crashes) the model-up
+/// handoff. Wire transfers go through the fault meter.
+#[allow(clippy::too_many_arguments)]
+fn sl_segment(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    c: usize,
+    run_steps: usize,
+    crashes: bool,
+    share: Hertz,
+    round: u64,
+    meter: &mut FaultMeter,
+    acc: &mut SlAccumulator,
+) -> Result<()> {
+    let power = *latency.power();
+    // Model arrives at this client (from the AP relay). The AP
+    // decoded the previous client's encoded upload and relays the
+    // model onward in fp32, so the downlink is charged raw.
+    let model_dl_air = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
+    let model_dl = meter.price(latency, c, round, model_dl_air, costs.client_model_bytes);
+    acc.total += model_dl.time;
+    acc.energy += power.rx_energy(model_dl.air).as_joules();
+    acc.bytes.down += costs.client_model_bytes.as_u64();
+    acc.bytes.raw_down += costs.client_model_bytes.as_u64();
+    acc.breakdown.downlink_s += model_dl.time.as_secs_f64();
+    // Split-training steps. SL is strictly sequential — one
+    // transmitter at a time — so no co-channel interference applies.
+    for _ in 0..run_steps {
+        let fwd = latency.client_compute(c, costs.client_fwd_flops, round)?;
+        let ul_air = latency.uplink_time(c, costs.smashed_wire_bytes, round, share)?;
+        let ul = meter.price(latency, c, round, ul_air, costs.smashed_wire_bytes);
+        let dl_air = latency.downlink_time(c, costs.grad_wire_bytes, round, share)?;
+        let dl = meter.price(latency, c, round, dl_air, costs.grad_wire_bytes);
+        let bwd = latency.client_compute(c, costs.client_bwd_flops, round)?;
+        let ap = latency.ap_of(c, round)?;
+        let srv = latency.server_compute_at(ap, costs.server_flops);
+        acc.total += fwd + ul.time + srv + dl.time + bwd;
+        acc.bytes.up += costs.smashed_wire_bytes.as_u64();
+        acc.bytes.down += costs.grad_wire_bytes.as_u64();
+        acc.bytes.raw_up += costs.smashed_bytes.as_u64();
+        acc.bytes.raw_down += costs.grad_bytes.as_u64();
+        acc.energy +=
+            (power.compute_energy(fwd + bwd) + power.tx_energy(ul.air) + power.rx_energy(dl.air))
+                .as_joules();
+        acc.breakdown.client_compute_s += (fwd + bwd).as_secs_f64();
+        acc.breakdown.uplink_s += ul.time.as_secs_f64();
+        acc.breakdown.downlink_s += dl.time.as_secs_f64();
+        acc.breakdown.server_s += srv.as_secs_f64();
+    }
+    if crashes {
+        // The client died mid-segment: everything it was charged bought
+        // nothing (the AP's last checkpoint — the previous client's
+        // upload — carries the chain onward).
+        meter.waste(
+            costs.client_model_bytes.as_u64()
+                + run_steps as u64
+                    * (costs.smashed_wire_bytes.as_u64() + costs.grad_wire_bytes.as_u64()),
+        );
+        return Ok(());
+    }
+    // Hand the client-side model back to the AP for the next client.
+    let model_ul_air = latency.uplink_time(c, costs.client_model_wire_bytes, round, share)?;
+    let model_ul = meter.price(
+        latency,
+        c,
+        round,
+        model_ul_air,
+        costs.client_model_wire_bytes,
+    );
+    acc.total += model_ul.time;
+    acc.energy += power.tx_energy(model_ul.air).as_joules();
+    acc.bytes.up += costs.client_model_wire_bytes.as_u64();
+    acc.bytes.raw_up += costs.client_model_bytes.as_u64();
+    acc.breakdown.uplink_s += model_ul.time.as_secs_f64();
+    Ok(())
+}
+
+/// [`sl_round_planned`] under a [`RecoveryPlan`]: a crashed client is
+/// charged its model download plus its completed split steps (crash
+/// after ⌊progress · steps⌋ of them) and never hands the model back —
+/// the AP's previous checkpoint carries the chain onward, so the
+/// crashed client's contribution is simply lost. An assigned backup
+/// then re-runs the slot's full segment on its own channel. A deadline
+/// cuts the chain: clients whose segment has not completed by the
+/// cutoff are dropped (the one mid-segment at the cutoff keeps its
+/// charges; later clients never start). Returns the per-slot
+/// [`RoundFate`]; the default plan on a fault-free environment is
+/// exactly [`sl_round_planned`].
+///
+/// # Errors
+///
+/// Propagates wireless model errors.
+#[allow(clippy::too_many_arguments)]
+pub fn sl_round_recovered(
+    latency: &dyn ChannelModel,
+    costs: &SplitCosts,
+    steps: &[usize],
+    order: &[usize],
+    mode: ChannelMode,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+    recovery: &RecoveryPlan,
+) -> Result<(RoundLatency, RoundFate)> {
     let cond = latency.conditions(round)?;
     let default_share = match mode {
         ChannelMode::Dedicated => cond.dedicated_share(),
@@ -394,57 +765,95 @@ pub fn sl_round_planned(
         Some(f) if f.get(c).copied().unwrap_or(0.0) > 0.0 => cond.bandwidth.fraction(f[c]),
         _ => default_share,
     };
-    let power = *latency.power();
-    let mut total = Seconds::ZERO;
-    let mut bytes = RoundBytes::default();
-    let mut energy = 0.0f64;
-    let mut breakdown = LatencyBreakdown::default();
+    let mut meter = FaultMeter::default();
+    let mut acc = SlAccumulator::default();
+    let mut fate = RoundFate {
+        planned: order.to_vec(),
+        ..RoundFate::default()
+    };
     for &c in order {
-        let share = share_of(c);
-        // Model arrives at this client (from the AP relay). The AP
-        // decoded the previous client's encoded upload and relays the
-        // model onward in fp32, so the downlink is charged raw.
-        let model_dl = latency.downlink_time(c, costs.client_model_bytes, round, share)?;
-        total += model_dl;
-        energy += power.rx_energy(model_dl).as_joules();
-        bytes.down += costs.client_model_bytes.as_u64();
-        bytes.raw_down += costs.client_model_bytes.as_u64();
-        breakdown.downlink_s += model_dl.as_secs_f64();
-        // Split-training steps. SL is strictly sequential — one
-        // transmitter at a time — so no co-channel interference applies.
-        for _ in 0..steps[c] {
-            let fwd = latency.client_compute(c, costs.client_fwd_flops, round)?;
-            let ul = latency.uplink_time(c, costs.smashed_wire_bytes, round, share)?;
-            let dl = latency.downlink_time(c, costs.grad_wire_bytes, round, share)?;
-            let bwd = latency.client_compute(c, costs.client_bwd_flops, round)?;
-            let ap = latency.ap_of(c, round)?;
-            let srv = latency.server_compute_at(ap, costs.server_flops);
-            total += fwd + ul + srv + dl + bwd;
-            bytes.up += costs.smashed_wire_bytes.as_u64();
-            bytes.down += costs.grad_wire_bytes.as_u64();
-            bytes.raw_up += costs.smashed_bytes.as_u64();
-            bytes.raw_down += costs.grad_bytes.as_u64();
-            energy += (power.compute_energy(fwd + bwd) + power.tx_energy(ul) + power.rx_energy(dl))
-                .as_joules();
-            breakdown.client_compute_s += (fwd + bwd).as_secs_f64();
-            breakdown.uplink_s += ul.as_secs_f64();
-            breakdown.downlink_s += dl.as_secs_f64();
-            breakdown.server_s += srv.as_secs_f64();
+        if recovery
+            .deadline_s
+            .is_some_and(|d| acc.total.as_secs_f64() >= d)
+        {
+            // The deadline already passed: this client never starts.
+            fate.deadline_dropped.push(c);
+            continue;
         }
-        // Hand the client-side model back to the AP for the next client.
-        let model_ul = latency.uplink_time(c, costs.client_model_wire_bytes, round, share)?;
-        total += model_ul;
-        energy += power.tx_energy(model_ul).as_joules();
-        bytes.up += costs.client_model_wire_bytes.as_u64();
-        bytes.raw_up += costs.client_model_bytes.as_u64();
-        breakdown.uplink_s += model_ul.as_secs_f64();
+        let mut delivered;
+        if let Some(f) = latency.crash_point(c, round) {
+            fate.crashed.push(c);
+            let done = ((f * steps[c] as f64) as usize).min(steps[c]);
+            sl_segment(
+                latency,
+                costs,
+                c,
+                done,
+                true,
+                share_of(c),
+                round,
+                &mut meter,
+                &mut acc,
+            )?;
+            delivered = false;
+            if let Some(b) = recovery.backup_for(c) {
+                // The standby re-runs the slot's segment on its own
+                // channel, serialized after the crash.
+                sl_segment(
+                    latency,
+                    costs,
+                    b.client,
+                    b.steps,
+                    false,
+                    share_of(b.client),
+                    round,
+                    &mut meter,
+                    &mut acc,
+                )?;
+                fate.backups_activated += 1;
+                delivered = true;
+            }
+        } else {
+            sl_segment(
+                latency,
+                costs,
+                c,
+                steps[c],
+                false,
+                share_of(c),
+                round,
+                &mut meter,
+                &mut acc,
+            )?;
+            delivered = true;
+        }
+        if delivered {
+            if recovery
+                .deadline_s
+                .is_some_and(|d| acc.total.as_secs_f64() > d)
+            {
+                // Still mid-segment at the cutoff.
+                fate.deadline_dropped.push(c);
+            } else {
+                fate.survivors.push(c);
+            }
+        }
     }
-    Ok(RoundLatency {
-        duration: total,
-        bytes,
-        client_energy_j: energy,
-        breakdown,
-    })
+    let mut duration = acc.total;
+    if let Some(d) = recovery.deadline_s {
+        duration = Seconds::new(duration.as_secs_f64().min(d));
+    }
+    let faults = meter.stats(&fate);
+    Ok((
+        RoundLatency {
+            duration,
+            bytes: acc.bytes,
+            client_energy_j: acc.energy,
+            breakdown: acc.breakdown,
+            faults,
+        },
+        fate,
+    ))
 }
 
 /// DES-based GSFL round: groups run their sequential chains in parallel;
@@ -505,7 +914,9 @@ pub fn gsfl_round_with_schedule(
         mode,
         round,
         None,
+        &RecoveryPlan::default(),
     )
+    .map(|(latency, _, schedule)| (latency, schedule))
 }
 
 /// [`gsfl_round`] under an orchestrator's
@@ -540,8 +951,123 @@ pub fn gsfl_round_planned(
         mode,
         round,
         share_fracs,
+        &RecoveryPlan::default(),
     )
-    .map(|(latency, _)| latency)
+    .map(|(latency, _, _)| latency)
+}
+
+/// [`gsfl_round_planned`] under a [`RecoveryPlan`]: a crashed chain
+/// member is charged its model download plus its completed split steps,
+/// never relays, and the chain re-routes — the AP's last relayed
+/// checkpoint (the previous alive member's model) carries onward, so
+/// the next member's download simply follows the crash-detection gate,
+/// and when the *last* member crashes the group's contribution is the
+/// state its last alive member already relayed up (re-priced on that
+/// member's channel). An assigned backup instead re-runs the slot's
+/// chain position on its own channel. A deadline drops every group
+/// whose final upload has not landed by the cutoff. Returns the
+/// per-slot [`RoundFate`]; the default plan on a fault-free
+/// environment is exactly [`gsfl_round_planned`].
+///
+/// # Errors
+///
+/// Propagates wireless/simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn gsfl_round_recovered(
+    latency: &dyn ChannelModel,
+    group_costs: &[SplitCosts],
+    steps: &[usize],
+    groups: &[Vec<usize>],
+    policy: BandwidthPolicy,
+    mode: ChannelMode,
+    round: u64,
+    share_fracs: Option<&[f64]>,
+    recovery: &RecoveryPlan,
+) -> Result<(RoundLatency, RoundFate)> {
+    gsfl_round_inner(
+        latency,
+        group_costs,
+        steps,
+        groups,
+        policy,
+        mode,
+        round,
+        share_fracs,
+        recovery,
+    )
+    .map(|(latency, fate, _)| (latency, fate))
+}
+
+/// One chain member's split-training steps as DES tasks (forward →
+/// smashed-up → server → grad-down → backward per step), charged
+/// through the fault meter. Returns the last task, the new chain gate.
+#[allow(clippy::too_many_arguments)]
+fn gsfl_member_steps(
+    latency: &dyn ChannelModel,
+    gc: &SplitCosts,
+    gi: usize,
+    c: usize,
+    n_steps: usize,
+    interferers: &[usize],
+    share: Hertz,
+    ap: usize,
+    round: u64,
+    g: &mut TaskGraph,
+    server: gsfl_simnet::ResourceId,
+    mut prev: Option<gsfl_simnet::TaskId>,
+    meter: &mut FaultMeter,
+    bytes: &mut RoundBytes,
+    energy: &mut f64,
+    breakdown: &mut LatencyBreakdown,
+    server_tasks: &mut Vec<(gsfl_simnet::TaskId, gsfl_simnet::TaskId)>,
+) -> Result<Option<gsfl_simnet::TaskId>> {
+    let power = *latency.power();
+    for s in 0..n_steps {
+        let fwd_t = latency.client_compute(c, gc.client_fwd_flops, round)?;
+        let cf = g.add_task(
+            format!("g{gi}/c{c}/fwd{s}"),
+            to_sim(fwd_t),
+            None,
+            prev.as_slice(),
+        )?;
+        let ul_air =
+            latency.uplink_time_among(c, gc.smashed_wire_bytes, round, share, interferers)?;
+        let ul_t = meter.price(latency, c, round, ul_air, gc.smashed_wire_bytes);
+        let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t.time), None, &[cf])?;
+        let srv_t = latency.server_compute_at(ap, gc.server_flops);
+        let sv = g.add_task(
+            format!("g{gi}/c{c}/srv{s}"),
+            to_sim(srv_t),
+            Some(server),
+            &[ul],
+        )?;
+        server_tasks.push((sv, ul));
+        let dl_air =
+            latency.downlink_time_among(c, gc.grad_wire_bytes, round, share, interferers)?;
+        let dl_t = meter.price(latency, c, round, dl_air, gc.grad_wire_bytes);
+        let dl = g.add_task(
+            format!("g{gi}/c{c}/down{s}"),
+            to_sim(dl_t.time),
+            None,
+            &[sv],
+        )?;
+        let bwd_t = latency.client_compute(c, gc.client_bwd_flops, round)?;
+        let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
+        bytes.up += gc.smashed_wire_bytes.as_u64();
+        bytes.down += gc.grad_wire_bytes.as_u64();
+        bytes.raw_up += gc.smashed_bytes.as_u64();
+        bytes.raw_down += gc.grad_bytes.as_u64();
+        *energy += (power.compute_energy(fwd_t + bwd_t)
+            + power.tx_energy(ul_t.air)
+            + power.rx_energy(dl_t.air))
+        .as_joules();
+        breakdown.client_compute_s += (fwd_t + bwd_t).as_secs_f64();
+        breakdown.uplink_s += ul_t.time.as_secs_f64();
+        breakdown.downlink_s += dl_t.time.as_secs_f64();
+        breakdown.server_s += srv_t.as_secs_f64();
+        prev = Some(cb);
+    }
+    Ok(prev)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -554,7 +1080,8 @@ fn gsfl_round_inner(
     mode: ChannelMode,
     round: u64,
     share_fracs: Option<&[f64]>,
-) -> Result<(RoundLatency, Schedule)> {
+    recovery: &RecoveryPlan,
+) -> Result<(RoundLatency, RoundFate, Schedule)> {
     let m = groups.len();
     if m == 0 {
         return Err(CoreError::Config("gsfl needs at least one group".into()));
@@ -601,13 +1128,17 @@ fn gsfl_round_inner(
             g.add_resource(label, latency.server_at(ap).slots())
         })
         .collect();
-    let mut group_ends = Vec::with_capacity(m);
-    // The AP each group's final upload lands on — where its partial
-    // aggregate is reduced before the backhaul tier.
-    let mut group_aps = Vec::with_capacity(m);
+    // Per surviving group: its end task (the join gate), the slots whose
+    // update it carries, and the AP its final state landed on.
+    let mut group_records: Vec<(gsfl_simnet::TaskId, Vec<usize>, usize)> = Vec::with_capacity(m);
     let mut bytes = RoundBytes::default();
     let mut energy = 0.0f64;
     let mut breakdown = LatencyBreakdown::default();
+    let mut meter = FaultMeter::default();
+    let mut fate = RoundFate {
+        planned: groups.iter().flatten().copied().collect(),
+        ..RoundFate::default()
+    };
     // Server-bound tasks with the task whose completion made them ready,
     // so queue wait (start − uplink finish) can be attributed to the
     // server phase after the simulation runs.
@@ -615,7 +1146,15 @@ fn gsfl_round_inner(
 
     for (gi, members) in groups.iter().enumerate() {
         let gc = &group_costs[gi];
-        let mut prev = None;
+        let mut prev: Option<gsfl_simnet::TaskId> = None;
+        // The alive member whose trained model has not yet been relayed
+        // to the AP, with its chain position (for interferer lookup).
+        // `None` after a crash: the AP's newest checkpoint already
+        // arrived with the previous relay, so the chain re-routes
+        // without a new hop.
+        let mut pending: Option<(usize, usize)> = None;
+        // Slots whose update the group's final state carries.
+        let mut alive: Vec<usize> = Vec::new();
         for (j, &c) in members.iter().enumerate() {
             // While this member transmits, every other active group has a
             // member of its own on the air: charge SINR against the
@@ -623,26 +1162,27 @@ fn gsfl_round_inner(
             let interferers = co_transmitters(groups, gi, j);
             // Client-model handoff: AP → client (first member receives the
             // freshly aggregated model; later members receive the relay).
-            if j > 0 {
-                let from = members[j - 1];
-                let relay_interferers = co_transmitters(groups, gi, j - 1);
-                let relay_t = latency.uplink_time_among(
+            if let Some((from, fj)) = pending.take() {
+                let relay_interferers = co_transmitters(groups, gi, fj);
+                let relay_air = latency.uplink_time_among(
                     from,
                     gc.client_model_wire_bytes,
                     round,
                     member_share(gi, from),
                     &relay_interferers,
                 )?;
+                let relay_t =
+                    meter.price(latency, from, round, relay_air, gc.client_model_wire_bytes);
                 let ul = g.add_task(
                     format!("g{gi}/relay-up{from}"),
-                    to_sim(relay_t),
+                    to_sim(relay_t.time),
                     None,
                     prev.as_slice(),
                 )?;
                 bytes.up += gc.client_model_wire_bytes.as_u64();
                 bytes.raw_up += gc.client_model_bytes.as_u64();
-                energy += power.tx_energy(relay_t).as_joules();
-                breakdown.uplink_s += relay_t.as_secs_f64();
+                energy += power.tx_energy(relay_t.air).as_joules();
+                breakdown.uplink_s += relay_t.time.as_secs_f64();
                 prev = Some(ul);
             }
             // While this member receives, every other active group has a
@@ -650,97 +1190,162 @@ fn gsfl_round_inner(
             // against the same-position representatives. Model
             // downlinks are fp32 (the AP decodes encoded uploads and
             // relays raw — see `fl_round`).
-            let model_dl_t = latency.downlink_time_among(
+            let model_dl_air = latency.downlink_time_among(
                 c,
                 gc.client_model_bytes,
                 round,
                 member_share(gi, c),
                 &interferers,
             )?;
+            let model_dl_t = meter.price(latency, c, round, model_dl_air, gc.client_model_bytes);
             let dl = g.add_task(
                 format!("g{gi}/model-down{c}"),
-                to_sim(model_dl_t),
+                to_sim(model_dl_t.time),
                 None,
                 prev.as_slice(),
             )?;
             bytes.down += gc.client_model_bytes.as_u64();
             bytes.raw_down += gc.client_model_bytes.as_u64();
-            energy += power.rx_energy(model_dl_t).as_joules();
-            breakdown.downlink_s += model_dl_t.as_secs_f64();
+            energy += power.rx_energy(model_dl_t.air).as_joules();
+            breakdown.downlink_s += model_dl_t.time.as_secs_f64();
             prev = Some(dl);
 
             let ap = latency.ap_of(c, round)?;
-            for s in 0..steps[c] {
-                let fwd_t = latency.client_compute(c, gc.client_fwd_flops, round)?;
-                let cf = g.add_task(
-                    format!("g{gi}/c{c}/fwd{s}"),
-                    to_sim(fwd_t),
-                    None,
-                    prev.as_slice(),
-                )?;
-                let ul_t = latency.uplink_time_among(
+            if let Some(f) = latency.crash_point(c, round) {
+                // Crash after ⌊f · steps⌋ split steps: the partial chain
+                // is charged (and wasted) and the member never relays —
+                // the next member resumes from the AP's last checkpoint.
+                fate.crashed.push(c);
+                let done = ((f * steps[c] as f64) as usize).min(steps[c]);
+                prev = gsfl_member_steps(
+                    latency,
+                    gc,
+                    gi,
                     c,
-                    gc.smashed_wire_bytes,
-                    round,
-                    member_share(gi, c),
+                    done,
                     &interferers,
+                    member_share(gi, c),
+                    ap,
+                    round,
+                    &mut g,
+                    servers[ap],
+                    prev,
+                    &mut meter,
+                    &mut bytes,
+                    &mut energy,
+                    &mut breakdown,
+                    &mut server_tasks,
                 )?;
-                let ul = g.add_task(format!("g{gi}/c{c}/up{s}"), to_sim(ul_t), None, &[cf])?;
-                let srv_t = latency.server_compute_at(ap, gc.server_flops);
-                let sv = g.add_task(
-                    format!("g{gi}/c{c}/srv{s}"),
-                    to_sim(srv_t),
-                    Some(servers[ap]),
-                    &[ul],
-                )?;
-                server_tasks.push((sv, ul));
-                let dl_t = latency.downlink_time_among(
+                meter.waste(
+                    gc.client_model_bytes.as_u64()
+                        + done as u64
+                            * (gc.smashed_wire_bytes.as_u64() + gc.grad_wire_bytes.as_u64()),
+                );
+                if let Some(b) = recovery.backup_for(c) {
+                    // The standby inherits the chain position: fresh
+                    // model-down on its own channel, then the full
+                    // segment, serialized after the crash is detected.
+                    let b_dl_air = latency.downlink_time_among(
+                        b.client,
+                        gc.client_model_bytes,
+                        round,
+                        member_share(gi, b.client),
+                        &interferers,
+                    )?;
+                    let b_dl_t =
+                        meter.price(latency, b.client, round, b_dl_air, gc.client_model_bytes);
+                    let b_dl = g.add_task(
+                        format!("g{gi}/backup-down{}", b.client),
+                        to_sim(b_dl_t.time),
+                        None,
+                        prev.as_slice(),
+                    )?;
+                    bytes.down += gc.client_model_bytes.as_u64();
+                    bytes.raw_down += gc.client_model_bytes.as_u64();
+                    energy += power.rx_energy(b_dl_t.air).as_joules();
+                    breakdown.downlink_s += b_dl_t.time.as_secs_f64();
+                    let b_ap = latency.ap_of(b.client, round)?;
+                    prev = gsfl_member_steps(
+                        latency,
+                        gc,
+                        gi,
+                        b.client,
+                        b.steps,
+                        &interferers,
+                        member_share(gi, b.client),
+                        b_ap,
+                        round,
+                        &mut g,
+                        servers[b_ap],
+                        Some(b_dl),
+                        &mut meter,
+                        &mut bytes,
+                        &mut energy,
+                        &mut breakdown,
+                        &mut server_tasks,
+                    )?;
+                    pending = Some((b.client, j));
+                    alive.push(c);
+                    fate.backups_activated += 1;
+                }
+            } else {
+                prev = gsfl_member_steps(
+                    latency,
+                    gc,
+                    gi,
                     c,
-                    gc.grad_wire_bytes,
-                    round,
-                    member_share(gi, c),
+                    steps[c],
                     &interferers,
+                    member_share(gi, c),
+                    ap,
+                    round,
+                    &mut g,
+                    servers[ap],
+                    prev,
+                    &mut meter,
+                    &mut bytes,
+                    &mut energy,
+                    &mut breakdown,
+                    &mut server_tasks,
                 )?;
-                let dl = g.add_task(format!("g{gi}/c{c}/down{s}"), to_sim(dl_t), None, &[sv])?;
-                let bwd_t = latency.client_compute(c, gc.client_bwd_flops, round)?;
-                let cb = g.add_task(format!("g{gi}/c{c}/bwd{s}"), to_sim(bwd_t), None, &[dl])?;
-                bytes.up += gc.smashed_wire_bytes.as_u64();
-                bytes.down += gc.grad_wire_bytes.as_u64();
-                bytes.raw_up += gc.smashed_bytes.as_u64();
-                bytes.raw_down += gc.grad_bytes.as_u64();
-                energy += (power.compute_energy(fwd_t + bwd_t)
-                    + power.tx_energy(ul_t)
-                    + power.rx_energy(dl_t))
-                .as_joules();
-                breakdown.client_compute_s += (fwd_t + bwd_t).as_secs_f64();
-                breakdown.uplink_s += ul_t.as_secs_f64();
-                breakdown.downlink_s += dl_t.as_secs_f64();
-                breakdown.server_s += srv_t.as_secs_f64();
-                prev = Some(cb);
+                pending = Some((c, j));
+                alive.push(c);
             }
         }
-        // Last member ships the group's client-side model to the AP.
-        let last = *members.last().expect("groups are non-empty");
-        let last_interferers = co_transmitters(groups, gi, members.len() - 1);
-        let agg_ul_t = latency.uplink_time_among(
-            last,
-            gc.client_model_wire_bytes,
-            round,
-            member_share(gi, last),
-            &last_interferers,
-        )?;
-        let agg_ul = g.add_task(
-            format!("g{gi}/agg-up{last}"),
-            to_sim(agg_ul_t),
-            None,
-            prev.as_slice(),
-        )?;
-        bytes.up += gc.client_model_wire_bytes.as_u64();
-        bytes.raw_up += gc.client_model_bytes.as_u64();
-        energy += power.tx_energy(agg_ul_t).as_joules();
-        breakdown.uplink_s += agg_ul_t.as_secs_f64();
-        group_ends.push(agg_ul);
-        group_aps.push(latency.ap_of(last, round)?);
+        if let Some((last, lj)) = pending {
+            // The last alive chain holder ships the group's client-side
+            // model to the AP.
+            let last_interferers = co_transmitters(groups, gi, lj);
+            let agg_ul_air = latency.uplink_time_among(
+                last,
+                gc.client_model_wire_bytes,
+                round,
+                member_share(gi, last),
+                &last_interferers,
+            )?;
+            let agg_ul_t =
+                meter.price(latency, last, round, agg_ul_air, gc.client_model_wire_bytes);
+            let agg_ul = g.add_task(
+                format!("g{gi}/agg-up{last}"),
+                to_sim(agg_ul_t.time),
+                None,
+                prev.as_slice(),
+            )?;
+            bytes.up += gc.client_model_wire_bytes.as_u64();
+            bytes.raw_up += gc.client_model_bytes.as_u64();
+            energy += power.tx_energy(agg_ul_t.air).as_joules();
+            breakdown.uplink_s += agg_ul_t.time.as_secs_f64();
+            group_records.push((agg_ul, alive, latency.ap_of(last, round)?));
+        } else if let (Some(&held), Some(end)) = (alive.last(), prev) {
+            // The tail of the chain crashed after the last alive member
+            // already relayed its model up: the AP holds the group's
+            // contribution, and the group ends at the crash-detection
+            // gate — no extra upload is needed.
+            let held_ap = latency.ap_of(held, round)?;
+            group_records.push((end, alive, held_ap));
+        }
+        // Whole group lost: its charged tasks stay in the graph but it
+        // contributes nothing to the aggregate.
     }
 
     // Two-tier aggregation: every AP that hosted a group's final upload
@@ -748,51 +1353,55 @@ fn gsfl_round_inner(
     // halves, fp32) over its backhaul before the top-level merge. With
     // no priced backhaul the task graph is exactly the historical
     // single-tier one.
-    let join_inputs = if group_aps.iter().any(|&ap| latency.backhaul(ap).is_some()) {
-        // Per-AP partial aggregates carry the widest group's halves
-        // (uniform costs make this exactly the historical payload).
-        let payload = Bytes::new(
-            group_costs
-                .iter()
-                .map(|c| c.client_model_bytes.as_u64() + server_side_bytes(c))
-                .max()
-                .unwrap_or(0),
-        );
-        let mut per_ap: BTreeMap<usize, Vec<_>> = BTreeMap::new();
-        for (&end, &ap) in group_ends.iter().zip(&group_aps) {
-            per_ap.entry(ap).or_default().push(end);
-        }
-        let mut inputs = Vec::new();
-        for (ap, ends) in per_ap {
-            match latency.backhaul(ap) {
-                Some(link) => {
-                    let t = link.transfer_time(payload);
-                    let bh = g.add_task(format!("backhaul{ap}"), to_sim(t), None, &ends)?;
-                    breakdown.backhaul_s += t.as_secs_f64();
-                    inputs.push(bh);
-                }
-                None => inputs.extend(ends),
+    if !group_records.is_empty() {
+        let group_ends: Vec<_> = group_records.iter().map(|(end, _, _)| *end).collect();
+        let group_aps: Vec<_> = group_records.iter().map(|(_, _, ap)| *ap).collect();
+        let join_inputs = if group_aps.iter().any(|&ap| latency.backhaul(ap).is_some()) {
+            // Per-AP partial aggregates carry the widest group's halves
+            // (uniform costs make this exactly the historical payload).
+            let payload = Bytes::new(
+                group_costs
+                    .iter()
+                    .map(|c| c.client_model_bytes.as_u64() + server_side_bytes(c))
+                    .max()
+                    .unwrap_or(0),
+            );
+            let mut per_ap: BTreeMap<usize, Vec<_>> = BTreeMap::new();
+            for (&end, &ap) in group_ends.iter().zip(&group_aps) {
+                per_ap.entry(ap).or_default().push(end);
             }
-        }
-        inputs
-    } else {
-        group_ends
-    };
+            let mut inputs = Vec::new();
+            for (ap, ends) in per_ap {
+                match latency.backhaul(ap) {
+                    Some(link) => {
+                        let t = link.transfer_time(payload);
+                        let bh = g.add_task(format!("backhaul{ap}"), to_sim(t), None, &ends)?;
+                        breakdown.backhaul_s += t.as_secs_f64();
+                        inputs.push(bh);
+                    }
+                    None => inputs.extend(ends),
+                }
+            }
+            inputs
+        } else {
+            group_ends
+        };
 
-    // FedAvg of both halves on the server: one parameter pass per group.
-    // Aggregation runs at AP 0's server (the anchor AP that owns the
-    // global model).
-    let join = g.add_barrier("agg-join", &join_inputs)?;
-    // One parameter pass per group (uniform costs reduce to the
-    // historical `(client + server) / 4 × m`).
-    let agg_flops: u64 = group_costs
-        .iter()
-        .map(|c| (c.client_model_bytes.as_u64() + server_side_bytes(c)) / 4)
-        .sum();
-    let agg_t = latency.server_compute_at(0, agg_flops);
-    let agg = g.add_task("fedavg", to_sim(agg_t), Some(servers[0]), &[join])?;
-    breakdown.server_s += agg_t.as_secs_f64();
-    server_tasks.push((agg, join));
+        // FedAvg of both halves on the server: one parameter pass per
+        // group. Aggregation runs at AP 0's server (the anchor AP that
+        // owns the global model).
+        let join = g.add_barrier("agg-join", &join_inputs)?;
+        // One parameter pass per group (uniform costs reduce to the
+        // historical `(client + server) / 4 × m`).
+        let agg_flops: u64 = group_costs
+            .iter()
+            .map(|c| (c.client_model_bytes.as_u64() + server_side_bytes(c)) / 4)
+            .sum();
+        let agg_t = latency.server_compute_at(0, agg_flops);
+        let agg = g.add_task("fedavg", to_sim(agg_t), Some(servers[0]), &[join])?;
+        breakdown.server_s += agg_t.as_secs_f64();
+        server_tasks.push((agg, join));
+    }
 
     let schedule = Simulator::run(&g)?;
     // Attribute slot-queue waiting to the server phase: a server task
@@ -804,13 +1413,32 @@ fn gsfl_round_inner(
             breakdown.server_s += wait;
         }
     }
+    // Deadline truncation: a group whose final state has not landed by
+    // the cutoff is dropped whole (its members' updates never merged).
+    for (end, alive, _) in group_records {
+        if recovery
+            .deadline_s
+            .is_none_or(|d| schedule.finish(end).as_secs_f64() <= d)
+        {
+            fate.survivors.extend(alive);
+        } else {
+            fate.deadline_dropped.extend(alive);
+        }
+    }
+    let mut duration = Seconds::new(schedule.makespan().as_secs_f64());
+    if let Some(d) = recovery.deadline_s {
+        duration = Seconds::new(duration.as_secs_f64().min(d));
+    }
+    let faults = meter.stats(&fate);
     Ok((
         RoundLatency {
-            duration: Seconds::new(schedule.makespan().as_secs_f64()),
+            duration,
             bytes,
             client_energy_j: energy,
             breakdown,
+            faults,
         },
+        fate,
         schedule,
     ))
 }

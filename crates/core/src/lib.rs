@@ -127,6 +127,7 @@ pub mod latency;
 pub mod orchestrator;
 pub(crate) mod parallel;
 pub mod population;
+pub mod recovery;
 pub mod results;
 pub mod runner;
 pub mod scheme;

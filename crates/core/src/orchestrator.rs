@@ -704,6 +704,30 @@ impl PlanSelector {
             None => self.cuts.observe(round, plan.cut, latency_s),
         }
     }
+
+    /// Feeds a round's full realized *outcome* — latency plus fault
+    /// accounting — back to the planner. Failures inflate the effective
+    /// latency the bandit learns from, so arms whose aggressive cohorts
+    /// or codecs keep losing clients (or missing quorum outright) look
+    /// expensive and are avoided. A clean round is exactly
+    /// [`PlanSelector::observe`].
+    pub fn observe_outcome(
+        &self,
+        round: u64,
+        plan: &RoundPlan,
+        latency: &crate::latency::RoundLatency,
+    ) {
+        let f = &latency.faults;
+        let mut effective = latency.duration.as_secs_f64();
+        // Each client lost mid-round wasted its slice of the cohort's
+        // work; a missed quorum wasted the whole round (global model
+        // unchanged) and then some.
+        effective *= 1.0 + 0.25 * f64::from(f.lost_clients);
+        if !f.quorum_met {
+            effective *= 4.0;
+        }
+        self.observe(round, plan, effective);
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,34 @@ impl Population {
         chosen
     }
 
+    /// Samples up to `k` standby members for `round`: distinct global
+    /// client ids outside the round's cohort, drawn from a dedicated
+    /// `"backups"` stream by rejection against the (sorted) cohort.
+    /// Deterministic in (population seed, round) and independent of
+    /// whether any backup ever activates. Returns fewer than `k` only
+    /// when the population has fewer than `cohort + k` clients.
+    pub fn sample_backups(&self, round: u64, k: usize) -> Vec<u64> {
+        let spare = (self.clients - self.cohort as u64) as usize;
+        let k = k.min(spare);
+        if k == 0 {
+            return Vec::new();
+        }
+        let cohort = self.sample_cohort(round);
+        let mut rng = SeedDerive::new(self.seed)
+            .child("backups")
+            .index(round)
+            .rng();
+        let mut chosen: Vec<u64> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let m = rng.gen_range(0..self.clients);
+            if cohort.binary_search(&m).is_ok() || chosen.contains(&m) {
+                continue;
+            }
+            chosen.push(m);
+        }
+        chosen
+    }
+
     /// Shard length every materialized member trains on, given the shared
     /// pool's size (see [`PopulationConfig::samples_per_client`]).
     pub fn shard_len(&self, pool_len: usize) -> usize {
@@ -315,6 +343,26 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a, other.sample_cohort(3), "seeds draw different cohorts");
+    }
+
+    #[test]
+    fn backups_are_distinct_and_outside_cohort() {
+        let p = pop(1_000, 64);
+        let cohort = p.sample_cohort(5);
+        let a = p.sample_backups(5, 8);
+        assert_eq!(a, p.sample_backups(5, 8), "deterministic in (seed, round)");
+        assert_eq!(a.len(), 8);
+        for &b in &a {
+            assert!(b < 1_000);
+            assert!(!cohort.contains(&b), "backup {b} collides with cohort");
+        }
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "backups must be distinct");
+        assert_ne!(a, p.sample_backups(6, 8), "rounds draw different backups");
+        // A population with no spare clients yields no backups.
+        assert!(pop(16, 16).sample_backups(0, 4).is_empty());
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub struct RoundRecord {
     pub bytes_down_raw: u64,
     /// Total client-side energy this round, joules.
     pub client_energy_j: f64,
+    /// Retransmission attempts beyond the first, summed over transfers.
+    pub retries: u64,
+    /// Bytes charged to the air but never delivered: retransmitted
+    /// copies plus the traffic of clients that crashed mid-round.
+    pub wasted_airtime_bytes: u64,
+    /// Clients planned into the round but lost to a crash or deadline.
+    pub lost_clients: u32,
+    /// Backup clients activated to replace failed primaries.
+    pub backups_activated: u32,
+    /// Whether the round met its aggregation quorum; `false` means the
+    /// round was skipped and the global model left unchanged.
+    pub quorum_met: bool,
 }
 
 // Hand-written (de)serialization: the vendored serde derive has no
@@ -65,6 +77,29 @@ impl Serialize for RoundRecord {
             "client_energy_j".to_string(),
             self.client_energy_j.to_value(),
         ));
+        // Fault accounting only appears on rounds that actually saw
+        // faults — fault-free runs keep the historical record shape.
+        if self.retries != 0 {
+            fields.push(("retries".to_string(), self.retries.to_value()));
+        }
+        if self.wasted_airtime_bytes != 0 {
+            fields.push((
+                "wasted_airtime_bytes".to_string(),
+                self.wasted_airtime_bytes.to_value(),
+            ));
+        }
+        if self.lost_clients != 0 {
+            fields.push(("lost_clients".to_string(), self.lost_clients.to_value()));
+        }
+        if self.backups_activated != 0 {
+            fields.push((
+                "backups_activated".to_string(),
+                self.backups_activated.to_value(),
+            ));
+        }
+        if !self.quorum_met {
+            fields.push(("quorum_met".to_string(), self.quorum_met.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -101,6 +136,28 @@ impl Deserialize for RoundRecord {
             client_energy_j: match serde::find(entries, "client_energy_j") {
                 Some(e) => f64::from_value(e)?,
                 None => 0.0,
+            },
+            // Fault fields are absent on fault-free (and historical)
+            // records; the defaults mean "clean round".
+            retries: match serde::find(entries, "retries") {
+                Some(x) => u64::from_value(x)?,
+                None => 0,
+            },
+            wasted_airtime_bytes: match serde::find(entries, "wasted_airtime_bytes") {
+                Some(x) => u64::from_value(x)?,
+                None => 0,
+            },
+            lost_clients: match serde::find(entries, "lost_clients") {
+                Some(x) => u32::from_value(x)?,
+                None => 0,
+            },
+            backups_activated: match serde::find(entries, "backups_activated") {
+                Some(x) => u32::from_value(x)?,
+                None => 0,
+            },
+            quorum_met: match serde::find(entries, "quorum_met") {
+                Some(x) => bool::from_value(x)?,
+                None => true,
             },
         })
     }
@@ -217,6 +274,35 @@ impl RunResult {
         self.records.iter().map(|r| r.client_energy_j).sum()
     }
 
+    /// Rounds that missed their aggregation quorum and were skipped.
+    pub fn rounds_skipped(&self) -> usize {
+        self.records.iter().filter(|r| !r.quorum_met).count()
+    }
+
+    /// Total retransmission attempts beyond the first over the run.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| r.retries).sum()
+    }
+
+    /// Total airtime bytes spent on traffic that never aggregated
+    /// (retransmissions plus crashed-client payloads).
+    pub fn total_wasted_airtime_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.wasted_airtime_bytes).sum()
+    }
+
+    /// Total clients lost mid-round (crash or deadline) over the run.
+    pub fn total_lost_clients(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.lost_clients)).sum()
+    }
+
+    /// Total backup activations over the run.
+    pub fn total_backups_activated(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| u64::from(r.backups_activated))
+            .sum()
+    }
+
     /// Total simulated duration of the run.
     pub fn total_latency_s(&self) -> f64 {
         self.records
@@ -229,7 +315,7 @@ impl RunResult {
     /// accuracy cells on non-evaluation rounds).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scheme,round,round_latency_s,cumulative_latency_s,train_loss,test_accuracy,bytes_up,bytes_down,bytes_up_raw,bytes_down_raw,client_energy_j\n",
+            "scheme,round,round_latency_s,cumulative_latency_s,train_loss,test_accuracy,bytes_up,bytes_down,bytes_up_raw,bytes_down_raw,client_energy_j,retries,wasted_airtime_bytes,lost_clients,backups_activated,quorum_met\n",
         );
         for r in &self.records {
             let acc = r
@@ -237,7 +323,7 @@ impl RunResult {
                 .map(|a| format!("{a:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{:.6}\n",
+                "{},{},{:.6},{:.6},{:.6},{},{},{},{},{},{:.6},{},{},{},{},{}\n",
                 self.scheme,
                 r.round,
                 r.round_latency_s,
@@ -248,7 +334,12 @@ impl RunResult {
                 r.bytes_down,
                 r.bytes_up_raw,
                 r.bytes_down_raw,
-                r.client_energy_j
+                r.client_energy_j,
+                r.retries,
+                r.wasted_airtime_bytes,
+                r.lost_clients,
+                r.backups_activated,
+                r.quorum_met
             ));
         }
         out
@@ -287,6 +378,11 @@ mod tests {
             bytes_up_raw: 100,
             bytes_down_raw: 50,
             client_energy_j: 3.0,
+            retries: 0,
+            wasted_airtime_bytes: 0,
+            lost_clients: 0,
+            backups_activated: 0,
+            quorum_met: true,
         }
     }
 
@@ -370,6 +466,62 @@ mod tests {
         assert!(json.contains("bytes_down_raw"), "{json}");
         let back: RoundRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, squeezed);
+    }
+
+    #[test]
+    fn fault_fields_serialize_only_when_faulted() {
+        // Clean round: no fault keys at all — golden fixtures compare
+        // serialized records as strings, so the clean shape is pinned.
+        let clean = record(1, 2.0, 1.0, None);
+        let json = serde_json::to_string(&clean).unwrap();
+        for key in [
+            "retries",
+            "wasted_airtime_bytes",
+            "lost_clients",
+            "backups_activated",
+            "quorum_met",
+        ] {
+            assert!(!json.contains(key), "{key} leaked into {json}");
+        }
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, clean);
+
+        // Faulted round: every non-default field appears and round-trips.
+        let mut faulted = clean;
+        faulted.retries = 3;
+        faulted.wasted_airtime_bytes = 4096;
+        faulted.lost_clients = 2;
+        faulted.backups_activated = 1;
+        faulted.quorum_met = false;
+        let json = serde_json::to_string(&faulted).unwrap();
+        for key in [
+            "retries",
+            "wasted_airtime_bytes",
+            "lost_clients",
+            "backups_activated",
+            "quorum_met",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, faulted);
+    }
+
+    #[test]
+    fn fault_totals_and_skip_count() {
+        let mut r = result();
+        assert_eq!(r.rounds_skipped(), 0);
+        assert_eq!(r.total_retries(), 0);
+        r.records[1].retries = 5;
+        r.records[1].wasted_airtime_bytes = 100;
+        r.records[1].lost_clients = 1;
+        r.records[2].quorum_met = false;
+        r.records[2].backups_activated = 2;
+        assert_eq!(r.rounds_skipped(), 1);
+        assert_eq!(r.total_retries(), 5);
+        assert_eq!(r.total_wasted_airtime_bytes(), 100);
+        assert_eq!(r.total_lost_clients(), 1);
+        assert_eq!(r.total_backups_activated(), 2);
     }
 
     #[test]

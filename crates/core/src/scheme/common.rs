@@ -274,6 +274,11 @@ impl Recorder {
             bytes_up_raw: latency.bytes.raw_up,
             bytes_down_raw: latency.bytes.raw_down,
             client_energy_j: latency.client_energy_j,
+            retries: latency.faults.retries,
+            wasted_airtime_bytes: latency.faults.wasted_airtime_bytes,
+            lost_clients: latency.faults.lost_clients,
+            backups_activated: latency.faults.backups_activated,
+            quorum_met: latency.faults.quorum_met,
         });
     }
 
@@ -356,6 +361,7 @@ mod tests {
                 },
                 client_energy_j: 1.5,
                 breakdown: Default::default(),
+                faults: Default::default(),
             },
             1.0,
             None,
@@ -367,6 +373,7 @@ mod tests {
                 bytes: RoundBytes::default(),
                 client_energy_j: 0.5,
                 breakdown: Default::default(),
+                faults: Default::default(),
             },
             0.5,
             Some(0.9),

@@ -6,7 +6,7 @@ use super::common::{
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
-use crate::latency::fl_round_planned;
+use crate::latency::fl_round_recovered;
 use crate::orchestrator::PlanSelector;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
@@ -77,29 +77,70 @@ impl Scheme for Federated {
     fn run_round(&mut self, ctx: &TrainContext, round: usize) -> Result<RoundOutcome> {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
-        let mut participants = ctx.available_clients(round as u64);
+        let available = ctx.available_clients(round as u64);
+        let mut participants = available.clone();
         let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
         // A cohort cap admits only the head of the deterministic
         // participant order (FL has no cut, so per-client cuts are moot).
         if let Some(k) = plan.cohort {
             participants.truncate(k);
         }
+        // Fault-aware pricing runs *before* training: latency is
+        // training-independent, and the resulting fate decides who
+        // trains. Non-participants get zero steps so the calculator
+        // skips them.
+        let recovery = ctx.round_recovery(round as u64, &participants, &available);
+        let round_steps: Vec<usize> = (0..cfg.clients)
+            .map(|c| {
+                if participants.contains(&c) {
+                    state.steps[c]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let (mut latency, fate) = fl_round_recovered(
+            ctx.env.as_ref(),
+            &costs,
+            &round_steps,
+            cfg.local_epochs,
+            round as u64,
+            plan.shares.as_deref(),
+            &recovery.plan,
+        )?;
+        if !recovery.quorum_met(&fate) {
+            // Quorum miss: the round is charged and recorded, but no
+            // training result aggregates — the global model is left
+            // unchanged.
+            latency.faults.quorum_met = false;
+            state.plans.observe_outcome(round as u64, &plan, &latency);
+            return Ok(RoundOutcome {
+                latency,
+                train_loss: 0.0,
+                aggregated: false,
+            });
+        }
         // Dense mode borrows the static shards; population mode
-        // materializes this round's sampled cohort.
-        let shards = ctx.round_shards(round as u64)?;
+        // materializes this round's sampled cohort (with any backup
+        // members substituted into their slots).
+        let shards = ctx.round_shards_recovered(round as u64, &recovery)?;
         let shards = shards.as_ref();
 
-        // Independent clients train on parallel host threads; results
-        // come back in participant order and are aggregated in that fixed
-        // order, so records are byte-identical to the sequential path.
-        let (threads, _grant) = round_fanout(cfg, participants.len());
+        // Only the slots whose update actually arrived train — a
+        // backup-covered slot is trained by its standby. Independent
+        // clients train on parallel host threads; results come back in
+        // participant order and are aggregated in that fixed order, so
+        // records are byte-identical to the sequential path.
+        let survivors = &fate.survivors;
+        let recovery = &recovery;
+        let (threads, _grant) = round_fanout(cfg, survivors.len());
         let template = &state.template;
         // One shared round-start state: workers clone an `Arc` handle,
         // not the parameters.
         let global = state.global.clone();
         let global = &global;
-        let passes = run_indexed(participants.len(), threads, |idx| {
-            let c = participants[idx];
+        let passes = run_indexed(survivors.len(), threads, |idx| {
+            let c = recovery.trainee_for(survivors[idx]);
             let mut local = template.clone();
             global.load_into(&mut local)?;
             let mut opt = make_opt(cfg);
@@ -137,10 +178,11 @@ impl Scheme for Federated {
         }
         // Two-tier tree aggregation over the AP topology (bit-identical
         // to flat FedAvg — see `crate::aggregate`), through the recycled
-        // workspace.
-        let mut aps = Vec::with_capacity(participants.len());
-        for &c in &participants {
-            aps.push(ctx.env.ap_of(c, round as u64)?);
+        // workspace. Weights are survivor sample counts, so the tree
+        // re-normalizes the FedAvg over who actually delivered.
+        let mut aps = Vec::with_capacity(survivors.len());
+        for &slot in survivors {
+            aps.push(ctx.env.ap_of(recovery.trainee_for(slot), round as u64)?);
         }
         let tree = aggregate_tree(&snapshots, &weights, &aps, &mut state.ws)?;
         let old = std::mem::replace(&mut state.global, CowParams::new(tree.params));
@@ -152,27 +194,7 @@ impl Scheme for Federated {
             state.ws.give(snap.into_values());
         }
 
-        // Non-participants get zero steps so fl_round skips them.
-        let round_steps: Vec<usize> = (0..cfg.clients)
-            .map(|c| {
-                if participants.contains(&c) {
-                    state.steps[c]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let latency = fl_round_planned(
-            ctx.env.as_ref(),
-            &costs,
-            &round_steps,
-            cfg.local_epochs,
-            round as u64,
-            plan.shares.as_deref(),
-        )?;
-        state
-            .plans
-            .observe(round as u64, &plan, latency.duration.as_secs_f64());
+        state.plans.observe_outcome(round as u64, &plan, &latency);
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

@@ -8,7 +8,7 @@ use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
 use crate::compression::CompressionSpec;
 use crate::context::TrainContext;
-use crate::latency::gsfl_round_planned;
+use crate::latency::gsfl_round_recovered;
 use crate::orchestrator::PlanSelector;
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
@@ -110,9 +110,10 @@ impl Scheme for Gsfl {
         // participant order. GSFL shares one split template across a
         // group's chain, so per-client cuts are not exercised here —
         // SplitFed (per-client replicas) honors them.
-        let mut available = ctx.available_clients(round as u64);
+        let available = ctx.available_clients(round as u64);
+        let mut admitted = available.clone();
         if let Some(k) = plan.cohort {
-            available.truncate(k);
+            admitted.truncate(k);
         }
         let round_groups: Vec<Vec<usize>> = ctx
             .groups
@@ -121,15 +122,60 @@ impl Scheme for Gsfl {
                 members
                     .iter()
                     .copied()
-                    .filter(|c| available.contains(c))
+                    .filter(|c| admitted.contains(c))
                     .collect::<Vec<usize>>()
             })
             .filter(|g| !g.is_empty())
             .collect();
-        let shards = ctx.round_shards(round as u64)?;
+        // Fault-aware pricing runs *before* training: the fate decides
+        // which chain segments actually reach the AP. A crashed member
+        // with no standby drops out of its group's chain (the relay the
+        // AP holds skips it); a standby re-runs the slot's segment; a
+        // group that misses the round deadline contributes nothing.
+        let planned: Vec<usize> = round_groups.iter().flatten().copied().collect();
+        let recovery = ctx.round_recovery(round as u64, &planned, &available);
+        let (mut latency, fate) = gsfl_round_recovered(
+            ctx.env.as_ref(),
+            &vec![costs; round_groups.len()],
+            &state.steps,
+            &round_groups,
+            cfg.bandwidth_policy,
+            cfg.channel,
+            round as u64,
+            plan.shares.as_deref(),
+            &recovery.plan,
+        )?;
+        if !recovery.quorum_met(&fate) {
+            // Quorum miss: charged and recorded, nothing aggregates —
+            // the global model is left unchanged.
+            latency.faults.quorum_met = false;
+            state.plans.observe_outcome(round as u64, &plan, &latency);
+            return Ok(RoundOutcome {
+                latency,
+                train_loss: 0.0,
+                aggregated: false,
+            });
+        }
+        // Each group's chain, reduced to the slots that delivered and
+        // re-pointed at who actually trains them (a standby covers its
+        // crashed primary's slot). Groups with no survivor sit the
+        // aggregation out entirely.
+        let surviving_groups: Vec<Vec<usize>> = round_groups
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&c| fate.survived(c))
+                    .map(|c| recovery.trainee_for(c))
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|g| !g.is_empty())
+            .collect();
+        let shards = ctx.round_shards_recovered(round as u64, &recovery)?;
         let passes = run_groups_parallel(
             ctx,
-            &round_groups,
+            &surviving_groups,
             shards.as_ref(),
             &split_template,
             &plan.codec,
@@ -140,8 +186,8 @@ impl Scheme for Gsfl {
         // each group's AP (where its replica lives) reduces first, the
         // backhaul tier merges — bit-identical to flat aggregation (see
         // `crate::aggregate`).
-        let mut group_aps = Vec::with_capacity(round_groups.len());
-        for g in &round_groups {
+        let mut group_aps = Vec::with_capacity(surviving_groups.len());
+        for g in &surviving_groups {
             group_aps.push(ctx.env.ap_of(g[g.len() - 1], round as u64)?);
         }
         let mut client_snaps = Vec::with_capacity(passes.len());
@@ -168,20 +214,7 @@ impl Scheme for Gsfl {
             state.ws.give(snap.into_values());
         }
 
-        let group_costs = vec![costs; round_groups.len()];
-        let latency = gsfl_round_planned(
-            ctx.env.as_ref(),
-            &group_costs,
-            &state.steps,
-            &round_groups,
-            cfg.bandwidth_policy,
-            cfg.channel,
-            round as u64,
-            plan.shares.as_deref(),
-        )?;
-        state
-            .plans
-            .observe(round as u64, &plan, latency.duration.as_secs_f64());
+        state.plans.observe_outcome(round as u64, &plan, &latency);
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

@@ -6,7 +6,7 @@ use super::common::{
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
-use crate::latency::sl_round_planned;
+use crate::latency::sl_round_recovered;
 use crate::orchestrator::PlanSelector;
 use crate::Result;
 use gsfl_nn::optim::Sgd;
@@ -100,7 +100,8 @@ impl Scheme for VanillaSplit {
         let cfg = &ctx.config;
         // Unavailable clients are skipped this round (the relay goes
         // straight to the next reachable client).
-        let mut order = ctx.available_clients(round as u64);
+        let available = ctx.available_clients(round as u64);
+        let mut order = available.clone();
         let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
         // A cohort cap admits only the head of the deterministic
         // participant order (SL ignores per-client cuts — there is one
@@ -108,9 +109,37 @@ impl Scheme for VanillaSplit {
         if let Some(k) = plan.cohort {
             order.truncate(k);
         }
+        // Fault-aware pricing runs *before* training: a crashed client's
+        // SGD steps never reach the AP (its model upload is lost), so
+        // the chain trains exactly the surviving slots — a backup
+        // standby re-runs a crashed slot's segment.
+        let recovery = ctx.round_recovery(round as u64, &order, &available);
+        let (mut latency, fate) = sl_round_recovered(
+            ctx.env.as_ref(),
+            &costs,
+            &state.steps,
+            &order,
+            cfg.channel,
+            round as u64,
+            plan.shares.as_deref(),
+            &recovery.plan,
+        )?;
+        if !recovery.quorum_met(&fate) {
+            // Quorum miss: the round is charged and recorded, but no
+            // client's steps persist — the chain restarts next round
+            // from the model state it holds now.
+            latency.faults.quorum_met = false;
+            state.plans.observe_outcome(round as u64, &plan, &latency);
+            return Ok(RoundOutcome {
+                latency,
+                train_loss: 0.0,
+                aggregated: false,
+            });
+        }
         // Dense mode borrows the static shards; population mode
-        // materializes this round's sampled cohort.
-        let shards = ctx.round_shards(round as u64)?;
+        // materializes this round's sampled cohort (with any backup
+        // members substituted into their slots).
+        let shards = ctx.round_shards_recovered(round as u64, &recovery)?;
 
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
@@ -125,7 +154,8 @@ impl Scheme for VanillaSplit {
                 client_opt,
                 server_opt,
             } => {
-                for &c in &order {
+                for &slot in &fate.survivors {
+                    let c = recovery.trainee_for(slot);
                     let relay_ref = model_codec
                         .active()
                         .then(|| ParamVec::from_network(&split.client));
@@ -156,7 +186,8 @@ impl Scheme for VanillaSplit {
                 // optimizers are exactly the persistent ones.
                 let mut client_opt = make_opt(cfg);
                 let mut server_opt = make_opt(cfg);
-                for &c in &order {
+                for &slot in &fate.survivors {
+                    let c = recovery.trainee_for(slot);
                     let relay_ref = model_codec
                         .active()
                         .then(|| ParamVec::from_network(&split.client));
@@ -183,18 +214,7 @@ impl Scheme for VanillaSplit {
             }
         }
 
-        let latency = sl_round_planned(
-            ctx.env.as_ref(),
-            &costs,
-            &state.steps,
-            &order,
-            cfg.channel,
-            round as u64,
-            plan.shares.as_deref(),
-        )?;
-        state
-            .plans
-            .observe(round as u64, &plan, latency.duration.as_secs_f64());
+        state.plans.observe_outcome(round as u64, &plan, &latency);
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

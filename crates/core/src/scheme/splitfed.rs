@@ -8,7 +8,7 @@ use super::common::{
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
 use crate::context::TrainContext;
-use crate::latency::gsfl_round_planned;
+use crate::latency::gsfl_round_recovered;
 use crate::orchestrator::{PlanSelector, RoundPlan};
 use crate::parallel::{round_fanout, run_indexed};
 use crate::population::CowParams;
@@ -81,36 +81,14 @@ impl Scheme for SplitFed {
         let state = require_state_mut(&mut self.state)?;
         let cfg = &ctx.config;
         let (plan, costs) = state.plans.plan_for_round(ctx, round as u64)?;
-        let mut participants = ctx.available_clients(round as u64);
+        let available = ctx.available_clients(round as u64);
+        let mut participants = available.clone();
         // A cohort cap admits only the head of the deterministic
         // participant order.
         if let Some(k) = plan.cohort {
             participants.truncate(k);
         }
         let singleton_groups: Vec<Vec<usize>> = participants.iter().map(|&c| vec![c]).collect();
-        let shards = ctx.round_shards(round as u64)?;
-        let shards = shards.as_ref();
-
-        // SplitFed's whole point is that clients train concurrently
-        // against their own server-side replicas — so run them on
-        // parallel host threads, collecting in fixed participant order
-        // (byte-identical to the sequential path).
-        let (threads, _grant) = round_fanout(cfg, participants.len());
-
-        let (loss_sum, step_sum) = match &plan.client_cuts {
-            None => run_uniform(ctx, state, &plan, &participants, shards, threads, round)?,
-            Some(cuts) => run_hetero(
-                ctx,
-                state,
-                &plan,
-                cuts,
-                &participants,
-                shards,
-                threads,
-                round,
-            )?,
-        };
-
         let group_costs = match &plan.client_cuts {
             None => vec![costs; singleton_groups.len()],
             Some(cuts) => participants
@@ -118,7 +96,11 @@ impl Scheme for SplitFed {
                 .map(|&c| ctx.costs_by_cut[&cuts[c]].with_compression(&plan.codec))
                 .collect(),
         };
-        let latency = gsfl_round_planned(
+        // Fault-aware pricing runs *before* training: the fate decides
+        // which slots deliver an update (backup standbys cover crashed
+        // primaries) and only those replicas train and aggregate.
+        let recovery = ctx.round_recovery(round as u64, &participants, &available);
+        let (mut latency, fate) = gsfl_round_recovered(
             ctx.env.as_ref(),
             &group_costs,
             &state.steps,
@@ -127,10 +109,41 @@ impl Scheme for SplitFed {
             cfg.channel,
             round as u64,
             plan.shares.as_deref(),
+            &recovery.plan,
         )?;
-        state
-            .plans
-            .observe(round as u64, &plan, latency.duration.as_secs_f64());
+        if !recovery.quorum_met(&fate) {
+            // Quorum miss: charged and recorded, nothing aggregates —
+            // the global model is left unchanged.
+            latency.faults.quorum_met = false;
+            state.plans.observe_outcome(round as u64, &plan, &latency);
+            return Ok(RoundOutcome {
+                latency,
+                train_loss: 0.0,
+                aggregated: false,
+            });
+        }
+        let shards = ctx.round_shards_recovered(round as u64, &recovery)?;
+        let shards = shards.as_ref();
+        // The clients that actually train this round: each surviving
+        // slot's primary, or its standby when the primary crashed.
+        let trainees: Vec<usize> = fate
+            .survivors
+            .iter()
+            .map(|&slot| recovery.trainee_for(slot))
+            .collect();
+
+        // SplitFed's whole point is that clients train concurrently
+        // against their own server-side replicas — so run them on
+        // parallel host threads, collecting in fixed participant order
+        // (byte-identical to the sequential path).
+        let (threads, _grant) = round_fanout(cfg, trainees.len());
+
+        let (loss_sum, step_sum) = match &plan.client_cuts {
+            None => run_uniform(ctx, state, &plan, &trainees, shards, threads, round)?,
+            Some(cuts) => run_hetero(ctx, state, &plan, cuts, &trainees, shards, threads, round)?,
+        };
+
+        state.plans.observe_outcome(round as u64, &plan, &latency);
         Ok(RoundOutcome {
             latency,
             train_loss: loss_sum / step_sum.max(1) as f64,

@@ -332,3 +332,22 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Re-normalized survivor weights are a probability distribution:
+    // non-negative and summing to 1 for any non-empty survivor set —
+    // including the degenerate all-zero-samples case, which falls back
+    // to a uniform split.
+    #[test]
+    fn quorum_weights_sum_to_one(
+        samples in proptest::collection::vec(0usize..10_000, 1..64),
+    ) {
+        let w = gsfl_core::recovery::quorum_weights(&samples);
+        prop_assert_eq!(w.len(), samples.len());
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+}

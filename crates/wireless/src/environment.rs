@@ -17,6 +17,7 @@
 //! Ready-made presets over these overlays live in [`crate::scenario`].
 
 use crate::energy::PowerProfile;
+use crate::fault::{FaultInjector, FaultSpec, TransferOutcome};
 use crate::interference::{co_channel_interference_mw, InterferenceSpec};
 use crate::latency::LatencyModel;
 use crate::mobility::Mobility;
@@ -117,6 +118,31 @@ pub trait ChannelModel: std::fmt::Debug + Send + Sync {
     /// injection). Defaults to always reachable.
     fn is_available(&self, client: usize, round: u64) -> bool {
         let _ = (client, round);
+        true
+    }
+
+    /// The fate of wire transfer number `transfer` of `client` in
+    /// `round`: how many attempts it took and the backoff accrued
+    /// between them (see [`crate::fault`]). The default — and what every
+    /// fault-free environment answers — is the clean first-try outcome,
+    /// which prices bit-identically to the pre-fault path.
+    fn transfer_outcome(&self, client: usize, round: u64, transfer: u64) -> TransferOutcome {
+        let _ = (client, round, transfer);
+        TransferOutcome::clean()
+    }
+
+    /// Mid-compute crash injection: `Some(progress)` when `client` dies
+    /// in `round` after completing `progress ∈ [0, 1)` of its local
+    /// work. Defaults to never crashing.
+    fn crash_point(&self, client: usize, round: u64) -> Option<f64> {
+        let _ = (client, round);
+        None
+    }
+
+    /// Whether AP `ap` is online in `round` (outage-window injection).
+    /// Defaults to always online.
+    fn ap_online(&self, ap: usize, round: u64) -> bool {
+        let _ = (ap, round);
         true
     }
 
@@ -590,21 +616,16 @@ impl StragglerInjector {
 /// Deterministic per-round radio-dropout injection: with probability
 /// `probability` a client is unreachable for a round (deep shadowing,
 /// cell reselection, battery saver).
+///
+/// Since the fault layer landed this is a thin alias for the
+/// [`FaultSpec::dropout_prob`] channel of the unified
+/// [`FaultInjector`] — one seeded failure source — on the *exact* same
+/// derived RNG stream, so pre-fault `dropouts` presets stay bitwise
+/// identical.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DropoutInjector {
     /// Per-client-round dropout probability, in `[0, 1]`.
     pub probability: f64,
-}
-
-impl DropoutInjector {
-    fn dropped(&self, client: usize, round: u64, seeds: &SeedDerive) -> bool {
-        let mut rng = seeds
-            .child("dropouts")
-            .index(client as u64)
-            .index(round)
-            .rng();
-        rng.gen::<f64>() < self.probability
-    }
 }
 
 /// A time-varying environment: the static base plus mobility, bandwidth,
@@ -616,7 +637,10 @@ pub struct DynamicEnvironment {
     mobility: Box<dyn Mobility>,
     bandwidth: BandwidthProfile,
     stragglers: Option<StragglerInjector>,
-    dropouts: Option<DropoutInjector>,
+    /// The unified seeded failure source: dropouts, transfer loss,
+    /// crashes and AP outages all draw from here. `None` ⇔ no fault of
+    /// any kind can fire (the identity path).
+    faults: Option<FaultInjector>,
     interference: Option<InterferenceSpec>,
     seeds: SeedDerive,
 }
@@ -629,6 +653,7 @@ pub struct DynamicEnvironmentBuilder {
     bandwidth: BandwidthProfile,
     stragglers: Option<StragglerInjector>,
     dropouts: Option<DropoutInjector>,
+    faults: Option<FaultSpec>,
     interference: Option<InterferenceSpec>,
     seed: u64,
 }
@@ -643,6 +668,7 @@ impl DynamicEnvironment {
             bandwidth: BandwidthProfile::Constant,
             stragglers: None,
             dropouts: None,
+            faults: None,
             interference: None,
             seed: 0,
         }
@@ -717,9 +743,20 @@ impl DynamicEnvironmentBuilder {
         self
     }
 
-    /// Enables dropout injection.
+    /// Enables dropout injection (sugar for the
+    /// [`FaultSpec::dropout_prob`] channel of the unified fault layer).
     pub fn dropouts(mut self, d: DropoutInjector) -> Self {
         self.dropouts = Some(d);
+        self
+    }
+
+    /// Enables mid-round fault injection: transfer loss with
+    /// retry/backoff pricing, mid-compute crashes and AP outage windows
+    /// (see [`crate::fault`]). A [`FaultSpec::dropout_prob`] here
+    /// composes with (and is overridden by) an explicit
+    /// [`DynamicEnvironmentBuilder::dropouts`] call.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
         self
     }
 
@@ -780,14 +817,27 @@ impl DynamicEnvironmentBuilder {
         if let Some(i) = self.interference {
             i.validate()?;
         }
+        // One seeded failure source: an explicit dropout injector folds
+        // into the fault spec's dropout channel (same RNG stream).
+        let mut fault_spec = self.faults.unwrap_or_default();
+        if let Some(d) = self.dropouts {
+            fault_spec.dropout_prob = d.probability;
+        }
+        let seeds = SeedDerive::new(self.seed).child("environment");
+        let faults = if fault_spec.is_noop() {
+            fault_spec.validate()?;
+            None
+        } else {
+            Some(FaultInjector::new(fault_spec, seeds)?)
+        };
         Ok(DynamicEnvironment {
             base: self.base,
             mobility: self.mobility,
             bandwidth: self.bandwidth,
             stragglers: self.stragglers,
-            dropouts: self.dropouts,
+            faults,
             interference: self.interference,
-            seeds: SeedDerive::new(self.seed).child("environment"),
+            seeds,
         })
     }
 }
@@ -863,8 +913,30 @@ impl ChannelModel for DynamicEnvironment {
     }
 
     fn is_available(&self, client: usize, round: u64) -> bool {
-        match self.dropouts {
-            Some(d) => !d.dropped(client, round, &self.seeds),
+        match &self.faults {
+            // Single-AP environment: every client hangs off AP 0, so an
+            // AP outage takes the whole cell dark.
+            Some(f) => f.client_available(client, 0, round),
+            None => true,
+        }
+    }
+
+    fn transfer_outcome(&self, client: usize, round: u64, transfer: u64) -> TransferOutcome {
+        match &self.faults {
+            Some(f) => f.transfer_outcome(client, round, transfer),
+            None => TransferOutcome::clean(),
+        }
+    }
+
+    fn crash_point(&self, client: usize, round: u64) -> Option<f64> {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.crash_point(client, round))
+    }
+
+    fn ap_online(&self, ap: usize, round: u64) -> bool {
+        match &self.faults {
+            Some(f) => f.ap_online(ap, round),
             None => true,
         }
     }

@@ -26,6 +26,9 @@
 //! * [`environment`] — the pluggable [`ChannelModel`] trait with static
 //!   and time-varying implementations ([`RoundConditions`] snapshots,
 //!   mobility drift, diurnal bandwidth, stragglers, dropouts),
+//! * [`fault`] — seeded mid-round fault injection (transfer loss with
+//!   retry/backoff pricing, mid-compute crashes, AP outage windows,
+//!   round-start dropouts) behind [`fault::FaultInjector`],
 //! * [`mobility`] — client mobility models behind the
 //!   [`mobility::Mobility`] trait,
 //! * [`multi_ap`] — several APs / edge servers with mobility-driven
@@ -63,6 +66,7 @@ pub mod device;
 pub mod energy;
 pub mod environment;
 pub mod fading;
+pub mod fault;
 pub mod interference;
 pub mod latency;
 pub mod link;
@@ -78,6 +82,7 @@ pub mod units;
 pub use backhaul::BackhaulLink;
 pub use environment::{ChannelModel, RoundConditions};
 pub use error::WirelessError;
+pub use fault::{FaultInjector, FaultSpec, RetryPolicy, TransferOutcome};
 pub use interference::InterferenceSpec;
 pub use multi_ap::MultiApEnvironment;
 pub use scenario::Scenario;

@@ -8,13 +8,15 @@
 //! [`Scenario::presets`] lists the ready-made presets the scenario-sweep
 //! tooling iterates: `static`, `mobility`, `diurnal`, `congested`,
 //! `stragglers`, `dropouts`, `interference`, `multi_ap`, `hierarchical`,
-//! `adaptive_cut`, `trace_replay`, `orchestrated`, `composite`.
+//! `adaptive_cut`, `trace_replay`, `orchestrated`, `composite`,
+//! `lossy_uplink`, `chaos`.
 
 use crate::backhaul::BackhaulLink;
 use crate::environment::{
     BandwidthProfile, ChannelModel, DropoutInjector, DynamicEnvironment, StaticEnvironment,
     StragglerInjector,
 };
+use crate::fault::{ApOutageSpec, FaultSpec, RetryPolicy};
 use crate::interference::InterferenceSpec;
 use crate::latency::LatencyModel;
 use crate::mobility::RandomWaypoint;
@@ -285,6 +287,61 @@ impl Default for OrchestratedSpec {
     }
 }
 
+/// Parameters of the `lossy_uplink` scenario: a link that loses
+/// transfers, so every hop pays retry/backoff airtime — the regime
+/// where the fault layer's wire pricing bites without any other
+/// impairment in the way.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossyUplinkSpec {
+    /// Per-attempt transfer loss probability, in `[0, 1)`.
+    pub loss_prob: f64,
+    /// Retransmission pricing for lost attempts.
+    pub retry: RetryPolicy,
+}
+
+impl Default for LossyUplinkSpec {
+    fn default() -> Self {
+        LossyUplinkSpec {
+            loss_prob: 0.15,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Parameters of the `chaos` scenario: every fault axis at once —
+/// transfer loss, mid-compute crashes, round-start dropouts, AP outage
+/// windows — on top of compute stragglers. The robustness stress case:
+/// schemes must survive (deadlines, quorum aggregation, relay re-routes,
+/// backup cohorts) and still converge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// The full fault model (loss, crashes, dropouts, AP outages).
+    pub faults: FaultSpec,
+    /// Compute straggler injection.
+    pub stragglers: StragglerSpec,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            faults: FaultSpec {
+                loss_prob: 0.1,
+                crash_prob: 0.05,
+                dropout_prob: 0.1,
+                ap_outage: Some(ApOutageSpec {
+                    probability: 0.02,
+                    duration_rounds: 2,
+                }),
+                retry: RetryPolicy::default(),
+            },
+            stragglers: StragglerSpec {
+                probability: 0.2,
+                slowdown: 3.0,
+            },
+        }
+    }
+}
+
 /// A free-form composition of every overlay axis at once.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CompositeSpec {
@@ -365,6 +422,11 @@ pub enum Scenario {
     Orchestrated(OrchestratedSpec),
     /// Several overlays at once.
     Composite(CompositeSpec),
+    /// A lossy link: transfers drop and pay retry/backoff airtime.
+    LossyUplink(LossyUplinkSpec),
+    /// Every fault axis at once plus stragglers — the robustness stress
+    /// case the fault-tolerance machinery is gated on.
+    Chaos(ChaosSpec),
 }
 
 impl Scenario {
@@ -386,6 +448,8 @@ impl Scenario {
             Scenario::TraceReplay(_) => "trace_replay",
             Scenario::Orchestrated(_) => "orchestrated",
             Scenario::Composite(_) => "composite",
+            Scenario::LossyUplink(_) => "lossy_uplink",
+            Scenario::Chaos(_) => "chaos",
         }
     }
 
@@ -410,6 +474,8 @@ impl Scenario {
             Scenario::TraceReplay(TraceReplaySpec::default()),
             Scenario::Orchestrated(OrchestratedSpec::default()),
             Scenario::Composite(CompositeSpec::stress()),
+            Scenario::LossyUplink(LossyUplinkSpec::default()),
+            Scenario::Chaos(ChaosSpec::default()),
         ]
     }
 
@@ -585,6 +651,26 @@ impl Scenario {
                 }
                 Ok(Box::new(b.build()?))
             }
+            Scenario::LossyUplink(l) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .faults(FaultSpec {
+                        loss_prob: l.loss_prob,
+                        retry: l.retry,
+                        ..FaultSpec::default()
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
+            Scenario::Chaos(c) => Ok(Box::new(
+                DynamicEnvironment::builder(base)
+                    .faults(c.faults)
+                    .stragglers(StragglerInjector {
+                        probability: c.stragglers.probability,
+                        slowdown: c.stragglers.slowdown,
+                    })
+                    .seed(seed)
+                    .build()?,
+            )),
         }
     }
 }
@@ -621,7 +707,7 @@ mod tests {
     #[test]
     fn presets_cover_every_axis_once() {
         let presets = Scenario::presets();
-        assert_eq!(presets.len(), 15);
+        assert_eq!(presets.len(), 17);
         let names: Vec<&str> = presets.iter().map(Scenario::name).collect();
         assert_eq!(
             names,
@@ -640,7 +726,9 @@ mod tests {
                 "adaptive_cut",
                 "trace_replay",
                 "orchestrated",
-                "composite"
+                "composite",
+                "lossy_uplink",
+                "chaos"
             ]
         );
         for name in names {
@@ -915,6 +1003,69 @@ mod tests {
         assert!(Scenario::Orchestrated(OrchestratedSpec {
             dropouts: DropoutSpec { probability: 2.0 },
             ..OrchestratedSpec::default()
+        })
+        .build(base(), 0)
+        .is_err());
+    }
+
+    #[test]
+    fn lossy_uplink_preset_prices_retries() {
+        let env = Scenario::LossyUplink(LossyUplinkSpec::default())
+            .build(base(), 5)
+            .unwrap();
+        // Losses fire somewhere over a long horizon, and the priced time
+        // grows accordingly.
+        let mut retried = false;
+        for round in 0..20u64 {
+            for c in 0..3 {
+                let o = env.transfer_outcome(c, round, 0);
+                assert_eq!(o, env.transfer_outcome(c, round, 0), "deterministic");
+                retried |= o.attempts > 1;
+            }
+        }
+        assert!(retried, "p=0.15 over 60 transfers must retry");
+        // No other impairment: everyone is reachable, nobody crashes.
+        assert!(env.is_available(0, 0));
+        assert_eq!(env.crash_point(0, 0), None);
+        // Bad parameters fail at build.
+        assert!(Scenario::LossyUplink(LossyUplinkSpec {
+            loss_prob: 1.0,
+            ..LossyUplinkSpec::default()
+        })
+        .build(base(), 0)
+        .is_err());
+    }
+
+    #[test]
+    fn chaos_preset_fires_every_fault_axis() {
+        let env = Scenario::Chaos(ChaosSpec::default())
+            .build(base(), 3)
+            .unwrap();
+        let (mut lost, mut crashed, mut dropped, mut outage) = (false, false, false, false);
+        for round in 0..300u64 {
+            outage |= !env.ap_online(0, round);
+            for c in 0..3 {
+                lost |= env.transfer_outcome(c, round, 0).attempts > 1;
+                crashed |= env.crash_point(c, round).is_some();
+                dropped |= !env.is_available(c, round);
+            }
+        }
+        assert!(lost, "chaos must lose transfers");
+        assert!(crashed, "chaos must crash clients");
+        assert!(dropped, "chaos must drop clients");
+        assert!(outage, "chaos must take the AP dark");
+        // Stragglers ride along.
+        let slow = env.client_compute(0, 1_000_000_000, 0).unwrap();
+        let fast = StaticEnvironment::new(base())
+            .client_compute(0, 1_000_000_000, 0)
+            .unwrap();
+        assert!(slow.as_secs_f64() >= fast.as_secs_f64());
+        assert!(Scenario::Chaos(ChaosSpec {
+            faults: FaultSpec {
+                crash_prob: 2.0,
+                ..FaultSpec::default()
+            },
+            ..ChaosSpec::default()
         })
         .build(base(), 0)
         .is_err());

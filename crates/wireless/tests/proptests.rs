@@ -1,5 +1,6 @@
 //! Property-based tests for the wireless substrate.
 
+use gsfl_tensor::rng::SeedDerive;
 use gsfl_wireless::allocation::{allocate, BandwidthPolicy, LinkDemand};
 use gsfl_wireless::environment::{ChannelModel, DynamicEnvironment, StaticEnvironment};
 use gsfl_wireless::interference::InterferenceSpec;
@@ -8,7 +9,8 @@ use gsfl_wireless::link::LinkBudget;
 use gsfl_wireless::mobility::RandomWaypoint;
 use gsfl_wireless::multi_ap::{HandoffKind, MultiApEnvironment};
 use gsfl_wireless::pathloss::PathLoss;
-use gsfl_wireless::units::{Bytes, Hertz, Meters};
+use gsfl_wireless::units::{Bytes, Hertz, Meters, Seconds};
+use gsfl_wireless::{FaultInjector, FaultSpec, TransferOutcome};
 use proptest::prelude::*;
 
 proptest! {
@@ -397,5 +399,64 @@ proptest! {
                 / 200.0
         };
         prop_assert!(avg(1) > avg(0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The default (zero-fault) spec is the bitwise identity over every
+    // query: transfers deliver first try at exactly the input airtime,
+    // nobody crashes, everyone is reachable.
+    #[test]
+    fn zero_fault_spec_is_bitwise_identity(
+        seed in 0u64..1000,
+        client in 0usize..32,
+        round in 0u64..200,
+        transfer in 0u64..50,
+        airtime in 1e-6f64..100.0,
+    ) {
+        let f = FaultInjector::new(
+            FaultSpec::default(),
+            SeedDerive::new(seed).child("environment"),
+        ).unwrap();
+        let o = f.transfer_outcome(client, round, transfer);
+        prop_assert_eq!(o, TransferOutcome::clean());
+        let t = Seconds::new(airtime);
+        prop_assert_eq!(
+            o.total_time(t).as_secs_f64().to_bits(),
+            t.as_secs_f64().to_bits(),
+            "clean pricing must be the bitwise identity"
+        );
+        prop_assert_eq!(f.crash_point(client, round), None);
+        prop_assert!(f.client_available(client, 0, round));
+    }
+
+    // Retry pricing is pointwise monotone in the loss probability:
+    // raising `loss_prob` on the same derived stream can only add
+    // attempts and backoff, never remove them.
+    #[test]
+    fn retry_pricing_monotone_in_loss_probability(
+        seed in 0u64..200,
+        client in 0usize..16,
+        round in 0u64..100,
+        transfer in 0u64..20,
+        p_lo in 0.0f64..0.9,
+        bump in 0.0f64..0.09,
+        airtime in 1e-6f64..10.0,
+    ) {
+        let mk = |p: f64| FaultInjector::new(
+            FaultSpec { loss_prob: p, ..FaultSpec::default() },
+            SeedDerive::new(seed).child("environment"),
+        ).unwrap();
+        let lo = mk(p_lo).transfer_outcome(client, round, transfer);
+        let hi = mk((p_lo + bump).min(0.99)).transfer_outcome(client, round, transfer);
+        prop_assert!(hi.attempts >= lo.attempts);
+        prop_assert!(hi.backoff_s >= lo.backoff_s);
+        let t = Seconds::new(airtime);
+        prop_assert!(
+            hi.total_time(t).as_secs_f64() >= lo.total_time(t).as_secs_f64(),
+            "priced wire time must be monotone in loss_prob"
+        );
     }
 }

@@ -1,0 +1,226 @@
+//! Fault-tolerant rounds, end to end: every scheme survives the `chaos`
+//! preset, fault realizations are thread-count invariant, quorum-missed
+//! rounds leave the global model untouched, and a recovery spec that
+//! never fires is the identity.
+
+use gsfl::core::config::{DatasetConfig, ExperimentConfig, ModelKind};
+use gsfl::core::recovery::{DeadlinePolicy, RecoverySpec};
+use gsfl::core::runner::Runner;
+use gsfl::core::scheme::SchemeKind;
+use gsfl::wireless::scenario::{ChaosSpec, Scenario, StragglerSpec};
+use gsfl::wireless::FaultSpec;
+
+fn tiny(scenario: Scenario, recovery: RecoverySpec) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .clients(6)
+        .groups(2)
+        .rounds(6)
+        .batch_size(4)
+        .eval_every(3)
+        .learning_rate(0.1)
+        .dataset(DatasetConfig {
+            classes: 3,
+            samples_per_class: 8,
+            test_per_class: 4,
+            image_size: 8,
+        })
+        .model(ModelKind::Mlp { hidden: vec![16] })
+        .scenario(scenario)
+        .recovery(recovery)
+        .seed(5)
+        .build()
+        .unwrap()
+}
+
+/// Loss + crashes only, rates chosen per test.
+fn faults_only(loss: f64, crash: f64) -> Scenario {
+    Scenario::Chaos(ChaosSpec {
+        faults: FaultSpec {
+            loss_prob: loss,
+            crash_prob: crash,
+            ..FaultSpec::default()
+        },
+        stragglers: StragglerSpec {
+            probability: 0.0,
+            slowdown: 1.0,
+        },
+    })
+}
+
+/// Every scheme must run the full chaos preset — loss, crashes,
+/// dropouts, AP outages and stragglers at once — to completion, with a
+/// deadline and quorum armed, and still produce an evaluated model.
+#[test]
+fn every_scheme_completes_under_chaos() {
+    let recovery = RecoverySpec {
+        deadline: Some(DeadlinePolicy {
+            deadline_s: 30.0,
+            min_quorum_frac: 0.3,
+        }),
+        backups: 1,
+    };
+    for kind in SchemeKind::all() {
+        let config = tiny(Scenario::Chaos(ChaosSpec::default()), recovery);
+        let result = Runner::new(config).unwrap().run(kind).unwrap();
+        assert_eq!(result.records.len(), 6, "{kind}");
+        assert!(result.total_latency_s() > 0.0, "{kind}");
+        let acc = result.records.last().unwrap().test_accuracy;
+        assert!(acc.is_some_and(|a| a.is_finite() && a >= 0.0), "{kind}");
+    }
+}
+
+/// Fault draws are pure functions of (seed, client, round, transfer) —
+/// never of host parallelism — so a chaos run must be byte-identical at
+/// any thread count.
+#[test]
+fn chaos_runs_are_thread_count_invariant() {
+    let recovery = RecoverySpec {
+        deadline: Some(DeadlinePolicy {
+            deadline_s: 30.0,
+            min_quorum_frac: 0.3,
+        }),
+        backups: 1,
+    };
+    for kind in [
+        SchemeKind::Gsfl,
+        SchemeKind::Federated,
+        SchemeKind::SplitFed,
+    ] {
+        let run = |threads: usize| {
+            let config = ExperimentConfig::builder()
+                .clients(6)
+                .groups(2)
+                .rounds(6)
+                .batch_size(4)
+                .eval_every(3)
+                .learning_rate(0.1)
+                .dataset(DatasetConfig {
+                    classes: 3,
+                    samples_per_class: 8,
+                    test_per_class: 4,
+                    image_size: 8,
+                })
+                .model(ModelKind::Mlp { hidden: vec![16] })
+                .scenario(Scenario::Chaos(ChaosSpec::default()))
+                .recovery(recovery)
+                .client_threads(threads)
+                .seed(5)
+                .build()
+                .unwrap();
+            Runner::new(config).unwrap().run(kind).unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.records.len(), b.records.len(), "{kind}");
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(
+                ra, rb,
+                "{kind}: fault realizations must not depend on threads"
+            );
+        }
+    }
+}
+
+/// Driving schemes round by round under harsh faults and a tight
+/// deadline: quorum-missed rounds must occur, be flagged in the round's
+/// fault stats, and leave the global parameters bitwise unchanged.
+#[test]
+fn quorum_missed_rounds_leave_global_unchanged() {
+    let recovery = RecoverySpec {
+        deadline: Some(DeadlinePolicy {
+            deadline_s: 2.0,
+            min_quorum_frac: 0.9,
+        }),
+        backups: 0,
+    };
+    for kind in [
+        SchemeKind::Federated,
+        SchemeKind::Gsfl,
+        SchemeKind::SplitFed,
+        SchemeKind::VanillaSplit,
+    ] {
+        let config = tiny(faults_only(0.4, 0.25), recovery);
+        let runner = Runner::new(config).unwrap();
+        let ctx = runner.context();
+        let mut scheme = kind.scheme();
+        scheme.init(ctx).unwrap();
+        let mut skipped = 0usize;
+        for round in 1..=6usize {
+            let before = scheme.global_params().unwrap();
+            let out = scheme.run_round(ctx, round).unwrap();
+            if !out.latency.faults.quorum_met {
+                skipped += 1;
+                assert!(
+                    !out.aggregated,
+                    "{kind}: a skipped round must not aggregate"
+                );
+                assert_eq!(out.train_loss, 0.0, "{kind}");
+                let after = scheme.global_params().unwrap();
+                assert_eq!(
+                    before, after,
+                    "{kind}: round {round} missed quorum but changed the model"
+                );
+            }
+        }
+        assert!(
+            skipped > 0,
+            "{kind}: harsh faults + tight deadline must skip rounds"
+        );
+    }
+}
+
+/// A recovery spec that never fires — a deadline far beyond any round
+/// and backups with no crashes to cover — prices and trains exactly
+/// like no recovery spec at all.
+#[test]
+fn generous_recovery_on_clean_channel_is_identity() {
+    let generous = RecoverySpec {
+        deadline: Some(DeadlinePolicy {
+            deadline_s: 1e9,
+            min_quorum_frac: 0.1,
+        }),
+        backups: 2,
+    };
+    for kind in SchemeKind::all() {
+        let base = Runner::new(tiny(Scenario::Static, RecoverySpec::default()))
+            .unwrap()
+            .run(kind)
+            .unwrap();
+        let armed = Runner::new(tiny(Scenario::Static, generous))
+            .unwrap()
+            .run(kind)
+            .unwrap();
+        assert_eq!(base.records.len(), armed.records.len(), "{kind}");
+        for (ra, rb) in base.records.iter().zip(&armed.records) {
+            assert_eq!(
+                ra, rb,
+                "{kind}: an unfired recovery spec must be the identity"
+            );
+        }
+    }
+}
+
+/// Fault accounting flows from the wire to the run records: a lossy
+/// link shows retries (and only retries), crashes show lost clients.
+#[test]
+fn fault_accounting_reaches_records() {
+    let lossy = Runner::new(tiny(faults_only(0.3, 0.0), RecoverySpec::default()))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    assert!(lossy.total_retries() > 0, "p=0.3 must retransmit");
+    assert!(lossy.total_wasted_airtime_bytes() > 0);
+    assert_eq!(
+        lossy.total_lost_clients(),
+        0,
+        "loss only delays, never drops"
+    );
+    assert_eq!(lossy.rounds_skipped(), 0, "no deadline, no skips");
+
+    let crashy = Runner::new(tiny(faults_only(0.0, 0.3), RecoverySpec::default()))
+        .unwrap()
+        .run(SchemeKind::Gsfl)
+        .unwrap();
+    assert!(crashy.total_lost_clients() > 0, "p=0.3 must crash someone");
+    assert_eq!(crashy.total_retries(), 0, "no loss, no retries");
+}
