@@ -51,6 +51,13 @@ pub struct CompressionSpec {
     /// round-start global on the FL upload (the broadcast is fp32).
     #[serde(default)]
     pub full_model: CodecSpec,
+    /// EF21-style error feedback: carry each lossy codec's residual
+    /// (what the wire dropped) into the next transmission on the same
+    /// stream. Applies to the gradient downlink and both model-delta
+    /// uplinks; smashed activations are not an additive signal and
+    /// never accumulate feedback. Changes nothing for identity codecs.
+    #[serde(default)]
+    pub error_feedback: bool,
 }
 
 impl CompressionSpec {
@@ -61,7 +68,16 @@ impl CompressionSpec {
             gradient: codec,
             client_model: codec,
             full_model: codec,
+            error_feedback: false,
         }
+    }
+
+    /// The same spec with error feedback switched on (builder-style,
+    /// for sweeps that pair each lossy config with its EF twin).
+    #[must_use]
+    pub fn with_error_feedback(mut self) -> Self {
+        self.error_feedback = true;
+        self
     }
 
     /// Whether every artifact uses the fp32 passthrough (the hot paths
@@ -82,10 +98,15 @@ impl CompressionSpec {
             self.client_model.name(),
             self.full_model.name(),
         ];
-        if names.iter().all(|n| *n == names[0]) {
+        let base = if names.iter().all(|n| *n == names[0]) {
             names[0].clone()
         } else {
             names.join("/")
+        };
+        if self.error_feedback {
+            format!("{base}+ef")
+        } else {
+            base
         }
     }
 
@@ -123,9 +144,16 @@ mod tests {
             gradient: CodecSpec::IntQ { bits: 8 },
             client_model: CodecSpec::TopK { frac: 0.25 },
             full_model: CodecSpec::TopK { frac: 0.25 },
+            error_feedback: false,
         };
         assert!(!mixed.is_transparent());
         assert_eq!(mixed.label(), "intq8/intq8/topk25/topk25");
+        assert_eq!(
+            CompressionSpec::uniform(CodecSpec::TopK { frac: 0.25 })
+                .with_error_feedback()
+                .label(),
+            "topk25+ef"
+        );
     }
 
     #[test]

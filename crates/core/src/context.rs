@@ -126,12 +126,17 @@ impl TrainContext {
 
         // Cost profile of the split model (drives latency and load-aware
         // grouping). The configured compression shrinks the wire-size
-        // fields; compute and storage accounting stay raw.
+        // fields via *measured* encodes — every byte the run will charge
+        // is the `len()` of a wire buffer that actually existed (the
+        // closed-form law is pinned equal by tests, so planner loops may
+        // use the cheap `with_compression`). Compute and storage
+        // accounting stay raw.
+        let mut codec_ws = gsfl_tensor::Workspace::new();
         let model = config
             .model
             .build(&sample_dims, config.dataset.classes, config.seed)?;
         let costs = SplitCosts::compute(&model, config.cut(), &sample_dims, config.batch_size)?
-            .with_compression(&config.compression);
+            .measured_with_compression(&config.compression, &mut codec_ws);
 
         // Candidate cuts for per-round deciders (cut policy or
         // orchestrator): just the configured cut when both are static,
@@ -149,7 +154,7 @@ impl TrainContext {
                 costs
             } else {
                 SplitCosts::compute(&model, cut, &sample_dims, config.batch_size)?
-                    .with_compression(&config.compression)
+                    .measured_with_compression(&config.compression, &mut codec_ws)
             };
             costs_by_cut.insert(cut, c);
         }

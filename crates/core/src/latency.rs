@@ -138,21 +138,53 @@ impl SplitCosts {
         })
     }
 
-    /// A copy whose `*_wire_bytes` fields reflect `comp`'s codecs. Raw
-    /// fields (and therefore compute/storage accounting) are untouched;
-    /// identity codecs leave the wire fields bit-identical to the raw
-    /// ones. Labels (the difference between `smashed_bytes` and
-    /// `grad_bytes`) always travel as 4-byte class ids.
+    /// A copy whose `*_wire_bytes` fields reflect `comp`'s codecs via
+    /// the closed-form container size law
+    /// ([`CodecSpec::encoded_len`]) — cheap enough for planner hot
+    /// loops. Raw fields (and therefore compute/storage accounting) are
+    /// untouched; identity codecs leave the wire fields bit-identical
+    /// to the raw ones. Labels (the difference between `smashed_bytes`
+    /// and `grad_bytes`) always travel as 4-byte class ids.
+    ///
+    /// The law is value-independent and equals the measured `len()` of
+    /// a real encode — [`SplitCosts::measured_with_compression`] runs
+    /// the actual encoders and a test pins the two equal, so every byte
+    /// charged here is the length of a buffer that exists.
     pub fn with_compression(&self, comp: &CompressionSpec) -> SplitCosts {
         let act_numel = (self.grad_bytes.as_u64() / 4) as usize;
         let label_bytes = self.smashed_bytes.as_u64() - self.grad_bytes.as_u64();
         let client_numel = (self.client_model_bytes.as_u64() / 4) as usize;
         let full_numel = (self.full_model_bytes.as_u64() / 4) as usize;
         SplitCosts {
-            smashed_wire_bytes: Bytes::new(comp.smashed.wire_bytes(act_numel) + label_bytes),
-            grad_wire_bytes: Bytes::new(comp.gradient.wire_bytes(act_numel)),
-            client_model_wire_bytes: Bytes::new(comp.client_model.wire_bytes(client_numel)),
-            full_model_wire_bytes: Bytes::new(comp.full_model.wire_bytes(full_numel)),
+            smashed_wire_bytes: Bytes::new(comp.smashed.encoded_len(act_numel) + label_bytes),
+            grad_wire_bytes: Bytes::new(comp.gradient.encoded_len(act_numel)),
+            client_model_wire_bytes: Bytes::new(comp.client_model.encoded_len(client_numel)),
+            full_model_wire_bytes: Bytes::new(comp.full_model.encoded_len(full_numel)),
+            ..*self
+        }
+    }
+
+    /// Like [`SplitCosts::with_compression`], but each wire size is the
+    /// measured `WireBuf::len()` of an actual encode
+    /// ([`CodecSpec::measured_len`]) rather than the size law. This is
+    /// what [`crate::context::TrainContext`] uses when it builds the
+    /// costs a run will charge: airtime comes from buffers that
+    /// actually exist. The law and the measurement are pinned equal by
+    /// tests, so planner loops may keep the cheap form.
+    pub fn measured_with_compression(
+        &self,
+        comp: &CompressionSpec,
+        ws: &mut gsfl_tensor::Workspace,
+    ) -> SplitCosts {
+        let act_numel = (self.grad_bytes.as_u64() / 4) as usize;
+        let label_bytes = self.smashed_bytes.as_u64() - self.grad_bytes.as_u64();
+        let client_numel = (self.client_model_bytes.as_u64() / 4) as usize;
+        let full_numel = (self.full_model_bytes.as_u64() / 4) as usize;
+        SplitCosts {
+            smashed_wire_bytes: Bytes::new(comp.smashed.measured_len(act_numel, ws) + label_bytes),
+            grad_wire_bytes: Bytes::new(comp.gradient.measured_len(act_numel, ws)),
+            client_model_wire_bytes: Bytes::new(comp.client_model.measured_len(client_numel, ws)),
+            full_model_wire_bytes: Bytes::new(comp.full_model.measured_len(full_numel, ws)),
             ..*self
         }
     }

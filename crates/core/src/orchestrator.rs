@@ -596,12 +596,22 @@ impl OrchestratorSpec {
 
 /// The codec menu a planner may choose from: the configured spec first,
 /// then the near-lossless compressive options (uniform fp16 and int8
-/// quantization), deduplicated.
+/// quantization) and an aggressive error-feedback arm (int8 at the cut
+/// boundary, sparse TopK model deltas with EF21 residuals — the
+/// feedback is what keeps this arm convergent), deduplicated.
 pub fn codec_menu(base: &CompressionSpec) -> Vec<CompressionSpec> {
     let mut menu = vec![*base];
+    let ef_arm = CompressionSpec {
+        smashed: CodecSpec::IntQ { bits: 8 },
+        gradient: CodecSpec::IntQ { bits: 8 },
+        client_model: CodecSpec::TopK { frac: 0.05 },
+        full_model: CodecSpec::TopK { frac: 0.05 },
+        error_feedback: true,
+    };
     for spec in [
         CompressionSpec::uniform(CodecSpec::Fp16),
         CompressionSpec::uniform(CodecSpec::IntQ { bits: 8 }),
+        ef_arm,
     ] {
         if !menu.contains(&spec) {
             menu.push(spec);
@@ -860,9 +870,11 @@ mod tests {
     #[test]
     fn bandit_schedule_is_seed_deterministic() {
         let f = fixture();
+        // Enough rounds to get past the deterministic try-every-arm
+        // phase (cuts × menu × modes) into stochastic exploration.
         let run = |seed: u64| -> Vec<usize> {
             let bandit = BanditPlan::new(0.5, seed);
-            (0..40u64)
+            (0..80u64)
                 .map(|r| {
                     let cond = f.env.conditions(r).unwrap();
                     let q = query(&f, &cond);
@@ -928,8 +940,10 @@ mod tests {
         let base = CompressionSpec::uniform(CodecSpec::Fp16);
         let menu = codec_menu(&base);
         assert_eq!(menu[0], base);
-        assert_eq!(menu.len(), 2, "fp16 deduplicates against itself");
+        assert_eq!(menu.len(), 3, "fp16 deduplicates against itself");
         let menu = codec_menu(&CompressionSpec::default());
-        assert_eq!(menu.len(), 3);
+        assert_eq!(menu.len(), 4);
+        // The aggressive arm only makes sense with its feedback armed.
+        assert!(menu.iter().any(|m| m.error_feedback));
     }
 }

@@ -3,11 +3,12 @@
 use crate::config::ExperimentConfig;
 use crate::context::TrainContext;
 use crate::latency::RoundLatency;
+use crate::recovery::RoundRecovery;
 use crate::results::{RoundRecord, RunResult};
 use crate::Result;
 use gsfl_data::batcher::Batcher;
 use gsfl_data::dataset::ImageDataset;
-use gsfl_nn::codec::{transcode_delta, Codec, CodecSpec, CutChannel};
+use gsfl_nn::codec::{encode_delta, Codec, CodecSpec, CutChannel};
 use gsfl_nn::loss::SoftmaxCrossEntropy;
 use gsfl_nn::metrics::evaluate;
 use gsfl_nn::optim::Sgd;
@@ -53,15 +54,17 @@ pub(crate) fn make_batcher(cfg: &ExperimentConfig, client: usize) -> Result<Batc
 /// uplink + gradient downlink) — the configured spec on the static path,
 /// or whatever the orchestrator's plan picked this round.
 pub(crate) fn make_cut_channel_for(comp: &crate::compression::CompressionSpec) -> CutChannel {
-    CutChannel::new(&comp.smashed, &comp.gradient)
+    CutChannel::new(&comp.smashed, &comp.gradient, comp.error_feedback)
 }
 
 /// A [`CutChannel`] bound to one client's deterministic codec streams:
 /// streams depend only on (seed, client, epoch, step), never on thread
 /// scheduling, so stochastic codecs keep runs byte-identical for any
-/// thread count.
+/// thread count. The client id also addresses the channel's per-client
+/// gradient error-feedback residual.
 pub(crate) struct CutLink<'a> {
     pub(crate) channel: &'a mut CutChannel,
+    pub(crate) client: usize,
     pub(crate) streams: SeedDerive,
 }
 
@@ -69,6 +72,7 @@ impl<'a> CutLink<'a> {
     pub(crate) fn new(cfg: &ExperimentConfig, channel: &'a mut CutChannel, client: usize) -> Self {
         CutLink {
             channel,
+            client,
             streams: SeedDerive::new(cfg.seed)
                 .child("codec")
                 .index(client as u64),
@@ -100,13 +104,17 @@ impl ModelCodec {
         !self.codec.is_identity()
     }
 
-    /// Transcodes a flat parameter snapshot in place (delta vs
-    /// `reference`) — for callers that already hold the [`ParamVec`]
-    /// and don't need it written back into a network.
+    /// Encodes a flat parameter snapshot through the wire container and
+    /// decodes it back in place (delta vs `reference`) — for callers
+    /// that already hold the [`ParamVec`] and don't need it written
+    /// back into a network. With `residual` supplied, the EF21
+    /// error-feedback accumulator rides along (see
+    /// [`gsfl_nn::codec::encode_delta`]).
     pub(crate) fn apply_vec(
         &mut self,
         params: &mut ParamVec,
         reference: &ParamVec,
+        residual: Option<&mut Vec<f32>>,
         round: u64,
         client: usize,
     ) -> Result<()> {
@@ -114,15 +122,24 @@ impl ModelCodec {
             return Ok(());
         }
         let stream = self.seeds.index(round).index(client as u64).seed();
-        transcode_delta(self.codec.as_ref(), params, reference, stream, &mut self.ws)?;
+        encode_delta(
+            self.codec.as_ref(),
+            params,
+            reference,
+            residual,
+            stream,
+            &mut self.ws,
+        )?;
         Ok(())
     }
 
-    /// Transcodes `net`'s parameters in place (delta vs `reference`).
+    /// Encodes `net`'s parameters through the wire container and back
+    /// in place (delta vs `reference`).
     pub(crate) fn apply(
         &mut self,
         net: &mut Sequential,
         reference: &ParamVec,
+        residual: Option<&mut Vec<f32>>,
         round: u64,
         client: usize,
     ) -> Result<()> {
@@ -130,9 +147,54 @@ impl ModelCodec {
             return Ok(());
         }
         let mut params = ParamVec::from_network(net);
-        self.apply_vec(&mut params, reference, round, client)?;
+        self.apply_vec(&mut params, reference, residual, round, client)?;
         params.load_into(net)?;
         Ok(())
+    }
+}
+
+/// Per-client EF21 model-upload residuals, carried **across rounds** in
+/// a scheme's state. Keys are [`feedback_key`]s: stable population
+/// member ids in population mode (so a member's residual follows it
+/// across cohort rotations), dense trainee ids otherwise.
+///
+/// The store is plain storage — whether a given round *uses* it is the
+/// round's compression spec's call (`error_feedback`), so an
+/// orchestrator may switch EF arms per round while residuals persist.
+#[derive(Debug, Default)]
+pub(crate) struct FeedbackStore {
+    residuals: std::collections::BTreeMap<u64, Vec<f32>>,
+}
+
+impl FeedbackStore {
+    /// The residual for `key`, cloned out so `Fn` worker closures can
+    /// own it (`None` when this round runs without error feedback —
+    /// callers then skip the write-back too).
+    pub(crate) fn fetch(&self, enabled: bool, key: u64) -> Option<Vec<f32>> {
+        if !enabled {
+            return None;
+        }
+        Some(self.residuals.get(&key).cloned().unwrap_or_default())
+    }
+
+    /// Writes an updated residual back (serially, in aggregation
+    /// order, so parallel rounds stay byte-identical to sequential).
+    pub(crate) fn store(&mut self, key: u64, residual: Vec<f32>) {
+        self.residuals.insert(key, residual);
+    }
+}
+
+/// The [`FeedbackStore`] key for a cohort `slot` this round: the
+/// population member occupying the slot (with the recovery plan's
+/// backup substitutions applied), or the dense trainee's client id.
+pub(crate) fn feedback_key(members: Option<&[u64]>, recovery: &RoundRecovery, slot: usize) -> u64 {
+    match members {
+        Some(m) => recovery
+            .member_overrides
+            .get(&slot)
+            .copied()
+            .unwrap_or(m[slot]),
+        None => recovery.trainee_for(slot) as u64,
     }
 }
 
@@ -156,16 +218,21 @@ pub(crate) fn split_train_epoch(
     let mut steps = 0usize;
     let up_streams = link.streams.child("up").index(epoch);
     let down_streams = link.streams.child("down").index(epoch);
+    let client = link.client;
     let channel = link.channel;
     for batch in batcher.epoch(shard, epoch)? {
         split.client.zero_grad();
         split.server.zero_grad();
         let mut smashed = split.client.forward(&batch.images)?;
-        channel.encode_up(&mut smashed, up_streams.index(steps as u64).seed());
+        channel.encode_up(&mut smashed, up_streams.index(steps as u64).seed())?;
         let logits = split.server.forward(&smashed)?;
         let out = loss_fn.compute(&logits, &batch.labels)?;
         let mut grad_smashed = split.server.backward(&out.grad_logits)?;
-        channel.encode_down(&mut grad_smashed, down_streams.index(steps as u64).seed());
+        channel.encode_down(
+            &mut grad_smashed,
+            client,
+            down_streams.index(steps as u64).seed(),
+        )?;
         split.client.backward_no_input_grad(&grad_smashed)?;
         server_opt.step(&mut split.server.params_mut())?;
         client_opt.step(&mut split.client.params_mut())?;

@@ -1,7 +1,8 @@
 //! Federated learning (FL): the FedAvg baseline.
 
 use super::common::{
-    full_train_epoch, make_batcher, make_opt, require_state, require_state_mut, ModelCodec,
+    feedback_key, full_train_epoch, make_batcher, make_opt, require_state, require_state_mut,
+    FeedbackStore, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
@@ -44,6 +45,10 @@ struct State {
     /// This run's private plan-selection state. FL has no cut — plans
     /// vary the upload codec, the bandwidth shares and the cohort.
     plans: PlanSelector,
+    /// Per-client EF21 residuals for the full-model upload codec,
+    /// carried across rounds (keyed by population member id so sparse
+    /// cohorts keep their feedback through rotations).
+    feedback: FeedbackStore,
 }
 
 impl Federated {
@@ -70,6 +75,7 @@ impl Scheme for Federated {
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
             plans: PlanSelector::from_config(cfg),
+            feedback: FeedbackStore::default(),
         });
         Ok(())
     }
@@ -139,6 +145,17 @@ impl Scheme for Federated {
         // not the parameters.
         let global = state.global.clone();
         let global = &global;
+        // EF residuals are fetched by clone before the parallel section
+        // (worker closures are `Fn`) and written back serially after it,
+        // in survivor order — byte-identical to a sequential run.
+        let ef = plan.codec.error_feedback;
+        let members = ctx.cohort_members(round as u64);
+        let keys: Vec<u64> = survivors
+            .iter()
+            .map(|&slot| feedback_key(members.as_deref(), recovery, slot))
+            .collect();
+        let feedback = &state.feedback;
+        let keys = &keys;
         let passes = run_indexed(survivors.len(), threads, |idx| {
             let c = recovery.trainee_for(survivors[idx]);
             let mut local = template.clone();
@@ -163,18 +180,34 @@ impl Scheme for Federated {
             // what it decoded.
             let mut snapshot = ParamVec::from_network(&local);
             let mut model_codec = ModelCodec::new(&plan.codec.full_model, cfg.seed);
-            model_codec.apply_vec(&mut snapshot, global.get(), round as u64, c)?;
-            Ok((snapshot, shards[c].len() as f64, loss_sum, step_sum))
+            let mut residual = feedback.fetch(ef, keys[idx]);
+            model_codec.apply_vec(
+                &mut snapshot,
+                global.get(),
+                residual.as_mut(),
+                round as u64,
+                c,
+            )?;
+            Ok((
+                snapshot,
+                shards[c].len() as f64,
+                loss_sum,
+                step_sum,
+                residual,
+            ))
         })?;
         let mut snapshots = Vec::with_capacity(passes.len());
         let mut weights = Vec::with_capacity(passes.len());
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
-        for (snap, weight, l, s) in passes {
+        for (idx, (snap, weight, l, s, residual)) in passes.into_iter().enumerate() {
             snapshots.push(snap);
             weights.push(weight);
             loss_sum += l;
             step_sum += s;
+            if let Some(res) = residual {
+                state.feedback.store(keys[idx], res);
+            }
         }
         // Two-tier tree aggregation over the AP topology (bit-identical
         // to flat FedAvg — see `crate::aggregate`), through the recycled

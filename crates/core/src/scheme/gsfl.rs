@@ -1,8 +1,8 @@
 //! Group-based split federated learning — the paper's contribution.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
-    split_train_epoch, CutLink, ModelCodec,
+    feedback_key, join_params, make_batcher, make_cut_channel_for, make_opt, require_state,
+    require_state_mut, split_train_epoch, CutLink, FeedbackStore, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
@@ -26,6 +26,10 @@ struct GroupPass {
     loss_sum: f64,
     steps: usize,
     samples: usize,
+    /// Updated EF21 relay-codec residuals, `(feedback key, residual)`
+    /// in chain order — written back serially after the parallel
+    /// section.
+    residuals: Vec<(u64, Vec<f32>)>,
 }
 
 /// GSFL: the N clients are partitioned into M groups. Each group holds a
@@ -61,6 +65,9 @@ struct State {
     /// Recycled aggregation scratch — dead snapshots and the `f64`
     /// accumulator cycle through this pool.
     ws: Workspace,
+    /// Per-client EF21 residuals for the relay-hop model codec,
+    /// carried across rounds.
+    feedback: FeedbackStore,
 }
 
 impl Gsfl {
@@ -87,6 +94,7 @@ impl Scheme for Gsfl {
             plans: PlanSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
+            feedback: FeedbackStore::default(),
         });
         Ok(())
     }
@@ -173,12 +181,29 @@ impl Scheme for Gsfl {
             .filter(|g| !g.is_empty())
             .collect();
         let shards = ctx.round_shards_recovered(round as u64, &recovery)?;
+        // EF residual key for each surviving trainee (group mapping
+        // already replaced slots with trainee ids, so index the keys by
+        // trainee before the parallel section).
+        let cohort = ctx.cohort_members(round as u64);
+        let mut keys_by_trainee = std::collections::BTreeMap::new();
+        for g in &round_groups {
+            for &slot in g {
+                if fate.survived(slot) {
+                    keys_by_trainee.insert(
+                        recovery.trainee_for(slot),
+                        feedback_key(cohort.as_deref(), &recovery, slot),
+                    );
+                }
+            }
+        }
         let passes = run_groups_parallel(
             ctx,
             &surviving_groups,
             shards.as_ref(),
             &split_template,
             &plan.codec,
+            &state.feedback,
+            &keys_by_trainee,
             round as u64,
         )?;
 
@@ -201,6 +226,11 @@ impl Scheme for Gsfl {
             weights.push(p.samples as f64);
             loss_sum += p.loss_sum;
             step_sum += p.steps;
+            // Serial write-back in fixed group/chain order keeps
+            // parallel rounds byte-identical to sequential.
+            for (key, res) in p.residuals {
+                state.feedback.store(key, res);
+            }
         }
         let global_client = aggregate_tree(&client_snaps, &weights, &group_aps, &mut state.ws)?;
         let global_server = aggregate_tree(&server_snaps, &weights, &group_aps, &mut state.ws)?;
@@ -232,15 +262,19 @@ impl Scheme for Gsfl {
 /// thread-budgeted host parallelism in fixed group order. The template
 /// already carries the round's global parameters; `shards` holds the
 /// round's per-slot training data (the cohort in population mode).
+#[allow(clippy::too_many_arguments)]
 fn run_groups_parallel(
     ctx: &TrainContext,
     groups: &[Vec<usize>],
     shards: &[ImageDataset],
     template: &SplitNetwork,
     codec: &CompressionSpec,
+    feedback: &FeedbackStore,
+    keys_by_trainee: &std::collections::BTreeMap<usize, u64>,
     round: u64,
 ) -> Result<Vec<GroupPass>> {
     let (threads, _grant) = round_fanout(&ctx.config, groups.len());
+    let ef = codec.error_feedback;
     run_indexed(groups.len(), threads, |idx| {
         let members = &groups[idx];
         let mut replica = template.clone();
@@ -257,6 +291,7 @@ fn run_groups_parallel(
         let mut loss_sum = 0.0f64;
         let mut step_sum = 0usize;
         let mut samples = 0usize;
+        let mut residuals = Vec::new();
         for &c in members {
             let relay_ref = model_codec
                 .active()
@@ -272,7 +307,12 @@ fn run_groups_parallel(
                 CutLink::new(cfg, &mut channel, c),
             )?;
             if let Some(reference) = relay_ref {
-                model_codec.apply(&mut replica.client, &reference, round, c)?;
+                let key = keys_by_trainee.get(&c).copied().unwrap_or(c as u64);
+                let mut residual = feedback.fetch(ef, key);
+                model_codec.apply(&mut replica.client, &reference, residual.as_mut(), round, c)?;
+                if let Some(res) = residual {
+                    residuals.push((key, res));
+                }
             }
             loss_sum += l;
             step_sum += s;
@@ -284,6 +324,7 @@ fn run_groups_parallel(
             loss_sum,
             steps: step_sum,
             samples,
+            residuals,
         })
     })
 }

@@ -1,8 +1,8 @@
 //! Vanilla split learning (SL): the sequential baseline.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
-    split_train_epoch, CutLink, ModelCodec,
+    feedback_key, join_params, make_batcher, make_cut_channel_for, make_opt, require_state,
+    require_state_mut, split_train_epoch, CutLink, FeedbackStore, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::context::TrainContext;
@@ -37,8 +37,13 @@ struct State {
     /// orchestrator).
     plans: PlanSelector,
     steps: Vec<usize>,
+    /// Per-client EF21 residuals for the relay-hop model codec,
+    /// carried across rounds.
+    feedback: FeedbackStore,
 }
 
+// One State exists per run, so the variants' size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Mode {
     /// The historical path: a persistent split and persistent optimizers.
@@ -91,6 +96,7 @@ impl Scheme for VanillaSplit {
             mode,
             plans: PlanSelector::from_config(cfg),
             steps: ctx.steps_per_client(),
+            feedback: FeedbackStore::default(),
         });
         Ok(())
     }
@@ -148,6 +154,9 @@ impl Scheme for VanillaSplit {
         // each client's segment the client half travels client → AP →
         // next client as a delta against the state the hop started from.
         let mut model_codec = ModelCodec::new(&plan.codec.client_model, cfg.seed);
+        let ef = plan.codec.error_feedback;
+        let members = ctx.cohort_members(round as u64);
+        let feedback = &mut state.feedback;
         match &mut state.mode {
             Mode::Fixed {
                 split,
@@ -170,7 +179,18 @@ impl Scheme for VanillaSplit {
                         CutLink::new(cfg, &mut channel, c),
                     )?;
                     if let Some(reference) = relay_ref {
-                        model_codec.apply(&mut split.client, &reference, round as u64, c)?;
+                        let key = feedback_key(members.as_deref(), &recovery, slot);
+                        let mut residual = feedback.fetch(ef, key);
+                        model_codec.apply(
+                            &mut split.client,
+                            &reference,
+                            residual.as_mut(),
+                            round as u64,
+                            c,
+                        )?;
+                        if let Some(res) = residual {
+                            feedback.store(key, res);
+                        }
                     }
                     loss_sum += l;
                     step_sum += s;
@@ -202,7 +222,18 @@ impl Scheme for VanillaSplit {
                         CutLink::new(cfg, &mut channel, c),
                     )?;
                     if let Some(reference) = relay_ref {
-                        model_codec.apply(&mut split.client, &reference, round as u64, c)?;
+                        let key = feedback_key(members.as_deref(), &recovery, slot);
+                        let mut residual = feedback.fetch(ef, key);
+                        model_codec.apply(
+                            &mut split.client,
+                            &reference,
+                            residual.as_mut(),
+                            round as u64,
+                            c,
+                        )?;
+                        if let Some(res) = residual {
+                            feedback.store(key, res);
+                        }
                     }
                     loss_sum += l;
                     step_sum += s;

@@ -2,8 +2,8 @@
 //! critiques.
 
 use super::common::{
-    join_params, make_batcher, make_cut_channel_for, make_opt, require_state, require_state_mut,
-    split_train_epoch, CutLink, ModelCodec,
+    feedback_key, join_params, make_batcher, make_cut_channel_for, make_opt, require_state,
+    require_state_mut, split_train_epoch, CutLink, FeedbackStore, ModelCodec,
 };
 use super::{RoundOutcome, Scheme, SchemeKind};
 use crate::aggregate::aggregate_tree;
@@ -47,6 +47,9 @@ struct State {
     steps: Vec<usize>,
     /// Recycled aggregation scratch.
     ws: Workspace,
+    /// Per-client EF21 residuals for the client-model upload codec,
+    /// carried across rounds.
+    feedback: FeedbackStore,
 }
 
 impl SplitFed {
@@ -73,6 +76,7 @@ impl Scheme for SplitFed {
             plans: PlanSelector::from_config(&ctx.config),
             steps: ctx.steps_per_client(),
             ws: Workspace::new(),
+            feedback: FeedbackStore::default(),
         });
         Ok(())
     }
@@ -131,6 +135,14 @@ impl Scheme for SplitFed {
             .iter()
             .map(|&slot| recovery.trainee_for(slot))
             .collect();
+        // EF residual keys for the surviving slots (population member
+        // ids, or dense trainee ids), parallel to `trainees`.
+        let members = ctx.cohort_members(round as u64);
+        let keys: Vec<u64> = fate
+            .survivors
+            .iter()
+            .map(|&slot| feedback_key(members.as_deref(), &recovery, slot))
+            .collect();
 
         // SplitFed's whole point is that clients train concurrently
         // against their own server-side replicas — so run them on
@@ -139,8 +151,10 @@ impl Scheme for SplitFed {
         let (threads, _grant) = round_fanout(cfg, trainees.len());
 
         let (loss_sum, step_sum) = match &plan.client_cuts {
-            None => run_uniform(ctx, state, &plan, &trainees, shards, threads, round)?,
-            Some(cuts) => run_hetero(ctx, state, &plan, cuts, &trainees, shards, threads, round)?,
+            None => run_uniform(ctx, state, &plan, &trainees, &keys, shards, threads, round)?,
+            Some(cuts) => run_hetero(
+                ctx, state, &plan, cuts, &trainees, &keys, shards, threads, round,
+            )?,
         };
 
         state.plans.observe_outcome(round as u64, &plan, &latency);
@@ -160,11 +174,13 @@ impl Scheme for SplitFed {
 /// The historical single-cut round: one shared split template, per-half
 /// snapshots aggregated separately. Byte-identical to the pre-plan code
 /// path when the plan is static.
+#[allow(clippy::too_many_arguments)]
 fn run_uniform(
     ctx: &TrainContext,
     state: &mut State,
     plan: &RoundPlan,
     participants: &[usize],
+    keys: &[u64],
     shards: &[gsfl_data::dataset::ImageDataset],
     threads: usize,
     round: usize,
@@ -178,6 +194,8 @@ fn run_uniform(
     // model upload is encoded against.
     let client_ref = ParamVec::from_network(&template.client);
     let client_ref = &client_ref;
+    let ef = plan.codec.error_feedback;
+    let feedback = &state.feedback;
     let passes = run_indexed(participants.len(), threads, |idx| {
         let c = participants[idx];
         let mut replica = template.clone();
@@ -198,13 +216,21 @@ fn run_uniform(
         // The client half crosses the wire for aggregation; the
         // server half lives at the server and ships nothing.
         let mut client_snap = ParamVec::from_network(&replica.client);
-        model_codec.apply_vec(&mut client_snap, client_ref, round as u64, c)?;
+        let mut residual = feedback.fetch(ef, keys[idx]);
+        model_codec.apply_vec(
+            &mut client_snap,
+            client_ref,
+            residual.as_mut(),
+            round as u64,
+            c,
+        )?;
         Ok((
             client_snap,
             ParamVec::from_network(&replica.server),
             shards[c].len() as f64,
             l,
             s,
+            residual,
         ))
     })?;
     let mut client_snaps = Vec::with_capacity(passes.len());
@@ -212,12 +238,16 @@ fn run_uniform(
     let mut weights = Vec::with_capacity(passes.len());
     let mut loss_sum = 0.0f64;
     let mut step_sum = 0usize;
-    for (client_snap, server_snap, weight, l, s) in passes {
+    for (idx, (client_snap, server_snap, weight, l, s, residual)) in passes.into_iter().enumerate()
+    {
         client_snaps.push(client_snap);
         server_snaps.push(server_snap);
         weights.push(weight);
         loss_sum += l;
         step_sum += s;
+        if let Some(res) = residual {
+            state.feedback.store(keys[idx], res);
+        }
     }
     // Two-tier tree aggregation over the AP topology, bit-identical
     // to flat FedAvg (see `crate::aggregate`).
@@ -250,6 +280,7 @@ fn run_hetero(
     plan: &RoundPlan,
     cuts: &[usize],
     participants: &[usize],
+    keys: &[u64],
     shards: &[gsfl_data::dataset::ImageDataset],
     threads: usize,
     round: usize,
@@ -258,6 +289,8 @@ fn run_hetero(
     let template = &state.template;
     let global = state.global.clone();
     let global = &global;
+    let ef = plan.codec.error_feedback;
+    let feedback = &state.feedback;
     let passes = run_indexed(participants.len(), threads, |idx| {
         let c = participants[idx];
         let mut whole = template.clone();
@@ -281,23 +314,34 @@ fn run_hetero(
             CutLink::new(cfg, &mut channel, c),
         )?;
         let mut client_snap = ParamVec::from_network(&replica.client);
-        model_codec.apply_vec(&mut client_snap, &client_ref, round as u64, c)?;
+        let mut residual = feedback.fetch(ef, keys[idx]);
+        model_codec.apply_vec(
+            &mut client_snap,
+            &client_ref,
+            residual.as_mut(),
+            round as u64,
+            c,
+        )?;
         Ok((
             join_params(&client_snap, &ParamVec::from_network(&replica.server)),
             shards[c].len() as f64,
             l,
             s,
+            residual,
         ))
     })?;
     let mut snapshots = Vec::with_capacity(passes.len());
     let mut weights = Vec::with_capacity(passes.len());
     let mut loss_sum = 0.0f64;
     let mut step_sum = 0usize;
-    for (snap, weight, l, s) in passes {
+    for (idx, (snap, weight, l, s, residual)) in passes.into_iter().enumerate() {
         snapshots.push(snap);
         weights.push(weight);
         loss_sum += l;
         step_sum += s;
+        if let Some(res) = residual {
+            state.feedback.store(keys[idx], res);
+        }
     }
     let mut aps = Vec::with_capacity(participants.len());
     for &c in participants {

@@ -1,57 +1,86 @@
 //! Payload codecs: what the wire actually carries.
 //!
 //! Every artifact a split-learning protocol ships across the wireless
-//! link — smashed activations, cut-layer gradients, model updates — can
-//! be encoded before transmission. A [`Codec`] knows two things about an
-//! artifact of `numel` scalars:
+//! link — smashed activations, cut-layer gradients, model updates — is
+//! encoded into a packed [`WireBuf`] before transmission. A [`Codec`]
+//! provides:
 //!
-//! * its **wire size** ([`Codec::wire_bytes`]) — what the latency model
-//!   charges airtime for, and
-//! * its **lossy round trip** ([`Codec::transcode`]) — the
-//!   encode-then-decode transformation the *receiver* observes. Training
-//!   proceeds on the decoded tensor, so accuracy cost and airtime saving
-//!   are realized together instead of being modeled.
+//! * [`Codec::encode`] — serialize a tensor's scalars into the
+//!   dtype-tagged wire container ([`gsfl_tensor::wire`]). The buffer's
+//!   [`WireBuf::len`] **is** the airtime charge: measured bytes of a
+//!   buffer that actually exists, never a formula.
+//! * [`Codec::decode`] — reconstruct the receiver's tensor from the
+//!   container, with typed field-path errors on malformed input.
+//! * [`Codec::encoded_len`] — the closed-form size law, exact by
+//!   construction (wire sizes are pure functions of `numel` and codec
+//!   parameters, never of tensor contents). Planner hot loops use the
+//!   law; the charged values are calibrated against real encodes at
+//!   context build and the two are pinned equal by tests.
 //!
-//! Four codecs ship: [`Identity`] (fp32 passthrough, provably a no-op),
-//! [`Fp16`], stochastic [`IntQ`] uniform quantization, and [`TopK`]
-//! sparsification for model deltas. They are named in configs by the
-//! serde-loadable [`CodecSpec`]. The cut-boundary hook is
-//! [`CutChannel`]: one per training replica, holding the uplink
-//! (smashed) and downlink (gradient) codecs plus a recycled scratch
-//! workspace. Model updates go through [`transcode_delta`], which
-//! encodes the *delta* against a reference both endpoints hold (the
-//! round-start global), the standard trick that makes sparsification
-//! meaningful.
+//! Five codecs ship: [`Identity`] (headerless fp32 passthrough,
+//! byte-identical to the historical accounting), [`Fp16`], stochastic
+//! [`IntQ`] uniform quantization, [`TopK`] sparsification, and
+//! [`Pruned`] — magnitude-structured block pruning composed with IntQ.
+//! They are named in configs by the serde-loadable [`CodecSpec`].
+//!
+//! The cut-boundary hook is [`CutChannel`]: one per training replica,
+//! holding the uplink (smashed) and downlink (gradient) codecs, a
+//! recycled scratch workspace, and — when enabled — per-client EF21
+//! error-feedback residuals for the gradient downlink. Model updates go
+//! through [`encode_delta`], which codes the *delta* against a
+//! reference both endpoints hold (the round-start global), optionally
+//! carrying an EF residual across rounds: the standard trick that makes
+//! sparsification converge where plain top-k diverges.
 
 use crate::params::ParamVec;
 use crate::{NnError, Result};
-use gsfl_tensor::quant::{fp16_roundtrip, intq_roundtrip, topk_mask};
+use gsfl_tensor::wire::{
+    self, decode_f16, decode_intq, decode_pruned, decode_raw, decode_topk, encode_f16, encode_intq,
+    encode_pruned, encode_raw, encode_topk, WireBuf,
+};
 use gsfl_tensor::workspace::Workspace;
 use gsfl_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
-/// A payload codec: wire-size accounting plus the lossy round trip the
-/// receiver observes (see the module docs).
+/// Block size of the [`Pruned`] codec: contiguous runs of this many
+/// scalars are kept or dropped together.
+pub const PRUNE_BLOCK: usize = 32;
+
+/// A payload codec: packed-container encode/decode plus the exact size
+/// law (see the module docs).
 pub trait Codec: std::fmt::Debug + Send + Sync {
     /// Short name used in tables and file stems (e.g. `"intq4"`).
     fn name(&self) -> String;
 
-    /// Encoded wire size in bytes of an artifact with `numel` scalars.
-    fn wire_bytes(&self, numel: usize) -> u64;
+    /// Exact encoded size in bytes of an artifact with `numel` scalars —
+    /// equal to `encode(...).len()` by construction, value-independent.
+    fn encoded_len(&self, numel: usize) -> u64;
 
     /// Whether this codec is the fp32 passthrough (lets hot paths skip
-    /// the transcode entirely — byte-identity by construction).
+    /// the round trip entirely — byte-identity by construction).
     fn is_identity(&self) -> bool {
         false
     }
 
-    /// Applies encode-then-decode in place. `stream` seeds stochastic
-    /// codecs (same stream ⇒ same result); `ws` supplies recycled
-    /// scratch.
-    fn transcode(&self, values: &mut [f32], stream: u64, ws: &mut Workspace);
+    /// Serializes `values` into the packed container. `stream` seeds
+    /// stochastic codecs (same stream ⇒ same bytes); `ws` supplies
+    /// recycled scratch. The buffer is cleared first.
+    fn encode(&self, values: &[f32], stream: u64, ws: &mut Workspace, buf: &mut WireBuf);
+
+    /// Reconstructs scalars from the container into `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::Tensor`] wrapping a typed
+    /// [`gsfl_tensor::TensorError::Wire`] that names the malformed
+    /// container field by path.
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()>;
 }
 
-/// The fp32 passthrough: 4 bytes per scalar, transcode is a no-op.
+/// The fp32 passthrough: a headerless little-endian stream, 4 bytes per
+/// scalar — byte-identical to the historical accounting, which keeps
+/// the golden round-record fixtures valid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Identity;
 
@@ -60,18 +89,26 @@ impl Codec for Identity {
         "identity".into()
     }
 
-    fn wire_bytes(&self, numel: usize) -> u64 {
-        4 * numel as u64
+    fn encoded_len(&self, numel: usize) -> u64 {
+        wire::raw_len(numel)
     }
 
     fn is_identity(&self) -> bool {
         true
     }
 
-    fn transcode(&self, _values: &mut [f32], _stream: u64, _ws: &mut Workspace) {}
+    fn encode(&self, values: &[f32], _stream: u64, _ws: &mut Workspace, buf: &mut WireBuf) {
+        encode_raw(values, buf);
+    }
+
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()> {
+        decode_raw(buf, out)?;
+        Ok(())
+    }
 }
 
-/// IEEE 754 binary16: 2 bytes per scalar, round-to-nearest-even.
+/// IEEE 754 binary16: 2 bytes per scalar plus the container header,
+/// round-to-nearest-even.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Fp16;
 
@@ -80,17 +117,23 @@ impl Codec for Fp16 {
         "fp16".into()
     }
 
-    fn wire_bytes(&self, numel: usize) -> u64 {
-        2 * numel as u64
+    fn encoded_len(&self, numel: usize) -> u64 {
+        wire::f16_len(numel)
     }
 
-    fn transcode(&self, values: &mut [f32], _stream: u64, _ws: &mut Workspace) {
-        fp16_roundtrip(values);
+    fn encode(&self, values: &[f32], _stream: u64, _ws: &mut Workspace, buf: &mut WireBuf) {
+        encode_f16(values, buf);
+    }
+
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()> {
+        decode_f16(buf, out)?;
+        Ok(())
     }
 }
 
 /// Symmetric `bits`-bit uniform quantization with seeded stochastic
-/// rounding. Wire size: `bits` per scalar (packed) plus a 4-byte scale.
+/// rounding. Wire: `bits` per scalar, bit-packed, plus a 4-byte scale
+/// and the container header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntQ {
     /// Bits per scalar including the sign, in `2..=16`.
@@ -102,20 +145,25 @@ impl Codec for IntQ {
         format!("intq{}", self.bits)
     }
 
-    fn wire_bytes(&self, numel: usize) -> u64 {
-        (numel as u64 * u64::from(self.bits)).div_ceil(8) + 4
+    fn encoded_len(&self, numel: usize) -> u64 {
+        wire::intq_len(numel, self.bits)
     }
 
-    fn transcode(&self, values: &mut [f32], stream: u64, _ws: &mut Workspace) {
-        intq_roundtrip(values, self.bits, stream);
+    fn encode(&self, values: &[f32], stream: u64, _ws: &mut Workspace, buf: &mut WireBuf) {
+        encode_intq(values, self.bits, stream, buf);
+    }
+
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()> {
+        decode_intq(buf, out)?;
+        Ok(())
     }
 }
 
-/// Magnitude top-k sparsification: keep a `frac` fraction of the scalars
-/// (at least one), zero the rest. Wire size: 8 bytes per survivor
-/// (4-byte value + 4-byte index). Meant for model *deltas* (see
-/// [`transcode_delta`]); applying it to raw activations is legal but
-/// rarely useful.
+/// Magnitude top-k sparsification: keep a `frac` fraction of the
+/// scalars (at least one), zero the rest. Wire: bit-packed survivor
+/// indices (⌈log₂ numel⌉ bits each) + 4-byte survivor values. Meant for
+/// model *deltas* (see [`encode_delta`]); applying it to raw
+/// activations is legal but rarely useful.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopK {
     /// Fraction of scalars kept, in `(0, 1]`.
@@ -134,13 +182,75 @@ impl Codec for TopK {
         format!("topk{:02}", (self.frac * 100.0).round() as u64)
     }
 
-    fn wire_bytes(&self, numel: usize) -> u64 {
-        8 * self.kept(numel) as u64
+    fn encoded_len(&self, numel: usize) -> u64 {
+        wire::topk_len(numel, self.kept(numel))
     }
 
-    fn transcode(&self, values: &mut [f32], _stream: u64, ws: &mut Workspace) {
-        let k = self.kept(values.len());
-        topk_mask(values, k, ws);
+    fn encode(&self, values: &[f32], _stream: u64, ws: &mut Workspace, buf: &mut WireBuf) {
+        encode_topk(values, self.kept(values.len()), ws, buf);
+    }
+
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()> {
+        decode_topk(buf, out)?;
+        Ok(())
+    }
+}
+
+/// Magnitude-structured pruning composed with quantization: the
+/// highest-L2 blocks of [`PRUNE_BLOCK`] contiguous scalars survive
+/// (a `frac` fraction of blocks, at least one) and their values are
+/// IntQ-quantized to `bits` bits against one shared scale; dropped
+/// blocks decode to zero. Wire: bit-packed block indices + scale +
+/// bit-packed codes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pruned {
+    /// Fraction of blocks kept, in `(0, 1]`.
+    pub frac: f64,
+    /// Bits per surviving scalar, in `2..=16`.
+    pub bits: u32,
+}
+
+impl Pruned {
+    /// How many blocks an artifact of `numel` scalars splits into.
+    pub fn blocks(numel: usize) -> usize {
+        numel.div_ceil(PRUNE_BLOCK)
+    }
+
+    /// How many blocks survive out of `numel` scalars.
+    pub fn kept_blocks(&self, numel: usize) -> usize {
+        let n_blocks = Self::blocks(numel);
+        ((n_blocks as f64 * self.frac).ceil() as usize).clamp(1, n_blocks.max(1))
+    }
+}
+
+impl Codec for Pruned {
+    fn name(&self) -> String {
+        format!(
+            "pruned{:02}q{}",
+            (self.frac * 100.0).round() as u64,
+            self.bits
+        )
+    }
+
+    fn encoded_len(&self, numel: usize) -> u64 {
+        wire::pruned_len(numel, PRUNE_BLOCK, self.kept_blocks(numel), self.bits)
+    }
+
+    fn encode(&self, values: &[f32], stream: u64, ws: &mut Workspace, buf: &mut WireBuf) {
+        encode_pruned(
+            values,
+            PRUNE_BLOCK,
+            self.kept_blocks(values.len()),
+            self.bits,
+            stream,
+            ws,
+            buf,
+        );
+    }
+
+    fn decode(&self, buf: &WireBuf, out: &mut [f32]) -> Result<()> {
+        decode_pruned(buf, out)?;
+        Ok(())
     }
 }
 
@@ -161,6 +271,15 @@ pub enum CodecSpec {
     TopK {
         /// Fraction of scalars kept, in `(0, 1]`.
         frac: f64,
+    },
+    /// Magnitude-structured block pruning (a `frac` fraction of
+    /// [`PRUNE_BLOCK`]-scalar blocks survive) composed with `bits`-bit
+    /// quantization of the survivors.
+    Pruned {
+        /// Fraction of blocks kept, in `(0, 1]`.
+        frac: f64,
+        /// Bits per surviving scalar, in `2..=16`.
+        bits: u32,
     },
 }
 
@@ -189,6 +308,19 @@ impl CodecSpec {
                 }
                 Ok(())
             }
+            CodecSpec::Pruned { frac, bits } => {
+                if !(frac > 0.0 && frac <= 1.0) || frac.is_nan() {
+                    return Err(NnError::Config(format!(
+                        "pruned frac must be in (0,1], got {frac}"
+                    )));
+                }
+                if !(2..=16).contains(&bits) {
+                    return Err(NnError::Config(format!(
+                        "pruned bits must be in 2..=16, got {bits}"
+                    )));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -199,6 +331,7 @@ impl CodecSpec {
             CodecSpec::Fp16 => Box::new(Fp16),
             CodecSpec::IntQ { bits } => Box::new(IntQ { bits }),
             CodecSpec::TopK { frac } => Box::new(TopK { frac }),
+            CodecSpec::Pruned { frac, bits } => Box::new(Pruned { frac, bits }),
         }
     }
 
@@ -209,17 +342,42 @@ impl CodecSpec {
             CodecSpec::Fp16 => Fp16.name(),
             CodecSpec::IntQ { bits } => IntQ { bits }.name(),
             CodecSpec::TopK { frac } => TopK { frac }.name(),
+            CodecSpec::Pruned { frac, bits } => Pruned { frac, bits }.name(),
         }
     }
 
-    /// Encoded wire size without boxing.
-    pub fn wire_bytes(&self, numel: usize) -> u64 {
+    /// The exact encoded size law without boxing — equal to the
+    /// measured `len()` of a real encode (pinned by tests), cheap
+    /// enough for planner hot loops.
+    pub fn encoded_len(&self, numel: usize) -> u64 {
         match *self {
-            CodecSpec::Identity => Identity.wire_bytes(numel),
-            CodecSpec::Fp16 => Fp16.wire_bytes(numel),
-            CodecSpec::IntQ { bits } => IntQ { bits }.wire_bytes(numel),
-            CodecSpec::TopK { frac } => TopK { frac }.wire_bytes(numel),
+            CodecSpec::Identity => Identity.encoded_len(numel),
+            CodecSpec::Fp16 => Fp16.encoded_len(numel),
+            CodecSpec::IntQ { bits } => IntQ { bits }.encoded_len(numel),
+            CodecSpec::TopK { frac } => TopK { frac }.encoded_len(numel),
+            CodecSpec::Pruned { frac, bits } => Pruned { frac, bits }.encoded_len(numel),
         }
+    }
+
+    /// The **measured** encoded size: runs a real encode of a synthetic
+    /// `numel`-scalar payload through this codec and returns the
+    /// resulting [`WireBuf::len`]. This is what the latency calculators
+    /// are calibrated against at context build — every charged byte
+    /// comes from a buffer that exists.
+    pub fn measured_len(&self, numel: usize, ws: &mut Workspace) -> u64 {
+        let codec = self.build();
+        let mut vals = ws.take(numel);
+        // A non-degenerate finite ramp; sizes are value-independent by
+        // construction, so any finite payload measures the same.
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = ((i % 23) as f32 - 11.0) * 0.05;
+        }
+        let mut buf = ws.take_wire();
+        codec.encode(&vals, 0, ws, &mut buf);
+        let measured = buf.len() as u64;
+        ws.give_wire(buf);
+        ws.give(vals);
+        measured
     }
 
     /// Whether this is the fp32 passthrough.
@@ -228,24 +386,74 @@ impl CodecSpec {
     }
 }
 
+/// Encodes `values` into a pooled [`WireBuf`], decodes back in place,
+/// and returns the measured wire size — the encode→decode round trip a
+/// receiver observes, with the buffer recycled through `ws`. Identity
+/// skips the work (bitwise no-op by construction) and reports the raw
+/// size.
+///
+/// # Errors
+///
+/// Propagates decode errors (impossible for a buffer this function just
+/// encoded, short of a codec bug).
+pub fn wire_roundtrip(
+    codec: &dyn Codec,
+    values: &mut [f32],
+    stream: u64,
+    ws: &mut Workspace,
+) -> Result<u64> {
+    if codec.is_identity() {
+        return Ok(wire::raw_len(values.len()));
+    }
+    let mut buf = ws.take_wire();
+    codec.encode(values, stream, ws, &mut buf);
+    let measured = buf.len() as u64;
+    debug_assert_eq!(
+        measured,
+        codec.encoded_len(values.len()),
+        "codec {} size law drifted from its encoder",
+        codec.name()
+    );
+    codec.decode(&buf, values)?;
+    ws.give_wire(buf);
+    Ok(measured)
+}
+
 /// The encode/decode hook at the cut boundary: the uplink codec applied
 /// to smashed activations before they reach the server half, and the
 /// downlink codec applied to cut-layer gradients before they return to
-/// the client half. Owns a recycled scratch [`Workspace`], so
-/// steady-state transcoding allocates nothing.
+/// the client half. Owns a recycled scratch [`Workspace`] (which also
+/// pools the wire buffers), so steady-state coding allocates nothing.
+///
+/// With error feedback enabled, each client's gradient downlink keeps
+/// an EF21-style residual: the coding error of step *t* is added to the
+/// gradient of step *t+1* before encoding, so a biased codec's error
+/// accumulates into later transmissions instead of being lost.
+/// Residuals are per-client (one channel may serve several clients,
+/// e.g. the SL relay chain) and live for the channel's lifetime — one
+/// round, matching the within-round locality of activations.
+/// (Smashed activations get no EF: they are fresh forward outputs, not
+/// an additive signal across steps.)
 #[derive(Debug)]
 pub struct CutChannel {
     up: Box<dyn Codec>,
     down: Box<dyn Codec>,
+    ef_down: bool,
+    /// Per-client gradient-downlink EF residuals.
+    residuals: BTreeMap<usize, Vec<f32>>,
     ws: Workspace,
 }
 
 impl CutChannel {
-    /// Builds the channel from uplink/downlink codec specs.
-    pub fn new(up: &CodecSpec, down: &CodecSpec) -> Self {
+    /// Builds the channel from uplink/downlink codec specs;
+    /// `error_feedback` arms the gradient-downlink residuals (a no-op
+    /// under an identity downlink codec).
+    pub fn new(up: &CodecSpec, down: &CodecSpec, error_feedback: bool) -> Self {
         CutChannel {
             up: up.build(),
             down: down.build(),
+            ef_down: error_feedback && !down.is_identity(),
+            residuals: BTreeMap::new(),
             ws: Workspace::new(),
         }
     }
@@ -256,42 +464,81 @@ impl CutChannel {
         self.up.is_identity() && self.down.is_identity()
     }
 
-    /// Transcodes smashed activations in place (client → server).
-    pub fn encode_up(&mut self, smashed: &mut Tensor, stream: u64) {
-        if !self.up.is_identity() {
-            self.up.transcode(smashed.data_mut(), stream, &mut self.ws);
-        }
+    /// Encodes smashed activations into the wire container and decodes
+    /// them back in place (client → server). Returns the measured wire
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors.
+    pub fn encode_up(&mut self, smashed: &mut Tensor, stream: u64) -> Result<u64> {
+        wire_roundtrip(self.up.as_ref(), smashed.data_mut(), stream, &mut self.ws)
     }
 
-    /// Transcodes a cut-layer gradient in place (server → client).
-    pub fn encode_down(&mut self, grad: &mut Tensor, stream: u64) {
-        if !self.down.is_identity() {
-            self.down.transcode(grad.data_mut(), stream, &mut self.ws);
+    /// Encodes a cut-layer gradient for `client` and decodes it back in
+    /// place (server → client), applying this client's error-feedback
+    /// residual when enabled. Returns the measured wire size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors.
+    pub fn encode_down(&mut self, grad: &mut Tensor, client: usize, stream: u64) -> Result<u64> {
+        let data = grad.data_mut();
+        if self.down.is_identity() {
+            return Ok(wire::raw_len(data.len()));
         }
+        if !self.ef_down {
+            return wire_roundtrip(self.down.as_ref(), data, stream, &mut self.ws);
+        }
+        let residual = self.residuals.entry(client).or_default();
+        if residual.len() != data.len() {
+            // First use (or a shape change between epochs): start clean.
+            residual.clear();
+            residual.resize(data.len(), 0.0);
+        }
+        // target = gradient + carried error; remember it in the
+        // residual slot, then subtract what actually got through.
+        for (x, r) in data.iter_mut().zip(residual.iter_mut()) {
+            *x += *r;
+            *r = *x;
+        }
+        let mut buf = self.ws.take_wire();
+        self.down.encode(data, stream, &mut self.ws, &mut buf);
+        let measured = buf.len() as u64;
+        self.down.decode(&buf, data)?;
+        self.ws.give_wire(buf);
+        for (r, x) in residual.iter_mut().zip(data.iter()) {
+            *r -= *x;
+        }
+        Ok(measured)
     }
 }
 
-/// Applies `codec` to the **delta** of `params` against `reference`, in
-/// place: `params ← reference + decode(encode(params − reference))`.
-/// Both endpoints of a model exchange hold the reference (the
-/// round-start global), so delta coding is what a real system would
-/// ship — and what makes [`TopK`] sparsification meaningful, since
-/// per-round deltas are near-sparse while raw weights are not.
+/// Applies `codec` to the **delta** of `params` against `reference`:
+/// `params ← reference + decode(encode(params − reference))`. Both
+/// endpoints of a model exchange hold the reference (the round-start
+/// global), so delta coding is what a real system would ship — and what
+/// makes [`TopK`]/[`Pruned`] sparsification meaningful, since per-round
+/// deltas are near-sparse while raw weights are not.
+///
+/// With `residual` supplied, the EF21 error-feedback accumulator is
+/// folded in: the codec encodes `delta + residual` and the residual is
+/// updated to the coding error, so mass a sparse codec dropped this
+/// round is retried next round instead of vanishing. Returns the
+/// measured wire size of the encoded delta.
 ///
 /// # Errors
 ///
 /// Returns [`NnError::ParamLenMismatch`] when the vectors disagree in
-/// length.
-pub fn transcode_delta(
+/// length; propagates decode errors.
+pub fn encode_delta(
     codec: &dyn Codec,
     params: &mut ParamVec,
     reference: &ParamVec,
+    mut residual: Option<&mut Vec<f32>>,
     stream: u64,
     ws: &mut Workspace,
-) -> Result<()> {
-    if codec.is_identity() {
-        return Ok(());
-    }
+) -> Result<u64> {
     if params.len() != reference.len() {
         return Err(NnError::ParamLenMismatch {
             expected: reference.len(),
@@ -299,6 +546,10 @@ pub fn transcode_delta(
         });
     }
     let n = params.len();
+    if codec.is_identity() {
+        // Exact transmission: zero coding error, residual untouched.
+        return Ok(wire::raw_len(n));
+    }
     let mut delta = ws.take(n);
     for ((d, p), r) in delta
         .iter_mut()
@@ -307,7 +558,35 @@ pub fn transcode_delta(
     {
         *d = p - r;
     }
-    codec.transcode(&mut delta, stream, ws);
+    if let Some(res) = &mut residual {
+        if res.len() != n {
+            res.clear();
+            res.resize(n, 0.0);
+        }
+        // target = delta + carried error; remember it for the error
+        // update below.
+        for (d, r) in delta.iter_mut().zip(res.iter_mut()) {
+            *d += *r;
+            *r = *d;
+        }
+    }
+    let mut buf = ws.take_wire();
+    codec.encode(&delta, stream, ws, &mut buf);
+    let measured = buf.len() as u64;
+    debug_assert_eq!(
+        measured,
+        codec.encoded_len(n),
+        "codec {} size law drifted from its encoder",
+        codec.name()
+    );
+    codec.decode(&buf, &mut delta)?;
+    ws.give_wire(buf);
+    if let Some(res) = &mut residual {
+        // residual ← target − decoded: exactly the mass the codec lost.
+        for (r, d) in res.iter_mut().zip(delta.iter()) {
+            *r -= *d;
+        }
+    }
     for ((p, d), r) in params
         .values_mut()
         .iter_mut()
@@ -317,7 +596,7 @@ pub fn transcode_delta(
         *p = r + d;
     }
     ws.give(delta);
-    Ok(())
+    Ok(measured)
 }
 
 #[cfg(test)]
@@ -330,25 +609,119 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn identity_is_a_bitwise_noop() {
+    fn roundtrip(codec: &dyn Codec, values: &mut [f32], stream: u64) -> u64 {
         let mut ws = Workspace::new();
+        let mut buf = WireBuf::new();
+        codec.encode(values, stream, &mut ws, &mut buf);
+        let len = buf.len() as u64;
+        codec.decode(&buf, values).unwrap();
+        len
+    }
+
+    #[test]
+    fn identity_is_a_bitwise_noop_with_the_legacy_size() {
         let orig = sample(64);
         let mut v = orig.clone();
-        Identity.transcode(&mut v, 7, &mut ws);
+        let len = roundtrip(&Identity, &mut v, 7);
         assert_eq!(v, orig);
-        assert_eq!(Identity.wire_bytes(100), 400);
+        assert_eq!(len, 256, "headerless: exactly 4 bytes per scalar");
+        assert_eq!(Identity.encoded_len(100), 400);
         assert!(Identity.is_identity());
     }
 
     #[test]
-    fn wire_sizes_shrink() {
-        assert_eq!(Fp16.wire_bytes(100), 200);
-        assert_eq!(IntQ { bits: 8 }.wire_bytes(100), 104);
-        assert_eq!(IntQ { bits: 4 }.wire_bytes(100), 54);
-        assert_eq!(TopK { frac: 0.1 }.wire_bytes(100), 80);
+    fn measured_sizes_match_the_law_and_shrink() {
+        let specs = [
+            CodecSpec::Identity,
+            CodecSpec::Fp16,
+            CodecSpec::IntQ { bits: 8 },
+            CodecSpec::IntQ { bits: 4 },
+            CodecSpec::TopK { frac: 0.1 },
+            CodecSpec::Pruned {
+                frac: 0.25,
+                bits: 4,
+            },
+        ];
+        let mut ws = Workspace::new();
+        for spec in specs {
+            for n in [1usize, 100, 4096] {
+                let mut v = sample(n);
+                let measured = roundtrip(spec.build().as_ref(), &mut v, 3);
+                assert_eq!(measured, spec.encoded_len(n), "{} n={n}", spec.name());
+                assert_eq!(
+                    measured,
+                    spec.measured_len(n, &mut ws),
+                    "{} n={n}",
+                    spec.name()
+                );
+                if !spec.is_identity() && n >= 100 {
+                    assert!(
+                        measured < 4 * n as u64,
+                        "{} must shrink at n={n}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+        // Spot checks of the container laws.
+        assert_eq!(Fp16.encoded_len(100), 4 + 1 + 200);
+        assert_eq!(IntQ { bits: 8 }.encoded_len(100), 4 + 1 + 1 + 4 + 100);
+        assert_eq!(IntQ { bits: 4 }.encoded_len(100), 4 + 1 + 1 + 4 + 50);
         // TopK always keeps at least one scalar.
         assert_eq!(TopK { frac: 0.001 }.kept(10), 1);
+        assert_eq!(
+            Pruned {
+                frac: 0.001,
+                bits: 8
+            }
+            .kept_blocks(64),
+            1
+        );
+    }
+
+    #[test]
+    fn codecs_transform_like_the_in_place_kernels() {
+        use gsfl_tensor::quant::{fp16_roundtrip, intq_roundtrip, topk_mask};
+        let mut ws = Workspace::new();
+        let orig = sample(300);
+
+        let mut v = orig.clone();
+        roundtrip(&Fp16, &mut v, 0);
+        let mut k = orig.clone();
+        fp16_roundtrip(&mut k);
+        assert_eq!(v, k, "fp16 wire == fp16 kernel");
+
+        let mut v = orig.clone();
+        roundtrip(&IntQ { bits: 6 }, &mut v, 42);
+        let mut k = orig.clone();
+        intq_roundtrip(&mut k, 6, 42);
+        assert_eq!(v, k, "intq wire == intq kernel, same stream");
+
+        let mut v = orig.clone();
+        roundtrip(&TopK { frac: 0.1 }, &mut v, 0);
+        let mut k = orig.clone();
+        topk_mask(&mut k, TopK { frac: 0.1 }.kept(300), &mut ws);
+        assert_eq!(v, k, "topk wire == topk kernel");
+    }
+
+    #[test]
+    fn pruned_zeroes_blocks_and_quantizes_survivors() {
+        let n = 4 * PRUNE_BLOCK;
+        let mut v = vec![0.01f32; n];
+        for j in 0..PRUNE_BLOCK {
+            v[PRUNE_BLOCK + j] = 1.0;
+        }
+        let codec = Pruned {
+            frac: 0.25,
+            bits: 8,
+        };
+        roundtrip(&codec, &mut v, 5);
+        for j in 0..PRUNE_BLOCK {
+            assert_eq!(v[j], 0.0, "dropped block");
+            assert!((v[PRUNE_BLOCK + j] - 1.0).abs() < 0.01, "kept block");
+            assert_eq!(v[2 * PRUNE_BLOCK + j], 0.0, "dropped block");
+            assert_eq!(v[3 * PRUNE_BLOCK + j], 0.0, "dropped block");
+        }
     }
 
     #[test]
@@ -358,9 +731,16 @@ mod tests {
             (CodecSpec::Fp16, "fp16"),
             (CodecSpec::IntQ { bits: 4 }, "intq4"),
             (CodecSpec::TopK { frac: 0.25 }, "topk25"),
+            (
+                CodecSpec::Pruned {
+                    frac: 0.25,
+                    bits: 4,
+                },
+                "pruned25q4",
+            ),
         ] {
             assert_eq!(spec.name(), name);
-            assert_eq!(spec.build().wire_bytes(64), spec.wire_bytes(64));
+            assert_eq!(spec.build().encoded_len(64), spec.encoded_len(64));
         }
     }
 
@@ -372,6 +752,9 @@ mod tests {
         assert!(CodecSpec::TopK { frac: 0.0 }.validate().is_err());
         assert!(CodecSpec::TopK { frac: 1.5 }.validate().is_err());
         assert!(CodecSpec::TopK { frac: 1.0 }.validate().is_ok());
+        assert!(CodecSpec::Pruned { frac: 0.0, bits: 8 }.validate().is_err());
+        assert!(CodecSpec::Pruned { frac: 0.5, bits: 1 }.validate().is_err());
+        assert!(CodecSpec::Pruned { frac: 0.5, bits: 8 }.validate().is_ok());
     }
 
     #[test]
@@ -381,6 +764,10 @@ mod tests {
             CodecSpec::Fp16,
             CodecSpec::IntQ { bits: 6 },
             CodecSpec::TopK { frac: 0.5 },
+            CodecSpec::Pruned {
+                frac: 0.25,
+                bits: 8,
+            },
         ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: CodecSpec = serde_json::from_str(&json).unwrap();
@@ -390,27 +777,65 @@ mod tests {
 
     #[test]
     fn cut_channel_transparent_fast_path() {
-        let ch = CutChannel::new(&CodecSpec::Identity, &CodecSpec::Identity);
+        let ch = CutChannel::new(&CodecSpec::Identity, &CodecSpec::Identity, false);
         assert!(ch.is_transparent());
-        let ch = CutChannel::new(&CodecSpec::Fp16, &CodecSpec::Identity);
+        let ch = CutChannel::new(&CodecSpec::Fp16, &CodecSpec::Identity, false);
         assert!(!ch.is_transparent());
     }
 
     #[test]
-    fn cut_channel_transcodes_both_directions() {
-        let mut ch = CutChannel::new(&CodecSpec::IntQ { bits: 4 }, &CodecSpec::Fp16);
+    fn cut_channel_codes_both_directions_and_measures() {
+        let mut ch = CutChannel::new(&CodecSpec::IntQ { bits: 4 }, &CodecSpec::Fp16, false);
         let mut up = Tensor::from_vec(sample(32), &[4, 8]).unwrap();
         let orig_up = up.clone();
-        ch.encode_up(&mut up, 3);
+        let up_len = ch.encode_up(&mut up, 3).unwrap();
         assert_ne!(up.data(), orig_up.data(), "4-bit quantization must bite");
+        assert_eq!(up_len, CodecSpec::IntQ { bits: 4 }.encoded_len(32));
         let mut down = Tensor::from_vec(sample(32), &[4, 8]).unwrap();
         let orig_down = down.clone();
-        ch.encode_down(&mut down, 3);
+        let down_len = ch.encode_down(&mut down, 0, 3).unwrap();
         assert!(down.approx_eq(&orig_down, 1e-2), "fp16 error is small");
+        assert_eq!(down_len, CodecSpec::Fp16.encoded_len(32));
     }
 
     #[test]
-    fn transcode_delta_codes_the_difference() {
+    fn cut_channel_error_feedback_carries_the_lost_mass() {
+        // An aggressive top-k downlink drops most of the gradient. With
+        // EF the dropped mass is retried on later steps: summed over
+        // many steps of a *constant* gradient, the decoded total
+        // approaches the true total. Without EF it never does.
+        let n = 64;
+        let grad: Vec<f32> = (0..n).map(|i| 0.1 + 0.001 * i as f32).collect();
+        let spec = CodecSpec::TopK { frac: 0.1 };
+        let steps = 50;
+        let run = |ef: bool| -> f32 {
+            let mut ch = CutChannel::new(&CodecSpec::Identity, &spec, ef);
+            let mut sum = vec![0.0f32; n];
+            for s in 0..steps {
+                let mut g = Tensor::from_vec(grad.clone(), &[1, n]).unwrap();
+                ch.encode_down(&mut g, 7, s as u64).unwrap();
+                for (acc, x) in sum.iter_mut().zip(g.data()) {
+                    *acc += x;
+                }
+            }
+            let true_total: f32 = grad.iter().map(|x| x * steps as f32).sum();
+            let got: f32 = sum.iter().sum();
+            (got - true_total).abs() / true_total
+        };
+        let with_ef = run(true);
+        let without_ef = run(false);
+        assert!(
+            with_ef < 0.1,
+            "EF must recover most of the dropped mass, err {with_ef}"
+        );
+        assert!(
+            without_ef > 0.5,
+            "without EF most of the mass stays lost, err {without_ef}"
+        );
+    }
+
+    #[test]
+    fn encode_delta_codes_the_difference() {
         let mut ws = Workspace::new();
         let reference = ParamVec::from_values(vec![1.0; 16]);
         // A near-sparse delta: two large entries, the rest tiny.
@@ -419,7 +844,8 @@ mod tests {
         values[11] = 0.0;
         let mut params = ParamVec::from_values(values);
         let codec = TopK { frac: 2.0 / 16.0 };
-        transcode_delta(&codec, &mut params, &reference, 0, &mut ws).unwrap();
+        let measured = encode_delta(&codec, &mut params, &reference, None, 0, &mut ws).unwrap();
+        assert_eq!(measured, codec.encoded_len(16));
         // Only the two large-delta entries survive; others revert to the
         // reference.
         assert_eq!(params.values()[3], 2.0);
@@ -429,26 +855,71 @@ mod tests {
                 assert_eq!(v, 1.0, "entry {i} must fall back to the reference");
             }
         }
-        // Identity is a guaranteed no-op.
+        // Identity is a guaranteed no-op charged at the raw size.
         let mut p2 = ParamVec::from_values(vec![0.5, 0.7]);
         let before = p2.clone();
-        transcode_delta(
+        let id_len = encode_delta(
             &Identity,
             &mut p2,
             &ParamVec::from_values(vec![0.0, 0.0]),
+            None,
             0,
             &mut ws,
         )
         .unwrap();
         assert_eq!(p2, before);
+        assert_eq!(id_len, 8);
         // Length mismatch errors.
-        assert!(transcode_delta(
+        assert!(encode_delta(
             &codec,
             &mut ParamVec::from_values(vec![1.0]),
             &reference,
+            None,
             0,
             &mut ws
         )
         .is_err());
+    }
+
+    #[test]
+    fn encode_delta_error_feedback_eventually_ships_every_coordinate() {
+        // A client whose delta is the same every round, under a 1-of-16
+        // top-k. Without EF only the largest coordinate ever ships; with
+        // EF the residual grows until each coordinate takes its turn.
+        let mut ws = Workspace::new();
+        let reference = ParamVec::from_values(vec![0.0; 16]);
+        let delta: Vec<f32> = (0..16).map(|i| 1.0 + 0.01 * i as f32).collect();
+        let codec = TopK { frac: 1.0 / 16.0 };
+        let mut residual = Vec::new();
+        let mut shipped_total = vec![0.0f32; 16];
+        for round in 0..64 {
+            let mut params = ParamVec::from_values(delta.clone());
+            encode_delta(
+                &codec,
+                &mut params,
+                &reference,
+                Some(&mut residual),
+                round,
+                &mut ws,
+            )
+            .unwrap();
+            for (acc, v) in shipped_total.iter_mut().zip(params.values()) {
+                *acc += v;
+            }
+        }
+        assert!(
+            shipped_total.iter().all(|&x| x > 0.0),
+            "EF must eventually ship every coordinate: {shipped_total:?}"
+        );
+        // Without EF, coordinate 0 (the smallest) never ships.
+        let mut never = [0.0f32; 16];
+        for round in 0..64 {
+            let mut params = ParamVec::from_values(delta.clone());
+            encode_delta(&codec, &mut params, &reference, None, round, &mut ws).unwrap();
+            for (acc, v) in never.iter_mut().zip(params.values()) {
+                *acc += v;
+            }
+        }
+        assert_eq!(never[0], 0.0, "without EF the small coordinate starves");
     }
 }

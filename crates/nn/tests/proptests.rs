@@ -95,29 +95,39 @@ proptest! {
 
     #[test]
     fn identity_codec_round_trip_is_bitwise_exact(seed in 0u64..300, n in 1usize..512) {
-        use gsfl_nn::codec::{Codec, Identity};
+        use gsfl_nn::codec::{wire_roundtrip, Codec, Identity};
         use gsfl_tensor::Workspace;
         let mut ws = Workspace::new();
         let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 31 + seed) % 997) as f32 * 0.01 - 4.5).collect();
         let mut v = orig.clone();
-        Identity.transcode(&mut v, seed, &mut ws);
+        // The fast path reports the raw size without touching bytes…
+        let fast = wire_roundtrip(&Identity, &mut v, seed, &mut ws).unwrap();
         prop_assert_eq!(&v, &orig, "identity must not move a bit");
-        prop_assert_eq!(Identity.wire_bytes(n), 4 * n as u64);
+        prop_assert_eq!(fast, 4 * n as u64);
+        // …and the real encode produces exactly those bytes (headerless).
+        let mut buf = ws.take_wire();
+        Identity.encode(&v, seed, &mut ws, &mut buf);
+        prop_assert_eq!(buf.len() as u64, Identity.encoded_len(n));
+        prop_assert_eq!(buf.len(), 4 * n, "no container overhead on fp32");
+        let mut back = vec![0.0f32; n];
+        Identity.decode(&buf, &mut back).unwrap();
+        prop_assert_eq!(&back, &orig);
+        ws.give_wire(buf);
     }
 
     #[test]
     fn fp16_codec_round_trip_within_documented_epsilon(seed in 0u64..300, n in 1usize..512) {
-        use gsfl_nn::codec::{Codec, Fp16};
+        use gsfl_nn::codec::{wire_roundtrip, Codec, Fp16};
         use gsfl_tensor::Workspace;
         let mut ws = Workspace::new();
         // Normal-range values: relative error ≤ 2^-11 (half-precision ulp).
         let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 37 + seed) % 1999) as f32 * 0.013 - 13.0).collect();
         let mut v = orig.clone();
-        Fp16.transcode(&mut v, seed, &mut ws);
+        let measured = wire_roundtrip(&Fp16, &mut v, seed, &mut ws).unwrap();
         for (a, b) in v.iter().zip(&orig) {
             prop_assert!((a - b).abs() <= b.abs() / 2048.0 + 1e-24, "{} -> {}", b, a);
         }
-        prop_assert_eq!(Fp16.wire_bytes(n), 2 * n as u64);
+        prop_assert_eq!(measured, Fp16.encoded_len(n));
     }
 
     #[test]
@@ -126,13 +136,14 @@ proptest! {
         n in 1usize..512,
         bits in 2u32..=16,
     ) {
-        use gsfl_nn::codec::{Codec, IntQ};
+        use gsfl_nn::codec::{wire_roundtrip, Codec, IntQ};
         use gsfl_tensor::Workspace;
         let mut ws = Workspace::new();
         let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 53 + seed) % 401) as f32 * 0.02 - 4.0).collect();
         let mut v = orig.clone();
         let codec = IntQ { bits };
-        codec.transcode(&mut v, seed, &mut ws);
+        let measured = wire_roundtrip(&codec, &mut v, seed, &mut ws).unwrap();
+        prop_assert_eq!(measured, codec.encoded_len(n), "measured bytes obey the law");
         // Stochastic rounding never moves a value by more than one
         // quantization step: scale / (2^(bits-1) - 1).
         let scale = orig.iter().fold(0.0f32, |m, x| m.max(x.abs()));
@@ -142,7 +153,7 @@ proptest! {
         }
         // Deterministic per stream.
         let mut again = orig.clone();
-        codec.transcode(&mut again, seed, &mut ws);
+        wire_roundtrip(&codec, &mut again, seed, &mut ws).unwrap();
         prop_assert_eq!(v, again);
     }
 
@@ -152,14 +163,15 @@ proptest! {
         n in 2usize..256,
         frac in 0.05f64..1.0,
     ) {
-        use gsfl_nn::codec::{Codec, TopK};
+        use gsfl_nn::codec::{wire_roundtrip, Codec, TopK};
         use gsfl_tensor::Workspace;
         let mut ws = Workspace::new();
         let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 71 + seed) % 509) as f32 * 0.04 - 10.0).collect();
         let codec = TopK { frac };
         let k = codec.kept(n);
         let mut v = orig.clone();
-        codec.transcode(&mut v, seed, &mut ws);
+        let measured = wire_roundtrip(&codec, &mut v, seed, &mut ws).unwrap();
+        prop_assert_eq!(measured, codec.encoded_len(n), "measured bytes obey the law");
         // Exactly k survivors, each bit-identical to its original.
         let survivors: Vec<usize> = v
             .iter()
@@ -181,6 +193,68 @@ proptest! {
             if !survivors.contains(&i) {
                 prop_assert!(x.abs() <= min_kept + 1e-12, "dropped {} beats kept {}", x, min_kept);
             }
+        }
+    }
+
+    #[test]
+    fn pruned_codec_zeroes_whole_blocks_and_obeys_the_law(
+        seed in 0u64..300,
+        n in 1usize..512,
+        frac in 0.05f64..1.0,
+        bits in 2u32..=16,
+    ) {
+        use gsfl_nn::codec::{wire_roundtrip, Codec, Pruned, PRUNE_BLOCK};
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        let orig: Vec<f32> = (0..n).map(|i| ((i as u64 * 83 + seed) % 619) as f32 * 0.03 - 9.0).collect();
+        let codec = Pruned { frac, bits };
+        let mut v = orig.clone();
+        let measured = wire_roundtrip(&codec, &mut v, seed, &mut ws).unwrap();
+        prop_assert_eq!(measured, codec.encoded_len(n), "measured bytes obey the law");
+        // Each block is either all-zero (dropped) or quantized within one
+        // step of the original (kept).
+        let scale = orig.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let step = scale / ((1u32 << (bits - 1)) - 1) as f32;
+        let mut kept_blocks = 0usize;
+        for (b, chunk) in v.chunks(PRUNE_BLOCK).enumerate() {
+            let zeroed = chunk.iter().all(|&x| x == 0.0);
+            let close = chunk.iter().zip(&orig[b * PRUNE_BLOCK..]).all(|(a, o)| (a - o).abs() <= step + 1e-6);
+            prop_assert!(zeroed || close, "block {} is neither dropped nor quantized", b);
+            if !zeroed { kept_blocks += 1; }
+        }
+        prop_assert!(kept_blocks <= codec.kept_blocks(n));
+    }
+
+    #[test]
+    fn error_feedback_residual_equals_the_coding_error(
+        seed in 0u64..200,
+        n in 2usize..256,
+        frac in 0.05f64..0.5,
+    ) {
+        use gsfl_nn::codec::{encode_delta, TopK};
+        use gsfl_nn::params::ParamVec;
+        use gsfl_tensor::Workspace;
+        let mut ws = Workspace::new();
+        let reference = ParamVec::from_values(vec![0.0f32; n]);
+        let delta: Vec<f32> = (0..n).map(|i| ((i as u64 * 97 + seed) % 331) as f32 * 0.02 - 3.3).collect();
+        let codec = TopK { frac };
+        let mut residual = vec![0.0f32; n];
+        let mut prev_residual = residual.clone();
+        for round in 0..4u64 {
+            let mut params = ParamVec::from_values(delta.clone());
+            encode_delta(&codec, &mut params, &reference, Some(&mut residual), round, &mut ws).unwrap();
+            // Invariant: residual + decoded == delta + previous residual
+            // (nothing is created or destroyed by the bookkeeping).
+            for i in 0..n {
+                let target = delta[i] + prev_residual[i];
+                let decoded = params.values()[i];
+                prop_assert!(
+                    (residual[i] + decoded - target).abs() <= 1e-5,
+                    "round {}: residual {} + decoded {} != target {}",
+                    round, residual[i], decoded, target
+                );
+            }
+            prev_residual.copy_from_slice(&residual);
         }
     }
 

@@ -51,6 +51,15 @@ pub enum TensorError {
     },
     /// Byte buffer could not be decoded into a tensor.
     Decode(String),
+    /// A packed wire container failed to decode. Unlike [`TensorError::Decode`]
+    /// this names the malformed field by dotted path (e.g.
+    /// `topk.indices[3]`), in the style of trace validation errors.
+    Wire {
+        /// Dotted path of the offending container field.
+        path: String,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// An argument failed validation (e.g. zero-sized dimension where
     /// positive is required).
     InvalidArgument(String),
@@ -83,6 +92,9 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::Decode(msg) => write!(f, "decode error: {msg}"),
+            TensorError::Wire { path, reason } => {
+                write!(f, "wire decode error at {path}: {reason}")
+            }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

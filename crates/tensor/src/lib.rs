@@ -23,7 +23,10 @@
 //!   client, group and round of a distributed experiment draws from an
 //!   independent, reproducible stream,
 //! * [`io`] — flat byte serialization used to measure "transmission" sizes
-//!   of model parameters and smashed data over the simulated wireless links.
+//!   of model parameters and smashed data over the simulated wireless links,
+//! * [`wire`] — the packed wire container (dtype-tagged, versioned,
+//!   bit-packed payloads): the buffers whose measured `len()` the latency
+//!   model charges as airtime.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod quant;
 pub mod reference;
 pub mod rng;
 pub mod threading;
+pub mod wire;
 pub mod workspace;
 
 pub use error::TensorError;

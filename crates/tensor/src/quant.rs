@@ -184,6 +184,114 @@ pub fn topk_mask(values: &mut [f32], k: usize, ws: &mut Workspace) {
     ws.give(mags);
 }
 
+/// Collects the indices of the `k` largest-magnitude elements, in
+/// ascending index order — the selection kernel behind the sparse TopK
+/// wire section. On finite input the survivor set is identical to
+/// [`topk_mask`]'s: everything strictly above the k-th magnitude, plus
+/// threshold ties filled by ascending index. Non-finite elements rank
+/// as +∞ magnitude (they always survive), so a diverged tensor encodes
+/// its poisoned entries verbatim instead of panicking mid-selection.
+///
+/// `out` is cleared first; scratch comes from `ws` (steady-state calls
+/// allocate nothing). Requires `1 <= k`; `k >= values.len()` keeps
+/// every index.
+pub fn topk_indices(values: &[f32], k: usize, ws: &mut Workspace, out: &mut Vec<u32>) {
+    out.clear();
+    let n = values.len();
+    if k >= n {
+        out.extend(0..n as u32);
+        return;
+    }
+    debug_assert!(k >= 1, "topk_indices requires k >= 1");
+    let mut mags = ws.take(n);
+    for (m, v) in mags.iter_mut().zip(values.iter()) {
+        *m = if v.is_finite() {
+            v.abs()
+        } else {
+            f32::INFINITY
+        };
+    }
+    let kth = {
+        let mut sel = ws.take(n);
+        sel.copy_from_slice(&mags);
+        sel.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+        let t = sel[k - 1];
+        ws.give(sel);
+        t
+    };
+    let above = mags.iter().filter(|&&m| m > kth).count();
+    let mut at_budget = k - above;
+    for (i, &m) in mags.iter().enumerate() {
+        if m > kth {
+            out.push(i as u32);
+        } else if m == kth && at_budget > 0 {
+            at_budget -= 1;
+            out.push(i as u32);
+        }
+    }
+    ws.give(mags);
+}
+
+/// Collects the indices of the `kept` blocks (of `block` contiguous
+/// elements; the final block may be short) with the largest L2
+/// norm, in ascending block order — the magnitude-structured selection
+/// behind the pruned wire format. Ties resolve by ascending block
+/// index; a block containing a non-finite element scores +∞ (diverged
+/// blocks always survive, keeping the divergence visible downstream).
+///
+/// `out` is cleared first; scratch comes from `ws`. `block` must be
+/// positive; `kept >=` the block count keeps every block.
+pub fn top_block_indices(
+    values: &[f32],
+    block: usize,
+    kept: usize,
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(block >= 1, "block size must be positive");
+    out.clear();
+    let block = block.max(1);
+    let n_blocks = values.len().div_ceil(block);
+    if kept >= n_blocks {
+        out.extend(0..n_blocks as u32);
+        return;
+    }
+    debug_assert!(kept >= 1, "top_block_indices requires kept >= 1");
+    let mut scores = ws.take(n_blocks);
+    for (s, chunk) in scores.iter_mut().zip(values.chunks(block)) {
+        let mut acc = 0.0f64;
+        let mut finite = true;
+        for &v in chunk {
+            finite &= v.is_finite();
+            acc += f64::from(v) * f64::from(v);
+        }
+        *s = if finite && acc.is_finite() {
+            acc as f32
+        } else {
+            f32::INFINITY
+        };
+    }
+    let kth = {
+        let mut sel = ws.take(n_blocks);
+        sel.copy_from_slice(&scores);
+        sel.select_nth_unstable_by(kept - 1, |a, b| b.total_cmp(a));
+        let t = sel[kept - 1];
+        ws.give(sel);
+        t
+    };
+    let above = scores.iter().filter(|&&s| s > kth).count();
+    let mut at_budget = kept - above;
+    for (b, &s) in scores.iter().enumerate() {
+        if s > kth {
+            out.push(b as u32);
+        } else if s == kth && at_budget > 0 {
+            at_budget -= 1;
+            out.push(b as u32);
+        }
+    }
+    ws.give(scores);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +409,55 @@ mod tests {
         let mut w = vec![1.0f32, f32::INFINITY];
         topk_mask(&mut w, 1, &mut ws);
         assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn topk_indices_match_the_mask_survivors() {
+        let mut ws = Workspace::new();
+        let v = vec![1.0f32, -3.0, 2.0, -2.0, 0.5];
+        let mut idx = Vec::new();
+        topk_indices(&v, 2, &mut ws, &mut idx);
+        assert_eq!(idx, vec![1, 2], "|−3| and the first tied |2| survive");
+        let mut masked = v.clone();
+        topk_mask(&mut masked, 2, &mut ws);
+        let from_mask: Vec<u32> = masked
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x != 0.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(idx, from_mask, "same survivor set as the mask kernel");
+        topk_indices(&v, 9, &mut ws, &mut idx);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4], "k ≥ n keeps everything");
+    }
+
+    #[test]
+    fn topk_indices_rank_non_finite_first() {
+        let mut ws = Workspace::new();
+        let v = vec![1.0f32, f32::NAN, 3.0, f32::NEG_INFINITY];
+        let mut idx = Vec::new();
+        topk_indices(&v, 2, &mut ws, &mut idx);
+        assert_eq!(idx, vec![1, 3], "non-finite entries always survive");
+    }
+
+    #[test]
+    fn top_block_indices_pick_heavy_blocks_ties_ascending() {
+        let mut ws = Workspace::new();
+        // 4 blocks of 4: block 1 heavy, blocks 0 and 2 tied, block 3 light.
+        let mut v = vec![0.0f32; 16];
+        v[0..4].fill(1.0);
+        v[4..8].fill(5.0);
+        v[8..12].fill(1.0);
+        v[12..16].fill(0.1);
+        let mut idx = Vec::new();
+        top_block_indices(&v, 4, 2, &mut ws, &mut idx);
+        assert_eq!(idx, vec![0, 1], "tie between blocks 0 and 2 → lower index");
+        top_block_indices(&v, 4, 9, &mut ws, &mut idx);
+        assert_eq!(idx, vec![0, 1, 2, 3], "kept ≥ blocks keeps everything");
+        // Non-finite poisons its block to the top.
+        v[13] = f32::NAN;
+        top_block_indices(&v, 4, 1, &mut ws, &mut idx);
+        assert_eq!(idx, vec![3]);
     }
 
     #[test]

@@ -26,14 +26,20 @@
 //! ws.give(again);
 //! ```
 
+use crate::wire::WireBuf;
 use crate::Tensor;
 
-/// A pool of recycled `f32` (and `f64` accumulator) scratch buffers
+/// A pool of recycled `f32` (and `f64` accumulator) scratch buffers,
+/// plus byte and index pools for the packed wire path
 /// (see the module docs).
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
     pool_f64: Vec<Vec<f64>>,
+    /// Encoded-payload byte buffers recycled between wire encodes.
+    pool_bytes: Vec<Vec<u8>>,
+    /// Survivor-index scratch recycled between sparse encodes.
+    pool_idx: Vec<Vec<u32>>,
     fresh_allocs: usize,
 }
 
@@ -138,15 +144,85 @@ impl Workspace {
         }
     }
 
+    /// An **empty** byte buffer for a wire encode, recycling the
+    /// largest pooled one (its capacity carries over, so steady-state
+    /// encodes of a fixed payload size never reallocate). A pool miss
+    /// counts as a fresh allocation.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in self.pool_bytes.iter().enumerate() {
+            let cap = buf.capacity();
+            if best.is_none_or(|(_, c)| cap > c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.pool_bytes.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a byte buffer to the pool for reuse.
+    pub fn give_bytes(&mut self, buf: Vec<u8>) {
+        self.pool_bytes.push(buf);
+    }
+
+    /// An empty [`WireBuf`] backed by a recycled byte buffer — the
+    /// zero-alloc steady-state entry point for wire encoding.
+    pub fn take_wire(&mut self) -> WireBuf {
+        WireBuf::from_vec(self.take_bytes())
+    }
+
+    /// Returns a [`WireBuf`]'s backing storage to the byte pool.
+    pub fn give_wire(&mut self, buf: WireBuf) {
+        self.give_bytes(buf.into_vec());
+    }
+
+    /// An **empty** `u32` index buffer (survivor indices for sparse
+    /// encodes), recycling the largest pooled one. A pool miss counts
+    /// as a fresh allocation.
+    pub fn take_indices(&mut self) -> Vec<u32> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in self.pool_idx.iter().enumerate() {
+            let cap = buf.capacity();
+            if best.is_none_or(|(_, c)| cap > c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.pool_idx.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns an index buffer to the pool for reuse.
+    pub fn give_indices(&mut self, buf: Vec<u32>) {
+        self.pool_idx.push(buf);
+    }
+
     /// How many buffers were heap-allocated because the pool was empty.
     /// Steady-state reuse means this stops growing after warm-up.
     pub fn fresh_allocs(&self) -> usize {
         self.fresh_allocs
     }
 
-    /// Buffers currently parked in the pool (both precisions).
+    /// Buffers currently parked in the pool (all element types).
     pub fn pooled(&self) -> usize {
-        self.pool.len() + self.pool_f64.len()
+        self.pool.len() + self.pool_f64.len() + self.pool_bytes.len() + self.pool_idx.len()
     }
 }
 
@@ -195,6 +271,29 @@ mod tests {
         let f32_buf = ws.take(8);
         assert_eq!(ws.fresh_allocs(), 2);
         ws.give(f32_buf);
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn byte_and_index_pools_recycle() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take_bytes();
+        assert_eq!(ws.fresh_allocs(), 1);
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        ws.give_bytes(b);
+        let b2 = ws.take_bytes();
+        assert!(b2.is_empty(), "recycled byte buffers come back cleared");
+        assert!(b2.capacity() >= 4, "capacity carries over");
+        assert_eq!(ws.fresh_allocs(), 1);
+        ws.give_bytes(b2);
+        let mut i = ws.take_indices();
+        assert_eq!(ws.fresh_allocs(), 2);
+        i.push(9);
+        ws.give_indices(i);
+        let i2 = ws.take_indices();
+        assert!(i2.is_empty());
+        assert_eq!(ws.fresh_allocs(), 2);
+        ws.give_indices(i2);
         assert_eq!(ws.pooled(), 2);
     }
 

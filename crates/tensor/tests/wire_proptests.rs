@@ -1,0 +1,188 @@
+//! Decode-hardening proptests for the packed wire format.
+//!
+//! A receiver must survive arbitrary corruption of a container —
+//! truncation, bit flips, forged lengths, oversized declared shapes —
+//! with a typed [`TensorError::Wire`] naming the malformed field, never
+//! a panic and never an allocation sized from untrusted input. The
+//! decoders write only into the caller's destination slice, so the
+//! allocation property holds by construction; these tests drive the
+//! no-panic and typed-error properties across the corruption space.
+
+use gsfl_tensor::wire::{
+    decode_f16, decode_intq, decode_pruned, decode_raw, decode_topk, encode_f16, encode_intq,
+    encode_pruned, encode_raw, encode_topk, WireBuf,
+};
+use gsfl_tensor::{TensorError, Workspace};
+use proptest::prelude::*;
+
+/// Every wire decoder, addressable by index so proptest can sweep them.
+fn decode_any(which: usize, buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
+    match which % 5 {
+        0 => decode_raw(buf, out),
+        1 => decode_f16(buf, out),
+        2 => decode_intq(buf, out),
+        3 => decode_topk(buf, out),
+        _ => decode_pruned(buf, out),
+    }
+}
+
+/// A valid container for encoder `which` over `n` synthetic scalars.
+fn encode_any(which: usize, n: usize, stream: u64) -> WireBuf {
+    let values: Vec<f32> = (0..n)
+        .map(|i| ((i as u64 * 41 + stream) % 211) as f32 * 0.05 - 5.0)
+        .collect();
+    let mut ws = Workspace::new();
+    let mut buf = WireBuf::new();
+    match which % 5 {
+        0 => encode_raw(&values, &mut buf),
+        1 => encode_f16(&values, &mut buf),
+        2 => encode_intq(&values, 2 + (stream % 15) as u32, stream, &mut buf),
+        3 => encode_topk(&values, 1 + n / 7, &mut ws, &mut buf),
+        _ => encode_pruned(
+            &values,
+            8,
+            1 + n / 24,
+            2 + (stream % 15) as u32,
+            stream,
+            &mut ws,
+            &mut buf,
+        ),
+    }
+    buf
+}
+
+proptest! {
+    #[test]
+    fn truncated_containers_fail_typed_not_panic(
+        which in 0usize..5,
+        n in 1usize..300,
+        stream in 0u64..100,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let buf = encode_any(which, n, stream);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < buf.len());
+        let mut short = buf.clone();
+        short.bytes_mut().truncate(cut);
+        let mut out = vec![0.0f32; n];
+        let err = decode_any(which, &short, &mut out)
+            .expect_err("a truncated container must not decode");
+        // Typed with a field path, and formatted as such.
+        match err {
+            TensorError::Wire { ref path, .. } => {
+                prop_assert!(!path.is_empty(), "path must name the field");
+            }
+            other => prop_assert!(false, "untyped error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_containers_never_panic(
+        which in 0usize..5,
+        n in 1usize..300,
+        stream in 0u64..100,
+        byte_salt in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let buf = encode_any(which, n, stream);
+        let mut bad = buf.clone();
+        let pos = byte_salt % bad.len();
+        bad.bytes_mut()[pos] ^= 1 << bit;
+        let mut out = vec![0.0f32; n];
+        // A flip may still decode (e.g. inside a value) — what it must
+        // never do is panic; on failure the error must be typed.
+        if let Err(err) = decode_any(which, &bad, &mut out) {
+            prop_assert!(
+                matches!(err, TensorError::Wire { .. }),
+                "corruption must surface as TensorError::Wire, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_shapes_fail_the_destination_check(
+        which in 1usize..5, // raw is headerless: no declared shape
+        n in 1usize..64,
+        stream in 0u64..100,
+        claimed in 0u64..u64::MAX,
+    ) {
+        let buf = encode_any(which, n, stream);
+        prop_assume!(claimed != n as u64);
+        // Rewrite the varint numel (offset 4) to a forged claim —
+        // including absurd ones that would be fatal if the decoder
+        // allocated from them.
+        let mut forged_bytes = buf.as_bytes()[..4].to_vec();
+        let mut v = claimed;
+        while v >= 0x80 {
+            forged_bytes.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        forged_bytes.push(v as u8);
+        // Keep the original payload after the original numel varint.
+        let mut skip = 4;
+        while buf.as_bytes()[skip] & 0x80 != 0 {
+            skip += 1;
+        }
+        skip += 1;
+        forged_bytes.extend_from_slice(&buf.as_bytes()[skip..]);
+        let forged = WireBuf::from_vec(forged_bytes);
+        let mut out = vec![0.0f32; n];
+        let err = decode_any(which, &forged, &mut out)
+            .expect_err("a forged element count must not decode");
+        match err {
+            TensorError::Wire { ref path, .. } => {
+                prop_assert_eq!(path.as_str(), "shape.numel");
+            }
+            other => prop_assert!(false, "untyped error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_rejected(
+        which in 1usize..5, // raw already length-checks exactly
+        n in 1usize..128,
+        stream in 0u64..100,
+        extra in 1usize..16,
+    ) {
+        let buf = encode_any(which, n, stream);
+        let mut long = buf.clone();
+        long.bytes_mut().extend(std::iter::repeat_n(0xAB, extra));
+        let mut out = vec![0.0f32; n];
+        let err = decode_any(which, &long, &mut out)
+            .expect_err("trailing bytes must not decode");
+        let typed = matches!(err, TensorError::Wire { .. });
+        prop_assert!(typed, "expected a typed wire error, got {:?}", err);
+    }
+
+    #[test]
+    fn wrong_decoder_is_rejected_at_the_dtype_tag(
+        enc in 1usize..5,
+        dec in 1usize..5,
+        n in 1usize..128,
+        stream in 0u64..100,
+    ) {
+        prop_assume!(enc != dec);
+        let buf = encode_any(enc, n, stream);
+        let mut out = vec![0.0f32; n];
+        let err = decode_any(dec, &buf, &mut out)
+            .expect_err("dtype mismatch must not decode");
+        match err {
+            TensorError::Wire { ref path, .. } => {
+                prop_assert_eq!(path.as_str(), "header.dtype");
+            }
+            other => prop_assert!(false, "untyped error: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn valid_containers_always_decode(
+        which in 0usize..5,
+        n in 1usize..300,
+        stream in 0u64..100,
+    ) {
+        let buf = encode_any(which, n, stream);
+        let mut out = vec![7.0f32; n];
+        decode_any(which, &buf, &mut out).expect("an honest container decodes");
+        prop_assert!(out.iter().all(|x| x.is_finite()), "finite payloads decode finite");
+    }
+}

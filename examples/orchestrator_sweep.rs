@@ -57,6 +57,7 @@ fn codec_name(codec: CodecSpec) -> &'static str {
         CodecSpec::Fp16 => "fp16",
         CodecSpec::IntQ { .. } => "int8",
         CodecSpec::TopK { .. } => "topk",
+        CodecSpec::Pruned { .. } => "pruned",
     }
 }
 

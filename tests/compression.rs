@@ -134,12 +134,82 @@ fn lossy_codecs_shrink_wire_bytes_and_airtime_but_not_raw_totals() {
 }
 
 #[test]
+fn charged_airtime_bytes_are_measured_encode_lengths() {
+    // The acceptance criterion for the packed wire format: every byte
+    // the latency calculators charge is the `len()` of a `WireBuf` a
+    // real encoder produced — not a formula. Build a lossy context,
+    // then re-encode each artifact's payload independently and compare
+    // the charged `*_wire_bytes` against the buffer lengths.
+    use gsfl::core::context::TrainContext;
+    use gsfl_tensor::Workspace;
+
+    let comp = CompressionSpec {
+        smashed: CodecSpec::IntQ { bits: 6 },
+        gradient: CodecSpec::TopK { frac: 0.1 },
+        client_model: CodecSpec::Pruned {
+            frac: 0.25,
+            bits: 4,
+        },
+        full_model: CodecSpec::Fp16,
+        error_feedback: true,
+    };
+    let ctx = TrainContext::from_config(narrowband_config(comp)).unwrap();
+    let costs = &ctx.costs;
+
+    let mut ws = Workspace::new();
+    // A real encode of an n-scalar payload, measured.
+    let mut real_encode = |spec: &CodecSpec, n: usize| -> u64 {
+        let vals: Vec<f32> = (0..n).map(|i| ((i % 17) as f32 - 8.0) * 0.3).collect();
+        let mut buf = ws.take_wire();
+        spec.build().encode(&vals, 99, &mut ws, &mut buf);
+        let len = buf.len() as u64;
+        ws.give_wire(buf);
+        len
+    };
+
+    // Artifact payload sizes in scalars, from the raw accounting; the
+    // smashed uplink additionally carries the batch's labels as 4-byte
+    // class ids, uncompressed.
+    let act_numel = (costs.grad_bytes.as_u64() / 4) as usize;
+    let label_bytes = costs.smashed_bytes.as_u64() - costs.grad_bytes.as_u64();
+    let client_numel = (costs.client_model_bytes.as_u64() / 4) as usize;
+    let full_numel = (costs.full_model_bytes.as_u64() / 4) as usize;
+
+    assert_eq!(
+        costs.smashed_wire_bytes.as_u64(),
+        real_encode(&comp.smashed, act_numel) + label_bytes
+    );
+    assert_eq!(
+        costs.grad_wire_bytes.as_u64(),
+        real_encode(&comp.gradient, act_numel)
+    );
+    assert_eq!(
+        costs.client_model_wire_bytes.as_u64(),
+        real_encode(&comp.client_model, client_numel)
+    );
+    assert_eq!(
+        costs.full_model_wire_bytes.as_u64(),
+        real_encode(&comp.full_model, full_numel)
+    );
+    // And the per-cut table the planners price against agrees with its
+    // own artifacts the same way.
+    for costs in ctx.costs_by_cut.values() {
+        let act = (costs.grad_bytes.as_u64() / 4) as usize;
+        assert_eq!(
+            costs.grad_wire_bytes.as_u64(),
+            real_encode(&comp.gradient, act)
+        );
+    }
+}
+
+#[test]
 fn lossy_runs_are_deterministic_per_seed() {
     let cfg = narrowband_config(CompressionSpec {
         smashed: CodecSpec::IntQ { bits: 8 },
         gradient: CodecSpec::IntQ { bits: 8 },
         client_model: CodecSpec::TopK { frac: 0.25 },
         full_model: CodecSpec::TopK { frac: 0.25 },
+        error_feedback: true,
     });
     let a = Runner::new(cfg.clone()).unwrap();
     let b = Runner::new(cfg).unwrap();
@@ -163,6 +233,7 @@ fn lossy_runs_are_thread_count_invariant() {
         gradient: CodecSpec::Fp16,
         client_model: CodecSpec::TopK { frac: 0.5 },
         full_model: CodecSpec::IntQ { bits: 8 },
+        error_feedback: true,
     });
     let mut solo = base.clone();
     solo.client_threads = Some(1);
