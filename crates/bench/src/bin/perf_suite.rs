@@ -39,13 +39,18 @@ fn fmt_ms(ns: u64) -> String {
 
 fn print_report(report: &SuiteReport) {
     println!(
-        "perf_suite ({} mode, {} hardware thread{})\n",
+        "perf_suite ({} mode, {} hardware thread{}, simd: {})\n",
         if report.quick { "quick" } else { "full" },
         report.hardware_threads,
         if report.hardware_threads == 1 {
             ""
         } else {
             "s"
+        },
+        if report.simd_isa.is_empty() {
+            "unknown"
+        } else {
+            &report.simd_isa
         },
     );
     let rows: Vec<Vec<String>> = report

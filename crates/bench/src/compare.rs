@@ -128,6 +128,7 @@ mod tests {
             hardware_threads: 1,
             generated_unix_s: 0,
             peak_rss_kb: None,
+            simd_isa: String::new(),
             entries: Vec::new(),
             comparisons: pairs
                 .iter()

@@ -15,6 +15,7 @@ pub mod codec;
 pub mod orchestrator;
 pub mod population;
 pub mod round_latency;
+pub mod simd;
 pub mod tensor_ops;
 pub mod train;
 
@@ -65,6 +66,11 @@ pub struct SuiteReport {
     /// subsystem's memory claim alongside its timings.
     #[serde(default)]
     pub peak_rss_kb: Option<u64>,
+    /// The SIMD instruction set the dispatch layer selected on the
+    /// measuring host (`gsfl_tensor::simd::active_isa().name()`), so a
+    /// perf trajectory across machines is interpretable.
+    #[serde(default)]
+    pub simd_isa: String,
     /// All timed workloads.
     pub entries: Vec<BenchEntry>,
     /// Baseline-vs-fast speedups.
@@ -159,6 +165,7 @@ impl Suite {
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
             peak_rss_kb: peak_rss_kb(),
+            simd_isa: gsfl_tensor::simd::active_isa().name().to_string(),
             entries: self.entries,
             comparisons: self.comparisons,
         }
@@ -181,6 +188,7 @@ pub fn run_all(quick: bool) -> SuiteReport {
     tensor_ops::register(&mut suite);
     codec::register(&mut suite);
     aggregation::register(&mut suite);
+    simd::register(&mut suite);
     round_latency::register(&mut suite);
     orchestrator::register(&mut suite);
     train::register(&mut suite);

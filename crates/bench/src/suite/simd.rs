@@ -1,0 +1,218 @@
+//! Per-kernel SIMD dispatch benches: each kernel that was ported onto
+//! the runtime-dispatched lanes in `gsfl_tensor::simd` is timed with the
+//! ISA pinned explicitly — scalar tier as the baseline, AVX2 tier as the
+//! fast side — so `perf_compare` tracks the vectorization win per kernel
+//! independently of the end-to-end numbers. Reference-tier and unfused
+//! entries ride along as plain timings where the historical kernel still
+//! exists.
+//!
+//! On hosts without AVX2/FMA/F16C the fast side falls back to the scalar
+//! lanes (the dispatch wrappers re-check the CPU), so the speedups
+//! degenerate to ≈1.0× instead of lying.
+
+use super::Suite;
+use gsfl_nn::loss::SoftmaxCrossEntropy;
+use gsfl_tensor::matmul::{gemm_a_bt_with_isa, gemm_with_isa};
+use gsfl_tensor::quant::fp16_roundtrip_with_isa;
+use gsfl_tensor::simd::Isa;
+use gsfl_tensor::wire::{encode_intq_with_isa, encode_topk_with_isa, WireBuf};
+use gsfl_tensor::{reference, Tensor, Workspace};
+use std::hint::black_box;
+
+/// Codec-bench payload size (matches the codec group: 64k scalars).
+const N: usize = 64 * 1024;
+const K: usize = N / 16;
+
+/// Fixed stochastic-rounding stream; both ISA tiers must draw the same
+/// sequence for the byte-identity contract to hold.
+const STREAM: u64 = 42;
+
+fn payload() -> Vec<f32> {
+    (0..N)
+        .map(|i| ((i * 31 % 4093) as f32 - 2046.0) * 0.01)
+        .collect()
+}
+
+/// Registers the SIMD microkernel benches on `suite`.
+pub fn register(suite: &mut Suite) {
+    // --- GEMM microkernel: 256×256×256, serial (one thread on both
+    // sides, so the ratio is pure lane width + instruction selection).
+    let dim = 256;
+    let a: Vec<f32> = (0..dim * dim)
+        .map(|i| ((i * 37 % 1009) as f32 - 504.0) * 0.01)
+        .collect();
+    let b: Vec<f32> = (0..dim * dim)
+        .map(|i| ((i * 53 % 997) as f32 - 498.0) * 0.01)
+        .collect();
+    let mut out_base = vec![0.0f32; dim * dim];
+    let mut out_fast = vec![0.0f32; dim * dim];
+    suite.compare(
+        "simd_gemm_mk_256",
+        40,
+        || {
+            gemm_with_isa(
+                Isa::Scalar,
+                dim,
+                dim,
+                dim,
+                black_box(&a),
+                black_box(&b),
+                &mut out_base,
+            );
+            black_box(out_base[0]);
+        },
+        || {
+            gemm_with_isa(
+                Isa::Avx2,
+                dim,
+                dim,
+                dim,
+                black_box(&a),
+                black_box(&b),
+                &mut out_fast,
+            );
+            black_box(out_fast[0]);
+        },
+    );
+    // Reference tier on the same shape (the pre-optimization triple
+    // loop), as a plain timing for the three-tier table.
+    let at = Tensor::from_vec(a.clone(), &[dim, dim]).expect("shape");
+    let bt = Tensor::from_vec(b.clone(), &[dim, dim]).expect("shape");
+    suite.run("simd_gemm_mk_256/reference", 10, || {
+        black_box(reference::matmul(black_box(&at), black_box(&bt)).expect("matmul"));
+    });
+
+    // --- Conv-dW long-dot shape: dW = dY · colsᵀ with a 64k reduction
+    // axis and a tiny output tile — the FMA lane-dot's home turf.
+    let m = 4;
+    let n = 27;
+    let k = 64 * 1024;
+    let dy: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 13 % 2003) as f32 - 1001.0) * 0.004)
+        .collect();
+    let cols: Vec<f32> = (0..n * k)
+        .map(|i| ((i * 29 % 1999) as f32 - 999.0) * 0.003)
+        .collect();
+    let mut dw_base = vec![0.0f32; m * n];
+    let mut dw_fast = vec![0.0f32; m * n];
+    suite.compare(
+        "simd_dw_lanedot_64k",
+        60,
+        || {
+            gemm_a_bt_with_isa(
+                Isa::Scalar,
+                m,
+                k,
+                n,
+                black_box(&dy),
+                black_box(&cols),
+                &mut dw_base,
+            );
+            black_box(dw_base[0]);
+        },
+        || {
+            gemm_a_bt_with_isa(
+                Isa::Avx2,
+                m,
+                k,
+                n,
+                black_box(&dy),
+                black_box(&cols),
+                &mut dw_fast,
+            );
+            black_box(dw_fast[0]);
+        },
+    );
+
+    // --- Fused softmax + cross-entropy forward/backward, 512×32.
+    let rows = 512;
+    let classes = 32;
+    let logits = Tensor::from_fn(&[rows, classes], |i| {
+        ((i * 17 % 4001) as f32 - 2000.0) * 0.002
+    });
+    let labels: Vec<usize> = (0..rows).map(|r| (r * 7) % classes).collect();
+    let loss_fn = SoftmaxCrossEntropy::new();
+    suite.compare(
+        "simd_softmax_xent_fused",
+        200,
+        || {
+            black_box(
+                loss_fn
+                    .compute_with_isa(Isa::Scalar, black_box(&logits), &labels)
+                    .expect("loss"),
+            );
+        },
+        || {
+            black_box(
+                loss_fn
+                    .compute_with_isa(Isa::Avx2, black_box(&logits), &labels)
+                    .expect("loss"),
+            );
+        },
+    );
+    // The historical two-pass kernel, as a plain timing: the fusion win
+    // is `unfused / fast`.
+    suite.run("simd_softmax_xent_fused/unfused", 200, || {
+        black_box(
+            loss_fn
+                .compute_unfused(black_box(&logits), &labels)
+                .expect("loss"),
+        );
+    });
+
+    // --- fp16 in-place round trip over the 64k codec payload.
+    let src = payload();
+    let mut buf_base = src.clone();
+    let mut buf_fast = src.clone();
+    suite.compare(
+        "simd_fp16_roundtrip_64k",
+        200,
+        || {
+            buf_base.copy_from_slice(&src);
+            fp16_roundtrip_with_isa(Isa::Scalar, black_box(&mut buf_base));
+        },
+        || {
+            buf_fast.copy_from_slice(&src);
+            fp16_roundtrip_with_isa(Isa::Avx2, black_box(&mut buf_fast));
+        },
+    );
+
+    // --- IntQ 4-bit wire encode: stochastic rounding, clamp, and
+    // bit-pack (the uplink artifact hot path).
+    let mut wire_base = WireBuf::new();
+    let mut wire_fast = WireBuf::new();
+    suite.compare(
+        "simd_encode_intq4_64k",
+        60,
+        || {
+            encode_intq_with_isa(Isa::Scalar, black_box(&src), 4, STREAM, &mut wire_base);
+            black_box(wire_base.len());
+        },
+        || {
+            encode_intq_with_isa(Isa::Avx2, black_box(&src), 4, STREAM, &mut wire_fast);
+            black_box(wire_fast.len());
+        },
+    );
+
+    // --- TopK wire encode: magnitude scan, threshold count, pack.
+    let mut ws_base = Workspace::new();
+    let mut ws_fast = Workspace::new();
+    suite.compare(
+        "simd_encode_topk_64k",
+        60,
+        || {
+            encode_topk_with_isa(
+                Isa::Scalar,
+                black_box(&src),
+                K,
+                &mut ws_base,
+                &mut wire_base,
+            );
+            black_box(wire_base.len());
+        },
+        || {
+            encode_topk_with_isa(Isa::Avx2, black_box(&src), K, &mut ws_fast, &mut wire_fast);
+            black_box(wire_fast.len());
+        },
+    );
+}

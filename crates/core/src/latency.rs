@@ -140,7 +140,7 @@ impl SplitCosts {
 
     /// A copy whose `*_wire_bytes` fields reflect `comp`'s codecs via
     /// the closed-form container size law
-    /// ([`CodecSpec::encoded_len`]) — cheap enough for planner hot
+    /// ([`gsfl_nn::codec::CodecSpec::encoded_len`]) — cheap enough for planner hot
     /// loops. Raw fields (and therefore compute/storage accounting) are
     /// untouched; identity codecs leave the wire fields bit-identical
     /// to the raw ones. Labels (the difference between `smashed_bytes`
@@ -166,7 +166,7 @@ impl SplitCosts {
 
     /// Like [`SplitCosts::with_compression`], but each wire size is the
     /// measured `WireBuf::len()` of an actual encode
-    /// ([`CodecSpec::measured_len`]) rather than the size law. This is
+    /// ([`gsfl_nn::codec::CodecSpec::measured_len`]) rather than the size law. This is
     /// what [`crate::context::TrainContext`] uses when it builds the
     /// costs a run will charge: airtime comes from buffers that
     /// actually exist. The law and the measurement are pinned equal by

@@ -1,7 +1,17 @@
 //! Loss functions with analytic gradients.
+//!
+//! The softmax cross-entropy hot path is *fused*: one pass computes the
+//! stabilized exponentials directly into the gradient buffer (no
+//! intermediate softmax tensor) and a SIMD-dispatched pass scales them
+//! into the gradient. The fused form stores the same `exp(v − max)`
+//! values the unfused form recomputed, reduces the denominator in the
+//! same ascending order, and scales with the same `(e / denom) · 1/n`
+//! expression — so it is bit-identical to the historical two-pass
+//! kernel on every SIMD tier.
 
 use crate::{NnError, Result};
-use gsfl_tensor::Tensor;
+use gsfl_tensor::simd::{self, Isa};
+use gsfl_tensor::{Dispatch, Tensor};
 
 /// Output of a loss computation: the scalar loss and the gradient with
 /// respect to the logits, ready to feed into `Sequential::backward`.
@@ -49,6 +59,70 @@ impl SoftmaxCrossEntropy {
     /// Returns [`NnError::LabelMismatch`] / [`NnError::LabelOutOfRange`] on
     /// malformed labels, or a shape error for non-2-D logits.
     pub fn compute(&self, logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+        let d = gsfl_tensor::dispatch();
+        if d == Dispatch::Reference {
+            return self.compute_unfused(logits, labels);
+        }
+        self.compute_with_isa(d.isa(), logits, labels)
+    }
+
+    /// Fused forward/backward pinned to an explicit ISA tier (benchmark
+    /// and equivalence-test hook). Bit-identical to
+    /// [`Self::compute_unfused`] on every tier.
+    #[doc(hidden)]
+    pub fn compute_with_isa(
+        &self,
+        isa: Isa,
+        logits: &Tensor,
+        labels: &[usize],
+    ) -> Result<LossOutput> {
+        let (n, c) = logits.shape().as_matrix().map_err(NnError::from)?;
+        if labels.len() != n {
+            return Err(NnError::LabelMismatch {
+                logits_rows: n,
+                labels: labels.len(),
+            });
+        }
+        if n == 0 {
+            return Err(NnError::Config("empty batch".into()));
+        }
+        let mut grad = vec![0.0f32; n * c];
+        let mut total_loss = 0.0f32;
+        let inv_n = 1.0 / n as f32;
+        for (r, &label) in labels.iter().enumerate() {
+            if label >= c {
+                return Err(NnError::LabelOutOfRange { label, classes: c });
+            }
+            let row = &logits.data()[r * c..(r + 1) * c];
+            let max = simd::reduce_max(isa, row, f32::NEG_INFINITY);
+            // One pass: store each stabilized exponential straight into
+            // the gradient row while summing the denominator in the
+            // same ascending order as the unfused kernel.
+            let grow = &mut grad[r * c..(r + 1) * c];
+            let mut denom = 0.0f32;
+            for (g, &v) in grow.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *g = e;
+                denom += e;
+            }
+            // loss_r = −log softmax[label]
+            total_loss += -(row[label] - max - denom.ln());
+            // grow[j] = (e / denom) · 1/n — the exact expression the
+            // unfused kernel evaluates per element.
+            simd::div_then_mul(isa, grow, denom, inv_n);
+            grow[label] -= inv_n;
+        }
+        Ok(LossOutput {
+            loss: total_loss * inv_n,
+            grad_logits: Tensor::from_vec(grad, &[n, c])?,
+        })
+    }
+
+    /// The historical two-pass kernel (recompute the exponentials for
+    /// the gradient), preserved as the reference tier and benchmark
+    /// baseline.
+    #[doc(hidden)]
+    pub fn compute_unfused(&self, logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
         let (n, c) = logits.shape().as_matrix().map_err(NnError::from)?;
         if labels.len() != n {
             return Err(NnError::LabelMismatch {

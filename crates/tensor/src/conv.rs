@@ -16,8 +16,9 @@
 //! per-sample-then-add, which regroups the f32 additions (equal within
 //! epsilon, not within bits — asserted by the property tests).
 
-use crate::kernel::{kernel_mode, KernelMode};
+use crate::kernel::{dispatch, Dispatch};
 use crate::matmul::{gemm_a_bt_into, gemm_into, transpose_into};
+use crate::simd::Isa;
 use crate::workspace::Workspace;
 use crate::{Result, Tensor, TensorError};
 
@@ -273,7 +274,7 @@ pub fn conv2d_forward_ws(
     pad: usize,
     ws: &mut Workspace,
 ) -> Result<Tensor> {
-    if kernel_mode() == KernelMode::Reference {
+    if dispatch() == Dispatch::Reference {
         return crate::reference::conv2d_forward(input, weight, bias, stride, pad);
     }
     let (out, cols) = conv2d_forward_ws_cols(input, weight, bias, stride, pad, ws)?;
@@ -297,6 +298,7 @@ pub fn conv2d_forward_ws_cols(
     pad: usize,
     ws: &mut Workspace,
 ) -> Result<(Tensor, Tensor)> {
+    let isa = dispatch().isa();
     let (n, c_in, h, w, c_out, k_h, k_w) = check_forward_shapes(input, weight, bias)?;
     let g = ConvGeom::new(h, w, k_h, k_w, stride, pad)?;
     let ckk = c_in * k_h * k_w;
@@ -308,7 +310,7 @@ pub fn conv2d_forward_ws_cols(
 
     // One GEMM for the whole batch: [c_out × ckk] · [ckk × n·P].
     let mut y = ws.take(c_out * np);
-    gemm_into(c_out, ckk, np, weight.data(), &cols, &mut y);
+    gemm_into(isa, c_out, ckk, np, weight.data(), &cols, &mut y);
 
     // Scatter [c_out, n·P] → [n, c_out, P], adding the bias at the store.
     let mut out = ws.take(n * c_out * p);
@@ -365,7 +367,7 @@ pub fn conv2d_backward_ws(
     pad: usize,
     ws: &mut Workspace,
 ) -> Result<(Tensor, Tensor, Tensor)> {
-    if kernel_mode() == KernelMode::Reference {
+    if dispatch() == Dispatch::Reference {
         return crate::reference::conv2d_backward(input, weight, grad_out, stride, pad);
     }
     let (n, c_in, h, w) = input.shape().as_nchw()?;
@@ -420,13 +422,14 @@ pub fn conv2d_backward_from_cols(
         });
     }
 
-    let (dy, grad_w, grad_b) = backward_params(cols, grad_out, c_out, ckk, p, np, ws);
+    let isa = dispatch().isa();
+    let (dy, grad_w, grad_b) = backward_params(isa, cols, grad_out, c_out, ckk, p, np, ws);
 
     // dX_cols = Wᵀ · dY (one GEMM), scattered back with batched col2im.
     let mut w_t = ws.take(ckk * c_out);
     transpose_into(weight.data(), c_out, ckk, &mut w_t);
     let mut dcols = ws.take(ckk * np);
-    gemm_into(ckk, c_out, np, &w_t, dy.data(), &mut dcols);
+    gemm_into(isa, ckk, c_out, np, &w_t, dy.data(), &mut dcols);
     ws.give(w_t);
     ws.recycle(dy);
 
@@ -480,7 +483,8 @@ pub fn conv2d_backward_params_from_cols(
             op: "conv2d_backward(cols)",
         });
     }
-    let (dy, grad_w, grad_b) = backward_params(cols, grad_out, c_out, ckk, p, np, ws);
+    let (dy, grad_w, grad_b) =
+        backward_params(dispatch().isa(), cols, grad_out, c_out, ckk, p, np, ws);
     ws.recycle(dy);
     Ok((
         Tensor::from_vec(grad_w, &[c_out, c_in, k_h, k_w])?,
@@ -493,6 +497,7 @@ pub fn conv2d_backward_params_from_cols(
 /// grad buffers.
 #[allow(clippy::too_many_arguments)]
 fn backward_params(
+    isa: Isa,
     cols: &Tensor,
     grad_out: &Tensor,
     c_out: usize,
@@ -523,7 +528,7 @@ fn backward_params(
     // dW = dY · colsᵀ: lane-chunked dot products straight off the two
     // row-major operands — no transpose materialized.
     let mut grad_w = ws.take(c_out * ckk);
-    gemm_a_bt_into(c_out, np, ckk, &dy, cols.data(), &mut grad_w);
+    gemm_a_bt_into(isa, c_out, np, ckk, &dy, cols.data(), &mut grad_w);
     let dy = Tensor::from_vec(dy, &[c_out, np]).expect("dy sized by construction");
     (dy, grad_w, grad_b)
 }

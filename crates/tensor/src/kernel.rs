@@ -40,6 +40,45 @@ pub fn kernel_mode() -> KernelMode {
     }
 }
 
+/// The fully resolved kernel tier a public op entry runs under:
+/// mode *and* instruction set, resolved **once** per entry (one relaxed
+/// atomic load plus the cached ISA lookup) and passed down as a plain
+/// enum so inner loops and helpers never re-consult global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// The preserved pre-optimization kernels in [`crate::reference`].
+    Reference,
+    /// Fast kernels on portable scalar lanes — bit-identical to every
+    /// prior release's fast path.
+    FastScalar,
+    /// Fast kernels on runtime-detected AVX2/FMA/F16C lanes.
+    FastAvx2,
+}
+
+impl Dispatch {
+    /// The SIMD tier this dispatch runs its fast kernels on.
+    /// [`Dispatch::Reference`] reports [`Isa::Scalar`](crate::simd::Isa):
+    /// reference kernels never vectorize.
+    pub fn isa(self) -> crate::simd::Isa {
+        match self {
+            Dispatch::FastAvx2 => crate::simd::Isa::Avx2,
+            Dispatch::Reference | Dispatch::FastScalar => crate::simd::Isa::Scalar,
+        }
+    }
+}
+
+/// Resolves the current kernel mode and active ISA into a [`Dispatch`].
+/// Call once at each public op entry, then thread the result down.
+pub fn dispatch() -> Dispatch {
+    match kernel_mode() {
+        KernelMode::Reference => Dispatch::Reference,
+        KernelMode::Fast => match crate::simd::active_isa() {
+            crate::simd::Isa::Avx2 => Dispatch::FastAvx2,
+            crate::simd::Isa::Scalar => Dispatch::FastScalar,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +86,18 @@ mod tests {
     #[test]
     fn default_is_fast() {
         assert_eq!(KernelMode::default(), KernelMode::Fast);
+    }
+
+    #[test]
+    fn dispatch_tracks_mode_and_isa() {
+        // Default mode is Fast, so dispatch reflects the active ISA.
+        let d = dispatch();
+        match crate::simd::active_isa() {
+            crate::simd::Isa::Avx2 => assert_eq!(d, Dispatch::FastAvx2),
+            crate::simd::Isa::Scalar => assert_eq!(d, Dispatch::FastScalar),
+        }
+        assert_eq!(d.isa(), crate::simd::active_isa());
+        assert_eq!(Dispatch::Reference.isa(), crate::simd::Isa::Scalar);
+        assert_eq!(Dispatch::FastScalar.isa(), crate::simd::Isa::Scalar);
     }
 }

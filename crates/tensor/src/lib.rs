@@ -18,6 +18,9 @@
 //! * [`reference`](mod@reference) — the preserved pre-optimization
 //!   kernels (test oracle and benchmark baseline), selectable at runtime
 //!   via [`kernel`],
+//! * [`simd`] — runtime-dispatched SIMD lanes (AVX2/FMA/F16C with a
+//!   scalar fallback, `GSFL_SIMD` override) behind the compute and
+//!   codec hot paths,
 //! * [`init`] — He / Xavier / uniform initializers,
 //! * [`rng`] — deterministic hierarchical seed derivation so that every
 //!   client, group and round of a distributed experiment draws from an
@@ -58,12 +61,13 @@ pub mod pool;
 pub mod quant;
 pub mod reference;
 pub mod rng;
+pub mod simd;
 pub mod threading;
 pub mod wire;
 pub mod workspace;
 
 pub use error::TensorError;
-pub use kernel::{kernel_mode, set_kernel_mode, KernelMode};
+pub use kernel::{dispatch, kernel_mode, set_kernel_mode, Dispatch, KernelMode};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

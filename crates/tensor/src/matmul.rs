@@ -29,7 +29,8 @@
 //! never changes what is computed for any element, so the threaded path
 //! is bit-identical to the serial one regardless of thread count.
 
-use crate::kernel::{kernel_mode, KernelMode};
+use crate::kernel::{dispatch, Dispatch};
+use crate::simd::{self, Isa};
 use crate::threading::request_threads;
 use crate::workspace::Workspace;
 use crate::{Result, Tensor, TensorError};
@@ -96,13 +97,18 @@ fn col_panel<const NR_: usize>(
 }
 
 /// Serial blocked GEMM: `out[m×n] = a[m×k] · b[k×n]`, overwriting `out`.
-/// Column panels run outermost (descending widths on the edge) so the
-/// streamed operand is the small `A`, not `B`.
-fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+///
+/// On a vector ISA, [`simd::gemm_main`] first covers every full
+/// vector-width column panel (lanes across columns — the per-element
+/// ascending-`k` reduction order is preserved, so the result stays
+/// bit-identical), and the historical scalar panels finish the
+/// sub-vector edge. On the scalar tier `gemm_main` consumes nothing and
+/// the panels below are the entire (unchanged) kernel.
+fn gemm_serial(isa: Isa, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    let mut j0 = 0;
+    let mut j0 = simd::gemm_main(isa, m, k, n, a, b, out);
     while j0 + NR <= n {
         col_panel::<NR>(j0, m, k, n, a, b, out);
         j0 += NR;
@@ -123,7 +129,7 @@ fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
 
 /// Blocked GEMM with a row-partitioned multithreaded path for large
 /// shapes. Bit-identical to [`gemm_serial`] for any thread count.
-fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+fn gemm(isa: Isa, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     if m * k * n >= PAR_WORK_THRESHOLD && m >= 2 {
         let grant = request_threads(PAR_MAX_THREADS.min(m));
         let threads = grant.threads().min(m);
@@ -138,9 +144,9 @@ fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
                     let a_band = &a[row * k..(row + rows) * k];
                     if t + 1 == threads {
                         // The caller's own thread takes the last band.
-                        gemm_serial(rows, k, n, a_band, b, chunk);
+                        gemm_serial(isa, rows, k, n, a_band, b, chunk);
                     } else {
-                        scope.spawn(move || gemm_serial(rows, k, n, a_band, b, chunk));
+                        scope.spawn(move || gemm_serial(isa, rows, k, n, a_band, b, chunk));
                     }
                     row += rows;
                 }
@@ -148,7 +154,23 @@ fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
             return;
         }
     }
-    gemm_serial(m, k, n, a, b, out);
+    gemm_serial(isa, m, k, n, a, b, out);
+}
+
+/// Serial raw-slice GEMM pinned to an explicit ISA tier. Benchmark
+/// hook — the library's own entries resolve their tier via
+/// [`dispatch`](crate::kernel::dispatch) instead.
+#[doc(hidden)]
+pub fn gemm_with_isa(
+    isa: Isa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    gemm_serial(isa, m, k, n, a, b, out);
 }
 
 /// Writes the transpose of the row-major `rows × cols` matrix `src` into
@@ -216,14 +238,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul`].
 pub fn matmul_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
-    if kernel_mode() == KernelMode::Reference {
+    let d = dispatch();
+    if d == Dispatch::Reference {
         return crate::reference::matmul(a, b);
     }
     let (m, k) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     check_inner(k, k2)?;
     let mut out = ws.take(m * n);
-    gemm(m, k, n, a.data(), b.data(), &mut out);
+    gemm(d.isa(), m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -248,7 +271,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul_at_b`].
 pub fn matmul_at_b_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
-    if kernel_mode() == KernelMode::Reference {
+    let d = dispatch();
+    if d == Dispatch::Reference {
         return crate::reference::matmul_at_b(a, b);
     }
     let (k, m) = a.shape().as_matrix()?;
@@ -257,7 +281,7 @@ pub fn matmul_at_b_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tens
     let mut at = ws.take(m * k);
     transpose_into(a.data(), k, m, &mut at);
     let mut out = ws.take(m * n);
-    gemm(m, k, n, &at, b.data(), &mut out);
+    gemm(d.isa(), m, k, n, &at, b.data(), &mut out);
     ws.give(at);
     Tensor::from_vec(out, &[m, n])
 }
@@ -284,7 +308,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul_a_bt`].
 pub fn matmul_a_bt_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
-    if kernel_mode() == KernelMode::Reference {
+    let d = dispatch();
+    if d == Dispatch::Reference {
         return crate::reference::matmul_a_bt(a, b);
     }
     let (m, k) = a.shape().as_matrix()?;
@@ -293,16 +318,26 @@ pub fn matmul_a_bt_ws(a: &Tensor, b: &Tensor, ws: &mut Workspace) -> Result<Tens
     let mut bt = ws.take(n * k);
     transpose_into(b.data(), n, k, &mut bt);
     let mut out = ws.take(m * n);
-    gemm(m, k, n, a.data(), &bt, &mut out);
+    gemm(d.isa(), m, k, n, a.data(), &bt, &mut out);
     ws.give(bt);
     Tensor::from_vec(out, &[m, n])
 }
 
 /// Raw-slice GEMM for callers that manage their own layouts (the batched
 /// convolution lowering). `out` is fully overwritten. Same kernel — and
-/// therefore the same per-element reduction order — as [`matmul`].
-pub(crate) fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    gemm(m, k, n, a, b, out);
+/// therefore the same per-element reduction order — as [`matmul`]. The
+/// caller resolves the dispatch tier once at its own entry and passes
+/// the ISA down.
+pub(crate) fn gemm_into(
+    isa: Isa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    gemm(isa, m, k, n, a, b, out);
 }
 
 /// Lanes of the chunked dot-product reduction in [`gemm_a_bt_into`].
@@ -331,19 +366,49 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
-/// Raw-slice `out[m×n] = a[m×k] · b[n×k]ᵀ` via [`dot_lanes`] — the right
-/// shape for long-`k`, small-`m×n` reductions (the batched conv weight
-/// gradient), where it beats transpose-then-GEMM. Deterministic, but the
-/// reduction order is lane-interleaved rather than ascending-`k`.
-pub(crate) fn gemm_a_bt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+/// Raw-slice `out[m×n] = a[m×k] · b[n×k]ᵀ` via a long-dot kernel — the
+/// right shape for long-`k`, small-`m×n` reductions (the batched conv
+/// weight gradient), where it beats transpose-then-GEMM. Deterministic
+/// for a fixed ISA, but the reduction order is lane-interleaved (scalar
+/// tier: [`dot_lanes`]) or FMA-regrouped (AVX2:
+/// [`simd::dot_long`]) rather than ascending-`k` — the
+/// epsilon-contracted class.
+pub(crate) fn gemm_a_bt_into(
+    isa: Isa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    let dot: fn(&[f32], &[f32]) -> f32 = match isa {
+        Isa::Avx2 => simd::dot_long,
+        Isa::Scalar => dot_lanes,
+    };
     for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
         for (b_row, o) in b.chunks_exact(k).zip(out_row.iter_mut()) {
-            *o = dot_lanes(a_row, b_row);
+            *o = dot(a_row, b_row);
         }
     }
+}
+
+/// Raw-slice `A · Bᵀ` long-dot GEMM pinned to an explicit ISA tier.
+/// Benchmark hook for the conv weight-gradient comparison.
+#[doc(hidden)]
+pub fn gemm_a_bt_with_isa(
+    isa: Isa,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    gemm_a_bt_into(isa, m, k, n, a, b, out);
 }
 
 /// Matrix–vector product `y = A · x` for `A: [m×k]`, `x: [k]`.
@@ -440,7 +505,7 @@ mod tests {
         let a = Tensor::from_fn(&[m, k], |i| ((i % 101) as f32 - 50.0) * 0.021);
         let b = Tensor::from_fn(&[k, n], |i| ((i % 97) as f32 - 48.0) * 0.017);
         let mut serial = vec![0.0f32; m * n];
-        gemm_serial(m, k, n, a.data(), b.data(), &mut serial);
+        gemm_serial(simd::active_isa(), m, k, n, a.data(), b.data(), &mut serial);
         let via_public = matmul(&a, &b).unwrap();
         assert_eq!(via_public.data(), &serial[..]);
     }

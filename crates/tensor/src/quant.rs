@@ -18,9 +18,17 @@
 //!   threshold resolve by ascending index, so the kept set is
 //!   deterministic regardless of the selection algorithm.
 
+use crate::kernel::dispatch;
 use crate::rng::seeded_rng;
+use crate::simd::{self, Isa};
 use crate::workspace::Workspace;
 use rand::Rng;
+
+/// Elements per SIMD codec block: stochastic-rounding draws are
+/// pre-drawn scalar-sequentially into a stack buffer of this size (so
+/// the RNG consumption order — and therefore every code — is identical
+/// to the scalar tier), then the arithmetic runs 8 lanes wide.
+pub(crate) const CODEC_BLOCK: usize = 256;
 
 /// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even
 /// (the hardware rounding mode), flushing overflow to ±infinity.
@@ -94,9 +102,24 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 }
 
 /// Rounds every element through IEEE binary16 and back, in place.
+/// Bit-identical on every SIMD tier: the hardware F16C path rounds
+/// exactly like the software converters, and NaN-carrying blocks fall
+/// back to software so payload canonicalization matches too.
 pub fn fp16_roundtrip(values: &mut [f32]) {
-    for v in values.iter_mut() {
-        *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+    fp16_roundtrip_with_isa(dispatch().isa(), values);
+}
+
+/// [`fp16_roundtrip`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook).
+#[doc(hidden)]
+pub fn fp16_roundtrip_with_isa(isa: Isa, values: &mut [f32]) {
+    match isa {
+        Isa::Avx2 => simd::fp16_roundtrip_block(values),
+        Isa::Scalar => {
+            for v in values.iter_mut() {
+                *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+            }
+        }
     }
 }
 
@@ -111,25 +134,51 @@ pub fn fp16_roundtrip(values: &mut [f32]) {
 ///
 /// `bits` must be in `2..=16`; an all-zero slice is returned unchanged.
 pub fn intq_roundtrip(values: &mut [f32], bits: u32, stream: u64) {
+    intq_roundtrip_with_isa(dispatch().isa(), values, bits, stream);
+}
+
+/// [`intq_roundtrip`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook). The vector tier pre-draws the stochastic
+/// rounding uniforms per [`CODEC_BLOCK`] in scalar order, so the
+/// quantized values are bit-identical to the scalar tier for every
+/// finite input.
+#[doc(hidden)]
+pub fn intq_roundtrip_with_isa(isa: Isa, values: &mut [f32], bits: u32, stream: u64) {
     debug_assert!((2..=16).contains(&bits), "intq bits must be in 2..=16");
-    let scale = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = match isa {
+        Isa::Avx2 => simd::max_abs(values),
+        Isa::Scalar => values.iter().fold(0.0f32, |m, v| m.max(v.abs())),
+    };
     if scale == 0.0 || !scale.is_finite() {
         return;
     }
     let levels = ((1u32 << (bits - 1)) - 1) as f32; // e.g. 127 for 8 bits
     let inv = levels / scale;
     let mut rng = seeded_rng(stream);
-    for v in values.iter_mut() {
-        let x = *v * inv;
-        let lo = x.floor();
-        let frac = x - lo;
-        // P(round up) = frac ⇒ E[q] = x.
-        let q = if rng.gen::<f32>() < frac {
-            lo + 1.0
-        } else {
-            lo
-        };
-        *v = q.clamp(-levels, levels) * scale / levels;
+    match isa {
+        Isa::Avx2 => {
+            let mut draws = [0.0f32; CODEC_BLOCK];
+            for chunk in values.chunks_mut(CODEC_BLOCK) {
+                for d in draws[..chunk.len()].iter_mut() {
+                    *d = rng.gen();
+                }
+                simd::intq_roundtrip_block(chunk, inv, levels, scale, &draws[..chunk.len()]);
+            }
+        }
+        Isa::Scalar => {
+            for v in values.iter_mut() {
+                let x = *v * inv;
+                let lo = x.floor();
+                let frac = x - lo;
+                // P(round up) = frac ⇒ E[q] = x.
+                let q = if rng.gen::<f32>() < frac {
+                    lo + 1.0
+                } else {
+                    lo
+                };
+                *v = q.clamp(-levels, levels) * scale / levels;
+            }
+        }
     }
 }
 
@@ -143,8 +192,22 @@ pub fn intq_roundtrip(values: &mut [f32], bits: u32, stream: u64) {
 /// rather than panicking mid-selection — the same degrade-to-identity
 /// behavior as [`intq_roundtrip`]'s non-finite-scale guard).
 pub fn topk_mask(values: &mut [f32], k: usize, ws: &mut Workspace) {
+    topk_mask_with_isa(dispatch().isa(), values, k, ws);
+}
+
+/// [`topk_mask`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook). The magnitude fill, divergence guard, and
+/// above-threshold count vectorize; the selection and the tie-resolving
+/// mask pass are unchanged — the survivor set is identical on every
+/// tier, including all-equal-magnitude ties.
+#[doc(hidden)]
+pub fn topk_mask_with_isa(isa: Isa, values: &mut [f32], k: usize, ws: &mut Workspace) {
     let n = values.len();
-    if k >= n || values.iter().any(|v| !v.is_finite()) {
+    let diverged = match isa {
+        Isa::Avx2 => simd::any_non_finite(values),
+        Isa::Scalar => values.iter().any(|v| !v.is_finite()),
+    };
+    if k >= n || diverged {
         return;
     }
     if k == 0 {
@@ -152,8 +215,13 @@ pub fn topk_mask(values: &mut [f32], k: usize, ws: &mut Workspace) {
         return;
     }
     let mut mags = ws.take(n);
-    for (m, v) in mags.iter_mut().zip(values.iter()) {
-        *m = v.abs();
+    match isa {
+        Isa::Avx2 => simd::abs_into(values, &mut mags),
+        Isa::Scalar => {
+            for (m, v) in mags.iter_mut().zip(values.iter()) {
+                *m = v.abs();
+            }
+        }
     }
     // k-th largest magnitude = element at index k-1 of the descending
     // order. select_nth is O(n) and the threshold it finds is unique up
@@ -169,7 +237,10 @@ pub fn topk_mask(values: &mut [f32], k: usize, ws: &mut Workspace) {
     // Keep everything strictly above the threshold, then fill the
     // remaining slots with threshold-magnitude elements by ascending
     // index.
-    let above = mags.iter().filter(|&&m| m > kth).count();
+    let above = match isa {
+        Isa::Avx2 => simd::count_gt(&mags, kth),
+        Isa::Scalar => mags.iter().filter(|&&m| m > kth).count(),
+    };
     let mut at_budget = k - above;
     for (v, &m) in values.iter_mut().zip(mags.iter()) {
         if m > kth {
@@ -196,6 +267,19 @@ pub fn topk_mask(values: &mut [f32], k: usize, ws: &mut Workspace) {
 /// allocate nothing). Requires `1 <= k`; `k >= values.len()` keeps
 /// every index.
 pub fn topk_indices(values: &[f32], k: usize, ws: &mut Workspace, out: &mut Vec<u32>) {
+    topk_indices_with_isa(dispatch().isa(), values, k, ws, out);
+}
+
+/// [`topk_indices`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook): same survivor set on every tier.
+#[doc(hidden)]
+pub fn topk_indices_with_isa(
+    isa: Isa,
+    values: &[f32],
+    k: usize,
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
     out.clear();
     let n = values.len();
     if k >= n {
@@ -204,12 +288,17 @@ pub fn topk_indices(values: &[f32], k: usize, ws: &mut Workspace, out: &mut Vec<
     }
     debug_assert!(k >= 1, "topk_indices requires k >= 1");
     let mut mags = ws.take(n);
-    for (m, v) in mags.iter_mut().zip(values.iter()) {
-        *m = if v.is_finite() {
-            v.abs()
-        } else {
-            f32::INFINITY
-        };
+    match isa {
+        Isa::Avx2 => simd::abs_or_inf_into(values, &mut mags),
+        Isa::Scalar => {
+            for (m, v) in mags.iter_mut().zip(values.iter()) {
+                *m = if v.is_finite() {
+                    v.abs()
+                } else {
+                    f32::INFINITY
+                };
+            }
+        }
     }
     let kth = {
         let mut sel = ws.take(n);
@@ -219,7 +308,10 @@ pub fn topk_indices(values: &[f32], k: usize, ws: &mut Workspace, out: &mut Vec<
         ws.give(sel);
         t
     };
-    let above = mags.iter().filter(|&&m| m > kth).count();
+    let above = match isa {
+        Isa::Avx2 => simd::count_gt(&mags, kth),
+        Isa::Scalar => mags.iter().filter(|&&m| m > kth).count(),
+    };
     let mut at_budget = k - above;
     for (i, &m) in mags.iter().enumerate() {
         if m > kth {

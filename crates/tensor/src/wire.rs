@@ -47,8 +47,12 @@
 //! steady-state encoding allocates nothing after warm-up.
 
 use crate::error::TensorError;
-use crate::quant::{f16_bits_to_f32, f32_to_f16_bits, top_block_indices, topk_indices};
+use crate::kernel::dispatch;
+use crate::quant::{
+    f16_bits_to_f32, f32_to_f16_bits, top_block_indices, topk_indices_with_isa, CODEC_BLOCK,
+};
 use crate::rng::seeded_rng;
+use crate::simd::{self, Isa};
 use crate::workspace::Workspace;
 use rand::Rng;
 
@@ -428,12 +432,24 @@ pub fn f16_len(numel: usize) -> u64 {
 
 /// Encodes `values` as binary16 (round-to-nearest-even).
 pub fn encode_f16(values: &[f32], buf: &mut WireBuf) {
+    encode_f16_with_isa(dispatch().isa(), values, buf);
+}
+
+/// [`encode_f16`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook): byte-identical containers on every tier.
+#[doc(hidden)]
+pub fn encode_f16_with_isa(isa: Isa, values: &[f32], buf: &mut WireBuf) {
     let out = buf.bytes_mut();
     out.clear();
     out.reserve(f16_len(values.len()) as usize);
     write_header(out, WireDtype::F16, values.len());
-    for v in values {
-        out.extend_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
+    match isa {
+        Isa::Avx2 => simd::encode_f16_payload(values, out),
+        Isa::Scalar => {
+            for v in values {
+                out.extend_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
+            }
+        }
     }
 }
 
@@ -443,11 +459,24 @@ pub fn encode_f16(values: &[f32], buf: &mut WireBuf) {
 ///
 /// [`TensorError::Wire`] naming the malformed field.
 pub fn decode_f16(buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
+    decode_f16_with_isa(dispatch().isa(), buf, out)
+}
+
+/// [`decode_f16`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook): bit-identical tensors on every tier,
+/// including exact NaN-payload preservation.
+#[doc(hidden)]
+pub fn decode_f16_with_isa(isa: Isa, buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
     let mut rd = read_header(buf, WireDtype::F16, out.len())?;
     let payload = rd.take(out.len() * 2, "f16.payload")?;
     rd.done("f16.payload")?;
-    for (v, c) in out.iter_mut().zip(payload.chunks_exact(2)) {
-        *v = f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]));
+    match isa {
+        Isa::Avx2 => simd::decode_f16_payload(payload, out),
+        Isa::Scalar => {
+            for (v, c) in out.iter_mut().zip(payload.chunks_exact(2)) {
+                *v = f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]));
+            }
+        }
     }
     Ok(())
 }
@@ -469,13 +498,26 @@ pub fn intq_len(numel: usize, bits: u32) -> u64 {
 /// codes; the decoder surfaces it as a NaN-filled tensor, keeping the
 /// divergence visible to the receiver. `bits` must be in `2..=16`.
 pub fn encode_intq(values: &[f32], bits: u32, stream: u64, buf: &mut WireBuf) {
+    encode_intq_with_isa(dispatch().isa(), values, bits, stream, buf);
+}
+
+/// [`encode_intq`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook). The vector tier pre-draws the stochastic
+/// rounding uniforms per [`CODEC_BLOCK`] in scalar order and quantizes
+/// 8 lanes at a time; the emitted container is byte-identical on every
+/// tier.
+#[doc(hidden)]
+pub fn encode_intq_with_isa(isa: Isa, values: &[f32], bits: u32, stream: u64, buf: &mut WireBuf) {
     debug_assert!((2..=16).contains(&bits), "intq bits must be in 2..=16");
     let out = buf.bytes_mut();
     out.clear();
     out.reserve(intq_len(values.len(), bits) as usize);
     write_header(out, WireDtype::IntQ, values.len());
     out.push(bits as u8);
-    let scale = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = match isa {
+        Isa::Avx2 => simd::max_abs(values),
+        Isa::Scalar => values.iter().fold(0.0f32, |m, v| m.max(v.abs())),
+    };
     out.extend_from_slice(&scale.to_le_bytes());
     let levels = (1u32 << (bits - 1)) - 1;
     let mut bw = BitWriter::new(out);
@@ -486,20 +528,43 @@ pub fn encode_intq(values: &[f32], bits: u32, stream: u64, buf: &mut WireBuf) {
     } else {
         let inv = levels as f32 / scale;
         let mut rng = seeded_rng(stream);
-        let lv = levels as f32;
-        for v in values {
-            let x = *v * inv;
-            let lo = x.floor();
-            let frac = x - lo;
-            // P(round up) = frac ⇒ E[q] = x, matching intq_roundtrip
-            // draw for draw so wire and in-place paths stay bit-equal.
-            let q = if rng.gen::<f32>() < frac {
-                lo + 1.0
-            } else {
-                lo
-            };
-            let q = q.clamp(-lv, lv) as i64;
-            bw.push((q + i64::from(levels)) as u64, bits);
+        match isa {
+            Isa::Avx2 => {
+                let mut draws = [0.0f32; CODEC_BLOCK];
+                let mut codes = [0u16; CODEC_BLOCK];
+                for chunk in values.chunks(CODEC_BLOCK) {
+                    for d in draws[..chunk.len()].iter_mut() {
+                        *d = rng.gen();
+                    }
+                    simd::intq_quantize_codes(
+                        chunk,
+                        inv,
+                        levels,
+                        &draws[..chunk.len()],
+                        &mut codes[..chunk.len()],
+                    );
+                    for &c in &codes[..chunk.len()] {
+                        bw.push(u64::from(c), bits);
+                    }
+                }
+            }
+            Isa::Scalar => {
+                let lv = levels as f32;
+                for v in values {
+                    let x = *v * inv;
+                    let lo = x.floor();
+                    let frac = x - lo;
+                    // P(round up) = frac ⇒ E[q] = x, matching intq_roundtrip
+                    // draw for draw so wire and in-place paths stay bit-equal.
+                    let q = if rng.gen::<f32>() < frac {
+                        lo + 1.0
+                    } else {
+                        lo
+                    };
+                    let q = q.clamp(-lv, lv) as i64;
+                    bw.push((q + i64::from(levels)) as u64, bits);
+                }
+            }
         }
     }
     bw.finish();
@@ -512,6 +577,16 @@ pub fn encode_intq(values: &[f32], bits: u32, stream: u64, buf: &mut WireBuf) {
 ///
 /// [`TensorError::Wire`] naming the malformed field.
 pub fn decode_intq(buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
+    decode_intq_with_isa(dispatch().isa(), buf, out)
+}
+
+/// [`decode_intq`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook). The vector tier unpacks codes per
+/// [`CODEC_BLOCK`] (validating each, with the same per-index error),
+/// then dequantizes 8 lanes at a time — bit-identical tensors on every
+/// tier.
+#[doc(hidden)]
+pub fn decode_intq_with_isa(isa: Isa, buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
     let mut rd = read_header(buf, WireDtype::IntQ, out.len())?;
     let bits = u32::from(rd.u8("intq.bits")?);
     if !(2..=16).contains(&bits) {
@@ -527,16 +602,38 @@ pub fn decode_intq(buf: &WireBuf, out: &mut [f32]) -> Result<(), TensorError> {
     let levels = (1u32 << (bits - 1)) - 1;
     let max_code = u64::from(2 * levels);
     let mut br = BitReader::new(payload);
-    for (i, v) in out.iter_mut().enumerate() {
-        let code = br.read(bits);
-        if code > max_code {
-            return Err(werr(
-                &format!("intq.codes[{i}]"),
-                format!("code {code} exceeds 2·levels = {max_code}"),
-            ));
+    match isa {
+        Isa::Avx2 => {
+            let mut codes = [0u16; CODEC_BLOCK];
+            let mut base = 0usize;
+            for chunk in out.chunks_mut(CODEC_BLOCK) {
+                for (j, c) in codes[..chunk.len()].iter_mut().enumerate() {
+                    let code = br.read(bits);
+                    if code > max_code {
+                        return Err(werr(
+                            &format!("intq.codes[{}]", base + j),
+                            format!("code {code} exceeds 2·levels = {max_code}"),
+                        ));
+                    }
+                    *c = code as u16;
+                }
+                simd::intq_dequant_codes(&codes[..chunk.len()], levels, scale, chunk);
+                base += chunk.len();
+            }
         }
-        let q = code as i64 - i64::from(levels);
-        *v = q as f32 * scale / levels as f32;
+        Isa::Scalar => {
+            for (i, v) in out.iter_mut().enumerate() {
+                let code = br.read(bits);
+                if code > max_code {
+                    return Err(werr(
+                        &format!("intq.codes[{i}]"),
+                        format!("code {code} exceeds 2·levels = {max_code}"),
+                    ));
+                }
+                let q = code as i64 - i64::from(levels);
+                *v = q as f32 * scale / levels as f32;
+            }
+        }
     }
     Ok(())
 }
@@ -562,10 +659,25 @@ pub fn topk_len(numel: usize, k: usize) -> u64 {
 /// so a diverged tensor ships its non-finite entries verbatim instead
 /// of panicking mid-selection. `k` is clamped to `1..=numel`.
 pub fn encode_topk(values: &[f32], k: usize, ws: &mut Workspace, buf: &mut WireBuf) {
+    encode_topk_with_isa(dispatch().isa(), values, k, ws, buf);
+}
+
+/// [`encode_topk`] pinned to an explicit ISA tier (benchmark and
+/// equivalence-test hook): the survivor selection's magnitude and
+/// threshold passes vectorize; the container is byte-identical on every
+/// tier (ascending-index tie resolution included).
+#[doc(hidden)]
+pub fn encode_topk_with_isa(
+    isa: Isa,
+    values: &[f32],
+    k: usize,
+    ws: &mut Workspace,
+    buf: &mut WireBuf,
+) {
     let n = values.len();
     let k = k.clamp(1, n.max(1));
     let mut idx = ws.take_indices();
-    topk_indices(values, k, ws, &mut idx);
+    topk_indices_with_isa(isa, values, k, ws, &mut idx);
     let out = buf.bytes_mut();
     out.clear();
     out.reserve(topk_len(n, k) as usize);
